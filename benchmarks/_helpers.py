@@ -1,0 +1,45 @@
+"""Formatting helpers and shared sweep definitions for the benchmark harness."""
+
+from __future__ import annotations
+
+
+def _fmt(value) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 1:
+            return f"{value:.2f}"
+        return f"{value:.4f}"
+    return str(value)
+
+
+def format_table(rows: list[dict], title: str) -> str:
+    """Render a list of dict rows as an aligned text table."""
+    if not rows:
+        return f"== {title} ==\n(no rows)"
+    columns = list(rows[0])
+    widths = {c: max(len(str(c)), *(len(_fmt(r[c])) for r in rows)) for c in columns}
+    lines = [f"== {title} =="]
+    lines.append(" | ".join(str(c).ljust(widths[c]) for c in columns))
+    lines.append("-+-".join("-" * widths[c] for c in columns))
+    for row in rows:
+        lines.append(" | ".join(_fmt(row[c]).ljust(widths[c]) for c in columns))
+    return "\n".join(lines)
+
+
+#: A reduced-but-representative design-space restriction used by the Pareto
+#: and breakdown benchmarks (the full Table 2 cross product has ~577k points;
+#: this subset sweeps the knobs that matter most for the frontier shape).
+PARETO_SWEEP_OVERRIDES = {
+    "msm_cores": [1, 2],
+    "msm_pes_per_core": [1, 4, 8, 16],
+    "msm_window_bits": [9],
+    "msm_points_per_pe": [2048],
+    "fracmle_pes": [1],
+    "sumcheck_pes": [1, 2, 4, 8, 16],
+    "mle_update_pes": [4, 11],
+    "mle_update_modmuls_per_pe": [4],
+    "bandwidth_gbs": [64.0, 128.0, 256.0, 512.0, 1024.0, 2048.0, 4096.0],
+}

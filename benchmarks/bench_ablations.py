@@ -1,0 +1,104 @@
+"""Ablation benchmarks for the design choices called out in DESIGN.md.
+
+Each ablation flips one architectural feature of zkSpeed and quantifies its
+contribution:
+
+* MSM bucket aggregation (grouped vs serial)         -- Section 4.2.2
+* SumCheck multiplier sharing (94 vs 184 modmuls/PE) -- Section 4.1.4
+* MLE Combine multiplier sharing (72 vs 122)         -- Section 4.5
+* Multifunction-tree sharing vs dedicated units      -- Section 4.3.3
+* On-chip MLE compression                            -- Section 4.6
+* Sparse-MSM handling of witness commitments         -- Section 4.2
+"""
+
+from dataclasses import replace
+
+from repro.core import WorkloadModel, ZkSpeedChip, ZkSpeedConfig
+from repro.core.scheduler import ProtocolScheduler
+
+from _helpers import format_table
+
+WORKLOAD = WorkloadModel(num_vars=20)
+BASE = ZkSpeedConfig.paper_default()
+
+
+def _runtime_and_area(config: ZkSpeedConfig) -> tuple[float, float]:
+    chip = ZkSpeedChip(config)
+    report = chip.simulate(WORKLOAD)
+    return report.total_runtime_ms, report.total_area_mm2
+
+
+def _ablation_rows():
+    base_runtime, base_area = _runtime_and_area(BASE)
+    rows = [
+        {
+            "variant": "zkSpeed (all optimizations)",
+            "runtime_ms": base_runtime,
+            "area_mm2": base_area,
+            "runtime_vs_base": 1.0,
+            "area_vs_base": 1.0,
+        }
+    ]
+    variants = {
+        "serial bucket aggregation (SZKP)": replace(BASE, bucket_aggregation="serial"),
+        "no SumCheck multiplier sharing": replace(BASE, share_sumcheck_multipliers=False),
+        "no MLE Combine sharing": replace(BASE, share_mle_combine_multipliers=False),
+        "dedicated tree units (no MTU sharing)": replace(BASE, share_multifunction_tree=False),
+        "no on-chip MLE compression": replace(BASE, mle_compression=False),
+        "stream all MLEs from HBM": replace(BASE, store_input_mles_on_chip=False),
+    }
+    for name, config in variants.items():
+        runtime, area = _runtime_and_area(config)
+        rows.append(
+            {
+                "variant": name,
+                "runtime_ms": runtime,
+                "area_mm2": area,
+                "runtime_vs_base": runtime / base_runtime,
+                "area_vs_base": area / base_area,
+            }
+        )
+    return rows
+
+
+def test_ablation_architectural_features(benchmark):
+    rows = benchmark.pedantic(_ablation_rows, rounds=1, iterations=1)
+    print()
+    print(format_table(rows, "Ablations: contribution of each zkSpeed optimization (2^20)"))
+    benchmark.extra_info["rows"] = rows
+    by_name = {r["variant"]: r for r in rows}
+    # Area-saving features: removing them must increase area.
+    assert by_name["no SumCheck multiplier sharing"]["area_vs_base"] > 1.02
+    assert by_name["no MLE Combine sharing"]["area_vs_base"] > 1.005
+    assert by_name["dedicated tree units (no MTU sharing)"]["area_vs_base"] > 1.01
+    assert by_name["no on-chip MLE compression"]["area_vs_base"] > 1.2
+    # Performance features: removing them must not make the design faster.
+    assert by_name["serial bucket aggregation (SZKP)"]["runtime_vs_base"] >= 1.0
+    assert by_name["stream all MLEs from HBM"]["runtime_vs_base"] >= 1.0
+
+
+def test_ablation_sparse_msm(benchmark):
+    """Sparse-MSM handling of the witness commitments vs treating them as dense."""
+
+    def run():
+        scheduler = ProtocolScheduler(BASE)
+        sparse_step = scheduler.witness_commit_step(WORKLOAD)
+        dense_workload = WorkloadModel(
+            num_vars=WORKLOAD.num_vars,
+            dense_fraction=1.0,
+            one_fraction=0.0,
+            zero_fraction=0.0,
+        )
+        dense_step = scheduler.witness_commit_step(dense_workload)
+        return sparse_step.total_cycles, dense_step.total_cycles
+
+    sparse_cycles, dense_cycles = benchmark(run)
+    print()
+    print(
+        f"witness commits: sparse {sparse_cycles / 1e6:.2f} Mcycles vs "
+        f"all-dense {dense_cycles / 1e6:.2f} Mcycles "
+        f"({dense_cycles / sparse_cycles:.1f}x more without sparse handling)"
+    )
+    benchmark.extra_info["sparse_cycles"] = sparse_cycles
+    benchmark.extra_info["dense_cycles"] = dense_cycles
+    assert dense_cycles > 1.5 * sparse_cycles

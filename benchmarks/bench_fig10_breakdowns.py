@@ -1,0 +1,49 @@
+"""Figure 10: area and runtime breakdowns of selected Pareto points A-D.
+
+The paper picks the highest-performing Pareto design for each of four
+bandwidth levels (512 GB/s ... 4 TB/s) and shows that (a) the SumCheck area
+share grows with bandwidth, and (b) the SumCheck-related runtime share
+shrinks as bandwidth increases.
+"""
+
+from _helpers import PARETO_SWEEP_OVERRIDES, format_table
+
+BANDWIDTH_LABELS = {512.0: "A", 1024.0: "B", 2048.0: "C", 4096.0: "D"}
+
+
+def _breakdowns(explorer):
+    points = explorer.sweep(overrides=PARETO_SWEEP_OVERRIDES, max_points=None)
+    fastest = explorer.fastest_per_bandwidth(points)
+    rows = []
+    for bandwidth, label in BANDWIDTH_LABELS.items():
+        point = fastest[bandwidth]
+        area = point.report.area_breakdown_mm2
+        total_area = sum(area.values())
+        fractions = point.report.step_fractions()
+        rows.append(
+            {
+                "point": label,
+                "bandwidth_gbs": bandwidth,
+                "runtime_ms": point.runtime_ms,
+                "area_mm2": total_area,
+                "sumcheck_area_pct": 100 * (area["SumCheck"] + area["MLE Update"]) / total_area,
+                "msm_area_pct": 100 * area["MSM Unit"] / total_area,
+                "sumcheck_runtime_pct": 100
+                * (fractions["gate_identity"] + fractions["poly_open"] * 0.3),
+                "wire_identity_pct": 100 * fractions["wire_identity"],
+            }
+        )
+    return rows
+
+
+def test_fig10_pareto_point_breakdowns(benchmark, explorer_2_20):
+    rows = benchmark.pedantic(_breakdowns, args=(explorer_2_20,), rounds=1, iterations=1)
+    print()
+    print(format_table(rows, "Figure 10: area/runtime breakdown at Pareto points A-D"))
+    benchmark.extra_info["rows"] = rows
+    # Runtime decreases monotonically from A to D (more bandwidth).
+    runtimes = [r["runtime_ms"] for r in rows]
+    assert runtimes == sorted(runtimes, reverse=True)
+    # The MSM unit's absolute area is roughly unchanged across the points
+    # while total runtime shrinks -- its share of runtime grows.
+    assert rows[0]["msm_area_pct"] > 20

@@ -1,0 +1,93 @@
+"""Figure 11: MSM and SumCheck scaling with PE count and memory bandwidth.
+
+The paper's finding: MSMs are compute-bound (speedup scales with PEs, not
+bandwidth), while SumChecks are memory-bound (speedup scales with PEs only
+until the available bandwidth saturates).  Speedups are normalized to the
+1-PE / 512 GB/s configuration, as in the figure.
+"""
+
+from dataclasses import replace
+
+from repro.core import WorkloadModel, ZkSpeedConfig
+from repro.core.scheduler import ProtocolScheduler
+
+from _helpers import format_table
+
+WORKLOAD = WorkloadModel(num_vars=20)
+BANDWIDTHS = (512.0, 1024.0, 2048.0, 4096.0)
+PE_COUNTS = (1, 2, 4, 8, 16)
+
+
+def _msm_time(config: ZkSpeedConfig) -> float:
+    scheduler = ProtocolScheduler(config)
+    witness = scheduler.witness_commit_step(WORKLOAD)
+    wire = scheduler.wire_identity_step(WORKLOAD)
+    opening = scheduler.polynomial_opening_step(WORKLOAD)
+    msm_phases = [witness.phases, wire.phases[:1], opening.phases[-1:]]
+    total = 0.0
+    for phases in msm_phases:
+        for phase in phases:
+            total += phase.latency(config.bandwidth_bytes_per_cycle)
+    return total
+
+
+def _sumcheck_time(config: ZkSpeedConfig) -> float:
+    scheduler = ProtocolScheduler(config)
+    gate = scheduler.gate_identity_step(WORKLOAD)
+    wire = scheduler.wire_identity_step(WORKLOAD)
+    opening = scheduler.polynomial_opening_step(WORKLOAD)
+    total = 0.0
+    for step, wanted in ((gate, "sumcheck_rounds"), (wire, "permcheck_rounds"), (opening, "opencheck_rounds")):
+        for phase in step.phases:
+            if phase.name == wanted:
+                total += phase.latency(config.bandwidth_bytes_per_cycle)
+    return total
+
+
+def _scaling_rows():
+    base = ZkSpeedConfig.paper_default()
+    msm_base = _msm_time(replace(base, msm_pes_per_core=1, bandwidth_gbs=512.0))
+    sumcheck_base = _sumcheck_time(replace(base, sumcheck_pes=1, bandwidth_gbs=512.0))
+    rows = []
+    for bandwidth in BANDWIDTHS:
+        for pes in PE_COUNTS:
+            msm_time = _msm_time(
+                replace(base, msm_pes_per_core=pes, bandwidth_gbs=bandwidth)
+            )
+            sumcheck_time = _sumcheck_time(
+                replace(base, sumcheck_pes=pes, bandwidth_gbs=bandwidth)
+            )
+            rows.append(
+                {
+                    "bandwidth_gbs": bandwidth,
+                    "pes": pes,
+                    "msm_speedup": msm_base / msm_time,
+                    "sumcheck_speedup": sumcheck_base / sumcheck_time,
+                }
+            )
+    return rows
+
+
+def test_fig11_pe_and_bandwidth_scaling(benchmark):
+    rows = benchmark(_scaling_rows)
+    print()
+    print(format_table(rows, "Figure 11: speedup vs PEs and bandwidth (normalized to 1 PE @ 512 GB/s)"))
+    benchmark.extra_info["rows"] = rows
+    by_key = {(r["bandwidth_gbs"], r["pes"]): r for r in rows}
+
+    # MSMs are compute-bound: 16 PEs give a large speedup, and bandwidth
+    # hardly changes it.
+    assert by_key[(512.0, 16)]["msm_speedup"] > 8.0
+    msm_at_16 = [by_key[(bw, 16)]["msm_speedup"] for bw in BANDWIDTHS]
+    assert max(msm_at_16) / min(msm_at_16) < 1.3
+
+    # SumChecks are memory-bound: at 512 GB/s extra PEs saturate quickly,
+    # while at 4 TB/s the same PE scaling keeps paying off.
+    assert by_key[(512.0, 16)]["sumcheck_speedup"] < 3.0
+    assert by_key[(4096.0, 16)]["sumcheck_speedup"] > 2 * by_key[(512.0, 16)]["sumcheck_speedup"]
+    # And adding bandwidth alone (at 16 PEs) helps SumCheck substantially.
+    assert (
+        by_key[(4096.0, 16)]["sumcheck_speedup"]
+        > 1.8 * by_key[(1024.0, 16)]["sumcheck_speedup"] / 1.0
+        or by_key[(4096.0, 16)]["sumcheck_speedup"] > 4.0
+    )

@@ -1,0 +1,57 @@
+"""Figure 12: runtime breakdown on the CPU (a) and on zkSpeed (b) at 2^20 gates.
+
+CPU percentages come from the calibrated baseline's kernel fractions;
+zkSpeed percentages come from the simulated step latencies of the highlighted
+design.
+"""
+
+from repro.core import WorkloadModel
+
+from _helpers import format_table
+
+PAPER_ZKSPEED_FRACTIONS = {
+    "witness_commits": 7.8,
+    "gate_identity": 8.2,
+    "wire_identity": 48.5,
+    "batch_and_poly_open": 35.4,
+}
+
+
+def _breakdowns(paper_chip, cpu_baseline):
+    cpu_rows = [
+        {"kernel": kernel, "cpu_runtime_ms": runtime, "cpu_pct": 100 * runtime / cpu_baseline.runtime_ms(20)}
+        for kernel, runtime in cpu_baseline.kernel_breakdown_ms(20).items()
+    ]
+    report = paper_chip.simulate(WorkloadModel(num_vars=20))
+    fractions = report.step_fractions()
+    zk_rows = []
+    for step in report.steps:
+        zk_rows.append(
+            {
+                "step": step.name,
+                "zkspeed_ms": paper_chip.tech.cycles_to_ms(step.total_cycles),
+                "zkspeed_pct": 100 * fractions[step.name],
+                "memory_bound": step.is_memory_bound,
+            }
+        )
+    return cpu_rows, zk_rows
+
+
+def test_fig12_runtime_breakdowns(benchmark, paper_chip, cpu_baseline):
+    cpu_rows, zk_rows = benchmark(_breakdowns, paper_chip, cpu_baseline)
+    print()
+    print(format_table(cpu_rows, "Figure 12a: CPU runtime breakdown at 2^20"))
+    print(format_table(zk_rows, "Figure 12b: zkSpeed runtime breakdown at 2^20"))
+    print(f"paper zkSpeed step percentages: {PAPER_ZKSPEED_FRACTIONS}")
+    benchmark.extra_info["cpu_rows"] = cpu_rows
+    benchmark.extra_info["zkspeed_rows"] = zk_rows
+
+    zk_by_name = {r["step"]: r["zkspeed_pct"] for r in zk_rows}
+    # Wire Identity dominates zkSpeed runtime, as in the paper (48.5%).
+    assert max(zk_by_name, key=zk_by_name.get) == "wire_identity"
+    combined_tail = zk_by_name["batch_evaluations"] + zk_by_name["poly_open"]
+    # Batch Evals & Poly Open together are the second-largest chunk.
+    assert combined_tail > zk_by_name["gate_identity"]
+    # On the CPU, PermCheck dense MSMs dominate (43.6%).
+    cpu_by_name = {r["kernel"]: r["cpu_pct"] for r in cpu_rows}
+    assert max(cpu_by_name, key=cpu_by_name.get) == "PermCheck Dense MSMs"

@@ -1,0 +1,67 @@
+"""Figure 13: per-unit utilization and compute-area share of the chosen design.
+
+The paper reports the MSM unit as both the largest (64.6% of compute area)
+and the most-utilized unit, with several small units (SHA3, Construct N&D)
+being rarely used yet essential for end-to-end speedup.
+"""
+
+from repro.core import WorkloadModel
+
+from _helpers import format_table
+
+PAPER_AREA_SHARE = {
+    "msm": 64.6,
+    "sumcheck": 15.26,
+    "mle_update": 3.57,
+    "multifunction_tree": 7.51,
+    "construct_nd": 0.83,
+    "fracmle": 1.17,
+    "mle_combine": 5.85,
+    "sha3": 0.0,
+}
+
+UNIT_TO_AREA_KEY = {
+    "msm": "MSM Unit",
+    "sumcheck": "SumCheck",
+    "mle_update": "MLE Update",
+    "multifunction_tree": "Multifunction Tree",
+    "construct_nd": "Construct N&D",
+    "fracmle": "FracMLE",
+    "mle_combine": "MLE Combine",
+    "sha3": "SHA3",
+}
+
+
+def _utilization_rows(paper_chip):
+    report = paper_chip.simulate(WorkloadModel(num_vars=20))
+    unit_areas = paper_chip.unit_area_breakdown_mm2()
+    compute_area = sum(unit_areas.values())
+    rows = []
+    for unit, area_key in UNIT_TO_AREA_KEY.items():
+        rows.append(
+            {
+                "unit": unit,
+                "utilization_pct": 100 * report.utilization.get(unit, 0.0),
+                "area_share_pct": 100 * unit_areas[area_key] / compute_area,
+                "paper_area_share_pct": PAPER_AREA_SHARE[unit],
+            }
+        )
+    return rows
+
+
+def test_fig13_unit_utilization(benchmark, paper_chip):
+    rows = benchmark(_utilization_rows, paper_chip)
+    print()
+    print(format_table(rows, "Figure 13: unit utilization and compute-area share (2^20)"))
+    benchmark.extra_info["rows"] = rows
+    by_unit = {r["unit"]: r for r in rows}
+    # The MSM unit dominates both area and utilization.
+    assert by_unit["msm"]["area_share_pct"] > 50
+    busiest = max(rows, key=lambda r: r["utilization_pct"])
+    assert busiest["unit"] == "msm"
+    # SHA3 is tiny and rarely used, yet present.
+    assert by_unit["sha3"]["area_share_pct"] < 0.1
+    assert by_unit["sha3"]["utilization_pct"] < 5.0
+    # Area shares track the paper's within a few points for the big units.
+    assert abs(by_unit["msm"]["area_share_pct"] - 64.6) < 10
+    assert abs(by_unit["sumcheck"]["area_share_pct"] - 15.26) < 6

@@ -1,0 +1,60 @@
+"""Figure 5: MSM bucket-aggregation latency, SZKP serial vs zkSpeed grouped.
+
+The paper reports an average latency reduction of ~92% across window sizes
+7-10 with a group size of 16.
+"""
+
+from repro.core.units.msm_unit import bucket_aggregation_cycles
+
+from _helpers import format_table
+
+
+def _sweep_windows():
+    rows = []
+    reductions = []
+    for window in (7, 8, 9, 10):
+        serial = bucket_aggregation_cycles(window, scheme="serial")
+        grouped = bucket_aggregation_cycles(window, scheme="grouped", group_size=16)
+        reduction = 1.0 - grouped / serial
+        reductions.append(reduction)
+        rows.append(
+            {
+                "window_bits": window,
+                "szkp_serial_cycles": serial,
+                "zkspeed_grouped_cycles": grouped,
+                "latency_reduction_pct": 100.0 * reduction,
+            }
+        )
+    return rows, 100.0 * sum(reductions) / len(reductions)
+
+
+def test_fig5_bucket_aggregation_latency(benchmark):
+    rows, average_reduction = benchmark(_sweep_windows)
+    print()
+    print(format_table(rows, "Figure 5: bucket aggregation latency (cycles)"))
+    print(f"average latency reduction: {average_reduction:.1f}%   (paper: ~92%)")
+    benchmark.extra_info["rows"] = rows
+    benchmark.extra_info["average_reduction_pct"] = average_reduction
+    assert average_reduction > 80.0
+
+
+def test_fig5_group_size_choice(benchmark):
+    """The paper selects a group size of 16; nearby sizes should not be better
+    by a large margin (it is a knee point, not a cliff)."""
+
+    def sweep_groups():
+        return {
+            group: sum(
+                bucket_aggregation_cycles(w, scheme="grouped", group_size=group)
+                for w in (7, 8, 9, 10)
+            )
+            for group in (4, 8, 16, 32, 64)
+        }
+
+    totals = benchmark(sweep_groups)
+    print()
+    print(format_table(
+        [{"group_size": g, "total_cycles_w7_to_w10": c} for g, c in totals.items()],
+        "Figure 5 ablation: aggregation group size",
+    ))
+    assert totals[16] <= totals[64]

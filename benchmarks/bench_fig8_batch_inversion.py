@@ -1,0 +1,39 @@
+"""Figure 8: FracMLE batched-inversion design sweep.
+
+Latency imbalance (between the partial-product chain and the multiplier tree
+plus BEEA inversion) and total area, both as a function of the batch size.
+The paper selects b = 64, where both curves reach their minimum.
+"""
+
+from repro.core.units.fracmle_unit import batch_inversion_tradeoff
+
+from _helpers import format_table
+
+
+def _sweep_batch_sizes():
+    rows = []
+    for log_batch in range(1, 9):
+        batch = 1 << log_batch
+        design = batch_inversion_tradeoff(batch)
+        rows.append(
+            {
+                "batch_size": batch,
+                "latency_imbalance_cycles": design.latency_imbalance,
+                "total_area_mm2": design.area_mm2,
+                "inverse_units": design.num_inverse_units,
+                "batch_latency_cycles": design.batch_latency,
+            }
+        )
+    return rows
+
+
+def test_fig8_batch_inversion_tradeoff(benchmark):
+    rows = benchmark(_sweep_batch_sizes)
+    print()
+    print(format_table(rows, "Figure 8: batched inversion latency imbalance and area"))
+    print("paper: both curves are minimized at batch size 64")
+    benchmark.extra_info["rows"] = rows
+    best_latency = min(rows, key=lambda r: r["latency_imbalance_cycles"])
+    best_area = min(rows, key=lambda r: r["total_area_mm2"])
+    assert best_latency["batch_size"] == 64
+    assert best_area["batch_size"] in (32, 64, 128)

@@ -1,0 +1,68 @@
+"""Figure 9: Pareto frontiers (runtime vs area) at 2^20 gates, per bandwidth.
+
+Sweeps a representative subset of the Table 2 design space for each of the
+seven bandwidth settings, extracts per-bandwidth Pareto curves and the global
+Pareto curve, and checks the paper's qualitative findings:
+
+* HBM3-scale bandwidths (>= 1 TB/s) extend the frontier to designs that are
+  about 2x faster than the best 512 GB/s designs once area exceeds ~300 mm^2;
+* the fastest global-Pareto designs achieve >700x speedup over the CPU.
+"""
+
+from _helpers import PARETO_SWEEP_OVERRIDES, format_table
+
+
+def _sweep(explorer):
+    points = explorer.sweep(overrides=PARETO_SWEEP_OVERRIDES, max_points=None)
+    per_bw = explorer.per_bandwidth_pareto(points)
+    global_pareto = explorer.global_pareto(points)
+    return points, per_bw, global_pareto
+
+
+def test_fig9_pareto_frontiers(benchmark, explorer_2_20, cpu_baseline):
+    points, per_bw, global_pareto = benchmark.pedantic(
+        _sweep, args=(explorer_2_20,), rounds=1, iterations=1
+    )
+    rows = []
+    for bandwidth, curve in per_bw.items():
+        fastest = min(curve, key=lambda p: p.runtime_ms)
+        rows.append(
+            {
+                "bandwidth_gbs": bandwidth,
+                "pareto_points": len(curve),
+                "fastest_runtime_ms": fastest.runtime_ms,
+                "fastest_area_mm2": fastest.area_mm2,
+                "speedup_vs_cpu": cpu_baseline.runtime_ms(20) / fastest.runtime_ms,
+            }
+        )
+    print()
+    print(format_table(rows, "Figure 9: per-bandwidth Pareto frontier summaries (2^20)"))
+    global_rows = [
+        {
+            "runtime_ms": p.runtime_ms,
+            "area_mm2": p.area_mm2,
+            "bandwidth_gbs": p.bandwidth_gbs,
+            "config": p.config.describe(),
+        }
+        for p in global_pareto
+    ]
+    print(format_table(global_rows, "Figure 9: global Pareto-optimal designs"))
+    benchmark.extra_info["per_bandwidth"] = rows
+    benchmark.extra_info["num_points"] = len(points)
+
+    # Paper finding 1: high-bandwidth designs beat 512 GB/s designs by ~2x in
+    # the high-area regime.
+    fastest_512 = min(p.runtime_ms for p in per_bw[512.0])
+    fastest_high = min(
+        min(p.runtime_ms for p in per_bw[bw]) for bw in (2048.0, 4096.0)
+    )
+    assert fastest_512 / fastest_high > 1.5
+
+    # Paper finding 2: >700x speedup over CPU for the fastest designs.
+    best = min(global_pareto, key=lambda p: p.runtime_ms)
+    assert cpu_baseline.runtime_ms(20) / best.runtime_ms > 700
+
+    # Paper finding 3: low-bandwidth (DDR-class) designs remain viable --
+    # they appear on Pareto curves, just in the slower regime.
+    assert len(per_bw[64.0]) >= 1
+    assert min(p.runtime_ms for p in per_bw[64.0]) < 200.0

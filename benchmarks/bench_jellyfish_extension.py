@@ -1,0 +1,42 @@
+"""Jellyfish extension study (Section 8 of the paper, future work).
+
+Sweeps the gate arity of a Jellyfish-style re-encoding of a 2^20-gate
+baseline and estimates the effect on total MLE footprint and zkSpeed runtime.
+The paper conjectures that the improved table-count / table-size ratio can
+improve runtime given sufficient bandwidth.
+"""
+
+from repro.core.jellyfish import arity_sweep
+
+from _helpers import format_table
+
+
+def _sweep():
+    rows = []
+    for estimate in arity_sweep(baseline_num_vars=20, arities=(2, 3, 4, 6, 8)):
+        encoding = estimate.encoding
+        rows.append(
+            {
+                "arity": encoding.arity,
+                "num_vars": encoding.num_vars,
+                "mle_tables": encoding.num_mle_tables,
+                "footprint_vs_arity2": estimate.footprint_ratio,
+                "runtime_ms": estimate.jellyfish_runtime_ms,
+                "runtime_vs_arity2": estimate.runtime_ratio,
+            }
+        )
+    return rows
+
+
+def test_jellyfish_arity_sweep(benchmark):
+    rows = benchmark(_sweep)
+    print()
+    print(format_table(rows, "Jellyfish extension: gate-arity sweep at 2^20 baseline"))
+    benchmark.extra_info["rows"] = rows
+    # Total MLE footprint shrinks substantially at high arity (the paper's
+    # observation); the trend is not strictly monotone because the gate-count
+    # reduction quantizes to powers of two.
+    footprints = [r["footprint_vs_arity2"] for r in rows]
+    assert footprints[-1] < 0.5 * footprints[0]
+    # A moderate arity improves estimated runtime over the arity-2 baseline.
+    assert any(r["runtime_vs_arity2"] < 1.0 for r in rows[1:])

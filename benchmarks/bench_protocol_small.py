@@ -1,0 +1,93 @@
+"""Functional-layer benchmarks: proving small instances end to end.
+
+The paper's workload sizes (2^17 .. 2^24) are far beyond what pure-Python
+field arithmetic can prove in reasonable time; the architectural simulator
+covers those.  These benchmarks time the *functional* prover's kernels at
+laptop scale so that regressions in the cryptographic layer are visible.
+"""
+
+import random
+
+import pytest
+
+from repro.circuits import mock_circuit
+from repro.fields import Fr
+from repro.mle import MultilinearPolynomial, VirtualPolynomial
+from repro.pcs import commit, open_at_point, setup
+from repro.protocol import preprocess, prove, verify
+from repro.sumcheck import prove_sumcheck
+from repro.transcript import Transcript
+
+
+@pytest.fixture(scope="module")
+def srs6():
+    return setup(6, seed=1234)
+
+
+@pytest.fixture(scope="module")
+def keys6(srs6):
+    circuit = mock_circuit(6, seed=3)
+    return preprocess(circuit, srs6)
+
+
+def test_bench_msm_commit(benchmark, srs6):
+    rng = random.Random(0)
+    mle = MultilinearPolynomial.random(6, rng)
+    result = benchmark(commit, srs6.prover_key, mle)
+    assert not result.point.is_identity()
+
+
+def test_bench_sparse_commit(benchmark, srs6):
+    rng = random.Random(1)
+    values = [
+        0 if rng.random() < 0.45 else (1 if rng.random() < 0.82 else rng.randrange(1 << 200))
+        for _ in range(64)
+    ]
+    mle = MultilinearPolynomial.from_ints(6, values)
+    result = benchmark(commit, srs6.prover_key, mle, sparse=True)
+    assert not result.point.is_identity()
+
+
+def test_bench_sumcheck_prover(benchmark):
+    rng = random.Random(2)
+    mles = [MultilinearPolynomial.random(8, rng) for _ in range(4)]
+    poly = VirtualPolynomial(8)
+    poly.add_product(mles[:3])
+    poly.add_product(mles[1:])
+    poly.add_product([mles[0], mles[3]], Fr(5))
+
+    def run():
+        return prove_sumcheck(poly, Transcript())
+
+    output = benchmark(run)
+    assert len(output.proof.rounds) == 8
+
+
+def test_bench_pcs_opening(benchmark, srs6):
+    rng = random.Random(3)
+    mle = MultilinearPolynomial.random(6, rng)
+    point = [Fr.random(rng) for _ in range(6)]
+
+    def run():
+        return open_at_point(srs6.prover_key, mle, point)
+
+    value, proof = benchmark(run)
+    assert value == mle.evaluate(point)
+    assert len(proof.quotients) == 6
+
+
+def test_bench_full_prover_2_6(benchmark, keys6):
+    pk, vk = keys6
+
+    def run():
+        return prove(pk)
+
+    proof = benchmark.pedantic(run, rounds=2, iterations=1, warmup_rounds=0)
+    assert verify(vk, proof)
+
+
+def test_bench_verifier_2_6(benchmark, keys6):
+    pk, vk = keys6
+    proof = prove(pk)
+    result = benchmark(verify, vk, proof)
+    assert result

@@ -1,0 +1,39 @@
+"""Table 1: modmuls, memory footprint and arithmetic intensity per kernel.
+
+Regenerates the twelve-kernel profile at 2^20 gates and compares it against
+the paper's published values (stored in ``repro.core.opcounts.PAPER_TABLE1``).
+"""
+
+from repro.core import WorkloadModel, protocol_operation_counts
+from repro.core.opcounts import PAPER_TABLE1
+
+from _helpers import format_table
+
+
+def _table1_rows():
+    profiles = protocol_operation_counts(WorkloadModel(num_vars=20))
+    rows = []
+    for profile in profiles:
+        paper_modmuls, paper_in, paper_out = PAPER_TABLE1[profile.name]
+        rows.append(
+            {
+                "kernel": profile.name,
+                "modmuls_M": profile.modmuls / 1e6,
+                "paper_modmuls_M": paper_modmuls,
+                "input_MB": profile.input_bytes / 1e6,
+                "paper_input_MB": paper_in,
+                "output_MB": profile.output_bytes / 1e6,
+                "paper_output_MB": paper_out,
+                "arith_intensity": profile.arithmetic_intensity,
+            }
+        )
+    return rows
+
+
+def test_table1_kernel_profiles(benchmark):
+    rows = benchmark(_table1_rows)
+    print()
+    print(format_table(rows, "Table 1: kernel operation counts at 2^20 gates"))
+    benchmark.extra_info["rows"] = rows
+    # The defining property of the table: MSM kernels lead the ranking.
+    assert rows[0]["kernel"] in {"Poly Open MSMs", "Wire Identity MSMs", "Witness MSMs"}

@@ -1,0 +1,53 @@
+"""Table 3: end-to-end runtimes and speedups on the five real-world workloads.
+
+The paper reports CPU and zkSpeed proving times for Zcash (2^17), Auction
+(2^20), Rescue-Hash (2^21), Zexe recursion (2^22) and a 10-transaction rollup
+(2^23), with speedups of 720-862x and a 801x geomean for the fixed design.
+"""
+
+import math
+
+from repro.core import WorkloadModel
+
+from _helpers import format_table
+
+PAPER_ROWS = {
+    "Zcash": (17, 1429.0, 1.984),
+    "Auction": (20, 8619.0, 11.405),
+    "2^12 Rescue-Hash Invocations": (21, 18637.0, 22.082),
+    "Zexe's Recursive Circuit": (22, 37469.0, 43.451),
+    "Rollup of 10 Pvt Tx": (23, 74052.0, 86.181),
+}
+
+
+def _run_workloads(paper_chip, cpu_baseline):
+    rows = []
+    speedups = []
+    for name, (num_vars, paper_cpu_ms, paper_zk_ms) in PAPER_ROWS.items():
+        report = paper_chip.simulate(WorkloadModel(num_vars=num_vars, name=name))
+        cpu_ms = cpu_baseline.runtime_ms(num_vars)
+        speedup = cpu_ms / report.total_runtime_ms
+        speedups.append(speedup)
+        rows.append(
+            {
+                "workload": name,
+                "size": f"2^{num_vars}",
+                "cpu_ms": cpu_ms,
+                "zkspeed_ms": report.total_runtime_ms,
+                "paper_zkspeed_ms": paper_zk_ms,
+                "speedup": speedup,
+                "paper_speedup": paper_cpu_ms / paper_zk_ms,
+            }
+        )
+    geomean = math.exp(sum(math.log(s) for s in speedups) / len(speedups))
+    return rows, geomean
+
+
+def test_table3_workload_speedups(benchmark, paper_chip, cpu_baseline):
+    rows, geomean = benchmark(_run_workloads, paper_chip, cpu_baseline)
+    print()
+    print(format_table(rows, "Table 3: real-world workload runtimes"))
+    print(f"geomean speedup: {geomean:.0f}x   (paper: 801x geomean, 720-862x per workload)")
+    benchmark.extra_info["geomean_speedup"] = geomean
+    benchmark.extra_info["rows"] = rows
+    assert 600 <= geomean <= 1000

@@ -1,0 +1,56 @@
+"""Table 5: area and power breakdown of the highlighted zkSpeed design.
+
+The design is sized for the largest Table 3 workload (2^23 gates), which sets
+the on-chip MLE SRAM capacity.
+"""
+
+from _helpers import format_table
+
+PAPER_TABLE5 = {
+    "MSM Unit": (105.64, 76.19),
+    "SumCheck": (24.96, 5.38),
+    "Construct N&D": (1.35, 0.19),
+    "FracMLE": (1.92, 0.25),
+    "MLE Combine": (9.56, 0.34),
+    "MLE Update": (5.84, 1.13),
+    "Multifunction Tree": (12.28, 4.16),
+    "SRAM": (143.73, 19.60),
+    "HBM PHY": (59.20, 63.60),
+}
+
+
+def _breakdown(paper_chip):
+    area = paper_chip.area_breakdown_mm2(num_vars=23)
+    power = paper_chip.power_breakdown_w(num_vars=23)
+    rows = []
+    for name in area:
+        paper_area, paper_power = PAPER_TABLE5.get(name, (None, None))
+        rows.append(
+            {
+                "module": name,
+                "area_mm2": area[name],
+                "paper_area_mm2": paper_area if paper_area is not None else "-",
+                "power_w": power.get(name, 0.0),
+                "paper_power_w": paper_power if paper_power is not None else "-",
+            }
+        )
+    rows.append(
+        {
+            "module": "Total",
+            "area_mm2": sum(area.values()),
+            "paper_area_mm2": 366.46,
+            "power_w": sum(power.values()),
+            "paper_power_w": 170.88,
+        }
+    )
+    return rows
+
+
+def test_table5_area_and_power(benchmark, paper_chip):
+    rows = benchmark(_breakdown, paper_chip)
+    print()
+    print(format_table(rows, "Table 5: zkSpeed area and power breakdown"))
+    benchmark.extra_info["rows"] = rows
+    total = next(r for r in rows if r["module"] == "Total")
+    assert abs(total["area_mm2"] - 366.46) / 366.46 < 0.15
+    assert abs(total["power_w"] - 170.88) / 170.88 < 0.20

@@ -1,0 +1,35 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper.  Results are
+attached to the pytest-benchmark ``extra_info`` dictionary (so they appear in
+``--benchmark-json`` output) and printed as plain-text tables for eyeballing
+against the paper; EXPERIMENTS.md records the comparison.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+sys.path.insert(0, str(Path(__file__).resolve().parent))
+
+from repro.core import CpuBaseline, WorkloadModel, ZkSpeedChip, ZkSpeedConfig
+from repro.core.dse import DesignSpaceExplorer
+
+
+@pytest.fixture(scope="session")
+def paper_chip():
+    """The highlighted zkSpeed design (Table 5 / Section 7.4)."""
+    return ZkSpeedChip(ZkSpeedConfig.paper_default())
+
+
+@pytest.fixture(scope="session")
+def cpu_baseline():
+    return CpuBaseline()
+
+
+@pytest.fixture(scope="session")
+def explorer_2_20():
+    return DesignSpaceExplorer(WorkloadModel(num_vars=20))

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Simulate the zkSpeed accelerator on the paper's workloads (Table 3 / 5).
+
+Uses the architectural model to reproduce the headline results: per-workload
+runtimes and speedups over the CPU baseline, the area/power breakdown of the
+highlighted 366 mm^2 design, per-step runtime fractions (Figure 12b) and unit
+utilizations (Figure 13).
+
+Run with:  python examples/accelerator_simulation.py
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.core import CpuBaseline, WorkloadModel, ZkSpeedChip, ZkSpeedConfig
+
+
+def main() -> None:
+    config = ZkSpeedConfig.paper_default()
+    chip = ZkSpeedChip(config)
+    cpu = CpuBaseline()
+
+    print("== zkSpeed configuration ==")
+    print(" ", config.describe())
+
+    print("\n== Table 3: workload runtimes ==")
+    print(f"{'workload':<32s} {'size':>6s} {'CPU (ms)':>12s} {'zkSpeed (ms)':>13s} {'speedup':>9s}")
+    speedups = []
+    for workload in WorkloadModel.paper_table3():
+        report = chip.simulate(workload)
+        cpu_ms = cpu.runtime_ms(workload.num_vars)
+        speedup = cpu_ms / report.total_runtime_ms
+        speedups.append(speedup)
+        print(
+            f"{workload.name:<32s} 2^{workload.num_vars:<4d} {cpu_ms:>12.0f} "
+            f"{report.total_runtime_ms:>13.2f} {speedup:>8.0f}x"
+        )
+    geomean = math.exp(sum(math.log(s) for s in speedups) / len(speedups))
+    print(f"geomean speedup: {geomean:.0f}x   (paper: 801x)")
+
+    print("\n== Table 5: area and power of the highlighted design (sized for 2^23) ==")
+    area = chip.area_breakdown_mm2(num_vars=23)
+    power = chip.power_breakdown_w(num_vars=23)
+    for module in area:
+        print(f"  {module:<22s} {area[module]:>8.2f} mm^2   {power.get(module, 0.0):>7.2f} W")
+    print(f"  {'Total':<22s} {sum(area.values()):>8.2f} mm^2   {sum(power.values()):>7.2f} W")
+
+    print("\n== Figure 12b: runtime breakdown at 2^20 ==")
+    report = chip.simulate(WorkloadModel(num_vars=20))
+    for step in report.steps:
+        fraction = report.step_fractions()[step.name]
+        bound = "memory-bound" if step.is_memory_bound else "compute-bound"
+        print(
+            f"  {step.name:<20s} {chip.tech.cycles_to_ms(step.total_cycles):>7.2f} ms "
+            f"({100 * fraction:>4.1f}%)  [{bound}]"
+        )
+
+    print("\n== Figure 13: unit utilization at 2^20 ==")
+    for unit, utilization in sorted(report.utilization.items(), key=lambda kv: -kv[1]):
+        print(f"  {unit:<20s} {100 * utilization:>5.1f}%")
+
+
+if __name__ == "__main__":
+    main()

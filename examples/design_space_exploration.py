@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Design-space exploration: sweep zkSpeed configurations and pick a design.
+
+Reproduces the Figure 9 methodology at a reduced sweep size: evaluate a grid
+of configurations over the Table 2 knobs for several off-chip bandwidths,
+extract per-bandwidth and global Pareto frontiers, and select (a) the fastest
+design under an area budget and (b) the iso-CPU-area design used for the
+Table 3 comparison.
+
+Run with:  python examples/design_space_exploration.py [log2_gates]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.core import CpuBaseline, DesignSpaceExplorer, WorkloadModel
+
+
+SWEEP = {
+    "msm_cores": [1, 2],
+    "msm_pes_per_core": [2, 4, 8, 16],
+    "msm_window_bits": [8, 9],
+    "msm_points_per_pe": [2048],
+    "fracmle_pes": [1],
+    "sumcheck_pes": [1, 2, 4, 8],
+    "mle_update_pes": [4, 11],
+    "mle_update_modmuls_per_pe": [4],
+    "bandwidth_gbs": [256.0, 512.0, 1024.0, 2048.0, 4096.0],
+}
+
+
+def main() -> None:
+    log_gates = int(sys.argv[1]) if len(sys.argv) > 1 else 20
+    workload = WorkloadModel(num_vars=log_gates)
+    explorer = DesignSpaceExplorer(workload)
+    cpu = CpuBaseline()
+
+    print(f"== Design-space exploration at 2^{log_gates} gates ==")
+    points = explorer.sweep(overrides=SWEEP, max_points=None)
+    print(f"evaluated {len(points)} configurations")
+
+    print("\nper-bandwidth Pareto frontiers (fastest point each):")
+    for bandwidth, curve in explorer.per_bandwidth_pareto(points).items():
+        fastest = min(curve, key=lambda p: p.runtime_ms)
+        print(
+            f"  {bandwidth:>6.0f} GB/s: {len(curve):>3d} Pareto points, fastest "
+            f"{fastest.runtime_ms:7.2f} ms @ {fastest.area_mm2:6.1f} mm^2 "
+            f"({explorer.speedup(fastest):5.0f}x over CPU)"
+        )
+
+    print("\nglobal Pareto frontier:")
+    for point in explorer.global_pareto(points):
+        print(
+            f"  {point.runtime_ms:8.2f} ms  {point.area_mm2:7.1f} mm^2  "
+            f"{point.bandwidth_gbs:6.0f} GB/s  {point.config.describe()}"
+        )
+
+    budget = 366.0
+    best = explorer.best_under_area(points, area_budget_mm2=budget)
+    print(f"\nfastest design under {budget:.0f} mm^2:")
+    if best is not None:
+        print(f"  {best.runtime_ms:.2f} ms @ {best.area_mm2:.1f} mm^2  -> {best.config.describe()}")
+        print(f"  speedup over CPU: {explorer.speedup(best):.0f}x")
+
+    iso = explorer.best_under_area(points, area_budget_mm2=cpu.die_area_mm2, use_compute_area=True)
+    print(f"\niso-CPU-compute-area design (<= {cpu.die_area_mm2:.0f} mm^2 compute):")
+    if iso is not None:
+        print(f"  {iso.runtime_ms:.2f} ms @ {iso.compute_area_mm2:.1f} mm^2 compute  "
+              f"-> {iso.config.describe()}")
+        print(f"  speedup over CPU: {explorer.speedup(iso):.0f}x")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Setup shim.
+
+The environment used for offline evaluation ships setuptools without the
+``wheel`` package, so PEP 660 editable installs are unavailable; this shim
+lets ``pip install -e . --no-build-isolation`` fall back to the legacy
+``setup.py develop`` path.  All project metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,18 @@
+"""zkSpeed: a HyperPlonk proving stack and accelerator model.
+
+Reproduction of "Need for zkSpeed: Accelerating HyperPlonk for Zero-Knowledge
+Proofs" (ISCA 2025).  The package is organized in two layers:
+
+* the functional HyperPlonk protocol (``repro.fields``, ``repro.curves``,
+  ``repro.mle``, ``repro.sumcheck``, ``repro.pcs``, ``repro.circuits``,
+  ``repro.transcript``, ``repro.protocol``), and
+* the zkSpeed architectural model (``repro.core``) used to reproduce the
+  paper's evaluation.
+
+See README.md for a tour and DESIGN.md / EXPERIMENTS.md for the experiment
+index and measured-vs-published comparisons.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

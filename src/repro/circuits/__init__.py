@@ -1,0 +1,43 @@
+"""Plonk-style circuits: gate encoding, builder API and synthetic workloads.
+
+HyperPlonk encodes the computation being proven as a vector of Plonk gates
+(Equation 1 of the paper):
+
+    f = qL*w1 + qR*w2 + qM*w1*w2 - qO*w3 + qC
+
+Selectors (qL, qR, qM, qO, qC) are fixed at circuit-compile time; witnesses
+(w1, w2, w3) are filled in per proof.  Copy constraints between gate wires
+are expressed with the permutation polynomials sigma_1..3.
+"""
+
+from repro.circuits.gates import Gate, GateType
+from repro.circuits.builder import CircuitBuilder, Circuit, Variable
+from repro.circuits.permutation import build_permutation, identity_permutation
+from repro.circuits.workloads import (
+    WORKLOADS,
+    WorkloadSpec,
+    auction_circuit,
+    mock_circuit,
+    recursive_circuit,
+    rescue_hash_circuit,
+    rollup_circuit,
+    zcash_transfer_circuit,
+)
+
+__all__ = [
+    "Gate",
+    "GateType",
+    "CircuitBuilder",
+    "Circuit",
+    "Variable",
+    "build_permutation",
+    "identity_permutation",
+    "WORKLOADS",
+    "WorkloadSpec",
+    "mock_circuit",
+    "zcash_transfer_circuit",
+    "auction_circuit",
+    "rescue_hash_circuit",
+    "recursive_circuit",
+    "rollup_circuit",
+]

@@ -1,0 +1,225 @@
+"""Circuit builder: a small front-end for constructing Plonk circuits.
+
+The builder exposes a variable/gate API (``add_variable``, ``mul``, ``add``,
+``assert_constant`` ...), tracks concrete witness values alongside the
+constraints, pads the gate list to a power of two, and finally compiles
+everything into the MLE tables the HyperPlonk prover consumes:
+
+* selector MLEs  qL, qR, qM, qO, qC
+* witness MLEs   w1, w2, w3
+* permutation MLEs sigma_1..3 (from the copy constraints)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dataclass_field
+from typing import Sequence
+
+from repro.circuits.gates import Gate, GateType
+from repro.circuits.permutation import build_permutation, identity_permutation
+from repro.fields.bls12_381 import Fr
+from repro.fields.field import FieldElement, PrimeField
+from repro.mle.mle import MultilinearPolynomial
+
+SELECTOR_NAMES = ("q_l", "q_r", "q_m", "q_o", "q_c")
+WITNESS_NAMES = ("w1", "w2", "w3")
+
+
+@dataclass(frozen=True)
+class Variable:
+    """A handle to a circuit variable (wire value)."""
+
+    index: int
+
+
+@dataclass
+class Circuit:
+    """A compiled circuit: MLE tables ready for preprocessing and proving."""
+
+    num_vars: int
+    selectors: dict[str, MultilinearPolynomial]
+    witnesses: dict[str, MultilinearPolynomial]
+    sigmas: list[MultilinearPolynomial]
+    identities: list[MultilinearPolynomial]
+    num_real_gates: int
+    num_variables: int
+    name: str = "circuit"
+
+    @property
+    def num_gates(self) -> int:
+        return 1 << self.num_vars
+
+    def selector_list(self) -> list[MultilinearPolynomial]:
+        return [self.selectors[name] for name in SELECTOR_NAMES]
+
+    def witness_list(self) -> list[MultilinearPolynomial]:
+        return [self.witnesses[name] for name in WITNESS_NAMES]
+
+    def is_satisfied(self) -> bool:
+        """Check the gate identity on every row (direct, non-ZK check)."""
+        q_l, q_r, q_m, q_o, q_c = self.selector_list()
+        w1, w2, w3 = self.witness_list()
+        for i in range(self.num_gates):
+            value = (
+                q_l[i] * w1[i]
+                + q_r[i] * w2[i]
+                + q_m[i] * w1[i] * w2[i]
+                - q_o[i] * w3[i]
+                + q_c[i]
+            )
+            if not value.is_zero():
+                return False
+        return True
+
+    def witness_sparsity(self) -> dict[str, float]:
+        """Fraction of zero / one / dense witness entries (Sparse-MSM stats)."""
+        zeros = ones = dense = 0
+        for w in self.witness_list():
+            profile = w.sparsity_profile()
+            zeros += profile["zeros"]
+            ones += profile["ones"]
+            dense += profile["dense"]
+        total = 3 * self.num_gates
+        return {
+            "zero_fraction": zeros / total,
+            "one_fraction": ones / total,
+            "dense_fraction": dense / total,
+        }
+
+
+class CircuitBuilder:
+    """Incrementally build a Plonk circuit and its witness."""
+
+    def __init__(self, field: PrimeField = Fr, name: str = "circuit"):
+        self.field = field
+        self.name = name
+        self._values: list[FieldElement] = []
+        self._gates: list[Gate] = []
+        # Variable 0 is the constant zero, pinned with a constant gate at
+        # compile time so padding gates always reference a valid variable.
+        self._zero = self.add_variable(field.zero())
+
+    # -- variables ---------------------------------------------------------------
+
+    def add_variable(self, value: FieldElement | int) -> Variable:
+        """Introduce a new variable carrying ``value``."""
+        element = self.field(value) if isinstance(value, int) else value
+        self._values.append(element)
+        return Variable(len(self._values) - 1)
+
+    def value_of(self, var: Variable) -> FieldElement:
+        return self._values[var.index]
+
+    @property
+    def zero(self) -> Variable:
+        return self._zero
+
+    @property
+    def num_gates(self) -> int:
+        return len(self._gates)
+
+    @property
+    def num_variables(self) -> int:
+        return len(self._values)
+
+    # -- gates ----------------------------------------------------------------------
+
+    def add_gate(self, gate: Gate) -> None:
+        """Append a raw gate (selectors + wire variable ids)."""
+        for wire in gate.wires:
+            if not 0 <= wire < len(self._values):
+                raise ValueError(f"gate references unknown variable {wire}")
+        self._gates.append(gate)
+
+    def add(self, a: Variable, b: Variable) -> Variable:
+        """Add a + b = c gate; returns c."""
+        c = self.add_variable(self.value_of(a) + self.value_of(b))
+        self._gates.append(Gate.addition(a.index, b.index, c.index))
+        return c
+
+    def mul(self, a: Variable, b: Variable) -> Variable:
+        """Add a * b = c gate; returns c."""
+        c = self.add_variable(self.value_of(a) * self.value_of(b))
+        self._gates.append(Gate.multiplication(a.index, b.index, c.index))
+        return c
+
+    def add_constant_gate(self, value: FieldElement | int) -> Variable:
+        """Introduce a variable constrained to equal ``value``."""
+        var = self.add_variable(value)
+        self._gates.append(
+            Gate.constant(var.index, self.value_of(var), self._zero.index)
+        )
+        return var
+
+    def assert_boolean(self, a: Variable) -> None:
+        """Constrain a to be 0 or 1."""
+        self._gates.append(Gate.boolean(a.index, self._zero.index))
+
+    def assert_equal(self, a: Variable, b: Variable) -> None:
+        """Constrain a == b via an addition gate a + 0 = b (plus copy wiring)."""
+        self._gates.append(Gate.addition(a.index, self._zero.index, b.index))
+
+    def linear_combination(
+        self, terms: Sequence[tuple[FieldElement | int, Variable]]
+    ) -> Variable:
+        """Chain addition/multiplication gates computing sum_i c_i * v_i."""
+        if not terms:
+            return self._zero
+        acc: Variable | None = None
+        for coeff, var in terms:
+            coeff_var = self.add_constant_gate(coeff)
+            scaled = self.mul(coeff_var, var)
+            acc = scaled if acc is None else self.add(acc, scaled)
+        assert acc is not None
+        return acc
+
+    # -- compilation -------------------------------------------------------------------
+
+    def compile(self, min_num_vars: int = 2) -> Circuit:
+        """Pad to a power of two and produce the MLE tables."""
+        field = self.field
+        # Pin the zero variable so its value is constrained, then pad.
+        gates = [Gate.constant(self._zero.index, field.zero(), self._zero.index)]
+        gates.extend(self._gates)
+        num_real_gates = len(gates)
+
+        num_vars = max(min_num_vars, max(1, (num_real_gates - 1).bit_length()))
+        size = 1 << num_vars
+        while len(gates) < size:
+            gates.append(Gate.noop(self._zero.index))
+
+        selectors = {name: [] for name in SELECTOR_NAMES}
+        witness = {name: [] for name in WITNESS_NAMES}
+        wires: list[tuple[int, int, int]] = []
+        for gate in gates:
+            selectors["q_l"].append(gate.q_l)
+            selectors["q_r"].append(gate.q_r)
+            selectors["q_m"].append(gate.q_m)
+            selectors["q_o"].append(gate.q_o)
+            selectors["q_c"].append(gate.q_c)
+            a, b, c = gate.wires
+            witness["w1"].append(self._values[a])
+            witness["w2"].append(self._values[b])
+            witness["w3"].append(self._values[c])
+            wires.append(gate.wires)
+
+        selector_mles = {
+            name: MultilinearPolynomial(num_vars, values, field)
+            for name, values in selectors.items()
+        }
+        witness_mles = {
+            name: MultilinearPolynomial(num_vars, values, field)
+            for name, values in witness.items()
+        }
+        sigmas = build_permutation(wires, num_vars, field)
+        identities = identity_permutation(num_vars, field)
+        return Circuit(
+            num_vars=num_vars,
+            selectors=selector_mles,
+            witnesses=witness_mles,
+            sigmas=sigmas,
+            identities=identities,
+            num_real_gates=num_real_gates,
+            num_variables=len(self._values),
+            name=self.name,
+        )

@@ -1,0 +1,88 @@
+"""Plonk gate definitions.
+
+A gate is the 5-tuple of selector values plus the three wire slots it uses.
+The selector assignment determines what the gate computes; the constraint
+
+    qL*w1 + qR*w2 + qM*w1*w2 - qO*w3 + qC = 0
+
+must hold for every gate of a satisfied circuit.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+
+from repro.fields.bls12_381 import Fr
+from repro.fields.field import FieldElement
+
+
+class GateType(Enum):
+    """Common selector patterns (a gate may also use custom selectors)."""
+
+    ADDITION = "add"
+    MULTIPLICATION = "mul"
+    CONSTANT = "constant"
+    BOOLEAN = "boolean"
+    NOOP = "noop"
+    CUSTOM = "custom"
+
+
+@dataclass
+class Gate:
+    """One Plonk gate: selectors plus the variable ids wired to w1, w2, w3."""
+
+    q_l: FieldElement
+    q_r: FieldElement
+    q_m: FieldElement
+    q_o: FieldElement
+    q_c: FieldElement
+    wires: tuple[int, int, int]
+    gate_type: GateType = GateType.CUSTOM
+
+    @classmethod
+    def addition(cls, a: int, b: int, c: int) -> "Gate":
+        """Constrain a + b = c."""
+        return cls(Fr(1), Fr(1), Fr(0), Fr(1), Fr(0), (a, b, c), GateType.ADDITION)
+
+    @classmethod
+    def multiplication(cls, a: int, b: int, c: int) -> "Gate":
+        """Constrain a * b = c."""
+        return cls(Fr(0), Fr(0), Fr(1), Fr(1), Fr(0), (a, b, c), GateType.MULTIPLICATION)
+
+    @classmethod
+    def constant(cls, variable: int, value: FieldElement, zero_var: int) -> "Gate":
+        """Constrain variable = value (w1 - value = 0)."""
+        return cls(
+            Fr(1), Fr(0), Fr(0), Fr(0), -value, (variable, zero_var, zero_var),
+            GateType.CONSTANT,
+        )
+
+    @classmethod
+    def boolean(cls, variable: int, zero_var: int) -> "Gate":
+        """Constrain variable in {0, 1} via v*v - v = 0."""
+        return cls(
+            -Fr(1), Fr(0), Fr(1), Fr(0), Fr(0), (variable, variable, zero_var),
+            GateType.BOOLEAN,
+        )
+
+    @classmethod
+    def noop(cls, zero_var: int) -> "Gate":
+        """A padding gate that is always satisfied."""
+        return cls(
+            Fr(0), Fr(0), Fr(0), Fr(0), Fr(0), (zero_var, zero_var, zero_var),
+            GateType.NOOP,
+        )
+
+    def is_satisfied(
+        self, w1: FieldElement, w2: FieldElement, w3: FieldElement
+    ) -> bool:
+        """Evaluate the gate constraint on concrete wire values."""
+        value = (
+            self.q_l * w1
+            + self.q_r * w2
+            + self.q_m * w1 * w2
+            - self.q_o * w3
+            + self.q_c
+        )
+        return value.is_zero()

@@ -1,0 +1,103 @@
+"""Wiring (copy-constraint) permutations.
+
+Every wire slot of every gate is a *position* ``(column, gate)`` with
+``column`` in {0, 1, 2} (w1, w2, w3).  Copy constraints say that several
+positions must carry the same value (they are wired to the same circuit
+variable).  The permutation sigma maps each position to the next position of
+its variable's cycle; the Wiring Identity (Section 3.3.3) then checks that
+the witness assignment is constant along every cycle.
+
+Positions are encoded as field elements ``column * 2^mu + gate`` so that the
+identity permutation MLE for column ``c`` is the affine function
+``c * 2^mu + sum_k 2^(k-1) x_k`` -- cheap for the verifier to evaluate
+directly.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Sequence
+
+from repro.fields.bls12_381 import Fr
+from repro.fields.field import FieldElement, PrimeField
+from repro.mle.mle import MultilinearPolynomial
+
+NUM_WIRE_COLUMNS = 3
+
+
+def position_value(column: int, gate: int, num_vars: int, field: PrimeField = Fr) -> FieldElement:
+    """Encode position (column, gate) as a field element."""
+    if not 0 <= column < NUM_WIRE_COLUMNS:
+        raise ValueError(f"column must be in [0, {NUM_WIRE_COLUMNS})")
+    return field(column * (1 << num_vars) + gate)
+
+
+def identity_permutation(
+    num_vars: int, field: PrimeField = Fr
+) -> list[MultilinearPolynomial]:
+    """The identity permutation MLEs id_1..3 (not committed; verifier-computable)."""
+    size = 1 << num_vars
+    return [
+        MultilinearPolynomial(
+            num_vars,
+            [position_value(col, gate, num_vars, field) for gate in range(size)],
+            field,
+        )
+        for col in range(NUM_WIRE_COLUMNS)
+    ]
+
+
+def identity_permutation_eval(
+    column: int, point: Sequence[FieldElement], field: PrimeField = Fr
+) -> FieldElement:
+    """Evaluate id_column at an arbitrary point without materializing the table.
+
+    id_column(x) = column * 2^mu + sum_k 2^(k-1) * x_k  (multilinear, in fact
+    affine), so the verifier evaluates it directly.
+    """
+    num_vars = len(point)
+    acc = field(column * (1 << num_vars))
+    for k, x_k in enumerate(point):
+        acc = acc + field(1 << k) * x_k
+    return acc
+
+
+def build_permutation(
+    wires: Sequence[tuple[int, int, int]],
+    num_vars: int,
+    field: PrimeField = Fr,
+) -> list[MultilinearPolynomial]:
+    """Build the sigma_1..3 permutation MLEs from per-gate wire assignments.
+
+    ``wires[g]`` gives the variable ids occupying (w1, w2, w3) of gate ``g``.
+    All positions sharing a variable form a cycle; sigma maps each position
+    to the next one in its cycle (and to itself for singleton cycles).
+    """
+    size = 1 << num_vars
+    if len(wires) != size:
+        raise ValueError(f"expected {size} gates, got {len(wires)}")
+
+    positions_by_variable: dict[int, list[tuple[int, int]]] = defaultdict(list)
+    for gate, (a, b, c) in enumerate(wires):
+        positions_by_variable[a].append((0, gate))
+        positions_by_variable[b].append((1, gate))
+        positions_by_variable[c].append((2, gate))
+
+    # Start with the identity and rotate each variable's cycle by one.
+    sigma_values: list[list[FieldElement]] = [
+        [position_value(col, gate, num_vars, field) for gate in range(size)]
+        for col in range(NUM_WIRE_COLUMNS)
+    ]
+    for positions in positions_by_variable.values():
+        if len(positions) <= 1:
+            continue
+        for index, (col, gate) in enumerate(positions):
+            next_col, next_gate = positions[(index + 1) % len(positions)]
+            sigma_values[col][gate] = position_value(
+                next_col, next_gate, num_vars, field
+            )
+
+    return [
+        MultilinearPolynomial(num_vars, sigma_values[col], field)
+        for col in range(NUM_WIRE_COLUMNS)
+    ]

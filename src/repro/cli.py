@@ -1,0 +1,143 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+``simulate``   Simulate the zkSpeed accelerator on a problem size and print
+               runtime, speedup over the CPU baseline, and breakdowns.
+``dse``        Run a reduced design-space exploration and print the Pareto
+               frontier for a problem size.
+``prove``      Build a small demo circuit, generate a HyperPlonk proof,
+               verify it, and report the serialized proof size.
+``table1``     Print the Table 1 kernel-profile reproduction for a size.
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+import time
+from typing import Sequence
+
+from repro.core import (
+    CpuBaseline,
+    DesignSpaceExplorer,
+    WorkloadModel,
+    ZkSpeedChip,
+    ZkSpeedConfig,
+    protocol_operation_counts,
+)
+
+
+def _cmd_simulate(args: argparse.Namespace) -> int:
+    config = ZkSpeedConfig.paper_default().with_bandwidth(args.bandwidth)
+    chip = ZkSpeedChip(config)
+    workload = WorkloadModel(num_vars=args.log_gates)
+    report = chip.simulate(workload)
+    cpu = CpuBaseline()
+    print(f"configuration : {config.describe()}")
+    print(f"problem size  : 2^{args.log_gates} gates")
+    print(f"runtime       : {report.total_runtime_ms:.2f} ms")
+    print(f"CPU baseline  : {cpu.runtime_ms(args.log_gates):.0f} ms")
+    print(f"speedup       : {cpu.runtime_ms(args.log_gates) / report.total_runtime_ms:.0f}x")
+    print(f"total area    : {report.total_area_mm2:.1f} mm^2")
+    print(f"total power   : {report.total_power_w:.1f} W")
+    print("step breakdown:")
+    for step in report.steps:
+        bound = "memory" if step.is_memory_bound else "compute"
+        print(
+            f"  {step.name:<20s} {chip.tech.cycles_to_ms(step.total_cycles):8.2f} ms  ({bound}-bound)"
+        )
+    return 0
+
+
+def _cmd_dse(args: argparse.Namespace) -> int:
+    workload = WorkloadModel(num_vars=args.log_gates)
+    explorer = DesignSpaceExplorer(workload)
+    points = explorer.sweep(max_points=args.max_points)
+    print(f"evaluated {len(points)} configurations at 2^{args.log_gates} gates")
+    frontier = explorer.global_pareto(points)
+    print("global Pareto frontier (runtime ms, area mm^2, config):")
+    for point in frontier:
+        print(
+            f"  {point.runtime_ms:9.2f}  {point.area_mm2:8.1f}  {point.config.describe()}"
+        )
+    best = explorer.best_under_area(points, area_budget_mm2=args.area_budget)
+    if best is not None:
+        print(
+            f"fastest under {args.area_budget:.0f} mm^2: {best.runtime_ms:.2f} ms "
+            f"({explorer.speedup(best):.0f}x over CPU)"
+        )
+    return 0
+
+
+def _cmd_prove(args: argparse.Namespace) -> int:
+    from repro.circuits import mock_circuit
+    from repro.pcs import setup
+    from repro.protocol import preprocess, prove, proof_size_bytes, verify
+
+    rng = random.Random(args.seed)
+    circuit = mock_circuit(args.log_gates, seed=rng.randrange(1 << 30))
+    print(f"circuit: 2^{circuit.num_vars} gates ({circuit.num_real_gates} real)")
+    start = time.perf_counter()
+    srs = setup(circuit.num_vars, seed=args.seed)
+    pk, vk = preprocess(circuit, srs)
+    print(f"setup + preprocess: {time.perf_counter() - start:.2f} s")
+    start = time.perf_counter()
+    proof = prove(pk)
+    print(f"prove: {time.perf_counter() - start:.2f} s")
+    print(f"proof size: {proof_size_bytes(proof)} bytes")
+    start = time.perf_counter()
+    ok = verify(vk, proof)
+    print(f"verify: {time.perf_counter() - start:.3f} s -> {'ACCEPT' if ok else 'REJECT'}")
+    return 0 if ok else 1
+
+
+def _cmd_table1(args: argparse.Namespace) -> int:
+    profiles = protocol_operation_counts(WorkloadModel(num_vars=args.log_gates))
+    print(f"{'kernel':<22s} {'modmuls (M)':>12s} {'in (MB)':>10s} {'out (MB)':>10s} {'AI':>7s}")
+    for profile in profiles:
+        print(
+            f"{profile.name:<22s} {profile.modmuls / 1e6:>12.1f} "
+            f"{profile.input_bytes / 1e6:>10.1f} {profile.output_bytes / 1e6:>10.1f} "
+            f"{profile.arithmetic_intensity:>7.2f}"
+        )
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro", description="zkSpeed / HyperPlonk reproduction toolkit"
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    simulate = subparsers.add_parser("simulate", help="simulate zkSpeed on a problem size")
+    simulate.add_argument("--log-gates", type=int, default=20)
+    simulate.add_argument("--bandwidth", type=float, default=2048.0, help="GB/s")
+    simulate.set_defaults(func=_cmd_simulate)
+
+    dse = subparsers.add_parser("dse", help="run a reduced design-space exploration")
+    dse.add_argument("--log-gates", type=int, default=20)
+    dse.add_argument("--max-points", type=int, default=400)
+    dse.add_argument("--area-budget", type=float, default=366.0)
+    dse.set_defaults(func=_cmd_dse)
+
+    prove = subparsers.add_parser("prove", help="prove and verify a demo circuit")
+    prove.add_argument("--log-gates", type=int, default=5)
+    prove.add_argument("--seed", type=int, default=0)
+    prove.set_defaults(func=_cmd_prove)
+
+    table1 = subparsers.add_parser("table1", help="print the Table 1 kernel profiles")
+    table1.add_argument("--log-gates", type=int, default=20)
+    table1.set_defaults(func=_cmd_table1)
+    return parser
+
+
+def main(argv: Sequence[str] | None = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

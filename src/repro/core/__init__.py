@@ -1,0 +1,46 @@
+"""The zkSpeed architectural model (the paper's primary contribution).
+
+This package models the zkSpeed accelerator at the level the paper evaluates
+it: per-unit cycle/area/power models (Section 4), a protocol-step scheduler
+that maps HyperPlonk onto the units under a bandwidth constraint (Section 5),
+a CPU baseline calibrated to the paper's measurements, and a design-space
+exploration / Pareto analysis driver (Section 7).
+
+Typical use::
+
+    from repro.core import ZkSpeedConfig, ZkSpeedChip, WorkloadModel
+
+    config = ZkSpeedConfig.paper_default()
+    chip = ZkSpeedChip(config)
+    report = chip.simulate(WorkloadModel(num_vars=20))
+    print(report.total_runtime_ms, chip.total_area_mm2())
+"""
+
+from repro.core.config import ZkSpeedConfig, DESIGN_SPACE, enumerate_design_space
+from repro.core.technology import TechnologyModel
+from repro.core.workload_model import WorkloadModel
+from repro.core.opcounts import KernelProfile, protocol_operation_counts
+from repro.core.chip import ZkSpeedChip, SimulationReport, StepTiming
+from repro.core.cpu_baseline import CpuBaseline
+from repro.core.dse import DesignSpaceExplorer, DesignPoint
+from repro.core.pareto import pareto_frontier
+from repro.core.comparison import ACCELERATOR_COMPARISON, accelerator_comparison_table
+
+__all__ = [
+    "ZkSpeedConfig",
+    "DESIGN_SPACE",
+    "enumerate_design_space",
+    "TechnologyModel",
+    "WorkloadModel",
+    "KernelProfile",
+    "protocol_operation_counts",
+    "ZkSpeedChip",
+    "SimulationReport",
+    "StepTiming",
+    "CpuBaseline",
+    "DesignSpaceExplorer",
+    "DesignPoint",
+    "pareto_frontier",
+    "ACCELERATOR_COMPARISON",
+    "accelerator_comparison_table",
+]

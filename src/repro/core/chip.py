@@ -1,0 +1,166 @@
+"""Full-chip model: area, power, runtime and utilization.
+
+:class:`ZkSpeedChip` aggregates the unit models, the memory system and the
+protocol scheduler into the quantities the paper reports: total runtime per
+workload (Table 3), area and power breakdowns (Table 5, Figure 10), unit
+utilization (Figure 13), and step-level runtime breakdowns (Figure 12b).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.config import ZkSpeedConfig
+from repro.core.memory import MemoryModel, MemoryPlan
+from repro.core.scheduler import ProtocolScheduler, StepTiming
+from repro.core.technology import DEFAULT_TECHNOLOGY, TechnologyModel
+from repro.core.workload_model import WorkloadModel
+
+#: Display names matching the paper's area-breakdown legend (Figure 10).
+UNIT_DISPLAY_NAMES = {
+    "msm": "MSM Unit",
+    "sumcheck": "SumCheck",
+    "mle_update": "MLE Update",
+    "multifunction_tree": "Multifunction Tree",
+    "construct_nd": "Construct N&D",
+    "fracmle": "FracMLE",
+    "mle_combine": "MLE Combine",
+    "sha3": "SHA3",
+}
+
+
+@dataclass
+class SimulationReport:
+    """Result of simulating one workload on one configuration."""
+
+    config: ZkSpeedConfig
+    workload: WorkloadModel
+    steps: list[StepTiming]
+    total_cycles: float
+    total_runtime_ms: float
+    area_breakdown_mm2: dict[str, float]
+    power_breakdown_w: dict[str, float]
+    utilization: dict[str, float]
+    memory_plan: MemoryPlan
+
+    @property
+    def total_area_mm2(self) -> float:
+        return sum(self.area_breakdown_mm2.values())
+
+    @property
+    def total_power_w(self) -> float:
+        return sum(self.power_breakdown_w.values())
+
+    @property
+    def compute_area_mm2(self) -> float:
+        """Area excluding SRAM and PHYs (the iso-compute-area comparison basis)."""
+        excluded = {"SRAM", "HBM PHY"}
+        return sum(v for k, v in self.area_breakdown_mm2.items() if k not in excluded)
+
+    def step_runtime_ms(self, technology: TechnologyModel = DEFAULT_TECHNOLOGY) -> dict[str, float]:
+        return {s.name: technology.cycles_to_ms(s.total_cycles) for s in self.steps}
+
+    def step_fractions(self) -> dict[str, float]:
+        total = sum(s.total_cycles for s in self.steps)
+        if total == 0:
+            return {s.name: 0.0 for s in self.steps}
+        return {s.name: s.total_cycles / total for s in self.steps}
+
+
+class ZkSpeedChip:
+    """A zkSpeed chip instance: one configuration bound to a technology model."""
+
+    def __init__(
+        self, config: ZkSpeedConfig, technology: TechnologyModel = DEFAULT_TECHNOLOGY
+    ):
+        self.config = config
+        self.tech = technology
+        self.scheduler = ProtocolScheduler(config, technology)
+        self.memory = MemoryModel(config, technology)
+
+    # -- area ----------------------------------------------------------------------
+
+    def unit_area_breakdown_mm2(self) -> dict[str, float]:
+        s = self.scheduler
+        return {
+            "MSM Unit": s.msm.area_mm2(),
+            "SumCheck": s.sumcheck.area_mm2(),
+            "MLE Update": s.mle_update.area_mm2(),
+            "Multifunction Tree": s.tree.area_mm2(),
+            "Construct N&D": s.construct_nd.area_mm2(),
+            "FracMLE": s.fracmle.area_mm2(),
+            "MLE Combine": s.mle_combine.area_mm2(),
+            "SHA3": s.sha3.area_mm2(),
+            "Interconnect/Misc": self.tech.misc_area_mm2,
+        }
+
+    def area_breakdown_mm2(self, num_vars: int) -> dict[str, float]:
+        breakdown = self.unit_area_breakdown_mm2()
+        breakdown["SRAM"] = self.memory.sram_area_mm2(num_vars)
+        breakdown["HBM PHY"] = self.memory.phy_area_mm2()
+        return breakdown
+
+    def total_area_mm2(self, num_vars: int = 20) -> float:
+        return sum(self.area_breakdown_mm2(num_vars).values())
+
+    def compute_area_mm2(self) -> float:
+        return sum(self.unit_area_breakdown_mm2().values())
+
+    # -- power -----------------------------------------------------------------------
+
+    def power_breakdown_w(self, num_vars: int, utilization: dict[str, float] | None = None) -> dict[str, float]:
+        """Average power; unit power is scaled by utilization when provided."""
+        s = self.scheduler
+        units = {
+            "MSM Unit": s.msm,
+            "SumCheck": s.sumcheck,
+            "MLE Update": s.mle_update,
+            "Multifunction Tree": s.tree,
+            "Construct N&D": s.construct_nd,
+            "FracMLE": s.fracmle,
+            "MLE Combine": s.mle_combine,
+            "SHA3": s.sha3,
+        }
+        breakdown: dict[str, float] = {}
+        for display_name, unit in units.items():
+            activity = 1.0
+            if utilization is not None:
+                activity = 0.1 + 0.9 * utilization.get(unit.name, 0.0)
+            breakdown[display_name] = unit.power_w() * activity
+        breakdown["Interconnect/Misc"] = self.tech.misc_area_mm2 * self.tech.power_density_compute
+        breakdown["SRAM"] = self.memory.sram_power_w(num_vars)
+        breakdown["HBM PHY"] = self.memory.phy_power_w()
+        return breakdown
+
+    # -- simulation ---------------------------------------------------------------------
+
+    def simulate(self, workload: WorkloadModel) -> SimulationReport:
+        steps = self.scheduler.schedule(workload)
+        total_cycles = sum(step.total_cycles for step in steps)
+        busy: dict[str, float] = {}
+        for step in steps:
+            for unit_name, cycles in step.unit_busy_cycles.items():
+                busy[unit_name] = busy.get(unit_name, 0.0) + cycles
+        utilization = {
+            name: min(1.0, cycles / total_cycles) if total_cycles > 0 else 0.0
+            for name, cycles in busy.items()
+        }
+        area = self.area_breakdown_mm2(workload.num_vars)
+        # Table 5 reports each unit's average power when active, so the
+        # breakdown is not scaled by utilization here; pass the utilization
+        # dict to power_breakdown_w explicitly for activity-scaled estimates.
+        power = self.power_breakdown_w(workload.num_vars)
+        return SimulationReport(
+            config=self.config,
+            workload=workload,
+            steps=steps,
+            total_cycles=total_cycles,
+            total_runtime_ms=self.tech.cycles_to_ms(total_cycles),
+            area_breakdown_mm2=area,
+            power_breakdown_w=power,
+            utilization=utilization,
+            memory_plan=self.memory.plan(workload.num_vars),
+        )
+
+    def runtime_ms(self, workload: WorkloadModel) -> float:
+        return self.simulate(workload).total_runtime_ms

@@ -1,0 +1,122 @@
+"""zkSpeed design configuration and the Table 2 design space.
+
+A :class:`ZkSpeedConfig` captures every knob the paper's design-space
+exploration sweeps (Table 2): MSM cores / PEs / window size / points per PE,
+FracMLE PEs, SumCheck PEs, MLE-Update PEs and modmuls per PE, and the
+off-chip memory bandwidth.  ``enumerate_design_space`` yields the full cross
+product (or a decimated subset for quick sweeps).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, replace
+from typing import Iterator, Sequence
+
+
+@dataclass(frozen=True)
+class ZkSpeedConfig:
+    """One zkSpeed design point."""
+
+    msm_cores: int = 1
+    msm_pes_per_core: int = 16
+    msm_window_bits: int = 9
+    msm_points_per_pe: int = 2048
+    fracmle_pes: int = 1
+    sumcheck_pes: int = 2
+    mle_update_pes: int = 11
+    mle_update_modmuls_per_pe: int = 4
+    bandwidth_gbs: float = 2048.0
+    # Non-swept architectural choices (paper defaults / ablation flags).
+    bucket_aggregation: str = "grouped"        # "grouped" (zkSpeed) or "serial" (SZKP)
+    bucket_aggregation_group: int = 16
+    fracmle_batch_size: int = 64
+    mle_compression: bool = True               # on-chip MLE compression (Section 4.6)
+    share_sumcheck_multipliers: bool = True    # 94 vs 184 modmuls per PE
+    share_mle_combine_multipliers: bool = True  # 72 vs 122 modmuls
+    share_multifunction_tree: bool = True      # one MTU vs dedicated units
+    multifunction_tree_pes: int = 8
+    store_input_mles_on_chip: bool = True
+
+    def __post_init__(self) -> None:
+        if self.msm_cores < 1 or self.msm_pes_per_core < 1:
+            raise ValueError("MSM cores and PEs must be positive")
+        if not 1 <= self.msm_window_bits <= 16:
+            raise ValueError("MSM window size out of range")
+        if self.sumcheck_pes < 1 or self.mle_update_pes < 1:
+            raise ValueError("SumCheck / MLE-Update PE counts must be positive")
+        if self.bandwidth_gbs <= 0:
+            raise ValueError("bandwidth must be positive")
+        if self.bucket_aggregation not in ("grouped", "serial"):
+            raise ValueError("bucket_aggregation must be 'grouped' or 'serial'")
+
+    @property
+    def total_msm_pes(self) -> int:
+        return self.msm_cores * self.msm_pes_per_core
+
+    @property
+    def bandwidth_bytes_per_cycle(self) -> float:
+        """Off-chip bytes deliverable per 1 GHz cycle."""
+        return self.bandwidth_gbs  # GB/s at 1 GHz == bytes per cycle
+
+    @classmethod
+    def paper_default(cls) -> "ZkSpeedConfig":
+        """The highlighted design of Table 5 / Section 7.4.
+
+        One MSM unit with 9-bit windows, 16 PEs and 2048 points per PE,
+        1 FracMLE PE, 2 SumCheck PEs, 11 MLE-Update PEs with 4 modmuls each,
+        and 2 TB/s of HBM3 bandwidth.
+        """
+        return cls()
+
+    def with_bandwidth(self, bandwidth_gbs: float) -> "ZkSpeedConfig":
+        return replace(self, bandwidth_gbs=bandwidth_gbs)
+
+    def describe(self) -> str:
+        return (
+            f"MSM {self.msm_cores}x{self.msm_pes_per_core}PE W{self.msm_window_bits} "
+            f"{self.msm_points_per_pe}pts | SumCheck {self.sumcheck_pes}PE | "
+            f"MLEUpd {self.mle_update_pes}x{self.mle_update_modmuls_per_pe} | "
+            f"FracMLE {self.fracmle_pes} | {self.bandwidth_gbs:.0f} GB/s"
+        )
+
+
+#: The design space of Table 2.
+DESIGN_SPACE: dict[str, Sequence] = {
+    "msm_cores": (1, 2),
+    "msm_pes_per_core": (1, 2, 4, 8, 16),
+    "msm_window_bits": (7, 8, 9, 10),
+    "msm_points_per_pe": (1024, 2048, 4096, 8192, 16384),
+    "fracmle_pes": (1, 2, 4),
+    "sumcheck_pes": (1, 2, 4, 8, 16),
+    "mle_update_pes": tuple(range(1, 12)),
+    "mle_update_modmuls_per_pe": (1, 2, 4, 8, 16),
+    "bandwidth_gbs": (64.0, 128.0, 256.0, 512.0, 1024.0, 2048.0, 4096.0),
+}
+
+
+def enumerate_design_space(
+    overrides: dict[str, Sequence] | None = None,
+    max_points: int | None = None,
+) -> Iterator[ZkSpeedConfig]:
+    """Yield configurations from the (optionally restricted) design space.
+
+    ``overrides`` replaces the swept values of individual knobs; ``max_points``
+    decimates the cross product with a deterministic stride so that quick
+    sweeps remain representative of the full space.
+    """
+    space = dict(DESIGN_SPACE)
+    if overrides:
+        for key, values in overrides.items():
+            if key not in space:
+                raise KeyError(f"unknown design-space knob {key!r}")
+            space[key] = tuple(values)
+    keys = list(space)
+    combos = list(itertools.product(*(space[k] for k in keys)))
+    stride = 1
+    if max_points is not None and len(combos) > max_points:
+        stride = -(-len(combos) // max_points)
+    for index, combo in enumerate(combos):
+        if index % stride:
+            continue
+        yield ZkSpeedConfig(**dict(zip(keys, combo)))

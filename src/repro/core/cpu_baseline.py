@@ -1,0 +1,118 @@
+"""CPU baseline model (AMD EPYC 7502, 32 cores).
+
+The paper's baseline is the reference HyperPlonk CPU implementation running
+on an AMD EPYC 7502 (296 mm^2 total die).  We do not have that testbed, so
+the baseline is a calibrated model anchored to the paper's published
+measurements: total proving times for 2^17..2^24 gates (Table 3 and
+Table 4) and the per-kernel runtime fractions of Figure 12a.  Between
+anchors the model interpolates the per-gate cost; beyond them it
+extrapolates at the asymptotic (linear, O(n)) rate -- HyperPlonk's headline
+complexity.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Published CPU proving times in milliseconds, keyed by log2(problem size).
+PAPER_CPU_RUNTIME_MS: dict[int, float] = {
+    17: 1429.0,
+    20: 8619.0,
+    21: 18637.0,
+    22: 37469.0,
+    23: 74052.0,
+    24: 145500.0,
+}
+
+#: Figure 12a: CPU runtime fractions by kernel at 2^20 gates.
+PAPER_CPU_KERNEL_FRACTIONS: dict[str, float] = {
+    "Sparse MSMs": 0.088,
+    "Gate Identity": 0.056,
+    "Create PermCheck MLEs": 0.012,
+    "PermCheck Dense MSMs": 0.436,
+    "PermCheck": 0.062,
+    "Batch Evals": 0.025,
+    "MLE Combine": 0.033,
+    "OpenCheck": 0.041,
+    "Poly Open Dense MSMs": 0.246,
+}
+
+#: Mapping from CPU kernels to the zkSpeed protocol steps (Figure 12b).
+CPU_KERNEL_TO_STEP: dict[str, str] = {
+    "Sparse MSMs": "witness_commits",
+    "Gate Identity": "gate_identity",
+    "Create PermCheck MLEs": "wire_identity",
+    "PermCheck Dense MSMs": "wire_identity",
+    "PermCheck": "wire_identity",
+    "Batch Evals": "batch_evaluations",
+    "MLE Combine": "poly_open",
+    "OpenCheck": "poly_open",
+    "Poly Open Dense MSMs": "poly_open",
+}
+
+#: Mapping from CPU kernels to the Figure 14 speedup categories.
+CPU_KERNEL_TO_FIG14: dict[str, str] = {
+    "Sparse MSMs": "Witness MSMs",
+    "PermCheck Dense MSMs": "Wiring MSMs",
+    "Poly Open Dense MSMs": "PolyOpen MSMs",
+    "Gate Identity": "Zerocheck",
+    "PermCheck": "Permcheck",
+    "OpenCheck": "Opencheck",
+}
+
+
+@dataclass
+class CpuBaseline:
+    """Calibrated CPU proving-time model."""
+
+    die_area_mm2: float = 296.0
+    name: str = "AMD EPYC 7502 (32 cores)"
+
+    def runtime_ms(self, num_vars: int) -> float:
+        """Total CPU proving time for a 2^num_vars-gate problem."""
+        anchors = PAPER_CPU_RUNTIME_MS
+        if num_vars in anchors:
+            return anchors[num_vars]
+        known = sorted(anchors)
+        lo, hi = known[0], known[-1]
+        if num_vars < lo:
+            # Below the smallest anchor, scale at the small-size per-gate rate
+            # (fixed overheads keep it from shrinking perfectly linearly).
+            per_gate = anchors[lo] / (1 << lo)
+            return per_gate * (1 << num_vars) * 1.15
+        if num_vars > hi:
+            per_gate = anchors[hi] / (1 << hi)
+            return per_gate * (1 << num_vars)
+        lower = max(k for k in known if k < num_vars)
+        upper = min(k for k in known if k > num_vars)
+        # Interpolate the per-gate cost linearly in log-size.
+        per_gate_lower = anchors[lower] / (1 << lower)
+        per_gate_upper = anchors[upper] / (1 << upper)
+        t = (num_vars - lower) / (upper - lower)
+        per_gate = per_gate_lower + t * (per_gate_upper - per_gate_lower)
+        return per_gate * (1 << num_vars)
+
+    def kernel_breakdown_ms(self, num_vars: int) -> dict[str, float]:
+        """Per-kernel CPU runtimes (fractions of Figure 12a applied to the total)."""
+        total = self.runtime_ms(num_vars)
+        return {
+            kernel: fraction * total
+            for kernel, fraction in PAPER_CPU_KERNEL_FRACTIONS.items()
+        }
+
+    def step_breakdown_ms(self, num_vars: int) -> dict[str, float]:
+        """CPU runtime aggregated to the zkSpeed protocol steps."""
+        breakdown: dict[str, float] = {}
+        for kernel, runtime in self.kernel_breakdown_ms(num_vars).items():
+            step = CPU_KERNEL_TO_STEP[kernel]
+            breakdown[step] = breakdown.get(step, 0.0) + runtime
+        return breakdown
+
+    def figure14_breakdown_ms(self, num_vars: int) -> dict[str, float]:
+        """CPU runtime aggregated to the Figure 14 kernel categories."""
+        breakdown: dict[str, float] = {}
+        for kernel, runtime in self.kernel_breakdown_ms(num_vars).items():
+            category = CPU_KERNEL_TO_FIG14.get(kernel)
+            if category is not None:
+                breakdown[category] = breakdown.get(category, 0.0) + runtime
+        return breakdown

@@ -1,0 +1,127 @@
+"""Design-space exploration (Section 7.1).
+
+The explorer sweeps the Table 2 design space (optionally restricted or
+decimated), simulates every configuration on a target workload, and extracts
+per-bandwidth and global Pareto frontiers over (area, runtime) -- the data
+behind Figure 9 -- as well as iso-area design selection (Figure 14) and the
+labelled Pareto points A-D used in Figure 10.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Sequence
+
+from repro.core.chip import SimulationReport, ZkSpeedChip
+from repro.core.config import DESIGN_SPACE, ZkSpeedConfig, enumerate_design_space
+from repro.core.cpu_baseline import CpuBaseline
+from repro.core.pareto import pareto_frontier
+from repro.core.technology import DEFAULT_TECHNOLOGY, TechnologyModel
+from repro.core.workload_model import WorkloadModel
+
+
+@dataclass
+class DesignPoint:
+    """One evaluated configuration."""
+
+    config: ZkSpeedConfig
+    runtime_ms: float
+    area_mm2: float
+    compute_area_mm2: float
+    report: SimulationReport
+
+    @property
+    def bandwidth_gbs(self) -> float:
+        return self.config.bandwidth_gbs
+
+    def speedup_over(self, cpu_runtime_ms: float) -> float:
+        if self.runtime_ms <= 0:
+            return float("inf")
+        return cpu_runtime_ms / self.runtime_ms
+
+
+class DesignSpaceExplorer:
+    """Sweeps configurations and extracts Pareto-optimal designs."""
+
+    def __init__(
+        self,
+        workload: WorkloadModel,
+        technology: TechnologyModel = DEFAULT_TECHNOLOGY,
+        cpu: CpuBaseline | None = None,
+    ):
+        self.workload = workload
+        self.tech = technology
+        self.cpu = cpu or CpuBaseline()
+
+    # -- evaluation ------------------------------------------------------------------
+
+    def evaluate(self, config: ZkSpeedConfig) -> DesignPoint:
+        chip = ZkSpeedChip(config, self.tech)
+        report = chip.simulate(self.workload)
+        return DesignPoint(
+            config=config,
+            runtime_ms=report.total_runtime_ms,
+            area_mm2=report.total_area_mm2,
+            compute_area_mm2=report.compute_area_mm2,
+            report=report,
+        )
+
+    def sweep(
+        self,
+        configs: Iterable[ZkSpeedConfig] | None = None,
+        overrides: dict | None = None,
+        max_points: int | None = 2000,
+    ) -> list[DesignPoint]:
+        """Evaluate a set of configurations (default: decimated Table 2 space)."""
+        if configs is None:
+            configs = enumerate_design_space(overrides=overrides, max_points=max_points)
+        return [self.evaluate(config) for config in configs]
+
+    # -- Pareto analysis ---------------------------------------------------------------
+
+    @staticmethod
+    def pareto(points: Sequence[DesignPoint]) -> list[DesignPoint]:
+        """Pareto frontier minimizing runtime and area."""
+        return pareto_frontier(
+            points, cost_x=lambda p: p.runtime_ms, cost_y=lambda p: p.area_mm2
+        )
+
+    def per_bandwidth_pareto(
+        self, points: Sequence[DesignPoint]
+    ) -> dict[float, list[DesignPoint]]:
+        """Figure 9: one Pareto curve per bandwidth setting."""
+        by_bandwidth: dict[float, list[DesignPoint]] = {}
+        for point in points:
+            by_bandwidth.setdefault(point.bandwidth_gbs, []).append(point)
+        return {bw: self.pareto(pts) for bw, pts in sorted(by_bandwidth.items())}
+
+    def global_pareto(self, points: Sequence[DesignPoint]) -> list[DesignPoint]:
+        """The global Pareto curve assembled from all bandwidths."""
+        return self.pareto(points)
+
+    # -- design selection --------------------------------------------------------------
+
+    def best_under_area(
+        self, points: Sequence[DesignPoint], area_budget_mm2: float, use_compute_area: bool = False
+    ) -> DesignPoint | None:
+        """Fastest design whose area fits the budget (iso-area selection)."""
+        if use_compute_area:
+            eligible = [p for p in points if p.compute_area_mm2 <= area_budget_mm2]
+        else:
+            eligible = [p for p in points if p.area_mm2 <= area_budget_mm2]
+        if not eligible:
+            return None
+        return min(eligible, key=lambda p: p.runtime_ms)
+
+    def fastest_per_bandwidth(
+        self, points: Sequence[DesignPoint]
+    ) -> dict[float, DesignPoint]:
+        """The highest-performance Pareto point for each bandwidth (Figure 10 A-D)."""
+        result: dict[float, DesignPoint] = {}
+        for bandwidth, pareto_points in self.per_bandwidth_pareto(points).items():
+            if pareto_points:
+                result[bandwidth] = min(pareto_points, key=lambda p: p.runtime_ms)
+        return result
+
+    def speedup(self, point: DesignPoint) -> float:
+        return point.speedup_over(self.cpu.runtime_ms(self.workload.num_vars))

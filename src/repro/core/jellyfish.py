@@ -1,0 +1,152 @@
+"""Jellyfish (high-arity gate) extension study.
+
+Section 8 of the paper discusses Jellyfish, a HyperPlonk variant whose gates
+have higher fan-in (arity) and higher-degree constraints.  Iso-application,
+raising the arity *increases the number of MLE tables* (more wire and
+selector columns) but *decreases each table's size super-proportionally*
+(fewer gates are needed), so the total MLE footprint shrinks and the
+runtime/bandwidth picture changes.  The paper leaves hardware support as
+future work; this module provides the analytical exploration of that
+tradeoff on top of the existing zkSpeed model.
+
+Model: a baseline circuit with ``2^mu`` arity-2 gates is re-encoded with
+arity-``a`` gates.  Each high-arity gate absorbs roughly ``a - 1`` binary
+operations, so the gate count shrinks by ``~(a - 1)``; the witness columns
+grow from 3 to ``a + 1`` and the selector columns grow linearly in ``a``;
+the SumCheck constraint degree grows with the gate degree, increasing the
+per-round evaluation count.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from repro.core.chip import ZkSpeedChip
+from repro.core.config import ZkSpeedConfig
+from repro.core.technology import DEFAULT_TECHNOLOGY, TechnologyModel
+from repro.core.units.sumcheck_unit import SumcheckInstanceShape
+from repro.core.workload_model import WorkloadModel
+
+
+@dataclass(frozen=True)
+class JellyfishEncoding:
+    """Re-encoding of a baseline (arity-2) circuit with arity-``a`` gates."""
+
+    baseline_num_vars: int
+    arity: int
+    gate_degree: int = 3
+
+    def __post_init__(self) -> None:
+        if self.arity < 2:
+            raise ValueError("arity must be at least 2")
+        if self.gate_degree < 2:
+            raise ValueError("gate_degree must be at least 2")
+
+    @property
+    def num_vars(self) -> int:
+        """Problem size after re-encoding (each gate absorbs ~arity-1 ops)."""
+        shrink = max(1, self.arity - 1)
+        reduced = self.baseline_num_vars - int(round(math.log2(shrink)))
+        return max(4, reduced)
+
+    @property
+    def witness_columns(self) -> int:
+        return self.arity + 1
+
+    @property
+    def selector_columns(self) -> int:
+        # One selector per input port, one multiplicative selector per degree
+        # step, an output selector and a constant.
+        return self.arity + self.gate_degree + 1
+
+    @property
+    def num_mle_tables(self) -> int:
+        """Committed tables: selectors + witnesses + sigma columns + phi + pi."""
+        return self.selector_columns + 2 * self.witness_columns + 2
+
+    @property
+    def total_table_entries(self) -> int:
+        """Total MLE entries across all committed tables."""
+        return self.num_mle_tables * (1 << self.num_vars)
+
+    def sumcheck_shape(self) -> SumcheckInstanceShape:
+        """The gate-identity SumCheck shape for this encoding."""
+        return SumcheckInstanceShape(
+            name="zerocheck",
+            num_mles=self.selector_columns + self.witness_columns + 1,
+            max_degree=self.gate_degree + 1,
+            streamed_mles=self.selector_columns + self.witness_columns + 1,
+            interpolation_modmuls=23 + 6 * (self.gate_degree - 2),
+        )
+
+
+@dataclass
+class JellyfishEstimate:
+    """Runtime / footprint comparison of an encoding against the arity-2 baseline."""
+
+    encoding: JellyfishEncoding
+    baseline_runtime_ms: float
+    jellyfish_runtime_ms: float
+    baseline_table_entries: int
+    jellyfish_table_entries: int
+
+    @property
+    def runtime_ratio(self) -> float:
+        return self.jellyfish_runtime_ms / self.baseline_runtime_ms
+
+    @property
+    def footprint_ratio(self) -> float:
+        return self.jellyfish_table_entries / self.baseline_table_entries
+
+
+def estimate_jellyfish(
+    encoding: JellyfishEncoding,
+    config: ZkSpeedConfig | None = None,
+    technology: TechnologyModel = DEFAULT_TECHNOLOGY,
+) -> JellyfishEstimate:
+    """Estimate the effect of a high-arity encoding on zkSpeed's runtime.
+
+    The accelerator model is evaluated at the reduced problem size, with the
+    MSM/commitment work scaled by the change in committed-table volume and
+    the SumCheck work scaled by the change in per-instance cost (more MLEs
+    and a higher constraint degree per instance, but fewer instances).
+    """
+    config = config or ZkSpeedConfig.paper_default()
+    chip = ZkSpeedChip(config, technology)
+
+    baseline_workload = WorkloadModel(num_vars=encoding.baseline_num_vars)
+    baseline_report = chip.simulate(baseline_workload)
+    baseline_tables = 13 * (1 << encoding.baseline_num_vars)
+
+    reduced_report = chip.simulate(WorkloadModel(num_vars=encoding.num_vars))
+    # Scale the reduced-size runtime by the relative growth in committed data
+    # (MSM/commit traffic) and in SumCheck instance cost.
+    table_scale = encoding.num_mle_tables / 13
+    degree_scale = (encoding.gate_degree + 2) / 6  # evaluation points per round
+    scale = 0.5 * table_scale + 0.5 * degree_scale
+    jellyfish_runtime = reduced_report.total_runtime_ms * scale
+
+    return JellyfishEstimate(
+        encoding=encoding,
+        baseline_runtime_ms=baseline_report.total_runtime_ms,
+        jellyfish_runtime_ms=jellyfish_runtime,
+        baseline_table_entries=baseline_tables,
+        jellyfish_table_entries=encoding.total_table_entries,
+    )
+
+
+def arity_sweep(
+    baseline_num_vars: int = 20,
+    arities: tuple[int, ...] = (2, 3, 4, 6, 8),
+    gate_degree: int = 3,
+    config: ZkSpeedConfig | None = None,
+) -> list[JellyfishEstimate]:
+    """Sweep gate arity and return the runtime/footprint estimates."""
+    estimates = []
+    for arity in arities:
+        encoding = JellyfishEncoding(
+            baseline_num_vars=baseline_num_vars, arity=arity, gate_degree=gate_degree
+        )
+        estimates.append(estimate_jellyfish(encoding, config=config))
+    return estimates

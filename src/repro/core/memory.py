@@ -1,0 +1,126 @@
+"""On-chip memory and HBM model (Sections 4.6 and 5).
+
+zkSpeed keeps the (reused) input MLEs in a highly banked global SRAM, with a
+compression scheme that packs the binary control MLEs and the mostly-0/1
+witness and constant MLEs (10-11x storage saving); everything else streams
+through HBM.  This module sizes the global SRAM, the unit-local SRAMs and
+the HBM PHYs for a given configuration and problem size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import ZkSpeedConfig
+from repro.core.technology import DEFAULT_TECHNOLOGY, TechnologyModel
+from repro.core.units.msm_unit import MsmUnitModel
+
+
+@dataclass
+class MemoryPlan:
+    """Sizing of the memory system for one (config, problem size) pair."""
+
+    global_sram_mb: float
+    msm_local_sram_mb: float
+    fracmle_sram_mb: float
+    staging_buffers_mb: float
+    phy_kind: str
+    phy_count: int
+    phy_area_mm2: float
+    compression_ratio: float
+
+    @property
+    def total_sram_mb(self) -> float:
+        return (
+            self.global_sram_mb
+            + self.msm_local_sram_mb
+            + self.fracmle_sram_mb
+            + self.staging_buffers_mb
+        )
+
+
+class MemoryModel:
+    """Sizes SRAM and HBM PHYs and prices their area and power."""
+
+    def __init__(
+        self, config: ZkSpeedConfig, technology: TechnologyModel = DEFAULT_TECHNOLOGY
+    ):
+        self.config = config
+        self.tech = technology
+
+    # -- global SRAM ------------------------------------------------------------------
+
+    def input_mle_storage_mb(self, num_vars: int) -> tuple[float, float]:
+        """(uncompressed, compressed) storage for the 8 reused input MLEs.
+
+        Uncompressed: 8 tables of 2^mu 255-bit entries.  Compressed
+        (Section 4.6): the four binary control MLEs are bit-packed; q_c and
+        the witnesses keep ~10% full-width entries plus a 1-bit flag per
+        entry, via address-translation lookups.
+        """
+        n = 1 << num_vars
+        field_bytes = self.tech.field_bytes
+        uncompressed = 8 * n * field_bytes / 1e6
+        binary_packed = 4 * n / 8 / 1e6  # qL, qR, qM, qO as single bits
+        # qC, w1, w2, w3: ~10% full-width entries, the rest stored as short
+        # (flag + small-value) records, plus the address-translation tables --
+        # a 10-11x saving overall, as quoted in Section 4.6.
+        mixed = 4 * n * (0.10 * field_bytes + 0.90 * 2 + 0.4) / 1e6
+        compressed = binary_packed + mixed
+        return uncompressed, compressed
+
+    def plan(self, num_vars: int) -> MemoryPlan:
+        uncompressed, compressed = self.input_mle_storage_mb(num_vars)
+        if not self.config.store_input_mles_on_chip:
+            global_sram = 0.5  # small working buffers only
+            compression_ratio = 1.0
+        elif self.config.mle_compression:
+            global_sram = compressed
+            compression_ratio = uncompressed / compressed
+        else:
+            global_sram = uncompressed
+            compression_ratio = 1.0
+
+        msm_sram = MsmUnitModel(self.config, self.tech).local_sram_mb()
+        fracmle_sram = (
+            self.config.fracmle_pes
+            * self.config.fracmle_batch_size
+            * 16
+            * self.tech.field_bytes
+            / 1e6
+        )
+        staging = 2.0  # double-buffering for streamed SumCheck tables
+        phy_kind, phy_count, phy_area = self.tech.hbm_phy_plan(self.config.bandwidth_gbs)
+        return MemoryPlan(
+            global_sram_mb=global_sram,
+            msm_local_sram_mb=msm_sram,
+            fracmle_sram_mb=fracmle_sram,
+            staging_buffers_mb=staging,
+            phy_kind=phy_kind,
+            phy_count=phy_count,
+            phy_area_mm2=phy_area,
+            compression_ratio=compression_ratio,
+        )
+
+    # -- area / power -------------------------------------------------------------------
+
+    def sram_area_mm2(self, num_vars: int) -> float:
+        return self.plan(num_vars).total_sram_mb * self.tech.sram_mm2_per_mb
+
+    def phy_area_mm2(self) -> float:
+        _, _, area = self.tech.hbm_phy_plan(self.config.bandwidth_gbs)
+        return area
+
+    def sram_power_w(self, num_vars: int) -> float:
+        return self.sram_area_mm2(num_vars) * self.tech.power_density_sram
+
+    def phy_power_w(self) -> float:
+        return self.phy_area_mm2() * self.tech.power_density_hbm_phy
+
+    # -- bandwidth helpers -----------------------------------------------------------------
+
+    def memory_cycles(self, num_bytes: float) -> float:
+        """Cycles needed to move ``num_bytes`` over the off-chip interface."""
+        if num_bytes <= 0:
+            return 0.0
+        return num_bytes / self.config.bandwidth_bytes_per_cycle

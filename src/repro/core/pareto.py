@@ -1,0 +1,40 @@
+"""Pareto-frontier extraction for the design-space exploration."""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence, TypeVar
+
+T = TypeVar("T")
+
+
+def pareto_frontier(
+    points: Sequence[T],
+    cost_x: Callable[[T], float],
+    cost_y: Callable[[T], float],
+) -> list[T]:
+    """Return the Pareto-optimal subset minimizing both cost functions.
+
+    A point is Pareto-optimal if no other point is at least as good in both
+    dimensions and strictly better in at least one.  The result is sorted by
+    ``cost_x`` ascending (and therefore ``cost_y`` descending).
+    """
+    if not points:
+        return []
+    ordered = sorted(points, key=lambda p: (cost_x(p), cost_y(p)))
+    frontier: list[T] = []
+    best_y = float("inf")
+    for point in ordered:
+        y = cost_y(point)
+        if y < best_y:
+            frontier.append(point)
+            best_y = y
+    return frontier
+
+
+def dominates(
+    a: T, b: T, cost_x: Callable[[T], float], cost_y: Callable[[T], float]
+) -> bool:
+    """True if ``a`` dominates ``b`` (no worse in both costs, better in one)."""
+    ax, ay = cost_x(a), cost_y(a)
+    bx, by = cost_x(b), cost_y(b)
+    return ax <= bx and ay <= by and (ax < bx or ay < by)

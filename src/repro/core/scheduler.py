@@ -1,0 +1,297 @@
+"""Protocol-step scheduler: maps HyperPlonk onto the zkSpeed units.
+
+The scheduler computes, for each of the four serialized protocol phases
+(Figure 2), the compute time on every involved unit, the off-chip traffic,
+and the phase latency as the maximum of compute and memory time (streams are
+overlapped with computation whenever possible, Section 5).  Pipelined
+producer/consumer chains inside the Wiring Identity (Construct N&D ->
+FracMLE -> ProdMLE -> MSM) are modelled as rate-matched pipelines whose
+latency is set by the slowest stage.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.config import ZkSpeedConfig
+from repro.core.memory import MemoryModel
+from repro.core.technology import DEFAULT_TECHNOLOGY, TechnologyModel
+from repro.core.units.construct_nd_unit import ConstructNdUnitModel
+from repro.core.units.fracmle_unit import FracMleUnitModel
+from repro.core.units.mle_combine_unit import MleCombineUnitModel
+from repro.core.units.mle_update_unit import MleUpdateUnitModel
+from repro.core.units.msm_unit import MsmUnitModel
+from repro.core.units.sha3_unit import Sha3UnitModel
+from repro.core.units.sumcheck_unit import (
+    OPENCHECK_SHAPE,
+    PERMCHECK_SHAPE,
+    SumcheckUnitModel,
+    ZEROCHECK_SHAPE,
+)
+from repro.core.units.tree_unit import MultifunctionTreeModel
+from repro.core.workload_model import WorkloadModel
+
+
+@dataclass
+class Phase:
+    """A sub-phase whose streaming is overlapped with its own compute only."""
+
+    name: str
+    compute_cycles: float
+    memory_bytes: float
+
+    def memory_cycles(self, bandwidth_bytes_per_cycle: float) -> float:
+        if self.memory_bytes <= 0:
+            return 0.0
+        return self.memory_bytes / bandwidth_bytes_per_cycle
+
+    def latency(self, bandwidth_bytes_per_cycle: float) -> float:
+        return max(self.compute_cycles, self.memory_cycles(bandwidth_bytes_per_cycle))
+
+
+@dataclass
+class StepTiming:
+    """Latency and activity of one protocol step.
+
+    A step consists of one or more sequential sub-phases; within each
+    sub-phase off-chip streaming overlaps with computation, but a
+    memory-bound sub-phase cannot hide behind a compute-bound one that runs
+    before or after it (e.g. the PermCheck rounds do not overlap with the
+    phi/pi commitment MSMs).
+    """
+
+    name: str
+    phases: list[Phase]
+    bandwidth_bytes_per_cycle: float
+    unit_busy_cycles: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def compute_cycles(self) -> float:
+        return sum(p.compute_cycles for p in self.phases)
+
+    @property
+    def memory_bytes(self) -> float:
+        return sum(p.memory_bytes for p in self.phases)
+
+    @property
+    def memory_cycles(self) -> float:
+        return sum(p.memory_cycles(self.bandwidth_bytes_per_cycle) for p in self.phases)
+
+    @property
+    def total_cycles(self) -> float:
+        """Step latency: the sum of per-phase latencies."""
+        return sum(p.latency(self.bandwidth_bytes_per_cycle) for p in self.phases)
+
+    @property
+    def is_memory_bound(self) -> bool:
+        return self.memory_cycles > self.compute_cycles
+
+
+class ProtocolScheduler:
+    """Computes per-phase timings for a configuration and workload."""
+
+    def __init__(
+        self, config: ZkSpeedConfig, technology: TechnologyModel = DEFAULT_TECHNOLOGY
+    ):
+        self.config = config
+        self.tech = technology
+        self.msm = MsmUnitModel(config, technology)
+        self.sumcheck = SumcheckUnitModel(config, technology)
+        self.mle_update = MleUpdateUnitModel(config, technology)
+        self.tree = MultifunctionTreeModel(config, technology)
+        self.fracmle = FracMleUnitModel(config, technology)
+        self.construct_nd = ConstructNdUnitModel(config, technology)
+        self.mle_combine = MleCombineUnitModel(config, technology)
+        self.sha3 = Sha3UnitModel(config, technology)
+        self.memory = MemoryModel(config, technology)
+
+    # -- individual phases -----------------------------------------------------------
+
+    @property
+    def _bandwidth(self) -> float:
+        return self.config.bandwidth_bytes_per_cycle
+
+    def witness_commit_step(self, workload: WorkloadModel) -> StepTiming:
+        """Three Sparse MSMs, executed in series (they are on the critical path)."""
+        n = workload.num_gates
+        phases = []
+        compute = 0.0
+        for index in range(3):
+            execution = self.msm.sparse_msm(
+                n, workload.dense_fraction, workload.one_fraction
+            )
+            phases.append(
+                Phase(f"sparse_msm_w{index + 1}", execution.total_cycles, execution.bytes_read)
+            )
+            compute += execution.total_cycles
+        return StepTiming(
+            name="witness_commits",
+            phases=phases,
+            bandwidth_bytes_per_cycle=self._bandwidth,
+            unit_busy_cycles={"msm": compute, "sha3": 3 * self.sha3.invocation_cycles()},
+        )
+
+    def _zerocheck_like_step(
+        self, name: str, num_vars: int, shape, first_round_on_chip: bool
+    ) -> StepTiming:
+        build = self.tree.build_mle_cycles(num_vars)
+        execution = self.sumcheck.run(num_vars, shape, first_round_on_chip=first_round_on_chip)
+        update_cycles = self.mle_update.cycles_for_updates(execution.update_modmuls)
+        # SumCheck and MLE Update run concurrently on a round-by-round basis.
+        rounds_compute = max(execution.compute_cycles, update_cycles)
+        phases = [
+            Phase("build_mle", build, 0.0),
+            Phase("sumcheck_rounds", rounds_compute, execution.bytes_read + execution.bytes_written),
+        ]
+        return StepTiming(
+            name=name,
+            phases=phases,
+            bandwidth_bytes_per_cycle=self._bandwidth,
+            unit_busy_cycles={
+                "multifunction_tree": build,
+                "sumcheck": execution.compute_cycles,
+                "mle_update": update_cycles,
+                "sha3": (num_vars + 2) * self.sha3.invocation_cycles(),
+            },
+        )
+
+    def gate_identity_step(self, workload: WorkloadModel) -> StepTiming:
+        """Build MLE + ZeroCheck over the gate constraint (Equation 3)."""
+        return self._zerocheck_like_step(
+            "gate_identity",
+            workload.num_vars,
+            ZEROCHECK_SHAPE,
+            first_round_on_chip=self.config.store_input_mles_on_chip,
+        )
+
+    def wire_identity_step(self, workload: WorkloadModel) -> StepTiming:
+        """Construct N&D -> FracMLE -> ProdMLE -> MSMs, then the PermCheck."""
+        num_vars = workload.num_vars
+        n = workload.num_gates
+
+        # Pipelined production of phi / pi overlapped with the phi commitment
+        # MSM (Section 5: at most 4 bus channels active, units rate-matched).
+        construct_cycles = self.construct_nd.cycles(num_vars)
+        frac_cycles = self.fracmle.fraction_mle_cycles(num_vars)
+        prod_cycles = self.tree.product_mle_cycles(num_vars)
+        msm_phi = self.msm.dense_msm(n, scalars_on_chip=True)
+        pipeline_cycles = max(
+            construct_cycles, frac_cycles, prod_cycles, msm_phi.total_cycles
+        )
+        # The pi commitment waits for the product tree to finish.
+        msm_pi = self.msm.dense_msm(n, scalars_on_chip=True)
+        pipeline_cycles += msm_pi.total_cycles
+
+        permcheck = self.sumcheck.run(num_vars, PERMCHECK_SHAPE, first_round_on_chip=False)
+        update_cycles = self.mle_update.cycles_for_updates(permcheck.update_modmuls)
+        permcheck_rounds_compute = max(permcheck.compute_cycles, update_cycles)
+
+        pipeline_traffic = (
+            self.construct_nd.bytes_read(num_vars, self.config.mle_compression)
+            + self.construct_nd.bytes_written(num_vars)
+            + self.fracmle.bytes_written(num_vars)
+            + n * self.tech.field_bytes  # product MLE written off-chip
+            + msm_phi.bytes_read
+            + msm_pi.bytes_read
+        )
+        phases = [
+            Phase("construct_frac_prod_commit", pipeline_cycles, pipeline_traffic),
+            Phase("permcheck_build_mle", self.tree.build_mle_cycles(num_vars), 0.0),
+            Phase(
+                "permcheck_rounds",
+                permcheck_rounds_compute,
+                permcheck.bytes_read + permcheck.bytes_written,
+            ),
+        ]
+        return StepTiming(
+            name="wire_identity",
+            phases=phases,
+            bandwidth_bytes_per_cycle=self._bandwidth,
+            unit_busy_cycles={
+                "construct_nd": construct_cycles,
+                "fracmle": frac_cycles,
+                "multifunction_tree": prod_cycles + self.tree.build_mle_cycles(num_vars),
+                "msm": msm_phi.total_cycles + msm_pi.total_cycles,
+                "sumcheck": permcheck.compute_cycles,
+                "mle_update": update_cycles,
+                "sha3": (num_vars + 4) * self.sha3.invocation_cycles(),
+            },
+        )
+
+    def batch_evaluation_step(self, workload: WorkloadModel) -> StepTiming:
+        """22 MLE evaluations on the Multifunction Tree unit."""
+        num_vars = workload.num_vars
+        num_evaluations = 22
+        # The 22 evaluations touch 13 distinct polynomials; evaluations of the
+        # same polynomial at different points share one streaming pass.
+        compute = self.tree.mle_evaluate_cycles(num_vars, num_evaluations, num_tables=13)
+        # Only phi, pi (and working copies) come from off-chip; the reused
+        # input MLEs are read from the compressed global SRAM.
+        offchip_tables = 2.3 if self.config.store_input_mles_on_chip else 13.0
+        traffic = offchip_tables * workload.num_gates * self.tech.field_bytes
+        return StepTiming(
+            name="batch_evaluations",
+            phases=[Phase("mle_evaluate", compute, traffic)],
+            bandwidth_bytes_per_cycle=self._bandwidth,
+            unit_busy_cycles={
+                "multifunction_tree": compute,
+                "sha3": 22 * self.sha3.invocation_cycles(),
+            },
+        )
+
+    def polynomial_opening_step(self, workload: WorkloadModel) -> StepTiming:
+        """MLE Combine, OpenCheck, the final combination, and the halving MSMs."""
+        num_vars = workload.num_vars
+        n = workload.num_gates
+
+        combine1 = self.mle_combine.combine_cycles(num_vars, num_input_mles=21)
+        build_eqs = 6 * self.tree.build_mle_cycles(num_vars)
+        opencheck = self.sumcheck.run(num_vars, OPENCHECK_SHAPE, first_round_on_chip=False)
+        update_cycles = self.mle_update.cycles_for_updates(opencheck.update_modmuls)
+        opencheck_compute = max(opencheck.compute_cycles, update_cycles)
+        combine2 = self.mle_combine.combine_cycles(num_vars, num_input_mles=6)
+        msm_open = self.msm.polynomial_opening_msms(num_vars)
+
+        offchip_inputs = 2.3 if self.config.store_input_mles_on_chip else 13.0
+        combine1_traffic = self.mle_combine.bytes_read(
+            num_vars, num_offchip_mles=offchip_inputs
+        ) + self.mle_combine.bytes_written(num_vars, num_output_mles=6)
+        combine2_traffic = (
+            self.mle_combine.bytes_read(num_vars, num_offchip_mles=6)
+            + n * self.tech.field_bytes
+        )
+        phases = [
+            Phase("mle_combine_and_eq", combine1 + build_eqs, combine1_traffic),
+            Phase(
+                "opencheck_rounds",
+                opencheck_compute,
+                opencheck.bytes_read + opencheck.bytes_written,
+            ),
+            Phase("final_combine", combine2, combine2_traffic),
+            Phase("opening_msms", msm_open.total_cycles, msm_open.bytes_read),
+        ]
+        return StepTiming(
+            name="poly_open",
+            phases=phases,
+            bandwidth_bytes_per_cycle=self._bandwidth,
+            unit_busy_cycles={
+                "mle_combine": combine1 + combine2,
+                "multifunction_tree": build_eqs,
+                "sumcheck": opencheck.compute_cycles,
+                "mle_update": update_cycles,
+                "msm": msm_open.total_cycles,
+                "sha3": (num_vars + 20) * self.sha3.invocation_cycles(),
+            },
+        )
+
+    # -- full schedule -----------------------------------------------------------------
+
+    def schedule(self, workload: WorkloadModel) -> list[StepTiming]:
+        """All protocol phases in execution order (they serialize via SHA3)."""
+        return [
+            self.witness_commit_step(workload),
+            self.gate_identity_step(workload),
+            self.wire_identity_step(workload),
+            self.batch_evaluation_step(workload),
+            self.polynomial_opening_step(workload),
+        ]

@@ -1,0 +1,126 @@
+"""Technology model: area, power and delay constants.
+
+The paper synthesizes its units with Catapult HLS + Design Compiler at TSMC
+22 nm, generates SRAM with a memory compiler, and scales to 7 nm with the
+factors 3.6x (area), 3.3x (power) and 1.7x (delay) from prior work; all
+accelerators are clocked at 1 GHz (Section 6.1).  We do not have the
+synthesis flow, so this module encodes the *published* post-scaling numbers
+(Table 4, Table 5 and the per-unit figures quoted in Section 4) as the
+technology model's constants, and exposes the scaling factors so the 22 nm
+numbers can be recovered.
+
+Calibrated constants (documented per DESIGN.md's substitution table):
+
+* 255-bit modular multiplier: 0.133 mm^2;  381-bit: 0.314 mm^2  (Table 4).
+* SumCheck PE: 94 modmuls  -> 12.48 mm^2 (Table 5 / Section 4.1.4).
+* PADD: 12 modmuls per mixed addition, ~85-cycle pipeline latency, 1 op/cycle.
+* HBM2 PHY: 14.9 mm^2 per 512 GB/s;  HBM3 PHY: 29.6 mm^2 per 1 TB/s.
+* SRAM density and per-unit power densities are fitted so the highlighted
+  366 mm^2 / 170.9 W design reproduces Table 5.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class TechnologyModel:
+    """Area / power / timing constants for the 7 nm target node."""
+
+    # -- clocking ---------------------------------------------------------------
+    clock_ghz: float = 1.0
+
+    # -- scaling from the 22 nm synthesis node (Section 6.1) ---------------------
+    area_scale_22_to_7: float = 3.6
+    power_scale_22_to_7: float = 3.3
+    delay_scale_22_to_7: float = 1.7
+
+    # -- modular arithmetic ------------------------------------------------------
+    modmul_area_mm2_255: float = 0.133
+    modmul_area_mm2_381: float = 0.314
+    modmul_latency_cycles: int = 9
+    modadd_area_mm2_255: float = 0.004
+    modinv_latency_cycles: int = 509  # constant-time BEEA, 2*255 - 1
+
+    # -- point addition (MSM PADD) --------------------------------------------------
+    padd_modmuls: int = 12
+    padd_pipeline_latency: int = 85
+    padd_area_mm2: float = 3.8  # ~12 x 381-bit modmuls plus control
+
+    # -- unit-level calibration (Table 5) ---------------------------------------------
+    sumcheck_pe_modmuls: int = 94
+    sumcheck_pe_modmuls_unshared: int = 184
+    sumcheck_pe_area_mm2: float = 12.48
+    mle_update_modmul_area_mm2: float = 0.133
+    mle_combine_modmuls_shared: int = 72
+    mle_combine_modmuls_unshared: int = 122
+    mle_combine_area_mm2: float = 9.56
+    multifunction_tree_area_mm2: float = 12.28
+    multifunction_tree_pes: int = 8
+    construct_nd_area_mm2: float = 1.35
+    construct_nd_modmuls: int = 10
+    fracmle_area_mm2_per_pe: float = 1.92
+    sha3_area_mm2: float = 0.0059
+    sha3_latency_cycles: int = 24
+    misc_area_mm2: float = 1.98
+
+    # -- MSM unit calibration ---------------------------------------------------------
+    msm_pe_area_mm2: float = 6.60  # Table 5: 105.64 mm^2 / 16 PEs (PADD + buffers)
+    msm_core_overhead_mm2: float = 0.5
+
+    # -- memory ------------------------------------------------------------------------
+    sram_mm2_per_mb: float = 0.78
+    hbm2_phy_area_mm2: float = 14.9
+    hbm2_phy_bandwidth_gbs: float = 512.0
+    hbm3_phy_area_mm2: float = 29.6
+    hbm3_phy_bandwidth_gbs: float = 1024.0
+    ddr_phy_area_mm2: float = 5.0
+    ddr_max_bandwidth_gbs: float = 256.0
+
+    # -- power densities (W per mm^2), fitted to Table 5 ----------------------------------
+    power_density_msm: float = 0.721       # 76.19 W / 105.64 mm^2
+    power_density_sumcheck: float = 0.216  # 5.38 / 24.96
+    power_density_compute: float = 0.20    # small arithmetic units
+    power_density_tree: float = 0.339      # 4.16 / 12.28
+    power_density_sram: float = 0.136      # 19.60 / 143.73
+    power_density_hbm_phy: float = 1.074   # 63.60 / 59.20
+
+    # -- datatype widths (bytes) -------------------------------------------------------------
+    field_bytes: int = 32   # 255-bit MLE entries, stored in 32-byte words
+    point_coord_bytes: int = 48  # 381-bit coordinates
+    point_bytes_affine: int = 96
+    point_bytes_projective: int = 144
+
+    # -- derived helpers -----------------------------------------------------------------------
+
+    @property
+    def cycle_time_ns(self) -> float:
+        return 1.0 / self.clock_ghz
+
+    def cycles_to_ms(self, cycles: float) -> float:
+        """Convert a cycle count into milliseconds at the target clock."""
+        return cycles * self.cycle_time_ns * 1e-6
+
+    def hbm_phy_plan(self, bandwidth_gbs: float) -> tuple[str, int, float]:
+        """Pick the memory-PHY technology for a bandwidth target.
+
+        Returns (phy kind, number of PHYs, total PHY area).  Bandwidths at or
+        below DDR5 rates need no HBM PHY (a small DDR PHY is charged); 512
+        GB/s maps to HBM2, and above that HBM3 PHYs are provisioned at 1 TB/s
+        each -- matching the PHY accounting in Section 7.1.
+        """
+        if bandwidth_gbs <= self.ddr_max_bandwidth_gbs:
+            return ("ddr", 1, self.ddr_phy_area_mm2)
+        if bandwidth_gbs <= self.hbm2_phy_bandwidth_gbs:
+            return ("hbm2", 1, self.hbm2_phy_area_mm2)
+        count = max(1, round(bandwidth_gbs / self.hbm3_phy_bandwidth_gbs))
+        return ("hbm3", count, count * self.hbm3_phy_area_mm2)
+
+    def to_22nm_area(self, area_mm2_7nm: float) -> float:
+        """Recover the pre-scaling 22 nm area of a block."""
+        return area_mm2_7nm * self.area_scale_22_to_7
+
+
+#: The default technology model used throughout the package.
+DEFAULT_TECHNOLOGY = TechnologyModel()

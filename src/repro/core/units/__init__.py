@@ -1,0 +1,27 @@
+"""Cycle / area / power models of the eight zkSpeed accelerator units."""
+
+from repro.core.units.base import UnitModel, UnitReport
+from repro.core.units.msm_unit import MsmUnitModel, bucket_aggregation_cycles
+from repro.core.units.sumcheck_unit import SumcheckUnitModel, SumcheckInstanceShape
+from repro.core.units.mle_update_unit import MleUpdateUnitModel
+from repro.core.units.tree_unit import MultifunctionTreeModel
+from repro.core.units.fracmle_unit import FracMleUnitModel, batch_inversion_tradeoff
+from repro.core.units.construct_nd_unit import ConstructNdUnitModel
+from repro.core.units.mle_combine_unit import MleCombineUnitModel
+from repro.core.units.sha3_unit import Sha3UnitModel
+
+__all__ = [
+    "UnitModel",
+    "UnitReport",
+    "MsmUnitModel",
+    "bucket_aggregation_cycles",
+    "SumcheckUnitModel",
+    "SumcheckInstanceShape",
+    "MleUpdateUnitModel",
+    "MultifunctionTreeModel",
+    "FracMleUnitModel",
+    "batch_inversion_tradeoff",
+    "ConstructNdUnitModel",
+    "MleCombineUnitModel",
+    "Sha3UnitModel",
+]

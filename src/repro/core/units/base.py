@@ -1,0 +1,66 @@
+"""Common interface for zkSpeed unit models.
+
+Each unit model exposes:
+
+* ``area_mm2()``   -- post-scaling (7 nm) silicon area,
+* ``power_w()``    -- average power when active (area x calibrated density),
+* cycle-count methods specific to the unit's operations.
+
+The full-chip model (:mod:`repro.core.chip`) aggregates unit reports into the
+area/power breakdowns of Table 5 and the utilization analysis of Figure 13.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+from repro.core.config import ZkSpeedConfig
+from repro.core.technology import DEFAULT_TECHNOLOGY, TechnologyModel
+
+
+@dataclass
+class UnitReport:
+    """Area / power / activity summary for one unit."""
+
+    name: str
+    area_mm2: float
+    power_w: float
+    busy_cycles: float = 0.0
+
+    def utilization(self, total_cycles: float) -> float:
+        """Fraction of the run during which the unit was busy."""
+        if total_cycles <= 0:
+            return 0.0
+        return min(1.0, self.busy_cycles / total_cycles)
+
+
+class UnitModel(ABC):
+    """Base class for unit models: binds a design config and technology."""
+
+    name: str = "unit"
+
+    def __init__(
+        self, config: ZkSpeedConfig, technology: TechnologyModel = DEFAULT_TECHNOLOGY
+    ):
+        self.config = config
+        self.tech = technology
+
+    @abstractmethod
+    def area_mm2(self) -> float:
+        """Silicon area of the unit at the 7 nm target node."""
+
+    def power_w(self) -> float:
+        """Average active power (area times the calibrated power density)."""
+        return self.area_mm2() * self.power_density()
+
+    def power_density(self) -> float:
+        return self.tech.power_density_compute
+
+    def report(self, busy_cycles: float = 0.0) -> UnitReport:
+        return UnitReport(
+            name=self.name,
+            area_mm2=self.area_mm2(),
+            power_w=self.power_w(),
+            busy_cycles=busy_cycles,
+        )

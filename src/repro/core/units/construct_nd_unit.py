@@ -1,0 +1,44 @@
+"""Construct N&D unit model (Section 4.4.1).
+
+The Construct N&D stage builds the six intermediate MLEs N_1..3 / D_1..3
+from the witness and permutation MLEs held in on-chip SRAM plus two SHA3
+challenges (beta, gamma), writes them off-chip for the later PermCheck, and
+streams the element-wise products N = N1*N2*N3 and D = D1*D2*D3 into the
+FracMLE unit.  The datapath is a handful of modular multipliers and adders
+processing one gate per cycle.
+"""
+
+from __future__ import annotations
+
+from repro.core.units.base import UnitModel
+
+
+class ConstructNdUnitModel(UnitModel):
+    """Cycle and area model of the Construct N&D unit."""
+
+    name = "construct_nd"
+
+    def area_mm2(self) -> float:
+        return self.tech.construct_nd_area_mm2
+
+    def cycles(self, num_vars: int) -> float:
+        """One gate per cycle, plus pipeline fill."""
+        return (1 << num_vars) + self.tech.modmul_latency_cycles * 4
+
+    def modmuls(self, num_vars: int) -> float:
+        """Per gate: 2 multiplications per column (beta*id, beta*sigma) plus
+        the two 3-way products feeding FracMLE (~10 total)."""
+        return self.tech.construct_nd_modmuls * (1 << num_vars)
+
+    def bytes_read(self, num_vars: int, mle_compression: bool = True) -> float:
+        """Sigma tables are streamed from HBM unless compressed on-chip copies exist."""
+        sigma_bytes = 3 * (1 << num_vars) * self.tech.field_bytes
+        if mle_compression:
+            # Witness tables come from compressed on-chip SRAM; sigmas are
+            # read once from HBM.
+            return sigma_bytes * 0.2
+        return sigma_bytes + 3 * (1 << num_vars) * self.tech.field_bytes
+
+    def bytes_written(self, num_vars: int) -> float:
+        """The six intermediate MLEs plus N and D are written off-chip."""
+        return 8 * (1 << num_vars) * self.tech.field_bytes

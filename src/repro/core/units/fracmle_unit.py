@@ -1,0 +1,110 @@
+"""FracMLE unit model (Section 4.4): batched modular inversion.
+
+The Fraction MLE requires a modular inverse per table entry.  zkSpeed uses
+the constant-time BEEA (509-cycle latency for 255-bit operands) combined
+with Montgomery batching: a batch of ``b`` elements is reduced with a
+multiplier tree (O(log2 b) levels), a single BEEA inversion of the batch
+product, and a backward sweep of multiplications.  Multiple batched-inverse
+units run round-robin so the unit as a whole accepts one element per cycle.
+
+``batch_inversion_tradeoff`` reproduces the Figure 8 study: the latency
+imbalance between the partial-product chain (O(b)) and the tree+inversion
+path (O(log b) + 509) and the total area, both minimized at b = 64.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import ZkSpeedConfig
+from repro.core.technology import DEFAULT_TECHNOLOGY, TechnologyModel
+from repro.core.units.base import UnitModel
+
+#: Area of one batched-inverse unit (BEEA datapath plus sequencing), fitted
+#: so that the Figure 8 area curve peaks near ~80 mm^2 at b = 2 (256 units)
+#: and the b = 64 design lands near the Table 5 FracMLE footprint.
+BATCHED_INVERSE_UNIT_AREA_MM2 = 0.30
+#: SRAM for buffering one batch's partial products, per unit, per element.
+PARTIAL_PRODUCT_BUFFER_BYTES = 32
+
+
+@dataclass
+class BatchInversionDesign:
+    """Derived properties of a batched-inversion design point (Figure 8)."""
+
+    batch_size: int
+    partial_product_latency: float
+    tree_and_inversion_latency: float
+    num_inverse_units: int
+    area_mm2: float
+
+    @property
+    def latency_imbalance(self) -> float:
+        return abs(self.partial_product_latency - self.tree_and_inversion_latency)
+
+    @property
+    def batch_latency(self) -> float:
+        return max(self.partial_product_latency, self.tree_and_inversion_latency)
+
+
+def batch_inversion_tradeoff(
+    batch_size: int, technology: TechnologyModel = DEFAULT_TECHNOLOGY
+) -> BatchInversionDesign:
+    """Latency-imbalance and area of a FracMLE design with the given batch size."""
+    if batch_size < 2:
+        raise ValueError("batch_size must be at least 2")
+    mul_latency = technology.modmul_latency_cycles
+    partial_products = batch_size * mul_latency
+    depth = (batch_size - 1).bit_length()
+    tree_and_inverse = depth * mul_latency + technology.modinv_latency_cycles
+    # Enough units to hide one batch latency while accepting 1 element/cycle.
+    units = max(1, -(-int(max(partial_products, tree_and_inverse) + batch_size) // batch_size))
+    sram_mm2 = (
+        units
+        * batch_size
+        * PARTIAL_PRODUCT_BUFFER_BYTES
+        / 1e6
+        * technology.sram_mm2_per_mb
+    )
+    tree_mm2 = depth * technology.modmul_area_mm2_255
+    area = units * BATCHED_INVERSE_UNIT_AREA_MM2 + tree_mm2 + sram_mm2
+    return BatchInversionDesign(
+        batch_size=batch_size,
+        partial_product_latency=partial_products,
+        tree_and_inversion_latency=tree_and_inverse,
+        num_inverse_units=units,
+        area_mm2=area,
+    )
+
+
+class FracMleUnitModel(UnitModel):
+    """Cycle and area model of the FracMLE unit."""
+
+    name = "fracmle"
+
+    def area_mm2(self) -> float:
+        # The shared design (multiplier tree reused across batched-inverse
+        # units, Section 4.4.3) lands at the Table 5 footprint per PE.
+        return self.config.fracmle_pes * self.tech.fracmle_area_mm2_per_pe
+
+    def design(self) -> BatchInversionDesign:
+        return batch_inversion_tradeoff(self.config.fracmle_batch_size, self.tech)
+
+    def fraction_mle_cycles(self, num_vars: int) -> float:
+        """Cycles to produce the 2^mu-entry Fraction MLE.
+
+        With enough batched-inverse units the unit is a pipeline of depth
+        b * k accepting one element per cycle per PE.
+        """
+        n = 1 << num_vars
+        design = self.design()
+        pipeline_fill = design.batch_latency + self.config.fracmle_batch_size
+        return n / self.config.fracmle_pes + pipeline_fill
+
+    def inversions(self, num_vars: int) -> int:
+        """Number of batched BEEA inversions performed."""
+        return -(-(1 << num_vars) // self.config.fracmle_batch_size)
+
+    def bytes_written(self, num_vars: int) -> float:
+        """The Fraction MLE is written off-chip for the PermCheck."""
+        return (1 << num_vars) * self.tech.field_bytes

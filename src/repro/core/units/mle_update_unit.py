@@ -1,0 +1,36 @@
+"""MLE Update unit model (Section 4.1.3).
+
+Between SumCheck rounds every MLE table is folded with the verifier's
+challenge:  t'[i] = (t[2i+1] - t[2i]) * r + t[2i]  -- one modular
+multiplication per updated entry.  The unit provisions ``mle_update_pes``
+PEs with ``mle_update_modmuls_per_pe`` multipliers each; PEs handle distinct
+MLE tables independently and the whole unit runs concurrently with the
+SumCheck PEs (the round time is the max of the two).
+"""
+
+from __future__ import annotations
+
+from repro.core.units.base import UnitModel
+
+
+class MleUpdateUnitModel(UnitModel):
+    """Cycle and area model of the MLE Update unit."""
+
+    name = "mle_update"
+
+    @property
+    def throughput_updates_per_cycle(self) -> int:
+        return self.config.mle_update_pes * self.config.mle_update_modmuls_per_pe
+
+    def area_mm2(self) -> float:
+        return (
+            self.config.mle_update_pes
+            * self.config.mle_update_modmuls_per_pe
+            * self.tech.mle_update_modmul_area_mm2
+        )
+
+    def cycles_for_updates(self, num_updates: float) -> float:
+        """Cycles to apply ``num_updates`` table-entry updates."""
+        if num_updates <= 0:
+            return 0.0
+        return num_updates / self.throughput_updates_per_cycle + self.tech.modmul_latency_cycles

@@ -1,0 +1,208 @@
+"""MSM unit model (Section 4.2).
+
+The MSM unit executes Pippenger's algorithm with ``msm_cores`` cores, each
+holding ``msm_pes_per_core`` processing elements built around a fully
+pipelined point adder (PADD, 1 operation/cycle, ~85-cycle latency).  The
+model covers:
+
+* the bucket-accumulation phase (one PADD per point-window pair, spread
+  over all PEs);
+* the bucket-aggregation phase, with both the serial SZKP scheme and the
+  grouped scheme zkSpeed adopts (Figure 5 / Section 4.2.2);
+* the Sparse-MSM flow used by witness commitments: 1-valued scalars are
+  reduced with a PADD tree, zero scalars are skipped (Section 4.2 / 3.3.1);
+* the Polynomial-Opening sequence of MSMs of halving size, whose runtime is
+  dominated by fixed per-MSM latency once the sizes become small -- the
+  reason the improved aggregation matters;
+* off-chip traffic: only (X, Y) coordinates are fetched (Section 4.2.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import ZkSpeedConfig
+from repro.core.technology import DEFAULT_TECHNOLOGY, TechnologyModel
+from repro.core.units.base import UnitModel
+
+
+def bucket_aggregation_cycles(
+    window_bits: int,
+    scheme: str = "grouped",
+    group_size: int = 16,
+    padd_latency: int = 85,
+) -> float:
+    """Cycles to aggregate one window's buckets into the window sum.
+
+    The serial (SZKP) scheme performs ``2 * (2^W - 1)`` dependent PADDs, each
+    paying the full pipeline latency.  The grouped scheme (adopted from
+    PriorMSM) computes group partial sums whose chains interleave in the
+    pipeline, leaving only ``2 * group_size`` dependent steps on the critical
+    path plus the cross-group combination.
+    """
+    num_buckets = (1 << window_bits) - 1
+    if scheme == "serial":
+        return 2.0 * num_buckets * padd_latency
+    if scheme != "grouped":
+        raise ValueError(f"unknown aggregation scheme {scheme!r}")
+    num_groups = -(-num_buckets // group_size)
+    pipelined_work = 2.0 * num_buckets            # PADDs issued back-to-back
+    critical_chain = 2.0 * group_size + 2 * padd_latency
+    cross_group = num_groups * 2.0 + padd_latency
+    return pipelined_work + critical_chain + cross_group
+
+
+@dataclass
+class MsmExecution:
+    """Cycle/traffic breakdown of one MSM execution."""
+
+    bucket_cycles: float
+    aggregation_cycles: float
+    window_combine_cycles: float
+    fixed_latency_cycles: float
+    bytes_read: float
+
+    @property
+    def total_cycles(self) -> float:
+        return (
+            self.bucket_cycles
+            + self.aggregation_cycles
+            + self.window_combine_cycles
+            + self.fixed_latency_cycles
+        )
+
+
+class MsmUnitModel(UnitModel):
+    """Cycle and area model of the MSM unit."""
+
+    name = "msm"
+
+    def __init__(
+        self, config: ZkSpeedConfig, technology: TechnologyModel = DEFAULT_TECHNOLOGY
+    ):
+        super().__init__(config, technology)
+        self.scalar_bits = 255
+
+    # -- geometry -----------------------------------------------------------------
+
+    @property
+    def total_pes(self) -> int:
+        return self.config.total_msm_pes
+
+    @property
+    def num_windows(self) -> int:
+        return -(-self.scalar_bits // self.config.msm_window_bits)
+
+    # -- area / power -----------------------------------------------------------------
+
+    def area_mm2(self) -> float:
+        pe_area = self.tech.msm_pe_area_mm2
+        # Bucket storage: each PE keeps 2^W - 1 bucket accumulators in
+        # projective coordinates; the SRAM for staged points is accounted in
+        # the memory model (points_per_pe) and in chip.py.
+        bucket_registers_mm2 = (
+            ((1 << self.config.msm_window_bits) - 1)
+            * self.tech.point_bytes_projective
+            / 1e6
+            * self.tech.sram_mm2_per_mb
+        )
+        per_pe = pe_area + bucket_registers_mm2
+        return (
+            self.config.msm_cores
+            * (self.config.msm_pes_per_core * per_pe + self.tech.msm_core_overhead_mm2)
+        )
+
+    def power_density(self) -> float:
+        return self.tech.power_density_msm
+
+    def local_sram_mb(self) -> float:
+        """Point-staging SRAM: three 381-bit banks per PE (Section 4.2.1)."""
+        return (
+            self.total_pes
+            * self.config.msm_points_per_pe
+            * 3
+            * self.tech.point_coord_bytes
+            / 1e6
+        )
+
+    # -- cycle models ------------------------------------------------------------------
+
+    def _aggregation_cycles_all_windows(self) -> float:
+        per_window = bucket_aggregation_cycles(
+            self.config.msm_window_bits,
+            scheme=self.config.bucket_aggregation,
+            group_size=self.config.bucket_aggregation_group,
+            padd_latency=self.tech.padd_pipeline_latency,
+        )
+        # Windows are aggregated by the PEs in parallel (each PE owns a
+        # subset of windows); at least one serial pass remains per core.
+        parallel = max(1, min(self.total_pes, self.num_windows))
+        return per_window * self.num_windows / parallel
+
+    def dense_msm(self, num_points: int, scalars_on_chip: bool = False) -> MsmExecution:
+        """A dense (full-width scalar) MSM of ``num_points`` points."""
+        if num_points <= 0:
+            return MsmExecution(0.0, 0.0, 0.0, 0.0, 0.0)
+        bucket = num_points * self.num_windows / self.total_pes
+        aggregation = self._aggregation_cycles_all_windows()
+        window_combine = self.scalar_bits + self.num_windows * self.tech.padd_pipeline_latency
+        fixed = 2.0 * self.tech.padd_pipeline_latency
+        bytes_read = num_points * (
+            self.tech.point_bytes_affine + (0 if scalars_on_chip else self.tech.field_bytes)
+        )
+        return MsmExecution(bucket, aggregation, window_combine, fixed, bytes_read)
+
+    def sparse_msm(
+        self,
+        num_points: int,
+        dense_fraction: float,
+        one_fraction: float,
+    ) -> MsmExecution:
+        """A Sparse MSM (witness commitment): tree for ones, Pippenger for dense."""
+        num_ones = int(one_fraction * num_points)
+        num_dense = int(dense_fraction * num_points)
+        # Tree reduction of 1-valued points: fully pipelined PADDs across PEs,
+        # plus the log-depth drain of the final levels.
+        tree_cycles = num_ones / self.total_pes + max(
+            0, num_ones.bit_length()
+        ) * self.tech.padd_pipeline_latency
+        dense_exec = self.dense_msm(num_dense)
+        bytes_read = (
+            (num_ones + num_dense) * self.tech.point_bytes_affine
+            + num_dense * self.tech.field_bytes
+        )
+        return MsmExecution(
+            bucket_cycles=dense_exec.bucket_cycles + tree_cycles,
+            aggregation_cycles=dense_exec.aggregation_cycles,
+            window_combine_cycles=dense_exec.window_combine_cycles,
+            fixed_latency_cycles=dense_exec.fixed_latency_cycles,
+            bytes_read=bytes_read,
+        )
+
+    def polynomial_opening_msms(self, num_vars: int) -> MsmExecution:
+        """The halving sequence of MSMs in the Polynomial Opening step.
+
+        For a problem of 2^mu gates the prover commits quotient polynomials
+        of sizes 2^(mu-1), 2^(mu-2), ..., 1.  The executions are serialized
+        (each quotient depends on the previous reduction), so small MSMs are
+        dominated by the fixed aggregation/pipeline latency -- the bottleneck
+        the grouped aggregation scheme addresses.
+        """
+        total = MsmExecution(0.0, 0.0, 0.0, 0.0, 0.0)
+        for k in range(1, num_vars + 1):
+            size = 1 << (num_vars - k)
+            execution = self.dense_msm(size, scalars_on_chip=False)
+            total = MsmExecution(
+                total.bucket_cycles + execution.bucket_cycles,
+                total.aggregation_cycles + execution.aggregation_cycles,
+                total.window_combine_cycles + execution.window_combine_cycles,
+                total.fixed_latency_cycles + execution.fixed_latency_cycles,
+                total.bytes_read + execution.bytes_read,
+            )
+        return total
+
+    # -- operation counting (for cross-validation against the functional MSM) -------------
+
+    def expected_bucket_padds(self, num_points: int, nonzero_digit_fraction: float = 1.0) -> float:
+        """Expected PADDs in the bucket phase (digit = 0 contributes nothing)."""
+        return num_points * self.num_windows * nonzero_digit_fraction

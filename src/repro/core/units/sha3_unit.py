@@ -1,0 +1,36 @@
+"""SHA3 unit model (Section 3.3.6).
+
+The SHA3 unit maintains the Fiat-Shamir transcript: it absorbs commitments
+and SumCheck round messages and squeezes challenges.  It is tiny
+(5888 um^2) and rarely the bottleneck, but accelerating it matters because
+it sits between every pair of protocol steps (Amdahl's-law argument in
+Section 7.3.1: unaccelerated it would cap the speedup).
+"""
+
+from __future__ import annotations
+
+from repro.core.units.base import UnitModel
+
+
+class Sha3UnitModel(UnitModel):
+    """Cycle and area model of the SHA3 (Keccak) unit."""
+
+    name = "sha3"
+
+    def area_mm2(self) -> float:
+        return self.tech.sha3_area_mm2
+
+    def invocation_cycles(self) -> int:
+        """One Keccak-f permutation: 24 rounds, one round per cycle."""
+        return self.tech.sha3_latency_cycles
+
+    def transcript_cycles(self, num_vars: int) -> float:
+        """Total SHA3 cycles for one proof's transcript.
+
+        The transcript absorbs a constant number of commitments plus O(mu)
+        SumCheck round messages per SumCheck instance and squeezes O(mu)
+        challenges; ~20 invocations per round across the three SumChecks
+        plus ~50 fixed invocations.
+        """
+        invocations = 50 + 20 * num_vars
+        return invocations * self.invocation_cycles()

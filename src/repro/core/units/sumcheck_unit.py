@@ -1,0 +1,137 @@
+"""SumCheck unit model (Section 4.1).
+
+The unified SumCheck PE handles the three HyperPlonk SumCheck flavours
+(ZeroCheck, PermCheck, OpenCheck).  Each PE is fully pipelined and retires
+one boolean-hypercube instance per cycle; multiple PEs process disjoint
+instances in parallel.  With resource sharing a PE provisions 94 modular
+multipliers (184 without sharing -- the 48.9% area saving quoted in
+Section 4.1.4).
+
+Because the MLE tables grow to full 255-bit values after the first update,
+SumCheck is streamed from HBM (Section 4.1.2): every round reads the current
+tables and the MLE Update unit writes back half-sized tables, so the unit's
+runtime is the max of its compute time and its streaming time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.config import ZkSpeedConfig
+from repro.core.technology import DEFAULT_TECHNOLOGY, TechnologyModel
+from repro.core.units.base import UnitModel
+
+
+@dataclass(frozen=True)
+class SumcheckInstanceShape:
+    """Shape of one SumCheck instance: which polynomial is being summed."""
+
+    name: str
+    num_mles: int
+    """Distinct MLE tables referenced by the polynomial (including eq)."""
+    max_degree: int
+    """Maximum per-variable degree (determines evaluation points per round)."""
+    streamed_mles: int
+    """MLE tables streamed from HBM each round (rest live in on-chip SRAM)."""
+    interpolation_modmuls: int
+    """Fixed per-round barycentric-interpolation cost (Section 4.1.1)."""
+
+
+#: The three HyperPlonk SumCheck instances (Equations 3-5).
+ZEROCHECK_SHAPE = SumcheckInstanceShape(
+    name="zerocheck", num_mles=9, max_degree=4, streamed_mles=9, interpolation_modmuls=23
+)
+PERMCHECK_SHAPE = SumcheckInstanceShape(
+    name="permcheck", num_mles=13, max_degree=5, streamed_mles=13, interpolation_modmuls=46
+)
+OPENCHECK_SHAPE = SumcheckInstanceShape(
+    name="opencheck", num_mles=12, max_degree=2, streamed_mles=12, interpolation_modmuls=12
+)
+
+
+@dataclass
+class SumcheckExecution:
+    """Cycle/traffic breakdown of a full multi-round SumCheck."""
+
+    compute_cycles: float
+    update_modmuls: float
+    bytes_read: float
+    bytes_written: float
+
+
+class SumcheckUnitModel(UnitModel):
+    """Cycle and area model of the SumCheck unit."""
+
+    name = "sumcheck"
+
+    def area_mm2(self) -> float:
+        modmuls = (
+            self.tech.sumcheck_pe_modmuls
+            if self.config.share_sumcheck_multipliers
+            else self.tech.sumcheck_pe_modmuls_unshared
+        )
+        per_pe = modmuls * self.tech.modmul_area_mm2_255
+        return self.config.sumcheck_pes * per_pe
+
+    def power_density(self) -> float:
+        return self.tech.power_density_sumcheck
+
+    # -- cycle model ------------------------------------------------------------------
+
+    def run(
+        self,
+        num_vars: int,
+        shape: SumcheckInstanceShape,
+        first_round_on_chip: bool = False,
+    ) -> SumcheckExecution:
+        """Model a full ``num_vars``-round SumCheck of the given shape.
+
+        ``first_round_on_chip`` marks instances whose round-1 inputs are the
+        compressed input MLEs held in global SRAM (the Gate-Identity
+        ZeroCheck), which removes the largest round's read traffic.
+        """
+        pes = self.config.sumcheck_pes
+        compute = 0.0
+        bytes_read = 0.0
+        bytes_written = 0.0
+        update_modmuls = 0.0
+        field_bytes = self.tech.field_bytes
+        for round_index in range(num_vars):
+            instances = 1 << (num_vars - round_index - 1)
+            # One instance per cycle per PE, plus pipeline drain and the fixed
+            # interpolation cost at the end of the round.
+            compute += instances / pes + self.tech.padd_pipeline_latency / 8
+            compute += shape.interpolation_modmuls
+            table_entries = 1 << (num_vars - round_index)
+            if round_index == 0 and first_round_on_chip:
+                round_read = 0.0
+            else:
+                round_read = shape.streamed_mles * table_entries * field_bytes
+            bytes_read += round_read
+            # MLE Update writes back the halved tables (read again next round).
+            updated_entries = shape.num_mles * (table_entries // 2)
+            update_modmuls += updated_entries
+            if round_index != num_vars - 1:
+                bytes_written += shape.streamed_mles * (table_entries // 2) * field_bytes
+        return SumcheckExecution(
+            compute_cycles=compute,
+            update_modmuls=update_modmuls,
+            bytes_read=bytes_read,
+            bytes_written=bytes_written,
+        )
+
+    def modmuls_per_instance(self, shape: SumcheckInstanceShape) -> int:
+        """Active modular multipliers needed for one instance of ``shape``.
+
+        Used to check that the unified 94-multiplier PE covers each flavour
+        and to quantify the resource-sharing saving.
+        """
+        # Each term needs (degree - 1) multiplications per evaluation point at
+        # (max_degree + 1) points; extensions are additions and are free.
+        per_term = {
+            "zerocheck": [3, 3, 4, 3, 2],
+            "permcheck": [2, 3, 5, 4],
+            "opencheck": [2, 2, 2, 2, 2, 2],
+        }[shape.name]
+        points = shape.max_degree + 1
+        return sum((degree - 1) * points for degree in per_term)

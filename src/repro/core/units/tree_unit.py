@@ -1,0 +1,97 @@
+"""Multifunction Tree Unit (MTU) model (Section 4.3).
+
+The MTU supports three binary-tree compute patterns (Figure 3):
+
+* **Build MLE** (forward tree) -- constructs the eq(r, .) table from the mu
+  round challenges with 2^(mu+1) - 4 multiplications;
+* **MLE Evaluate** (inverse tree) -- folds a 2^mu table down to one value;
+* **Product MLE** -- emits every internal level of the product tree (the
+  2^mu - 1 partial products the Wiring Identity commits to).
+
+The hardware instantiates ``multifunction_tree_pes`` tree PEs plus an
+accumulator PE that processes the tree levels beyond the physical tree in
+depth-first order (the hybrid DFS/BFS traversal of Section 4.3.2), keeping
+PE utilization above 99% and avoiding the need to buffer whole tree levels.
+Throughput is therefore ~``p`` input elements per cycle.
+"""
+
+from __future__ import annotations
+
+from repro.core.units.base import UnitModel
+
+
+class MultifunctionTreeModel(UnitModel):
+    """Cycle and area model of the Multifunction Tree unit."""
+
+    name = "multifunction_tree"
+
+    @property
+    def num_pes(self) -> int:
+        return self.config.multifunction_tree_pes
+
+    def area_mm2(self) -> float:
+        # Table 5 reports 12.28 mm^2 for the shared 8-PE unit; scale linearly
+        # in PE count.  Without multi-function sharing, dedicated units for
+        # Build MLE / MLE Evaluate / Product MLE would each need their own
+        # tree (the 41.6% saving quoted in Section 4.3.3).
+        base = self.tech.multifunction_tree_area_mm2 * (
+            self.num_pes / self.tech.multifunction_tree_pes
+        )
+        if self.config.share_multifunction_tree:
+            return base
+        return base / (1.0 - 0.416)
+
+    def power_density(self) -> float:
+        return self.tech.power_density_tree
+
+    # -- cycle models ------------------------------------------------------------------
+
+    def _streamed_tree_cycles(self, num_leaves: int) -> float:
+        """Cycles to stream ``num_leaves`` elements through the tree at p/cycle."""
+        if num_leaves <= 0:
+            return 0.0
+        drain = 2 * (max(1, num_leaves.bit_length()))  # accumulator DFS drain
+        return num_leaves / self.num_pes + drain + self.tech.modmul_latency_cycles
+
+    def build_mle_cycles(self, num_vars: int) -> float:
+        """Build MLE: produce the 2^mu-entry eq table (forward tree)."""
+        return self._streamed_tree_cycles(1 << num_vars)
+
+    def build_mle_modmuls(self, num_vars: int) -> int:
+        """2^(mu+1) - 4 multiplications (the tree-structured construction)."""
+        if num_vars < 1:
+            return 0
+        return (1 << (num_vars + 1)) - 4
+
+    def mle_evaluate_cycles(
+        self, num_vars: int, num_evaluations: int = 1, num_tables: int | None = None
+    ) -> float:
+        """MLE Evaluate: fold tables of 2^mu entries down to point evaluations.
+
+        Evaluations of the *same* table at several query points share one
+        streaming pass (the tree folds against each point's weights in
+        parallel columns), so the cycle count scales with the number of
+        distinct tables when ``num_tables`` is given, and with the number of
+        evaluations otherwise.
+        """
+        passes = num_tables if num_tables is not None else num_evaluations
+        return passes * self._streamed_tree_cycles(1 << num_vars)
+
+    def product_mle_cycles(self, num_vars: int) -> float:
+        """Product MLE: one pass emitting all 2^mu - 1 internal products."""
+        return self._streamed_tree_cycles(1 << num_vars)
+
+    def batch_inversion_tree_cycles(self, batch_size: int) -> float:
+        """Partial-product tree pass for one FracMLE inversion batch."""
+        depth = max(1, (batch_size - 1).bit_length())
+        return depth * self.tech.modmul_latency_cycles + batch_size / self.num_pes
+
+    # -- traversal comparison (ablation of the hybrid DFS/BFS schedule) -----------------
+
+    def bfs_intermediate_storage_bytes(self, num_vars: int) -> float:
+        """On-chip storage a pure BFS traversal would need (half a level)."""
+        return (1 << max(0, num_vars - 1)) * self.tech.field_bytes
+
+    def hybrid_intermediate_storage_bytes(self, num_vars: int) -> float:
+        """Storage needed by the hybrid DFS/BFS traversal: one entry per level."""
+        return num_vars * self.tech.field_bytes * 2

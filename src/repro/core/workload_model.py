@@ -1,0 +1,71 @@
+"""Workload description for the architectural model.
+
+The architectural model does not execute field arithmetic; it needs only the
+*shape* of the workload: the problem size ``2^num_vars`` and the witness
+scalar sparsity statistics that drive the Sparse-MSM step (Section 6.2: the
+paper assumes a pessimistic 10% dense / 45% ones / 45% zeros split).  A
+workload can also be constructed directly from a functional
+:class:`~repro.circuits.builder.Circuit` so that small end-to-end runs and
+the analytical model stay consistent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class WorkloadModel:
+    """Problem size plus witness sparsity statistics."""
+
+    num_vars: int
+    dense_fraction: float = 0.10
+    one_fraction: float = 0.45
+    zero_fraction: float = 0.45
+    name: str = "synthetic"
+
+    def __post_init__(self) -> None:
+        if self.num_vars < 1:
+            raise ValueError("num_vars must be at least 1")
+        total = self.dense_fraction + self.one_fraction + self.zero_fraction
+        if not 0.999 <= total <= 1.001:
+            raise ValueError("sparsity fractions must sum to 1")
+        for fraction in (self.dense_fraction, self.one_fraction, self.zero_fraction):
+            if fraction < 0:
+                raise ValueError("sparsity fractions must be non-negative")
+
+    @property
+    def num_gates(self) -> int:
+        return 1 << self.num_vars
+
+    @property
+    def dense_witness_scalars(self) -> int:
+        return int(round(self.dense_fraction * self.num_gates))
+
+    @property
+    def one_witness_scalars(self) -> int:
+        return int(round(self.one_fraction * self.num_gates))
+
+    @classmethod
+    def from_circuit(cls, circuit, name: str | None = None) -> "WorkloadModel":
+        """Derive a workload model from a compiled functional circuit."""
+        sparsity = circuit.witness_sparsity()
+        return cls(
+            num_vars=circuit.num_vars,
+            dense_fraction=sparsity["dense_fraction"],
+            one_fraction=sparsity["one_fraction"],
+            zero_fraction=sparsity["zero_fraction"],
+            name=name or circuit.name,
+        )
+
+    @classmethod
+    def paper_table3(cls) -> list["WorkloadModel"]:
+        """The five Table 3 workloads at their published problem sizes."""
+        specs = [
+            ("Zcash", 17),
+            ("Auction", 20),
+            ("2^12 Rescue-Hash Invocations", 21),
+            ("Zexe's Recursive Circuit", 22),
+            ("Rollup of 10 Pvt Tx", 23),
+        ]
+        return [cls(num_vars=size, name=name) for name, size in specs]

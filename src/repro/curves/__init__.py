@@ -1,0 +1,36 @@
+"""Elliptic-curve arithmetic for BLS12-381.
+
+Provides G1/G2 group arithmetic (affine and Jacobian), multi-scalar
+multiplication (Pippenger's algorithm plus zkSpeed's sparse-MSM handling)
+and the optimal-ate pairing used by the polynomial-commitment verifier.
+"""
+
+from repro.curves.curve import AffinePoint, JacobianPoint, G1Curve
+from repro.curves.bls12_381 import G1_GENERATOR, g1_generator, g2_generator, G2Point
+from repro.curves.msm import (
+    MSMStatistics,
+    msm,
+    naive_msm,
+    pippenger_msm,
+    sparse_msm,
+    split_sparse_scalars,
+)
+from repro.curves.pairing import pairing, pairing_product_is_one
+
+__all__ = [
+    "AffinePoint",
+    "JacobianPoint",
+    "G1Curve",
+    "G1_GENERATOR",
+    "g1_generator",
+    "g2_generator",
+    "G2Point",
+    "MSMStatistics",
+    "msm",
+    "naive_msm",
+    "pippenger_msm",
+    "sparse_msm",
+    "split_sparse_scalars",
+    "pairing",
+    "pairing_product_is_one",
+]

@@ -1,0 +1,130 @@
+"""BLS12-381 group generators and G2 arithmetic.
+
+G1 points use the integer-coordinate classes in :mod:`repro.curves.curve`.
+G2 points (needed only for the polynomial-commitment verifying key and the
+pairing check) are implemented here over Fq2 in affine form with a small
+Jacobian-free group law -- the verifier touches only a handful of G2 points,
+so simplicity wins over speed.
+"""
+
+from __future__ import annotations
+
+from repro.curves.curve import AffinePoint, JacobianPoint
+from repro.fields.bls12_381 import FR_MODULUS
+from repro.fields.extensions import Fq2Element
+
+# Standard BLS12-381 G1 generator.
+G1_GENERATOR_X = 0x17F1D3A73197D7942695638C4FA9AC0FC3688C4F9774B905A14E3A3F171BAC586C55E83FF97A1AEFFB3AF00ADB22C6BB
+G1_GENERATOR_Y = 0x08B3F481E3AAA0F1A09E30ED741D8AE4FCF5E095D5D00AF600DB18CB2C04B3EDD03CC744A2888AE40CAA232946C5E7E1
+
+#: Affine G1 generator.
+G1_GENERATOR = AffinePoint(G1_GENERATOR_X, G1_GENERATOR_Y)
+
+# Standard BLS12-381 G2 generator (coordinates in Fq2 = Fq[u]/(u^2+1)).
+G2_GENERATOR_X_C0 = 0x024AA2B2F08F0A91260805272DC51051C6E47AD4FA403B02B4510B647AE3D1770BAC0326A805BBEFD48056C8C121BDB8
+G2_GENERATOR_X_C1 = 0x13E02B6052719F607DACD3A088274F65596BD0D09920B61AB5DA61BBDC7F5049334CF11213945D57E5AC7D055D042B7E
+G2_GENERATOR_Y_C0 = 0x0CE5D527727D6E118CC9CDC6DA2E351AADFD9BAA8CBDD3A76D429A695160D12C923AC9CC3BACA289E193548608B82801
+G2_GENERATOR_Y_C1 = 0x0606C4A02EA734CC32ACD2B02BC28B99CB3E287E85A763AF267492AB572E99AB3F370D275CEC1DA1AAA9075FF05F79BE
+
+#: The BLS parameter x (the curve is parameterized by this value); used by
+#: the pairing's Miller loop.  For BLS12-381 x is negative.
+BLS_X = -0xD201000000010000
+BLS_X_ABS = 0xD201000000010000
+BLS_X_IS_NEGATIVE = True
+
+
+def g1_generator() -> JacobianPoint:
+    """The G1 generator in Jacobian coordinates."""
+    return G1_GENERATOR.to_jacobian()
+
+
+class G2Point:
+    """An affine point on the G2 twist curve y^2 = x^3 + 4(u+1) over Fq2."""
+
+    __slots__ = ("x", "y", "infinity")
+
+    B_TWIST = Fq2Element(4, 4)
+
+    def __init__(self, x: Fq2Element, y: Fq2Element, infinity: bool = False):
+        self.x = x
+        self.y = y
+        self.infinity = infinity
+
+    @classmethod
+    def identity(cls) -> "G2Point":
+        return cls(Fq2Element.zero(), Fq2Element.zero(), infinity=True)
+
+    def is_identity(self) -> bool:
+        return self.infinity
+
+    def is_on_curve(self) -> bool:
+        if self.infinity:
+            return True
+        lhs = self.y.square()
+        rhs = self.x.square() * self.x + self.B_TWIST
+        return lhs == rhs
+
+    def negate(self) -> "G2Point":
+        if self.infinity:
+            return self
+        return G2Point(self.x, -self.y)
+
+    def double(self) -> "G2Point":
+        if self.infinity or self.y.is_zero():
+            return G2Point.identity()
+        # Affine doubling: lambda = 3x^2 / 2y.
+        three_x2 = self.x.square() * 3
+        lam = three_x2 * (self.y * 2).inverse()
+        x3 = lam.square() - self.x * 2
+        y3 = lam * (self.x - x3) - self.y
+        return G2Point(x3, y3)
+
+    def __add__(self, other: "G2Point") -> "G2Point":
+        if self.infinity:
+            return other
+        if other.infinity:
+            return self
+        if self.x == other.x:
+            if self.y == other.y:
+                return self.double()
+            return G2Point.identity()
+        lam = (other.y - self.y) * (other.x - self.x).inverse()
+        x3 = lam.square() - self.x - other.x
+        y3 = lam * (self.x - x3) - self.y
+        return G2Point(x3, y3)
+
+    def scalar_mul(self, scalar: int) -> "G2Point":
+        k = scalar % FR_MODULUS
+        result = G2Point.identity()
+        addend = self
+        while k:
+            if k & 1:
+                result = result + addend
+            addend = addend.double()
+            k >>= 1
+        return result
+
+    def __mul__(self, scalar: int) -> "G2Point":
+        return self.scalar_mul(scalar)
+
+    __rmul__ = __mul__
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, G2Point):
+            return NotImplemented
+        if self.infinity or other.infinity:
+            return self.infinity and other.infinity
+        return self.x == other.x and self.y == other.y
+
+    def __repr__(self) -> str:
+        if self.infinity:
+            return "G2Point(infinity)"
+        return f"G2Point(x={self.x!r}, y={self.y!r})"
+
+
+def g2_generator() -> G2Point:
+    """The standard G2 generator."""
+    return G2Point(
+        Fq2Element(G2_GENERATOR_X_C0, G2_GENERATOR_X_C1),
+        Fq2Element(G2_GENERATOR_Y_C0, G2_GENERATOR_Y_C1),
+    )

@@ -1,0 +1,273 @@
+"""Short-Weierstrass curve arithmetic over the BLS12-381 base field.
+
+Points are represented either in affine coordinates ``(x, y)`` or Jacobian
+projective coordinates ``(X, Y, Z)`` with ``x = X/Z^2`` and ``y = Y/Z^3``.
+Coordinates are stored as plain Python integers modulo the 381-bit base
+field prime (this keeps the hot PADD/PDBL paths reasonably fast, which
+matters because the functional MSM implementation is exercised by tests and
+small end-to-end proofs).
+
+The paper's MSM unit performs pipelined point additions (PADDs); the cost
+constants it uses (modmuls per PADD / PDBL) are exposed here as
+``PADD_MODMULS`` and ``PDBL_MODMULS`` so that the hardware model and the
+functional implementation share a single source of truth.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional
+
+from repro.fields.bls12_381 import FQ_MODULUS, FR_MODULUS
+
+#: Modular multiplications per mixed-coordinate point addition (Jacobian +
+#: affine).  The paper describes PADDs as "typically tens of regular modular
+#: multiplications"; the standard madd-2007-bl formula costs 11 (7M + 4S).
+PADD_MODMULS = 11
+
+#: Modular multiplications per Jacobian point doubling (dbl-2009-l: 2M + 5S).
+PDBL_MODMULS = 7
+
+_P = FQ_MODULUS
+
+
+@dataclass(frozen=True)
+class G1Curve:
+    """Parameters of a short-Weierstrass curve y^2 = x^3 + a*x + b over Fq."""
+
+    a: int = 0
+    b: int = 4
+    field_modulus: int = FQ_MODULUS
+    group_order: int = FR_MODULUS
+
+    def is_on_curve(self, x: int, y: int) -> bool:
+        p = self.field_modulus
+        return (y * y - (x * x * x + self.a * x + self.b)) % p == 0
+
+
+#: The BLS12-381 G1 curve: y^2 = x^3 + 4.
+BLS12_381_G1 = G1Curve()
+
+
+class AffinePoint:
+    """An affine G1 point, or the point at infinity (``infinity=True``)."""
+
+    __slots__ = ("x", "y", "infinity")
+
+    def __init__(self, x: int = 0, y: int = 0, infinity: bool = False):
+        self.x = x % _P
+        self.y = y % _P
+        self.infinity = infinity
+
+    @classmethod
+    def identity(cls) -> "AffinePoint":
+        return cls(0, 0, infinity=True)
+
+    def is_identity(self) -> bool:
+        return self.infinity
+
+    def is_on_curve(self, curve: G1Curve = BLS12_381_G1) -> bool:
+        return self.infinity or curve.is_on_curve(self.x, self.y)
+
+    def to_jacobian(self) -> "JacobianPoint":
+        if self.infinity:
+            return JacobianPoint.identity()
+        return JacobianPoint(self.x, self.y, 1)
+
+    def negate(self) -> "AffinePoint":
+        if self.infinity:
+            return self
+        return AffinePoint(self.x, (-self.y) % _P)
+
+    def __add__(self, other: "AffinePoint") -> "AffinePoint":
+        return (self.to_jacobian() + other.to_jacobian()).to_affine()
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, AffinePoint):
+            return NotImplemented
+        if self.infinity or other.infinity:
+            return self.infinity and other.infinity
+        return self.x == other.x and self.y == other.y
+
+    def __hash__(self) -> int:
+        return hash((self.x, self.y, self.infinity))
+
+    def __repr__(self) -> str:
+        if self.infinity:
+            return "AffinePoint(infinity)"
+        return f"AffinePoint(x={hex(self.x)}, y={hex(self.y)})"
+
+
+class JacobianPoint:
+    """A G1 point in Jacobian projective coordinates."""
+
+    __slots__ = ("x", "y", "z")
+
+    def __init__(self, x: int, y: int, z: int):
+        self.x = x % _P
+        self.y = y % _P
+        self.z = z % _P
+
+    @classmethod
+    def identity(cls) -> "JacobianPoint":
+        return cls(1, 1, 0)
+
+    def is_identity(self) -> bool:
+        return self.z == 0
+
+    # -- group law -------------------------------------------------------------
+
+    def double(self) -> "JacobianPoint":
+        if self.z == 0 or self.y == 0:
+            return JacobianPoint.identity()
+        p = _P
+        x, y, z = self.x, self.y, self.z
+        a = (x * x) % p
+        b = (y * y) % p
+        c = (b * b) % p
+        d = (2 * ((x + b) * (x + b) - a - c)) % p
+        e = (3 * a) % p
+        f = (e * e) % p
+        x3 = (f - 2 * d) % p
+        y3 = (e * (d - x3) - 8 * c) % p
+        z3 = (2 * y * z) % p
+        return JacobianPoint(x3, y3, z3)
+
+    def __add__(self, other: "JacobianPoint") -> "JacobianPoint":
+        if self.z == 0:
+            return other
+        if other.z == 0:
+            return self
+        p = _P
+        x1, y1, z1 = self.x, self.y, self.z
+        x2, y2, z2 = other.x, other.y, other.z
+        z1z1 = (z1 * z1) % p
+        z2z2 = (z2 * z2) % p
+        u1 = (x1 * z2z2) % p
+        u2 = (x2 * z1z1) % p
+        s1 = (y1 * z2 * z2z2) % p
+        s2 = (y2 * z1 * z1z1) % p
+        if u1 == u2:
+            if s1 != s2:
+                return JacobianPoint.identity()
+            return self.double()
+        h = (u2 - u1) % p
+        i = (4 * h * h) % p
+        j = (h * i) % p
+        r = (2 * (s2 - s1)) % p
+        v = (u1 * i) % p
+        x3 = (r * r - j - 2 * v) % p
+        y3 = (r * (v - x3) - 2 * s1 * j) % p
+        z3 = (2 * h * z1 * z2) % p
+        return JacobianPoint(x3, y3, z3)
+
+    def add_affine(self, other: AffinePoint) -> "JacobianPoint":
+        """Mixed addition with an affine point (the hardware PADD pattern)."""
+        if other.infinity:
+            return self
+        if self.z == 0:
+            return other.to_jacobian()
+        p = _P
+        x1, y1, z1 = self.x, self.y, self.z
+        x2, y2 = other.x, other.y
+        z1z1 = (z1 * z1) % p
+        u2 = (x2 * z1z1) % p
+        s2 = (y2 * z1 * z1z1) % p
+        if u2 == x1:
+            if s2 != y1:
+                return JacobianPoint.identity()
+            return self.double()
+        h = (u2 - x1) % p
+        hh = (h * h) % p
+        i = (4 * hh) % p
+        j = (h * i) % p
+        r = (2 * (s2 - y1)) % p
+        v = (x1 * i) % p
+        x3 = (r * r - j - 2 * v) % p
+        y3 = (r * (v - x3) - 2 * y1 * j) % p
+        z3 = ((z1 + h) * (z1 + h) - z1z1 - hh) % p
+        return JacobianPoint(x3, y3, z3)
+
+    def negate(self) -> "JacobianPoint":
+        return JacobianPoint(self.x, (-self.y) % _P, self.z)
+
+    def __sub__(self, other: "JacobianPoint") -> "JacobianPoint":
+        return self + other.negate()
+
+    def scalar_mul(self, scalar: int) -> "JacobianPoint":
+        """Double-and-add scalar multiplication (left-to-right)."""
+        k = scalar % FR_MODULUS
+        if k == 0 or self.z == 0:
+            return JacobianPoint.identity()
+        result = JacobianPoint.identity()
+        addend = self
+        while k:
+            if k & 1:
+                result = result + addend
+            addend = addend.double()
+            k >>= 1
+        return result
+
+    def __mul__(self, scalar: int) -> "JacobianPoint":
+        return self.scalar_mul(scalar)
+
+    __rmul__ = __mul__
+
+    # -- conversions -----------------------------------------------------------
+
+    def to_affine(self) -> AffinePoint:
+        if self.z == 0:
+            return AffinePoint.identity()
+        p = _P
+        z_inv = pow(self.z, p - 2, p)
+        z_inv2 = (z_inv * z_inv) % p
+        x = (self.x * z_inv2) % p
+        y = (self.y * z_inv2 * z_inv) % p
+        return AffinePoint(x, y)
+
+    def is_on_curve(self, curve: G1Curve = BLS12_381_G1) -> bool:
+        return self.to_affine().is_on_curve(curve)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, JacobianPoint):
+            return NotImplemented
+        return self.to_affine() == other.to_affine()
+
+    def __hash__(self) -> int:
+        return hash(self.to_affine())
+
+    def __repr__(self) -> str:
+        if self.z == 0:
+            return "JacobianPoint(identity)"
+        return f"JacobianPoint({self.to_affine()!r})"
+
+
+def sum_points(points: Iterable[JacobianPoint]) -> JacobianPoint:
+    """Sum an iterable of Jacobian points (identity for an empty iterable)."""
+    acc = JacobianPoint.identity()
+    for point in points:
+        acc = acc + point
+    return acc
+
+
+def tree_sum_affine(points: list[AffinePoint]) -> tuple[JacobianPoint, int]:
+    """Pairwise (tree) reduction of affine points.
+
+    This mirrors the sparse-MSM handling in zkSpeed (Section 4.2): points
+    with scalar 1 are summed with a tree of pipelined PADDs.  Returns the sum
+    and the number of point additions performed (used by the cycle model and
+    its tests).
+    """
+    padds = 0
+    if not points:
+        return JacobianPoint.identity(), 0
+    level: list[JacobianPoint] = [pt.to_jacobian() for pt in points]
+    while len(level) > 1:
+        next_level: list[JacobianPoint] = []
+        for i in range(0, len(level) - 1, 2):
+            next_level.append(level[i] + level[i + 1])
+            padds += 1
+        if len(level) % 2 == 1:
+            next_level.append(level[-1])
+        level = next_level
+    return level[0], padds

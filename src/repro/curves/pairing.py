@@ -1,0 +1,155 @@
+"""Optimal-ate pairing on BLS12-381.
+
+Only the HyperPlonk *verifier* needs pairings (to check polynomial-commitment
+openings); the prover -- which zkSpeed accelerates -- never computes one.  We
+therefore favour a simple, clearly correct construction: G2 points are
+untwisted into the full curve E(Fq12) and the Miller loop runs with affine
+line functions over Fq12.  This is slow but is only exercised at the small
+problem sizes used in tests and examples.
+
+The untwist map for the BLS12-381 M-type twist E'/Fq2 : y^2 = x^3 + 4(u+1)
+is (x, y) -> (x / w^2, y / w^3) where w is the generator of Fq12 over Fq6
+(w^6 = u + 1).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Tuple
+
+from repro.curves.bls12_381 import BLS_X_ABS, BLS_X_IS_NEGATIVE, G2Point
+from repro.curves.curve import AffinePoint
+from repro.fields.bls12_381 import FQ_MODULUS, FR_MODULUS
+from repro.fields.extensions import Fq2Element, Fq6Element, Fq12Element
+
+# Representation of a point on E(Fq12) in affine coordinates, or None for
+# the point at infinity.
+Fq12Point = Tuple[Fq12Element, Fq12Element] | None
+
+# w as an element of Fq12 (c0 = 0, c1 = 1).
+_W = Fq12Element(Fq6Element.zero(), Fq6Element.one())
+_W2_INV = (_W * _W).inverse()
+_W3_INV = (_W * _W * _W).inverse()
+
+
+def _fq_to_fq12(value: int) -> Fq12Element:
+    """Embed a base-field element into Fq12."""
+    return Fq12Element(
+        Fq6Element(Fq2Element(value, 0), Fq2Element.zero(), Fq2Element.zero()),
+        Fq6Element.zero(),
+    )
+
+
+def _fq2_to_fq12(value: Fq2Element) -> Fq12Element:
+    """Embed an Fq2 element into Fq12 (as the c0.c0 coefficient)."""
+    return Fq12Element(
+        Fq6Element(value, Fq2Element.zero(), Fq2Element.zero()), Fq6Element.zero()
+    )
+
+
+def embed_g1(point: AffinePoint) -> Fq12Point:
+    """Embed a G1 point into E(Fq12)."""
+    if point.is_identity():
+        return None
+    return (_fq_to_fq12(point.x), _fq_to_fq12(point.y))
+
+
+def untwist_g2(point: G2Point) -> Fq12Point:
+    """Map a point on the twist E'(Fq2) to the full curve E(Fq12)."""
+    if point.is_identity():
+        return None
+    x = _fq2_to_fq12(point.x) * _W2_INV
+    y = _fq2_to_fq12(point.y) * _W3_INV
+    return (x, y)
+
+
+def _line(p1: Fq12Point, p2: Fq12Point, at: Fq12Point) -> Fq12Element:
+    """Evaluate the line through p1 and p2 at the point ``at``.
+
+    Returns the value of the line function; if the line is vertical the
+    function is ``x_at - x1``.
+    """
+    assert p1 is not None and p2 is not None and at is not None
+    x1, y1 = p1
+    x2, y2 = p2
+    xt, yt = at
+    if x1 == x2 and y1 == y2:
+        # Tangent line: slope = 3*x1^2 / (2*y1).
+        slope = (x1 * x1 * _fq_to_fq12(3)) * (y1 * _fq_to_fq12(2)).inverse()
+        return slope * (xt - x1) - (yt - y1)
+    if x1 == x2:
+        # Vertical line.
+        return xt - x1
+    slope = (y2 - y1) * (x2 - x1).inverse()
+    return slope * (xt - x1) - (yt - y1)
+
+
+def _add_points(p1: Fq12Point, p2: Fq12Point) -> Fq12Point:
+    """Affine addition on E(Fq12)."""
+    if p1 is None:
+        return p2
+    if p2 is None:
+        return p1
+    x1, y1 = p1
+    x2, y2 = p2
+    if x1 == x2 and y1 == y2:
+        slope = (x1 * x1 * _fq_to_fq12(3)) * (y1 * _fq_to_fq12(2)).inverse()
+    elif x1 == x2:
+        return None
+    else:
+        slope = (y2 - y1) * (x2 - x1).inverse()
+    x3 = slope * slope - x1 - x2
+    y3 = slope * (x1 - x3) - y1
+    return (x3, y3)
+
+
+def _miller_loop(q_untwisted: Fq12Point, p_embedded: Fq12Point) -> Fq12Element:
+    """The Miller loop of the optimal-ate pairing.
+
+    ``q_untwisted`` is the (untwisted) G2 argument, ``p_embedded`` the G1
+    argument; the loop length is the absolute value of the BLS parameter x.
+    """
+    if q_untwisted is None or p_embedded is None:
+        return Fq12Element.one()
+    f = Fq12Element.one()
+    t = q_untwisted
+    bits = bin(BLS_X_ABS)[2:]
+    for bit in bits[1:]:
+        f = f * f * _line(t, t, p_embedded)
+        t = _add_points(t, t)
+        if bit == "1":
+            f = f * _line(t, q_untwisted, p_embedded)
+            t = _add_points(t, q_untwisted)
+    if BLS_X_IS_NEGATIVE:
+        f = f.conjugate()
+    return f
+
+
+def final_exponentiation(f: Fq12Element) -> Fq12Element:
+    """Raise the Miller-loop output to (q^12 - 1) / r."""
+    exponent = (FQ_MODULUS**12 - 1) // FR_MODULUS
+    return f.pow(exponent)
+
+
+def pairing(p: AffinePoint, q: G2Point) -> Fq12Element:
+    """The optimal-ate pairing e(P, Q) for P in G1, Q in G2."""
+    if p.is_identity() or q.is_identity():
+        return Fq12Element.one()
+    f = _miller_loop(untwist_g2(q), embed_g1(p))
+    return final_exponentiation(f)
+
+
+def pairing_product_is_one(
+    pairs: Sequence[tuple[AffinePoint, G2Point]]
+) -> bool:
+    """Check that the product of pairings over ``pairs`` equals one.
+
+    The Miller-loop outputs are multiplied before a single shared final
+    exponentiation, which is how batched pairing checks are implemented in
+    practice (and how the KZG verifier combines its two pairings).
+    """
+    f = Fq12Element.one()
+    for p, q in pairs:
+        if p.is_identity() or q.is_identity():
+            continue
+        f = f * _miller_loop(untwist_g2(q), embed_g1(p))
+    return final_exponentiation(f).is_one()

@@ -1,0 +1,31 @@
+"""Finite-field arithmetic for BLS12-381.
+
+This package provides the two prime fields HyperPlonk computes over:
+
+* ``Fr`` -- the 255-bit scalar field (MLE values, SumCheck arithmetic).
+* ``Fq`` -- the 381-bit base field (elliptic-curve point coordinates).
+
+It also provides the hardware-relevant arithmetic building blocks that the
+zkSpeed units model: Montgomery multiplication (``montgomery``), the
+constant-time Binary Extended Euclidean Algorithm used by the FracMLE unit
+(``inversion.beea_inverse``) and Montgomery batch inversion
+(``inversion.batch_inverse``).
+"""
+
+from repro.fields.field import FieldElement, PrimeField
+from repro.fields.bls12_381 import FR_MODULUS, FQ_MODULUS, Fr, Fq
+from repro.fields.inversion import batch_inverse, beea_inverse, beea_iteration_count
+from repro.fields.montgomery import MontgomeryContext
+
+__all__ = [
+    "FieldElement",
+    "PrimeField",
+    "Fr",
+    "Fq",
+    "FR_MODULUS",
+    "FQ_MODULUS",
+    "batch_inverse",
+    "beea_inverse",
+    "beea_iteration_count",
+    "MontgomeryContext",
+]

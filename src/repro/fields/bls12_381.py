@@ -1,0 +1,41 @@
+"""BLS12-381 field constants.
+
+HyperPlonk (and zkSpeed) operate over the BLS12-381 pairing-friendly curve:
+
+* ``Fr`` is the 255-bit *scalar field*.  All MLE table entries, SumCheck
+  intermediate values and circuit witnesses live here.
+* ``Fq`` is the 381-bit *base field*.  Elliptic-curve point coordinates used
+  by the MSM / commitment kernels live here.
+
+The moduli below are the standard parameters (see the IETF pairing-friendly
+curves draft); the curve itself is defined in :mod:`repro.curves.bls12_381`.
+"""
+
+from __future__ import annotations
+
+from repro.fields.field import PrimeField
+
+# Scalar field modulus r (255 bits): the order of the G1/G2 subgroups.
+FR_MODULUS = 0x73EDA753299D7D483339D80809A1D80553BDA402FFFE5BFEFFFFFFFF00000001
+
+# Base field modulus q (381 bits).
+FQ_MODULUS = (
+    0x1A0111EA397FE69A4B1BA7B6434BACD764774B84F38512BF6730D2A0F6B0F6241EABFFFEB153FFFFB9FEFFFFFFFFAAAB
+)
+
+#: Scalar field of BLS12-381 (255-bit); MLE/SumCheck datatype in zkSpeed.
+Fr = PrimeField(FR_MODULUS, name="Fr")
+
+#: Base field of BLS12-381 (381-bit); elliptic-curve coordinate datatype.
+Fq = PrimeField(FQ_MODULUS, name="Fq")
+
+#: Bit widths quoted throughout the paper ("255-bit MLEs", "381-bit points").
+FR_BITS = FR_MODULUS.bit_length()
+FQ_BITS = FQ_MODULUS.bit_length()
+
+#: Two-adicity of Fr (r - 1 = 2^32 * odd); HyperPlonk does not need NTT-friendly
+#: roots of unity, but the constant is exposed for completeness and testing.
+FR_TWO_ADICITY = 32
+
+#: A generator of the multiplicative group of Fr.
+FR_MULTIPLICATIVE_GENERATOR = 7

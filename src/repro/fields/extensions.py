@@ -1,0 +1,267 @@
+"""Extension-field towers for BLS12-381.
+
+The pairing used by HyperPlonk's polynomial commitment verifier operates over
+the tower  Fq -> Fq2 -> Fq6 -> Fq12.  These classes implement just enough
+arithmetic for G2 point operations and the optimal-ate pairing:
+
+* ``Fq2  = Fq[u]  / (u^2 + 1)``
+* ``Fq6  = Fq2[v] / (v^3 - (u + 1))``
+* ``Fq12 = Fq6[w] / (w^2 - v)``
+
+Only the prover is accelerated by zkSpeed, so these classes favour clarity
+over speed; they are exercised by the verifier at small problem sizes.
+"""
+
+from __future__ import annotations
+
+from repro.fields.bls12_381 import FQ_MODULUS
+
+P = FQ_MODULUS
+
+
+class Fq2Element:
+    """Element c0 + c1*u of Fq2 with u^2 = -1."""
+
+    __slots__ = ("c0", "c1")
+
+    def __init__(self, c0: int, c1: int):
+        self.c0 = c0 % P
+        self.c1 = c1 % P
+
+    @classmethod
+    def zero(cls) -> "Fq2Element":
+        return cls(0, 0)
+
+    @classmethod
+    def one(cls) -> "Fq2Element":
+        return cls(1, 0)
+
+    def is_zero(self) -> bool:
+        return self.c0 == 0 and self.c1 == 0
+
+    def __add__(self, other: "Fq2Element") -> "Fq2Element":
+        return Fq2Element(self.c0 + other.c0, self.c1 + other.c1)
+
+    def __sub__(self, other: "Fq2Element") -> "Fq2Element":
+        return Fq2Element(self.c0 - other.c0, self.c1 - other.c1)
+
+    def __neg__(self) -> "Fq2Element":
+        return Fq2Element(-self.c0, -self.c1)
+
+    def __mul__(self, other: "Fq2Element | int") -> "Fq2Element":
+        if isinstance(other, int):
+            return Fq2Element(self.c0 * other, self.c1 * other)
+        # (a0 + a1 u)(b0 + b1 u) = (a0 b0 - a1 b1) + (a0 b1 + a1 b0) u
+        a0, a1, b0, b1 = self.c0, self.c1, other.c0, other.c1
+        return Fq2Element(a0 * b0 - a1 * b1, a0 * b1 + a1 * b0)
+
+    __rmul__ = __mul__
+
+    def square(self) -> "Fq2Element":
+        a0, a1 = self.c0, self.c1
+        return Fq2Element(a0 * a0 - a1 * a1, 2 * a0 * a1)
+
+    def conjugate(self) -> "Fq2Element":
+        return Fq2Element(self.c0, -self.c1)
+
+    def mul_by_nonresidue(self) -> "Fq2Element":
+        """Multiply by (u + 1), the cubic non-residue used to build Fq6."""
+        return Fq2Element(self.c0 - self.c1, self.c0 + self.c1)
+
+    def inverse(self) -> "Fq2Element":
+        norm = (self.c0 * self.c0 + self.c1 * self.c1) % P
+        if norm == 0:
+            raise ZeroDivisionError("inverse of zero in Fq2")
+        inv_norm = pow(norm, P - 2, P)
+        return Fq2Element(self.c0 * inv_norm, -self.c1 * inv_norm)
+
+    def frobenius(self) -> "Fq2Element":
+        """The q-power Frobenius map, i.e. conjugation."""
+        return self.conjugate()
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Fq2Element)
+            and self.c0 == other.c0
+            and self.c1 == other.c1
+        )
+
+    def __hash__(self) -> int:
+        return hash((self.c0, self.c1))
+
+    def __repr__(self) -> str:
+        return f"Fq2({self.c0}, {self.c1})"
+
+
+# Frobenius coefficients for Fq6/Fq12 (gamma constants), computed on import.
+_NONRESIDUE = Fq2Element(1, 1)
+
+
+def _nonresidue_pow(exponent: int) -> Fq2Element:
+    result = Fq2Element.one()
+    base = _NONRESIDUE
+    e = exponent
+    while e:
+        if e & 1:
+            result = result * base
+        base = base.square()
+        e >>= 1
+    return result
+
+
+_FROB_GAMMA1 = [_nonresidue_pow(i * (P - 1) // 6) for i in range(6)]
+
+
+class Fq6Element:
+    """Element c0 + c1*v + c2*v^2 of Fq6 with v^3 = u + 1."""
+
+    __slots__ = ("c0", "c1", "c2")
+
+    def __init__(self, c0: Fq2Element, c1: Fq2Element, c2: Fq2Element):
+        self.c0 = c0
+        self.c1 = c1
+        self.c2 = c2
+
+    @classmethod
+    def zero(cls) -> "Fq6Element":
+        return cls(Fq2Element.zero(), Fq2Element.zero(), Fq2Element.zero())
+
+    @classmethod
+    def one(cls) -> "Fq6Element":
+        return cls(Fq2Element.one(), Fq2Element.zero(), Fq2Element.zero())
+
+    def is_zero(self) -> bool:
+        return self.c0.is_zero() and self.c1.is_zero() and self.c2.is_zero()
+
+    def __add__(self, other: "Fq6Element") -> "Fq6Element":
+        return Fq6Element(self.c0 + other.c0, self.c1 + other.c1, self.c2 + other.c2)
+
+    def __sub__(self, other: "Fq6Element") -> "Fq6Element":
+        return Fq6Element(self.c0 - other.c0, self.c1 - other.c1, self.c2 - other.c2)
+
+    def __neg__(self) -> "Fq6Element":
+        return Fq6Element(-self.c0, -self.c1, -self.c2)
+
+    def __mul__(self, other: "Fq6Element") -> "Fq6Element":
+        a0, a1, a2 = self.c0, self.c1, self.c2
+        b0, b1, b2 = other.c0, other.c1, other.c2
+        t0 = a0 * b0
+        t1 = a1 * b1
+        t2 = a2 * b2
+        c0 = t0 + ((a1 + a2) * (b1 + b2) - t1 - t2).mul_by_nonresidue()
+        c1 = (a0 + a1) * (b0 + b1) - t0 - t1 + t2.mul_by_nonresidue()
+        c2 = (a0 + a2) * (b0 + b2) - t0 - t2 + t1
+        return Fq6Element(c0, c1, c2)
+
+    def square(self) -> "Fq6Element":
+        return self * self
+
+    def scale(self, factor: Fq2Element) -> "Fq6Element":
+        return Fq6Element(self.c0 * factor, self.c1 * factor, self.c2 * factor)
+
+    def mul_by_nonresidue(self) -> "Fq6Element":
+        """Multiply by v (used to build Fq12)."""
+        return Fq6Element(self.c2.mul_by_nonresidue(), self.c0, self.c1)
+
+    def inverse(self) -> "Fq6Element":
+        a0, a1, a2 = self.c0, self.c1, self.c2
+        t0 = a0.square() - (a1 * a2).mul_by_nonresidue()
+        t1 = a2.square().mul_by_nonresidue() - a0 * a1
+        t2 = a1.square() - a0 * a2
+        denom = a0 * t0 + (a2 * t1).mul_by_nonresidue() + (a1 * t2).mul_by_nonresidue()
+        denom_inv = denom.inverse()
+        return Fq6Element(t0 * denom_inv, t1 * denom_inv, t2 * denom_inv)
+
+    def frobenius(self) -> "Fq6Element":
+        return Fq6Element(
+            self.c0.frobenius(),
+            self.c1.frobenius() * _FROB_GAMMA1[2],
+            self.c2.frobenius() * _FROB_GAMMA1[4],
+        )
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Fq6Element)
+            and self.c0 == other.c0
+            and self.c1 == other.c1
+            and self.c2 == other.c2
+        )
+
+    def __repr__(self) -> str:
+        return f"Fq6({self.c0}, {self.c1}, {self.c2})"
+
+
+class Fq12Element:
+    """Element c0 + c1*w of Fq12 with w^2 = v."""
+
+    __slots__ = ("c0", "c1")
+
+    def __init__(self, c0: Fq6Element, c1: Fq6Element):
+        self.c0 = c0
+        self.c1 = c1
+
+    @classmethod
+    def one(cls) -> "Fq12Element":
+        return cls(Fq6Element.one(), Fq6Element.zero())
+
+    @classmethod
+    def zero(cls) -> "Fq12Element":
+        return cls(Fq6Element.zero(), Fq6Element.zero())
+
+    def is_one(self) -> bool:
+        return self == Fq12Element.one()
+
+    def __add__(self, other: "Fq12Element") -> "Fq12Element":
+        return Fq12Element(self.c0 + other.c0, self.c1 + other.c1)
+
+    def __sub__(self, other: "Fq12Element") -> "Fq12Element":
+        return Fq12Element(self.c0 - other.c0, self.c1 - other.c1)
+
+    def __mul__(self, other: "Fq12Element") -> "Fq12Element":
+        a0, a1, b0, b1 = self.c0, self.c1, other.c0, other.c1
+        t0 = a0 * b0
+        t1 = a1 * b1
+        c0 = t0 + t1.mul_by_nonresidue()
+        c1 = (a0 + a1) * (b0 + b1) - t0 - t1
+        return Fq12Element(c0, c1)
+
+    def square(self) -> "Fq12Element":
+        return self * self
+
+    def conjugate(self) -> "Fq12Element":
+        return Fq12Element(self.c0, -self.c1)
+
+    def inverse(self) -> "Fq12Element":
+        denom = self.c0.square() - self.c1.square().mul_by_nonresidue()
+        denom_inv = denom.inverse()
+        return Fq12Element(self.c0 * denom_inv, -(self.c1 * denom_inv))
+
+    def frobenius(self) -> "Fq12Element":
+        c0 = self.c0.frobenius()
+        # (c1 * w)^q = c1^q * w^(q-1) * w, and w^(q-1) = xi^((q-1)/6) in Fq2,
+        # so the Frobenius of c1 is scaled uniformly by that constant.
+        c1 = self.c1.frobenius().scale(_FROB_GAMMA1[1])
+        return Fq12Element(c0, c1)
+
+    def pow(self, exponent: int) -> "Fq12Element":
+        if exponent < 0:
+            return self.inverse().pow(-exponent)
+        result = Fq12Element.one()
+        base = self
+        e = exponent
+        while e:
+            if e & 1:
+                result = result * base
+            base = base.square()
+            e >>= 1
+        return result
+
+    def __eq__(self, other: object) -> bool:
+        return (
+            isinstance(other, Fq12Element)
+            and self.c0 == other.c0
+            and self.c1 == other.c1
+        )
+
+    def __repr__(self) -> str:
+        return f"Fq12({self.c0}, {self.c1})"

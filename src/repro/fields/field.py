@@ -1,0 +1,273 @@
+"""Generic prime-field arithmetic.
+
+The design follows the usual "field object creates elements" pattern: a
+:class:`PrimeField` instance describes the modulus (and some cached
+constants), and :class:`FieldElement` instances carry a value plus a
+reference to their field.  Elements are immutable and hashable, so they can
+be used as dictionary keys (useful for MSM bucket bookkeeping and tests).
+
+Arithmetic is implemented with Python integers.  This is intentionally
+simple: functional correctness of the HyperPlonk protocol is what matters
+here; hardware-level cost is modelled separately in :mod:`repro.core`.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Union
+
+IntoField = Union[int, "FieldElement"]
+
+
+class FieldMismatchError(TypeError):
+    """Raised when combining elements from different fields."""
+
+
+class PrimeField:
+    """A prime field GF(p).
+
+    Parameters
+    ----------
+    modulus:
+        The prime modulus ``p``.  Primality is assumed, not checked (the
+        moduli used in this library are the standardized BLS12-381 primes).
+    name:
+        Human-readable name used in ``repr`` output.
+    """
+
+    __slots__ = ("modulus", "name", "bit_length", "byte_length", "_zero", "_one")
+
+    def __init__(self, modulus: int, name: str = "F"):
+        if modulus < 2:
+            raise ValueError(f"modulus must be >= 2, got {modulus}")
+        self.modulus = modulus
+        self.name = name
+        self.bit_length = modulus.bit_length()
+        self.byte_length = (self.bit_length + 7) // 8
+        self._zero = FieldElement(0, self)
+        self._one = FieldElement(1, self)
+
+    # -- element construction -------------------------------------------------
+
+    def __call__(self, value: IntoField) -> "FieldElement":
+        """Create (or coerce) an element of this field."""
+        if isinstance(value, FieldElement):
+            if value.field is not self:
+                raise FieldMismatchError(
+                    f"cannot coerce element of {value.field!r} into {self!r}"
+                )
+            return value
+        return FieldElement(value % self.modulus, self)
+
+    def zero(self) -> "FieldElement":
+        """The additive identity."""
+        return self._zero
+
+    def one(self) -> "FieldElement":
+        """The multiplicative identity."""
+        return self._one
+
+    def from_bytes(self, data: bytes) -> "FieldElement":
+        """Reduce a big-endian byte string into a field element."""
+        return self(int.from_bytes(data, "big"))
+
+    def random(self, rng) -> "FieldElement":
+        """Draw a uniformly random element using ``rng`` (``random.Random``)."""
+        return self(rng.randrange(self.modulus))
+
+    def elements(self, values: Iterable[IntoField]) -> list["FieldElement"]:
+        """Vectorized constructor."""
+        return [self(v) for v in values]
+
+    # -- misc ------------------------------------------------------------------
+
+    def __contains__(self, item: object) -> bool:
+        return isinstance(item, FieldElement) and item.field is self
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, PrimeField) and other.modulus == self.modulus
+
+    def __hash__(self) -> int:
+        return hash(("PrimeField", self.modulus))
+
+    def __repr__(self) -> str:
+        return f"PrimeField({self.name}, {self.bit_length} bits)"
+
+
+class FieldElement:
+    """An immutable element of a :class:`PrimeField`.
+
+    Supports the natural operators (``+``, ``-``, ``*``, ``/``, ``**``,
+    unary ``-``) as well as equality and hashing.  Mixed ``int`` operands are
+    accepted and reduced into the field.
+    """
+
+    __slots__ = ("value", "field")
+
+    def __init__(self, value: int, field: PrimeField):
+        self.value = value
+        self.field = field
+
+    # -- helpers ---------------------------------------------------------------
+
+    def _coerce(self, other: IntoField) -> int:
+        if isinstance(other, FieldElement):
+            if other.field.modulus != self.field.modulus:
+                raise FieldMismatchError(
+                    f"cannot combine {self.field!r} with {other.field!r}"
+                )
+            return other.value
+        if isinstance(other, int):
+            return other % self.field.modulus
+        return NotImplemented  # type: ignore[return-value]
+
+    # -- arithmetic ------------------------------------------------------------
+
+    def __add__(self, other: IntoField) -> "FieldElement":
+        o = self._coerce(other)
+        if o is NotImplemented:
+            return NotImplemented
+        return FieldElement((self.value + o) % self.field.modulus, self.field)
+
+    __radd__ = __add__
+
+    def __sub__(self, other: IntoField) -> "FieldElement":
+        o = self._coerce(other)
+        if o is NotImplemented:
+            return NotImplemented
+        return FieldElement((self.value - o) % self.field.modulus, self.field)
+
+    def __rsub__(self, other: IntoField) -> "FieldElement":
+        o = self._coerce(other)
+        if o is NotImplemented:
+            return NotImplemented
+        return FieldElement((o - self.value) % self.field.modulus, self.field)
+
+    def __mul__(self, other: IntoField) -> "FieldElement":
+        o = self._coerce(other)
+        if o is NotImplemented:
+            return NotImplemented
+        return FieldElement((self.value * o) % self.field.modulus, self.field)
+
+    __rmul__ = __mul__
+
+    def __neg__(self) -> "FieldElement":
+        return FieldElement((-self.value) % self.field.modulus, self.field)
+
+    def __pow__(self, exponent: int) -> "FieldElement":
+        if exponent < 0:
+            return self.inverse() ** (-exponent)
+        return FieldElement(
+            pow(self.value, exponent, self.field.modulus), self.field
+        )
+
+    def inverse(self) -> "FieldElement":
+        """Multiplicative inverse (raises ``ZeroDivisionError`` on zero)."""
+        if self.value == 0:
+            raise ZeroDivisionError("zero has no multiplicative inverse")
+        return FieldElement(
+            pow(self.value, self.field.modulus - 2, self.field.modulus), self.field
+        )
+
+    def __truediv__(self, other: IntoField) -> "FieldElement":
+        o = self._coerce(other)
+        if o is NotImplemented:
+            return NotImplemented
+        if o == 0:
+            raise ZeroDivisionError("division by zero field element")
+        inv = pow(o, self.field.modulus - 2, self.field.modulus)
+        return FieldElement((self.value * inv) % self.field.modulus, self.field)
+
+    def __rtruediv__(self, other: IntoField) -> "FieldElement":
+        o = self._coerce(other)
+        if o is NotImplemented:
+            return NotImplemented
+        return FieldElement(o, self.field) / self
+
+    def double(self) -> "FieldElement":
+        return FieldElement((self.value * 2) % self.field.modulus, self.field)
+
+    def square(self) -> "FieldElement":
+        return FieldElement((self.value * self.value) % self.field.modulus, self.field)
+
+    def sqrt(self) -> "FieldElement | None":
+        """Square root via Tonelli-Shanks; ``None`` if no root exists."""
+        p = self.field.modulus
+        a = self.value
+        if a == 0:
+            return self.field.zero()
+        if pow(a, (p - 1) // 2, p) != 1:
+            return None
+        if p % 4 == 3:
+            return FieldElement(pow(a, (p + 1) // 4, p), self.field)
+        # Tonelli-Shanks for p = 1 mod 4.
+        q, s = p - 1, 0
+        while q % 2 == 0:
+            q //= 2
+            s += 1
+        z = 2
+        while pow(z, (p - 1) // 2, p) != p - 1:
+            z += 1
+        m, c, t, r = s, pow(z, q, p), pow(a, q, p), pow(a, (q + 1) // 2, p)
+        while t != 1:
+            i, temp = 0, t
+            while temp != 1:
+                temp = (temp * temp) % p
+                i += 1
+            b = pow(c, 1 << (m - i - 1), p)
+            m, c = i, (b * b) % p
+            t, r = (t * c) % p, (r * b) % p
+        return FieldElement(r, self.field)
+
+    # -- predicates / conversions ----------------------------------------------
+
+    def is_zero(self) -> bool:
+        return self.value == 0
+
+    def is_one(self) -> bool:
+        return self.value == 1
+
+    def to_bytes(self) -> bytes:
+        """Big-endian fixed-width byte representation."""
+        return self.value.to_bytes(self.field.byte_length, "big")
+
+    def __int__(self) -> int:
+        return self.value
+
+    def __index__(self) -> int:
+        return self.value
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, FieldElement):
+            return (
+                other.field.modulus == self.field.modulus
+                and other.value == self.value
+            )
+        if isinstance(other, int):
+            return self.value == other % self.field.modulus
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash((self.field.modulus, self.value))
+
+    def __bool__(self) -> bool:
+        return self.value != 0
+
+    def __repr__(self) -> str:
+        return f"{self.field.name}({self.value})"
+
+
+def dot_product(
+    scalars: Sequence[FieldElement], values: Sequence[FieldElement]
+) -> FieldElement:
+    """Field dot product; both sequences must be non-empty and equal length."""
+    if len(scalars) != len(values):
+        raise ValueError(
+            f"length mismatch: {len(scalars)} scalars vs {len(values)} values"
+        )
+    if not scalars:
+        raise ValueError("dot_product of empty sequences is undefined")
+    field = scalars[0].field
+    acc = 0
+    for s, v in zip(scalars, values):
+        acc += s.value * v.value
+    return field(acc)

@@ -1,0 +1,134 @@
+"""Modular inversion primitives used by the FracMLE unit.
+
+The Wiring-Identity step of HyperPlonk needs the inverse of every element of
+the Denominator MLE (Section 3.3.3 / 4.4 of the paper).  zkSpeed computes
+these with:
+
+* a **constant-time Binary Extended Euclidean Algorithm** (BEEA) that always
+  runs ``2*W - 1`` iterations for ``W``-bit inputs (509 cycles for Fr), which
+  keeps outputs in-order when several inversions run in parallel; and
+* **Montgomery batch inversion**, which amortizes a single BEEA inversion
+  over a batch of ``b`` elements using partial products (the paper selects
+  ``b = 64``).
+
+Both are implemented here functionally, together with the iteration/latency
+counting hooks the hardware model uses.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.fields.field import FieldElement, PrimeField
+
+
+def beea_iteration_count(bit_width: int) -> int:
+    """Iterations of the constant-time BEEA for ``bit_width``-bit moduli.
+
+    The constant-time variant (Pornin 2020, as cited by the paper) runs
+    ``2*W - 1`` shift/subtract iterations regardless of the input value, so
+    for the 255-bit scalar field this is 509 — the cycle latency quoted in
+    Section 4.4.1.
+    """
+    if bit_width <= 0:
+        raise ValueError("bit_width must be positive")
+    return 2 * bit_width - 1
+
+
+def beea_inverse(element: FieldElement) -> FieldElement:
+    """Constant-iteration binary extended GCD inversion.
+
+    Functionally equivalent to ``element.inverse()`` but implemented with the
+    shift/subtract structure of the hardware unit.  The loop is fixed-length
+    (``2*W - 1`` iterations) so that the number of executed iterations does
+    not depend on the value being inverted — mirroring the data-oblivious
+    hardware described in the paper.
+    """
+    field = element.field
+    p = field.modulus
+    a = element.value % p
+    if a == 0:
+        raise ZeroDivisionError("zero has no inverse")
+
+    # Binary extended GCD with invariants q*a == u (mod p) and r*a == v
+    # (mod p), driven for a fixed 2W-1 iteration budget like the hardware's
+    # constant-time schedule.  Once u reaches zero the remaining iterations
+    # are no-ops, matching the unit which always runs the full schedule.
+    u, v = a, p
+    q, r = 1, 0
+    half = (p + 1) // 2  # multiplicative inverse of 2 mod p
+    iterations = beea_iteration_count(field.bit_length)
+    for _ in range(iterations):
+        if u == 0:
+            continue
+        if u % 2 == 0:
+            u //= 2
+            q = q // 2 if q % 2 == 0 else (q // 2 + half) % p
+        elif v % 2 == 0:
+            v //= 2
+            r = r // 2 if r % 2 == 0 else (r // 2 + half) % p
+        elif u >= v:
+            u = (u - v) // 2
+            q = (q - r) % p
+            q = q // 2 if q % 2 == 0 else (q // 2 + half) % p
+        else:
+            v = (v - u) // 2
+            r = (r - q) % p
+            r = r // 2 if r % 2 == 0 else (r // 2 + half) % p
+    # After full reduction v == gcd(a, p) == 1 and r == a^{-1} (mod p).
+    result = field(r)
+    if (result * element).value != 1:
+        raise ArithmeticError("constant-time BEEA failed to converge")
+    return result
+
+
+def batch_inverse(elements: Sequence[FieldElement]) -> list[FieldElement]:
+    """Montgomery batch inversion.
+
+    Computes the inverse of every element using a single field inversion plus
+    ``3*(n-1)`` multiplications: forward partial products, one inversion of
+    the running product, then a backward sweep recovering each inverse.
+
+    Raises ``ZeroDivisionError`` if any element is zero (HyperPlonk's
+    denominator MLE elements are derived from random challenges and are
+    nonzero with overwhelming probability; the hardware likewise assumes
+    nonzero inputs).
+    """
+    n = len(elements)
+    if n == 0:
+        return []
+    field: PrimeField = elements[0].field
+
+    prefix = [field.one()] * n
+    running = field.one()
+    for i, el in enumerate(elements):
+        if el.is_zero():
+            raise ZeroDivisionError(f"batch_inverse: element {i} is zero")
+        prefix[i] = running
+        running = running * el
+
+    inv_running = running.inverse()
+    result = [field.zero()] * n
+    for i in range(n - 1, -1, -1):
+        result[i] = prefix[i] * inv_running
+        inv_running = inv_running * elements[i]
+    return result
+
+
+def batch_inverse_multiplication_count(batch_size: int) -> int:
+    """Sequential multiplications in the textbook batching scheme (O(b))."""
+    if batch_size <= 0:
+        raise ValueError("batch_size must be positive")
+    return 3 * (batch_size - 1)
+
+
+def batch_inverse_tree_depth(batch_size: int) -> int:
+    """Depth of the multiplier tree used by zkSpeed's FracMLE unit (O(log b))."""
+    if batch_size <= 0:
+        raise ValueError("batch_size must be positive")
+    depth = 0
+    size = batch_size
+    while size > 1:
+        size = (size + 1) // 2
+        depth += 1
+    return depth

@@ -1,0 +1,132 @@
+"""Montgomery-form modular arithmetic.
+
+zkSpeed's datapaths are built around Montgomery multipliers generated with
+HLS (Section 6.1 of the paper).  This module provides a functional model of
+Montgomery arithmetic (REDC reduction) both as a correctness cross-check for
+the plain-integer arithmetic in :mod:`repro.fields.field` and as the source
+of hardware cost parameters (limb counts, number of word multiplications)
+that the technology model in :mod:`repro.core.technology` consumes.
+
+A 255-bit or 381-bit Montgomery multiplication decomposes into word-level
+multiply-accumulate operations; ``word_multiplications`` reports how many a
+schoolbook CIOS implementation needs, which is the quantity HLS-synthesized
+multipliers scale with.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class MontgomeryContext:
+    """Precomputed constants for Montgomery arithmetic modulo ``modulus``.
+
+    Attributes
+    ----------
+    modulus:
+        The odd prime modulus.
+    word_bits:
+        Machine word size of the modelled multiplier datapath (the paper's
+        HLS designs use 64-bit limbs).
+    """
+
+    modulus: int
+    word_bits: int = 64
+
+    def __post_init__(self) -> None:
+        if self.modulus % 2 == 0:
+            raise ValueError("Montgomery reduction requires an odd modulus")
+        if self.word_bits <= 0:
+            raise ValueError("word_bits must be positive")
+
+    # -- derived constants -----------------------------------------------------
+
+    @property
+    def num_limbs(self) -> int:
+        """Number of machine words needed to hold one operand."""
+        return -(-self.modulus.bit_length() // self.word_bits)
+
+    @property
+    def r_bits(self) -> int:
+        """Bit width of the Montgomery radix R = 2^(limbs * word_bits)."""
+        return self.num_limbs * self.word_bits
+
+    @property
+    def r(self) -> int:
+        """The Montgomery radix R."""
+        return 1 << self.r_bits
+
+    @property
+    def r_mod_n(self) -> int:
+        return self.r % self.modulus
+
+    @property
+    def r2_mod_n(self) -> int:
+        """R^2 mod N, used to convert into Montgomery form."""
+        return (self.r * self.r) % self.modulus
+
+    @property
+    def n_prime(self) -> int:
+        """-N^{-1} mod R, the REDC constant."""
+        return (-pow(self.modulus, -1, self.r)) % self.r
+
+    # -- conversions -----------------------------------------------------------
+
+    def to_montgomery(self, x: int) -> int:
+        """Map ``x`` to its Montgomery representation ``x * R mod N``."""
+        return (x * self.r) % self.modulus
+
+    def from_montgomery(self, x_mont: int) -> int:
+        """Map a Montgomery representative back to the ordinary residue."""
+        return self.redc(x_mont)
+
+    # -- core operations ---------------------------------------------------------
+
+    def redc(self, t: int) -> int:
+        """Montgomery reduction: returns ``t * R^{-1} mod N`` for ``t < N*R``."""
+        if t < 0 or t >= self.modulus * self.r:
+            raise ValueError("REDC input out of range [0, N*R)")
+        m = ((t % self.r) * self.n_prime) % self.r
+        u = (t + m * self.modulus) >> self.r_bits
+        if u >= self.modulus:
+            u -= self.modulus
+        return u
+
+    def mont_mul(self, a_mont: int, b_mont: int) -> int:
+        """Multiply two Montgomery-form operands, result in Montgomery form."""
+        return self.redc(a_mont * b_mont)
+
+    def mont_square(self, a_mont: int) -> int:
+        return self.redc(a_mont * a_mont)
+
+    def modmul(self, a: int, b: int) -> int:
+        """Ordinary-domain modular multiplication routed through REDC.
+
+        This is the functional contract of one hardware "modmul": convert,
+        multiply, reduce, convert back.  Used by tests to confirm the
+        Montgomery path matches plain ``(a * b) % N``.
+        """
+        am = self.to_montgomery(a % self.modulus)
+        bm = self.to_montgomery(b % self.modulus)
+        return self.from_montgomery(self.mont_mul(am, bm))
+
+    # -- hardware-cost helpers ---------------------------------------------------
+
+    def word_multiplications(self) -> int:
+        """Word-level multiplies in one CIOS Montgomery multiplication.
+
+        A CIOS (coarsely integrated operand scanning) implementation with
+        ``s`` limbs performs ``2*s^2 + s`` word multiplications.  The paper
+        notes each 255/381-bit modmul "comprises three integer
+        multiplications" at the big-integer granularity; the limb-level count
+        here is what the synthesized area of a multiplier tracks.
+        """
+        s = self.num_limbs
+        return 2 * s * s + s
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"MontgomeryContext(bits={self.modulus.bit_length()}, "
+            f"limbs={self.num_limbs}, word_bits={self.word_bits})"
+        )

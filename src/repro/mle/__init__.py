@@ -1,0 +1,32 @@
+"""Multilinear extension (MLE) tables and operations.
+
+HyperPlonk represents every polynomial as an *MLE table*: the list of the
+polynomial's evaluations over the boolean hypercube (Section 2.3 of the
+paper).  This package provides the table data structure, the operations the
+zkSpeed units implement in hardware (Build MLE / eq, MLE Update, MLE
+Evaluate, Fraction MLE, Product MLE, linear combination) and the virtual
+"sum of products of MLEs" polynomials that SumCheck consumes.
+"""
+
+from repro.mle.mle import MultilinearPolynomial, eq_mle, eq_eval
+from repro.mle.virtual_poly import VirtualPolynomial, ProductTerm
+from repro.mle.operations import (
+    build_eq_table,
+    fraction_mle,
+    linear_combine,
+    product_tree_mle,
+    product_tree_levels,
+)
+
+__all__ = [
+    "MultilinearPolynomial",
+    "eq_mle",
+    "eq_eval",
+    "VirtualPolynomial",
+    "ProductTerm",
+    "build_eq_table",
+    "fraction_mle",
+    "linear_combine",
+    "product_tree_mle",
+    "product_tree_levels",
+]

@@ -1,0 +1,249 @@
+"""Dense multilinear-extension (MLE) tables.
+
+An MLE over ``mu`` variables is stored as its ``2^mu`` evaluations on the
+boolean hypercube.  The index convention follows the paper's Equation (2)
+(and the arkworks/HyperPlonk reference code): table index ``i`` encodes the
+assignment whose *first* variable is the least-significant bit of ``i``.
+Consequently "fixing the first variable to r" pairs adjacent entries:
+
+    t'[i] = (t[2i+1] - t[2i]) * r + t[2i]
+
+which is exactly the MLE-Update operation performed between SumCheck rounds
+by zkSpeed's MLE Update unit.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Iterable, Sequence
+
+from repro.fields.bls12_381 import Fr
+from repro.fields.field import FieldElement, PrimeField
+
+
+class MultilinearPolynomial:
+    """A dense MLE table over ``num_vars`` variables."""
+
+    __slots__ = ("num_vars", "evaluations", "field")
+
+    def __init__(
+        self,
+        num_vars: int,
+        evaluations: Sequence[FieldElement],
+        field: PrimeField = Fr,
+    ):
+        if num_vars < 0:
+            raise ValueError("num_vars must be non-negative")
+        expected = 1 << num_vars
+        if len(evaluations) != expected:
+            raise ValueError(
+                f"expected {expected} evaluations for {num_vars} variables, "
+                f"got {len(evaluations)}"
+            )
+        self.num_vars = num_vars
+        self.evaluations = list(evaluations)
+        self.field = field
+
+    # -- constructors ----------------------------------------------------------
+
+    @classmethod
+    def from_ints(
+        cls, num_vars: int, values: Sequence[int], field: PrimeField = Fr
+    ) -> "MultilinearPolynomial":
+        return cls(num_vars, [field(v) for v in values], field)
+
+    @classmethod
+    def constant(
+        cls, num_vars: int, value: FieldElement, field: PrimeField = Fr
+    ) -> "MultilinearPolynomial":
+        return cls(num_vars, [value] * (1 << num_vars), field)
+
+    @classmethod
+    def zero(cls, num_vars: int, field: PrimeField = Fr) -> "MultilinearPolynomial":
+        return cls.constant(num_vars, field.zero(), field)
+
+    @classmethod
+    def random(
+        cls, num_vars: int, rng: random.Random, field: PrimeField = Fr
+    ) -> "MultilinearPolynomial":
+        return cls(num_vars, [field.random(rng) for _ in range(1 << num_vars)], field)
+
+    @classmethod
+    def from_function(
+        cls,
+        num_vars: int,
+        func: Callable[[tuple[int, ...]], FieldElement],
+        field: PrimeField = Fr,
+    ) -> "MultilinearPolynomial":
+        """Build a table from a function of the boolean assignment tuple."""
+        evals = []
+        for index in range(1 << num_vars):
+            bits = tuple((index >> k) & 1 for k in range(num_vars))
+            evals.append(func(bits))
+        return cls(num_vars, evals, field)
+
+    # -- basic queries ----------------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self.evaluations)
+
+    def __getitem__(self, index: int) -> FieldElement:
+        return self.evaluations[index]
+
+    def __iter__(self):
+        return iter(self.evaluations)
+
+    def is_zero(self) -> bool:
+        return all(e.is_zero() for e in self.evaluations)
+
+    def clone(self) -> "MultilinearPolynomial":
+        return MultilinearPolynomial(self.num_vars, list(self.evaluations), self.field)
+
+    # -- evaluation -------------------------------------------------------------
+
+    def evaluate(self, point: Sequence[FieldElement]) -> FieldElement:
+        """Evaluate the MLE at an arbitrary point in F^num_vars (MLE Evaluate)."""
+        if len(point) != self.num_vars:
+            raise ValueError(
+                f"point has {len(point)} coordinates, expected {self.num_vars}"
+            )
+        table = self.evaluations
+        for r in point:
+            half = len(table) // 2
+            table = [
+                table[2 * i] + r * (table[2 * i + 1] - table[2 * i])
+                for i in range(half)
+            ]
+        return table[0] if table else self.field.zero()
+
+    def fix_first_variable(self, r: FieldElement) -> "MultilinearPolynomial":
+        """Fix the first variable to ``r`` (the MLE Update of Equation (2))."""
+        if self.num_vars == 0:
+            raise ValueError("cannot fix a variable of a 0-variable polynomial")
+        table = self.evaluations
+        half = len(table) // 2
+        new_evals = [
+            table[2 * i] + r * (table[2 * i + 1] - table[2 * i]) for i in range(half)
+        ]
+        return MultilinearPolynomial(self.num_vars - 1, new_evals, self.field)
+
+    def fix_variables(self, rs: Sequence[FieldElement]) -> "MultilinearPolynomial":
+        """Fix the first ``len(rs)`` variables in order."""
+        result = self
+        for r in rs:
+            result = result.fix_first_variable(r)
+        return result
+
+    def sum_over_hypercube(self) -> FieldElement:
+        """Sum of all table entries (the quantity SumCheck proves)."""
+        acc = 0
+        for e in self.evaluations:
+            acc += e.value
+        return self.field(acc)
+
+    # -- arithmetic on tables -----------------------------------------------------
+
+    def _check_compatible(self, other: "MultilinearPolynomial") -> None:
+        if self.num_vars != other.num_vars:
+            raise ValueError(
+                f"variable-count mismatch: {self.num_vars} vs {other.num_vars}"
+            )
+
+    def __add__(self, other: "MultilinearPolynomial") -> "MultilinearPolynomial":
+        self._check_compatible(other)
+        return MultilinearPolynomial(
+            self.num_vars,
+            [a + b for a, b in zip(self.evaluations, other.evaluations)],
+            self.field,
+        )
+
+    def __sub__(self, other: "MultilinearPolynomial") -> "MultilinearPolynomial":
+        self._check_compatible(other)
+        return MultilinearPolynomial(
+            self.num_vars,
+            [a - b for a, b in zip(self.evaluations, other.evaluations)],
+            self.field,
+        )
+
+    def __neg__(self) -> "MultilinearPolynomial":
+        return MultilinearPolynomial(
+            self.num_vars, [-a for a in self.evaluations], self.field
+        )
+
+    def scale(self, factor: FieldElement) -> "MultilinearPolynomial":
+        return MultilinearPolynomial(
+            self.num_vars, [factor * a for a in self.evaluations], self.field
+        )
+
+    def hadamard(self, other: "MultilinearPolynomial") -> "MultilinearPolynomial":
+        """Entry-wise product (NOT a multilinear polynomial in general).
+
+        Used only as a convenience for constructing constraint tables in
+        tests; SumCheck works with :class:`~repro.mle.virtual_poly.VirtualPolynomial`
+        products instead.
+        """
+        self._check_compatible(other)
+        return MultilinearPolynomial(
+            self.num_vars,
+            [a * b for a, b in zip(self.evaluations, other.evaluations)],
+            self.field,
+        )
+
+    # -- sparsity (used by the Sparse-MSM flow and the memory model) --------------
+
+    def sparsity_profile(self) -> dict[str, int]:
+        """Count zero / one / dense entries (Section 3.3.1 statistics)."""
+        zeros = ones = dense = 0
+        for e in self.evaluations:
+            if e.is_zero():
+                zeros += 1
+            elif e.is_one():
+                ones += 1
+            else:
+                dense += 1
+        return {"zeros": zeros, "ones": ones, "dense": dense}
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, MultilinearPolynomial):
+            return NotImplemented
+        return (
+            self.num_vars == other.num_vars and self.evaluations == other.evaluations
+        )
+
+    def __repr__(self) -> str:
+        return f"MultilinearPolynomial(num_vars={self.num_vars})"
+
+
+def eq_eval(
+    x: Sequence[FieldElement], y: Sequence[FieldElement], field: PrimeField = Fr
+) -> FieldElement:
+    """Evaluate eq(x, y) = prod_i (x_i y_i + (1 - x_i)(1 - y_i))."""
+    if len(x) != len(y):
+        raise ValueError("eq_eval requires equal-length points")
+    acc = field.one()
+    one = field.one()
+    for xi, yi in zip(x, y):
+        acc = acc * (xi * yi + (one - xi) * (one - yi))
+    return acc
+
+
+def eq_mle(point: Sequence[FieldElement], field: PrimeField = Fr) -> MultilinearPolynomial:
+    """Build the eq(point, .) MLE table (the paper's "Build MLE" function).
+
+    Constructed layer by layer as a binary tree (2^(mu+1) - 4 multiplications
+    instead of (mu-1) 2^mu -- the optimization the Multifunction Tree unit
+    implements in hardware).  With the LSB-first index convention the first
+    challenge splits adjacent entries.
+    """
+    mu = len(point)
+    table = [field.one()]
+    for r in point:
+        one_minus_r = field.one() - r
+        low_half = [value * one_minus_r for value in table]
+        # r * v is obtained as v - (1 - r) * v, sharing the multiplication --
+        # the same trick footnote 3 of the paper describes for Build MLE.
+        high_half = [value - low for value, low in zip(table, low_half)]
+        # Each successive challenge corresponds to the next-higher index bit,
+        # keeping the first variable in the least-significant position.
+        table = low_half + high_half
+    return MultilinearPolynomial(mu, table, field)

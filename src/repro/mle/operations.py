@@ -1,0 +1,181 @@
+"""MLE-level operations mapped to zkSpeed hardware units.
+
+Each function here is the software counterpart of a zkSpeed unit:
+
+* :func:`build_eq_table`       -- Build MLE      (Multifunction Tree unit)
+* :func:`product_tree_mle`     -- Product MLE    (Multifunction Tree unit)
+* :func:`fraction_mle`         -- Fraction MLE   (FracMLE unit, batch inversion)
+* :func:`construct_numerator_denominator` -- Construct N & D unit
+* :func:`linear_combine`       -- MLE Combine unit
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.fields.bls12_381 import Fr
+from repro.fields.field import FieldElement, PrimeField
+from repro.fields.inversion import batch_inverse
+from repro.mle.mle import MultilinearPolynomial, eq_mle
+
+
+def build_eq_table(
+    point: Sequence[FieldElement], field: PrimeField = Fr
+) -> MultilinearPolynomial:
+    """Build the eq(point, .) table; alias of :func:`repro.mle.mle.eq_mle`."""
+    return eq_mle(point, field)
+
+
+def fraction_mle(
+    numerator: MultilinearPolynomial,
+    denominator: MultilinearPolynomial,
+    batch_size: int = 64,
+) -> MultilinearPolynomial:
+    """Compute phi = N / D entry-wise using Montgomery batch inversion.
+
+    ``batch_size`` mirrors the hardware batching parameter (the paper selects
+    64); the functional result is independent of it, but processing in
+    batches exercises the same code path the FracMLE unit pipelines.
+    """
+    if numerator.num_vars != denominator.num_vars:
+        raise ValueError("numerator and denominator must have equal num_vars")
+    if batch_size <= 0:
+        raise ValueError("batch_size must be positive")
+    field = numerator.field
+    result: list[FieldElement] = []
+    denom = denominator.evaluations
+    numer = numerator.evaluations
+    for start in range(0, len(denom), batch_size):
+        batch = denom[start : start + batch_size]
+        inverses = batch_inverse(batch)
+        for offset, inv in enumerate(inverses):
+            result.append(numer[start + offset] * inv)
+    return MultilinearPolynomial(numerator.num_vars, result, field)
+
+
+def product_tree_levels(
+    values: Sequence[FieldElement],
+) -> list[list[FieldElement]]:
+    """All internal levels of the binary product tree over ``values``.
+
+    Level 0 is the input; level k has ``len(values) / 2^k`` entries, each the
+    product of a pair from the level below.  The Multifunction Tree unit
+    emits exactly these partial products (Figure 3, "Compute Product MLE").
+    """
+    if len(values) == 0 or len(values) & (len(values) - 1):
+        raise ValueError("product tree requires a power-of-two input length")
+    levels = [list(values)]
+    current = list(values)
+    while len(current) > 1:
+        current = [current[2 * i] * current[2 * i + 1] for i in range(len(current) // 2)]
+        levels.append(current)
+    return levels
+
+
+def product_tree_mle(phi: MultilinearPolynomial) -> MultilinearPolynomial:
+    """Construct the Product MLE pi from the Fraction MLE phi.
+
+    Layout (Section 3.3.3): consider the virtual table ``nu = [phi, pi]`` of
+    2^(mu+1) entries.  For j in [0, 2^mu - 2]:
+
+        pi[j] = nu[2j] * nu[2j + 1]
+
+    so the first half of pi holds pairwise products of phi, the next quarter
+    pairwise products of those, and so on -- i.e. the concatenated levels of
+    the binary product tree.  The total product of phi lands at index
+    2^mu - 2 and the final entry is defined to be zero, which keeps the
+    ZeroCheck constraint  pi(x) - p1(x) p2(x) = 0  valid on the whole
+    hypercube (p1/p2 are the even/odd halves of nu).
+    """
+    mu = phi.num_vars
+    size = 1 << mu
+    field = phi.field
+    nu: list[FieldElement] = list(phi.evaluations) + [field.zero()] * size
+    for j in range(size - 1):
+        nu[size + j] = nu[2 * j] * nu[2 * j + 1]
+    nu[2 * size - 1] = field.zero()
+    return MultilinearPolynomial(mu, nu[size:], field)
+
+
+def prod_check_halves(
+    phi: MultilinearPolynomial, pi: MultilinearPolynomial
+) -> tuple[MultilinearPolynomial, MultilinearPolynomial]:
+    """The p1/p2 MLEs of the product check (even/odd halves of nu = [phi, pi]).
+
+    p1[j] = nu[2j] and p2[j] = nu[2j+1]; the Wire-Identity ZeroCheck verifies
+    pi(x) = p1(x) * p2(x) over the hypercube (Equation 4 of the paper).
+    """
+    if phi.num_vars != pi.num_vars:
+        raise ValueError("phi and pi must have equal num_vars")
+    nu = list(phi.evaluations) + list(pi.evaluations)
+    p1 = [nu[2 * j] for j in range(len(phi.evaluations))]
+    p2 = [nu[2 * j + 1] for j in range(len(phi.evaluations))]
+    field = phi.field
+    return (
+        MultilinearPolynomial(phi.num_vars, p1, field),
+        MultilinearPolynomial(phi.num_vars, p2, field),
+    )
+
+
+def construct_numerator_denominator(
+    witnesses: Sequence[MultilinearPolynomial],
+    identity_perms: Sequence[MultilinearPolynomial],
+    sigma_perms: Sequence[MultilinearPolynomial],
+    beta: FieldElement,
+    gamma: FieldElement,
+) -> tuple[list[MultilinearPolynomial], list[MultilinearPolynomial]]:
+    """The Construct N&D step of the Wiring Identity.
+
+    For each wire column i:  N_i = w_i + beta * id_i + gamma  and
+    D_i = w_i + beta * sigma_i + gamma.  Returns ([N_1..N_k], [D_1..D_k]).
+    """
+    if not (len(witnesses) == len(identity_perms) == len(sigma_perms)):
+        raise ValueError("witness / permutation column counts must match")
+    numerators: list[MultilinearPolynomial] = []
+    denominators: list[MultilinearPolynomial] = []
+    for w, ident, sigma in zip(witnesses, identity_perms, sigma_perms):
+        field = w.field
+        n_evals = [
+            w_val + beta * id_val + gamma
+            for w_val, id_val in zip(w.evaluations, ident.evaluations)
+        ]
+        d_evals = [
+            w_val + beta * s_val + gamma
+            for w_val, s_val in zip(w.evaluations, sigma.evaluations)
+        ]
+        numerators.append(MultilinearPolynomial(w.num_vars, n_evals, field))
+        denominators.append(MultilinearPolynomial(w.num_vars, d_evals, field))
+    return numerators, denominators
+
+
+def elementwise_product(
+    mles: Sequence[MultilinearPolynomial],
+) -> MultilinearPolynomial:
+    """Entry-wise product of several MLE tables (e.g. N = N1*N2*N3)."""
+    if not mles:
+        raise ValueError("need at least one MLE")
+    result = mles[0].clone()
+    for other in mles[1:]:
+        result = result.hadamard(other)
+    return result
+
+
+def linear_combine(
+    mles: Sequence[MultilinearPolynomial],
+    coefficients: Sequence[FieldElement],
+) -> MultilinearPolynomial:
+    """Linear combination sum_i c_i * mle_i (the MLE Combine unit)."""
+    if len(mles) != len(coefficients):
+        raise ValueError("number of MLEs and coefficients must match")
+    if not mles:
+        raise ValueError("need at least one MLE")
+    num_vars = mles[0].num_vars
+    field = mles[0].field
+    size = 1 << num_vars
+    acc = [field.zero()] * size
+    for coeff, mle in zip(coefficients, mles):
+        if mle.num_vars != num_vars:
+            raise ValueError("all MLEs must have the same number of variables")
+        for i, value in enumerate(mle.evaluations):
+            acc[i] = acc[i] + coeff * value
+    return MultilinearPolynomial(num_vars, acc, field)

@@ -1,0 +1,154 @@
+"""Virtual polynomials: sums of products of MLEs.
+
+HyperPlonk's SumCheck instances (Equations 3-5 of the paper) all share the
+shape "sum over terms of (coefficient * product of multilinear
+polynomials)".  A :class:`VirtualPolynomial` stores a list of distinct MLE
+tables plus a list of :class:`ProductTerm` entries referring to them by
+index, so that a polynomial appearing in several terms (e.g. the eq / "f_z"
+polynomial) is stored and updated only once -- the same de-duplication that
+zkSpeed's SumCheck PE exploits (Section 4.1.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.fields.bls12_381 import Fr
+from repro.fields.field import FieldElement, PrimeField
+from repro.mle.mle import MultilinearPolynomial
+
+
+@dataclass(frozen=True)
+class ProductTerm:
+    """One term of a virtual polynomial: coefficient * prod(mle_indices)."""
+
+    coefficient: FieldElement
+    mle_indices: tuple[int, ...]
+
+    @property
+    def degree(self) -> int:
+        return len(self.mle_indices)
+
+
+class VirtualPolynomial:
+    """A sum of products of multilinear polynomials over a shared variable set."""
+
+    def __init__(self, num_vars: int, field: PrimeField = Fr):
+        self.num_vars = num_vars
+        self.field = field
+        self.mles: list[MultilinearPolynomial] = []
+        self.terms: list[ProductTerm] = []
+        self._mle_lookup: dict[int, int] = {}
+
+    # -- construction -----------------------------------------------------------
+
+    def add_mle(self, mle: MultilinearPolynomial) -> int:
+        """Register an MLE table and return its index (de-duplicated by identity)."""
+        if mle.num_vars != self.num_vars:
+            raise ValueError(
+                f"MLE has {mle.num_vars} variables, expected {self.num_vars}"
+            )
+        key = id(mle)
+        if key in self._mle_lookup:
+            return self._mle_lookup[key]
+        index = len(self.mles)
+        self.mles.append(mle)
+        self._mle_lookup[key] = index
+        return index
+
+    def add_product(
+        self,
+        mles: Sequence[MultilinearPolynomial],
+        coefficient: FieldElement | int = 1,
+    ) -> None:
+        """Add the term ``coefficient * prod(mles)``."""
+        if not mles:
+            raise ValueError("a product term needs at least one MLE")
+        coeff = self.field(coefficient) if isinstance(coefficient, int) else coefficient
+        indices = tuple(self.add_mle(m) for m in mles)
+        self.terms.append(ProductTerm(coeff, indices))
+
+    # -- queries ------------------------------------------------------------------
+
+    @property
+    def max_degree(self) -> int:
+        """Largest per-variable degree across terms (drives SumCheck eval count)."""
+        return max((t.degree for t in self.terms), default=0)
+
+    @property
+    def num_mles(self) -> int:
+        return len(self.mles)
+
+    def term_degrees(self) -> list[int]:
+        """Per-term degrees; their imbalance drives the interpolation step."""
+        return [t.degree for t in self.terms]
+
+    def evaluate(self, point: Sequence[FieldElement]) -> FieldElement:
+        """Evaluate the full virtual polynomial at an arbitrary point."""
+        mle_values = [m.evaluate(point) for m in self.mles]
+        acc = self.field.zero()
+        for term in self.terms:
+            value = term.coefficient
+            for idx in term.mle_indices:
+                value = value * mle_values[idx]
+            acc = acc + value
+        return acc
+
+    def evaluate_on_hypercube_index(self, index: int) -> FieldElement:
+        """Evaluate at a boolean-hypercube point given by its table index."""
+        acc = self.field.zero()
+        for term in self.terms:
+            value = term.coefficient
+            for idx in term.mle_indices:
+                value = value * self.mles[idx].evaluations[index]
+            acc = acc + value
+        return acc
+
+    def sum_over_hypercube(self) -> FieldElement:
+        """The claimed SumCheck value: sum of the polynomial over {0,1}^mu."""
+        total = self.field.zero()
+        for index in range(1 << self.num_vars):
+            total = total + self.evaluate_on_hypercube_index(index)
+        return total
+
+    def is_zero_on_hypercube(self) -> bool:
+        """True if the polynomial vanishes at every boolean point (ZeroCheck)."""
+        return all(
+            self.evaluate_on_hypercube_index(i).is_zero()
+            for i in range(1 << self.num_vars)
+        )
+
+    # -- transformations ------------------------------------------------------------
+
+    def fix_first_variable(self, r: FieldElement) -> "VirtualPolynomial":
+        """Fix the first variable of every referenced MLE (one SumCheck round)."""
+        if self.num_vars == 0:
+            raise ValueError("no variables left to fix")
+        result = VirtualPolynomial(self.num_vars - 1, self.field)
+        result.mles = [m.fix_first_variable(r) for m in self.mles]
+        result._mle_lookup = {id(m): i for i, m in enumerate(result.mles)}
+        result.terms = list(self.terms)
+        return result
+
+    def total_modmuls_per_hypercube_point(self) -> int:
+        """Multiplications needed to evaluate all terms at one boolean point.
+
+        Used by tests to sanity-check the analytical operation counts of the
+        hardware model against the functional implementation.
+        """
+        count = 0
+        for term in self.terms:
+            # (degree - 1) multiplications for the product, +1 for the coefficient
+            # when it is not one.
+            count += max(0, term.degree - 1)
+            if not term.coefficient.is_one():
+                count += 1
+        return count
+
+    def __repr__(self) -> str:
+        return (
+            f"VirtualPolynomial(num_vars={self.num_vars}, "
+            f"mles={len(self.mles)}, terms={len(self.terms)}, "
+            f"max_degree={self.max_degree})"
+        )

@@ -1,0 +1,27 @@
+"""Multilinear polynomial commitment scheme (PST13 / multilinear KZG).
+
+HyperPlonk commits to every MLE with a pairing-based multilinear KZG scheme
+over BLS12-381.  Commitments and opening proofs are G1 MSMs (the kernels the
+zkSpeed MSM unit accelerates); verification uses pairings and is cheap.
+"""
+
+from repro.pcs.srs import UniversalSRS, ProverKey, VerifierKey, setup
+from repro.pcs.multilinear_kzg import (
+    Commitment,
+    OpeningProof,
+    commit,
+    open_at_point,
+    verify_opening,
+)
+
+__all__ = [
+    "UniversalSRS",
+    "ProverKey",
+    "VerifierKey",
+    "setup",
+    "Commitment",
+    "OpeningProof",
+    "commit",
+    "open_at_point",
+    "verify_opening",
+]

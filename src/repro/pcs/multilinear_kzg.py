@@ -1,0 +1,177 @@
+"""Multilinear KZG (PST13) commitments, openings and verification.
+
+* ``commit``   -- an MSM of the MLE table against the Lagrange-basis SRS.
+  Witness polynomials use the Sparse-MSM path (Section 3.3.1 of the paper).
+* ``open_at_point`` -- produces one quotient commitment per variable.  The
+  quotient tables halve in size each round (2^(mu-1), 2^(mu-2), ..., 1),
+  which is exactly the sequence of shrinking MSMs the paper describes in the
+  Polynomial Opening step (Section 3.3.5).
+* ``verify_opening`` -- either the real pairing check
+  ``e(C - y*G, H) = prod_i e(Q_i, [tau_i - z_i]_2)`` or, when the SRS
+  retained its trapdoor, an equivalent group-element check that avoids
+  pairings (used to keep the test suite fast; the pairing path is covered by
+  dedicated tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.curves.bls12_381 import G2Point
+from repro.curves.curve import AffinePoint, JacobianPoint
+from repro.curves.msm import MSMStatistics, msm
+from repro.curves.pairing import pairing_product_is_one
+from repro.fields.field import FieldElement
+from repro.mle.mle import MultilinearPolynomial
+from repro.pcs.srs import ProverKey, VerifierKey
+
+
+@dataclass(frozen=True)
+class Commitment:
+    """A commitment to an MLE: a single G1 point."""
+
+    point: AffinePoint
+
+    def __eq__(self, other: object) -> bool:
+        return isinstance(other, Commitment) and self.point == other.point
+
+    def __hash__(self) -> int:
+        return hash(self.point)
+
+
+@dataclass
+class OpeningProof:
+    """An opening proof: one quotient commitment per variable."""
+
+    quotients: list[AffinePoint]
+
+
+class PCSError(Exception):
+    """Raised on malformed inputs to the commitment scheme."""
+
+
+def commit(
+    prover_key: ProverKey,
+    mle: MultilinearPolynomial,
+    sparse: bool = False,
+    stats: MSMStatistics | None = None,
+) -> Commitment:
+    """Commit to an MLE: ``C = sum_b mle[b] * [eq(tau, b)]_1``."""
+    if mle.num_vars != prover_key.num_vars:
+        raise PCSError(
+            f"MLE has {mle.num_vars} variables but the SRS supports exactly "
+            f"{prover_key.num_vars}"
+        )
+    result = msm(
+        mle.evaluations,
+        prover_key.lagrange_tables[0],
+        sparse=sparse,
+        stats=stats,
+    )
+    return Commitment(result.to_affine())
+
+
+def combine_commitments(
+    commitments: Sequence[Commitment], coefficients: Sequence[FieldElement]
+) -> Commitment:
+    """Homomorphic linear combination ``sum_i c_i * C_i``."""
+    if len(commitments) != len(coefficients):
+        raise PCSError("commitments and coefficients must have equal length")
+    acc = JacobianPoint.identity()
+    for c, coeff in zip(commitments, coefficients):
+        if coeff.is_zero():
+            continue
+        acc = acc + c.point.to_jacobian().scalar_mul(coeff.value)
+    return Commitment(acc.to_affine())
+
+
+def open_at_point(
+    prover_key: ProverKey,
+    mle: MultilinearPolynomial,
+    point: Sequence[FieldElement],
+    stats: MSMStatistics | None = None,
+) -> tuple[FieldElement, OpeningProof]:
+    """Open ``mle`` at ``point``; returns (value, proof).
+
+    The proof consists of commitments to the quotient polynomials q_i in
+
+        f(X) - f(z) = sum_i (X_i - z_i) * q_i(X_{i+1}, ..., X_mu)
+
+    computed by repeatedly splitting the table into even/odd halves (exactly
+    the MLE-Update recurrence) and committing each quotient against the SRS
+    suffix table of the matching size.
+    """
+    if mle.num_vars != prover_key.num_vars:
+        raise PCSError("MLE/SRS size mismatch")
+    if len(point) != mle.num_vars:
+        raise PCSError("evaluation point has the wrong number of coordinates")
+
+    field = mle.field
+    current = list(mle.evaluations)
+    quotients: list[AffinePoint] = []
+    for i, z_i in enumerate(point):
+        half = len(current) // 2
+        quotient = [current[2 * j + 1] - current[2 * j] for j in range(half)]
+        current = [current[2 * j] + z_i * quotient[j] for j in range(half)]
+        if half > 0:
+            basis = prover_key.lagrange_tables[i + 1] if i + 1 < mle.num_vars else None
+            if basis is None:
+                # Last round: the quotient is a single constant committed to g1.
+                commitment_point = prover_key.g1.to_jacobian().scalar_mul(
+                    quotient[0].value
+                )
+            else:
+                commitment_point = msm(quotient, basis, stats=stats)
+            quotients.append(commitment_point.to_affine())
+    value = current[0] if current else field.zero()
+    return value, OpeningProof(quotients=quotients)
+
+
+def verify_opening(
+    verifier_key: VerifierKey,
+    commitment: Commitment,
+    point: Sequence[FieldElement],
+    value: FieldElement,
+    proof: OpeningProof,
+    use_pairing: bool | None = None,
+) -> bool:
+    """Verify an opening proof.
+
+    If ``use_pairing`` is None the fast trapdoor path is used when available
+    (test SRS), otherwise the pairing product check is evaluated.
+    """
+    if len(point) != verifier_key.num_vars:
+        raise PCSError("evaluation point has the wrong number of coordinates")
+    if len(proof.quotients) != verifier_key.num_vars:
+        return False
+
+    if use_pairing is None:
+        use_pairing = verifier_key.trapdoor is None
+
+    if not use_pairing:
+        if verifier_key.trapdoor is None:
+            raise PCSError("trapdoor verification requested but SRS discarded it")
+        # Check C - y*G == sum_i (tau_i - z_i) * Q_i  directly in G1.
+        lhs = commitment.point.to_jacobian() + verifier_key.g1.to_jacobian().scalar_mul(
+            value.value
+        ).negate()
+        rhs = JacobianPoint.identity()
+        for tau_i, z_i, q_i in zip(verifier_key.trapdoor, point, proof.quotients):
+            scalar = (tau_i - z_i).value
+            if scalar == 0 or q_i.is_identity():
+                continue
+            rhs = rhs + q_i.to_jacobian().scalar_mul(scalar)
+        return lhs == rhs
+
+    # Pairing check: e(C - y*G, H) * prod_i e(-Q_i, [tau_i]_2 - z_i*H) == 1.
+    pairs: list[tuple[AffinePoint, G2Point]] = []
+    c_minus_y = (
+        commitment.point.to_jacobian()
+        + verifier_key.g1.to_jacobian().scalar_mul(value.value).negate()
+    ).to_affine()
+    pairs.append((c_minus_y, verifier_key.g2))
+    for tau_g2_i, z_i, q_i in zip(verifier_key.tau_g2, point, proof.quotients):
+        g2_term = tau_g2_i + verifier_key.g2.scalar_mul(z_i.value).negate()
+        pairs.append((q_i.negate(), g2_term))
+    return pairing_product_is_one(pairs)

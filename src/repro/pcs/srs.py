@@ -1,0 +1,123 @@
+"""Universal structured reference string (SRS) for the multilinear KZG PCS.
+
+HyperPlonk's headline property is its *universal* trusted setup (Section 1):
+the SRS is generated once, for a maximum problem size, and reused by every
+circuit.  The SRS is generated from a vector of secret evaluation points
+``tau = (tau_1, ..., tau_mu)`` ("toxic waste"):
+
+* prover side -- Lagrange-basis G1 points ``[eq(tau_suffix, b)]_1`` for the
+  full variable set and for every suffix (the suffix tables commit the
+  quotient polynomials produced during opening);
+* verifier side -- ``[tau_i]_2`` for every variable plus the group
+  generators.
+
+For testing convenience the setup can retain the trapdoor; that enables a
+fast, pairing-free opening check (see
+:func:`repro.pcs.multilinear_kzg.verify_opening`) used by most tests, while
+the real pairing check is exercised by dedicated (slower) tests.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Sequence
+
+from repro.curves.bls12_381 import G2Point, g1_generator, g2_generator
+from repro.curves.curve import AffinePoint
+from repro.fields.bls12_381 import Fr
+from repro.fields.field import FieldElement
+from repro.mle.mle import eq_mle
+
+
+@dataclass
+class ProverKey:
+    """Prover-side SRS material."""
+
+    num_vars: int
+    lagrange_tables: list[list[AffinePoint]]
+    """``lagrange_tables[k]`` holds ``[eq((tau_{k+1},...,tau_mu), b)]_1`` for
+    all boolean ``b``; index 0 is the full table used for commitments and
+    index ``k`` is used for the k-th opening quotient."""
+    g1: AffinePoint
+
+
+@dataclass
+class VerifierKey:
+    """Verifier-side SRS material."""
+
+    num_vars: int
+    g1: AffinePoint
+    g2: G2Point
+    tau_g2: list[G2Point]
+    """``[tau_i]_2`` for i = 1..num_vars."""
+    trapdoor: list[FieldElement] | None = None
+    """The secret evaluation point; retained only when requested at setup
+    time to enable the fast (pairing-free) verification mode in tests."""
+
+
+@dataclass
+class UniversalSRS:
+    """A universal SRS: prover key and verifier key for up to ``num_vars``."""
+
+    num_vars: int
+    prover_key: ProverKey
+    verifier_key: VerifierKey
+
+
+def setup(
+    num_vars: int,
+    seed: int | None = None,
+    tau: Sequence[FieldElement] | None = None,
+    keep_trapdoor: bool = True,
+) -> UniversalSRS:
+    """Run the universal trusted setup for MLEs of up to ``num_vars`` variables.
+
+    Parameters
+    ----------
+    seed:
+        Seed for the toxic-waste RNG; ignored when ``tau`` is supplied.
+    tau:
+        Explicit secret evaluation point (useful for deterministic tests).
+    keep_trapdoor:
+        When True (default) the verifier key retains ``tau`` so the cheap
+        verification path is available.  Production deployments would discard
+        it; set False to model that.
+    """
+    if num_vars <= 0:
+        raise ValueError("num_vars must be positive")
+    if tau is None:
+        rng = random.Random(seed)
+        tau = [Fr.random(rng) for _ in range(num_vars)]
+    else:
+        tau = list(tau)
+        if len(tau) != num_vars:
+            raise ValueError("tau must have num_vars coordinates")
+
+    g1 = g1_generator()
+    g2 = g2_generator()
+
+    lagrange_tables: list[list[AffinePoint]] = []
+    for k in range(num_vars):
+        suffix = tau[k:]
+        eq_table = eq_mle(suffix, Fr)
+        table = [
+            g1.scalar_mul(value.value).to_affine() for value in eq_table.evaluations
+        ]
+        lagrange_tables.append(table)
+
+    prover_key = ProverKey(
+        num_vars=num_vars,
+        lagrange_tables=lagrange_tables,
+        g1=g1.to_affine(),
+    )
+    verifier_key = VerifierKey(
+        num_vars=num_vars,
+        g1=g1.to_affine(),
+        g2=g2,
+        tau_g2=[g2.scalar_mul(t.value) for t in tau],
+        trapdoor=list(tau) if keep_trapdoor else None,
+    )
+    return UniversalSRS(
+        num_vars=num_vars, prover_key=prover_key, verifier_key=verifier_key
+    )

@@ -1,0 +1,35 @@
+"""The HyperPlonk proving protocol.
+
+Implements the full prover and verifier described in Section 3.3 of the
+paper: Witness Commits, Gate Identity (ZeroCheck), Wiring Identity
+(PermCheck with Fraction and Product MLEs), Batch Evaluations, and the
+Polynomial Opening step (OpenCheck followed by a batched multilinear-KZG
+opening), all made non-interactive with a SHA3 Fiat-Shamir transcript.
+"""
+
+from repro.protocol.keys import ProvingKey, VerifyingKey, preprocess
+from repro.protocol.proof import EvaluationClaim, HyperPlonkProof, ProverTrace
+from repro.protocol.prover import prove
+from repro.protocol.serialization import (
+    SerializationError,
+    deserialize_proof,
+    proof_size_bytes,
+    serialize_proof,
+)
+from repro.protocol.verifier import VerificationError, verify
+
+__all__ = [
+    "ProvingKey",
+    "VerifyingKey",
+    "preprocess",
+    "EvaluationClaim",
+    "HyperPlonkProof",
+    "ProverTrace",
+    "prove",
+    "verify",
+    "VerificationError",
+    "serialize_proof",
+    "deserialize_proof",
+    "proof_size_bytes",
+    "SerializationError",
+]

@@ -1,0 +1,87 @@
+"""Shared prover/verifier protocol schedule.
+
+The prover and verifier must agree exactly on (a) which polynomials are
+opened at which points during Batch Evaluation and (b) the order in which
+claims are absorbed into the transcript and weighted by the batching
+challenges.  Both sides import the schedule from this module.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.fields.bls12_381 import Fr
+from repro.fields.field import FieldElement, PrimeField
+
+#: Names of the query points used by Batch Evaluation, in canonical order.
+POINT_NAMES = ("gate", "perm", "perm_even", "perm_odd", "product")
+
+#: The (polynomial, point) pairs claimed during Batch Evaluation, in the
+#: canonical order in which they are absorbed and weighted.  22 evaluations
+#: among 13 polynomials (Section 3.3.4 quotes 22 evaluations / 13
+#: polynomials / 6 distinct points; our formulation of the product check
+#: needs 21 claims at 5 distinct points -- the last point of the paper's set
+#: is folded into the OpenCheck's own challenge point).
+CLAIM_SCHEDULE: tuple[tuple[str, str], ...] = (
+    # Gate Identity openings.
+    ("q_l", "gate"),
+    ("q_r", "gate"),
+    ("q_m", "gate"),
+    ("q_o", "gate"),
+    ("q_c", "gate"),
+    ("w1", "gate"),
+    ("w2", "gate"),
+    ("w3", "gate"),
+    # Wiring Identity openings.
+    ("w1", "perm"),
+    ("w2", "perm"),
+    ("w3", "perm"),
+    ("sigma_1", "perm"),
+    ("sigma_2", "perm"),
+    ("sigma_3", "perm"),
+    ("phi", "perm"),
+    ("pi", "perm"),
+    # p1/p2 reconstruction points.
+    ("phi", "perm_even"),
+    ("pi", "perm_even"),
+    ("phi", "perm_odd"),
+    ("pi", "perm_odd"),
+    # Total-product check.
+    ("pi", "product"),
+)
+
+
+def query_points(
+    num_vars: int,
+    gate_point: Sequence[FieldElement],
+    perm_point: Sequence[FieldElement],
+    field: PrimeField = Fr,
+) -> dict[str, list[FieldElement]]:
+    """Construct the Batch Evaluation query points from the ZeroCheck points.
+
+    * ``gate``      -- the Gate Identity SumCheck point.
+    * ``perm``      -- the Wiring Identity SumCheck point r.
+    * ``perm_even`` -- (0, r_1, ..., r_{mu-1}): needed to reconstruct p1(r).
+    * ``perm_odd``  -- (1, r_1, ..., r_{mu-1}): needed to reconstruct p2(r).
+    * ``product``   -- (0, 1, 1, ..., 1): where pi holds the total product.
+    """
+    if len(gate_point) != num_vars or len(perm_point) != num_vars:
+        raise ValueError("query points must have num_vars coordinates")
+    zero = field.zero()
+    one = field.one()
+    return {
+        "gate": list(gate_point),
+        "perm": list(perm_point),
+        "perm_even": [zero] + list(perm_point[:-1]),
+        "perm_odd": [one] + list(perm_point[:-1]),
+        "product": [zero] + [one] * (num_vars - 1),
+    }
+
+
+def challenge_powers(base: FieldElement, count: int) -> list[FieldElement]:
+    """[1, base, base^2, ..., base^(count-1)] -- batching weights."""
+    field = base.field
+    powers = [field.one()]
+    for _ in range(count - 1):
+        powers.append(powers[-1] * base)
+    return powers

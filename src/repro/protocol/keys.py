@@ -1,0 +1,89 @@
+"""Proving / verifying keys and circuit preprocessing.
+
+Preprocessing commits to the circuit-dependent (but witness-independent)
+polynomials -- the five selectors and the three wiring permutations -- once
+per circuit.  Thanks to HyperPlonk's universal setup the same SRS serves
+every circuit of a given maximum size.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.circuits.builder import Circuit, SELECTOR_NAMES
+from repro.mle.mle import MultilinearPolynomial
+from repro.pcs.multilinear_kzg import Commitment, commit
+from repro.pcs.srs import ProverKey as PcsProverKey
+from repro.pcs.srs import UniversalSRS, VerifierKey as PcsVerifierKey
+
+#: Canonical ordering of every committed polynomial in the protocol.
+COMMITTED_POLY_NAMES = (
+    "q_l",
+    "q_r",
+    "q_m",
+    "q_o",
+    "q_c",
+    "sigma_1",
+    "sigma_2",
+    "sigma_3",
+    "w1",
+    "w2",
+    "w3",
+    "phi",
+    "pi",
+)
+
+PREPROCESSED_POLY_NAMES = COMMITTED_POLY_NAMES[:8]
+WITNESS_POLY_NAMES = ("w1", "w2", "w3")
+
+
+@dataclass
+class ProvingKey:
+    """Everything the prover needs: circuit tables, SRS, preprocessed commitments."""
+
+    num_vars: int
+    circuit: Circuit
+    pcs: PcsProverKey
+    preprocessed_commitments: dict[str, Commitment]
+
+    def preprocessed_polynomials(self) -> dict[str, MultilinearPolynomial]:
+        polys = {name: self.circuit.selectors[name] for name in SELECTOR_NAMES}
+        for i, sigma in enumerate(self.circuit.sigmas, start=1):
+            polys[f"sigma_{i}"] = sigma
+        return polys
+
+
+@dataclass
+class VerifyingKey:
+    """Everything the verifier needs: commitments and PCS verifier material."""
+
+    num_vars: int
+    pcs: PcsVerifierKey
+    preprocessed_commitments: dict[str, Commitment]
+
+
+def preprocess(circuit: Circuit, srs: UniversalSRS) -> tuple[ProvingKey, VerifyingKey]:
+    """Commit to the circuit's selector and permutation polynomials."""
+    if circuit.num_vars != srs.num_vars:
+        raise ValueError(
+            f"circuit has 2^{circuit.num_vars} gates but the SRS supports "
+            f"2^{srs.num_vars}; generate an SRS of matching size"
+        )
+    commitments: dict[str, Commitment] = {}
+    for name in SELECTOR_NAMES:
+        commitments[name] = commit(srs.prover_key, circuit.selectors[name], sparse=True)
+    for i, sigma in enumerate(circuit.sigmas, start=1):
+        commitments[f"sigma_{i}"] = commit(srs.prover_key, sigma)
+
+    proving_key = ProvingKey(
+        num_vars=circuit.num_vars,
+        circuit=circuit,
+        pcs=srs.prover_key,
+        preprocessed_commitments=commitments,
+    )
+    verifying_key = VerifyingKey(
+        num_vars=circuit.num_vars,
+        pcs=srs.verifier_key,
+        preprocessed_commitments=dict(commitments),
+    )
+    return proving_key, verifying_key

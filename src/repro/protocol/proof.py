@@ -1,0 +1,105 @@
+"""Proof objects and prover-side traces.
+
+:class:`HyperPlonkProof` carries exactly what is sent to the verifier.
+:class:`ProverTrace` additionally records operation statistics of each
+protocol step (MSM sizes, SumCheck rounds, modular-inversion counts, ...)
+which the architectural model in :mod:`repro.core` validates its analytical
+operation counts against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Sequence
+
+from repro.curves.msm import MSMStatistics
+from repro.fields.field import FieldElement
+from repro.pcs.multilinear_kzg import Commitment, OpeningProof
+from repro.sumcheck.prover import SumcheckProof
+from repro.sumcheck.zerocheck import ZerocheckProof
+
+
+@dataclass(frozen=True)
+class EvaluationClaim:
+    """A claim that polynomial ``poly`` evaluates to ``value`` at point ``point``."""
+
+    poly: str
+    point: str
+    value: FieldElement
+
+
+@dataclass
+class HyperPlonkProof:
+    """A complete HyperPlonk proof."""
+
+    num_vars: int
+    witness_commitments: dict[str, Commitment]
+    phi_commitment: Commitment
+    pi_commitment: Commitment
+    gate_zerocheck: ZerocheckProof
+    perm_zerocheck: ZerocheckProof
+    evaluation_claims: list[EvaluationClaim]
+    opencheck: SumcheckProof
+    opening_evaluations: dict[str, FieldElement]
+    """Claimed evaluations of every committed polynomial at the OpenCheck point."""
+    batch_opening: OpeningProof
+    batch_opening_value: FieldElement
+
+    # -- size accounting ---------------------------------------------------------
+
+    def num_commitments(self) -> int:
+        return 2 + len(self.witness_commitments) + len(self.batch_opening.quotients)
+
+    def num_field_elements(self) -> int:
+        count = len(self.evaluation_claims) + len(self.opening_evaluations) + 1
+        for zerocheck in (self.gate_zerocheck, self.perm_zerocheck):
+            for round_msg in zerocheck.sumcheck.rounds:
+                count += len(round_msg.evaluations)
+            count += 1  # claimed sum
+        for round_msg in self.opencheck.rounds:
+            count += len(round_msg.evaluations)
+        count += 1
+        return count
+
+    def size_bytes(self, g1_bytes: int = 48, field_bytes: int = 32) -> int:
+        """Approximate serialized proof size (compressed G1 points).
+
+        HyperPlonk proofs are ~5 KB at typical sizes (Table 4 reports
+        5.09 KB at 2^24 constraints); this method reproduces that estimate.
+        """
+        return self.num_commitments() * g1_bytes + self.num_field_elements() * field_bytes
+
+
+@dataclass
+class StepStatistics:
+    """Operation counts recorded for one protocol step."""
+
+    name: str
+    modmuls: int = 0
+    modular_inversions: int = 0
+    msm_stats: list[MSMStatistics] = field(default_factory=list)
+    sumcheck_rounds: int = 0
+    sha3_invocations: int = 0
+    wall_time_seconds: float = 0.0
+
+
+@dataclass
+class ProverTrace:
+    """Per-step statistics collected while proving (used by the core model)."""
+
+    num_vars: int
+    steps: list[StepStatistics] = field(default_factory=list)
+
+    def step(self, name: str) -> StepStatistics:
+        stats = StepStatistics(name=name)
+        self.steps.append(stats)
+        return stats
+
+    def total_wall_time(self) -> float:
+        return sum(s.wall_time_seconds for s in self.steps)
+
+    def step_named(self, name: str) -> StepStatistics:
+        for s in self.steps:
+            if s.name == name:
+                return s
+        raise KeyError(f"no step named {name!r}")

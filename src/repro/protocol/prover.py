@@ -1,0 +1,263 @@
+"""The HyperPlonk prover.
+
+The prover executes the protocol steps in the order shown in Figure 2 of the
+paper (SHA3 transcript updates enforce this order):
+
+1. Witness Commits          -- sparse MSMs over w1, w2, w3.
+2. Gate Identity            -- Build MLE + ZeroCheck over Equation (3).
+3. Wiring Identity          -- Construct N&D, Fraction MLE, Product MLE,
+                               two MSMs, ZeroCheck over Equation (4).
+4. Batch Evaluations        -- MLE Evaluate of 13 polynomials at 5 points.
+5. Polynomial Opening       -- MLE Combine, OpenCheck (Equation (5)), and a
+                               batched multilinear-KZG opening whose quotient
+                               MSMs halve in size every round.
+
+A :class:`~repro.protocol.proof.ProverTrace` records per-step operation
+statistics for the architectural model.
+"""
+
+from __future__ import annotations
+
+import time
+
+from repro.circuits.builder import Circuit
+from repro.curves.msm import MSMStatistics
+from repro.fields.field import FieldElement
+from repro.mle.mle import MultilinearPolynomial, eq_mle
+from repro.mle.operations import (
+    construct_numerator_denominator,
+    elementwise_product,
+    fraction_mle,
+    linear_combine,
+    prod_check_halves,
+    product_tree_mle,
+)
+from repro.mle.virtual_poly import VirtualPolynomial
+from repro.pcs.multilinear_kzg import commit, open_at_point
+from repro.protocol.common import CLAIM_SCHEDULE, POINT_NAMES, challenge_powers, query_points
+from repro.protocol.keys import ProvingKey, WITNESS_POLY_NAMES
+from repro.protocol.proof import EvaluationClaim, HyperPlonkProof, ProverTrace
+from repro.sumcheck.prover import prove_sumcheck
+from repro.sumcheck.zerocheck import prove_zerocheck
+from repro.transcript.transcript import Transcript
+
+
+def _absorb_verifying_material(transcript: Transcript, pk: ProvingKey) -> None:
+    transcript.absorb_int(b"num_vars", pk.num_vars)
+    for name, commitment in sorted(pk.preprocessed_commitments.items()):
+        transcript.absorb_point(b"preprocessed/" + name.encode(), commitment.point)
+
+
+def _gate_constraint_polynomial(
+    selectors: dict[str, MultilinearPolynomial],
+    witnesses: dict[str, MultilinearPolynomial],
+    num_vars: int,
+) -> VirtualPolynomial:
+    """Equation (3) without the eq factor (ZeroCheck adds it)."""
+    field = witnesses["w1"].field
+    poly = VirtualPolynomial(num_vars, field)
+    poly.add_product([selectors["q_l"], witnesses["w1"]])
+    poly.add_product([selectors["q_r"], witnesses["w2"]])
+    poly.add_product([selectors["q_m"], witnesses["w1"], witnesses["w2"]])
+    poly.add_product([selectors["q_o"], witnesses["w3"]], field(-1))
+    poly.add_product([selectors["q_c"]])
+    return poly
+
+
+def _perm_constraint_polynomial(
+    pi: MultilinearPolynomial,
+    p1: MultilinearPolynomial,
+    p2: MultilinearPolynomial,
+    phi: MultilinearPolynomial,
+    numerators: list[MultilinearPolynomial],
+    denominators: list[MultilinearPolynomial],
+    alpha: FieldElement,
+    num_vars: int,
+) -> VirtualPolynomial:
+    """Equation (4) without the eq factor."""
+    field = pi.field
+    poly = VirtualPolynomial(num_vars, field)
+    poly.add_product([pi])
+    poly.add_product([p1, p2], field(-1))
+    poly.add_product([phi] + denominators, alpha)
+    poly.add_product(numerators, -alpha)
+    return poly
+
+
+def prove(
+    pk: ProvingKey,
+    circuit: Circuit | None = None,
+    transcript: Transcript | None = None,
+    collect_trace: bool = False,
+) -> HyperPlonkProof | tuple[HyperPlonkProof, ProverTrace]:
+    """Generate a HyperPlonk proof for the witness carried by ``circuit``.
+
+    Parameters
+    ----------
+    circuit:
+        Circuit with witness assignments.  Defaults to the circuit embedded
+        in the proving key (whose witness was fixed at build time).
+    collect_trace:
+        When True, also return a :class:`ProverTrace` with per-step
+        operation statistics for the architectural model.
+    """
+    circuit = circuit if circuit is not None else pk.circuit
+    if circuit.num_vars != pk.num_vars:
+        raise ValueError("circuit size does not match the proving key")
+    transcript = transcript if transcript is not None else Transcript()
+    field = circuit.witnesses["w1"].field
+    num_vars = pk.num_vars
+    trace = ProverTrace(num_vars=num_vars)
+
+    _absorb_verifying_material(transcript, pk)
+
+    selectors = {name: circuit.selectors[name] for name in circuit.selectors}
+    witnesses = {name: circuit.witnesses[name] for name in circuit.witnesses}
+    sigmas = circuit.sigmas
+    identities = circuit.identities
+
+    # ---- Step 1: Witness Commits (Sparse MSMs) --------------------------------
+    step = trace.step("witness_commits")
+    start = time.perf_counter()
+    witness_commitments = {}
+    for name in WITNESS_POLY_NAMES:
+        stats = MSMStatistics()
+        witness_commitments[name] = commit(
+            pk.pcs, witnesses[name], sparse=True, stats=stats
+        )
+        step.msm_stats.append(stats)
+        transcript.absorb_point(b"witness/" + name.encode(), witness_commitments[name].point)
+    step.wall_time_seconds = time.perf_counter() - start
+
+    # ---- Step 2: Gate Identity (ZeroCheck) -------------------------------------
+    step = trace.step("gate_identity")
+    start = time.perf_counter()
+    gate_poly = _gate_constraint_polynomial(selectors, witnesses, num_vars)
+    gate_output = prove_zerocheck(gate_poly, transcript, label=b"gate_identity")
+    gate_point = gate_output.sumcheck_challenges
+    step.sumcheck_rounds = num_vars
+    step.wall_time_seconds = time.perf_counter() - start
+
+    # ---- Step 3: Wiring Identity (PermCheck) -------------------------------------
+    step = trace.step("wire_identity")
+    start = time.perf_counter()
+    beta = transcript.challenge_field(b"perm/beta")
+    gamma = transcript.challenge_field(b"perm/gamma")
+    witness_list = [witnesses[name] for name in WITNESS_POLY_NAMES]
+    numerators, denominators = construct_numerator_denominator(
+        witness_list, identities, sigmas, beta, gamma
+    )
+    numerator = elementwise_product(numerators)
+    denominator = elementwise_product(denominators)
+    phi = fraction_mle(numerator, denominator)
+    step.modular_inversions = 1 << num_vars
+    pi = product_tree_mle(phi)
+    p1, p2 = prod_check_halves(phi, pi)
+
+    phi_stats = MSMStatistics()
+    pi_stats = MSMStatistics()
+    phi_commitment = commit(pk.pcs, phi, stats=phi_stats)
+    pi_commitment = commit(pk.pcs, pi, stats=pi_stats)
+    step.msm_stats.extend([phi_stats, pi_stats])
+    transcript.absorb_point(b"perm/phi", phi_commitment.point)
+    transcript.absorb_point(b"perm/pi", pi_commitment.point)
+
+    alpha = transcript.challenge_field(b"perm/alpha")
+    perm_poly = _perm_constraint_polynomial(
+        pi, p1, p2, phi, numerators, denominators, alpha, num_vars
+    )
+    perm_output = prove_zerocheck(perm_poly, transcript, label=b"wire_identity")
+    perm_point = perm_output.sumcheck_challenges
+    step.sumcheck_rounds = num_vars
+    step.wall_time_seconds = time.perf_counter() - start
+
+    # ---- Step 4: Batch Evaluations -------------------------------------------------
+    step = trace.step("batch_evaluations")
+    start = time.perf_counter()
+    committed_polys: dict[str, MultilinearPolynomial] = {
+        **{name: selectors[name] for name in ("q_l", "q_r", "q_m", "q_o", "q_c")},
+        **{f"sigma_{i}": sigma for i, sigma in enumerate(sigmas, start=1)},
+        **{name: witnesses[name] for name in WITNESS_POLY_NAMES},
+        "phi": phi,
+        "pi": pi,
+    }
+    points = query_points(num_vars, gate_point, perm_point, field)
+    evaluation_claims: list[EvaluationClaim] = []
+    for poly_name, point_name in CLAIM_SCHEDULE:
+        value = committed_polys[poly_name].evaluate(points[point_name])
+        evaluation_claims.append(EvaluationClaim(poly_name, point_name, value))
+        transcript.absorb_field(
+            b"claim/" + poly_name.encode() + b"@" + point_name.encode(), value
+        )
+    step.wall_time_seconds = time.perf_counter() - start
+
+    # ---- Step 5: Polynomial Opening (OpenCheck + batched KZG opening) --------------
+    step = trace.step("poly_open")
+    start = time.perf_counter()
+    eta = transcript.challenge_field(b"open/eta")
+    weights = challenge_powers(eta, len(evaluation_claims))
+
+    # MLE Combine: one linear-combination MLE per query point (the "6 LC MLEs").
+    lc_mles: dict[str, MultilinearPolynomial] = {}
+    for point_name in POINT_NAMES:
+        members = [
+            (weight, committed_polys[claim.poly])
+            for weight, claim in zip(weights, evaluation_claims)
+            if claim.point == point_name
+        ]
+        lc_mles[point_name] = linear_combine(
+            [m for _, m in members], [w for w, _ in members]
+        )
+
+    # Build MLE: eq(z_j, .) for every query point, then OpenCheck (Equation 5).
+    claimed_sum = field.zero()
+    for weight, claim in zip(weights, evaluation_claims):
+        claimed_sum = claimed_sum + weight * claim.value
+    open_poly = VirtualPolynomial(num_vars, field)
+    for point_name in POINT_NAMES:
+        open_poly.add_product([lc_mles[point_name], eq_mle(points[point_name], field)])
+    opencheck_output = prove_sumcheck(
+        open_poly, transcript, claimed_sum=claimed_sum, label=b"opencheck"
+    )
+    open_point = opencheck_output.challenges
+    step.sumcheck_rounds = num_vars
+
+    # Claimed evaluations of every committed polynomial at the OpenCheck point.
+    opening_evaluations: dict[str, FieldElement] = {}
+    for name in sorted(committed_polys):
+        value = committed_polys[name].evaluate(open_point)
+        opening_evaluations[name] = value
+        transcript.absorb_field(b"open/eval/" + name.encode(), value)
+
+    # Final combined polynomial g' and its single multilinear-KZG opening.
+    zeta = transcript.challenge_field(b"open/zeta")
+    zeta_powers = challenge_powers(zeta, len(POINT_NAMES))
+    g_prime = linear_combine(
+        [lc_mles[name] for name in POINT_NAMES], zeta_powers
+    )
+    opening_stats = MSMStatistics()
+    opening_value, batch_opening = open_at_point(
+        pk.pcs, g_prime, open_point, stats=opening_stats
+    )
+    step.msm_stats.append(opening_stats)
+    step.wall_time_seconds = time.perf_counter() - start
+
+    step = trace.step("sha3")
+    step.sha3_invocations = transcript.num_hash_invocations
+
+    proof = HyperPlonkProof(
+        num_vars=num_vars,
+        witness_commitments=witness_commitments,
+        phi_commitment=phi_commitment,
+        pi_commitment=pi_commitment,
+        gate_zerocheck=gate_output.proof,
+        perm_zerocheck=perm_output.proof,
+        evaluation_claims=evaluation_claims,
+        opencheck=opencheck_output.proof,
+        opening_evaluations=opening_evaluations,
+        batch_opening=batch_opening,
+        batch_opening_value=opening_value,
+    )
+    if collect_trace:
+        return proof, trace
+    return proof

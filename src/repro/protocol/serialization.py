@@ -1,0 +1,219 @@
+"""Proof serialization.
+
+HyperPlonk's selling point over Orion-style provers is its small proof
+(~5 KB, Table 4), so the exact wire format matters.  This module serializes
+proofs to a compact binary format (compressed G1 points, fixed-width field
+elements, varint-free fixed layout) and back, and is the ground truth for
+``HyperPlonkProof.size_bytes`` style estimates.
+
+Format (big-endian):
+
+* header: magic ``b"HPLK"``, version byte, ``num_vars`` byte
+* commitments: w1, w2, w3, phi, pi as 48-byte compressed G1 points
+* each SumCheck proof: claimed sum, round count, degree, then the round
+  evaluations (32-byte field elements)
+* evaluation claims and opening evaluations in canonical schedule order
+  (values only -- the schedule itself is public)
+* the batch-opening value and quotient commitments
+"""
+
+from __future__ import annotations
+
+import struct
+
+from repro.curves.curve import AffinePoint
+from repro.fields.bls12_381 import FQ_MODULUS, Fr
+from repro.pcs.multilinear_kzg import Commitment, OpeningProof
+from repro.protocol.common import CLAIM_SCHEDULE
+from repro.protocol.keys import COMMITTED_POLY_NAMES, WITNESS_POLY_NAMES
+from repro.protocol.proof import EvaluationClaim, HyperPlonkProof
+from repro.sumcheck.prover import SumcheckProof, SumcheckRound
+from repro.sumcheck.zerocheck import ZerocheckProof
+
+MAGIC = b"HPLK"
+VERSION = 1
+FIELD_BYTES = 32
+G1_BYTES = 48
+
+
+class SerializationError(ValueError):
+    """Raised when a proof cannot be (de)serialized."""
+
+
+# -- G1 point compression --------------------------------------------------------
+
+
+def compress_g1(point: AffinePoint) -> bytes:
+    """Compress an affine G1 point to 48 bytes (x with flag bits, as in ZCash).
+
+    Bit 7 of the first byte marks compression, bit 6 marks infinity, bit 5
+    carries the sign (lexicographically larger y).
+    """
+    if point.is_identity():
+        flags = 0b1100_0000
+        return bytes([flags]) + bytes(G1_BYTES - 1)
+    x_bytes = point.x.to_bytes(G1_BYTES, "big")
+    y_is_large = point.y > (FQ_MODULUS - point.y) % FQ_MODULUS
+    first = x_bytes[0] | 0b1000_0000 | (0b0010_0000 if y_is_large else 0)
+    return bytes([first]) + x_bytes[1:]
+
+
+def decompress_g1(data: bytes) -> AffinePoint:
+    """Inverse of :func:`compress_g1`."""
+    if len(data) != G1_BYTES:
+        raise SerializationError(f"expected {G1_BYTES} bytes for a G1 point")
+    flags = data[0]
+    if not flags & 0b1000_0000:
+        raise SerializationError("uncompressed G1 encoding is not supported")
+    if flags & 0b0100_0000:
+        return AffinePoint.identity()
+    x = int.from_bytes(bytes([flags & 0b0001_1111]) + data[1:], "big")
+    # Recover y from the curve equation y^2 = x^3 + 4.
+    rhs = (pow(x, 3, FQ_MODULUS) + 4) % FQ_MODULUS
+    y = pow(rhs, (FQ_MODULUS + 1) // 4, FQ_MODULUS)
+    if (y * y) % FQ_MODULUS != rhs:
+        raise SerializationError("point is not on the curve")
+    y_is_large = bool(flags & 0b0010_0000)
+    if (y > (FQ_MODULUS - y) % FQ_MODULUS) != y_is_large:
+        y = (FQ_MODULUS - y) % FQ_MODULUS
+    point = AffinePoint(x, y)
+    if not point.is_on_curve():
+        raise SerializationError("decompressed point is not on the curve")
+    return point
+
+
+# -- field elements and sumcheck proofs ---------------------------------------------
+
+
+def _write_field(value) -> bytes:
+    return value.to_bytes()
+
+
+def _read_field(data: bytes, offset: int) -> tuple:
+    return Fr.from_bytes(data[offset : offset + FIELD_BYTES]), offset + FIELD_BYTES
+
+
+def _write_sumcheck(proof: SumcheckProof) -> bytes:
+    out = bytearray()
+    out += struct.pack(">BBB", proof.num_vars, proof.max_degree, len(proof.rounds))
+    out += _write_field(proof.claimed_sum)
+    for round_message in proof.rounds:
+        if len(round_message.evaluations) != proof.max_degree + 1:
+            raise SerializationError("round message has inconsistent length")
+        for value in round_message.evaluations:
+            out += _write_field(value)
+    return bytes(out)
+
+
+def _read_sumcheck(data: bytes, offset: int) -> tuple[SumcheckProof, int]:
+    num_vars, max_degree, num_rounds = struct.unpack_from(">BBB", data, offset)
+    offset += 3
+    claimed_sum, offset = _read_field(data, offset)
+    rounds = []
+    for _ in range(num_rounds):
+        evaluations = []
+        for _ in range(max_degree + 1):
+            value, offset = _read_field(data, offset)
+            evaluations.append(value)
+        rounds.append(SumcheckRound(evaluations))
+    return (
+        SumcheckProof(
+            claimed_sum=claimed_sum,
+            rounds=rounds,
+            num_vars=num_vars,
+            max_degree=max_degree,
+        ),
+        offset,
+    )
+
+
+# -- top-level proof ------------------------------------------------------------------
+
+
+def serialize_proof(proof: HyperPlonkProof) -> bytes:
+    """Serialize a proof to its compact binary wire format."""
+    out = bytearray()
+    out += MAGIC
+    out += struct.pack(">BB", VERSION, proof.num_vars)
+    for name in WITNESS_POLY_NAMES:
+        out += compress_g1(proof.witness_commitments[name].point)
+    out += compress_g1(proof.phi_commitment.point)
+    out += compress_g1(proof.pi_commitment.point)
+    out += _write_sumcheck(proof.gate_zerocheck.sumcheck)
+    out += _write_sumcheck(proof.perm_zerocheck.sumcheck)
+    if len(proof.evaluation_claims) != len(CLAIM_SCHEDULE):
+        raise SerializationError("unexpected number of evaluation claims")
+    for claim in proof.evaluation_claims:
+        out += _write_field(claim.value)
+    out += _write_sumcheck(proof.opencheck)
+    for name in COMMITTED_POLY_NAMES:
+        out += _write_field(proof.opening_evaluations[name])
+    out += _write_field(proof.batch_opening_value)
+    out += struct.pack(">B", len(proof.batch_opening.quotients))
+    for quotient in proof.batch_opening.quotients:
+        out += compress_g1(quotient)
+    return bytes(out)
+
+
+def deserialize_proof(data: bytes) -> HyperPlonkProof:
+    """Parse a proof from its binary wire format."""
+    if data[:4] != MAGIC:
+        raise SerializationError("bad magic bytes")
+    version, num_vars = struct.unpack_from(">BB", data, 4)
+    if version != VERSION:
+        raise SerializationError(f"unsupported proof version {version}")
+    offset = 6
+
+    def read_point(off: int) -> tuple[AffinePoint, int]:
+        return decompress_g1(data[off : off + G1_BYTES]), off + G1_BYTES
+
+    witness_commitments = {}
+    for name in WITNESS_POLY_NAMES:
+        point, offset = read_point(offset)
+        witness_commitments[name] = Commitment(point)
+    phi_point, offset = read_point(offset)
+    pi_point, offset = read_point(offset)
+
+    gate_sumcheck, offset = _read_sumcheck(data, offset)
+    perm_sumcheck, offset = _read_sumcheck(data, offset)
+
+    claims = []
+    for poly_name, point_name in CLAIM_SCHEDULE:
+        value, offset = _read_field(data, offset)
+        claims.append(EvaluationClaim(poly_name, point_name, value))
+
+    opencheck, offset = _read_sumcheck(data, offset)
+
+    opening_evaluations = {}
+    for name in COMMITTED_POLY_NAMES:
+        value, offset = _read_field(data, offset)
+        opening_evaluations[name] = value
+
+    batch_opening_value, offset = _read_field(data, offset)
+    (num_quotients,) = struct.unpack_from(">B", data, offset)
+    offset += 1
+    quotients = []
+    for _ in range(num_quotients):
+        point, offset = read_point(offset)
+        quotients.append(point)
+    if offset != len(data):
+        raise SerializationError("trailing bytes after proof")
+
+    return HyperPlonkProof(
+        num_vars=num_vars,
+        witness_commitments=witness_commitments,
+        phi_commitment=Commitment(phi_point),
+        pi_commitment=Commitment(pi_point),
+        gate_zerocheck=ZerocheckProof(sumcheck=gate_sumcheck),
+        perm_zerocheck=ZerocheckProof(sumcheck=perm_sumcheck),
+        evaluation_claims=claims,
+        opencheck=opencheck,
+        opening_evaluations=opening_evaluations,
+        batch_opening=OpeningProof(quotients=quotients),
+        batch_opening_value=batch_opening_value,
+    )
+
+
+def proof_size_bytes(proof: HyperPlonkProof) -> int:
+    """Exact serialized size of a proof."""
+    return len(serialize_proof(proof))

@@ -1,0 +1,213 @@
+"""The HyperPlonk verifier.
+
+The verifier replays the Fiat-Shamir transcript, checks each ZeroCheck /
+SumCheck reduction, evaluates the gate and wiring constraints at the reduced
+points using the prover's claimed openings, checks the grand-product value,
+and finally validates every claimed opening with a single batched
+multilinear-KZG opening check.
+"""
+
+from __future__ import annotations
+
+from repro.fields.field import FieldElement
+from repro.mle.mle import eq_eval
+from repro.circuits.permutation import identity_permutation_eval
+from repro.pcs.multilinear_kzg import Commitment, combine_commitments, verify_opening
+from repro.protocol.common import CLAIM_SCHEDULE, POINT_NAMES, challenge_powers, query_points
+from repro.protocol.keys import COMMITTED_POLY_NAMES, VerifyingKey, WITNESS_POLY_NAMES
+from repro.protocol.proof import HyperPlonkProof
+from repro.sumcheck.verifier import SumcheckVerificationError, verify_sumcheck
+from repro.sumcheck.zerocheck import verify_zerocheck
+from repro.transcript.transcript import Transcript
+
+
+class VerificationError(Exception):
+    """Raised when a proof fails verification."""
+
+
+def _absorb_verifying_material(transcript: Transcript, vk: VerifyingKey) -> None:
+    transcript.absorb_int(b"num_vars", vk.num_vars)
+    for name, commitment in sorted(vk.preprocessed_commitments.items()):
+        transcript.absorb_point(b"preprocessed/" + name.encode(), commitment.point)
+
+
+def verify(
+    vk: VerifyingKey,
+    proof: HyperPlonkProof,
+    transcript: Transcript | None = None,
+    use_pairing: bool | None = None,
+) -> bool:
+    """Verify a HyperPlonk proof.
+
+    Raises :class:`VerificationError` describing the first failed check;
+    returns True when every check passes.
+    """
+    transcript = transcript if transcript is not None else Transcript()
+    num_vars = vk.num_vars
+    if proof.num_vars != num_vars:
+        raise VerificationError("proof and verifying key disagree on problem size")
+    field = proof.batch_opening_value.field
+
+    _absorb_verifying_material(transcript, vk)
+
+    # ---- Step 1: witness commitments -------------------------------------------
+    for name in WITNESS_POLY_NAMES:
+        if name not in proof.witness_commitments:
+            raise VerificationError(f"missing witness commitment {name}")
+        transcript.absorb_point(
+            b"witness/" + name.encode(), proof.witness_commitments[name].point
+        )
+
+    # ---- Step 2: Gate Identity ZeroCheck -----------------------------------------
+    try:
+        gate_verdict = verify_zerocheck(
+            proof.gate_zerocheck, num_vars, transcript, label=b"gate_identity"
+        )
+    except SumcheckVerificationError as exc:
+        raise VerificationError(f"gate identity ZeroCheck failed: {exc}") from exc
+    gate_point = gate_verdict.sumcheck_challenges
+
+    # ---- Step 3: Wiring Identity -----------------------------------------------------
+    beta = transcript.challenge_field(b"perm/beta")
+    gamma = transcript.challenge_field(b"perm/gamma")
+    transcript.absorb_point(b"perm/phi", proof.phi_commitment.point)
+    transcript.absorb_point(b"perm/pi", proof.pi_commitment.point)
+    alpha = transcript.challenge_field(b"perm/alpha")
+    try:
+        perm_verdict = verify_zerocheck(
+            proof.perm_zerocheck, num_vars, transcript, label=b"wire_identity"
+        )
+    except SumcheckVerificationError as exc:
+        raise VerificationError(f"wiring identity ZeroCheck failed: {exc}") from exc
+    perm_point = perm_verdict.sumcheck_challenges
+
+    # ---- Step 4: Batch Evaluation claims ----------------------------------------------
+    points = query_points(num_vars, gate_point, perm_point, field)
+    claims: dict[tuple[str, str], FieldElement] = {}
+    if len(proof.evaluation_claims) != len(CLAIM_SCHEDULE):
+        raise VerificationError("unexpected number of evaluation claims")
+    for claim, (poly_name, point_name) in zip(proof.evaluation_claims, CLAIM_SCHEDULE):
+        if (claim.poly, claim.point) != (poly_name, point_name):
+            raise VerificationError("evaluation claims are out of schedule order")
+        claims[(poly_name, point_name)] = claim.value
+        transcript.absorb_field(
+            b"claim/" + poly_name.encode() + b"@" + point_name.encode(), claim.value
+        )
+
+    # Gate identity: eq(a, r) * F_gate(r) must equal the ZeroCheck's final claim.
+    gate_constraint = (
+        claims[("q_l", "gate")] * claims[("w1", "gate")]
+        + claims[("q_r", "gate")] * claims[("w2", "gate")]
+        + claims[("q_m", "gate")] * claims[("w1", "gate")] * claims[("w2", "gate")]
+        - claims[("q_o", "gate")] * claims[("w3", "gate")]
+        + claims[("q_c", "gate")]
+    )
+    if gate_verdict.final_claim != gate_verdict.eq_at_point * gate_constraint:
+        raise VerificationError("gate identity constraint does not hold at the challenge point")
+
+    # Wiring identity: reconstruct p1, p2, N_i, D_i at the challenge point.
+    r_last = perm_point[-1]
+    one = field.one()
+    p1_at_r = (one - r_last) * claims[("phi", "perm_even")] + r_last * claims[
+        ("pi", "perm_even")
+    ]
+    p2_at_r = (one - r_last) * claims[("phi", "perm_odd")] + r_last * claims[
+        ("pi", "perm_odd")
+    ]
+    numerator_product = one
+    denominator_product = one
+    for column, witness_name in enumerate(WITNESS_POLY_NAMES):
+        w_at_r = claims[(witness_name, "perm")]
+        sigma_at_r = claims[(f"sigma_{column + 1}", "perm")]
+        id_at_r = identity_permutation_eval(column, perm_point, field)
+        numerator_product = numerator_product * (w_at_r + beta * id_at_r + gamma)
+        denominator_product = denominator_product * (w_at_r + beta * sigma_at_r + gamma)
+    perm_constraint = (
+        claims[("pi", "perm")]
+        - p1_at_r * p2_at_r
+        + alpha * (claims[("phi", "perm")] * denominator_product - numerator_product)
+    )
+    if perm_verdict.final_claim != perm_verdict.eq_at_point * perm_constraint:
+        raise VerificationError("wiring identity constraint does not hold at the challenge point")
+
+    # Grand product: pi at the product point must equal one.
+    if not claims[("pi", "product")].is_one():
+        raise VerificationError("grand product of the fraction polynomial is not one")
+
+    # ---- Step 5: OpenCheck and the batched opening --------------------------------------
+    eta = transcript.challenge_field(b"open/eta")
+    weights = challenge_powers(eta, len(CLAIM_SCHEDULE))
+    expected_sum = field.zero()
+    for weight, (poly_name, point_name) in zip(weights, CLAIM_SCHEDULE):
+        expected_sum = expected_sum + weight * claims[(poly_name, point_name)]
+    if proof.opencheck.claimed_sum != expected_sum:
+        raise VerificationError("OpenCheck claimed sum does not match the batched claims")
+    try:
+        open_verdict = verify_sumcheck(proof.opencheck, transcript, label=b"opencheck")
+    except SumcheckVerificationError as exc:
+        raise VerificationError(f"OpenCheck failed: {exc}") from exc
+    open_point = open_verdict.challenges
+
+    # Claimed evaluations at the OpenCheck point.
+    for name in COMMITTED_POLY_NAMES:
+        if name not in proof.opening_evaluations:
+            raise VerificationError(f"missing opening evaluation for {name}")
+    for name in sorted(proof.opening_evaluations):
+        transcript.absorb_field(
+            b"open/eval/" + name.encode(), proof.opening_evaluations[name]
+        )
+
+    # Per-point linear-combination values y_j(r_open) from the claimed evaluations.
+    y_at_open: dict[str, FieldElement] = {name: field.zero() for name in POINT_NAMES}
+    for weight, (poly_name, point_name) in zip(weights, CLAIM_SCHEDULE):
+        y_at_open[point_name] = (
+            y_at_open[point_name] + weight * proof.opening_evaluations[poly_name]
+        )
+    expected_final = field.zero()
+    for point_name in POINT_NAMES:
+        expected_final = expected_final + y_at_open[point_name] * eq_eval(
+            points[point_name], open_point, field
+        )
+    if open_verdict.final_claim != expected_final:
+        raise VerificationError("OpenCheck final evaluation does not match the claimed openings")
+
+    # The combined polynomial g' = sum_j zeta^j y_j: commitment and value.
+    zeta = transcript.challenge_field(b"open/zeta")
+    zeta_powers = challenge_powers(zeta, len(POINT_NAMES))
+    poly_coefficients: dict[str, FieldElement] = {
+        name: field.zero() for name in COMMITTED_POLY_NAMES
+    }
+    for weight, (poly_name, point_name) in zip(weights, CLAIM_SCHEDULE):
+        point_index = POINT_NAMES.index(point_name)
+        poly_coefficients[poly_name] = (
+            poly_coefficients[poly_name] + zeta_powers[point_index] * weight
+        )
+
+    all_commitments: dict[str, Commitment] = {
+        **vk.preprocessed_commitments,
+        **proof.witness_commitments,
+        "phi": proof.phi_commitment,
+        "pi": proof.pi_commitment,
+    }
+    names = list(COMMITTED_POLY_NAMES)
+    g_prime_commitment = combine_commitments(
+        [all_commitments[name] for name in names],
+        [poly_coefficients[name] for name in names],
+    )
+    expected_value = field.zero()
+    for name in names:
+        expected_value = (
+            expected_value + poly_coefficients[name] * proof.opening_evaluations[name]
+        )
+    if proof.batch_opening_value != expected_value:
+        raise VerificationError("batched opening value is inconsistent with the claimed evaluations")
+    if not verify_opening(
+        vk.pcs,
+        g_prime_commitment,
+        open_point,
+        expected_value,
+        proof.batch_opening,
+        use_pairing=use_pairing,
+    ):
+        raise VerificationError("batched multilinear-KZG opening failed to verify")
+    return True

@@ -1,0 +1,32 @@
+"""The SumCheck protocol family used by HyperPlonk.
+
+* :mod:`repro.sumcheck.prover` / :mod:`repro.sumcheck.verifier` -- the generic
+  interactive SumCheck over a :class:`~repro.mle.virtual_poly.VirtualPolynomial`
+  (made non-interactive with the Fiat-Shamir transcript).
+* :mod:`repro.sumcheck.zerocheck` -- ZeroCheck: proves a virtual polynomial
+  vanishes on the whole boolean hypercube (used by Gate Identity and the
+  Wiring Identity's PermCheck).
+* :mod:`repro.sumcheck.interpolation` -- univariate evaluation-form helpers
+  (the barycentric step the SumCheck PE performs to balance term degrees).
+"""
+
+from repro.sumcheck.prover import SumcheckProof, SumcheckRound, prove_sumcheck
+from repro.sumcheck.verifier import SumcheckVerificationError, verify_sumcheck
+from repro.sumcheck.zerocheck import ZerocheckProof, prove_zerocheck, verify_zerocheck
+from repro.sumcheck.interpolation import (
+    evaluate_from_evaluations,
+    extrapolate_evaluations,
+)
+
+__all__ = [
+    "SumcheckProof",
+    "SumcheckRound",
+    "prove_sumcheck",
+    "verify_sumcheck",
+    "SumcheckVerificationError",
+    "ZerocheckProof",
+    "prove_zerocheck",
+    "verify_zerocheck",
+    "evaluate_from_evaluations",
+    "extrapolate_evaluations",
+]

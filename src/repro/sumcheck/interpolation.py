@@ -1,0 +1,101 @@
+"""Univariate polynomials in evaluation form on the points 0, 1, ..., d.
+
+SumCheck round polynomials are exchanged as their evaluations at the small
+integer points 0..d (where d is the max term degree).  The verifier needs to
+evaluate such a polynomial at a random challenge; the prover needs to extend
+a lower-degree term's evaluations to the full point set ("the additional
+evaluations are computed via Barycentric Interpolation", Section 4.1.1).
+Both operations are implemented here with Lagrange/barycentric formulas over
+the integer nodes.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import Sequence
+
+from repro.fields.bls12_381 import Fr
+from repro.fields.field import FieldElement, PrimeField
+
+
+@lru_cache(maxsize=64)
+def _barycentric_weights(num_points: int, modulus: int) -> tuple[int, ...]:
+    """Barycentric weights w_j = 1 / prod_{k != j} (j - k) for nodes 0..n-1."""
+    weights = []
+    for j in range(num_points):
+        denom = 1
+        for k in range(num_points):
+            if k != j:
+                denom = (denom * (j - k)) % modulus
+        weights.append(pow(denom, modulus - 2, modulus))
+    return tuple(weights)
+
+
+def evaluate_from_evaluations(
+    evaluations: Sequence[FieldElement],
+    point: FieldElement,
+    field: PrimeField = Fr,
+) -> FieldElement:
+    """Evaluate the degree-(n-1) polynomial with values ``evaluations`` at 0..n-1.
+
+    Uses the barycentric form; if ``point`` coincides with a node the stored
+    evaluation is returned directly.
+    """
+    n = len(evaluations)
+    if n == 0:
+        raise ValueError("need at least one evaluation")
+    p = field.modulus
+    x = point.value % p
+    if x < n:
+        return evaluations[x]
+    weights = _barycentric_weights(n, p)
+    # numerator = sum_j w_j * y_j / (x - j); denominator = sum_j w_j / (x - j)
+    num = 0
+    den = 0
+    for j in range(n):
+        inv = pow((x - j) % p, p - 2, p)
+        term = (weights[j] * inv) % p
+        num = (num + term * evaluations[j].value) % p
+        den = (den + term) % p
+    return field(num * pow(den, p - 2, p))
+
+
+def extrapolate_evaluations(
+    evaluations: Sequence[FieldElement],
+    target_count: int,
+    field: PrimeField = Fr,
+) -> list[FieldElement]:
+    """Extend evaluations at 0..n-1 of a degree-(n-1) polynomial to 0..target-1.
+
+    This is the fixed "interpolation step" the SumCheck unit applies to terms
+    whose degree is lower than the round polynomial's maximum degree.
+    """
+    n = len(evaluations)
+    if target_count < n:
+        raise ValueError("target_count must be >= current number of evaluations")
+    extended = list(evaluations)
+    for x in range(n, target_count):
+        extended.append(evaluate_from_evaluations(evaluations, field(x), field))
+    return extended
+
+
+def lagrange_coefficients_at(
+    num_points: int, point: FieldElement, field: PrimeField = Fr
+) -> list[FieldElement]:
+    """Lagrange basis values L_j(point) for nodes 0..num_points-1.
+
+    Exposed for the hardware model's fixed per-round interpolation cost and
+    for tests of the barycentric evaluation.
+    """
+    p = field.modulus
+    x = point.value % p
+    coeffs = []
+    for j in range(num_points):
+        num, den = 1, 1
+        for k in range(num_points):
+            if k == j:
+                continue
+            num = (num * (x - k)) % p
+            den = (den * (j - k)) % p
+        coeffs.append(field(num * pow(den, p - 2, p)))
+    return coeffs

@@ -1,0 +1,148 @@
+"""SumCheck prover.
+
+Implements the multi-round SumCheck protocol over a
+:class:`~repro.mle.virtual_poly.VirtualPolynomial` (a sum of products of
+MLEs), following the structure of zkSpeed's SumCheck PE (Section 4.1):
+
+* for every boolean-hypercube instance of the remaining variables, each
+  *unique* MLE is evaluated once at X = 0, 1, ..., d (linear extension of the
+  pair of adjacent table entries), and the per-term products are accumulated
+  into the round polynomial's evaluations;
+* after the verifier's challenge r is drawn from the transcript, every MLE
+  table is updated in place via  t'[i] = (t[2i+1] - t[2i]) * r + t[2i]
+  (the MLE Update unit).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field as dataclass_field
+from typing import Sequence
+
+from repro.fields.field import FieldElement
+from repro.mle.virtual_poly import VirtualPolynomial
+from repro.transcript.transcript import Transcript
+
+
+@dataclass
+class SumcheckRound:
+    """One round's message: evaluations of g_k at 0, 1, ..., d."""
+
+    evaluations: list[FieldElement]
+
+
+@dataclass
+class SumcheckProof:
+    """The full SumCheck transcript produced by the prover."""
+
+    claimed_sum: FieldElement
+    rounds: list[SumcheckRound]
+    num_vars: int
+    max_degree: int
+
+    def round_messages(self) -> list[list[FieldElement]]:
+        return [r.evaluations for r in self.rounds]
+
+
+@dataclass
+class SumcheckProverOutput:
+    """Proof plus the prover-side artefacts needed by later protocol steps."""
+
+    proof: SumcheckProof
+    challenges: list[FieldElement]
+    final_evaluations: list[FieldElement]
+    """Evaluation of each registered MLE at the challenge point."""
+
+
+def _round_polynomial(
+    poly: VirtualPolynomial, degree: int
+) -> list[FieldElement]:
+    """Compute evaluations of the round polynomial g(X) at X = 0..degree."""
+    field = poly.field
+    zero = field.zero()
+    num_points = degree + 1
+    accumulators = [zero] * num_points
+    half = 1 << (poly.num_vars - 1)
+    tables = [m.evaluations for m in poly.mles]
+
+    for instance in range(half):
+        lo_index = 2 * instance
+        hi_index = lo_index + 1
+        # Per-MLE evaluations at X = 0..degree (linear in X).
+        mle_evals: list[list[FieldElement]] = []
+        for table in tables:
+            low = table[lo_index]
+            high = table[hi_index]
+            diff = high - low
+            evals = [low, high]
+            current = high
+            for _ in range(2, num_points):
+                current = current + diff
+                evals.append(current)
+            mle_evals.append(evals)
+        # Per-term products accumulated into the round polynomial.
+        for term in poly.terms:
+            coeff = term.coefficient
+            for t in range(num_points):
+                value = coeff
+                for mle_index in term.mle_indices:
+                    value = value * mle_evals[mle_index][t]
+                accumulators[t] = accumulators[t] + value
+    return accumulators
+
+
+def prove_sumcheck(
+    poly: VirtualPolynomial,
+    transcript: Transcript,
+    claimed_sum: FieldElement | None = None,
+    label: bytes = b"sumcheck",
+) -> SumcheckProverOutput:
+    """Run the SumCheck prover for ``poly`` with Fiat-Shamir challenges.
+
+    Parameters
+    ----------
+    poly:
+        The virtual polynomial to be summed over the boolean hypercube.  The
+        prover consumes a working copy; the caller's MLEs are not modified.
+    claimed_sum:
+        The claimed sum.  If omitted it is computed from the polynomial.
+    """
+    if poly.num_vars == 0:
+        raise ValueError("SumCheck requires at least one variable")
+    field = poly.field
+    if claimed_sum is None:
+        claimed_sum = poly.sum_over_hypercube()
+    degree = max(poly.max_degree, 1)
+
+    transcript.absorb_int(label + b"/num_vars", poly.num_vars)
+    transcript.absorb_int(label + b"/degree", degree)
+    transcript.absorb_field(label + b"/claimed_sum", claimed_sum)
+
+    # Work on copies so the caller's tables survive (the hardware streams and
+    # overwrites them, but the software API should be side-effect free).
+    current = VirtualPolynomial(poly.num_vars, field)
+    current.mles = [m.clone() for m in poly.mles]
+    current._mle_lookup = {id(m): i for i, m in enumerate(current.mles)}
+    current.terms = list(poly.terms)
+
+    rounds: list[SumcheckRound] = []
+    challenges: list[FieldElement] = []
+    for round_index in range(poly.num_vars):
+        evaluations = _round_polynomial(current, degree)
+        rounds.append(SumcheckRound(evaluations))
+        transcript.absorb_fields(
+            label + b"/round" + str(round_index).encode(), evaluations
+        )
+        r = transcript.challenge_field(label + b"/challenge")
+        challenges.append(r)
+        current = current.fix_first_variable(r)
+
+    final_evaluations = [m.evaluations[0] for m in current.mles]
+    proof = SumcheckProof(
+        claimed_sum=claimed_sum,
+        rounds=rounds,
+        num_vars=poly.num_vars,
+        max_degree=degree,
+    )
+    return SumcheckProverOutput(
+        proof=proof, challenges=challenges, final_evaluations=final_evaluations
+    )

@@ -1,0 +1,74 @@
+"""SumCheck verifier.
+
+The verifier replays the Fiat-Shamir transcript, checks the round-consistency
+identity  g_k(0) + g_k(1) == claim_k  for every round, and reduces the claim
+to the evaluation of the original polynomial at the final challenge point.
+It does *not* check that final evaluation itself -- the caller (ZeroCheck,
+PermCheck, OpenCheck) does so with polynomial-commitment openings, exactly
+as in HyperPlonk.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.fields.field import FieldElement
+from repro.sumcheck.interpolation import evaluate_from_evaluations
+from repro.sumcheck.prover import SumcheckProof
+from repro.transcript.transcript import Transcript
+
+
+class SumcheckVerificationError(Exception):
+    """Raised when a SumCheck proof fails a round-consistency check."""
+
+
+@dataclass
+class SumcheckVerdict:
+    """Result of verifying a SumCheck proof."""
+
+    challenges: list[FieldElement]
+    final_claim: FieldElement
+    """The value the original polynomial must take at ``challenges``."""
+
+
+def verify_sumcheck(
+    proof: SumcheckProof,
+    transcript: Transcript,
+    label: bytes = b"sumcheck",
+) -> SumcheckVerdict:
+    """Verify round consistency and return the reduced evaluation claim.
+
+    Raises :class:`SumcheckVerificationError` on any inconsistency.
+    """
+    field = proof.claimed_sum.field
+    transcript.absorb_int(label + b"/num_vars", proof.num_vars)
+    transcript.absorb_int(label + b"/degree", proof.max_degree)
+    transcript.absorb_field(label + b"/claimed_sum", proof.claimed_sum)
+
+    if len(proof.rounds) != proof.num_vars:
+        raise SumcheckVerificationError(
+            f"expected {proof.num_vars} rounds, proof has {len(proof.rounds)}"
+        )
+
+    expected_points = proof.max_degree + 1
+    claim = proof.claimed_sum
+    challenges: list[FieldElement] = []
+    for round_index, round_message in enumerate(proof.rounds):
+        evaluations = round_message.evaluations
+        if len(evaluations) != expected_points:
+            raise SumcheckVerificationError(
+                f"round {round_index}: expected {expected_points} evaluations, "
+                f"got {len(evaluations)}"
+            )
+        if evaluations[0] + evaluations[1] != claim:
+            raise SumcheckVerificationError(
+                f"round {round_index}: g(0) + g(1) != running claim"
+            )
+        transcript.absorb_fields(
+            label + b"/round" + str(round_index).encode(), evaluations
+        )
+        r = transcript.challenge_field(label + b"/challenge")
+        challenges.append(r)
+        claim = evaluate_from_evaluations(evaluations, r, field)
+
+    return SumcheckVerdict(challenges=challenges, final_claim=claim)

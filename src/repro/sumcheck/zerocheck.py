@@ -1,0 +1,119 @@
+"""ZeroCheck: prove a virtual polynomial vanishes on the boolean hypercube.
+
+HyperPlonk's Gate Identity and Wiring Identity both reduce to ZeroChecks
+(Sections 3.3.2 and 3.3.3).  The standard construction multiplies the
+constraint polynomial F(x) by the random multilinear polynomial
+``eq(a, x)`` (the "Build MLE" r(X) of the paper) and proves the sum of
+F(x) * eq(a, x) over the hypercube is zero.  If F is nonzero at any boolean
+point the sum is nonzero with overwhelming probability over ``a``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.fields.field import FieldElement
+from repro.mle.mle import eq_eval, eq_mle
+from repro.mle.virtual_poly import VirtualPolynomial
+from repro.sumcheck.prover import SumcheckProof, prove_sumcheck
+from repro.sumcheck.verifier import SumcheckVerificationError, verify_sumcheck
+from repro.transcript.transcript import Transcript
+
+
+@dataclass
+class ZerocheckProof:
+    """A ZeroCheck proof is a SumCheck proof with claimed sum zero."""
+
+    sumcheck: SumcheckProof
+
+
+@dataclass
+class ZerocheckProverOutput:
+    proof: ZerocheckProof
+    zerocheck_challenges: list[FieldElement]
+    """The challenge vector ``a`` defining eq(a, .)."""
+    sumcheck_challenges: list[FieldElement]
+    """The SumCheck point ``r`` at which openings are later required."""
+    final_evaluations: list[FieldElement]
+    """Evaluations of the constraint's MLEs (and eq last) at ``r``."""
+
+
+@dataclass
+class ZerocheckVerdict:
+    zerocheck_challenges: list[FieldElement]
+    sumcheck_challenges: list[FieldElement]
+    final_claim: FieldElement
+    eq_at_point: FieldElement
+
+    def constraint_claim(self) -> FieldElement:
+        """The value F(r) implied by the proof (final claim divided by eq(a, r))."""
+        if self.eq_at_point.is_zero():
+            raise SumcheckVerificationError("eq(a, r) is zero; cannot reduce claim")
+        return self.final_claim / self.eq_at_point
+
+
+def _multiply_by_eq(
+    poly: VirtualPolynomial, eq_table
+) -> VirtualPolynomial:
+    """Return a new virtual polynomial whose every term is multiplied by eq."""
+    combined = VirtualPolynomial(poly.num_vars, poly.field)
+    combined.mles = list(poly.mles) + [eq_table]
+    combined._mle_lookup = {id(m): i for i, m in enumerate(combined.mles)}
+    eq_index = len(combined.mles) - 1
+    for term in poly.terms:
+        combined.terms.append(
+            type(term)(term.coefficient, term.mle_indices + (eq_index,))
+        )
+    return combined
+
+
+def prove_zerocheck(
+    poly: VirtualPolynomial,
+    transcript: Transcript,
+    label: bytes = b"zerocheck",
+) -> ZerocheckProverOutput:
+    """Prove that ``poly`` evaluates to zero at every boolean point."""
+    field = poly.field
+    a = transcript.challenge_fields(label + b"/eq", poly.num_vars)
+    eq_table = eq_mle(a, field)
+    combined = _multiply_by_eq(poly, eq_table)
+    output = prove_sumcheck(
+        combined, transcript, claimed_sum=field.zero(), label=label + b"/sumcheck"
+    )
+    return ZerocheckProverOutput(
+        proof=ZerocheckProof(sumcheck=output.proof),
+        zerocheck_challenges=a,
+        sumcheck_challenges=output.challenges,
+        final_evaluations=output.final_evaluations,
+    )
+
+
+def verify_zerocheck(
+    proof: ZerocheckProof,
+    num_vars: int,
+    transcript: Transcript,
+    label: bytes = b"zerocheck",
+) -> ZerocheckVerdict:
+    """Verify a ZeroCheck proof down to an evaluation claim at a random point.
+
+    The returned verdict carries ``final_claim`` (what eq(a, r) * F(r) must
+    equal) and ``eq_at_point`` = eq(a, r), which the verifier computes itself;
+    the caller supplies F(r) from polynomial openings and checks
+    ``final_claim == eq_at_point * F(r)``.
+    """
+    field = proof.sumcheck.claimed_sum.field
+    if not proof.sumcheck.claimed_sum.is_zero():
+        raise SumcheckVerificationError("ZeroCheck proof must claim a zero sum")
+    if proof.sumcheck.num_vars != num_vars:
+        raise SumcheckVerificationError(
+            f"proof is over {proof.sumcheck.num_vars} variables, expected {num_vars}"
+        )
+    a = transcript.challenge_fields(label + b"/eq", num_vars)
+    verdict = verify_sumcheck(proof.sumcheck, transcript, label=label + b"/sumcheck")
+    eq_at_point = eq_eval(a, verdict.challenges, field)
+    return ZerocheckVerdict(
+        zerocheck_challenges=a,
+        sumcheck_challenges=verdict.challenges,
+        final_claim=verdict.final_claim,
+        eq_at_point=eq_at_point,
+    )

@@ -1,0 +1,5 @@
+"""Fiat-Shamir transcript (SHA3-based), mirroring zkSpeed's SHA3 unit."""
+
+from repro.transcript.transcript import Transcript
+
+__all__ = ["Transcript"]

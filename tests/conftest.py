@@ -1,0 +1,53 @@
+"""Shared fixtures for the test suite.
+
+SRS generation and proving are the expensive operations in pure Python, so
+the fixtures are session-scoped: one small universal SRS (and one proof per
+circuit size) is reused by every test that needs it.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.circuits import mock_circuit
+from repro.pcs import setup
+from repro.protocol import preprocess, prove
+
+
+@pytest.fixture(scope="session")
+def rng():
+    return random.Random(0xC0FFEE)
+
+
+@pytest.fixture(scope="session")
+def srs4():
+    """A universal SRS for 4-variable (16-gate) circuits, trapdoor retained."""
+    return setup(4, seed=2024)
+
+
+@pytest.fixture(scope="session")
+def srs5():
+    """A universal SRS for 5-variable (32-gate) circuits."""
+    return setup(5, seed=2025)
+
+
+@pytest.fixture(scope="session")
+def small_circuit():
+    """A satisfiable 32-gate mock circuit."""
+    circuit = mock_circuit(5, seed=7)
+    assert circuit.is_satisfied()
+    return circuit
+
+
+@pytest.fixture(scope="session")
+def small_keys(small_circuit, srs5):
+    return preprocess(small_circuit, srs5)
+
+
+@pytest.fixture(scope="session")
+def small_proof(small_keys):
+    pk, _ = small_keys
+    proof, trace = prove(pk, collect_trace=True)
+    return proof, trace

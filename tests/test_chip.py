@@ -1,0 +1,132 @@
+"""Tests for the full-chip model: Table 3 / Table 5 / Figure 12-13 reproduction."""
+
+import math
+
+import pytest
+
+from repro.core import CpuBaseline, WorkloadModel, ZkSpeedChip, ZkSpeedConfig
+
+CONFIG = ZkSpeedConfig.paper_default()
+
+#: Paper Table 3: workload problem size -> (CPU ms, zkSpeed ms).
+PAPER_TABLE3 = {
+    17: (1429.0, 1.984),
+    20: (8619.0, 11.405),
+    21: (18637.0, 22.082),
+    22: (37469.0, 43.451),
+    23: (74052.0, 86.181),
+}
+
+
+@pytest.fixture(scope="module")
+def chip():
+    return ZkSpeedChip(CONFIG)
+
+
+@pytest.fixture(scope="module")
+def report_2_20(chip):
+    return chip.simulate(WorkloadModel(num_vars=20))
+
+
+class TestRuntime:
+    @pytest.mark.parametrize("num_vars", sorted(PAPER_TABLE3))
+    def test_runtime_within_30_percent_of_paper(self, chip, num_vars):
+        _, paper_ms = PAPER_TABLE3[num_vars]
+        ours = chip.runtime_ms(WorkloadModel(num_vars=num_vars))
+        assert ours == pytest.approx(paper_ms, rel=0.30)
+
+    def test_geomean_speedup_in_paper_band(self, chip):
+        """The paper reports a 801x geomean speedup for the fixed design."""
+        cpu = CpuBaseline()
+        speedups = []
+        for num_vars, (cpu_ms, _) in PAPER_TABLE3.items():
+            ours = chip.runtime_ms(WorkloadModel(num_vars=num_vars))
+            speedups.append(cpu_ms / ours)
+        geomean = math.exp(sum(math.log(s) for s in speedups) / len(speedups))
+        assert 600 <= geomean <= 1000
+
+    def test_speedup_per_workload_in_band(self, chip):
+        """Per-workload speedups are in the 700-900x band (Table 3)."""
+        for num_vars, (cpu_ms, zk_ms) in PAPER_TABLE3.items():
+            paper_speedup = cpu_ms / zk_ms
+            ours = cpu_ms / chip.runtime_ms(WorkloadModel(num_vars=num_vars))
+            assert ours == pytest.approx(paper_speedup, rel=0.35)
+
+    def test_report_total_matches_step_sum(self, report_2_20):
+        assert report_2_20.total_cycles == pytest.approx(
+            sum(s.total_cycles for s in report_2_20.steps)
+        )
+        fractions = report_2_20.step_fractions()
+        assert sum(fractions.values()) == pytest.approx(1.0)
+
+    def test_wire_identity_is_largest_fraction(self, report_2_20):
+        """Figure 12b: Wire Identity ~48.5% of zkSpeed runtime at 2^20."""
+        fractions = report_2_20.step_fractions()
+        assert max(fractions, key=fractions.get) == "wire_identity"
+        assert 0.30 <= fractions["wire_identity"] <= 0.60
+
+
+class TestAreaAndPower:
+    def test_total_area_matches_table5(self, chip):
+        """366.46 mm^2 for the highlighted design (sized for the largest workload)."""
+        assert chip.total_area_mm2(num_vars=23) == pytest.approx(366.46, rel=0.10)
+
+    def test_compute_area_matches_table5(self, chip):
+        # Table 5 total compute area: 163.53 mm^2.
+        assert chip.compute_area_mm2() == pytest.approx(163.53, rel=0.10)
+
+    def test_msm_unit_dominates_compute_area(self, chip):
+        """Figure 13: the MSM unit is ~65% of the compute area."""
+        breakdown = chip.unit_area_breakdown_mm2()
+        total = sum(breakdown.values())
+        assert breakdown["MSM Unit"] / total == pytest.approx(0.646, abs=0.08)
+
+    def test_area_breakdown_units_match_table5(self, chip):
+        breakdown = chip.area_breakdown_mm2(num_vars=23)
+        paper = {
+            "MSM Unit": 105.64,
+            "SumCheck": 24.96,
+            "Construct N&D": 1.35,
+            "FracMLE": 1.92,
+            "MLE Combine": 9.56,
+            "MLE Update": 5.84,
+            "Multifunction Tree": 12.28,
+            "SRAM": 143.73,
+            "HBM PHY": 59.20,
+        }
+        for name, paper_value in paper.items():
+            assert breakdown[name] == pytest.approx(paper_value, rel=0.15), name
+
+    def test_total_power_matches_table5(self, chip):
+        power = sum(chip.power_breakdown_w(num_vars=23).values())
+        assert power == pytest.approx(170.88, rel=0.15)
+
+    def test_power_density_within_cpu_envelope(self, chip):
+        """Section 7.4: power density 0.46 W/mm^2, within the CPU's."""
+        area = chip.total_area_mm2(num_vars=23)
+        power = sum(chip.power_breakdown_w(num_vars=23).values())
+        assert 0.3 <= power / area <= 0.7
+
+    def test_activity_scaled_power_is_lower(self, chip, report_2_20):
+        scaled = chip.power_breakdown_w(20, report_2_20.utilization)
+        unscaled = chip.power_breakdown_w(20)
+        assert sum(scaled.values()) < sum(unscaled.values())
+
+
+class TestUtilization:
+    def test_msm_is_most_utilized_unit(self, report_2_20):
+        """Figure 13: the MSM unit has the highest utilization (~70%)."""
+        utilization = report_2_20.utilization
+        compute_units = {k: v for k, v in utilization.items() if k != "sha3"}
+        assert max(compute_units, key=compute_units.get) == "msm"
+        assert utilization["msm"] > 0.4
+
+    def test_sha3_rarely_used(self, report_2_20):
+        assert report_2_20.utilization["sha3"] < 0.05
+
+    def test_all_utilizations_are_fractions(self, report_2_20):
+        assert all(0.0 <= u <= 1.0 for u in report_2_20.utilization.values())
+
+    def test_memory_plan_attached(self, report_2_20):
+        assert report_2_20.memory_plan.total_sram_mb > 0
+        assert report_2_20.memory_plan.phy_kind == "hbm3"

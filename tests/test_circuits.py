@@ -1,0 +1,217 @@
+"""Tests for the Plonk circuit builder, gates and permutation construction."""
+
+import random
+
+import pytest
+
+from repro.circuits import CircuitBuilder, Gate, GateType
+from repro.circuits.builder import SELECTOR_NAMES, WITNESS_NAMES
+from repro.circuits.permutation import (
+    build_permutation,
+    identity_permutation,
+    identity_permutation_eval,
+    position_value,
+)
+from repro.fields import Fr
+from repro.mle.operations import (
+    construct_numerator_denominator,
+    elementwise_product,
+    fraction_mle,
+)
+
+
+class TestGates:
+    def test_addition_gate(self):
+        gate = Gate.addition(0, 1, 2)
+        assert gate.gate_type is GateType.ADDITION
+        assert gate.is_satisfied(Fr(2), Fr(3), Fr(5))
+        assert not gate.is_satisfied(Fr(2), Fr(3), Fr(6))
+
+    def test_multiplication_gate(self):
+        gate = Gate.multiplication(0, 1, 2)
+        assert gate.is_satisfied(Fr(4), Fr(6), Fr(24))
+        assert not gate.is_satisfied(Fr(4), Fr(6), Fr(25))
+
+    def test_constant_gate(self):
+        gate = Gate.constant(1, Fr(42), 0)
+        assert gate.is_satisfied(Fr(42), Fr(0), Fr(0))
+        assert not gate.is_satisfied(Fr(41), Fr(0), Fr(0))
+
+    def test_boolean_gate(self):
+        gate = Gate.boolean(1, 0)
+        assert gate.is_satisfied(Fr(0), Fr(0), Fr(0))
+        assert gate.is_satisfied(Fr(1), Fr(1), Fr(0))
+        assert not gate.is_satisfied(Fr(2), Fr(2), Fr(0))
+
+    def test_noop_gate_always_satisfied(self):
+        gate = Gate.noop(0)
+        assert gate.is_satisfied(Fr(7), Fr(8), Fr(9))
+
+
+class TestBuilder:
+    def test_simple_arithmetic_circuit(self):
+        builder = CircuitBuilder()
+        a = builder.add_constant_gate(3)
+        b = builder.add_constant_gate(4)
+        c = builder.mul(a, b)
+        d = builder.add(c, a)
+        assert builder.value_of(c) == Fr(12)
+        assert builder.value_of(d) == Fr(15)
+        circuit = builder.compile()
+        assert circuit.is_satisfied()
+
+    def test_compile_pads_to_power_of_two(self):
+        builder = CircuitBuilder()
+        for _ in range(5):
+            builder.add_constant_gate(1)
+        circuit = builder.compile()
+        assert circuit.num_gates & (circuit.num_gates - 1) == 0
+        assert circuit.num_gates >= circuit.num_real_gates
+
+    def test_min_num_vars_respected(self):
+        builder = CircuitBuilder()
+        builder.add_constant_gate(1)
+        circuit = builder.compile(min_num_vars=5)
+        assert circuit.num_vars == 5
+
+    def test_selector_and_witness_tables_have_circuit_size(self):
+        builder = CircuitBuilder()
+        builder.add_constant_gate(2)
+        circuit = builder.compile(min_num_vars=3)
+        for name in SELECTOR_NAMES:
+            assert len(circuit.selectors[name]) == circuit.num_gates
+        for name in WITNESS_NAMES:
+            assert len(circuit.witnesses[name]) == circuit.num_gates
+
+    def test_gate_constraint_violated_by_bad_witness(self):
+        builder = CircuitBuilder()
+        a = builder.add_constant_gate(3)
+        b = builder.add_constant_gate(4)
+        builder.mul(a, b)
+        circuit = builder.compile()
+        # Corrupt the multiplication gate's output wire value.
+        circuit.witnesses["w3"].evaluations[circuit.num_real_gates - 1] = Fr(999)
+        assert not circuit.is_satisfied()
+
+    def test_assert_boolean_and_equal(self):
+        builder = CircuitBuilder()
+        bit = builder.add_variable(1)
+        builder.assert_boolean(bit)
+        other = builder.add_variable(1)
+        builder.assert_equal(bit, other)
+        assert builder.compile().is_satisfied()
+
+    def test_assert_boolean_fails_for_non_bit(self):
+        builder = CircuitBuilder()
+        bad = builder.add_variable(5)
+        builder.assert_boolean(bad)
+        assert not builder.compile().is_satisfied()
+
+    def test_linear_combination(self):
+        builder = CircuitBuilder()
+        x = builder.add_constant_gate(3)
+        y = builder.add_constant_gate(5)
+        result = builder.linear_combination([(2, x), (7, y)])
+        assert builder.value_of(result) == Fr(41)
+        assert builder.compile().is_satisfied()
+
+    def test_linear_combination_empty(self):
+        builder = CircuitBuilder()
+        assert builder.linear_combination([]) == builder.zero
+
+    def test_gate_with_unknown_variable_rejected(self):
+        builder = CircuitBuilder()
+        with pytest.raises(ValueError):
+            builder.add_gate(Gate.addition(0, 1, 99))
+
+    def test_witness_sparsity_profile(self):
+        builder = CircuitBuilder()
+        for _ in range(4):
+            builder.add_constant_gate(1)
+        circuit = builder.compile()
+        sparsity = circuit.witness_sparsity()
+        total = sum(sparsity.values())
+        assert abs(total - 1.0) < 1e-9
+        assert sparsity["zero_fraction"] > 0
+
+
+class TestPermutation:
+    def test_identity_permutation_values(self):
+        identities = identity_permutation(3)
+        for col in range(3):
+            for gate in range(8):
+                assert identities[col][gate] == Fr(col * 8 + gate)
+
+    def test_identity_permutation_eval_matches_table(self):
+        rng = random.Random(3)
+        identities = identity_permutation(4)
+        point = [Fr.random(rng) for _ in range(4)]
+        for col in range(3):
+            assert identities[col].evaluate(point) == identity_permutation_eval(col, point)
+
+    def test_position_value_validation(self):
+        with pytest.raises(ValueError):
+            position_value(3, 0, 4)
+
+    def test_sigma_is_a_permutation_of_positions(self):
+        builder = CircuitBuilder()
+        a = builder.add_constant_gate(2)
+        b = builder.add_constant_gate(3)
+        c = builder.mul(a, b)
+        builder.add(c, a)
+        circuit = builder.compile()
+        size = circuit.num_gates
+        all_positions = {col * size + gate for col in range(3) for gate in range(size)}
+        sigma_values = {
+            sigma[gate].value for sigma in circuit.sigmas for gate in range(size)
+        }
+        assert sigma_values == all_positions
+
+    def test_permutation_wiring_product_is_one(self):
+        """The grand product of N/D over all positions equals 1 for a valid witness."""
+        rng = random.Random(9)
+        builder = CircuitBuilder()
+        x = builder.add_constant_gate(5)
+        y = builder.add_constant_gate(7)
+        z = builder.mul(x, y)
+        builder.add(z, x)
+        circuit = builder.compile()
+        beta, gamma = Fr.random(rng), Fr.random(rng)
+        numerators, denominators = construct_numerator_denominator(
+            circuit.witness_list(), circuit.identities, circuit.sigmas, beta, gamma
+        )
+        phi = fraction_mle(
+            elementwise_product(numerators), elementwise_product(denominators)
+        )
+        total = Fr(1)
+        for value in phi:
+            total = total * value
+        assert total == Fr(1)
+
+    def test_inconsistent_copy_breaks_grand_product(self):
+        """Changing one copy of a shared variable makes the product differ from 1."""
+        rng = random.Random(10)
+        builder = CircuitBuilder()
+        x = builder.add_constant_gate(5)
+        y = builder.add_constant_gate(7)
+        z = builder.mul(x, y)
+        builder.add(z, x)
+        circuit = builder.compile()
+        # Corrupt one use of x (w1 of the final addition gate).
+        corrupt_index = circuit.num_real_gates - 1
+        circuit.witnesses["w2"].evaluations[corrupt_index] = Fr(1234)
+        beta, gamma = Fr.random(rng), Fr.random(rng)
+        numerators, denominators = construct_numerator_denominator(
+            circuit.witness_list(), circuit.identities, circuit.sigmas, beta, gamma
+        )
+        phi = fraction_mle(
+            elementwise_product(numerators), elementwise_product(denominators)
+        )
+        total = Fr(1)
+        for value in phi:
+            total = total * value
+        assert total != Fr(1)
+
+    def test_build_permutation_size_validation(self):
+        with pytest.raises(ValueError):
+            build_permutation([(0, 0, 0)] * 3, 2)

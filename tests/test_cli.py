@@ -1,0 +1,45 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_simulate_defaults(self):
+        args = build_parser().parse_args(["simulate"])
+        assert args.log_gates == 20
+        assert args.bandwidth == 2048.0
+
+
+class TestCommands:
+    def test_simulate(self, capsys):
+        assert main(["simulate", "--log-gates", "18"]) == 0
+        output = capsys.readouterr().out
+        assert "speedup" in output
+        assert "step breakdown" in output
+
+    def test_simulate_custom_bandwidth(self, capsys):
+        assert main(["simulate", "--log-gates", "18", "--bandwidth", "512"]) == 0
+        assert "512" in capsys.readouterr().out
+
+    def test_table1(self, capsys):
+        assert main(["table1", "--log-gates", "20"]) == 0
+        output = capsys.readouterr().out
+        assert "Witness MSMs" in output
+        assert "All MLE Updates" in output
+
+    def test_dse(self, capsys):
+        assert main(["dse", "--log-gates", "18", "--max-points", "40"]) == 0
+        output = capsys.readouterr().out
+        assert "Pareto frontier" in output
+
+    def test_prove(self, capsys):
+        assert main(["prove", "--log-gates", "4", "--seed", "1"]) == 0
+        output = capsys.readouterr().out
+        assert "ACCEPT" in output
+        assert "proof size" in output

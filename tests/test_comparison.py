@@ -1,0 +1,78 @@
+"""Tests for the Table 4 cross-accelerator comparison."""
+
+import pytest
+
+from repro.core import ACCELERATOR_COMPARISON, accelerator_comparison_table
+from repro.core.comparison import (
+    PAPER_ZKSPEED_COLUMN,
+    zkspeed_modmul_count,
+    zkspeed_summary,
+)
+from repro.core.config import ZkSpeedConfig
+
+
+class TestPublishedColumns:
+    def test_prior_work_columns_present(self):
+        assert set(ACCELERATOR_COMPARISON) == {"NoCap", "SZKP+"}
+
+    def test_nocap_characteristics(self):
+        nocap = ACCELERATOR_COMPARISON["NoCap"]
+        assert nocap.protocol == "Spartan+Orion"
+        assert nocap.proof_size_kb == pytest.approx(8100.0)
+        assert nocap.setup == "none"
+        assert nocap.bit_width == "64"
+
+    def test_szkp_characteristics(self):
+        szkp = ACCELERATOR_COMPARISON["SZKP+"]
+        assert szkp.protocol == "Groth16"
+        assert szkp.setup == "circuit-specific"
+        assert szkp.proof_size_kb < 1.0
+
+
+class TestZkSpeedColumn:
+    def test_modmul_count_same_order_as_paper(self):
+        """The provisioned-multiplier count is the same order of magnitude as the
+        paper's 1206 (the exact figure depends on how deeply the PADD pipeline
+        replicates its multipliers, which the paper does not specify)."""
+        count = zkspeed_modmul_count(ZkSpeedConfig.paper_default())
+        assert PAPER_ZKSPEED_COLUMN.num_modmuls / 3 < count < PAPER_ZKSPEED_COLUMN.num_modmuls * 3
+
+    def test_modmul_count_scales_with_configuration(self):
+        small = zkspeed_modmul_count(ZkSpeedConfig(msm_pes_per_core=1, sumcheck_pes=1))
+        large = zkspeed_modmul_count(ZkSpeedConfig(msm_pes_per_core=16, sumcheck_pes=16))
+        assert large > 2 * small
+
+    def test_summary_from_models(self):
+        summary = zkspeed_summary(num_vars=24)
+        assert summary.protocol == "HyperPlonk"
+        assert summary.setup == "universal"
+        assert summary.encoding == "Plonk"
+        # Prover time within 2x of the published 171.61 ms at 2^24.
+        assert summary.hw_prover_ms == pytest.approx(
+            PAPER_ZKSPEED_COLUMN.hw_prover_ms, rel=1.0
+        )
+        assert summary.cpu_prover_s == pytest.approx(
+            PAPER_ZKSPEED_COLUMN.cpu_prover_s, rel=0.1
+        )
+        assert summary.chip_area_mm2 > 300
+
+    def test_full_table(self):
+        table = accelerator_comparison_table(num_vars=24)
+        assert set(table) == {"NoCap", "SZKP+", "zkSpeed"}
+
+    def test_key_tradeoffs_reproduced(self):
+        """The qualitative story of Table 4: zkSpeed trades area for proof size."""
+        table = accelerator_comparison_table(num_vars=24)
+        zkspeed = table["zkSpeed"]
+        nocap = table["NoCap"]
+        szkp = table["SZKP+"]
+        # Proof size: orders of magnitude smaller than NoCap, larger than Groth16.
+        assert zkspeed.proof_size_kb < nocap.proof_size_kb / 100
+        assert zkspeed.proof_size_kb > szkp.proof_size_kb
+        # Area: roughly 10x NoCap's.
+        assert zkspeed.chip_area_mm2 > 5 * nocap.chip_area_mm2
+        # Setup: universal (the HyperPlonk selling point).
+        assert zkspeed.setup == "universal"
+        # zkSpeed has the slowest CPU (software) prover of the three.
+        assert zkspeed.cpu_prover_s > nocap.cpu_prover_s
+        assert zkspeed.cpu_prover_s > szkp.cpu_prover_s

@@ -1,0 +1,96 @@
+"""Tests for the zkSpeed design configuration and design space."""
+
+import pytest
+
+from repro.core import DESIGN_SPACE, ZkSpeedConfig, enumerate_design_space
+
+
+class TestConfig:
+    def test_paper_default_matches_section_7_4(self):
+        config = ZkSpeedConfig.paper_default()
+        assert config.msm_cores == 1
+        assert config.msm_pes_per_core == 16
+        assert config.msm_window_bits == 9
+        assert config.msm_points_per_pe == 2048
+        assert config.fracmle_pes == 1
+        assert config.sumcheck_pes == 2
+        assert config.mle_update_pes == 11
+        assert config.mle_update_modmuls_per_pe == 4
+        assert config.bandwidth_gbs == 2048.0
+
+    def test_total_msm_pes(self):
+        config = ZkSpeedConfig(msm_cores=2, msm_pes_per_core=8)
+        assert config.total_msm_pes == 16
+
+    def test_bandwidth_bytes_per_cycle(self):
+        config = ZkSpeedConfig(bandwidth_gbs=512.0)
+        assert config.bandwidth_bytes_per_cycle == 512.0
+
+    def test_with_bandwidth_returns_new_config(self):
+        base = ZkSpeedConfig.paper_default()
+        other = base.with_bandwidth(4096.0)
+        assert other.bandwidth_gbs == 4096.0
+        assert base.bandwidth_gbs == 2048.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ZkSpeedConfig(msm_cores=0)
+        with pytest.raises(ValueError):
+            ZkSpeedConfig(msm_window_bits=0)
+        with pytest.raises(ValueError):
+            ZkSpeedConfig(sumcheck_pes=0)
+        with pytest.raises(ValueError):
+            ZkSpeedConfig(bandwidth_gbs=0)
+        with pytest.raises(ValueError):
+            ZkSpeedConfig(bucket_aggregation="other")
+
+    def test_describe_mentions_key_knobs(self):
+        text = ZkSpeedConfig.paper_default().describe()
+        assert "16PE" in text and "2048" in text
+
+
+class TestDesignSpace:
+    def test_table2_knob_values(self):
+        assert DESIGN_SPACE["msm_cores"] == (1, 2)
+        assert DESIGN_SPACE["msm_pes_per_core"] == (1, 2, 4, 8, 16)
+        assert DESIGN_SPACE["msm_window_bits"] == (7, 8, 9, 10)
+        assert len(DESIGN_SPACE["msm_points_per_pe"]) == 5
+        assert DESIGN_SPACE["fracmle_pes"] == (1, 2, 4)
+        assert DESIGN_SPACE["sumcheck_pes"] == (1, 2, 4, 8, 16)
+        assert DESIGN_SPACE["mle_update_pes"] == tuple(range(1, 12))
+        assert DESIGN_SPACE["mle_update_modmuls_per_pe"] == (1, 2, 4, 8, 16)
+        assert len(DESIGN_SPACE["bandwidth_gbs"]) == 7
+
+    def test_full_space_size(self):
+        sizes = [len(v) for v in DESIGN_SPACE.values()]
+        total = 1
+        for s in sizes:
+            total *= s
+        assert total == 2 * 5 * 4 * 5 * 3 * 5 * 11 * 5 * 7
+
+    def test_enumeration_respects_overrides(self):
+        configs = list(
+            enumerate_design_space(
+                overrides={
+                    "msm_cores": [1],
+                    "msm_pes_per_core": [4],
+                    "msm_window_bits": [8],
+                    "msm_points_per_pe": [2048],
+                    "fracmle_pes": [1],
+                    "sumcheck_pes": [1, 2],
+                    "mle_update_pes": [4],
+                    "mle_update_modmuls_per_pe": [4],
+                    "bandwidth_gbs": [512.0, 2048.0],
+                }
+            )
+        )
+        assert len(configs) == 4
+        assert {c.sumcheck_pes for c in configs} == {1, 2}
+
+    def test_enumeration_decimation(self):
+        configs = list(enumerate_design_space(max_points=100))
+        assert 0 < len(configs) <= 100
+
+    def test_unknown_override_rejected(self):
+        with pytest.raises(KeyError):
+            list(enumerate_design_space(overrides={"bogus": [1]}))

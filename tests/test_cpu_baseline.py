@@ -1,0 +1,78 @@
+"""Tests for the calibrated CPU baseline model."""
+
+import pytest
+
+from repro.core import CpuBaseline
+from repro.core.cpu_baseline import (
+    CPU_KERNEL_TO_FIG14,
+    CPU_KERNEL_TO_STEP,
+    PAPER_CPU_KERNEL_FRACTIONS,
+    PAPER_CPU_RUNTIME_MS,
+)
+
+
+class TestRuntimeModel:
+    def test_anchor_points_are_exact(self):
+        cpu = CpuBaseline()
+        for num_vars, runtime in PAPER_CPU_RUNTIME_MS.items():
+            assert cpu.runtime_ms(num_vars) == pytest.approx(runtime)
+
+    def test_interpolation_between_anchors(self):
+        cpu = CpuBaseline()
+        t18 = cpu.runtime_ms(18)
+        t19 = cpu.runtime_ms(19)
+        assert PAPER_CPU_RUNTIME_MS[17] < t18 < t19 < PAPER_CPU_RUNTIME_MS[20]
+
+    def test_extrapolation_is_linear_in_gates(self):
+        cpu = CpuBaseline()
+        t25 = cpu.runtime_ms(25)
+        t26 = cpu.runtime_ms(26)
+        assert t26 == pytest.approx(2 * t25, rel=0.01)
+        assert t25 == pytest.approx(2 * PAPER_CPU_RUNTIME_MS[24], rel=0.05)
+
+    def test_small_sizes_scale_down(self):
+        cpu = CpuBaseline()
+        assert cpu.runtime_ms(15) < PAPER_CPU_RUNTIME_MS[17]
+
+    def test_die_area_matches_epyc_7502(self):
+        assert CpuBaseline().die_area_mm2 == pytest.approx(296.0)
+
+
+class TestKernelBreakdown:
+    def test_fractions_sum_to_about_one(self):
+        assert sum(PAPER_CPU_KERNEL_FRACTIONS.values()) == pytest.approx(1.0, abs=0.01)
+
+    def test_breakdown_sums_to_total(self):
+        cpu = CpuBaseline()
+        breakdown = cpu.kernel_breakdown_ms(20)
+        assert sum(breakdown.values()) == pytest.approx(cpu.runtime_ms(20), rel=0.01)
+
+    def test_permcheck_msms_dominate(self):
+        """Figure 12a: PermCheck dense MSMs are 43.6% of CPU runtime."""
+        cpu = CpuBaseline()
+        breakdown = cpu.kernel_breakdown_ms(20)
+        assert max(breakdown, key=breakdown.get) == "PermCheck Dense MSMs"
+
+    def test_step_breakdown_covers_all_steps(self):
+        cpu = CpuBaseline()
+        steps = cpu.step_breakdown_ms(20)
+        assert set(steps) == {
+            "witness_commits",
+            "gate_identity",
+            "wire_identity",
+            "batch_evaluations",
+            "poly_open",
+        }
+        assert sum(steps.values()) == pytest.approx(cpu.runtime_ms(20), rel=0.01)
+        # Wire identity (PermCheck + its MSMs) is the biggest step on CPU too.
+        assert max(steps, key=steps.get) == "wire_identity"
+
+    def test_figure14_breakdown(self):
+        cpu = CpuBaseline()
+        fig14 = cpu.figure14_breakdown_ms(20)
+        assert set(fig14) == set(CPU_KERNEL_TO_FIG14.values())
+        assert fig14["Wiring MSMs"] > fig14["Witness MSMs"]
+
+    def test_kernel_mappings_consistent(self):
+        assert set(CPU_KERNEL_TO_STEP) == set(PAPER_CPU_KERNEL_FRACTIONS)
+        assert set(CPU_KERNEL_TO_FIG14) <= set(PAPER_CPU_KERNEL_FRACTIONS)

@@ -1,0 +1,171 @@
+"""Tests for G1/G2 elliptic-curve arithmetic."""
+
+import random
+
+import pytest
+
+from repro.curves import AffinePoint, JacobianPoint, G1_GENERATOR, g1_generator, g2_generator
+from repro.curves.bls12_381 import G2Point
+from repro.curves.curve import BLS12_381_G1, PADD_MODMULS, PDBL_MODMULS, sum_points, tree_sum_affine
+from repro.fields.bls12_381 import FR_MODULUS
+
+
+class TestAffinePoint:
+    def test_generator_on_curve(self):
+        assert G1_GENERATOR.is_on_curve()
+
+    def test_identity(self):
+        identity = AffinePoint.identity()
+        assert identity.is_identity()
+        assert identity.is_on_curve()
+        assert identity.negate() == identity
+
+    def test_negation_on_curve(self):
+        neg = G1_GENERATOR.negate()
+        assert neg.is_on_curve()
+        assert neg != G1_GENERATOR
+
+    def test_point_plus_negation_is_identity(self):
+        result = (
+            G1_GENERATOR.to_jacobian() + G1_GENERATOR.negate().to_jacobian()
+        )
+        assert result.is_identity()
+
+    def test_affine_addition_wrapper(self):
+        doubled = G1_GENERATOR + G1_GENERATOR
+        assert doubled == (G1_GENERATOR.to_jacobian() * 2).to_affine()
+
+    def test_off_curve_detection(self):
+        bogus = AffinePoint(G1_GENERATOR.x, G1_GENERATOR.y + 1)
+        assert not bogus.is_on_curve()
+
+    def test_equality_and_hash(self):
+        assert AffinePoint.identity() == AffinePoint.identity()
+        assert hash(G1_GENERATOR) == hash(AffinePoint(G1_GENERATOR.x, G1_GENERATOR.y))
+        assert G1_GENERATOR != AffinePoint.identity()
+
+
+class TestJacobianGroupLaw:
+    def test_identity_behaviour(self):
+        identity = JacobianPoint.identity()
+        g = g1_generator()
+        assert identity + g == g
+        assert g + identity == g
+        assert identity.double().is_identity()
+        assert (g - g).is_identity()
+
+    def test_double_matches_add(self):
+        g = g1_generator()
+        assert g.double() == g + g
+
+    def test_mixed_addition_matches_full(self):
+        g = g1_generator()
+        h = (g * 7).to_affine()
+        assert g.add_affine(h) == g + h.to_jacobian()
+
+    def test_mixed_addition_identity_cases(self):
+        g = g1_generator()
+        assert g.add_affine(AffinePoint.identity()) == g
+        assert JacobianPoint.identity().add_affine(g.to_affine()) == g
+        assert g.add_affine(g.to_affine()) == g.double()
+        assert g.add_affine(g.negate().to_affine()).is_identity()
+
+    def test_associativity(self):
+        g = g1_generator()
+        a, b, c = g * 3, g * 5, g * 11
+        assert (a + b) + c == a + (b + c)
+
+    def test_commutativity(self):
+        g = g1_generator()
+        a, b = g * 13, g * 29
+        assert a + b == b + a
+
+    def test_scalar_multiplication_small(self):
+        g = g1_generator()
+        acc = JacobianPoint.identity()
+        for k in range(8):
+            assert g * k == acc
+            acc = acc + g
+
+    def test_scalar_multiplication_modular(self):
+        g = g1_generator()
+        assert g * FR_MODULUS == JacobianPoint.identity()
+        assert g * (FR_MODULUS + 3) == g * 3
+
+    def test_scalar_multiplication_distributes(self):
+        g = g1_generator()
+        assert g * 7 + g * 9 == g * 16
+
+    def test_order_annihilates_generator(self):
+        g = g1_generator()
+        assert (g * (FR_MODULUS - 1) + g).is_identity()
+
+    def test_to_affine_round_trip(self):
+        g = g1_generator()
+        p = g * 123456789
+        assert p.to_affine().to_jacobian() == p
+        assert p.is_on_curve()
+
+    def test_equality_across_representations(self):
+        g = g1_generator()
+        p = g * 5
+        assert p == (p.to_affine()).to_jacobian()
+        assert p != g
+
+    def test_sum_points_helper(self):
+        g = g1_generator()
+        points = [g * k for k in range(1, 6)]
+        assert sum_points(points) == g * 15
+        assert sum_points([]).is_identity()
+
+    def test_cost_constants_positive(self):
+        assert PADD_MODMULS >= 10
+        assert PDBL_MODMULS >= 5
+
+
+class TestTreeSum:
+    def test_tree_sum_matches_linear_sum(self):
+        g = g1_generator()
+        rng = random.Random(3)
+        points = [(g * rng.randrange(1, 1000)).to_affine() for _ in range(13)]
+        expected = sum_points([p.to_jacobian() for p in points])
+        result, padds = tree_sum_affine(points)
+        assert result == expected
+        assert padds == 12  # n - 1 additions for n points
+
+    def test_tree_sum_empty_and_single(self):
+        result, padds = tree_sum_affine([])
+        assert result.is_identity() and padds == 0
+        g = g1_generator().to_affine()
+        result, padds = tree_sum_affine([g])
+        assert result == g.to_jacobian() and padds == 0
+
+
+class TestG2:
+    def test_generator_on_curve(self):
+        assert g2_generator().is_on_curve()
+
+    def test_identity(self):
+        identity = G2Point.identity()
+        assert identity.is_identity()
+        assert identity.is_on_curve()
+        h = g2_generator()
+        assert identity + h == h
+        assert h + identity == h
+
+    def test_double_matches_add(self):
+        h = g2_generator()
+        assert h.double() == h + h
+
+    def test_scalar_multiplication(self):
+        h = g2_generator()
+        assert h * 6 == h + h + h + h + h + h
+        assert (h * FR_MODULUS).is_identity()
+
+    def test_negation(self):
+        h = g2_generator()
+        assert (h + h.negate()).is_identity()
+
+    def test_subgroup_membership_of_multiples(self):
+        h = g2_generator() * 987654321
+        assert h.is_on_curve()

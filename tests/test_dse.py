@@ -1,0 +1,125 @@
+"""Tests for the design-space exploration and Pareto analysis."""
+
+import pytest
+
+from repro.core import (
+    CpuBaseline,
+    DesignSpaceExplorer,
+    WorkloadModel,
+    ZkSpeedConfig,
+    pareto_frontier,
+)
+from repro.core.pareto import dominates
+
+
+@pytest.fixture(scope="module")
+def explorer():
+    return DesignSpaceExplorer(WorkloadModel(num_vars=20))
+
+
+@pytest.fixture(scope="module")
+def small_sweep(explorer):
+    """A reduced but representative sweep used by several tests."""
+    overrides = {
+        "msm_cores": [1],
+        "msm_pes_per_core": [2, 8, 16],
+        "msm_window_bits": [9],
+        "msm_points_per_pe": [2048],
+        "fracmle_pes": [1],
+        "sumcheck_pes": [1, 2, 8],
+        "mle_update_pes": [4, 11],
+        "mle_update_modmuls_per_pe": [4],
+        "bandwidth_gbs": [256.0, 512.0, 2048.0],
+    }
+    return explorer.sweep(overrides=overrides, max_points=None)
+
+
+class TestParetoFrontier:
+    def test_frontier_of_simple_points(self):
+        points = [(1.0, 10.0), (2.0, 5.0), (3.0, 6.0), (4.0, 1.0), (2.5, 4.0)]
+        frontier = pareto_frontier(points, cost_x=lambda p: p[0], cost_y=lambda p: p[1])
+        assert frontier == [(1.0, 10.0), (2.0, 5.0), (2.5, 4.0), (4.0, 1.0)]
+
+    def test_frontier_empty(self):
+        assert pareto_frontier([], cost_x=lambda p: p, cost_y=lambda p: p) == []
+
+    def test_no_frontier_point_is_dominated(self, small_sweep, explorer):
+        frontier = explorer.pareto(small_sweep)
+        for candidate in frontier:
+            assert not any(
+                dominates(other, candidate, lambda p: p.runtime_ms, lambda p: p.area_mm2)
+                for other in small_sweep
+                if other is not candidate
+            )
+
+    def test_dominates_helper(self):
+        a, b = (1.0, 1.0), (2.0, 2.0)
+        assert dominates(a, b, lambda p: p[0], lambda p: p[1])
+        assert not dominates(b, a, lambda p: p[0], lambda p: p[1])
+        assert not dominates(a, a, lambda p: p[0], lambda p: p[1])
+
+
+class TestSweep:
+    def test_sweep_size(self, small_sweep):
+        assert len(small_sweep) == 3 * 3 * 2 * 3
+
+    def test_points_have_positive_metrics(self, small_sweep):
+        for point in small_sweep:
+            assert point.runtime_ms > 0
+            assert point.area_mm2 > point.compute_area_mm2 > 0
+
+    def test_per_bandwidth_pareto_keys(self, small_sweep, explorer):
+        curves = explorer.per_bandwidth_pareto(small_sweep)
+        assert set(curves) == {256.0, 512.0, 2048.0}
+        assert all(len(curve) >= 1 for curve in curves.values())
+
+    def test_high_bandwidth_frontier_reaches_lower_runtime(self, small_sweep, explorer):
+        """Figure 9: HBM3-scale bandwidth extends the frontier to faster designs."""
+        curves = explorer.per_bandwidth_pareto(small_sweep)
+        fastest_512 = min(p.runtime_ms for p in curves[512.0])
+        fastest_2048 = min(p.runtime_ms for p in curves[2048.0])
+        assert fastest_2048 <= fastest_512
+
+    def test_global_pareto_subset_of_union(self, small_sweep, explorer):
+        frontier = explorer.global_pareto(small_sweep)
+        assert set(id(p) for p in frontier) <= set(id(p) for p in small_sweep)
+
+    def test_best_under_area(self, small_sweep, explorer):
+        best = explorer.best_under_area(small_sweep, area_budget_mm2=300.0)
+        assert best is not None
+        assert best.area_mm2 <= 300.0
+        # It is the fastest among eligible points.
+        eligible = [p for p in small_sweep if p.area_mm2 <= 300.0]
+        assert best.runtime_ms == min(p.runtime_ms for p in eligible)
+
+    def test_best_under_area_compute_only(self, small_sweep, explorer):
+        best = explorer.best_under_area(
+            small_sweep, area_budget_mm2=296.0, use_compute_area=True
+        )
+        assert best is not None
+        assert best.compute_area_mm2 <= 296.0
+
+    def test_best_under_tiny_budget_is_none(self, small_sweep, explorer):
+        assert explorer.best_under_area(small_sweep, area_budget_mm2=1.0) is None
+
+    def test_fastest_per_bandwidth(self, small_sweep, explorer):
+        fastest = explorer.fastest_per_bandwidth(small_sweep)
+        assert set(fastest) == {256.0, 512.0, 2048.0}
+        # Higher-bandwidth best designs are at least as fast.
+        assert fastest[2048.0].runtime_ms <= fastest[256.0].runtime_ms
+
+    def test_speedup_uses_cpu_baseline(self, small_sweep, explorer):
+        cpu = CpuBaseline()
+        point = small_sweep[0]
+        assert explorer.speedup(point) == pytest.approx(
+            cpu.runtime_ms(20) / point.runtime_ms
+        )
+
+    def test_default_sweep_is_decimated(self, explorer):
+        points = explorer.sweep(max_points=50)
+        assert 0 < len(points) <= 50
+
+    def test_evaluate_single_config(self, explorer):
+        point = explorer.evaluate(ZkSpeedConfig.paper_default())
+        assert point.bandwidth_gbs == 2048.0
+        assert point.report.total_runtime_ms == pytest.approx(point.runtime_ms)

@@ -1,0 +1,155 @@
+"""Tests for the Fq2 / Fq6 / Fq12 extension-field tower."""
+
+import random
+
+import pytest
+
+from repro.fields.bls12_381 import FQ_MODULUS
+from repro.fields.extensions import Fq2Element, Fq6Element, Fq12Element
+
+
+def random_fq2(rng):
+    return Fq2Element(rng.randrange(FQ_MODULUS), rng.randrange(FQ_MODULUS))
+
+
+def random_fq6(rng):
+    return Fq6Element(random_fq2(rng), random_fq2(rng), random_fq2(rng))
+
+
+def random_fq12(rng):
+    return Fq12Element(random_fq6(rng), random_fq6(rng))
+
+
+class TestFq2:
+    def test_basic_identities(self):
+        one, zero = Fq2Element.one(), Fq2Element.zero()
+        assert zero.is_zero()
+        assert not one.is_zero()
+        assert one * one == one
+        assert one + zero == one
+
+    def test_u_squared_is_minus_one(self):
+        u = Fq2Element(0, 1)
+        assert u * u == Fq2Element(FQ_MODULUS - 1, 0)
+
+    def test_mul_matches_square(self):
+        rng = random.Random(1)
+        for _ in range(5):
+            a = random_fq2(rng)
+            assert a.square() == a * a
+
+    def test_inverse(self):
+        rng = random.Random(2)
+        for _ in range(5):
+            a = random_fq2(rng)
+            if a.is_zero():
+                continue
+            assert a * a.inverse() == Fq2Element.one()
+
+    def test_inverse_of_zero_raises(self):
+        with pytest.raises(ZeroDivisionError):
+            Fq2Element.zero().inverse()
+
+    def test_conjugate_norm(self):
+        rng = random.Random(3)
+        a = random_fq2(rng)
+        norm = a * a.conjugate()
+        # The norm lies in the base field (imaginary part zero).
+        assert norm.c1 == 0
+
+    def test_nonresidue_multiplication(self):
+        a = Fq2Element(3, 5)
+        assert a.mul_by_nonresidue() == a * Fq2Element(1, 1)
+
+    def test_scalar_multiplication(self):
+        a = Fq2Element(3, 5)
+        assert a * 4 == a + a + a + a
+        assert 4 * a == a * 4
+
+    def test_distributivity(self):
+        rng = random.Random(4)
+        a, b, c = (random_fq2(rng) for _ in range(3))
+        assert a * (b + c) == a * b + a * c
+
+
+class TestFq6:
+    def test_identities(self):
+        one = Fq6Element.one()
+        zero = Fq6Element.zero()
+        assert zero.is_zero()
+        assert one * one == one
+        assert (one + zero) - zero == one
+
+    def test_associativity_and_commutativity(self):
+        rng = random.Random(5)
+        a, b, c = (random_fq6(rng) for _ in range(3))
+        assert a * b == b * a
+        assert (a * b) * c == a * (b * c)
+
+    def test_inverse(self):
+        rng = random.Random(6)
+        a = random_fq6(rng)
+        assert a * a.inverse() == Fq6Element.one()
+
+    def test_v_cubed_is_nonresidue(self):
+        v = Fq6Element(Fq2Element.zero(), Fq2Element.one(), Fq2Element.zero())
+        v3 = v * v * v
+        expected = Fq6Element(Fq2Element(1, 1), Fq2Element.zero(), Fq2Element.zero())
+        assert v3 == expected
+
+    def test_mul_by_nonresidue_is_mul_by_v(self):
+        rng = random.Random(7)
+        a = random_fq6(rng)
+        v = Fq6Element(Fq2Element.zero(), Fq2Element.one(), Fq2Element.zero())
+        assert a.mul_by_nonresidue() == a * v
+
+    def test_frobenius_is_field_automorphism(self):
+        rng = random.Random(8)
+        a, b = random_fq6(rng), random_fq6(rng)
+        assert (a * b).frobenius() == a.frobenius() * b.frobenius()
+        assert (a + b).frobenius() == a.frobenius() + b.frobenius()
+
+
+class TestFq12:
+    def test_identities(self):
+        one = Fq12Element.one()
+        assert one.is_one()
+        assert one * one == one
+
+    def test_inverse(self):
+        rng = random.Random(9)
+        a = random_fq12(rng)
+        assert a * a.inverse() == Fq12Element.one()
+
+    def test_w_squared_is_v(self):
+        w = Fq12Element(Fq6Element.zero(), Fq6Element.one())
+        v_in_fq12 = Fq12Element(
+            Fq6Element(Fq2Element.zero(), Fq2Element.one(), Fq2Element.zero()),
+            Fq6Element.zero(),
+        )
+        assert w * w == v_in_fq12
+
+    def test_pow(self):
+        rng = random.Random(10)
+        a = random_fq12(rng)
+        assert a.pow(0) == Fq12Element.one()
+        assert a.pow(3) == a * a * a
+        assert a.pow(-1) == a.inverse()
+
+    def test_frobenius_order_twelve(self):
+        rng = random.Random(11)
+        a = random_fq12(rng)
+        result = a
+        for _ in range(12):
+            result = result.frobenius()
+        assert result == a
+
+    def test_frobenius_matches_q_power(self):
+        rng = random.Random(12)
+        a = random_fq12(rng)
+        assert a.frobenius() == a.pow(FQ_MODULUS)
+
+    def test_conjugate_multiplication(self):
+        rng = random.Random(13)
+        a, b = random_fq12(rng), random_fq12(rng)
+        assert (a * b).conjugate() == a.conjugate() * b.conjugate()

@@ -1,0 +1,193 @@
+"""Tests for the prime-field arithmetic layer."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.fields import Fr, Fq, FR_MODULUS, FQ_MODULUS
+from repro.fields.field import FieldElement, FieldMismatchError, PrimeField, dot_product
+
+fr_values = st.integers(min_value=0, max_value=FR_MODULUS - 1)
+
+
+class TestPrimeFieldConstruction:
+    def test_moduli_bit_lengths(self):
+        assert FR_MODULUS.bit_length() == 255
+        assert FQ_MODULUS.bit_length() == 381
+
+    def test_modulus_must_be_at_least_two(self):
+        with pytest.raises(ValueError):
+            PrimeField(1)
+
+    def test_element_reduction(self):
+        assert Fr(FR_MODULUS) == Fr(0)
+        assert Fr(FR_MODULUS + 5) == Fr(5)
+        assert Fr(-1) == Fr(FR_MODULUS - 1)
+
+    def test_coerce_existing_element(self):
+        a = Fr(10)
+        assert Fr(a) is a
+
+    def test_cross_field_coercion_rejected(self):
+        with pytest.raises(FieldMismatchError):
+            Fq(Fr(3))
+
+    def test_from_bytes_round_trip(self):
+        a = Fr(123456789)
+        assert Fr.from_bytes(a.to_bytes()) == a
+
+    def test_zero_one_singletons(self):
+        assert Fr.zero().is_zero()
+        assert Fr.one().is_one()
+        assert Fr.zero() + Fr.one() == Fr.one()
+
+    def test_random_in_range(self):
+        rng = random.Random(1)
+        for _ in range(20):
+            value = Fr.random(rng)
+            assert 0 <= value.value < FR_MODULUS
+
+    def test_elements_vectorized(self):
+        elements = Fr.elements([1, 2, 3])
+        assert elements == [Fr(1), Fr(2), Fr(3)]
+
+    def test_contains(self):
+        assert Fr(5) in Fr
+        assert Fq(5) not in Fr
+
+    def test_repr_mentions_name(self):
+        assert "Fr" in repr(Fr)
+        assert "Fr" in repr(Fr(7))
+
+
+class TestFieldArithmetic:
+    def test_add_sub_inverse_relationship(self):
+        a, b = Fr(17), Fr(23)
+        assert (a + b) - b == a
+        assert a - a == Fr.zero()
+
+    def test_mixed_int_operations(self):
+        a = Fr(10)
+        assert a + 5 == Fr(15)
+        assert 5 + a == Fr(15)
+        assert a - 3 == Fr(7)
+        assert 3 - a == Fr(-7)
+        assert a * 2 == Fr(20)
+        assert 2 * a == Fr(20)
+
+    def test_negation(self):
+        a = Fr(42)
+        assert a + (-a) == Fr.zero()
+        assert -Fr.zero() == Fr.zero()
+
+    def test_division_and_inverse(self):
+        a, b = Fr(99), Fr(101)
+        assert (a / b) * b == a
+        assert a * a.inverse() == Fr.one()
+
+    def test_division_by_zero(self):
+        with pytest.raises(ZeroDivisionError):
+            Fr(1) / Fr(0)
+        with pytest.raises(ZeroDivisionError):
+            Fr(0).inverse()
+
+    def test_rtruediv(self):
+        a = Fr(7)
+        assert (3 / a) * a == Fr(3)
+
+    def test_pow(self):
+        a = Fr(3)
+        assert a**0 == Fr.one()
+        assert a**5 == Fr(243)
+        assert a**-1 == a.inverse()
+
+    def test_fermat_little_theorem(self):
+        a = Fr(123456)
+        assert a ** (FR_MODULUS - 1) == Fr.one()
+
+    def test_square_and_double(self):
+        a = Fr(9)
+        assert a.square() == a * a
+        assert a.double() == a + a
+
+    def test_sqrt_of_square(self):
+        a = Fr(987654321)
+        root = (a * a).sqrt()
+        assert root is not None
+        assert root * root == a * a
+
+    def test_sqrt_of_non_residue_is_none(self):
+        # Find a quadratic non-residue and check sqrt returns None.
+        for candidate in range(2, 50):
+            value = Fr(candidate)
+            if pow(candidate, (FR_MODULUS - 1) // 2, FR_MODULUS) == FR_MODULUS - 1:
+                assert value.sqrt() is None
+                break
+        else:
+            pytest.fail("no non-residue found in range")
+
+    def test_sqrt_base_field_p_mod_4_is_3(self):
+        # Fq has q = 3 mod 4, exercising the fast square-root branch.
+        assert FQ_MODULUS % 4 == 3
+        a = Fq(5)
+        square = a * a
+        root = square.sqrt()
+        assert root is not None and root * root == square
+
+    def test_hash_and_equality(self):
+        assert hash(Fr(5)) == hash(Fr(5))
+        assert Fr(5) == 5
+        assert Fr(5) != Fr(6)
+        assert Fr(5) != "5"
+
+    def test_bool_and_int_conversions(self):
+        assert not Fr(0)
+        assert Fr(1)
+        assert int(Fr(77)) == 77
+        assert list(range(3))[Fr(2)] == 2  # __index__
+
+    def test_dot_product(self):
+        scalars = Fr.elements([1, 2, 3])
+        values = Fr.elements([4, 5, 6])
+        assert dot_product(scalars, values) == Fr(32)
+
+    def test_dot_product_validation(self):
+        with pytest.raises(ValueError):
+            dot_product(Fr.elements([1]), Fr.elements([1, 2]))
+        with pytest.raises(ValueError):
+            dot_product([], [])
+
+
+class TestFieldProperties:
+    """Algebraic laws checked with hypothesis."""
+
+    @settings(max_examples=25, deadline=None)
+    @given(a=fr_values, b=fr_values, c=fr_values)
+    def test_ring_axioms(self, a, b, c):
+        x, y, z = Fr(a), Fr(b), Fr(c)
+        assert x + y == y + x
+        assert x * y == y * x
+        assert (x + y) + z == x + (y + z)
+        assert (x * y) * z == x * (y * z)
+        assert x * (y + z) == x * y + x * z
+
+    @settings(max_examples=25, deadline=None)
+    @given(a=fr_values)
+    def test_additive_and_multiplicative_identities(self, a):
+        x = Fr(a)
+        assert x + Fr.zero() == x
+        assert x * Fr.one() == x
+        assert x * Fr.zero() == Fr.zero()
+
+    @settings(max_examples=25, deadline=None)
+    @given(a=st.integers(min_value=1, max_value=FR_MODULUS - 1))
+    def test_inverse_round_trip(self, a):
+        x = Fr(a)
+        assert x * x.inverse() == Fr.one()
+
+    @settings(max_examples=25, deadline=None)
+    @given(a=fr_values, b=fr_values)
+    def test_subtraction_is_additive_inverse(self, a, b):
+        x, y = Fr(a), Fr(b)
+        assert x - y == x + (-y)

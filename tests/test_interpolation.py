@@ -1,0 +1,88 @@
+"""Tests for univariate evaluation-form helpers (barycentric interpolation)."""
+
+import random
+
+import pytest
+
+from repro.fields import Fr
+from repro.sumcheck.interpolation import (
+    evaluate_from_evaluations,
+    extrapolate_evaluations,
+    lagrange_coefficients_at,
+)
+
+
+def poly_eval(coefficients, x: Fr) -> Fr:
+    acc = Fr(0)
+    for coeff in reversed(coefficients):
+        acc = acc * x + coeff
+    return acc
+
+
+@pytest.fixture()
+def rng():
+    return random.Random(31)
+
+
+class TestEvaluateFromEvaluations:
+    def test_node_points_returned_directly(self):
+        evals = Fr.elements([10, 20, 30])
+        for i, value in enumerate(evals):
+            assert evaluate_from_evaluations(evals, Fr(i)) == value
+
+    def test_matches_coefficient_evaluation(self, rng):
+        for degree in range(1, 6):
+            coefficients = [Fr.random(rng) for _ in range(degree + 1)]
+            evals = [poly_eval(coefficients, Fr(i)) for i in range(degree + 1)]
+            for _ in range(3):
+                x = Fr.random(rng)
+                assert evaluate_from_evaluations(evals, x) == poly_eval(coefficients, x)
+
+    def test_constant_polynomial(self, rng):
+        x = Fr.random(rng)
+        assert evaluate_from_evaluations([Fr(42)], x) == Fr(42)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            evaluate_from_evaluations([], Fr(1))
+
+
+class TestExtrapolation:
+    def test_extends_degree_correctly(self, rng):
+        coefficients = [Fr.random(rng) for _ in range(3)]  # degree 2
+        evals = [poly_eval(coefficients, Fr(i)) for i in range(3)]
+        extended = extrapolate_evaluations(evals, 6)
+        assert len(extended) == 6
+        for i, value in enumerate(extended):
+            assert value == poly_eval(coefficients, Fr(i))
+
+    def test_target_smaller_than_input_rejected(self):
+        with pytest.raises(ValueError):
+            extrapolate_evaluations(Fr.elements([1, 2, 3]), 2)
+
+    def test_no_op_extension(self):
+        evals = Fr.elements([4, 5])
+        assert extrapolate_evaluations(evals, 2) == evals
+
+
+class TestLagrangeCoefficients:
+    def test_sum_to_one(self, rng):
+        point = Fr.random(rng)
+        coefficients = lagrange_coefficients_at(5, point)
+        total = Fr(0)
+        for c in coefficients:
+            total = total + c
+        assert total == Fr(1)
+
+    def test_reproduce_barycentric_evaluation(self, rng):
+        evals = [Fr.random(rng) for _ in range(4)]
+        point = Fr.random(rng)
+        coefficients = lagrange_coefficients_at(4, point)
+        combined = Fr(0)
+        for c, v in zip(coefficients, evals):
+            combined = combined + c * v
+        assert combined == evaluate_from_evaluations(evals, point)
+
+    def test_kronecker_delta_at_nodes(self):
+        coefficients = lagrange_coefficients_at(4, Fr(2))
+        assert coefficients == [Fr(0), Fr(0), Fr(1), Fr(0)]

@@ -1,0 +1,103 @@
+"""Tests for constant-time BEEA and Montgomery batch inversion."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.fields import Fr, FR_MODULUS, batch_inverse, beea_inverse, beea_iteration_count
+from repro.fields.inversion import (
+    batch_inverse_multiplication_count,
+    batch_inverse_tree_depth,
+)
+
+
+class TestBeeaInverse:
+    def test_matches_fermat_inverse(self):
+        rng = random.Random(5)
+        for _ in range(10):
+            a = Fr.random(rng)
+            if a.is_zero():
+                continue
+            assert beea_inverse(a) == a.inverse()
+
+    def test_small_values(self):
+        for value in (1, 2, 3, 255, FR_MODULUS - 1):
+            a = Fr(value)
+            assert (beea_inverse(a) * a).is_one()
+
+    def test_zero_rejected(self):
+        with pytest.raises(ZeroDivisionError):
+            beea_inverse(Fr(0))
+
+    def test_iteration_count_matches_paper(self):
+        # 2*W - 1 iterations: 509 cycles for the 255-bit scalar field
+        # (Section 4.4.1 of the paper).
+        assert beea_iteration_count(255) == 509
+        assert beea_iteration_count(381) == 761
+
+    def test_iteration_count_validation(self):
+        with pytest.raises(ValueError):
+            beea_iteration_count(0)
+
+    @settings(max_examples=15, deadline=None)
+    @given(a=st.integers(min_value=1, max_value=FR_MODULUS - 1))
+    def test_beea_property(self, a):
+        element = Fr(a)
+        assert (beea_inverse(element) * element).is_one()
+
+
+class TestBatchInverse:
+    def test_empty_batch(self):
+        assert batch_inverse([]) == []
+
+    def test_single_element(self):
+        assert batch_inverse([Fr(7)]) == [Fr(7).inverse()]
+
+    def test_matches_individual_inverses(self):
+        rng = random.Random(11)
+        elements = [Fr.random(rng) for _ in range(33)]
+        elements = [e if not e.is_zero() else Fr(1) for e in elements]
+        assert batch_inverse(elements) == [e.inverse() for e in elements]
+
+    def test_zero_element_raises_with_index(self):
+        elements = [Fr(1), Fr(2), Fr(0), Fr(4)]
+        with pytest.raises(ZeroDivisionError, match="element 2"):
+            batch_inverse(elements)
+
+    def test_non_power_of_two_batch(self):
+        elements = [Fr(i) for i in range(1, 12)]
+        assert batch_inverse(elements) == [e.inverse() for e in elements]
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        values=st.lists(
+            st.integers(min_value=1, max_value=FR_MODULUS - 1), min_size=1, max_size=20
+        )
+    )
+    def test_batch_property(self, values):
+        elements = [Fr(v) for v in values]
+        result = batch_inverse(elements)
+        for element, inverse in zip(elements, result):
+            assert (element * inverse).is_one()
+
+
+class TestBatchingCostModel:
+    def test_multiplication_count(self):
+        # 3*(b-1) sequential multiplications in the textbook scheme.
+        assert batch_inverse_multiplication_count(1) == 0
+        assert batch_inverse_multiplication_count(64) == 189
+
+    def test_multiplication_count_validation(self):
+        with pytest.raises(ValueError):
+            batch_inverse_multiplication_count(0)
+
+    def test_tree_depth(self):
+        assert batch_inverse_tree_depth(1) == 0
+        assert batch_inverse_tree_depth(2) == 1
+        assert batch_inverse_tree_depth(64) == 6
+        assert batch_inverse_tree_depth(65) == 7
+
+    def test_tree_depth_validation(self):
+        with pytest.raises(ValueError):
+            batch_inverse_tree_depth(0)

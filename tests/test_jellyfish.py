@@ -1,0 +1,65 @@
+"""Tests for the Jellyfish (high-arity gate) extension study."""
+
+import pytest
+
+from repro.core.jellyfish import (
+    JellyfishEncoding,
+    arity_sweep,
+    estimate_jellyfish,
+)
+
+
+class TestEncoding:
+    def test_arity_two_matches_baseline_shape(self):
+        encoding = JellyfishEncoding(baseline_num_vars=20, arity=2)
+        assert encoding.num_vars == 20
+        assert encoding.witness_columns == 3
+
+    def test_higher_arity_shrinks_problem_size(self):
+        assert JellyfishEncoding(20, arity=4).num_vars < 20
+        assert JellyfishEncoding(20, arity=8).num_vars < JellyfishEncoding(20, arity=4).num_vars
+
+    def test_higher_arity_grows_table_count(self):
+        assert (
+            JellyfishEncoding(20, arity=8).num_mle_tables
+            > JellyfishEncoding(20, arity=2).num_mle_tables
+        )
+
+    def test_total_footprint_shrinks_with_arity(self):
+        """The paper's observation: table size shrinks super-proportionally."""
+        base = JellyfishEncoding(20, arity=2).total_table_entries
+        high = JellyfishEncoding(20, arity=8).total_table_entries
+        assert high < base
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            JellyfishEncoding(20, arity=1)
+        with pytest.raises(ValueError):
+            JellyfishEncoding(20, arity=4, gate_degree=1)
+
+    def test_sumcheck_shape_reflects_degree(self):
+        shape = JellyfishEncoding(20, arity=4, gate_degree=5).sumcheck_shape()
+        assert shape.max_degree == 6
+        assert shape.num_mles > 10
+
+
+class TestEstimates:
+    def test_estimate_structure(self):
+        estimate = estimate_jellyfish(JellyfishEncoding(18, arity=4))
+        assert estimate.baseline_runtime_ms > 0
+        assert estimate.jellyfish_runtime_ms > 0
+        assert estimate.footprint_ratio < 1.0
+
+    def test_moderate_arity_improves_runtime(self):
+        """With sufficient bandwidth, higher arity should reduce runtime
+        (fewer gates outweigh the extra tables) -- the paper's conjecture."""
+        estimate = estimate_jellyfish(JellyfishEncoding(20, arity=4))
+        assert estimate.runtime_ratio < 1.0
+
+    def test_arity_sweep(self):
+        estimates = arity_sweep(baseline_num_vars=18, arities=(2, 4, 8))
+        assert len(estimates) == 3
+        assert estimates[0].encoding.arity == 2
+        # Footprint decreases monotonically with arity in the sweep.
+        footprints = [e.jellyfish_table_entries for e in estimates]
+        assert footprints == sorted(footprints, reverse=True)

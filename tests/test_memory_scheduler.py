@@ -1,0 +1,156 @@
+"""Tests for the memory model and the protocol-step scheduler."""
+
+import pytest
+
+from repro.core import WorkloadModel, ZkSpeedConfig
+from repro.core.memory import MemoryModel
+from repro.core.scheduler import Phase, ProtocolScheduler, StepTiming
+
+CONFIG = ZkSpeedConfig.paper_default()
+
+
+class TestMemoryModel:
+    def test_compression_ratio_matches_section_4_6(self):
+        """On-chip MLE compression saves 10-11x across problem sizes."""
+        memory = MemoryModel(CONFIG)
+        for num_vars in (17, 20, 23):
+            plan = memory.plan(num_vars)
+            assert 9.0 <= plan.compression_ratio <= 13.0
+
+    def test_compression_disabled(self):
+        memory = MemoryModel(ZkSpeedConfig(mle_compression=False))
+        plan = memory.plan(20)
+        assert plan.compression_ratio == 1.0
+        assert plan.global_sram_mb == pytest.approx(8 * (1 << 20) * 32 / 1e6, rel=0.01)
+
+    def test_streaming_only_configuration(self):
+        memory = MemoryModel(ZkSpeedConfig(store_input_mles_on_chip=False))
+        plan = memory.plan(20)
+        assert plan.global_sram_mb < 1.0
+
+    def test_sram_grows_with_problem_size(self):
+        memory = MemoryModel(CONFIG)
+        assert memory.sram_area_mm2(23) > 6 * memory.sram_area_mm2(20)
+
+    def test_phy_plan_selection(self):
+        assert MemoryModel(ZkSpeedConfig(bandwidth_gbs=128.0)).plan(20).phy_kind == "ddr"
+        assert MemoryModel(ZkSpeedConfig(bandwidth_gbs=512.0)).plan(20).phy_kind == "hbm2"
+        plan = MemoryModel(ZkSpeedConfig(bandwidth_gbs=4096.0)).plan(20)
+        assert plan.phy_kind == "hbm3" and plan.phy_count == 4
+
+    def test_memory_cycles(self):
+        memory = MemoryModel(ZkSpeedConfig(bandwidth_gbs=1024.0))
+        assert memory.memory_cycles(1024.0) == pytest.approx(1.0)
+        assert memory.memory_cycles(0.0) == 0.0
+
+    def test_power_positive(self):
+        memory = MemoryModel(CONFIG)
+        assert memory.sram_power_w(20) > 0
+        assert memory.phy_power_w() > 0
+
+
+class TestPhaseAndStepTiming:
+    def test_phase_latency_is_max_of_compute_and_memory(self):
+        phase = Phase("x", compute_cycles=100.0, memory_bytes=2048.0)
+        assert phase.latency(1024.0) == pytest.approx(100.0)
+        assert phase.latency(10.0) == pytest.approx(204.8)
+
+    def test_step_totals_sum_phase_latencies(self):
+        step = StepTiming(
+            name="s",
+            phases=[
+                Phase("a", 100.0, 0.0),
+                Phase("b", 10.0, 10_000.0),
+            ],
+            bandwidth_bytes_per_cycle=100.0,
+        )
+        assert step.compute_cycles == 110.0
+        assert step.memory_cycles == 100.0
+        assert step.total_cycles == pytest.approx(200.0)
+        assert not step.is_memory_bound
+
+    def test_memory_bound_flag(self):
+        step = StepTiming(
+            name="s",
+            phases=[Phase("a", 10.0, 10_000.0)],
+            bandwidth_bytes_per_cycle=10.0,
+        )
+        assert step.is_memory_bound
+
+
+class TestScheduler:
+    def test_schedule_has_five_steps_in_order(self):
+        scheduler = ProtocolScheduler(CONFIG)
+        steps = scheduler.schedule(WorkloadModel(num_vars=20))
+        assert [s.name for s in steps] == [
+            "witness_commits",
+            "gate_identity",
+            "wire_identity",
+            "batch_evaluations",
+            "poly_open",
+        ]
+        assert all(s.total_cycles > 0 for s in steps)
+
+    def test_wire_identity_dominates_runtime(self):
+        """Figure 12b: Wire Identity is the largest step on zkSpeed."""
+        scheduler = ProtocolScheduler(CONFIG)
+        steps = scheduler.schedule(WorkloadModel(num_vars=20))
+        by_name = {s.name: s.total_cycles for s in steps}
+        assert by_name["wire_identity"] == max(by_name.values())
+
+    def test_runtime_scales_roughly_linearly_with_problem_size(self):
+        scheduler = ProtocolScheduler(CONFIG)
+        small = sum(s.total_cycles for s in scheduler.schedule(WorkloadModel(num_vars=18)))
+        large = sum(s.total_cycles for s in scheduler.schedule(WorkloadModel(num_vars=21)))
+        assert large / small == pytest.approx(8.0, rel=0.25)
+
+    def test_more_bandwidth_never_hurts(self):
+        workload = WorkloadModel(num_vars=20)
+        runtimes = []
+        for bandwidth in (64.0, 256.0, 1024.0, 4096.0):
+            scheduler = ProtocolScheduler(ZkSpeedConfig(bandwidth_gbs=bandwidth))
+            runtimes.append(sum(s.total_cycles for s in scheduler.schedule(workload)))
+        assert runtimes == sorted(runtimes, reverse=True)
+
+    def test_low_bandwidth_makes_sumcheck_steps_memory_bound(self):
+        workload = WorkloadModel(num_vars=20)
+        low = ProtocolScheduler(ZkSpeedConfig(bandwidth_gbs=64.0)).gate_identity_step(workload)
+        high = ProtocolScheduler(ZkSpeedConfig(bandwidth_gbs=4096.0, sumcheck_pes=1)).gate_identity_step(workload)
+        assert low.is_memory_bound
+        assert not high.is_memory_bound
+
+    def test_more_msm_pes_speed_up_witness_commits(self):
+        workload = WorkloadModel(num_vars=20)
+        slow = ProtocolScheduler(ZkSpeedConfig(msm_pes_per_core=1)).witness_commit_step(workload)
+        fast = ProtocolScheduler(ZkSpeedConfig(msm_pes_per_core=16)).witness_commit_step(workload)
+        assert slow.total_cycles > 5 * fast.total_cycles
+
+    def test_msm_step_insensitive_to_bandwidth_at_high_compute(self):
+        """MSMs are compute-bound (Figure 11): bandwidth barely changes them."""
+        workload = WorkloadModel(num_vars=20)
+        low_bw = ProtocolScheduler(
+            ZkSpeedConfig(msm_pes_per_core=4, bandwidth_gbs=512.0)
+        ).witness_commit_step(workload)
+        high_bw = ProtocolScheduler(
+            ZkSpeedConfig(msm_pes_per_core=4, bandwidth_gbs=4096.0)
+        ).witness_commit_step(workload)
+        assert low_bw.total_cycles == pytest.approx(high_bw.total_cycles, rel=0.10)
+
+    def test_mle_compression_reduces_traffic(self):
+        workload = WorkloadModel(num_vars=20)
+        with_compression = ProtocolScheduler(ZkSpeedConfig(mle_compression=True)).schedule(workload)
+        without = ProtocolScheduler(
+            ZkSpeedConfig(mle_compression=False, store_input_mles_on_chip=False)
+        ).schedule(workload)
+        assert sum(s.memory_bytes for s in with_compression) < sum(
+            s.memory_bytes for s in without
+        )
+
+    def test_unit_busy_cycles_recorded(self):
+        scheduler = ProtocolScheduler(CONFIG)
+        steps = scheduler.schedule(WorkloadModel(num_vars=18))
+        busy_units = set()
+        for step in steps:
+            busy_units.update(step.unit_busy_cycles)
+        assert {"msm", "sumcheck", "mle_update", "multifunction_tree", "fracmle",
+                "construct_nd", "mle_combine", "sha3"} <= busy_units

@@ -1,0 +1,185 @@
+"""Tests for dense multilinear-extension tables."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.fields import Fr, FR_MODULUS
+from repro.mle import MultilinearPolynomial, eq_eval, eq_mle
+
+small_field_values = st.integers(min_value=0, max_value=FR_MODULUS - 1)
+
+
+class TestConstruction:
+    def test_length_validation(self):
+        with pytest.raises(ValueError):
+            MultilinearPolynomial(2, [Fr(1)] * 3)
+        with pytest.raises(ValueError):
+            MultilinearPolynomial(-1, [])
+
+    def test_from_ints_and_constant(self):
+        mle = MultilinearPolynomial.from_ints(2, [1, 2, 3, 4])
+        assert mle[3] == Fr(4)
+        const = MultilinearPolynomial.constant(3, Fr(9))
+        assert all(v == Fr(9) for v in const)
+        assert MultilinearPolynomial.zero(2).is_zero()
+
+    def test_from_function(self):
+        mle = MultilinearPolynomial.from_function(
+            3, lambda bits: Fr(bits[0] + 2 * bits[1] + 4 * bits[2])
+        )
+        # Index i encodes x1 as the least-significant bit.
+        for i in range(8):
+            assert mle[i] == Fr(i)
+
+    def test_random_and_clone(self):
+        rng = random.Random(0)
+        mle = MultilinearPolynomial.random(3, rng)
+        copy = mle.clone()
+        assert copy == mle
+        copy.evaluations[0] = copy.evaluations[0] + Fr(1)
+        assert copy != mle
+
+    def test_len_iter_getitem(self):
+        mle = MultilinearPolynomial.from_ints(2, [5, 6, 7, 8])
+        assert len(mle) == 4
+        assert list(mle) == Fr.elements([5, 6, 7, 8])
+
+
+class TestEvaluation:
+    def test_boolean_point_evaluation_matches_table(self):
+        rng = random.Random(1)
+        mle = MultilinearPolynomial.random(4, rng)
+        for index in range(16):
+            point = [Fr((index >> k) & 1) for k in range(4)]
+            assert mle.evaluate(point) == mle[index]
+
+    def test_wrong_point_length(self):
+        mle = MultilinearPolynomial.zero(3)
+        with pytest.raises(ValueError):
+            mle.evaluate([Fr(1)] * 2)
+
+    def test_multilinearity_in_each_variable(self):
+        rng = random.Random(2)
+        mle = MultilinearPolynomial.random(3, rng)
+        point = [Fr.random(rng) for _ in range(3)]
+        for var in range(3):
+            p0 = list(point)
+            p1 = list(point)
+            pt = list(point)
+            p0[var] = Fr(0)
+            p1[var] = Fr(1)
+            t = Fr.random(rng)
+            pt[var] = t
+            expected = (Fr(1) - t) * mle.evaluate(p0) + t * mle.evaluate(p1)
+            assert mle.evaluate(pt) == expected
+
+    def test_fix_first_variable_matches_paper_equation_2(self):
+        rng = random.Random(3)
+        mle = MultilinearPolynomial.random(3, rng)
+        r = Fr.random(rng)
+        fixed = mle.fix_first_variable(r)
+        for i in range(4):
+            expected = (mle[2 * i + 1] - mle[2 * i]) * r + mle[2 * i]
+            assert fixed[i] == expected
+
+    def test_fix_variables_consistent_with_evaluate(self):
+        rng = random.Random(4)
+        mle = MultilinearPolynomial.random(5, rng)
+        point = [Fr.random(rng) for _ in range(5)]
+        partially = mle.fix_variables(point[:3])
+        assert partially.num_vars == 2
+        assert partially.evaluate(point[3:]) == mle.evaluate(point)
+
+    def test_fix_variable_of_constant_polynomial(self):
+        with pytest.raises(ValueError):
+            MultilinearPolynomial(0, [Fr(3)]).fix_first_variable(Fr(1))
+
+    def test_sum_over_hypercube(self):
+        mle = MultilinearPolynomial.from_ints(3, list(range(8)))
+        assert mle.sum_over_hypercube() == Fr(28)
+
+    @settings(max_examples=10, deadline=None)
+    @given(
+        values=st.lists(small_field_values, min_size=8, max_size=8),
+        point=st.lists(small_field_values, min_size=3, max_size=3),
+    )
+    def test_evaluate_matches_explicit_multilinear_formula(self, values, point):
+        mle = MultilinearPolynomial.from_ints(3, values)
+        z = [Fr(p) for p in point]
+        expected = Fr(0)
+        for index, value in enumerate(values):
+            weight = Fr(1)
+            for k in range(3):
+                bit = (index >> k) & 1
+                weight = weight * (z[k] if bit else Fr(1) - z[k])
+            expected = expected + weight * Fr(value)
+        assert mle.evaluate(z) == expected
+
+
+class TestTableArithmetic:
+    def test_add_sub_neg_scale(self):
+        rng = random.Random(5)
+        a = MultilinearPolynomial.random(3, rng)
+        b = MultilinearPolynomial.random(3, rng)
+        point = [Fr.random(rng) for _ in range(3)]
+        assert (a + b).evaluate(point) == a.evaluate(point) + b.evaluate(point)
+        assert (a - b).evaluate(point) == a.evaluate(point) - b.evaluate(point)
+        assert (-a).evaluate(point) == -(a.evaluate(point))
+        assert a.scale(Fr(7)).evaluate(point) == Fr(7) * a.evaluate(point)
+
+    def test_hadamard_on_boolean_points_only(self):
+        rng = random.Random(6)
+        a = MultilinearPolynomial.random(2, rng)
+        b = MultilinearPolynomial.random(2, rng)
+        product = a.hadamard(b)
+        for i in range(4):
+            assert product[i] == a[i] * b[i]
+
+    def test_incompatible_sizes(self):
+        a = MultilinearPolynomial.zero(2)
+        b = MultilinearPolynomial.zero(3)
+        with pytest.raises(ValueError):
+            _ = a + b
+
+    def test_sparsity_profile(self):
+        mle = MultilinearPolynomial.from_ints(2, [0, 1, 1, 5])
+        profile = mle.sparsity_profile()
+        assert profile == {"zeros": 1, "ones": 2, "dense": 1}
+
+
+class TestEqPolynomial:
+    def test_eq_eval_definition(self):
+        x = Fr.elements([1, 0])
+        y = Fr.elements([1, 0])
+        assert eq_eval(x, y) == Fr(1)
+        assert eq_eval(x, Fr.elements([0, 0])) == Fr(0)
+
+    def test_eq_eval_length_mismatch(self):
+        with pytest.raises(ValueError):
+            eq_eval(Fr.elements([1]), Fr.elements([1, 0]))
+
+    def test_eq_mle_matches_eq_eval_on_boolean_points(self):
+        rng = random.Random(7)
+        point = [Fr.random(rng) for _ in range(4)]
+        table = eq_mle(point)
+        for index in range(16):
+            boolean = [Fr((index >> k) & 1) for k in range(4)]
+            assert table[index] == eq_eval(point, boolean)
+
+    def test_eq_mle_evaluation_anywhere(self):
+        rng = random.Random(8)
+        point = [Fr.random(rng) for _ in range(5)]
+        other = [Fr.random(rng) for _ in range(5)]
+        assert eq_mle(point).evaluate(other) == eq_eval(point, other)
+
+    def test_eq_mle_sums_to_one(self):
+        rng = random.Random(9)
+        point = [Fr.random(rng) for _ in range(6)]
+        assert eq_mle(point).sum_over_hypercube() == Fr(1)
+
+    def test_eq_mle_empty_point(self):
+        table = eq_mle([])
+        assert table.num_vars == 0
+        assert table.evaluations == [Fr(1)]

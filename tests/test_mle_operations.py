@@ -1,0 +1,205 @@
+"""Tests for MLE-level operations mapped to zkSpeed units."""
+
+import random
+
+import pytest
+
+from repro.fields import Fr
+from repro.mle import MultilinearPolynomial
+from repro.mle.operations import (
+    build_eq_table,
+    construct_numerator_denominator,
+    elementwise_product,
+    fraction_mle,
+    linear_combine,
+    prod_check_halves,
+    product_tree_levels,
+    product_tree_mle,
+)
+
+
+@pytest.fixture()
+def rng():
+    return random.Random(23)
+
+
+class TestFractionMle:
+    def test_entrywise_division(self, rng):
+        numerator = MultilinearPolynomial.random(4, rng)
+        denominator = MultilinearPolynomial.from_ints(
+            4, [rng.randrange(1, 1000) for _ in range(16)]
+        )
+        phi = fraction_mle(numerator, denominator, batch_size=4)
+        for n, d, f in zip(numerator, denominator, phi):
+            assert f == n / d
+
+    def test_batch_size_does_not_change_result(self, rng):
+        numerator = MultilinearPolynomial.random(3, rng)
+        denominator = MultilinearPolynomial.from_ints(
+            3, [rng.randrange(1, 99) for _ in range(8)]
+        )
+        results = {
+            batch: fraction_mle(numerator, denominator, batch_size=batch).evaluations
+            for batch in (1, 2, 3, 8, 64)
+        }
+        first = next(iter(results.values()))
+        assert all(value == first for value in results.values())
+
+    def test_size_mismatch_and_bad_batch(self, rng):
+        a = MultilinearPolynomial.random(2, rng)
+        b = MultilinearPolynomial.random(3, rng)
+        with pytest.raises(ValueError):
+            fraction_mle(a, b)
+        with pytest.raises(ValueError):
+            fraction_mle(a, a, batch_size=0)
+
+    def test_zero_denominator_raises(self):
+        numerator = MultilinearPolynomial.from_ints(1, [1, 1])
+        denominator = MultilinearPolynomial.from_ints(1, [1, 0])
+        with pytest.raises(ZeroDivisionError):
+            fraction_mle(numerator, denominator)
+
+
+class TestProductTree:
+    def test_levels_structure(self):
+        values = Fr.elements([1, 2, 3, 4, 5, 6, 7, 8])
+        levels = product_tree_levels(values)
+        assert [len(level) for level in levels] == [8, 4, 2, 1]
+        assert levels[1] == Fr.elements([2, 12, 30, 56])
+        assert levels[-1][0] == Fr(40320)
+
+    def test_levels_require_power_of_two(self):
+        with pytest.raises(ValueError):
+            product_tree_levels(Fr.elements([1, 2, 3]))
+        with pytest.raises(ValueError):
+            product_tree_levels([])
+
+    def test_product_mle_constraint_holds_everywhere(self, rng):
+        phi = MultilinearPolynomial.from_ints(
+            3, [rng.randrange(1, 50) for _ in range(8)]
+        )
+        pi = product_tree_mle(phi)
+        p1, p2 = prod_check_halves(phi, pi)
+        for j in range(8):
+            assert pi[j] == p1[j] * p2[j]
+
+    def test_total_product_location_and_final_zero(self, rng):
+        for mu in (2, 3, 4):
+            phi = MultilinearPolynomial.from_ints(
+                mu, [rng.randrange(1, 50) for _ in range(1 << mu)]
+            )
+            pi = product_tree_mle(phi)
+            total = Fr(1)
+            for value in phi:
+                total = total * value
+            assert pi[(1 << mu) - 2] == total
+            assert pi[(1 << mu) - 1] == Fr(0)
+
+    def test_total_product_as_mle_point(self, rng):
+        mu = 4
+        phi = MultilinearPolynomial.from_ints(
+            mu, [rng.randrange(1, 50) for _ in range(1 << mu)]
+        )
+        pi = product_tree_mle(phi)
+        point = [Fr(0)] + [Fr(1)] * (mu - 1)
+        total = Fr(1)
+        for value in phi:
+            total = total * value
+        assert pi.evaluate(point) == total
+
+    def test_p1_p2_partial_evaluation_identity(self, rng):
+        """p1(r) = (1 - r_mu) phi(0, r') + r_mu pi(0, r') -- the verifier's reconstruction."""
+        mu = 4
+        phi = MultilinearPolynomial.random(mu, rng)
+        pi = product_tree_mle(phi)
+        p1, p2 = prod_check_halves(phi, pi)
+        r = [Fr.random(rng) for _ in range(mu)]
+        r_prefix = r[:-1]
+        one = Fr(1)
+        expected_p1 = (one - r[-1]) * phi.evaluate([Fr(0)] + r_prefix) + r[-1] * pi.evaluate(
+            [Fr(0)] + r_prefix
+        )
+        expected_p2 = (one - r[-1]) * phi.evaluate([Fr(1)] + r_prefix) + r[-1] * pi.evaluate(
+            [Fr(1)] + r_prefix
+        )
+        assert p1.evaluate(r) == expected_p1
+        assert p2.evaluate(r) == expected_p2
+
+    def test_prod_check_halves_size_mismatch(self, rng):
+        with pytest.raises(ValueError):
+            prod_check_halves(
+                MultilinearPolynomial.random(2, rng), MultilinearPolynomial.random(3, rng)
+            )
+
+
+class TestConstructNumeratorDenominator:
+    def test_definition(self, rng):
+        mu = 3
+        witnesses = [MultilinearPolynomial.random(mu, rng) for _ in range(3)]
+        identities = [MultilinearPolynomial.random(mu, rng) for _ in range(3)]
+        sigmas = [MultilinearPolynomial.random(mu, rng) for _ in range(3)]
+        beta, gamma = Fr.random(rng), Fr.random(rng)
+        numerators, denominators = construct_numerator_denominator(
+            witnesses, identities, sigmas, beta, gamma
+        )
+        for col in range(3):
+            for j in range(1 << mu):
+                assert numerators[col][j] == witnesses[col][j] + beta * identities[col][j] + gamma
+                assert denominators[col][j] == witnesses[col][j] + beta * sigmas[col][j] + gamma
+
+    def test_column_count_mismatch(self, rng):
+        mle = MultilinearPolynomial.random(2, rng)
+        with pytest.raises(ValueError):
+            construct_numerator_denominator([mle], [mle, mle], [mle], Fr(1), Fr(2))
+
+    def test_identity_permutation_gives_product_one(self, rng):
+        """With sigma == id the grand product of N/D is trivially one."""
+        mu = 3
+        witnesses = [MultilinearPolynomial.random(mu, rng) for _ in range(3)]
+        identities = [MultilinearPolynomial.random(mu, rng) for _ in range(3)]
+        beta, gamma = Fr.random(rng), Fr.random(rng)
+        numerators, denominators = construct_numerator_denominator(
+            witnesses, identities, identities, beta, gamma
+        )
+        phi = fraction_mle(
+            elementwise_product(numerators), elementwise_product(denominators)
+        )
+        total = Fr(1)
+        for value in phi:
+            total = total * value
+        assert total == Fr(1)
+
+
+class TestLinearCombineAndHelpers:
+    def test_linear_combine(self, rng):
+        mles = [MultilinearPolynomial.random(3, rng) for _ in range(4)]
+        coeffs = [Fr.random(rng) for _ in range(4)]
+        combined = linear_combine(mles, coeffs)
+        point = [Fr.random(rng) for _ in range(3)]
+        expected = Fr(0)
+        for coeff, mle in zip(coeffs, mles):
+            expected = expected + coeff * mle.evaluate(point)
+        assert combined.evaluate(point) == expected
+
+    def test_linear_combine_validation(self, rng):
+        a = MultilinearPolynomial.random(2, rng)
+        b = MultilinearPolynomial.random(3, rng)
+        with pytest.raises(ValueError):
+            linear_combine([a], [Fr(1), Fr(2)])
+        with pytest.raises(ValueError):
+            linear_combine([], [])
+        with pytest.raises(ValueError):
+            linear_combine([a, b], [Fr(1), Fr(1)])
+
+    def test_elementwise_product(self, rng):
+        mles = [MultilinearPolynomial.random(2, rng) for _ in range(3)]
+        product = elementwise_product(mles)
+        for j in range(4):
+            assert product[j] == mles[0][j] * mles[1][j] * mles[2][j]
+        with pytest.raises(ValueError):
+            elementwise_product([])
+
+    def test_build_eq_table_alias(self, rng):
+        point = [Fr.random(rng) for _ in range(3)]
+        table = build_eq_table(point)
+        assert table.sum_over_hypercube() == Fr(1)

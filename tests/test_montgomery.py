@@ -1,0 +1,77 @@
+"""Tests for the Montgomery-arithmetic model."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.fields import FR_MODULUS, FQ_MODULUS, MontgomeryContext
+
+
+class TestMontgomeryContext:
+    def test_rejects_even_modulus(self):
+        with pytest.raises(ValueError):
+            MontgomeryContext(modulus=2 * 17)
+
+    def test_rejects_bad_word_size(self):
+        with pytest.raises(ValueError):
+            MontgomeryContext(modulus=FR_MODULUS, word_bits=0)
+
+    def test_limb_counts_for_bls12_381(self):
+        fr_ctx = MontgomeryContext(FR_MODULUS)
+        fq_ctx = MontgomeryContext(FQ_MODULUS)
+        assert fr_ctx.num_limbs == 4   # 255 bits in 64-bit limbs
+        assert fq_ctx.num_limbs == 6   # 381 bits in 64-bit limbs
+        assert fr_ctx.r_bits == 256
+        assert fq_ctx.r_bits == 384
+
+    def test_n_prime_property(self):
+        ctx = MontgomeryContext(FR_MODULUS)
+        # N * N' == -1 mod R.
+        assert (FR_MODULUS * ctx.n_prime) % ctx.r == ctx.r - 1
+
+    def test_to_from_montgomery_round_trip(self):
+        ctx = MontgomeryContext(FR_MODULUS)
+        for value in (0, 1, 2, FR_MODULUS - 1, 12345678901234567890):
+            mont = ctx.to_montgomery(value % FR_MODULUS)
+            assert ctx.from_montgomery(mont) == value % FR_MODULUS
+
+    def test_redc_range_check(self):
+        ctx = MontgomeryContext(FR_MODULUS)
+        with pytest.raises(ValueError):
+            ctx.redc(-1)
+        with pytest.raises(ValueError):
+            ctx.redc(FR_MODULUS * ctx.r)
+
+    def test_modmul_matches_plain_multiplication(self):
+        ctx = MontgomeryContext(FR_MODULUS)
+        a, b = 0xDEADBEEF, 0xCAFEBABE12345
+        assert ctx.modmul(a, b) == (a * b) % FR_MODULUS
+
+    def test_mont_square(self):
+        ctx = MontgomeryContext(FR_MODULUS)
+        a_mont = ctx.to_montgomery(98765)
+        assert ctx.mont_square(a_mont) == ctx.mont_mul(a_mont, a_mont)
+
+    def test_word_multiplication_counts(self):
+        fr_ctx = MontgomeryContext(FR_MODULUS)
+        fq_ctx = MontgomeryContext(FQ_MODULUS)
+        # CIOS: 2*s^2 + s word multiplications.
+        assert fr_ctx.word_multiplications() == 2 * 16 + 4
+        assert fq_ctx.word_multiplications() == 2 * 36 + 6
+        # The 381-bit multiplier is roughly (6/4)^2 = 2.25x the 255-bit one,
+        # consistent with the paper's area ratio 0.314 / 0.133 ~ 2.36.
+        ratio = fq_ctx.word_multiplications() / fr_ctx.word_multiplications()
+        assert 2.0 < ratio < 2.6
+
+    @settings(max_examples=20, deadline=None)
+    @given(
+        a=st.integers(min_value=0, max_value=FR_MODULUS - 1),
+        b=st.integers(min_value=0, max_value=FR_MODULUS - 1),
+    )
+    def test_modmul_property(self, a, b):
+        ctx = MontgomeryContext(FR_MODULUS)
+        assert ctx.modmul(a, b) == (a * b) % FR_MODULUS
+
+    def test_alternative_word_size(self):
+        ctx = MontgomeryContext(FR_MODULUS, word_bits=32)
+        assert ctx.num_limbs == 8
+        assert ctx.modmul(12345, 67890) == (12345 * 67890) % FR_MODULUS

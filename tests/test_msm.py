@@ -1,0 +1,152 @@
+"""Tests for the MSM kernels (Pippenger, sparse, statistics)."""
+
+import random
+
+import pytest
+
+from repro.curves import g1_generator
+from repro.curves.msm import (
+    MSMStatistics,
+    default_window_bits,
+    msm,
+    naive_msm,
+    pippenger_msm,
+    sparse_msm,
+    split_sparse_scalars,
+)
+from repro.fields import Fr
+
+
+@pytest.fixture(scope="module")
+def msm_inputs():
+    rng = random.Random(99)
+    g = g1_generator()
+    points = [(g * rng.randrange(1, 10_000)).to_affine() for _ in range(24)]
+    scalars = [Fr.random(rng) for _ in range(24)]
+    return scalars, points
+
+
+class TestPippenger:
+    def test_matches_naive(self, msm_inputs):
+        scalars, points = msm_inputs
+        assert pippenger_msm(scalars, points) == naive_msm(scalars, points)
+
+    def test_serial_aggregation_matches(self, msm_inputs):
+        scalars, points = msm_inputs
+        assert pippenger_msm(scalars, points, aggregation="serial") == naive_msm(
+            scalars, points
+        )
+
+    @pytest.mark.parametrize("window_bits", [4, 7, 9])
+    def test_window_sizes(self, msm_inputs, window_bits):
+        scalars, points = msm_inputs
+        assert pippenger_msm(scalars, points, window_bits=window_bits) == naive_msm(
+            scalars, points
+        )
+
+    @pytest.mark.parametrize("group_size", [2, 8, 16, 64])
+    def test_aggregation_group_sizes(self, msm_inputs, group_size):
+        scalars, points = msm_inputs
+        result = pippenger_msm(
+            scalars, points, window_bits=6, aggregation_group_size=group_size
+        )
+        assert result == naive_msm(scalars, points)
+
+    def test_empty_input(self):
+        assert pippenger_msm([], []).is_identity()
+
+    def test_zero_scalars_and_identity_points(self, msm_inputs):
+        scalars, points = msm_inputs
+        from repro.curves import AffinePoint
+
+        mixed_scalars = [Fr(0)] * 4 + scalars[4:]
+        mixed_points = points[:20] + [AffinePoint.identity()] * 4
+        assert pippenger_msm(mixed_scalars, mixed_points) == naive_msm(
+            mixed_scalars, mixed_points
+        )
+
+    def test_length_mismatch(self, msm_inputs):
+        scalars, points = msm_inputs
+        with pytest.raises(ValueError):
+            pippenger_msm(scalars[:-1], points)
+
+    def test_invalid_parameters(self, msm_inputs):
+        scalars, points = msm_inputs
+        with pytest.raises(ValueError):
+            pippenger_msm(scalars, points, aggregation="bogus")
+        with pytest.raises(ValueError):
+            pippenger_msm(scalars, points, window_bits=0)
+        with pytest.raises(ValueError):
+            pippenger_msm(
+                scalars, points, aggregation="grouped", aggregation_group_size=0
+            )
+
+    def test_statistics_collection(self, msm_inputs):
+        scalars, points = msm_inputs
+        stats = MSMStatistics()
+        pippenger_msm(scalars, points, window_bits=8, stats=stats)
+        assert stats.num_points == 24
+        assert stats.window_bits == 8
+        assert stats.num_windows == -(-255 // 8)
+        # Every nonzero digit causes one bucket PADD; at most points*windows.
+        assert 0 < stats.bucket_padds <= 24 * stats.num_windows
+        assert stats.window_combine_doublings == stats.num_windows * 8
+        assert stats.total_padds > 0
+        assert stats.total_point_ops == stats.total_padds + stats.window_combine_doublings
+
+    def test_default_window_heuristic(self):
+        assert default_window_bits(0) == 7
+        assert 7 <= default_window_bits(1 << 10) <= 8
+        assert default_window_bits(1 << 16) >= 9
+        assert default_window_bits(1 << 24) == 10
+        # The heuristic stays inside the paper's swept range (Table 2).
+        for log_size in range(1, 25):
+            assert 7 <= default_window_bits(1 << log_size) <= 10
+
+
+class TestSparseMsm:
+    def test_split_sparse_scalars(self):
+        scalars = [Fr(0), Fr(1), Fr(5), Fr(1), Fr(0), Fr(7)]
+        zeros, ones, dense = split_sparse_scalars(scalars)
+        assert zeros == [0, 4]
+        assert ones == [1, 3]
+        assert dense == [2, 5]
+
+    def test_sparse_matches_naive(self):
+        rng = random.Random(5)
+        g = g1_generator()
+        points = [(g * rng.randrange(1, 500)).to_affine() for _ in range(32)]
+        # Paper-like sparsity: ~45% zeros, ~45% ones, ~10% dense.
+        scalars = []
+        for i in range(32):
+            roll = rng.random()
+            if roll < 0.45:
+                scalars.append(Fr(0))
+            elif roll < 0.90:
+                scalars.append(Fr(1))
+            else:
+                scalars.append(Fr.random(rng))
+        stats = MSMStatistics()
+        assert sparse_msm(scalars, points, stats=stats) == naive_msm(scalars, points)
+        assert stats.skipped_zero_scalars == sum(1 for s in scalars if s.is_zero())
+        assert stats.one_scalars == sum(1 for s in scalars if s.is_one())
+        assert stats.dense_scalars == 32 - stats.skipped_zero_scalars - stats.one_scalars
+
+    def test_all_ones(self):
+        g = g1_generator()
+        points = [(g * (i + 1)).to_affine() for i in range(8)]
+        scalars = [Fr(1)] * 8
+        assert sparse_msm(scalars, points) == naive_msm(scalars, points)
+
+    def test_all_zeros(self):
+        g = g1_generator()
+        points = [(g * (i + 1)).to_affine() for i in range(4)]
+        assert sparse_msm([Fr(0)] * 4, points).is_identity()
+
+    def test_msm_dispatcher(self, msm_inputs):
+        scalars, points = msm_inputs
+        assert msm(scalars, points, sparse=True) == msm(scalars, points, sparse=False)
+
+    def test_length_mismatch(self):
+        with pytest.raises(ValueError):
+            sparse_msm([Fr(1)], [])

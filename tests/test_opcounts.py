@@ -1,0 +1,89 @@
+"""Tests for the analytical kernel profiles (Table 1 reproduction)."""
+
+import pytest
+
+from repro.core import WorkloadModel, protocol_operation_counts
+from repro.core.opcounts import PAPER_TABLE1, KernelProfile
+
+
+@pytest.fixture(scope="module")
+def profiles_2_20():
+    return protocol_operation_counts(WorkloadModel(num_vars=20))
+
+
+class TestKernelProfiles:
+    def test_all_twelve_kernels_present(self, profiles_2_20):
+        names = {p.name for p in profiles_2_20}
+        assert names == set(PAPER_TABLE1)
+
+    def test_sorted_by_arithmetic_intensity(self, profiles_2_20):
+        intensities = [p.arithmetic_intensity for p in profiles_2_20]
+        assert intensities == sorted(intensities, reverse=True)
+
+    def test_msm_kernels_are_most_intense(self, profiles_2_20):
+        top_three = {p.name for p in profiles_2_20[:3]}
+        assert top_three == {"Poly Open MSMs", "Wire Identity MSMs", "Witness MSMs"}
+
+    def test_mle_updates_are_least_intense(self, profiles_2_20):
+        assert profiles_2_20[-1].name == "All MLE Updates"
+
+    def test_arithmetic_intensity_bands(self, profiles_2_20):
+        """MSMs: AI of several modmuls/byte; streaming kernels: well below 1."""
+        by_name = {p.name: p for p in profiles_2_20}
+        for msm_kernel in ("Poly Open MSMs", "Wire Identity MSMs", "Witness MSMs"):
+            assert by_name[msm_kernel].arithmetic_intensity > 2.0
+        for streaming_kernel in (
+            "ZeroCheck Rounds",
+            "PermCheck Rounds",
+            "OpenCheck Rounds",
+            "All MLE Updates",
+        ):
+            assert by_name[streaming_kernel].arithmetic_intensity < 1.0
+
+    def test_modmul_counts_within_2x_of_paper(self, profiles_2_20):
+        by_name = {p.name: p for p in profiles_2_20}
+        for name, (paper_modmuls_m, _, _) in PAPER_TABLE1.items():
+            ours = by_name[name].modmuls / 1e6
+            assert ours == pytest.approx(paper_modmuls_m, rel=1.0), name
+
+    def test_traffic_within_2x_of_paper(self, profiles_2_20):
+        by_name = {p.name: p for p in profiles_2_20}
+        for name, (_, paper_in_mb, paper_out_mb) in PAPER_TABLE1.items():
+            ours = by_name[name].total_bytes / 1e6
+            paper = paper_in_mb + paper_out_mb
+            if paper == 0:
+                continue
+            assert ours == pytest.approx(paper, rel=1.0), name
+
+    def test_counts_scale_linearly_with_problem_size(self):
+        small = {p.name: p for p in protocol_operation_counts(WorkloadModel(num_vars=18))}
+        large = {p.name: p for p in protocol_operation_counts(WorkloadModel(num_vars=20))}
+        for name in PAPER_TABLE1:
+            assert large[name].modmuls == pytest.approx(4 * small[name].modmuls, rel=0.01)
+
+    def test_sparse_witness_cost_tracks_density(self):
+        dense_heavy = WorkloadModel(
+            num_vars=20, dense_fraction=0.3, one_fraction=0.35, zero_fraction=0.35
+        )
+        sparse = WorkloadModel(num_vars=20)
+        witness_dense = next(
+            p for p in protocol_operation_counts(dense_heavy) if p.name == "Witness MSMs"
+        )
+        witness_sparse = next(
+            p for p in protocol_operation_counts(sparse) if p.name == "Witness MSMs"
+        )
+        assert witness_dense.modmuls > witness_sparse.modmuls
+
+    def test_kernel_profile_row_format(self, profiles_2_20):
+        row = profiles_2_20[0].as_row()
+        assert set(row) == {
+            "kernel",
+            "modmuls_millions",
+            "input_mb",
+            "output_mb",
+            "arithmetic_intensity",
+        }
+
+    def test_infinite_intensity_for_zero_traffic(self):
+        profile = KernelProfile("x", modmuls=10.0, input_bytes=0.0, output_bytes=0.0)
+        assert profile.arithmetic_intensity == float("inf")

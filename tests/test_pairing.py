@@ -1,0 +1,85 @@
+"""Tests for the BLS12-381 optimal-ate pairing.
+
+Pairings are only needed by the HyperPlonk verifier and are slow in pure
+Python, so the bilinearity tests use small scalars and the heavier checks
+are marked ``slow``.
+"""
+
+import pytest
+
+from repro.curves import G1_GENERATOR, g1_generator, g2_generator, pairing, pairing_product_is_one
+from repro.curves.curve import AffinePoint
+from repro.curves.bls12_381 import G2Point
+from repro.curves.pairing import embed_g1, untwist_g2, _add_points, _fq_to_fq12
+from repro.fields.extensions import Fq12Element
+
+
+class TestUntwist:
+    def test_untwisted_generator_is_on_full_curve(self):
+        point = untwist_g2(g2_generator())
+        assert point is not None
+        x, y = point
+        four = _fq_to_fq12(4)
+        assert y * y == x * x * x + four
+
+    def test_untwist_identity(self):
+        assert untwist_g2(G2Point.identity()) is None
+
+    def test_embed_identity(self):
+        assert embed_g1(AffinePoint.identity()) is None
+
+    def test_embedded_g1_on_curve(self):
+        point = embed_g1(G1_GENERATOR)
+        assert point is not None
+        x, y = point
+        assert y * y == x * x * x + _fq_to_fq12(4)
+
+    def test_fq12_point_addition_matches_g2_group_law(self):
+        h = g2_generator()
+        lhs = untwist_g2(h + h)
+        rhs = _add_points(untwist_g2(h), untwist_g2(h))
+        assert lhs == rhs
+
+
+class TestPairing:
+    def test_identity_inputs_give_one(self):
+        assert pairing(AffinePoint.identity(), g2_generator()).is_one()
+        assert pairing(G1_GENERATOR, G2Point.identity()).is_one()
+
+    def test_nondegeneracy(self):
+        assert not pairing(G1_GENERATOR, g2_generator()).is_one()
+
+    def test_bilinearity_in_g1(self):
+        g, h = g1_generator(), g2_generator()
+        lhs = pairing((g * 3).to_affine(), h)
+        rhs = pairing(G1_GENERATOR, h).pow(3)
+        assert lhs == rhs
+
+    def test_bilinearity_in_g2(self):
+        g, h = g1_generator(), g2_generator()
+        lhs = pairing(G1_GENERATOR, h * 4)
+        rhs = pairing(G1_GENERATOR, h).pow(4)
+        assert lhs == rhs
+
+    @pytest.mark.slow
+    def test_full_bilinearity(self):
+        g, h = g1_generator(), g2_generator()
+        lhs = pairing((g * 6).to_affine(), h * 5)
+        rhs = pairing((g * 3).to_affine(), h * 10)
+        assert lhs == rhs
+
+    def test_pairing_product_check(self):
+        # e(aG, H) * e(-aG, H) == 1.
+        g, h = g1_generator(), g2_generator()
+        a_g = (g * 9).to_affine()
+        pairs = [(a_g, h), (a_g.negate(), h)]
+        assert pairing_product_is_one(pairs)
+
+    def test_pairing_product_check_rejects_imbalance(self):
+        g, h = g1_generator(), g2_generator()
+        pairs = [((g * 9).to_affine(), h), ((g * 8).negate().to_affine(), h)]
+        assert not pairing_product_is_one(pairs)
+
+    def test_pairing_product_skips_identity_pairs(self):
+        h = g2_generator()
+        assert pairing_product_is_one([(AffinePoint.identity(), h)])

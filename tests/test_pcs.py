@@ -1,0 +1,193 @@
+"""Tests for the multilinear KZG polynomial commitment scheme."""
+
+import random
+
+import pytest
+
+from repro.curves.msm import MSMStatistics
+from repro.fields import Fr
+from repro.mle import MultilinearPolynomial
+from repro.pcs import commit, open_at_point, setup, verify_opening
+from repro.pcs.multilinear_kzg import PCSError, combine_commitments
+
+
+@pytest.fixture()
+def rng():
+    return random.Random(61)
+
+
+class TestSetup:
+    def test_setup_structure(self, srs4):
+        assert srs4.num_vars == 4
+        assert len(srs4.prover_key.lagrange_tables) == 4
+        assert [len(t) for t in srs4.prover_key.lagrange_tables] == [16, 8, 4, 2]
+        assert len(srs4.verifier_key.tau_g2) == 4
+        assert srs4.verifier_key.trapdoor is not None
+
+    def test_setup_deterministic_with_tau(self):
+        tau = Fr.elements([3, 5, 7])
+        a = setup(3, tau=tau)
+        b = setup(3, tau=tau)
+        assert a.prover_key.lagrange_tables[0] == b.prover_key.lagrange_tables[0]
+
+    def test_setup_discard_trapdoor(self):
+        srs = setup(2, seed=1, keep_trapdoor=False)
+        assert srs.verifier_key.trapdoor is None
+
+    def test_setup_validation(self):
+        with pytest.raises(ValueError):
+            setup(0)
+        with pytest.raises(ValueError):
+            setup(3, tau=Fr.elements([1, 2]))
+
+    def test_lagrange_basis_encodes_eq_table(self, srs4):
+        """The commitment to a table must equal [f(tau)]_1."""
+        tau = srs4.verifier_key.trapdoor
+        rng = random.Random(0)
+        f = MultilinearPolynomial.random(4, rng)
+        commitment = commit(srs4.prover_key, f)
+        from repro.curves import g1_generator
+
+        expected = g1_generator().scalar_mul(f.evaluate(tau).value).to_affine()
+        assert commitment.point == expected
+
+
+class TestCommit:
+    def test_commitment_is_deterministic(self, srs4, rng):
+        f = MultilinearPolynomial.random(4, rng)
+        assert commit(srs4.prover_key, f) == commit(srs4.prover_key, f)
+
+    def test_commitment_binds_to_table(self, srs4, rng):
+        f = MultilinearPolynomial.random(4, rng)
+        g = f.clone()
+        g.evaluations[3] = g.evaluations[3] + Fr(1)
+        assert commit(srs4.prover_key, f) != commit(srs4.prover_key, g)
+
+    def test_sparse_commit_matches_dense(self, srs4):
+        values = [0, 1, 1, 0, 1, 0, 5, 1, 0, 0, 1, 1, 7, 0, 1, 0]
+        f = MultilinearPolynomial.from_ints(4, values)
+        assert commit(srs4.prover_key, f, sparse=True) == commit(srs4.prover_key, f)
+
+    def test_commit_size_mismatch(self, srs4, rng):
+        with pytest.raises(PCSError):
+            commit(srs4.prover_key, MultilinearPolynomial.random(3, rng))
+
+    def test_commit_collects_stats(self, srs4, rng):
+        f = MultilinearPolynomial.random(4, rng)
+        stats = MSMStatistics()
+        commit(srs4.prover_key, f, stats=stats)
+        assert stats.num_points == 16
+        assert stats.total_padds > 0
+
+    def test_homomorphic_combination(self, srs4, rng):
+        f = MultilinearPolynomial.random(4, rng)
+        g = MultilinearPolynomial.random(4, rng)
+        alpha, beta = Fr.random(rng), Fr.random(rng)
+        combined_poly = f.scale(alpha) + g.scale(beta)
+        lhs = commit(srs4.prover_key, combined_poly)
+        rhs = combine_commitments(
+            [commit(srs4.prover_key, f), commit(srs4.prover_key, g)], [alpha, beta]
+        )
+        assert lhs == rhs
+
+    def test_combine_commitments_validation(self, srs4, rng):
+        c = commit(srs4.prover_key, MultilinearPolynomial.random(4, rng))
+        with pytest.raises(PCSError):
+            combine_commitments([c], [Fr(1), Fr(2)])
+
+
+class TestOpenAndVerify:
+    def test_open_returns_correct_value(self, srs4, rng):
+        f = MultilinearPolynomial.random(4, rng)
+        z = [Fr.random(rng) for _ in range(4)]
+        value, proof = open_at_point(srs4.prover_key, f, z)
+        assert value == f.evaluate(z)
+        assert len(proof.quotients) == 4
+
+    def test_trapdoor_verification_accepts_honest_proof(self, srs4, rng):
+        f = MultilinearPolynomial.random(4, rng)
+        z = [Fr.random(rng) for _ in range(4)]
+        commitment = commit(srs4.prover_key, f)
+        value, proof = open_at_point(srs4.prover_key, f, z)
+        assert verify_opening(srs4.verifier_key, commitment, z, value, proof, use_pairing=False)
+
+    def test_trapdoor_verification_rejects_wrong_value(self, srs4, rng):
+        f = MultilinearPolynomial.random(4, rng)
+        z = [Fr.random(rng) for _ in range(4)]
+        commitment = commit(srs4.prover_key, f)
+        value, proof = open_at_point(srs4.prover_key, f, z)
+        assert not verify_opening(
+            srs4.verifier_key, commitment, z, value + Fr(1), proof, use_pairing=False
+        )
+
+    def test_trapdoor_verification_rejects_wrong_commitment(self, srs4, rng):
+        f = MultilinearPolynomial.random(4, rng)
+        g = MultilinearPolynomial.random(4, rng)
+        z = [Fr.random(rng) for _ in range(4)]
+        value, proof = open_at_point(srs4.prover_key, f, z)
+        wrong_commitment = commit(srs4.prover_key, g)
+        assert not verify_opening(
+            srs4.verifier_key, wrong_commitment, z, value, proof, use_pairing=False
+        )
+
+    def test_verification_rejects_truncated_proof(self, srs4, rng):
+        f = MultilinearPolynomial.random(4, rng)
+        z = [Fr.random(rng) for _ in range(4)]
+        commitment = commit(srs4.prover_key, f)
+        value, proof = open_at_point(srs4.prover_key, f, z)
+        proof.quotients.pop()
+        assert not verify_opening(
+            srs4.verifier_key, commitment, z, value, proof, use_pairing=False
+        )
+
+    def test_open_at_boolean_point_matches_table(self, srs4, rng):
+        f = MultilinearPolynomial.random(4, rng)
+        z = [Fr(1), Fr(0), Fr(1), Fr(1)]
+        value, _ = open_at_point(srs4.prover_key, f, z)
+        assert value == f[0b1101]
+
+    def test_open_validation(self, srs4, rng):
+        f = MultilinearPolynomial.random(4, rng)
+        with pytest.raises(PCSError):
+            open_at_point(srs4.prover_key, f, [Fr(1)] * 3)
+        with pytest.raises(PCSError):
+            open_at_point(srs4.prover_key, MultilinearPolynomial.random(3, rng), [Fr(1)] * 3)
+
+    def test_verify_validation(self, srs4, rng):
+        f = MultilinearPolynomial.random(4, rng)
+        z = [Fr.random(rng) for _ in range(4)]
+        commitment = commit(srs4.prover_key, f)
+        value, proof = open_at_point(srs4.prover_key, f, z)
+        with pytest.raises(PCSError):
+            verify_opening(srs4.verifier_key, commitment, z[:-1], value, proof)
+
+    def test_trapdoor_mode_unavailable_when_discarded(self, rng):
+        srs = setup(2, seed=3, keep_trapdoor=False)
+        f = MultilinearPolynomial.random(2, rng)
+        z = [Fr.random(rng) for _ in range(2)]
+        commitment = commit(srs.prover_key, f)
+        value, proof = open_at_point(srs.prover_key, f, z)
+        with pytest.raises(PCSError):
+            verify_opening(srs.verifier_key, commitment, z, value, proof, use_pairing=False)
+
+    @pytest.mark.slow
+    def test_pairing_verification_round_trip(self, rng):
+        srs = setup(3, seed=9)
+        f = MultilinearPolynomial.random(3, rng)
+        z = [Fr.random(rng) for _ in range(3)]
+        commitment = commit(srs.prover_key, f)
+        value, proof = open_at_point(srs.prover_key, f, z)
+        assert verify_opening(srs.verifier_key, commitment, z, value, proof, use_pairing=True)
+        assert not verify_opening(
+            srs.verifier_key, commitment, z, value + Fr(1), proof, use_pairing=True
+        )
+
+    def test_pairing_and_trapdoor_agree(self, rng):
+        """Both verification paths must accept the same honest proof."""
+        srs = setup(2, seed=10)
+        f = MultilinearPolynomial.random(2, rng)
+        z = [Fr.random(rng) for _ in range(2)]
+        commitment = commit(srs.prover_key, f)
+        value, proof = open_at_point(srs.prover_key, f, z)
+        assert verify_opening(srs.verifier_key, commitment, z, value, proof, use_pairing=False)
+        assert verify_opening(srs.verifier_key, commitment, z, value, proof, use_pairing=True)

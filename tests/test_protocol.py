@@ -1,0 +1,229 @@
+"""End-to-end tests of the HyperPlonk prover and verifier."""
+
+import copy
+
+import pytest
+
+from repro.circuits import CircuitBuilder, mock_circuit, zcash_transfer_circuit
+from repro.fields import Fr
+from repro.pcs import setup
+from repro.protocol import (
+    HyperPlonkProof,
+    VerificationError,
+    preprocess,
+    prove,
+    verify,
+)
+from repro.protocol.common import CLAIM_SCHEDULE, POINT_NAMES
+from repro.protocol.keys import COMMITTED_POLY_NAMES
+from repro.protocol.proof import EvaluationClaim
+
+
+class TestCompleteness:
+    def test_mock_circuit_proof_verifies(self, small_keys, small_proof):
+        _, vk = small_keys
+        proof, _ = small_proof
+        assert verify(vk, proof)
+
+    def test_proof_is_deterministic(self, small_keys):
+        pk, _ = small_keys
+        a = prove(pk)
+        b = prove(pk)
+        assert a.evaluation_claims == b.evaluation_claims
+        assert a.batch_opening_value == b.batch_opening_value
+
+    def test_handcrafted_circuit(self, srs4):
+        builder = CircuitBuilder()
+        x = builder.add_constant_gate(3)
+        y = builder.add_constant_gate(5)
+        z = builder.mul(x, y)
+        w = builder.add(z, x)
+        builder.assert_equal(w, builder.add_constant_gate(18))
+        circuit = builder.compile(min_num_vars=4)
+        assert circuit.is_satisfied()
+        pk, vk = preprocess(circuit, srs4)
+        assert verify(vk, prove(pk))
+
+    def test_zcash_workload_circuit(self, srs5):
+        circuit = zcash_transfer_circuit(5)
+        pk, vk = preprocess(circuit, srs5)
+        assert verify(vk, prove(pk))
+
+    @pytest.mark.slow
+    def test_pairing_mode_verification(self, srs4):
+        circuit = mock_circuit(4, seed=5)
+        pk, vk = preprocess(circuit, srs4)
+        proof = prove(pk)
+        assert verify(vk, proof, use_pairing=True)
+
+    def test_proof_structure(self, small_proof):
+        proof, _ = small_proof
+        assert isinstance(proof, HyperPlonkProof)
+        assert set(proof.witness_commitments) == {"w1", "w2", "w3"}
+        assert len(proof.evaluation_claims) == len(CLAIM_SCHEDULE)
+        assert set(proof.opening_evaluations) == set(COMMITTED_POLY_NAMES)
+        assert len(proof.batch_opening.quotients) == proof.num_vars
+
+    def test_proof_size_in_kilobyte_range(self, small_proof):
+        """HyperPlonk proofs are a few KB (Table 4 quotes 5.09 KB at 2^24)."""
+        proof, _ = small_proof
+        size = proof.size_bytes()
+        assert 1_000 < size < 20_000
+
+    def test_prover_trace_statistics(self, small_proof):
+        _, trace = small_proof
+        step_names = [s.name for s in trace.steps]
+        assert step_names == [
+            "witness_commits",
+            "gate_identity",
+            "wire_identity",
+            "batch_evaluations",
+            "poly_open",
+            "sha3",
+        ]
+        witness = trace.step_named("witness_commits")
+        assert len(witness.msm_stats) == 3
+        assert trace.step_named("wire_identity").modular_inversions == 32
+        assert trace.step_named("sha3").sha3_invocations > 50
+        with pytest.raises(KeyError):
+            trace.step_named("nonexistent")
+
+    def test_mismatched_circuit_size_rejected(self, small_keys):
+        pk, _ = small_keys
+        wrong = mock_circuit(4, seed=1)
+        with pytest.raises(ValueError):
+            prove(pk, circuit=wrong)
+
+    def test_preprocess_requires_matching_srs(self, srs4):
+        circuit = mock_circuit(5, seed=2)
+        with pytest.raises(ValueError):
+            preprocess(circuit, srs4)
+
+
+class TestSoundness:
+    def test_tampered_claim_rejected(self, small_keys, small_proof):
+        _, vk = small_keys
+        proof, _ = small_proof
+        bad = copy.deepcopy(proof)
+        claim = bad.evaluation_claims[0]
+        bad.evaluation_claims[0] = EvaluationClaim(claim.poly, claim.point, claim.value + Fr(1))
+        with pytest.raises(VerificationError):
+            verify(vk, bad)
+
+    def test_reordered_claims_rejected(self, small_keys, small_proof):
+        _, vk = small_keys
+        proof, _ = small_proof
+        bad = copy.deepcopy(proof)
+        bad.evaluation_claims[0], bad.evaluation_claims[1] = (
+            bad.evaluation_claims[1],
+            bad.evaluation_claims[0],
+        )
+        with pytest.raises(VerificationError):
+            verify(vk, bad)
+
+    def test_swapped_witness_commitment_rejected(self, small_keys, small_proof):
+        _, vk = small_keys
+        proof, _ = small_proof
+        bad = copy.deepcopy(proof)
+        bad.witness_commitments["w1"] = bad.witness_commitments["w2"]
+        with pytest.raises(VerificationError):
+            verify(vk, bad)
+
+    def test_tampered_opening_evaluation_rejected(self, small_keys, small_proof):
+        _, vk = small_keys
+        proof, _ = small_proof
+        bad = copy.deepcopy(proof)
+        bad.opening_evaluations["w1"] = bad.opening_evaluations["w1"] + Fr(1)
+        with pytest.raises(VerificationError):
+            verify(vk, bad)
+
+    def test_tampered_batch_opening_value_rejected(self, small_keys, small_proof):
+        _, vk = small_keys
+        proof, _ = small_proof
+        bad = copy.deepcopy(proof)
+        bad.batch_opening_value = bad.batch_opening_value + Fr(1)
+        with pytest.raises(VerificationError):
+            verify(vk, bad)
+
+    def test_tampered_quotient_rejected(self, small_keys, small_proof):
+        _, vk = small_keys
+        proof, _ = small_proof
+        bad = copy.deepcopy(proof)
+        bad.batch_opening.quotients[0] = bad.batch_opening.quotients[1]
+        with pytest.raises(VerificationError):
+            verify(vk, bad)
+
+    def test_tampered_sumcheck_round_rejected(self, small_keys, small_proof):
+        _, vk = small_keys
+        proof, _ = small_proof
+        bad = copy.deepcopy(proof)
+        bad.gate_zerocheck.sumcheck.rounds[0].evaluations[0] = Fr(7)
+        with pytest.raises(VerificationError):
+            verify(vk, bad)
+
+    def test_wrong_num_vars_rejected(self, small_keys, small_proof):
+        _, vk = small_keys
+        proof, _ = small_proof
+        bad = copy.deepcopy(proof)
+        bad.num_vars = proof.num_vars + 1
+        with pytest.raises(VerificationError):
+            verify(vk, bad)
+
+    def test_unsatisfied_gate_rejected(self, srs4):
+        """A witness that violates a gate constraint must not verify."""
+        builder = CircuitBuilder()
+        x = builder.add_constant_gate(3)
+        y = builder.add_constant_gate(4)
+        builder.mul(x, y)
+        circuit = builder.compile(min_num_vars=4)
+        # Corrupt the multiplication output (w3 of the last real gate) in a
+        # way that keeps the copy constraints trivially consistent.
+        circuit.witnesses["w3"].evaluations[circuit.num_real_gates - 1] = Fr(13)
+        assert not circuit.is_satisfied()
+        pk, vk = preprocess(circuit, srs4)
+        proof = prove(pk)
+        with pytest.raises(VerificationError):
+            verify(vk, proof)
+
+    def test_broken_copy_constraint_rejected(self, srs4):
+        """A witness violating a copy (wiring) constraint must not verify."""
+        builder = CircuitBuilder()
+        x = builder.add_constant_gate(3)
+        y = builder.add_constant_gate(5)
+        z = builder.mul(x, y)
+        builder.add(z, x)
+        circuit = builder.compile(min_num_vars=4)
+        # Replace the inputs of the final addition with different values that
+        # still satisfy the local gate (15 + 3 = 18 -> 10 + 8 = 18), breaking
+        # only the wiring (copy) constraints.
+        last = circuit.num_real_gates - 1
+        circuit.witnesses["w1"].evaluations[last] = Fr(10)
+        circuit.witnesses["w2"].evaluations[last] = Fr(8)
+        assert circuit.is_satisfied()
+        pk, vk = preprocess(circuit, srs4)
+        proof = prove(pk)
+        with pytest.raises(VerificationError):
+            verify(vk, proof)
+
+    def test_verifying_key_mismatch_rejected(self, small_proof, srs5):
+        proof, _ = small_proof
+        other_circuit = mock_circuit(5, seed=99)
+        _, other_vk = preprocess(other_circuit, srs5)
+        with pytest.raises(VerificationError):
+            verify(other_vk, proof)
+
+
+class TestClaimSchedule:
+    def test_schedule_covers_all_committed_polynomials(self):
+        polys_with_claims = {poly for poly, _ in CLAIM_SCHEDULE}
+        assert polys_with_claims == set(COMMITTED_POLY_NAMES)
+
+    def test_schedule_points_are_known(self):
+        assert {point for _, point in CLAIM_SCHEDULE} == set(POINT_NAMES)
+
+    def test_schedule_size_matches_paper_scale(self):
+        # The paper quotes 22 evaluations among 13 polynomials at 6 points;
+        # our formulation needs 21 claims across 13 polynomials at 5 points.
+        assert len(CLAIM_SCHEDULE) == 21
+        assert len(COMMITTED_POLY_NAMES) == 13
+        assert len(POINT_NAMES) == 5

@@ -1,0 +1,117 @@
+"""Tests for proof serialization (compact binary wire format)."""
+
+import pytest
+
+from repro.curves import g1_generator
+from repro.curves.curve import AffinePoint
+from repro.fields import Fr
+from repro.protocol import (
+    SerializationError,
+    deserialize_proof,
+    proof_size_bytes,
+    serialize_proof,
+    verify,
+)
+from repro.protocol.serialization import compress_g1, decompress_g1
+
+
+class TestPointCompression:
+    def test_round_trip_generator_multiples(self):
+        g = g1_generator()
+        for k in (1, 2, 3, 17, 123456789):
+            point = (g * k).to_affine()
+            assert decompress_g1(compress_g1(point)) == point
+
+    def test_round_trip_identity(self):
+        identity = AffinePoint.identity()
+        assert decompress_g1(compress_g1(identity)) == identity
+
+    def test_compressed_size(self):
+        assert len(compress_g1(g1_generator().to_affine())) == 48
+
+    def test_bad_length_rejected(self):
+        with pytest.raises(SerializationError):
+            decompress_g1(b"\x00" * 47)
+
+    def test_uncompressed_flag_rejected(self):
+        with pytest.raises(SerializationError):
+            decompress_g1(b"\x00" * 48)
+
+    def test_not_on_curve_rejected(self):
+        # x = 1 is not the x-coordinate of a curve point (1 + 4 = 5 is a QNR
+        # check done by decompression; if it is a QR the point check catches it).
+        data = bytearray(48)
+        data[0] = 0b1000_0000
+        data[-1] = 0x01
+        with pytest.raises(SerializationError):
+            decompress_g1(bytes(data))
+
+
+class TestProofSerialization:
+    def test_round_trip_preserves_verification(self, small_keys, small_proof):
+        _, vk = small_keys
+        proof, _ = small_proof
+        data = serialize_proof(proof)
+        restored = deserialize_proof(data)
+        assert verify(vk, restored)
+
+    def test_round_trip_preserves_fields(self, small_proof):
+        proof, _ = small_proof
+        restored = deserialize_proof(serialize_proof(proof))
+        assert restored.num_vars == proof.num_vars
+        assert restored.witness_commitments == proof.witness_commitments
+        assert restored.phi_commitment == proof.phi_commitment
+        assert restored.pi_commitment == proof.pi_commitment
+        assert restored.evaluation_claims == proof.evaluation_claims
+        assert restored.opening_evaluations == proof.opening_evaluations
+        assert restored.batch_opening_value == proof.batch_opening_value
+        assert restored.batch_opening.quotients == proof.batch_opening.quotients
+        assert (
+            restored.gate_zerocheck.sumcheck.round_messages()
+            == proof.gate_zerocheck.sumcheck.round_messages()
+        )
+
+    def test_serialized_size_in_kilobyte_range(self, small_proof):
+        """HyperPlonk proofs are a few KB (5.09 KB at 2^24 per Table 4)."""
+        proof, _ = small_proof
+        size = proof_size_bytes(proof)
+        assert 1_000 < size < 10_000
+        # The size estimate on the proof object is within 25% of the real size.
+        assert proof.size_bytes() == pytest.approx(size, rel=0.25)
+
+    def test_bad_magic_rejected(self, small_proof):
+        proof, _ = small_proof
+        data = bytearray(serialize_proof(proof))
+        data[0] ^= 0xFF
+        with pytest.raises(SerializationError):
+            deserialize_proof(bytes(data))
+
+    def test_bad_version_rejected(self, small_proof):
+        proof, _ = small_proof
+        data = bytearray(serialize_proof(proof))
+        data[4] = 99
+        with pytest.raises(SerializationError):
+            deserialize_proof(bytes(data))
+
+    def test_trailing_bytes_rejected(self, small_proof):
+        proof, _ = small_proof
+        data = serialize_proof(proof) + b"\x00"
+        with pytest.raises(SerializationError):
+            deserialize_proof(data)
+
+    def test_tampered_serialized_claim_fails_verification(self, small_keys, small_proof):
+        """Flipping a byte of a serialized claim must not verify."""
+        _, vk = small_keys
+        proof, _ = small_proof
+        data = bytearray(serialize_proof(proof))
+        # Flip a byte near the middle of the buffer (inside the claims /
+        # sumcheck region); decompression may fail or verification must fail.
+        data[len(data) // 2] ^= 0x01
+        try:
+            restored = deserialize_proof(bytes(data))
+        except SerializationError:
+            return
+        from repro.protocol import VerificationError
+
+        with pytest.raises(VerificationError):
+            verify(vk, restored)

@@ -1,0 +1,159 @@
+"""Tests for the generic SumCheck prover and verifier."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.fields import Fr
+from repro.mle import MultilinearPolynomial, VirtualPolynomial
+from repro.sumcheck import (
+    SumcheckVerificationError,
+    prove_sumcheck,
+    verify_sumcheck,
+)
+from repro.transcript import Transcript
+
+
+def build_poly(rng, num_vars=4):
+    a = MultilinearPolynomial.random(num_vars, rng)
+    b = MultilinearPolynomial.random(num_vars, rng)
+    c = MultilinearPolynomial.random(num_vars, rng)
+    vp = VirtualPolynomial(num_vars)
+    vp.add_product([a, b, c], Fr(3))
+    vp.add_product([a, b], Fr(2))
+    vp.add_product([c])
+    return vp
+
+
+@pytest.fixture()
+def rng():
+    return random.Random(41)
+
+
+class TestCompleteness:
+    def test_honest_proof_verifies(self, rng):
+        vp = build_poly(rng)
+        output = prove_sumcheck(vp, Transcript())
+        verdict = verify_sumcheck(output.proof, Transcript())
+        assert verdict.challenges == output.challenges
+        assert verdict.final_claim == vp.evaluate(verdict.challenges)
+
+    def test_claimed_sum_computed_when_omitted(self, rng):
+        vp = build_poly(rng)
+        output = prove_sumcheck(vp, Transcript())
+        assert output.proof.claimed_sum == vp.sum_over_hypercube()
+
+    def test_final_evaluations_match_mle_evaluations(self, rng):
+        vp = build_poly(rng)
+        output = prove_sumcheck(vp, Transcript())
+        for mle, final in zip(vp.mles, output.final_evaluations):
+            assert final == mle.evaluate(output.challenges)
+
+    def test_single_variable(self, rng):
+        vp = build_poly(rng, num_vars=1)
+        output = prove_sumcheck(vp, Transcript())
+        verdict = verify_sumcheck(output.proof, Transcript())
+        assert verdict.final_claim == vp.evaluate(verdict.challenges)
+
+    def test_degree_one_polynomial(self, rng):
+        a = MultilinearPolynomial.random(3, rng)
+        vp = VirtualPolynomial(3)
+        vp.add_product([a])
+        output = prove_sumcheck(vp, Transcript())
+        assert output.proof.max_degree == 1
+        verdict = verify_sumcheck(output.proof, Transcript())
+        assert verdict.final_claim == a.evaluate(verdict.challenges)
+
+    def test_prover_does_not_mutate_caller_tables(self, rng):
+        vp = build_poly(rng)
+        snapshot = [list(m.evaluations) for m in vp.mles]
+        prove_sumcheck(vp, Transcript())
+        assert [list(m.evaluations) for m in vp.mles] == snapshot
+
+    def test_round_count_and_message_sizes(self, rng):
+        vp = build_poly(rng)
+        output = prove_sumcheck(vp, Transcript())
+        assert len(output.proof.rounds) == vp.num_vars
+        assert all(
+            len(r.evaluations) == vp.max_degree + 1 for r in output.proof.rounds
+        )
+        assert output.proof.round_messages()[0][0] + output.proof.round_messages()[0][
+            1
+        ] == output.proof.claimed_sum
+
+    def test_zero_variable_polynomial_rejected(self):
+        vp = VirtualPolynomial(0)
+        with pytest.raises(ValueError):
+            prove_sumcheck(vp, Transcript())
+
+
+class TestSoundness:
+    def test_wrong_claimed_sum_rejected(self, rng):
+        vp = build_poly(rng)
+        output = prove_sumcheck(vp, Transcript())
+        output.proof.claimed_sum = output.proof.claimed_sum + Fr(1)
+        with pytest.raises(SumcheckVerificationError):
+            verify_sumcheck(output.proof, Transcript())
+
+    def test_tampered_round_message_rejected(self, rng):
+        vp = build_poly(rng)
+        output = prove_sumcheck(vp, Transcript())
+        output.proof.rounds[1].evaluations[0] = (
+            output.proof.rounds[1].evaluations[0] + Fr(1)
+        )
+        with pytest.raises(SumcheckVerificationError):
+            verify_sumcheck(output.proof, Transcript())
+
+    def test_tampered_last_round_detected_via_final_claim(self, rng):
+        """A consistent-but-wrong final round must fail the caller's final check."""
+        vp = build_poly(rng)
+        output = prove_sumcheck(vp, Transcript())
+        last = output.proof.rounds[-1].evaluations
+        # Keep g(0)+g(1) equal to the running claim but perturb a higher point.
+        last[2] = last[2] + Fr(1)
+        verdict = verify_sumcheck(output.proof, Transcript())
+        assert verdict.final_claim != vp.evaluate(verdict.challenges)
+
+    def test_truncated_proof_rejected(self, rng):
+        vp = build_poly(rng)
+        output = prove_sumcheck(vp, Transcript())
+        output.proof.rounds.pop()
+        with pytest.raises(SumcheckVerificationError):
+            verify_sumcheck(output.proof, Transcript())
+
+    def test_wrong_number_of_evaluations_rejected(self, rng):
+        vp = build_poly(rng)
+        output = prove_sumcheck(vp, Transcript())
+        output.proof.rounds[0].evaluations.append(Fr(0))
+        with pytest.raises(SumcheckVerificationError):
+            verify_sumcheck(output.proof, Transcript())
+
+    def test_transcript_divergence_rejected(self, rng):
+        """Verifying with a transcript that absorbed different data fails."""
+        vp = build_poly(rng)
+        output = prove_sumcheck(vp, Transcript())
+        diverged = Transcript()
+        diverged.absorb_field(b"extra", Fr(1))
+        try:
+            verdict = verify_sumcheck(output.proof, diverged)
+        except SumcheckVerificationError:
+            return
+        assert verdict.final_claim != vp.evaluate(verdict.challenges)
+
+
+class TestProperties:
+    @settings(max_examples=8, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_sumcheck_roundtrip_random_polynomials(self, seed):
+        rng = random.Random(seed)
+        num_vars = rng.randint(1, 4)
+        num_terms = rng.randint(1, 3)
+        mles = [MultilinearPolynomial.random(num_vars, rng) for _ in range(4)]
+        vp = VirtualPolynomial(num_vars)
+        for _ in range(num_terms):
+            term = [rng.choice(mles) for _ in range(rng.randint(1, 3))]
+            vp.add_product(term, Fr.random(rng))
+        output = prove_sumcheck(vp, Transcript())
+        verdict = verify_sumcheck(output.proof, Transcript())
+        assert verdict.final_claim == vp.evaluate(verdict.challenges)

@@ -1,0 +1,61 @@
+"""Tests for the technology (area/power/delay) model."""
+
+import pytest
+
+from repro.core.technology import DEFAULT_TECHNOLOGY, TechnologyModel
+
+
+class TestTechnologyModel:
+    def test_paper_scaling_factors(self):
+        tech = DEFAULT_TECHNOLOGY
+        assert tech.area_scale_22_to_7 == pytest.approx(3.6)
+        assert tech.power_scale_22_to_7 == pytest.approx(3.3)
+        assert tech.delay_scale_22_to_7 == pytest.approx(1.7)
+
+    def test_modmul_areas_match_table4(self):
+        tech = DEFAULT_TECHNOLOGY
+        assert tech.modmul_area_mm2_255 == pytest.approx(0.133)
+        assert tech.modmul_area_mm2_381 == pytest.approx(0.314)
+
+    def test_sumcheck_pe_area_consistent_with_modmul_count(self):
+        tech = DEFAULT_TECHNOLOGY
+        # 94 modmuls x 0.133 mm^2 ~ 12.5 mm^2 (Table 5: 24.96 mm^2 / 2 PEs).
+        assert tech.sumcheck_pe_modmuls * tech.modmul_area_mm2_255 == pytest.approx(
+            tech.sumcheck_pe_area_mm2, rel=0.02
+        )
+
+    def test_beea_latency(self):
+        assert DEFAULT_TECHNOLOGY.modinv_latency_cycles == 509
+
+    def test_cycles_to_ms(self):
+        tech = DEFAULT_TECHNOLOGY
+        assert tech.cycles_to_ms(1_000_000) == pytest.approx(1.0)
+        assert tech.cycle_time_ns == pytest.approx(1.0)
+
+    def test_cycles_to_ms_other_clock(self):
+        tech = TechnologyModel(clock_ghz=2.0)
+        assert tech.cycles_to_ms(2_000_000) == pytest.approx(1.0)
+
+    def test_hbm_phy_plan(self):
+        tech = DEFAULT_TECHNOLOGY
+        kind, count, area = tech.hbm_phy_plan(128.0)
+        assert kind == "ddr" and count == 1
+        kind, count, area = tech.hbm_phy_plan(512.0)
+        assert kind == "hbm2" and area == pytest.approx(14.9)
+        kind, count, area = tech.hbm_phy_plan(2048.0)
+        assert kind == "hbm3" and count == 2 and area == pytest.approx(59.2)
+        kind, count, area = tech.hbm_phy_plan(4096.0)
+        assert count == 4
+
+    def test_to_22nm_area(self):
+        tech = DEFAULT_TECHNOLOGY
+        assert tech.to_22nm_area(10.0) == pytest.approx(36.0)
+
+    def test_power_densities_reproduce_table5_unit_powers(self):
+        tech = DEFAULT_TECHNOLOGY
+        # MSM: 105.64 mm^2 * density ~ 76.19 W.
+        assert 105.64 * tech.power_density_msm == pytest.approx(76.19, rel=0.02)
+        # SumCheck: 24.96 mm^2 * density ~ 5.38 W.
+        assert 24.96 * tech.power_density_sumcheck == pytest.approx(5.38, rel=0.02)
+        # HBM PHYs: 59.2 mm^2 * density ~ 63.6 W.
+        assert 59.2 * tech.power_density_hbm_phy == pytest.approx(63.6, rel=0.02)

@@ -1,0 +1,103 @@
+"""Tests for the SHA3 Fiat-Shamir transcript."""
+
+import pytest
+
+from repro.curves import g1_generator
+from repro.curves.curve import AffinePoint
+from repro.fields import Fr, Fq
+from repro.transcript import Transcript
+
+
+class TestDeterminism:
+    def test_same_operations_same_challenges(self):
+        def run():
+            t = Transcript()
+            t.absorb_field(b"a", Fr(5))
+            t.absorb_bytes(b"b", b"hello")
+            return [t.challenge_field(b"c") for _ in range(3)]
+
+        assert run() == run()
+
+    def test_different_labels_diverge(self):
+        t1, t2 = Transcript(), Transcript()
+        t1.absorb_field(b"x", Fr(5))
+        t2.absorb_field(b"y", Fr(5))
+        assert t1.challenge_field(b"c") != t2.challenge_field(b"c")
+
+    def test_different_values_diverge(self):
+        t1, t2 = Transcript(), Transcript()
+        t1.absorb_field(b"x", Fr(5))
+        t2.absorb_field(b"x", Fr(6))
+        assert t1.challenge_field(b"c") != t2.challenge_field(b"c")
+
+    def test_order_matters(self):
+        t1, t2 = Transcript(), Transcript()
+        t1.absorb_field(b"x", Fr(1))
+        t1.absorb_field(b"y", Fr(2))
+        t2.absorb_field(b"y", Fr(2))
+        t2.absorb_field(b"x", Fr(1))
+        assert t1.challenge_field(b"c") != t2.challenge_field(b"c")
+
+    def test_domain_label_in_constructor(self):
+        assert (
+            Transcript(label=b"a").challenge_field(b"c")
+            != Transcript(label=b"b").challenge_field(b"c")
+        )
+
+    def test_challenge_updates_state(self):
+        t = Transcript()
+        first = t.challenge_field(b"c")
+        second = t.challenge_field(b"c")
+        assert first != second
+
+    def test_state_digest_changes(self):
+        t = Transcript()
+        before = t.state_digest()
+        t.absorb_int(b"n", 7)
+        assert t.state_digest() != before
+
+
+class TestAbsorbers:
+    def test_absorb_point_and_identity(self):
+        t1, t2 = Transcript(), Transcript()
+        t1.absorb_point(b"p", g1_generator())
+        t2.absorb_point(b"p", AffinePoint.identity())
+        assert t1.challenge_field(b"c") != t2.challenge_field(b"c")
+
+    def test_absorb_point_accepts_affine_and_jacobian(self):
+        t1, t2 = Transcript(), Transcript()
+        t1.absorb_point(b"p", g1_generator())
+        t2.absorb_point(b"p", g1_generator().to_affine())
+        assert t1.challenge_field(b"c") == t2.challenge_field(b"c")
+
+    def test_absorb_fields_iterable(self):
+        t = Transcript()
+        t.absorb_fields(b"vec", Fr.elements([1, 2, 3]))
+        assert t.num_absorbs == 3
+
+    def test_challenge_fields_count(self):
+        t = Transcript()
+        challenges = t.challenge_fields(b"r", 5)
+        assert len(challenges) == 5
+        assert len(set(c.value for c in challenges)) == 5
+
+    def test_counters(self):
+        t = Transcript()
+        t.absorb_int(b"n", 3)
+        t.challenge_field(b"c")
+        assert t.num_absorbs == 1
+        assert t.num_challenges == 1
+        assert t.num_hash_invocations > 2
+
+
+class TestChallengeDistribution:
+    def test_challenges_are_field_elements(self):
+        t = Transcript()
+        for i in range(10):
+            c = t.challenge_field(str(i).encode())
+            assert 0 <= c.value < Fr.modulus
+
+    def test_alternate_field(self):
+        t = Transcript(field=Fq)
+        c = t.challenge_field(b"c")
+        assert c.field is Fq

@@ -1,0 +1,287 @@
+"""Tests for the per-unit cycle/area models (MSM, SumCheck, MTU, FracMLE, ...)."""
+
+import pytest
+
+from repro.core import ZkSpeedConfig
+from repro.core.technology import DEFAULT_TECHNOLOGY
+from repro.core.units import (
+    ConstructNdUnitModel,
+    FracMleUnitModel,
+    MleCombineUnitModel,
+    MleUpdateUnitModel,
+    MsmUnitModel,
+    MultifunctionTreeModel,
+    Sha3UnitModel,
+    SumcheckUnitModel,
+    batch_inversion_tradeoff,
+    bucket_aggregation_cycles,
+)
+from repro.core.units.sumcheck_unit import (
+    OPENCHECK_SHAPE,
+    PERMCHECK_SHAPE,
+    ZEROCHECK_SHAPE,
+)
+
+CONFIG = ZkSpeedConfig.paper_default()
+
+
+class TestMsmUnit:
+    def test_grouped_aggregation_is_much_faster_than_serial(self):
+        """Figure 5: ~92% average latency reduction across window sizes 7-10."""
+        reductions = []
+        for window in (7, 8, 9, 10):
+            serial = bucket_aggregation_cycles(window, scheme="serial")
+            grouped = bucket_aggregation_cycles(window, scheme="grouped", group_size=16)
+            assert grouped < serial
+            reductions.append(1.0 - grouped / serial)
+        average_reduction = sum(reductions) / len(reductions)
+        assert 0.80 <= average_reduction <= 0.99
+
+    def test_serial_aggregation_grows_exponentially_with_window(self):
+        assert bucket_aggregation_cycles(10, "serial") > 7 * bucket_aggregation_cycles(7, "serial")
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(ValueError):
+            bucket_aggregation_cycles(8, scheme="bogus")
+
+    def test_dense_msm_scales_inversely_with_pes(self):
+        one_pe = MsmUnitModel(ZkSpeedConfig(msm_pes_per_core=1))
+        sixteen_pe = MsmUnitModel(ZkSpeedConfig(msm_pes_per_core=16))
+        n = 1 << 20
+        slow = one_pe.dense_msm(n).bucket_cycles
+        fast = sixteen_pe.dense_msm(n).bucket_cycles
+        assert slow / fast == pytest.approx(16.0, rel=0.01)
+
+    def test_dense_msm_window_tradeoff(self):
+        """Bigger windows mean fewer bucket PADDs but larger aggregation cost."""
+        small_window = MsmUnitModel(ZkSpeedConfig(msm_window_bits=7))
+        large_window = MsmUnitModel(ZkSpeedConfig(msm_window_bits=10))
+        n = 1 << 20
+        assert (
+            large_window.dense_msm(n).bucket_cycles
+            < small_window.dense_msm(n).bucket_cycles
+        )
+        assert (
+            large_window.dense_msm(n).aggregation_cycles
+            > small_window.dense_msm(n).aggregation_cycles
+        )
+
+    def test_sparse_msm_cheaper_than_dense(self):
+        unit = MsmUnitModel(CONFIG)
+        n = 1 << 20
+        sparse = unit.sparse_msm(n, dense_fraction=0.1, one_fraction=0.45)
+        dense = unit.dense_msm(n)
+        assert sparse.total_cycles < dense.total_cycles
+        assert sparse.bytes_read < dense.bytes_read
+
+    def test_empty_msm(self):
+        unit = MsmUnitModel(CONFIG)
+        assert unit.dense_msm(0).total_cycles == 0.0
+
+    def test_polynomial_opening_dominated_by_fixed_latency_at_small_sizes(self):
+        unit = MsmUnitModel(CONFIG)
+        execution = unit.polynomial_opening_msms(10)
+        # For a 2^10 problem the halving MSMs are tiny; aggregation and
+        # pipeline latency dominate the bucket work.
+        assert execution.aggregation_cycles + execution.fixed_latency_cycles > execution.bucket_cycles
+
+    def test_polynomial_opening_reads_about_n_points(self):
+        unit = MsmUnitModel(CONFIG)
+        num_vars = 20
+        execution = unit.polynomial_opening_msms(num_vars)
+        expected_points = sum(1 << (num_vars - k) for k in range(1, num_vars + 1))
+        assert execution.bytes_read == pytest.approx(
+            expected_points * (DEFAULT_TECHNOLOGY.point_bytes_affine + DEFAULT_TECHNOLOGY.field_bytes),
+            rel=0.01,
+        )
+
+    def test_area_scales_with_pes(self):
+        small = MsmUnitModel(ZkSpeedConfig(msm_pes_per_core=1)).area_mm2()
+        large = MsmUnitModel(ZkSpeedConfig(msm_pes_per_core=16)).area_mm2()
+        assert large > 10 * small
+
+    def test_area_close_to_table5(self):
+        # Table 5: 16-PE MSM unit occupies 105.64 mm^2.
+        area = MsmUnitModel(CONFIG).area_mm2()
+        assert area == pytest.approx(105.64, rel=0.10)
+
+    def test_local_sram_capacity(self):
+        unit = MsmUnitModel(CONFIG)
+        expected_mb = 16 * 2048 * 3 * 48 / 1e6
+        assert unit.local_sram_mb() == pytest.approx(expected_mb)
+
+    def test_expected_bucket_padds(self):
+        unit = MsmUnitModel(CONFIG)
+        assert unit.expected_bucket_padds(1000) == 1000 * unit.num_windows
+
+
+class TestSumcheckUnit:
+    def test_area_matches_table5_for_two_pes(self):
+        area = SumcheckUnitModel(CONFIG).area_mm2()
+        assert area == pytest.approx(24.96, rel=0.02)
+
+    def test_resource_sharing_saves_about_half(self):
+        shared = SumcheckUnitModel(ZkSpeedConfig(share_sumcheck_multipliers=True)).area_mm2()
+        unshared = SumcheckUnitModel(ZkSpeedConfig(share_sumcheck_multipliers=False)).area_mm2()
+        saving = 1.0 - shared / unshared
+        assert saving == pytest.approx(0.489, abs=0.02)
+
+    def test_compute_scales_with_pes_until_saturation(self):
+        one = SumcheckUnitModel(ZkSpeedConfig(sumcheck_pes=1)).run(20, ZEROCHECK_SHAPE)
+        four = SumcheckUnitModel(ZkSpeedConfig(sumcheck_pes=4)).run(20, ZEROCHECK_SHAPE)
+        assert one.compute_cycles > 3.5 * four.compute_cycles
+
+    def test_streaming_traffic_volume(self):
+        execution = SumcheckUnitModel(CONFIG).run(20, ZEROCHECK_SHAPE, first_round_on_chip=True)
+        # Rounds >= 2 stream ~9 tables of total size ~n entries each way.
+        n = 1 << 20
+        assert execution.bytes_read == pytest.approx(9 * n * 32, rel=0.1)
+        # The halved tables written each round are re-read the next round, so
+        # write traffic is at most the read traffic.
+        assert execution.bytes_written <= execution.bytes_read
+
+    def test_first_round_on_chip_saves_half_the_reads(self):
+        unit = SumcheckUnitModel(CONFIG)
+        on_chip = unit.run(16, ZEROCHECK_SHAPE, first_round_on_chip=True)
+        off_chip = unit.run(16, ZEROCHECK_SHAPE, first_round_on_chip=False)
+        assert off_chip.bytes_read == pytest.approx(2 * on_chip.bytes_read, rel=0.05)
+
+    def test_update_counts(self):
+        execution = SumcheckUnitModel(CONFIG).run(10, PERMCHECK_SHAPE)
+        # Each of the 13 MLEs is halved every round: ~13 * 2^10 updates total.
+        assert execution.update_modmuls == pytest.approx(13 * (1 << 10), rel=0.01)
+
+    def test_shape_constants_match_equations(self):
+        assert ZEROCHECK_SHAPE.max_degree == 4
+        assert PERMCHECK_SHAPE.max_degree == 5
+        assert OPENCHECK_SHAPE.max_degree == 2
+        assert ZEROCHECK_SHAPE.interpolation_modmuls == 23
+        assert PERMCHECK_SHAPE.interpolation_modmuls == 46
+
+    def test_unified_pe_covers_all_flavours(self):
+        unit = SumcheckUnitModel(CONFIG)
+        for shape in (ZEROCHECK_SHAPE, PERMCHECK_SHAPE, OPENCHECK_SHAPE):
+            assert unit.modmuls_per_instance(shape) <= DEFAULT_TECHNOLOGY.sumcheck_pe_modmuls
+
+
+class TestMleUpdateUnit:
+    def test_throughput_and_area(self):
+        unit = MleUpdateUnitModel(CONFIG)
+        assert unit.throughput_updates_per_cycle == 44
+        assert unit.area_mm2() == pytest.approx(44 * 0.133, rel=0.01)
+
+    def test_cycles_for_updates(self):
+        unit = MleUpdateUnitModel(CONFIG)
+        assert unit.cycles_for_updates(0) == 0.0
+        assert unit.cycles_for_updates(44_000) == pytest.approx(1000, rel=0.05)
+
+
+class TestMultifunctionTree:
+    def test_area_matches_table5(self):
+        assert MultifunctionTreeModel(CONFIG).area_mm2() == pytest.approx(12.28, rel=0.01)
+
+    def test_sharing_saves_area(self):
+        shared = MultifunctionTreeModel(ZkSpeedConfig(share_multifunction_tree=True)).area_mm2()
+        dedicated = MultifunctionTreeModel(
+            ZkSpeedConfig(share_multifunction_tree=False)
+        ).area_mm2()
+        assert 1.0 - shared / dedicated == pytest.approx(0.416, abs=0.01)
+
+    def test_build_mle_modmul_count(self):
+        unit = MultifunctionTreeModel(CONFIG)
+        # 2^(mu+1) - 4 multiplications (Section 4.3.1).
+        assert unit.build_mle_modmuls(10) == 2 * 1024 - 4
+        assert unit.build_mle_modmuls(0) == 0
+
+    def test_tree_cycles_scale_with_input(self):
+        unit = MultifunctionTreeModel(CONFIG)
+        assert unit.build_mle_cycles(16) > 7 * unit.build_mle_cycles(13)
+        assert unit.product_mle_cycles(16) > 7 * unit.product_mle_cycles(13)
+
+    def test_evaluate_passes_share_table_streams(self):
+        unit = MultifunctionTreeModel(CONFIG)
+        by_eval = unit.mle_evaluate_cycles(16, num_evaluations=22)
+        by_table = unit.mle_evaluate_cycles(16, num_evaluations=22, num_tables=13)
+        assert by_table < by_eval
+
+    def test_hybrid_traversal_storage_advantage(self):
+        """The hybrid DFS/BFS schedule avoids buffering half a tree level."""
+        unit = MultifunctionTreeModel(CONFIG)
+        bfs = unit.bfs_intermediate_storage_bytes(23)
+        hybrid = unit.hybrid_intermediate_storage_bytes(23)
+        assert bfs / hybrid > 10_000
+
+
+class TestFracMle:
+    def test_batch_size_64_minimizes_latency_imbalance(self):
+        """Figure 8: both the latency imbalance and the area are optimal at b=64."""
+        imbalances = {
+            b: batch_inversion_tradeoff(b).latency_imbalance for b in (2, 4, 8, 16, 32, 64, 128, 256)
+        }
+        best = min(imbalances, key=imbalances.get)
+        assert best == 64
+
+    def test_area_curve_shape(self):
+        areas = {b: batch_inversion_tradeoff(b).area_mm2 for b in (2, 64, 256)}
+        assert areas[2] > 10 * areas[64]
+        assert areas[256] > areas[64]
+
+    def test_unit_count_drops_with_batch_size(self):
+        assert batch_inversion_tradeoff(2).num_inverse_units > 200
+        assert batch_inversion_tradeoff(64).num_inverse_units < 20
+
+    def test_small_batch_rejected(self):
+        with pytest.raises(ValueError):
+            batch_inversion_tradeoff(1)
+
+    def test_fraction_mle_cycles_about_one_per_element(self):
+        unit = FracMleUnitModel(CONFIG)
+        cycles = unit.fraction_mle_cycles(20)
+        assert cycles == pytest.approx(1 << 20, rel=0.01)
+
+    def test_inversions_and_bytes(self):
+        unit = FracMleUnitModel(CONFIG)
+        assert unit.inversions(10) == (1 << 10) // 64
+        assert unit.bytes_written(10) == (1 << 10) * 32
+
+    def test_area_matches_table5(self):
+        assert FracMleUnitModel(CONFIG).area_mm2() == pytest.approx(1.92, rel=0.01)
+
+
+class TestSmallUnits:
+    def test_construct_nd(self):
+        unit = ConstructNdUnitModel(CONFIG)
+        assert unit.area_mm2() == pytest.approx(1.35)
+        assert unit.cycles(20) == pytest.approx(1 << 20, rel=0.01)
+        assert unit.bytes_written(20) == 8 * (1 << 20) * 32
+        assert unit.bytes_read(20, mle_compression=True) < unit.bytes_read(
+            20, mle_compression=False
+        )
+        assert unit.modmuls(20) == 10 * (1 << 20)
+
+    def test_mle_combine_sharing(self):
+        shared = MleCombineUnitModel(ZkSpeedConfig(share_mle_combine_multipliers=True))
+        unshared = MleCombineUnitModel(ZkSpeedConfig(share_mle_combine_multipliers=False))
+        assert shared.num_modmuls == 72
+        assert unshared.num_modmuls == 122
+        assert 1.0 - shared.area_mm2() / unshared.area_mm2() == pytest.approx(0.41, abs=0.01)
+        assert shared.area_mm2() == pytest.approx(9.56, rel=0.02)
+
+    def test_mle_combine_cycles(self):
+        unit = MleCombineUnitModel(CONFIG)
+        assert unit.combine_cycles(20, num_input_mles=21) == pytest.approx(
+            21 * (1 << 20) / 72, rel=0.01
+        )
+
+    def test_sha3_unit(self):
+        unit = Sha3UnitModel(CONFIG)
+        assert unit.area_mm2() == pytest.approx(0.0059)
+        assert unit.invocation_cycles() == 24
+        assert unit.transcript_cycles(20) > unit.transcript_cycles(10)
+
+    def test_unit_reports(self):
+        unit = Sha3UnitModel(CONFIG)
+        report = unit.report(busy_cycles=100)
+        assert report.name == "sha3"
+        assert report.utilization(1000) == pytest.approx(0.1)
+        assert report.utilization(0) == 0.0

@@ -1,0 +1,126 @@
+"""Tests for virtual polynomials (sums of products of MLEs)."""
+
+import random
+
+import pytest
+
+from repro.fields import Fr
+from repro.mle import MultilinearPolynomial, VirtualPolynomial
+
+
+@pytest.fixture()
+def rng():
+    return random.Random(17)
+
+
+class TestConstruction:
+    def test_add_mle_deduplicates_by_identity(self, rng):
+        a = MultilinearPolynomial.random(3, rng)
+        vp = VirtualPolynomial(3)
+        first = vp.add_mle(a)
+        second = vp.add_mle(a)
+        assert first == second
+        assert vp.num_mles == 1
+
+    def test_add_mle_size_check(self, rng):
+        vp = VirtualPolynomial(3)
+        with pytest.raises(ValueError):
+            vp.add_mle(MultilinearPolynomial.random(2, rng))
+
+    def test_add_product_requires_mles(self):
+        vp = VirtualPolynomial(2)
+        with pytest.raises(ValueError):
+            vp.add_product([])
+
+    def test_degrees(self, rng):
+        a = MultilinearPolynomial.random(2, rng)
+        b = MultilinearPolynomial.random(2, rng)
+        vp = VirtualPolynomial(2)
+        vp.add_product([a])
+        vp.add_product([a, b])
+        vp.add_product([a, b, a])
+        assert vp.max_degree == 3
+        assert vp.term_degrees() == [1, 2, 3]
+
+    def test_repr(self, rng):
+        vp = VirtualPolynomial(2)
+        vp.add_product([MultilinearPolynomial.random(2, rng)])
+        text = repr(vp)
+        assert "num_vars=2" in text and "terms=1" in text
+
+
+class TestEvaluation:
+    def test_evaluate_matches_manual_expansion(self, rng):
+        a = MultilinearPolynomial.random(3, rng)
+        b = MultilinearPolynomial.random(3, rng)
+        c = MultilinearPolynomial.random(3, rng)
+        vp = VirtualPolynomial(3)
+        vp.add_product([a, b], Fr(2))
+        vp.add_product([c], Fr(5))
+        point = [Fr.random(rng) for _ in range(3)]
+        expected = Fr(2) * a.evaluate(point) * b.evaluate(point) + Fr(5) * c.evaluate(point)
+        assert vp.evaluate(point) == expected
+
+    def test_hypercube_index_evaluation(self, rng):
+        a = MultilinearPolynomial.random(2, rng)
+        b = MultilinearPolynomial.random(2, rng)
+        vp = VirtualPolynomial(2)
+        vp.add_product([a, b])
+        for i in range(4):
+            assert vp.evaluate_on_hypercube_index(i) == a[i] * b[i]
+
+    def test_sum_over_hypercube(self, rng):
+        a = MultilinearPolynomial.random(3, rng)
+        b = MultilinearPolynomial.random(3, rng)
+        vp = VirtualPolynomial(3)
+        vp.add_product([a, b], Fr(3))
+        expected = Fr(0)
+        for x, y in zip(a, b):
+            expected = expected + Fr(3) * x * y
+        assert vp.sum_over_hypercube() == expected
+
+    def test_is_zero_on_hypercube(self, rng):
+        a = MultilinearPolynomial.random(3, rng)
+        b = MultilinearPolynomial.random(3, rng)
+        ab = a.hadamard(b)
+        vp = VirtualPolynomial(3)
+        vp.add_product([a, b])
+        vp.add_product([ab], Fr(-1))
+        assert vp.is_zero_on_hypercube()
+        vp2 = VirtualPolynomial(3)
+        vp2.add_product([a, b])
+        assert not vp2.is_zero_on_hypercube()
+
+    def test_integer_coefficient_coercion(self, rng):
+        a = MultilinearPolynomial.random(2, rng)
+        vp = VirtualPolynomial(2)
+        vp.add_product([a], 4)
+        point = [Fr.random(rng), Fr.random(rng)]
+        assert vp.evaluate(point) == Fr(4) * a.evaluate(point)
+
+
+class TestTransformation:
+    def test_fix_first_variable_preserves_evaluation(self, rng):
+        a = MultilinearPolynomial.random(4, rng)
+        b = MultilinearPolynomial.random(4, rng)
+        vp = VirtualPolynomial(4)
+        vp.add_product([a, b], Fr(7))
+        vp.add_product([a])
+        r = Fr.random(rng)
+        rest = [Fr.random(rng) for _ in range(3)]
+        fixed = vp.fix_first_variable(r)
+        assert fixed.num_vars == 3
+        assert fixed.evaluate(rest) == vp.evaluate([r] + rest)
+
+    def test_fix_variable_at_zero_vars_raises(self):
+        vp = VirtualPolynomial(0)
+        with pytest.raises(ValueError):
+            vp.fix_first_variable(Fr(1))
+
+    def test_modmul_count_helper(self, rng):
+        a = MultilinearPolynomial.random(2, rng)
+        b = MultilinearPolynomial.random(2, rng)
+        vp = VirtualPolynomial(2)
+        vp.add_product([a, b])          # 1 mul, coefficient one
+        vp.add_product([a, b, a], Fr(3))  # 2 muls + 1 coefficient mul
+        assert vp.total_modmuls_per_hypercube_point() == 4

@@ -1,0 +1,36 @@
+"""Tests for the architectural workload model."""
+
+import pytest
+
+from repro.core import WorkloadModel
+
+
+class TestWorkloadModel:
+    def test_defaults_match_paper_sparsity_assumption(self):
+        workload = WorkloadModel(num_vars=20)
+        assert workload.dense_fraction == pytest.approx(0.10)
+        assert workload.one_fraction == pytest.approx(0.45)
+        assert workload.zero_fraction == pytest.approx(0.45)
+
+    def test_num_gates(self):
+        assert WorkloadModel(num_vars=17).num_gates == 1 << 17
+
+    def test_scalar_counts(self):
+        workload = WorkloadModel(num_vars=10)
+        assert workload.dense_witness_scalars == round(0.1 * 1024)
+        assert workload.one_witness_scalars == round(0.45 * 1024)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WorkloadModel(num_vars=0)
+        with pytest.raises(ValueError):
+            WorkloadModel(num_vars=10, dense_fraction=0.5, one_fraction=0.1, zero_fraction=0.1)
+        with pytest.raises(ValueError):
+            WorkloadModel(
+                num_vars=10, dense_fraction=-0.1, one_fraction=0.6, zero_fraction=0.5
+            )
+
+    def test_paper_table3_sizes(self):
+        models = WorkloadModel.paper_table3()
+        assert [m.num_vars for m in models] == [17, 20, 21, 22, 23]
+        assert models[0].name == "Zcash"

@@ -1,0 +1,89 @@
+"""Tests for the synthetic workload circuit generators."""
+
+import pytest
+
+from repro.circuits import (
+    WORKLOADS,
+    auction_circuit,
+    mock_circuit,
+    recursive_circuit,
+    rescue_hash_circuit,
+    rollup_circuit,
+    zcash_transfer_circuit,
+)
+from repro.core.workload_model import WorkloadModel
+
+GENERATORS = {
+    "mock": mock_circuit,
+    "zcash": zcash_transfer_circuit,
+    "auction": auction_circuit,
+    "rescue": rescue_hash_circuit,
+    "recursive": recursive_circuit,
+    "rollup": rollup_circuit,
+}
+
+
+class TestGenerators:
+    @pytest.mark.parametrize("name", sorted(GENERATORS))
+    def test_circuits_are_satisfiable(self, name):
+        circuit = GENERATORS[name](6, seed=3)
+        assert circuit.num_vars == 6
+        assert circuit.num_gates == 64
+        assert circuit.is_satisfied(), f"{name} circuit is not satisfied"
+
+    @pytest.mark.parametrize("name", sorted(GENERATORS))
+    def test_circuits_scale_to_requested_size(self, name):
+        circuit = GENERATORS[name](7, seed=1)
+        assert circuit.num_gates == 128
+        # Generators should actually fill a substantial part of the padded size.
+        assert circuit.num_real_gates > 40
+
+    def test_mock_circuit_deterministic_per_seed(self):
+        a = mock_circuit(5, seed=42)
+        b = mock_circuit(5, seed=42)
+        assert a.witnesses["w1"].evaluations == b.witnesses["w1"].evaluations
+        c = mock_circuit(5, seed=43)
+        assert a.witnesses["w1"].evaluations != c.witnesses["w1"].evaluations
+
+    def test_mock_circuit_dense_fraction_controls_sparsity(self):
+        sparse = mock_circuit(6, seed=1, dense_fraction=0.02)
+        dense = mock_circuit(6, seed=1, dense_fraction=0.5)
+        assert (
+            sparse.witness_sparsity()["dense_fraction"]
+            < dense.witness_sparsity()["dense_fraction"]
+        )
+
+    def test_rollup_transaction_count(self):
+        circuit = rollup_circuit(6, seed=2, num_transactions=3)
+        assert circuit.is_satisfied()
+
+
+class TestWorkloadRegistry:
+    def test_registry_matches_paper_table3(self):
+        assert set(WORKLOADS) == {"zcash", "auction", "rescue", "recursive", "rollup"}
+        paper_sizes = {
+            "zcash": 17,
+            "auction": 20,
+            "rescue": 21,
+            "recursive": 22,
+            "rollup": 23,
+        }
+        for key, spec in WORKLOADS.items():
+            assert spec.paper_log_size == paper_sizes[key]
+
+    def test_registry_build(self):
+        circuit = WORKLOADS["zcash"].build(5, seed=1)
+        assert circuit.is_satisfied()
+
+    def test_workload_model_from_circuit(self):
+        circuit = mock_circuit(5, seed=8)
+        model = WorkloadModel.from_circuit(circuit)
+        assert model.num_vars == 5
+        assert abs(
+            model.dense_fraction + model.one_fraction + model.zero_fraction - 1.0
+        ) < 1e-9
+
+    def test_paper_table3_workload_models(self):
+        models = WorkloadModel.paper_table3()
+        assert [m.num_vars for m in models] == [17, 20, 21, 22, 23]
+        assert all(abs(m.dense_fraction - 0.10) < 1e-9 for m in models)

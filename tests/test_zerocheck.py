@@ -1,0 +1,112 @@
+"""Tests for the ZeroCheck construction."""
+
+import random
+
+import pytest
+
+from repro.fields import Fr
+from repro.mle import MultilinearPolynomial, VirtualPolynomial
+from repro.sumcheck import (
+    SumcheckVerificationError,
+    prove_zerocheck,
+    verify_zerocheck,
+)
+from repro.transcript import Transcript
+
+
+@pytest.fixture()
+def rng():
+    return random.Random(53)
+
+
+def vanishing_poly(rng, num_vars=4):
+    """A virtual polynomial that vanishes on the whole hypercube: a*b - (a.b)."""
+    a = MultilinearPolynomial.random(num_vars, rng)
+    b = MultilinearPolynomial.random(num_vars, rng)
+    ab = a.hadamard(b)
+    vp = VirtualPolynomial(num_vars)
+    vp.add_product([a, b])
+    vp.add_product([ab], Fr(-1))
+    return vp
+
+
+class TestZerocheckCompleteness:
+    def test_honest_zerocheck_verifies(self, rng):
+        vp = vanishing_poly(rng)
+        output = prove_zerocheck(vp, Transcript())
+        verdict = verify_zerocheck(output.proof, vp.num_vars, Transcript())
+        assert verdict.zerocheck_challenges == output.zerocheck_challenges
+        assert verdict.sumcheck_challenges == output.sumcheck_challenges
+        constraint_value = vp.evaluate(verdict.sumcheck_challenges)
+        assert verdict.final_claim == verdict.eq_at_point * constraint_value
+
+    def test_constraint_claim_division(self, rng):
+        vp = vanishing_poly(rng)
+        output = prove_zerocheck(vp, Transcript())
+        verdict = verify_zerocheck(output.proof, vp.num_vars, Transcript())
+        if not verdict.eq_at_point.is_zero():
+            assert verdict.constraint_claim() == vp.evaluate(verdict.sumcheck_challenges)
+
+    def test_claimed_sum_is_zero(self, rng):
+        vp = vanishing_poly(rng)
+        output = prove_zerocheck(vp, Transcript())
+        assert output.proof.sumcheck.claimed_sum.is_zero()
+
+    def test_degree_includes_eq_factor(self, rng):
+        vp = vanishing_poly(rng)
+        output = prove_zerocheck(vp, Transcript())
+        assert output.proof.sumcheck.max_degree == vp.max_degree + 1
+
+    def test_different_transcript_prefixes_give_different_challenges(self, rng):
+        vp = vanishing_poly(rng)
+        t1 = Transcript()
+        t1.absorb_int(b"ctx", 1)
+        t2 = Transcript()
+        t2.absorb_int(b"ctx", 2)
+        out1 = prove_zerocheck(vp, t1)
+        out2 = prove_zerocheck(vp, t2)
+        assert out1.zerocheck_challenges != out2.zerocheck_challenges
+
+
+class TestZerocheckSoundness:
+    def test_nonvanishing_polynomial_detected(self, rng):
+        """For a polynomial that is NOT zero on the hypercube, an honest-style
+        proof claiming zero must be caught by the verifier's final check."""
+        num_vars = 3
+        a = MultilinearPolynomial.random(num_vars, rng)
+        b = MultilinearPolynomial.random(num_vars, rng)
+        vp = VirtualPolynomial(num_vars)
+        vp.add_product([a, b])
+        assert not vp.is_zero_on_hypercube()
+        try:
+            output = prove_zerocheck(vp, Transcript())
+        except SumcheckVerificationError:
+            return
+        try:
+            verdict = verify_zerocheck(output.proof, num_vars, Transcript())
+        except SumcheckVerificationError:
+            return
+        constraint_value = vp.evaluate(verdict.sumcheck_challenges)
+        # The reduced claim cannot match eq(a, r) * F(r) for a lying prover
+        # (except with negligible probability over the challenges).
+        assert verdict.final_claim != verdict.eq_at_point * constraint_value
+
+    def test_nonzero_claimed_sum_rejected(self, rng):
+        vp = vanishing_poly(rng)
+        output = prove_zerocheck(vp, Transcript())
+        output.proof.sumcheck.claimed_sum = Fr(1)
+        with pytest.raises(SumcheckVerificationError):
+            verify_zerocheck(output.proof, vp.num_vars, Transcript())
+
+    def test_wrong_num_vars_rejected(self, rng):
+        vp = vanishing_poly(rng)
+        output = prove_zerocheck(vp, Transcript())
+        with pytest.raises(SumcheckVerificationError):
+            verify_zerocheck(output.proof, vp.num_vars + 1, Transcript())
+
+    def test_tampered_round_rejected(self, rng):
+        vp = vanishing_poly(rng)
+        output = prove_zerocheck(vp, Transcript())
+        output.proof.sumcheck.rounds[0].evaluations[1] = Fr(12345)
+        with pytest.raises(SumcheckVerificationError):
+            verify_zerocheck(output.proof, vp.num_vars, Transcript())
