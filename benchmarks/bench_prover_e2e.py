@@ -1,0 +1,146 @@
+"""End-to-end HyperPlonk prover benchmark across field-vector backends.
+
+Times the full prove/verify pipeline at several circuit sizes for every
+available field-vector backend, verifies that all backends produce
+byte-identical proofs, and writes ``BENCH_prover.json`` with per-phase
+breakdowns so the performance trajectory is tracked from this PR onward.
+
+Run from the repository root::
+
+    PYTHONPATH=src python benchmarks/bench_prover_e2e.py
+    PYTHONPATH=src python benchmarks/bench_prover_e2e.py --sizes 8,10,12
+    PYTHONPATH=src python benchmarks/bench_prover_e2e.py --sizes 14 --backends auto
+
+Notes
+-----
+* ``--sizes`` are hypercube exponents (2^mu gates).  The default stays
+  laptop-friendly; pass ``--sizes 14`` for the paper-scale-adjacent point
+  (SRS setup alone takes minutes of pure-Python curve arithmetic there).
+* SRS setup runs once per size (plain curve points, backend-independent)
+  and is excluded from the per-backend timings.  Circuit compilation and
+  preprocessing are re-run under each backend (vectors keep the backend
+  they were created with) but also excluded from the timed prove/verify.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import sys
+import time
+from pathlib import Path
+
+from repro.circuits import mock_circuit
+from repro.fields import available_backends, set_default_backend
+from repro.pcs import setup
+from repro.protocol import preprocess, prove, verify
+from repro.protocol.serialization import serialize_proof
+
+
+def _phase_breakdown(trace) -> dict[str, float]:
+    return {
+        step.name: round(step.wall_time_seconds, 4)
+        for step in trace.steps
+        if step.wall_time_seconds
+    }
+
+
+def bench_size(num_vars: int, backends: list[str], witness_seed: int) -> dict:
+    t0 = time.perf_counter()
+    srs = setup(num_vars, seed=1)
+    setup_seconds = time.perf_counter() - t0
+
+    entry: dict = {
+        "num_vars": num_vars,
+        "num_gates": 1 << num_vars,
+        "setup_seconds": round(setup_seconds, 3),
+        "backends": {},
+    }
+    proof_blobs: dict[str, bytes] = {}
+    for backend in backends:
+        # Vectors keep the backend they were created with, so the circuit
+        # tables and proving key must be (re)built under the backend being
+        # measured — otherwise the timed prove would partly run on vectors
+        # that preprocessing created under a different policy.  The SRS is
+        # plain curve points and can be shared.
+        set_default_backend(None if backend == "auto" else backend)
+        try:
+            circuit = mock_circuit(num_vars, seed=witness_seed)
+            t0 = time.perf_counter()
+            pk, vk = preprocess(circuit, srs)
+            preprocess_seconds = time.perf_counter() - t0
+            t0 = time.perf_counter()
+            proof, trace = prove(pk, collect_trace=True)
+            prove_seconds = time.perf_counter() - t0
+            t0 = time.perf_counter()
+            ok = verify(vk, proof)
+            verify_seconds = time.perf_counter() - t0
+        finally:
+            set_default_backend(None)
+        if not ok:
+            raise SystemExit(f"verification FAILED for backend {backend!r}")
+        proof_blobs[backend] = serialize_proof(proof)
+        entry["backends"][backend] = {
+            "preprocess_seconds": round(preprocess_seconds, 3),
+            "prove_seconds": round(prove_seconds, 3),
+            "verify_seconds": round(verify_seconds, 3),
+            "phases": _phase_breakdown(trace),
+        }
+        print(
+            f"  2^{num_vars:<2d} {backend:>7s}: prove {prove_seconds:7.2f}s  "
+            f"verify {verify_seconds:5.2f}s  OK"
+        )
+
+    blobs = set(proof_blobs.values())
+    if len(blobs) != 1:
+        raise SystemExit(
+            f"backends produced DIFFERENT proofs at 2^{num_vars}: "
+            f"{sorted(proof_blobs)}"
+        )
+    entry["identical_proofs_across_backends"] = True
+    return entry
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--sizes",
+        default="6,8,10",
+        help="comma-separated hypercube exponents (default: 6,8,10)",
+    )
+    parser.add_argument(
+        "--backends",
+        default=None,
+        help="comma-separated backends to compare "
+        "(default: auto plus every installed backend)",
+    )
+    parser.add_argument("--witness-seed", type=int, default=3)
+    parser.add_argument(
+        "--output",
+        default=str(Path(__file__).resolve().parent.parent / "BENCH_prover.json"),
+    )
+    args = parser.parse_args(argv)
+
+    sizes = [int(s) for s in args.sizes.split(",") if s]
+    if args.backends:
+        backends = [b.strip() for b in args.backends.split(",") if b.strip()]
+    else:
+        backends = ["auto"] + available_backends()
+
+    print(f"backends: {', '.join(backends)}   sizes: {sizes}")
+    results = {
+        "benchmark": "hyperplonk_prover_e2e",
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "available_backends": available_backends(),
+        "sizes": [bench_size(nv, backends, args.witness_seed) for nv in sizes],
+    }
+    out_path = Path(args.output)
+    out_path.write_text(json.dumps(results, indent=2) + "\n")
+    print(f"wrote {out_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -188,27 +188,29 @@ class CircuitBuilder:
         while len(gates) < size:
             gates.append(Gate.noop(self._zero.index))
 
-        selectors = {name: [] for name in SELECTOR_NAMES}
-        witness = {name: [] for name in WITNESS_NAMES}
+        # Collect raw residues so each table becomes one FieldVector
+        # construction instead of 2^mu FieldElement wrappers.
+        selectors: dict[str, list[int]] = {name: [] for name in SELECTOR_NAMES}
+        witness: dict[str, list[int]] = {name: [] for name in WITNESS_NAMES}
         wires: list[tuple[int, int, int]] = []
         for gate in gates:
-            selectors["q_l"].append(gate.q_l)
-            selectors["q_r"].append(gate.q_r)
-            selectors["q_m"].append(gate.q_m)
-            selectors["q_o"].append(gate.q_o)
-            selectors["q_c"].append(gate.q_c)
+            selectors["q_l"].append(gate.q_l.value)
+            selectors["q_r"].append(gate.q_r.value)
+            selectors["q_m"].append(gate.q_m.value)
+            selectors["q_o"].append(gate.q_o.value)
+            selectors["q_c"].append(gate.q_c.value)
             a, b, c = gate.wires
-            witness["w1"].append(self._values[a])
-            witness["w2"].append(self._values[b])
-            witness["w3"].append(self._values[c])
+            witness["w1"].append(self._values[a].value)
+            witness["w2"].append(self._values[b].value)
+            witness["w3"].append(self._values[c].value)
             wires.append(gate.wires)
 
         selector_mles = {
-            name: MultilinearPolynomial(num_vars, values, field)
+            name: MultilinearPolynomial.from_ints(num_vars, values, field)
             for name, values in selectors.items()
         }
         witness_mles = {
-            name: MultilinearPolynomial(num_vars, values, field)
+            name: MultilinearPolynomial.from_ints(num_vars, values, field)
             for name, values in witness.items()
         }
         sigmas = build_permutation(wires, num_vars, field)

@@ -25,11 +25,21 @@ from repro.mle.mle import MultilinearPolynomial
 NUM_WIRE_COLUMNS = 3
 
 
-def position_value(column: int, gate: int, num_vars: int, field: PrimeField = Fr) -> FieldElement:
-    """Encode position (column, gate) as a field element."""
+def position_residue(column: int, gate: int, size: int) -> int:
+    """Encode position (column, gate) as a raw residue (``column*size+gate``).
+
+    Single source of truth for the position encoding; the table builders
+    use this int-level form directly so whole sigma columns can be handed
+    to one vectorized MLE constructor.
+    """
     if not 0 <= column < NUM_WIRE_COLUMNS:
         raise ValueError(f"column must be in [0, {NUM_WIRE_COLUMNS})")
-    return field(column * (1 << num_vars) + gate)
+    return column * size + gate
+
+
+def position_value(column: int, gate: int, num_vars: int, field: PrimeField = Fr) -> FieldElement:
+    """Encode position (column, gate) as a field element."""
+    return field(position_residue(column, gate, 1 << num_vars))
 
 
 def identity_permutation(
@@ -38,9 +48,9 @@ def identity_permutation(
     """The identity permutation MLEs id_1..3 (not committed; verifier-computable)."""
     size = 1 << num_vars
     return [
-        MultilinearPolynomial(
+        MultilinearPolynomial.from_ints(
             num_vars,
-            [position_value(col, gate, num_vars, field) for gate in range(size)],
+            [position_residue(col, gate, size) for gate in range(size)],
             field,
         )
         for col in range(NUM_WIRE_COLUMNS)
@@ -83,9 +93,11 @@ def build_permutation(
         positions_by_variable[b].append((1, gate))
         positions_by_variable[c].append((2, gate))
 
-    # Start with the identity and rotate each variable's cycle by one.
-    sigma_values: list[list[FieldElement]] = [
-        [position_value(col, gate, num_vars, field) for gate in range(size)]
+    # Start with the identity and rotate each variable's cycle by one.  The
+    # encodings are small ints, so the tables are assembled as raw residues
+    # and vectorized in one constructor call per column.
+    sigma_values: list[list[int]] = [
+        [position_residue(col, gate, size) for gate in range(size)]
         for col in range(NUM_WIRE_COLUMNS)
     ]
     for positions in positions_by_variable.values():
@@ -93,11 +105,9 @@ def build_permutation(
             continue
         for index, (col, gate) in enumerate(positions):
             next_col, next_gate = positions[(index + 1) % len(positions)]
-            sigma_values[col][gate] = position_value(
-                next_col, next_gate, num_vars, field
-            )
+            sigma_values[col][gate] = position_residue(next_col, next_gate, size)
 
     return [
-        MultilinearPolynomial(num_vars, sigma_values[col], field)
+        MultilinearPolynomial.from_ints(num_vars, sigma_values[col], field)
         for col in range(NUM_WIRE_COLUMNS)
     ]

@@ -73,9 +73,23 @@ def _cmd_dse(args: argparse.Namespace) -> int:
 
 def _cmd_prove(args: argparse.Namespace) -> int:
     from repro.circuits import mock_circuit
+    from repro.fields import set_default_backend
     from repro.pcs import setup
     from repro.protocol import preprocess, prove, proof_size_bytes, verify
 
+    if args.field_backend != "auto":
+        try:
+            set_default_backend(args.field_backend)
+        except KeyError:
+            # e.g. --field-backend numpy on an install without NumPy: degrade
+            # to the default policy resolution (REPRO_FIELD_BACKEND or auto),
+            # like a direct env-var request for a missing backend would.
+            from repro.fields.backends import default_policy
+
+            print(
+                f"warning: backend {args.field_backend!r} unavailable, "
+                f"using default backend policy ({default_policy()!r})"
+            )
     rng = random.Random(args.seed)
     circuit = mock_circuit(args.log_gates, seed=rng.randrange(1 << 30))
     print(f"circuit: 2^{circuit.num_vars} gates ({circuit.num_real_gates} real)")
@@ -125,6 +139,12 @@ def build_parser() -> argparse.ArgumentParser:
     prove = subparsers.add_parser("prove", help="prove and verify a demo circuit")
     prove.add_argument("--log-gates", type=int, default=5)
     prove.add_argument("--seed", type=int, default=0)
+    prove.add_argument(
+        "--field-backend",
+        choices=("auto", "python", "numpy"),
+        default="auto",
+        help="field-vector backend for the prover hot paths (default: auto)",
+    )
     prove.set_defaults(func=_cmd_prove)
 
     table1 = subparsers.add_parser("table1", help="print the Table 1 kernel profiles")

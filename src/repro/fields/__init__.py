@@ -14,18 +14,36 @@ constant-time Binary Extended Euclidean Algorithm used by the FracMLE unit
 
 from repro.fields.field import FieldElement, PrimeField
 from repro.fields.bls12_381 import FR_MODULUS, FQ_MODULUS, Fr, Fq
-from repro.fields.inversion import batch_inverse, beea_inverse, beea_iteration_count
+from repro.fields.inversion import (
+    batch_inverse,
+    batch_inverse_ints,
+    beea_inverse,
+    beea_iteration_count,
+)
 from repro.fields.montgomery import MontgomeryContext
+from repro.fields.vector import FieldVector
+from repro.fields.backends import (
+    available_backends,
+    get_backend,
+    register_backend,
+    set_default_backend,
+)
 
 __all__ = [
     "FieldElement",
     "PrimeField",
+    "FieldVector",
     "Fr",
     "Fq",
     "FR_MODULUS",
     "FQ_MODULUS",
     "batch_inverse",
+    "batch_inverse_ints",
     "beea_inverse",
     "beea_iteration_count",
     "MontgomeryContext",
+    "available_backends",
+    "get_backend",
+    "register_backend",
+    "set_default_backend",
 ]

@@ -1,0 +1,122 @@
+"""Pluggable field-vector backends.
+
+Two backends ship with the repository:
+
+* ``"python"`` -- portable ``list[int]`` arithmetic (always available).
+* ``"numpy"``  -- vectorized multi-limb Montgomery arithmetic (requires
+  NumPy; silently absent when the dependency is not installed).
+
+Selection
+---------
+The active policy is resolved, in order, from:
+
+1. an explicit :func:`set_default_backend` call (e.g. from the CLI),
+2. the ``REPRO_FIELD_BACKEND`` environment variable
+   (``python`` / ``numpy`` / ``auto``),
+3. the built-in default ``auto``.
+
+``auto`` picks NumPy for vectors of at least ``REPRO_FIELD_BACKEND_THRESHOLD``
+elements (default 1024 -- the measured crossover where vectorized Montgomery
+limb arithmetic overtakes CPython big-int arithmetic) and the Python backend
+below it, so small test vectors never pay per-call NumPy dispatch overhead.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.fields.backends.base import VectorBackend
+from repro.fields.backends.python_backend import PythonVectorBackend
+
+__all__ = [
+    "VectorBackend",
+    "PythonVectorBackend",
+    "available_backends",
+    "get_backend",
+    "default_backend_for",
+    "default_policy",
+    "register_backend",
+    "set_default_backend",
+]
+
+_REGISTRY: dict[str, VectorBackend] = {}
+
+
+def register_backend(backend: VectorBackend) -> None:
+    """Register (or replace) a backend under ``backend.name``."""
+    _REGISTRY[backend.name] = backend
+
+
+register_backend(PythonVectorBackend())
+
+try:  # NumPy is an optional dependency; the repo must work without it.
+    from repro.fields.backends.numpy_backend import NumpyVectorBackend
+
+    register_backend(NumpyVectorBackend())
+    HAS_NUMPY = True
+except ImportError:  # pragma: no cover - exercised on NumPy-free installs
+    HAS_NUMPY = False
+
+
+def _threshold_from_env() -> int:
+    raw = os.environ.get("REPRO_FIELD_BACKEND_THRESHOLD", "")
+    try:
+        return int(raw)
+    except ValueError:
+        return 1024
+
+
+#: Vector length at which ``auto`` switches from the Python backend to NumPy.
+AUTO_THRESHOLD = _threshold_from_env()
+
+_override_policy: str | None = None
+
+
+def available_backends() -> list[str]:
+    """Names of all registered backends."""
+    return sorted(_REGISTRY)
+
+
+def get_backend(name: str) -> VectorBackend:
+    """Look up a backend by name (raises ``KeyError`` with guidance)."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown field-vector backend {name!r}; "
+            f"available: {', '.join(available_backends())}"
+        ) from None
+
+
+def set_default_backend(name: str | None) -> None:
+    """Force the selection policy (``"python"``/``"numpy"``/``"auto"``/None).
+
+    ``None`` restores environment-variable / built-in resolution.
+    """
+    if name is not None and name != "auto":
+        get_backend(name)  # validate eagerly
+    global _override_policy
+    _override_policy = name
+
+
+def default_policy() -> str:
+    """The currently active policy string."""
+    if _override_policy is not None:
+        return _override_policy
+    return os.environ.get("REPRO_FIELD_BACKEND", "auto")
+
+
+def default_backend_for(length: int) -> VectorBackend:
+    """Resolve the backend a new ``length``-element vector should use."""
+    policy = default_policy()
+    if policy == "auto":
+        if HAS_NUMPY and length >= AUTO_THRESHOLD:
+            return _REGISTRY["numpy"]
+        return _REGISTRY["python"]
+    backend = _REGISTRY.get(policy)
+    if backend is None:
+        # A requested-but-unavailable backend (e.g. REPRO_FIELD_BACKEND=numpy
+        # without NumPy installed) degrades to the reference implementation
+        # rather than failing an otherwise valid run.
+        return _REGISTRY["python"]
+    return backend

@@ -1,0 +1,154 @@
+"""Abstract interface every field-vector backend implements.
+
+A backend owns the *storage representation* of a dense array of prime-field
+elements and provides array-level arithmetic over it.  The representation is
+opaque to callers: :class:`~repro.fields.vector.FieldVector` passes the
+``data`` handle returned by one backend method into the next, and only
+converts to/from Python integers at the edges (transcript absorption, MSM
+digit extraction, tests).
+
+All methods take the field ``modulus`` explicitly so a single backend
+instance serves every prime field in the system (Fr for MLE/SumCheck
+tables, Fq for curve-coordinate experiments).  Values crossing the
+interface as "ints" are ordinary residues in ``[0, modulus)``; backends are
+free to store something else internally (e.g. Montgomery-form limbs).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Any, Sequence
+
+
+class VectorBackend(ABC):
+    """Array-level arithmetic over GF(p) for a pluggable storage format."""
+
+    #: Registry key and human-readable identifier (e.g. ``"python"``).
+    name: str = "abstract"
+
+    # -- construction / conversion --------------------------------------------
+
+    @abstractmethod
+    def from_ints(self, modulus: int, values: Sequence[int]) -> Any:
+        """Build backend data from residues (each already in ``[0, p)``).
+
+        Ownership of a ``list`` input transfers to the backend (callers must
+        hand over a list they will not mutate afterwards); other sequence
+        types are copied as needed.
+        """
+
+    @abstractmethod
+    def filled(self, modulus: int, value: int, length: int) -> Any:
+        """A length-``length`` vector with every entry equal to ``value``."""
+
+    @abstractmethod
+    def to_ints(self, modulus: int, data: Any) -> list[int]:
+        """Convert backend data back to a list of residues."""
+
+    @abstractmethod
+    def copy(self, modulus: int, data: Any) -> Any:
+        """An independent copy (mutations via :meth:`setitem` must not alias)."""
+
+    # -- shape / element access ------------------------------------------------
+
+    @abstractmethod
+    def length(self, data: Any) -> int:
+        """Number of elements."""
+
+    @abstractmethod
+    def getitem(self, modulus: int, data: Any, index: int) -> int:
+        """Residue at ``index`` (non-negative index, bounds already checked)."""
+
+    @abstractmethod
+    def setitem(self, modulus: int, data: Any, index: int, value: int) -> None:
+        """In-place element store (``value`` already reduced)."""
+
+    @abstractmethod
+    def slice(self, modulus: int, data: Any, start: int, stop: int) -> Any:
+        """Contiguous sub-vector ``[start, stop)`` as new backend data."""
+
+    @abstractmethod
+    def concat(self, modulus: int, parts: Sequence[Any]) -> Any:
+        """Concatenate several data handles into one vector."""
+
+    # -- elementwise arithmetic -------------------------------------------------
+
+    @abstractmethod
+    def add(self, modulus: int, a: Any, b: Any) -> Any:
+        """Elementwise ``a + b``."""
+
+    @abstractmethod
+    def sub(self, modulus: int, a: Any, b: Any) -> Any:
+        """Elementwise ``a - b``."""
+
+    @abstractmethod
+    def neg(self, modulus: int, a: Any) -> Any:
+        """Elementwise ``-a``."""
+
+    @abstractmethod
+    def mul(self, modulus: int, a: Any, b: Any) -> Any:
+        """Elementwise ``a * b`` (Hadamard product)."""
+
+    # -- scalar broadcast --------------------------------------------------------
+
+    @abstractmethod
+    def scalar_mul(self, modulus: int, a: Any, scalar: int) -> Any:
+        """``scalar * a`` for a single residue ``scalar``."""
+
+    @abstractmethod
+    def scalar_add(self, modulus: int, a: Any, scalar: int) -> Any:
+        """``a + scalar`` broadcast."""
+
+    @abstractmethod
+    def axpy(self, modulus: int, a: Any, scalar: int, x: Any) -> Any:
+        """Fused ``a + scalar * x`` (the MLE Combine / N&D inner pattern)."""
+
+    # -- MLE-shaped operations ----------------------------------------------------
+
+    @abstractmethod
+    def fold(self, modulus: int, a: Any, r: int) -> Any:
+        """MLE Update: ``out[i] = a[2i] + r * (a[2i+1] - a[2i])``.
+
+        Halves the vector; ``a`` must have even length.  This is Equation (2)
+        of the paper (zkSpeed's MLE Update unit) and the single hottest
+        operation of the SumCheck prover.
+        """
+
+    @abstractmethod
+    def even_odd(self, modulus: int, a: Any) -> tuple[Any, Any]:
+        """Split into (even-index, odd-index) halves (SumCheck pairing)."""
+
+    # -- reductions ----------------------------------------------------------------
+
+    @abstractmethod
+    def sum(self, modulus: int, a: Any) -> int:
+        """Residue of the sum of all entries."""
+
+    @abstractmethod
+    def dot(self, modulus: int, a: Any, b: Any) -> int:
+        """Residue of ``sum_i a[i] * b[i]``."""
+
+    # -- batch inversion -------------------------------------------------------------
+
+    @abstractmethod
+    def inverse(self, modulus: int, a: Any) -> Any:
+        """Elementwise multiplicative inverse via batched inversion.
+
+        Raises ``ZeroDivisionError`` if any entry is zero (mirrors
+        :func:`repro.fields.inversion.batch_inverse`).
+        """
+
+    # -- predicates -------------------------------------------------------------------
+
+    @abstractmethod
+    def count_zeros_ones(self, modulus: int, a: Any) -> tuple[int, int]:
+        """``(#zeros, #ones)`` -- the Sparse-MSM classification counts."""
+
+    def is_zero(self, modulus: int, a: Any) -> bool:
+        """True when every entry is zero."""
+        zeros, _ = self.count_zeros_ones(modulus, a)
+        return zeros == self.length(a)
+
+    def equal(self, modulus: int, a: Any, b: Any) -> bool:
+        """Elementwise equality of two same-backend vectors."""
+        return self.to_ints(modulus, a) == self.to_ints(modulus, b)

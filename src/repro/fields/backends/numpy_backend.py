@@ -1,0 +1,405 @@
+"""NumPy backend: multi-limb Montgomery arithmetic over uint64 lanes.
+
+Elements are stored as ``(L, n)`` ``uint64`` arrays of 29-bit limbs in
+Montgomery form (``x * R mod N`` with ``R = 2^(29 L)``), little-endian limb
+order, every limb normalized below ``2^29`` and every value below ``N``.
+This is the software analogue of zkSpeed's wide Montgomery-multiplier
+datapaths (Section 6.1): one vectorized multiply advances *all* lanes of an
+MLE table through the same schoolbook+REDC schedule a hardware unit would
+pipeline.
+
+Why 29-bit limbs in 64-bit lanes: a limb product is below ``2^58``, so a
+full schoolbook column (up to ``L`` products from the operand product plus
+``L`` more from the interleaved REDC additions, ``L <= 14`` for the BLS12-381
+base field) accumulates below ``2^63`` -- lazy carries never overflow a
+``uint64`` lane, and carry propagation happens once per multiplication
+instead of once per partial product.
+
+Large vectors are processed in cache-sized chunks; the ``(2L, chunk)``
+accumulator of a 255-bit multiply then stays within L2, which measurably
+beats both the unchunked kernel and CPython big-int arithmetic from a few
+hundred lanes upward.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from repro.fields.backends.base import VectorBackend
+
+LIMB_BITS = 29
+LIMB_MASK = (1 << LIMB_BITS) - 1
+
+#: Lanes per cache-sized tile of the multiply kernel.
+CHUNK = 4096
+
+_U_MASK = np.uint64(LIMB_MASK)
+_U_SHIFT = np.uint64(LIMB_BITS)
+
+
+class _MontgomeryLaneContext:
+    """Per-modulus constants for the vectorized Montgomery kernels."""
+
+    __slots__ = (
+        "modulus",
+        "num_limbs",
+        "r",
+        "r_inv",
+        "n0_inv",
+        "n_col",
+        "comp_n_col",
+        "one_mont_col",
+        "r2_col",
+        "one_col",
+    )
+
+    def __init__(self, modulus: int):
+        if modulus % 2 == 0:
+            raise ValueError("Montgomery arithmetic requires an odd modulus")
+        self.modulus = modulus
+        self.num_limbs = -(-modulus.bit_length() // LIMB_BITS)
+        self.r = 1 << (LIMB_BITS * self.num_limbs)
+        self.r_inv = pow(self.r, -1, modulus)
+        self.n0_inv = np.uint64((-pow(modulus, -1, 1 << LIMB_BITS)) % (1 << LIMB_BITS))
+        self.n_col = self._int_to_col(modulus)
+        self.comp_n_col = self._int_to_col(self.r - modulus)
+        self.one_mont_col = self._int_to_col(self.r % modulus)
+        # R^2 (to enter the Montgomery domain) and plain 1 (to leave it).
+        self.r2_col = self._int_to_col((self.r * self.r) % modulus)
+        self.one_col = self._int_to_col(1)
+
+    def _int_to_col(self, value: int) -> np.ndarray:
+        limbs = [
+            (value >> (LIMB_BITS * j)) & LIMB_MASK for j in range(self.num_limbs)
+        ]
+        return np.array(limbs, dtype=np.uint64).reshape(self.num_limbs, 1)
+
+    # -- scalar conversions ----------------------------------------------------
+
+    def to_mont_int(self, value: int) -> int:
+        return (value * self.r) % self.modulus
+
+    def from_mont_int(self, value: int) -> int:
+        return (value * self.r_inv) % self.modulus
+
+    # -- limb packing -----------------------------------------------------------
+
+    def pack(self, mont_values: Sequence[int]) -> np.ndarray:
+        """Montgomery-form integers -> (L, n) limb array."""
+        arr = np.empty((self.num_limbs, len(mont_values)), dtype=np.uint64)
+        for j in range(self.num_limbs):
+            shift = LIMB_BITS * j
+            arr[j] = [(v >> shift) & LIMB_MASK for v in mont_values]
+        return arr
+
+    def unpack(self, data: np.ndarray) -> list[int]:
+        """(L, n) limb array -> Montgomery-form integers."""
+        out = [0] * data.shape[1]
+        rows = data.tolist()
+        for j in range(self.num_limbs):
+            shift = LIMB_BITS * j
+            row = rows[j]
+            for i in range(len(out)):
+                out[i] += row[i] << shift
+        return out
+
+    # -- vector kernels ------------------------------------------------------------
+
+    def _normalize(self, t: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Propagate lazy carries in place; returns (t, carry_out)."""
+        carry = t[0] >> _U_SHIFT
+        t[0] &= _U_MASK
+        for j in range(1, t.shape[0]):
+            t[j] += carry
+            carry = t[j] >> _U_SHIFT
+            t[j] &= _U_MASK
+        return t, carry
+
+    def _cond_sub_n(self, t: np.ndarray, carry_in: np.ndarray) -> np.ndarray:
+        """Reduce a normalized value below ``2N`` into ``[0, N)``.
+
+        ``carry_in`` is the overflow limb from normalization (0 or 1); the
+        represented value is ``carry_in * R + t``.
+        """
+        d = t + self.comp_n_col
+        d, carry = self._normalize(d)
+        take = (carry | carry_in).astype(bool)
+        for j in range(t.shape[0]):
+            t[j] = np.where(take, d[j], t[j])
+        return t
+
+    def _mul_tile(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        """Montgomery product of one tile; ``b`` may be (L, 1) broadcast."""
+        L = self.num_limbs
+        n = a.shape[1]
+        t = np.zeros((2 * L, n), dtype=np.uint64)
+        for i in range(L):
+            t[i : i + L] += a[i] * b
+        n0 = self.n0_inv
+        n_col = self.n_col
+        for i in range(L):
+            m = (t[i] * n0) & _U_MASK
+            t[i : i + L] += m * n_col
+            t[i + 1] += t[i] >> _U_SHIFT
+        res = np.ascontiguousarray(t[L:])
+        res, carry = self._normalize(res)
+        return self._cond_sub_n(res, carry)
+
+    def mul(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return self._chunked(self._mul_tile, a, b)
+
+    def _add_tile(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        t = a + b
+        t, carry = self._normalize(t)
+        return self._cond_sub_n(t, carry)
+
+    def _sub_tile(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        # Borrow-chain subtraction: s = a_j + base - b_j - borrow in [1, 2^30).
+        L = self.num_limbs
+        base = np.uint64(1 << LIMB_BITS)
+        one = np.uint64(1)
+        t = np.empty_like(a, shape=(L, a.shape[1]))
+        borrow = np.zeros(a.shape[1], dtype=np.uint64)
+        for j in range(L):
+            s = a[j] + base - (b[j] if b.shape[1] != 1 else b[j, 0]) - borrow
+            t[j] = s & _U_MASK
+            borrow = one - (s >> _U_SHIFT)
+        # Where the final borrow fired the true value is t - base^L; adding N
+        # (mod base^L) lands it back in [0, N).
+        d = t + self.n_col
+        d, _ = self._normalize(d)
+        need = borrow.astype(bool)
+        for j in range(L):
+            t[j] = np.where(need, d[j], t[j])
+        return t
+
+    def _chunked(self, tile_fn, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        n = a.shape[1]
+        if n <= CHUNK:
+            return tile_fn(a, b)
+        out = np.empty((self.num_limbs, n), dtype=np.uint64)
+        broadcast = b.shape[1] == 1
+        for s in range(0, n, CHUNK):
+            e = min(n, s + CHUNK)
+            out[:, s:e] = tile_fn(a[:, s:e], b if broadcast else b[:, s:e])
+        return out
+
+    def add(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return self._chunked(self._add_tile, a, b)
+
+    def sub(self, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return self._chunked(self._sub_tile, a, b)
+
+    def nonzero_mask(self, a: np.ndarray) -> np.ndarray:
+        return a.any(axis=0)
+
+
+class NumpyVectorBackend(VectorBackend):
+    """Vectorized Montgomery backend (requires NumPy)."""
+
+    name = "numpy"
+
+    def __init__(self) -> None:
+        self._contexts: dict[int, _MontgomeryLaneContext] = {}
+
+    def _ctx(self, modulus: int) -> _MontgomeryLaneContext:
+        ctx = self._contexts.get(modulus)
+        if ctx is None:
+            ctx = _MontgomeryLaneContext(modulus)
+            self._contexts[modulus] = ctx
+        return ctx
+
+    # -- construction / conversion --------------------------------------------
+
+    def from_ints(self, modulus: int, values: Sequence[int]) -> np.ndarray:
+        ctx = self._ctx(modulus)
+        packed = ctx.pack(list(values))
+        # One vectorized multiply by R^2 converts the whole vector into
+        # Montgomery form.
+        return ctx.mul(packed, ctx.r2_col)
+
+    def filled(self, modulus: int, value: int, length: int) -> np.ndarray:
+        ctx = self._ctx(modulus)
+        col = ctx._int_to_col(ctx.to_mont_int(value))
+        return np.repeat(col, length, axis=1)
+
+    def to_ints(self, modulus: int, data: np.ndarray) -> list[int]:
+        ctx = self._ctx(modulus)
+        # Multiplying by one in the Montgomery domain is a REDC: it maps
+        # x*R back to x for the entire vector at once.
+        plain = ctx.mul(data, ctx.one_col)
+        return ctx.unpack(plain)
+
+    def copy(self, modulus: int, data: np.ndarray) -> np.ndarray:
+        return data.copy()
+
+    # -- shape / element access ------------------------------------------------
+
+    def length(self, data: np.ndarray) -> int:
+        return data.shape[1]
+
+    def getitem(self, modulus: int, data: np.ndarray, index: int) -> int:
+        ctx = self._ctx(modulus)
+        mont = 0
+        for j in range(ctx.num_limbs - 1, -1, -1):
+            mont = (mont << LIMB_BITS) | int(data[j, index])
+        return ctx.from_mont_int(mont)
+
+    def setitem(self, modulus: int, data: np.ndarray, index: int, value: int) -> None:
+        ctx = self._ctx(modulus)
+        mont = ctx.to_mont_int(value)
+        for j in range(ctx.num_limbs):
+            data[j, index] = (mont >> (LIMB_BITS * j)) & LIMB_MASK
+
+    def slice(self, modulus: int, data: np.ndarray, start: int, stop: int) -> np.ndarray:
+        # Explicit copy: a full-range slice of a contiguous array would
+        # otherwise alias the source, making later setitem calls mutate it
+        # (the python backend always returns an independent list).
+        return data[:, start:stop].copy()
+
+    def concat(self, modulus: int, parts: Sequence[np.ndarray]) -> np.ndarray:
+        return np.concatenate(list(parts), axis=1)
+
+    # -- elementwise arithmetic -------------------------------------------------
+
+    def add(self, modulus: int, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return self._ctx(modulus).add(a, b)
+
+    def sub(self, modulus: int, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return self._ctx(modulus).sub(a, b)
+
+    def neg(self, modulus: int, a: np.ndarray) -> np.ndarray:
+        ctx = self._ctx(modulus)
+        zero = np.zeros((ctx.num_limbs, 1), dtype=np.uint64)
+        out = ctx.sub(np.broadcast_to(zero, a.shape), a)
+        # 0 - 0 must stay 0, which the borrow chain already guarantees.
+        return out
+
+    def mul(self, modulus: int, a: np.ndarray, b: np.ndarray) -> np.ndarray:
+        return self._ctx(modulus).mul(a, b)
+
+    # -- scalar broadcast --------------------------------------------------------
+
+    def _scalar_col(self, modulus: int, scalar: int) -> np.ndarray:
+        ctx = self._ctx(modulus)
+        return ctx._int_to_col(ctx.to_mont_int(scalar))
+
+    def scalar_mul(self, modulus: int, a: np.ndarray, scalar: int) -> np.ndarray:
+        if scalar == 0:
+            ctx = self._ctx(modulus)
+            return np.zeros((ctx.num_limbs, a.shape[1]), dtype=np.uint64)
+        if scalar == 1:
+            return a.copy()
+        return self._ctx(modulus).mul(a, self._scalar_col(modulus, scalar))
+
+    def scalar_add(self, modulus: int, a: np.ndarray, scalar: int) -> np.ndarray:
+        if scalar == 0:
+            return a.copy()
+        return self._ctx(modulus).add(a, self._scalar_col(modulus, scalar))
+
+    def axpy(self, modulus: int, a: np.ndarray, scalar: int, x: np.ndarray) -> np.ndarray:
+        ctx = self._ctx(modulus)
+        if scalar == 0:
+            return a.copy()
+        if scalar == 1:
+            return ctx.add(a, x)
+        return ctx.add(a, ctx.mul(x, self._scalar_col(modulus, scalar)))
+
+    # -- MLE-shaped operations ----------------------------------------------------
+
+    def fold(self, modulus: int, a: np.ndarray, r: int) -> np.ndarray:
+        ctx = self._ctx(modulus)
+        # copy() rather than ascontiguousarray: the r in {0, 1} early
+        # returns hand these to the caller, and a single-column slice can
+        # alias the source.
+        lo = a[:, 0::2].copy()
+        hi = a[:, 1::2].copy()
+        diff = ctx.sub(hi, lo)
+        if r == 0:
+            return lo
+        if r == 1:
+            return hi
+        return ctx.add(lo, ctx.mul(diff, self._scalar_col(modulus, r)))
+
+    def even_odd(self, modulus: int, a: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        # copy() for the same aliasing reason as slice().
+        return a[:, 0::2].copy(), a[:, 1::2].copy()
+
+    # -- reductions ----------------------------------------------------------------
+
+    def sum(self, modulus: int, a: np.ndarray) -> int:
+        ctx = self._ctx(modulus)
+        # The Montgomery map is linear: sum of forms == form of the sum, so
+        # per-limb lane sums followed by one scalar conversion suffice.
+        # Limbs stay below 2^29, so uint64 lane sums are exact up to 2^35 lanes.
+        limb_sums = a.sum(axis=1, dtype=np.uint64).tolist()
+        mont = 0
+        for j, limb in enumerate(limb_sums):
+            mont += int(limb) << (LIMB_BITS * j)
+        return ctx.from_mont_int(mont % modulus)
+
+    def dot(self, modulus: int, a: np.ndarray, b: np.ndarray) -> int:
+        ctx = self._ctx(modulus)
+        prod = ctx.mul(a, b)  # Montgomery form of a_i * b_i
+        return self.sum(modulus, prod)
+
+    # -- batch inversion -------------------------------------------------------------
+
+    def inverse(self, modulus: int, a: np.ndarray) -> np.ndarray:
+        ctx = self._ctx(modulus)
+        n = a.shape[1]
+        if n == 0:
+            return a.copy()
+        if not ctx.nonzero_mask(a).all():
+            index = int(np.argmin(ctx.nonzero_mask(a)))
+            raise ZeroDivisionError(f"batch inverse: element {index} is zero")
+        # Pairwise product tree: log2(n) vectorized multiplies up, one scalar
+        # inversion at the root, log2(n) multiplies down -- the same 3n-ish
+        # multiplication budget as Montgomery batching, but SIMD-friendly.
+        levels = [a]
+        current = a
+        while current.shape[1] > 1:
+            if current.shape[1] % 2 == 1:
+                current = np.concatenate([current, ctx.one_mont_col], axis=1)
+                levels[-1] = current
+            current = ctx.mul(
+                np.ascontiguousarray(current[:, 0::2]),
+                np.ascontiguousarray(current[:, 1::2]),
+            )
+            levels.append(current)
+        root_mont = 0
+        for j in range(ctx.num_limbs - 1, -1, -1):
+            root_mont = (root_mont << LIMB_BITS) | int(levels[-1][j, 0])
+        root = ctx.from_mont_int(root_mont)
+        root_inv_mont = ctx.to_mont_int(pow(root, modulus - 2, modulus))
+        inv = ctx._int_to_col(root_inv_mont)
+        for level in reversed(levels[:-1]):
+            even = np.ascontiguousarray(level[:, 0::2])
+            odd = np.ascontiguousarray(level[:, 1::2])
+            # A padded odd-width parent leaves one surplus inverse; drop it.
+            inv = np.ascontiguousarray(inv[:, : even.shape[1]])
+            inv_even = ctx.mul(inv, odd)
+            inv_odd = ctx.mul(inv, even)
+            nxt = np.empty((ctx.num_limbs, level.shape[1]), dtype=np.uint64)
+            nxt[:, 0::2] = inv_even
+            nxt[:, 1::2] = inv_odd
+            inv = nxt
+        return np.ascontiguousarray(inv[:, :n])
+
+    # -- predicates -------------------------------------------------------------------
+
+    def count_zeros_ones(self, modulus: int, a: np.ndarray) -> tuple[int, int]:
+        ctx = self._ctx(modulus)
+        nonzero = ctx.nonzero_mask(a)
+        ones = (a == ctx.one_mont_col).all(axis=0)
+        return int(a.shape[1] - nonzero.sum()), int(ones.sum())
+
+    def is_zero(self, modulus: int, a: np.ndarray) -> bool:
+        return not a.any()
+
+    def equal(self, modulus: int, a: np.ndarray, b: np.ndarray) -> bool:
+        # Both operands are canonical (< N, normalized limbs), so limbwise
+        # equality is exact.
+        return a.shape == b.shape and bool(np.array_equal(a, b))

@@ -1,0 +1,143 @@
+"""Reference backend: vectors as plain lists of Python integers.
+
+This is the portable baseline every other backend is checked against.  It is
+already substantially faster than per-element
+:class:`~repro.fields.field.FieldElement` arithmetic because it
+
+* stores raw residues (no per-element object allocation or field checks),
+* fuses multi-step expressions into a single ``%`` reduction per element
+  (e.g. the MLE-Update ``lo + r*(hi - lo)`` costs one reduction, not three),
+* defers reduction entirely in sum/dot accumulations.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from repro.fields.backends.base import VectorBackend
+
+
+class PythonVectorBackend(VectorBackend):
+    """Pure-Python ``list[int]`` backend (no third-party dependencies)."""
+
+    name = "python"
+
+    # -- construction / conversion --------------------------------------------
+
+    def from_ints(self, modulus: int, values: Sequence[int]) -> list[int]:
+        # The interface transfers ownership of list inputs (FieldVector's
+        # constructors always hand over a freshly built list), so the hot
+        # table-construction path avoids a redundant O(n) copy.
+        return values if type(values) is list else list(values)
+
+    def filled(self, modulus: int, value: int, length: int) -> list[int]:
+        return [value] * length
+
+    def to_ints(self, modulus: int, data: list[int]) -> list[int]:
+        return list(data)
+
+    def copy(self, modulus: int, data: list[int]) -> list[int]:
+        return list(data)
+
+    # -- shape / element access ------------------------------------------------
+
+    def length(self, data: list[int]) -> int:
+        return len(data)
+
+    def getitem(self, modulus: int, data: list[int], index: int) -> int:
+        return data[index]
+
+    def setitem(self, modulus: int, data: list[int], index: int, value: int) -> None:
+        data[index] = value
+
+    def slice(self, modulus: int, data: list[int], start: int, stop: int) -> list[int]:
+        return data[start:stop]
+
+    def concat(self, modulus: int, parts: Sequence[list[int]]) -> list[int]:
+        out: list[int] = []
+        for part in parts:
+            out.extend(part)
+        return out
+
+    # -- elementwise arithmetic -------------------------------------------------
+
+    def add(self, modulus: int, a: list[int], b: list[int]) -> list[int]:
+        p = modulus
+        return [s if (s := x + y) < p else s - p for x, y in zip(a, b)]
+
+    def sub(self, modulus: int, a: list[int], b: list[int]) -> list[int]:
+        p = modulus
+        return [d if (d := x - y) >= 0 else d + p for x, y in zip(a, b)]
+
+    def neg(self, modulus: int, a: list[int]) -> list[int]:
+        p = modulus
+        return [p - x if x else 0 for x in a]
+
+    def mul(self, modulus: int, a: list[int], b: list[int]) -> list[int]:
+        p = modulus
+        return [(x * y) % p for x, y in zip(a, b)]
+
+    # -- scalar broadcast --------------------------------------------------------
+
+    def scalar_mul(self, modulus: int, a: list[int], scalar: int) -> list[int]:
+        p = modulus
+        if scalar == 0:
+            return [0] * len(a)
+        if scalar == 1:
+            return list(a)
+        return [(scalar * x) % p for x in a]
+
+    def scalar_add(self, modulus: int, a: list[int], scalar: int) -> list[int]:
+        p = modulus
+        if scalar == 0:
+            return list(a)
+        return [s if (s := x + scalar) < p else s - p for x in a]
+
+    def axpy(self, modulus: int, a: list[int], scalar: int, x: list[int]) -> list[int]:
+        p = modulus
+        if scalar == 0:
+            return list(a)
+        if scalar == 1:
+            return self.add(modulus, a, x)
+        return [(y + scalar * z) % p for y, z in zip(a, x)]
+
+    # -- MLE-shaped operations ----------------------------------------------------
+
+    def fold(self, modulus: int, a: list[int], r: int) -> list[int]:
+        p = modulus
+        pairs = iter(a)
+        # One fused reduction per output entry: lo + r*(hi - lo) mod p.
+        return [(lo + r * (hi - lo)) % p for lo, hi in zip(pairs, pairs)]
+
+    def even_odd(self, modulus: int, a: list[int]) -> tuple[list[int], list[int]]:
+        return a[0::2], a[1::2]
+
+    # -- reductions ----------------------------------------------------------------
+
+    def sum(self, modulus: int, a: list[int]) -> int:
+        return sum(a) % modulus
+
+    def dot(self, modulus: int, a: list[int], b: list[int]) -> int:
+        acc = 0
+        for x, y in zip(a, b):
+            acc += x * y
+        return acc % modulus
+
+    # -- batch inversion -------------------------------------------------------------
+
+    def inverse(self, modulus: int, a: list[int]) -> list[int]:
+        # Montgomery batch inversion (one exponentiation + 3*(n-1)
+        # multiplications); single shared implementation with the curve layer.
+        from repro.fields.inversion import batch_inverse_ints
+
+        return batch_inverse_ints(a, modulus)
+
+    # -- predicates -------------------------------------------------------------------
+
+    def count_zeros_ones(self, modulus: int, a: list[int]) -> tuple[int, int]:
+        zeros = a.count(0)
+        ones = a.count(1)
+        return zeros, ones
+
+    def equal(self, modulus: int, a: list[int], b: list[int]) -> bool:
+        return a == b

@@ -98,20 +98,48 @@ def batch_inverse(elements: Sequence[FieldElement]) -> list[FieldElement]:
     if n == 0:
         return []
     field: PrimeField = elements[0].field
+    # Reduce defensively: directly-constructed FieldElements may carry
+    # non-canonical residues (e.g. exactly p), which must hit the zero
+    # check rather than silently zeroing the whole batch.
+    values = [el.value % field.modulus for el in elements]
+    try:
+        inverses = batch_inverse_ints(values, field.modulus)
+    except ZeroDivisionError:
+        zero_index = values.index(0)
+        raise ZeroDivisionError(
+            f"batch_inverse: element {zero_index} is zero"
+        ) from None
+    return [FieldElement(v, field) for v in inverses]
 
-    prefix = [field.one()] * n
-    running = field.one()
-    for i, el in enumerate(elements):
-        if el.is_zero():
-            raise ZeroDivisionError(f"batch_inverse: element {i} is zero")
+
+def batch_inverse_ints(values: Sequence[int], modulus: int) -> list[int]:
+    """Montgomery batch inversion over raw residues.
+
+    The same one-inversion-plus-``3*(n-1)``-multiplications scheme as
+    :func:`batch_inverse`, but on plain integers modulo ``modulus``.  This is
+    the workhorse of the batched-affine curve paths
+    (:func:`repro.curves.curve.batch_to_affine` and the MSM bucket trees),
+    where coordinates live in Fq and per-element ``FieldElement`` wrapping
+    would dominate the saved inversions.
+    """
+    n = len(values)
+    if n == 0:
+        return []
+    p = modulus
+    if 0 in values:
+        raise ZeroDivisionError(
+            f"batch_inverse_ints: element {values.index(0)} is zero"
+        )
+    prefix = [0] * n
+    running = 1
+    for i, v in enumerate(values):
         prefix[i] = running
-        running = running * el
-
-    inv_running = running.inverse()
-    result = [field.zero()] * n
+        running = running * v % p
+    inv_running = pow(running, p - 2, p)
+    result = prefix
     for i in range(n - 1, -1, -1):
-        result[i] = prefix[i] * inv_running
-        inv_running = inv_running * elements[i]
+        result[i] = prefix[i] * inv_running % p
+        inv_running = inv_running * values[i] % p
     return result
 
 

@@ -1,0 +1,397 @@
+"""Dense vectors of prime-field elements with pluggable storage backends.
+
+:class:`FieldVector` is the array type every hot path of the HyperPlonk
+prover operates on: MLE tables, SumCheck round accumulators, quotient tables
+of the multilinear-KZG opening, and the scalar inputs of an MSM.  It wraps
+an opaque backend representation (see :mod:`repro.fields.backends`) and
+exposes exactly the operation set the paper's datapath units need:
+
+* elementwise ``+``, ``-``, ``*`` and negation,
+* scalar broadcast (``scale``, ``add_scalar``, fused ``axpy``),
+* the fold-in-half MLE Update ``lo + r * (hi - lo)`` (:meth:`fold`),
+* sum / dot reductions and Montgomery-style batch inversion,
+* even/odd deinterleaving, concatenation and slicing.
+
+Elements cross the API boundary as
+:class:`~repro.fields.field.FieldElement`; internally everything stays in
+the backend's representation, so a 2^mu-entry table makes one round trip at
+construction and one at extraction instead of 2^mu per operation.
+
+Backends are chosen per *vector* at construction time and results inherit
+their inputs' backend; under the ``auto`` policy, size-changing operations
+re-evaluate the choice so a table that shrinks below the vectorization
+threshold (e.g. late SumCheck rounds) migrates back to the cheap Python
+representation.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Sequence, Union
+
+from repro.fields.backends import (
+    VectorBackend,
+    default_backend_for,
+    default_policy,
+    get_backend,
+)
+from repro.fields.field import FieldElement, FieldMismatchError, PrimeField
+
+IntoScalar = Union[int, FieldElement]
+
+
+class FieldVector:
+    """A dense array of elements of one :class:`PrimeField`."""
+
+    __slots__ = ("field", "backend", "data")
+
+    def __init__(self, field: PrimeField, backend: VectorBackend, data):
+        self.field = field
+        self.backend = backend
+        self.data = data
+
+    # -- constructors ----------------------------------------------------------
+
+    @classmethod
+    def from_ints(
+        cls,
+        field: PrimeField,
+        values: Sequence[int],
+        backend: VectorBackend | str | None = None,
+    ) -> "FieldVector":
+        backend = cls._resolve_backend(backend, len(values))
+        p = field.modulus
+        reduced = [v % p for v in values]
+        return cls(field, backend, backend.from_ints(p, reduced))
+
+    @classmethod
+    def from_elements(
+        cls,
+        field: PrimeField,
+        elements: Iterable[IntoScalar],
+        backend: VectorBackend | str | None = None,
+    ) -> "FieldVector":
+        p = field.modulus
+        values = []
+        for e in elements:
+            if isinstance(e, FieldElement):
+                if e.field.modulus != p:
+                    raise FieldMismatchError(
+                        f"cannot build {field!r} vector from {e.field!r} element"
+                    )
+                # Reduce defensively: directly-constructed FieldElements may
+                # carry non-canonical residues, and every backend assumes
+                # canonical storage.
+                values.append(e.value % p)
+            else:
+                values.append(e % p)
+        backend = cls._resolve_backend(backend, len(values))
+        return cls(field, backend, backend.from_ints(p, values))
+
+    @classmethod
+    def filled(
+        cls,
+        field: PrimeField,
+        value: IntoScalar,
+        length: int,
+        backend: VectorBackend | str | None = None,
+    ) -> "FieldVector":
+        backend = cls._resolve_backend(backend, length)
+        if isinstance(value, FieldElement):
+            if value.field.modulus != field.modulus:
+                raise FieldMismatchError(
+                    f"cannot fill {field!r} vector with {value.field!r} element"
+                )
+            v = value.value % field.modulus
+        else:
+            v = value % field.modulus
+        return cls(field, backend, backend.filled(field.modulus, v, length))
+
+    @classmethod
+    def zeros(
+        cls,
+        field: PrimeField,
+        length: int,
+        backend: VectorBackend | str | None = None,
+    ) -> "FieldVector":
+        return cls.filled(field, 0, length, backend)
+
+    @staticmethod
+    def _resolve_backend(
+        backend: VectorBackend | str | None, length: int
+    ) -> VectorBackend:
+        if backend is None:
+            return default_backend_for(length)
+        if isinstance(backend, str):
+            return get_backend(backend)
+        return backend
+
+    # -- conversions ------------------------------------------------------------
+
+    def to_int_list(self) -> list[int]:
+        """Residues of every entry (the MSM digit-extraction boundary)."""
+        return self.backend.to_ints(self.field.modulus, self.data)
+
+    def to_elements(self) -> list[FieldElement]:
+        field = self.field
+        return [FieldElement(v, field) for v in self.to_int_list()]
+
+    def copy(self) -> "FieldVector":
+        return FieldVector(
+            self.field, self.backend, self.backend.copy(self.field.modulus, self.data)
+        )
+
+    def with_backend(self, backend: VectorBackend | str) -> "FieldVector":
+        """The same vector re-materialized on another backend."""
+        backend = get_backend(backend) if isinstance(backend, str) else backend
+        if backend is self.backend:
+            return self
+        return FieldVector.from_ints(self.field, self.to_int_list(), backend)
+
+    def _rebalanced(self, data) -> "FieldVector":
+        """Wrap a same-backend result, migrating backends under ``auto``.
+
+        Only size-changing operations route through here, so the conversion
+        cost is paid once per threshold crossing, not per operation.
+        """
+        result = FieldVector(self.field, self.backend, data)
+        if default_policy() == "auto":
+            preferred = default_backend_for(self.backend.length(data))
+            if preferred is not self.backend:
+                return result.with_backend(preferred)
+        return result
+
+    # -- shape / element access ---------------------------------------------------
+
+    def __len__(self) -> int:
+        return self.backend.length(self.data)
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            start, stop, step = index.indices(len(self))
+            if step == 1:
+                return self._rebalanced(
+                    self.backend.slice(self.field.modulus, self.data, start, stop)
+                )
+            values = self.to_int_list()[index]
+            return FieldVector.from_ints(self.field, values)
+        if index < 0:
+            index += len(self)
+        if not 0 <= index < len(self):
+            raise IndexError("FieldVector index out of range")
+        return FieldElement(
+            self.backend.getitem(self.field.modulus, self.data, index), self.field
+        )
+
+    def __setitem__(self, index: int, value: IntoScalar) -> None:
+        if index < 0:
+            index += len(self)
+        if not 0 <= index < len(self):
+            raise IndexError("FieldVector index out of range")
+        if isinstance(value, FieldElement):
+            if value.field.modulus != self.field.modulus:
+                raise FieldMismatchError("cannot store element of a different field")
+            v = value.value % self.field.modulus
+        else:
+            v = value % self.field.modulus
+        self.backend.setitem(self.field.modulus, self.data, index, v)
+
+    def __iter__(self) -> Iterator[FieldElement]:
+        field = self.field
+        return iter([FieldElement(v, field) for v in self.to_int_list()])
+
+    def concat(self, *others: "FieldVector") -> "FieldVector":
+        parts = [self.data]
+        for other in others:
+            if other.field.modulus != self.field.modulus:
+                raise FieldMismatchError("cannot concatenate different fields")
+            if other.backend is not self.backend:
+                other = other.with_backend(self.backend)
+            parts.append(other.data)
+        return self._rebalanced(self.backend.concat(self.field.modulus, parts))
+
+    @classmethod
+    def concat_many(
+        cls, field: PrimeField, vectors: Sequence["FieldVector"]
+    ) -> "FieldVector":
+        if not vectors:
+            return cls.zeros(field, 0)
+        return vectors[0].concat(*vectors[1:])
+
+    # -- helpers -----------------------------------------------------------------
+
+    def _coerce(self, other: "FieldVector") -> "FieldVector":
+        if not isinstance(other, FieldVector):
+            raise TypeError(f"expected FieldVector, got {type(other).__name__}")
+        if other.field.modulus != self.field.modulus:
+            raise FieldMismatchError(
+                f"cannot combine vectors over {self.field!r} and {other.field!r}"
+            )
+        if len(other) != len(self):
+            raise ValueError(f"length mismatch: {len(self)} vs {len(other)}")
+        if other.backend is not self.backend:
+            return other.with_backend(self.backend)
+        return other
+
+    def _scalar(self, value: IntoScalar) -> int:
+        if isinstance(value, FieldElement):
+            if value.field.modulus != self.field.modulus:
+                raise FieldMismatchError("scalar from a different field")
+            # Directly-constructed FieldElements may be unreduced; backends
+            # require canonical residues.
+            return value.value % self.field.modulus
+        return value % self.field.modulus
+
+    # -- elementwise arithmetic -----------------------------------------------------
+
+    def __add__(self, other: "FieldVector") -> "FieldVector":
+        other = self._coerce(other)
+        return FieldVector(
+            self.field,
+            self.backend,
+            self.backend.add(self.field.modulus, self.data, other.data),
+        )
+
+    def __sub__(self, other: "FieldVector") -> "FieldVector":
+        other = self._coerce(other)
+        return FieldVector(
+            self.field,
+            self.backend,
+            self.backend.sub(self.field.modulus, self.data, other.data),
+        )
+
+    def __neg__(self) -> "FieldVector":
+        return FieldVector(
+            self.field, self.backend, self.backend.neg(self.field.modulus, self.data)
+        )
+
+    def __mul__(self, other) -> "FieldVector":
+        if isinstance(other, (FieldElement, int)):
+            return self.scale(other)
+        other = self._coerce(other)
+        return FieldVector(
+            self.field,
+            self.backend,
+            self.backend.mul(self.field.modulus, self.data, other.data),
+        )
+
+    __rmul__ = __mul__
+
+    # -- scalar broadcast -------------------------------------------------------------
+
+    def scale(self, scalar: IntoScalar) -> "FieldVector":
+        return FieldVector(
+            self.field,
+            self.backend,
+            self.backend.scalar_mul(self.field.modulus, self.data, self._scalar(scalar)),
+        )
+
+    def add_scalar(self, scalar: IntoScalar) -> "FieldVector":
+        return FieldVector(
+            self.field,
+            self.backend,
+            self.backend.scalar_add(self.field.modulus, self.data, self._scalar(scalar)),
+        )
+
+    def axpy(self, scalar: IntoScalar, x: "FieldVector") -> "FieldVector":
+        """Fused ``self + scalar * x``."""
+        x = self._coerce(x)
+        return FieldVector(
+            self.field,
+            self.backend,
+            self.backend.axpy(
+                self.field.modulus, self.data, self._scalar(scalar), x.data
+            ),
+        )
+
+    # -- MLE-shaped operations ----------------------------------------------------------
+
+    def fold(self, r: IntoScalar) -> "FieldVector":
+        """MLE Update (Equation 2): ``out[i] = self[2i] + r*(self[2i+1] - self[2i])``."""
+        n = len(self)
+        if n == 0 or n % 2:
+            raise ValueError(f"fold requires a non-empty even-length vector, got {n}")
+        return self._rebalanced(
+            self.backend.fold(self.field.modulus, self.data, self._scalar(r))
+        )
+
+    def even_odd(self) -> tuple["FieldVector", "FieldVector"]:
+        """Deinterleave into (even-index, odd-index) halves."""
+        even, odd = self.backend.even_odd(self.field.modulus, self.data)
+        return self._rebalanced(even), self._rebalanced(odd)
+
+    # -- reductions -----------------------------------------------------------------------
+
+    def sum(self) -> FieldElement:
+        return FieldElement(self.backend.sum(self.field.modulus, self.data), self.field)
+
+    def dot(self, other: "FieldVector") -> FieldElement:
+        other = self._coerce(other)
+        return FieldElement(
+            self.backend.dot(self.field.modulus, self.data, other.data), self.field
+        )
+
+    def inverse(self, batch_size: int | None = None) -> "FieldVector":
+        """Elementwise inverse via batch inversion.
+
+        ``batch_size=None`` inverts the whole vector with one field
+        exponentiation; a positive ``batch_size`` processes fixed windows
+        (one exponentiation each), mirroring hardware batching parameters
+        like zkSpeed's FracMLE ``b=64``.  Windowing happens on the native
+        backend — no auto-policy rebalancing of the slices.
+        """
+        p = self.field.modulus
+        if batch_size is None or batch_size >= len(self):
+            data = self.backend.inverse(p, self.data)
+        else:
+            if batch_size <= 0:
+                raise ValueError("batch_size must be positive")
+            parts = [
+                self.backend.inverse(
+                    p, self.backend.slice(p, self.data, start, min(len(self), start + batch_size))
+                )
+                for start in range(0, len(self), batch_size)
+            ]
+            data = self.backend.concat(p, parts)
+        return FieldVector(self.field, self.backend, data)
+
+    # -- predicates -------------------------------------------------------------------------
+
+    def is_zero(self) -> bool:
+        return self.backend.is_zero(self.field.modulus, self.data)
+
+    def sparsity_counts(self) -> tuple[int, int, int]:
+        """``(zeros, ones, dense)`` entry counts (Sparse-MSM statistics)."""
+        zeros, ones = self.backend.count_zeros_ones(self.field.modulus, self.data)
+        return zeros, ones, len(self) - zeros - ones
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, FieldVector):
+            if other.field.modulus != self.field.modulus or len(other) != len(self):
+                return False
+            if other.backend is self.backend:
+                return self.backend.equal(self.field.modulus, self.data, other.data)
+            return self.to_int_list() == other.to_int_list()
+        if isinstance(other, (list, tuple)):
+            if len(other) != len(self):
+                return False
+            p = self.field.modulus
+            mine = self.to_int_list()
+            for x, o in zip(mine, other):
+                if isinstance(o, FieldElement):
+                    if o.field.modulus != p or o.value != x:
+                        return False
+                elif isinstance(o, int):
+                    if o % p != x:
+                        return False
+                else:
+                    return NotImplemented
+            return True
+        return NotImplemented
+
+    __hash__ = None  # type: ignore[assignment] - mutable container
+
+    def __repr__(self) -> str:
+        return (
+            f"FieldVector({self.field.name}, len={len(self)}, "
+            f"backend={self.backend.name})"
+        )

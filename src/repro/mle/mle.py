@@ -10,15 +10,23 @@ Consequently "fixing the first variable to r" pairs adjacent entries:
 
 which is exactly the MLE-Update operation performed between SumCheck rounds
 by zkSpeed's MLE Update unit.
+
+Storage is a :class:`~repro.fields.vector.FieldVector`, so every table-wide
+operation (MLE Update, Hadamard products, hypercube sums, linear
+combinations) executes as one array-level call on the active field backend
+instead of ``2^mu`` per-element ``FieldElement`` operations.
 """
 
 from __future__ import annotations
 
 import random
-from typing import Callable, Iterable, Sequence
+from typing import Callable, Sequence, Union
 
 from repro.fields.bls12_381 import Fr
 from repro.fields.field import FieldElement, PrimeField
+from repro.fields.vector import FieldVector
+
+IntoEvaluations = Union[FieldVector, Sequence[FieldElement], Sequence[int]]
 
 
 class MultilinearPolynomial:
@@ -29,9 +37,23 @@ class MultilinearPolynomial:
     def __init__(
         self,
         num_vars: int,
-        evaluations: Sequence[FieldElement],
+        evaluations: IntoEvaluations,
         field: PrimeField = Fr,
+        copy: bool = True,
     ):
+        """Wrap ``evaluations`` as an MLE table.
+
+        Parameters
+        ----------
+        evaluations:
+            A :class:`FieldVector`, or any sequence of field elements / ints.
+        copy:
+            When ``evaluations`` is already a :class:`FieldVector`, ``copy=False``
+            takes ownership without duplicating the table.  Internal
+            constructors that just produced a fresh vector use this to avoid
+            doubling the allocation of large tables; callers handing in a
+            vector they intend to keep mutating should leave the default.
+        """
         if num_vars < 0:
             raise ValueError("num_vars must be non-negative")
         expected = 1 << num_vars
@@ -41,7 +63,14 @@ class MultilinearPolynomial:
                 f"got {len(evaluations)}"
             )
         self.num_vars = num_vars
-        self.evaluations = list(evaluations)
+        if isinstance(evaluations, FieldVector):
+            if evaluations.field.modulus != field.modulus:
+                raise ValueError(
+                    f"vector over {evaluations.field!r} does not match {field!r}"
+                )
+            self.evaluations = evaluations.copy() if copy else evaluations
+        else:
+            self.evaluations = FieldVector.from_elements(field, evaluations)
         self.field = field
 
     # -- constructors ----------------------------------------------------------
@@ -50,13 +79,21 @@ class MultilinearPolynomial:
     def from_ints(
         cls, num_vars: int, values: Sequence[int], field: PrimeField = Fr
     ) -> "MultilinearPolynomial":
-        return cls(num_vars, [field(v) for v in values], field)
+        return cls(num_vars, FieldVector.from_ints(field, values), field, copy=False)
+
+    @classmethod
+    def from_vector(
+        cls, num_vars: int, vector: FieldVector, field: PrimeField = Fr
+    ) -> "MultilinearPolynomial":
+        """Adopt an already-built vector without copying."""
+        return cls(num_vars, vector, field, copy=False)
 
     @classmethod
     def constant(
         cls, num_vars: int, value: FieldElement, field: PrimeField = Fr
     ) -> "MultilinearPolynomial":
-        return cls(num_vars, [value] * (1 << num_vars), field)
+        vec = FieldVector.filled(field, value, 1 << num_vars)
+        return cls(num_vars, vec, field, copy=False)
 
     @classmethod
     def zero(cls, num_vars: int, field: PrimeField = Fr) -> "MultilinearPolynomial":
@@ -66,7 +103,8 @@ class MultilinearPolynomial:
     def random(
         cls, num_vars: int, rng: random.Random, field: PrimeField = Fr
     ) -> "MultilinearPolynomial":
-        return cls(num_vars, [field.random(rng) for _ in range(1 << num_vars)], field)
+        values = [rng.randrange(field.modulus) for _ in range(1 << num_vars)]
+        return cls.from_ints(num_vars, values, field)
 
     @classmethod
     def from_function(
@@ -80,7 +118,7 @@ class MultilinearPolynomial:
         for index in range(1 << num_vars):
             bits = tuple((index >> k) & 1 for k in range(num_vars))
             evals.append(func(bits))
-        return cls(num_vars, evals, field)
+        return cls(num_vars, FieldVector.from_elements(field, evals), field, copy=False)
 
     # -- basic queries ----------------------------------------------------------
 
@@ -94,10 +132,12 @@ class MultilinearPolynomial:
         return iter(self.evaluations)
 
     def is_zero(self) -> bool:
-        return all(e.is_zero() for e in self.evaluations)
+        return self.evaluations.is_zero()
 
     def clone(self) -> "MultilinearPolynomial":
-        return MultilinearPolynomial(self.num_vars, list(self.evaluations), self.field)
+        return MultilinearPolynomial(
+            self.num_vars, self.evaluations.copy(), self.field, copy=False
+        )
 
     # -- evaluation -------------------------------------------------------------
 
@@ -109,23 +149,16 @@ class MultilinearPolynomial:
             )
         table = self.evaluations
         for r in point:
-            half = len(table) // 2
-            table = [
-                table[2 * i] + r * (table[2 * i + 1] - table[2 * i])
-                for i in range(half)
-            ]
-        return table[0] if table else self.field.zero()
+            table = table.fold(r)
+        return table[0] if len(table) else self.field.zero()
 
     def fix_first_variable(self, r: FieldElement) -> "MultilinearPolynomial":
         """Fix the first variable to ``r`` (the MLE Update of Equation (2))."""
         if self.num_vars == 0:
             raise ValueError("cannot fix a variable of a 0-variable polynomial")
-        table = self.evaluations
-        half = len(table) // 2
-        new_evals = [
-            table[2 * i] + r * (table[2 * i + 1] - table[2 * i]) for i in range(half)
-        ]
-        return MultilinearPolynomial(self.num_vars - 1, new_evals, self.field)
+        return MultilinearPolynomial(
+            self.num_vars - 1, self.evaluations.fold(r), self.field, copy=False
+        )
 
     def fix_variables(self, rs: Sequence[FieldElement]) -> "MultilinearPolynomial":
         """Fix the first ``len(rs)`` variables in order."""
@@ -136,10 +169,7 @@ class MultilinearPolynomial:
 
     def sum_over_hypercube(self) -> FieldElement:
         """Sum of all table entries (the quantity SumCheck proves)."""
-        acc = 0
-        for e in self.evaluations:
-            acc += e.value
-        return self.field(acc)
+        return self.evaluations.sum()
 
     # -- arithmetic on tables -----------------------------------------------------
 
@@ -152,27 +182,23 @@ class MultilinearPolynomial:
     def __add__(self, other: "MultilinearPolynomial") -> "MultilinearPolynomial":
         self._check_compatible(other)
         return MultilinearPolynomial(
-            self.num_vars,
-            [a + b for a, b in zip(self.evaluations, other.evaluations)],
-            self.field,
+            self.num_vars, self.evaluations + other.evaluations, self.field, copy=False
         )
 
     def __sub__(self, other: "MultilinearPolynomial") -> "MultilinearPolynomial":
         self._check_compatible(other)
         return MultilinearPolynomial(
-            self.num_vars,
-            [a - b for a, b in zip(self.evaluations, other.evaluations)],
-            self.field,
+            self.num_vars, self.evaluations - other.evaluations, self.field, copy=False
         )
 
     def __neg__(self) -> "MultilinearPolynomial":
         return MultilinearPolynomial(
-            self.num_vars, [-a for a in self.evaluations], self.field
+            self.num_vars, -self.evaluations, self.field, copy=False
         )
 
     def scale(self, factor: FieldElement) -> "MultilinearPolynomial":
         return MultilinearPolynomial(
-            self.num_vars, [factor * a for a in self.evaluations], self.field
+            self.num_vars, self.evaluations.scale(factor), self.field, copy=False
         )
 
     def hadamard(self, other: "MultilinearPolynomial") -> "MultilinearPolynomial":
@@ -184,23 +210,14 @@ class MultilinearPolynomial:
         """
         self._check_compatible(other)
         return MultilinearPolynomial(
-            self.num_vars,
-            [a * b for a, b in zip(self.evaluations, other.evaluations)],
-            self.field,
+            self.num_vars, self.evaluations * other.evaluations, self.field, copy=False
         )
 
     # -- sparsity (used by the Sparse-MSM flow and the memory model) --------------
 
     def sparsity_profile(self) -> dict[str, int]:
         """Count zero / one / dense entries (Section 3.3.1 statistics)."""
-        zeros = ones = dense = 0
-        for e in self.evaluations:
-            if e.is_zero():
-                zeros += 1
-            elif e.is_one():
-                ones += 1
-            else:
-                dense += 1
+        zeros, ones, dense = self.evaluations.sparsity_counts()
         return {"zeros": zeros, "ones": ones, "dense": dense}
 
     def __eq__(self, other: object) -> bool:
@@ -233,17 +250,19 @@ def eq_mle(point: Sequence[FieldElement], field: PrimeField = Fr) -> Multilinear
     Constructed layer by layer as a binary tree (2^(mu+1) - 4 multiplications
     instead of (mu-1) 2^mu -- the optimization the Multifunction Tree unit
     implements in hardware).  With the LSB-first index convention the first
-    challenge splits adjacent entries.
+    challenge splits adjacent entries.  Each doubling step is two vector
+    operations: a broadcast multiply by (1 - r) and a subtraction.
     """
     mu = len(point)
-    table = [field.one()]
+    table = FieldVector.from_ints(field, [1])
+    one = field.one()
     for r in point:
-        one_minus_r = field.one() - r
-        low_half = [value * one_minus_r for value in table]
+        one_minus_r = one - r
+        low_half = table.scale(one_minus_r)
         # r * v is obtained as v - (1 - r) * v, sharing the multiplication --
         # the same trick footnote 3 of the paper describes for Build MLE.
-        high_half = [value - low for value, low in zip(table, low_half)]
+        high_half = table - low_half
         # Each successive challenge corresponds to the next-higher index bit,
         # keeping the first variable in the least-significant position.
-        table = low_half + high_half
-    return MultilinearPolynomial(mu, table, field)
+        table = low_half.concat(high_half)
+    return MultilinearPolynomial(mu, table, field, copy=False)

@@ -7,6 +7,11 @@ Each function here is the software counterpart of a zkSpeed unit:
 * :func:`fraction_mle`         -- Fraction MLE   (FracMLE unit, batch inversion)
 * :func:`construct_numerator_denominator` -- Construct N & D unit
 * :func:`linear_combine`       -- MLE Combine unit
+
+All of them operate on whole :class:`~repro.fields.vector.FieldVector`
+tables -- the software analogue of the wide, streaming datapaths the paper
+builds: one vector operation per pipeline stage rather than one Python-level
+operation per table entry.
 """
 
 from __future__ import annotations
@@ -15,7 +20,7 @@ from typing import Sequence
 
 from repro.fields.bls12_381 import Fr
 from repro.fields.field import FieldElement, PrimeField
-from repro.fields.inversion import batch_inverse
+from repro.fields.vector import FieldVector
 from repro.mle.mle import MultilinearPolynomial, eq_mle
 
 
@@ -24,6 +29,27 @@ def build_eq_table(
 ) -> MultilinearPolynomial:
     """Build the eq(point, .) table; alias of :func:`repro.mle.mle.eq_mle`."""
     return eq_mle(point, field)
+
+
+def batch_evaluate(
+    mles: Sequence[MultilinearPolynomial],
+    point: Sequence[FieldElement],
+    eq_table: MultilinearPolynomial | None = None,
+) -> list[FieldElement]:
+    """Evaluate several MLEs at one point via a shared eq table.
+
+    Uses the identity ``f(z) = sum_b f(b) * eq(z, b)``: one Build-MLE pass
+    (2^mu multiplications) followed by a dot product per polynomial -- the
+    zkSpeed Batch Evaluations dataflow -- instead of an independent
+    fold-in-half chain (2 * 2^mu multiplications) per polynomial.
+    """
+    if not mles:
+        return []
+    field = mles[0].field
+    if eq_table is None:
+        eq_table = eq_mle(point, field)
+    eq_vec = eq_table.evaluations
+    return [m.evaluations.dot(eq_vec) for m in mles]
 
 
 def fraction_mle(
@@ -35,22 +61,17 @@ def fraction_mle(
 
     ``batch_size`` mirrors the hardware batching parameter (the paper selects
     64); the functional result is independent of it, but processing in
-    batches exercises the same code path the FracMLE unit pipelines.
+    batches exercises the same windowed code path the FracMLE unit pipelines.
     """
     if numerator.num_vars != denominator.num_vars:
         raise ValueError("numerator and denominator must have equal num_vars")
     if batch_size <= 0:
         raise ValueError("batch_size must be positive")
     field = numerator.field
-    result: list[FieldElement] = []
-    denom = denominator.evaluations
-    numer = numerator.evaluations
-    for start in range(0, len(denom), batch_size):
-        batch = denom[start : start + batch_size]
-        inverses = batch_inverse(batch)
-        for offset, inv in enumerate(inverses):
-            result.append(numer[start + offset] * inv)
-    return MultilinearPolynomial(numerator.num_vars, result, field)
+    # Windowed batch inversion on the table's native backend, then one
+    # elementwise multiply.
+    phi = numerator.evaluations * denominator.evaluations.inverse(batch_size)
+    return MultilinearPolynomial(numerator.num_vars, phi, field, copy=False)
 
 
 def product_tree_levels(
@@ -82,19 +103,25 @@ def product_tree_mle(phi: MultilinearPolynomial) -> MultilinearPolynomial:
 
     so the first half of pi holds pairwise products of phi, the next quarter
     pairwise products of those, and so on -- i.e. the concatenated levels of
-    the binary product tree.  The total product of phi lands at index
-    2^mu - 2 and the final entry is defined to be zero, which keeps the
-    ZeroCheck constraint  pi(x) - p1(x) p2(x) = 0  valid on the whole
-    hypercube (p1/p2 are the even/odd halves of nu).
+    the binary product tree, each level one vectorized even*odd multiply of
+    the level below.  The total product of phi lands at index 2^mu - 2 and
+    the final entry is defined to be zero, which keeps the ZeroCheck
+    constraint  pi(x) - p1(x) p2(x) = 0  valid on the whole hypercube
+    (p1/p2 are the even/odd halves of nu).
     """
     mu = phi.num_vars
-    size = 1 << mu
     field = phi.field
-    nu: list[FieldElement] = list(phi.evaluations) + [field.zero()] * size
-    for j in range(size - 1):
-        nu[size + j] = nu[2 * j] * nu[2 * j + 1]
-    nu[2 * size - 1] = field.zero()
-    return MultilinearPolynomial(mu, nu[size:], field)
+    if mu == 0:
+        return MultilinearPolynomial(0, FieldVector.zeros(field, 1), field, copy=False)
+    levels: list[FieldVector] = []
+    current = phi.evaluations
+    while len(current) > 1:
+        even, odd = current.even_odd()
+        current = even * odd
+        levels.append(current)
+    levels.append(FieldVector.zeros(field, 1))
+    pi = FieldVector.concat_many(field, levels)
+    return MultilinearPolynomial(mu, pi, field, copy=False)
 
 
 def prod_check_halves(
@@ -107,13 +134,12 @@ def prod_check_halves(
     """
     if phi.num_vars != pi.num_vars:
         raise ValueError("phi and pi must have equal num_vars")
-    nu = list(phi.evaluations) + list(pi.evaluations)
-    p1 = [nu[2 * j] for j in range(len(phi.evaluations))]
-    p2 = [nu[2 * j + 1] for j in range(len(phi.evaluations))]
     field = phi.field
+    nu = phi.evaluations.concat(pi.evaluations)
+    p1, p2 = nu.even_odd()
     return (
-        MultilinearPolynomial(phi.num_vars, p1, field),
-        MultilinearPolynomial(phi.num_vars, p2, field),
+        MultilinearPolynomial(phi.num_vars, p1, field, copy=False),
+        MultilinearPolynomial(phi.num_vars, p2, field, copy=False),
     )
 
 
@@ -128,6 +154,7 @@ def construct_numerator_denominator(
 
     For each wire column i:  N_i = w_i + beta * id_i + gamma  and
     D_i = w_i + beta * sigma_i + gamma.  Returns ([N_1..N_k], [D_1..D_k]).
+    Each column is two fused vector operations (axpy + broadcast add).
     """
     if not (len(witnesses) == len(identity_perms) == len(sigma_perms)):
         raise ValueError("witness / permutation column counts must match")
@@ -135,16 +162,14 @@ def construct_numerator_denominator(
     denominators: list[MultilinearPolynomial] = []
     for w, ident, sigma in zip(witnesses, identity_perms, sigma_perms):
         field = w.field
-        n_evals = [
-            w_val + beta * id_val + gamma
-            for w_val, id_val in zip(w.evaluations, ident.evaluations)
-        ]
-        d_evals = [
-            w_val + beta * s_val + gamma
-            for w_val, s_val in zip(w.evaluations, sigma.evaluations)
-        ]
-        numerators.append(MultilinearPolynomial(w.num_vars, n_evals, field))
-        denominators.append(MultilinearPolynomial(w.num_vars, d_evals, field))
+        n_vec = w.evaluations.axpy(beta, ident.evaluations).add_scalar(gamma)
+        d_vec = w.evaluations.axpy(beta, sigma.evaluations).add_scalar(gamma)
+        numerators.append(
+            MultilinearPolynomial(w.num_vars, n_vec, field, copy=False)
+        )
+        denominators.append(
+            MultilinearPolynomial(w.num_vars, d_vec, field, copy=False)
+        )
     return numerators, denominators
 
 
@@ -154,10 +179,13 @@ def elementwise_product(
     """Entry-wise product of several MLE tables (e.g. N = N1*N2*N3)."""
     if not mles:
         raise ValueError("need at least one MLE")
-    result = mles[0].clone()
+    acc = mles[0].evaluations
     for other in mles[1:]:
-        result = result.hadamard(other)
-    return result
+        acc = acc * other.evaluations
+    # With a single input ``acc`` still aliases it, so copy in that case only.
+    return MultilinearPolynomial(
+        mles[0].num_vars, acc, mles[0].field, copy=len(mles) == 1
+    )
 
 
 def linear_combine(
@@ -171,11 +199,9 @@ def linear_combine(
         raise ValueError("need at least one MLE")
     num_vars = mles[0].num_vars
     field = mles[0].field
-    size = 1 << num_vars
-    acc = [field.zero()] * size
+    acc = FieldVector.zeros(field, 1 << num_vars)
     for coeff, mle in zip(coefficients, mles):
         if mle.num_vars != num_vars:
             raise ValueError("all MLEs must have the same number of variables")
-        for i, value in enumerate(mle.evaluations):
-            acc[i] = acc[i] + coeff * value
-    return MultilinearPolynomial(num_vars, acc, field)
+        acc = acc.axpy(coeff, mle.evaluations)
+    return MultilinearPolynomial(num_vars, acc, field, copy=False)

@@ -105,19 +105,34 @@ class VirtualPolynomial:
             acc = acc + value
         return acc
 
+    def _term_table(self, term: ProductTerm):
+        """The full hypercube table of one product term as a vector."""
+        vec = self.mles[term.mle_indices[0]].evaluations
+        for idx in term.mle_indices[1:]:
+            vec = vec * self.mles[idx].evaluations
+        if not term.coefficient.is_one():
+            vec = vec.scale(term.coefficient)
+        return vec
+
+    def hypercube_table(self):
+        """Evaluations at every boolean point as one :class:`FieldVector`."""
+        from repro.fields.vector import FieldVector
+
+        acc = FieldVector.zeros(self.field, 1 << self.num_vars)
+        for term in self.terms:
+            acc = acc + self._term_table(term)
+        return acc
+
     def sum_over_hypercube(self) -> FieldElement:
         """The claimed SumCheck value: sum of the polynomial over {0,1}^mu."""
         total = self.field.zero()
-        for index in range(1 << self.num_vars):
-            total = total + self.evaluate_on_hypercube_index(index)
+        for term in self.terms:
+            total = total + self._term_table(term).sum()
         return total
 
     def is_zero_on_hypercube(self) -> bool:
         """True if the polynomial vanishes at every boolean point (ZeroCheck)."""
-        return all(
-            self.evaluate_on_hypercube_index(i).is_zero()
-            for i in range(1 << self.num_vars)
-        )
+        return self.hypercube_table().is_zero()
 
     # -- transformations ------------------------------------------------------------
 

@@ -19,7 +19,7 @@ from dataclasses import dataclass
 from typing import Sequence
 
 from repro.curves.bls12_381 import G2Point
-from repro.curves.curve import AffinePoint, JacobianPoint
+from repro.curves.curve import AffinePoint, JacobianPoint, batch_to_affine
 from repro.curves.msm import MSMStatistics, msm
 from repro.curves.pairing import pairing_product_is_one
 from repro.fields.field import FieldElement
@@ -108,24 +108,27 @@ def open_at_point(
         raise PCSError("evaluation point has the wrong number of coordinates")
 
     field = mle.field
-    current = list(mle.evaluations)
-    quotients: list[AffinePoint] = []
+    current = mle.evaluations
+    quotient_points: list[JacobianPoint] = []
     for i, z_i in enumerate(point):
-        half = len(current) // 2
-        quotient = [current[2 * j + 1] - current[2 * j] for j in range(half)]
-        current = [current[2 * j] + z_i * quotient[j] for j in range(half)]
-        if half > 0:
+        # Even/odd split + fold: quotient = odd - even, current = even + z*q,
+        # i.e. the MLE-Update recurrence as two whole-table vector ops.
+        even, odd = current.even_odd()
+        quotient = odd - even
+        current = even.axpy(z_i, quotient)
+        if len(quotient) > 0:
             basis = prover_key.lagrange_tables[i + 1] if i + 1 < mle.num_vars else None
             if basis is None:
                 # Last round: the quotient is a single constant committed to g1.
                 commitment_point = prover_key.g1.to_jacobian().scalar_mul(
-                    quotient[0].value
+                    int(quotient[0])
                 )
             else:
                 commitment_point = msm(quotient, basis, stats=stats)
-            quotients.append(commitment_point.to_affine())
-    value = current[0] if current else field.zero()
-    return value, OpeningProof(quotients=quotients)
+            quotient_points.append(commitment_point)
+    value = current[0] if len(current) else field.zero()
+    # One shared inversion normalizes every quotient commitment.
+    return value, OpeningProof(quotients=batch_to_affine(quotient_points))
 
 
 def verify_opening(

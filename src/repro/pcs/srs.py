@@ -24,7 +24,7 @@ from dataclasses import dataclass
 from typing import Sequence
 
 from repro.curves.bls12_381 import G2Point, g1_generator, g2_generator
-from repro.curves.curve import AffinePoint
+from repro.curves.curve import AffinePoint, batch_to_affine
 from repro.fields.bls12_381 import Fr
 from repro.fields.field import FieldElement
 from repro.mle.mle import eq_mle
@@ -101,10 +101,12 @@ def setup(
     for k in range(num_vars):
         suffix = tau[k:]
         eq_table = eq_mle(suffix, Fr)
-        table = [
-            g1.scalar_mul(value.value).to_affine() for value in eq_table.evaluations
+        # Scalar-multiply in Jacobian form, then normalize the whole table
+        # with a single batched Fq inversion instead of one per point.
+        jacobians = [
+            g1.scalar_mul(value) for value in eq_table.evaluations.to_int_list()
         ]
-        lagrange_tables.append(table)
+        lagrange_tables.append(batch_to_affine(jacobians))
 
     prover_key = ProverKey(
         num_vars=num_vars,

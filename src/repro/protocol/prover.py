@@ -25,6 +25,7 @@ from repro.curves.msm import MSMStatistics
 from repro.fields.field import FieldElement
 from repro.mle.mle import MultilinearPolynomial, eq_mle
 from repro.mle.operations import (
+    batch_evaluate,
     construct_numerator_denominator,
     elementwise_product,
     fraction_mle,
@@ -182,9 +183,25 @@ def prove(
         "pi": pi,
     }
     points = query_points(num_vars, gate_point, perm_point, field)
+    # One Build-MLE per query point; every claim at that point is then a
+    # dot product against the shared eq table (the Batch Evaluations
+    # dataflow).  The tables are reused verbatim by the OpenCheck below.
+    eq_tables = {name: eq_mle(point, field) for name, point in points.items()}
+    claims_by_point: dict[str, list[str]] = {}
+    for poly_name, point_name in CLAIM_SCHEDULE:
+        claims_by_point.setdefault(point_name, []).append(poly_name)
+    claim_values: dict[tuple[str, str], FieldElement] = {}
+    for point_name, poly_names in claims_by_point.items():
+        values = batch_evaluate(
+            [committed_polys[n] for n in poly_names],
+            points[point_name],
+            eq_table=eq_tables[point_name],
+        )
+        for poly_name, value in zip(poly_names, values):
+            claim_values[(poly_name, point_name)] = value
     evaluation_claims: list[EvaluationClaim] = []
     for poly_name, point_name in CLAIM_SCHEDULE:
-        value = committed_polys[poly_name].evaluate(points[point_name])
+        value = claim_values[(poly_name, point_name)]
         evaluation_claims.append(EvaluationClaim(poly_name, point_name, value))
         transcript.absorb_field(
             b"claim/" + poly_name.encode() + b"@" + point_name.encode(), value
@@ -215,17 +232,21 @@ def prove(
         claimed_sum = claimed_sum + weight * claim.value
     open_poly = VirtualPolynomial(num_vars, field)
     for point_name in POINT_NAMES:
-        open_poly.add_product([lc_mles[point_name], eq_mle(points[point_name], field)])
+        open_poly.add_product([lc_mles[point_name], eq_tables[point_name]])
     opencheck_output = prove_sumcheck(
         open_poly, transcript, claimed_sum=claimed_sum, label=b"opencheck"
     )
     open_point = opencheck_output.challenges
     step.sumcheck_rounds = num_vars
 
-    # Claimed evaluations of every committed polynomial at the OpenCheck point.
+    # Claimed evaluations of every committed polynomial at the OpenCheck
+    # point: one shared eq table, one dot product per polynomial.
+    sorted_names = sorted(committed_polys)
+    opening_values = batch_evaluate(
+        [committed_polys[name] for name in sorted_names], open_point
+    )
     opening_evaluations: dict[str, FieldElement] = {}
-    for name in sorted(committed_polys):
-        value = committed_polys[name].evaluate(open_point)
+    for name, value in zip(sorted_names, opening_values):
         opening_evaluations[name] = value
         transcript.absorb_field(b"open/eval/" + name.encode(), value)
 

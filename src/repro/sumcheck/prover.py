@@ -56,37 +56,39 @@ class SumcheckProverOutput:
 def _round_polynomial(
     poly: VirtualPolynomial, degree: int
 ) -> list[FieldElement]:
-    """Compute evaluations of the round polynomial g(X) at X = 0..degree."""
-    field = poly.field
-    zero = field.zero()
-    num_points = degree + 1
-    accumulators = [zero] * num_points
-    half = 1 << (poly.num_vars - 1)
-    tables = [m.evaluations for m in poly.mles]
+    """Compute evaluations of the round polynomial g(X) at X = 0..degree.
 
-    for instance in range(half):
-        lo_index = 2 * instance
-        hi_index = lo_index + 1
-        # Per-MLE evaluations at X = 0..degree (linear in X).
-        mle_evals: list[list[FieldElement]] = []
-        for table in tables:
-            low = table[lo_index]
-            high = table[hi_index]
-            diff = high - low
-            evals = [low, high]
-            current = high
-            for _ in range(2, num_points):
-                current = current + diff
-                evals.append(current)
-            mle_evals.append(evals)
-        # Per-term products accumulated into the round polynomial.
+    Vectorized over the boolean-hypercube instances: every unique MLE is
+    split once into its even/odd halves, extended to X = 0..degree with one
+    vector addition per extra point (each table entry is linear in X), and
+    the per-term products reduce to a handful of whole-table Hadamard
+    multiplies followed by a sum -- the streaming dataflow of zkSpeed's
+    SumCheck PE (Section 4.1) expressed as array operations.
+    """
+    field = poly.field
+    num_points = degree + 1
+    # Per-MLE table evaluations at X = 0..degree, each a half-size vector.
+    mle_evals: list[list] = []
+    for m in poly.mles:
+        low, high = m.evaluations.even_odd()
+        evals = [low, high]
+        diff = high - low
+        current = high
+        for _ in range(2, num_points):
+            current = current + diff
+            evals.append(current)
+        mle_evals.append(evals)
+    # Per-term products; the coefficient is applied to the scalar sum since
+    # sum(c * prod) == c * sum(prod).
+    accumulators: list[FieldElement] = []
+    for t in range(num_points):
+        total = field.zero()
         for term in poly.terms:
-            coeff = term.coefficient
-            for t in range(num_points):
-                value = coeff
-                for mle_index in term.mle_indices:
-                    value = value * mle_evals[mle_index][t]
-                accumulators[t] = accumulators[t] + value
+            vec = mle_evals[term.mle_indices[0]][t]
+            for mle_index in term.mle_indices[1:]:
+                vec = vec * mle_evals[mle_index][t]
+            total = total + term.coefficient * vec.sum()
+        accumulators.append(total)
     return accumulators
 
 

@@ -1,0 +1,119 @@
+"""Regression tests: affine-normalization paths share batched inversions.
+
+The seed implementation inverted one ``z`` coordinate per point when
+normalizing Jacobian points (SRS generation, opening-proof quotients) and
+one chord denominator per point addition.  These tests pin the batched
+behavior via the curve layer's :data:`~repro.curves.curve.FQ_INVERSIONS`
+meter so the per-point inversions cannot silently come back.
+"""
+
+import random
+
+import pytest
+
+from repro.curves.bls12_381 import g1_generator
+from repro.curves.curve import (
+    FQ_INVERSIONS,
+    AffinePoint,
+    JacobianPoint,
+    batch_affine_add_pairs,
+    batch_to_affine,
+    tree_sum_affine,
+)
+from repro.mle import MultilinearPolynomial
+from repro.pcs import open_at_point, setup
+
+
+@pytest.fixture(autouse=True)
+def _reset_meter():
+    FQ_INVERSIONS.reset()
+    yield
+    FQ_INVERSIONS.reset()
+
+
+def _random_points(count, seed=7):
+    g = g1_generator()
+    rng = random.Random(seed)
+    return [g.scalar_mul(rng.randrange(1, 1 << 64)) for _ in range(count)]
+
+
+class TestBatchToAffine:
+    def test_matches_individual_normalization(self):
+        jacobians = _random_points(17)
+        expected = [p.to_affine() for p in jacobians]
+        assert batch_to_affine(jacobians) == expected
+
+    def test_single_inversion_for_whole_batch(self):
+        jacobians = _random_points(64)
+        FQ_INVERSIONS.reset()
+        batch_to_affine(jacobians)
+        assert FQ_INVERSIONS.count == 1
+        assert FQ_INVERSIONS.elements == 64
+
+    def test_identity_points_skipped(self):
+        jacobians = [JacobianPoint.identity()] + _random_points(3)
+        result = batch_to_affine(jacobians)
+        assert result[0].is_identity()
+        assert FQ_INVERSIONS.elements == 3
+
+    def test_regression_vs_per_point_inversion(self):
+        """The batched path must do strictly fewer inversions than points."""
+        count = 32
+        jacobians = _random_points(count)
+        FQ_INVERSIONS.reset()
+        batch_to_affine(jacobians)
+        batched = FQ_INVERSIONS.count
+        FQ_INVERSIONS.reset()
+        for p in jacobians:
+            p.to_affine()
+        per_point = FQ_INVERSIONS.count
+        assert per_point == count
+        assert batched == 1 < per_point
+
+
+class TestBatchedCurvePaths:
+    def test_batch_add_pairs_one_inversion(self):
+        points = [p.to_affine() for p in _random_points(32)]
+        pairs = list(zip(points[0::2], points[1::2]))
+        FQ_INVERSIONS.reset()
+        batch_affine_add_pairs(pairs)
+        # One inversion for the adds themselves (the conversion back to
+        # AffinePoint objects performs no inversions at all).
+        assert FQ_INVERSIONS.count == 1
+
+    def test_tree_sum_one_inversion_per_level(self):
+        points = [p.to_affine() for p in _random_points(33, seed=3)]
+        expected, _ = tree_sum_affine(points)
+        FQ_INVERSIONS.reset()
+        result, padds = tree_sum_affine(points)
+        # 33 leaves -> 6 tree levels -> at most 6 batched inversions, far
+        # fewer than the 32 chord inversions of an unbatched affine tree.
+        # (Checked before the equality below, whose to_affine() also meters.)
+        assert FQ_INVERSIONS.count <= 6
+        assert padds == 32
+        assert result == expected
+
+    def test_srs_setup_batches_lagrange_normalization(self):
+        FQ_INVERSIONS.reset()
+        setup(3, seed=9)
+        # 8 + 4 + 2 = 14 table points plus the generator normalization used
+        # to be >= 15 inversions; the batched path needs one per suffix
+        # table plus O(1) for the generator itself.
+        assert FQ_INVERSIONS.elements >= 14
+        assert FQ_INVERSIONS.count <= 3 + 2
+
+    def test_opening_batches_quotient_normalization(self):
+        srs = setup(4, seed=1)
+        rng = random.Random(5)
+        mle = MultilinearPolynomial.random(4, rng)
+        point = [mle.field(rng.randrange(mle.field.modulus)) for _ in range(4)]
+        FQ_INVERSIONS.reset()
+        open_at_point(srs.prover_key, mle, point)
+        # The 4 quotient commitments are normalized with ONE shared
+        # inversion; everything else is the quotient MSMs' internal batched
+        # trees.  The seed inverted once per normalized point / addition
+        # (hundreds here); the batched paths need an order of magnitude
+        # fewer actual inversions than values inverted.
+        assert FQ_INVERSIONS.elements > 100
+        assert FQ_INVERSIONS.count <= 16
+        assert FQ_INVERSIONS.count * 10 < FQ_INVERSIONS.elements

@@ -1,0 +1,245 @@
+"""Backend-parity and behavior tests for the FieldVector engine.
+
+Property-style tests asserting that the NumPy multi-limb Montgomery backend
+and the pure-Python-int reference backend agree on every vector operation,
+over both BLS12-381 prime fields, including the edge cases the ISSUE calls
+out: the zero vector, length-1 vectors, and values hugging the modulus.
+"""
+
+import random
+
+import pytest
+
+from repro.fields import Fq, Fr, available_backends, get_backend, set_default_backend
+from repro.fields.backends import default_backend_for
+from repro.fields.field import FieldElement
+from repro.fields.vector import FieldVector
+
+HAS_NUMPY = "numpy" in available_backends()
+
+needs_numpy = pytest.mark.skipif(not HAS_NUMPY, reason="NumPy not installed")
+
+FIELDS = [Fr, Fq]
+LENGTHS = [1, 2, 3, 8, 33, 130]
+
+
+def _edge_values(field, n, rng):
+    p = field.modulus
+    edge_pool = [0, 1, 2, p - 1, p - 2, p // 2, (1 << 255) % p]
+    values = [edge_pool[i % len(edge_pool)] for i in range(min(n, len(edge_pool)))]
+    values += [rng.randrange(p) for _ in range(n - len(values))]
+    return values
+
+
+def _vectors(field, values):
+    return (
+        FieldVector.from_ints(field, values, get_backend("python")),
+        FieldVector.from_ints(field, values, get_backend("numpy")),
+    )
+
+
+@needs_numpy
+@pytest.mark.parametrize("field", FIELDS, ids=lambda f: f.name)
+@pytest.mark.parametrize("n", LENGTHS)
+class TestBackendParity:
+    def test_roundtrip_and_elementwise_ops(self, field, n):
+        rng = random.Random(1000 + n)
+        a_vals = _edge_values(field, n, rng)
+        b_vals = _edge_values(field, n, random.Random(2000 + n))
+        a_py, a_np = _vectors(field, a_vals)
+        b_py, b_np = _vectors(field, b_vals)
+        assert a_np.to_int_list() == a_vals
+        assert (a_py + b_py).to_int_list() == (a_np + b_np).to_int_list()
+        assert (a_py - b_py).to_int_list() == (a_np - b_np).to_int_list()
+        assert (a_py * b_py).to_int_list() == (a_np * b_np).to_int_list()
+        assert (-a_py).to_int_list() == (-a_np).to_int_list()
+
+    def test_scalar_broadcast(self, field, n):
+        rng = random.Random(3000 + n)
+        values = _edge_values(field, n, rng)
+        a_py, a_np = _vectors(field, values)
+        for scalar in (0, 1, field.modulus - 1, rng.randrange(field.modulus)):
+            assert a_py.scale(scalar).to_int_list() == a_np.scale(scalar).to_int_list()
+            assert (
+                a_py.add_scalar(scalar).to_int_list()
+                == a_np.add_scalar(scalar).to_int_list()
+            )
+            assert (
+                a_py.axpy(scalar, a_py).to_int_list()
+                == a_np.axpy(scalar, a_np).to_int_list()
+            )
+
+    def test_reductions(self, field, n):
+        rng = random.Random(4000 + n)
+        a_vals = _edge_values(field, n, rng)
+        b_vals = [rng.randrange(field.modulus) for _ in range(n)]
+        a_py, a_np = _vectors(field, a_vals)
+        b_py, b_np = _vectors(field, b_vals)
+        assert a_py.sum() == a_np.sum()
+        assert a_py.dot(b_py) == a_np.dot(b_np)
+        assert a_py.sum().value == sum(a_vals) % field.modulus
+
+    def test_fold_matches_reference(self, field, n):
+        if n % 2:
+            pytest.skip("fold needs even length")
+        rng = random.Random(5000 + n)
+        values = _edge_values(field, n, rng)
+        r = rng.randrange(field.modulus)
+        a_py, a_np = _vectors(field, values)
+        expected = [
+            (values[2 * i] + r * (values[2 * i + 1] - values[2 * i])) % field.modulus
+            for i in range(n // 2)
+        ]
+        assert a_py.fold(r).to_int_list() == expected
+        assert a_np.fold(r).to_int_list() == expected
+
+    def test_batch_inverse(self, field, n):
+        rng = random.Random(6000 + n)
+        values = [v or 1 for v in _edge_values(field, n, rng)]
+        a_py, a_np = _vectors(field, values)
+        inv_py = a_py.inverse().to_int_list()
+        inv_np = a_np.inverse().to_int_list()
+        assert inv_py == inv_np
+        for v, i in zip(values, inv_py):
+            assert v * i % field.modulus == 1
+
+    def test_structural_ops(self, field, n):
+        rng = random.Random(7000 + n)
+        values = _edge_values(field, n, rng)
+        a_py, a_np = _vectors(field, values)
+        assert a_py == a_np  # cross-backend equality
+        if n % 2 == 0:
+            for (e, o) in (a_py.even_odd(), a_np.even_odd()):
+                assert e.to_int_list() == values[0::2]
+                assert o.to_int_list() == values[1::2]
+        cat_py = a_py.concat(a_py)
+        cat_np = a_np.concat(a_np)
+        assert cat_py.to_int_list() == cat_np.to_int_list() == values + values
+        assert a_py[n - 1] == a_np[n - 1] == FieldElement(values[-1], field)
+        sl_py, sl_np = a_py[: n // 2], a_np[: n // 2]
+        assert sl_py.to_int_list() == sl_np.to_int_list() == values[: n // 2]
+        assert a_py.sparsity_counts() == a_np.sparsity_counts()
+
+
+@needs_numpy
+@pytest.mark.parametrize("field", FIELDS, ids=lambda f: f.name)
+def test_zero_vector_everything(field):
+    for backend in ("python", "numpy"):
+        z = FieldVector.zeros(field, 16, get_backend(backend))
+        assert z.is_zero()
+        assert z.sum().is_zero()
+        assert (z + z).is_zero()
+        assert (z * z).is_zero()
+        assert (-z).is_zero()
+        assert z.fold(5).is_zero()
+        assert z.sparsity_counts() == (16, 0, 0)
+        with pytest.raises(ZeroDivisionError):
+            z.inverse()
+
+
+@needs_numpy
+def test_slices_never_alias_storage():
+    """Full-range slices must be independent copies on every backend."""
+    for backend in ("python", "numpy"):
+        vec = FieldVector.from_ints(Fr, [1, 2, 3, 4], get_backend(backend))
+        window = vec[0:4]
+        window[0] = Fr(99)
+        assert vec.to_int_list() == [1, 2, 3, 4], backend
+        even, _odd = FieldVector.from_ints(Fr, [7, 8], get_backend(backend)).even_odd()
+        even[0] = Fr(0)  # length-1 halves must also be independent
+
+
+@needs_numpy
+def test_non_canonical_scalars_are_reduced():
+    """Directly-constructed FieldElements may carry residues >= p."""
+    from repro.fields import batch_inverse
+
+    raw = FieldElement(Fr.modulus + 3, Fr)
+    for backend in ("python", "numpy"):
+        vec = FieldVector.from_ints(Fr, [Fr.modulus - 1], get_backend(backend))
+        assert vec.add_scalar(raw).to_int_list() == [2], backend
+        vec[0] = raw
+        assert vec.to_int_list() == [3], backend
+    with pytest.raises(ZeroDivisionError):
+        # residue exactly p is zero and must raise, not poison the batch
+        batch_inverse([FieldElement(Fr.modulus, Fr), Fr(2)])
+
+
+@needs_numpy
+def test_mutation_parity():
+    for backend in ("python", "numpy"):
+        vec = FieldVector.from_ints(Fr, [1, 2, 3, 4], get_backend(backend))
+        vec[2] = Fr(99)
+        vec[-1] = 7
+        assert vec.to_int_list() == [1, 2, 99, 7]
+        copy = vec.copy()
+        copy[0] = Fr(0)
+        assert vec[0] == Fr(1), "copy must not alias"
+
+
+@needs_numpy
+def test_equality_against_element_lists():
+    values = [5, 0, 1, Fr.modulus - 1]
+    for backend in ("python", "numpy"):
+        vec = FieldVector.from_ints(Fr, values, get_backend(backend))
+        assert vec == [Fr(v) for v in values]
+        assert vec == values
+        assert not vec == [Fr(v + 1) for v in values]
+
+
+@needs_numpy
+def test_mixed_backend_binary_ops():
+    rng = random.Random(9)
+    values = [rng.randrange(Fr.modulus) for _ in range(12)]
+    others = [rng.randrange(Fr.modulus) for _ in range(12)]
+    a = FieldVector.from_ints(Fr, values, get_backend("python"))
+    b = FieldVector.from_ints(Fr, others, get_backend("numpy"))
+    expected = [(x + y) % Fr.modulus for x, y in zip(values, others)]
+    assert (a + b).to_int_list() == expected
+    assert (b + a.with_backend("numpy")).to_int_list() == expected
+
+
+class TestSelectionPolicy:
+    def test_explicit_override(self):
+        set_default_backend("python")
+        try:
+            assert default_backend_for(1 << 20).name == "python"
+        finally:
+            set_default_backend(None)
+
+    @needs_numpy
+    def test_auto_threshold(self):
+        set_default_backend("auto")
+        try:
+            assert default_backend_for(4).name == "python"
+            assert default_backend_for(1 << 14).name == "numpy"
+        finally:
+            set_default_backend(None)
+
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(KeyError):
+            get_backend("cuda")
+        with pytest.raises(KeyError):
+            set_default_backend("cuda")
+
+    @needs_numpy
+    def test_proofs_identical_across_backends(self):
+        """The whole protocol must be backend-invariant (acceptance criterion)."""
+        from repro.circuits import mock_circuit
+        from repro.pcs import setup
+        from repro.protocol import preprocess, prove, verify
+        from repro.protocol.serialization import serialize_proof
+
+        blobs = {}
+        for backend in ("python", "numpy"):
+            set_default_backend(backend)
+            try:
+                srs = setup(4, seed=11)
+                circuit = mock_circuit(4, seed=5)
+                pk, vk = preprocess(circuit, srs)
+                proof = prove(pk)
+                assert verify(vk, proof)
+                blobs[backend] = serialize_proof(proof)
+            finally:
+                set_default_backend(None)
+        assert blobs["python"] == blobs["numpy"]

@@ -92,7 +92,18 @@ class TestPippenger:
         assert 0 < stats.bucket_padds <= 24 * stats.num_windows
         assert stats.window_combine_doublings == stats.num_windows * 8
         assert stats.total_padds > 0
-        assert stats.total_point_ops == stats.total_padds + stats.window_combine_doublings
+        # The default batched aggregation runs exactly one Horner doubling
+        # per window bit; pin that independent relationship rather than
+        # restating the total_point_ops definition.
+        assert stats.aggregation_doublings == stats.num_windows * stats.window_bits
+        assert stats.total_point_ops == (
+            stats.bucket_padds
+            + stats.aggregation_padds
+            + stats.window_combine_padds
+            + stats.sparse_tree_padds
+            + stats.num_windows * stats.window_bits  # aggregation doublings
+            + stats.window_combine_doublings
+        )
 
     def test_default_window_heuristic(self):
         assert default_window_bits(0) == 7
