@@ -1,9 +1,11 @@
 """End-to-end HyperPlonk prover benchmark across field-vector backends.
 
 Times the full prove/verify pipeline at several circuit sizes for every
-available field-vector backend, verifies that all backends produce
-byte-identical proofs, and writes ``BENCH_prover.json`` with per-phase
-breakdowns so the performance trajectory is tracked from this PR onward.
+available field-vector backend — driven through the public session API
+(`repro.api.ProverEngine`, one engine per backend sharing a preloaded
+SRS) — verifies that all backends produce byte-identical proofs, and
+writes ``BENCH_prover.json`` with per-phase breakdowns so the performance
+trajectory is tracked from PR 1 onward.
 
 Run from the repository root::
 
@@ -11,31 +13,49 @@ Run from the repository root::
     PYTHONPATH=src python benchmarks/bench_prover_e2e.py --sizes 8,10,12
     PYTHONPATH=src python benchmarks/bench_prover_e2e.py --sizes 14 --backends auto
 
+Regression tracking (used by CI)::
+
+    PYTHONPATH=src python benchmarks/bench_prover_e2e.py \
+        --sizes 6 --best-of 3 --compare-last --tolerance 0.20
+
+``--compare-last`` compares prove times against the last run recorded in
+the output file (the committed baseline, in CI) and exits non-zero on a
+regression beyond ``--tolerance``; every run appends the previous record
+to the file's ``history`` list so the trajectory stays inspectable.
+Wall-clock comparison across different machines is meaningless, so the
+gate is hard only when the baseline was recorded on the same host; a
+foreign-host baseline downgrades the check to an informational skip
+(pass ``--compare-any-host`` to force it anyway).  Host identity is
+``platform.node()`` unless overridden with ``REPRO_BENCH_HOST`` — CI sets
+a stable label there so ephemeral runner hostnames still form one
+comparable fleet once a runner-recorded baseline is committed.
+
 Notes
 -----
 * ``--sizes`` are hypercube exponents (2^mu gates).  The default stays
   laptop-friendly; pass ``--sizes 14`` for the paper-scale-adjacent point
   (SRS setup alone takes minutes of pure-Python curve arithmetic there).
 * SRS setup runs once per size (plain curve points, backend-independent)
-  and is excluded from the per-backend timings.  Circuit compilation and
-  preprocessing are re-run under each backend (vectors keep the backend
-  they were created with) but also excluded from the timed prove/verify.
+  and is preloaded into each engine, so it is excluded from the
+  per-backend timings.  Circuit compilation and preprocessing are re-run
+  under each backend (vectors keep the backend they were created with) but
+  also excluded from the timed prove/verify.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import platform
+import subprocess
 import sys
 import time
 from pathlib import Path
 
-from repro.circuits import mock_circuit
-from repro.fields import available_backends, set_default_backend
-from repro.pcs import setup
-from repro.protocol import preprocess, prove, verify
-from repro.protocol.serialization import serialize_proof
+from repro.api import EngineConfig, ProverEngine
+from repro.fields import available_backends
+from repro.pcs.srs import setup
 
 
 def _phase_breakdown(trace) -> dict[str, float]:
@@ -46,7 +66,23 @@ def _phase_breakdown(trace) -> dict[str, float]:
     }
 
 
-def bench_size(num_vars: int, backends: list[str], witness_seed: int) -> dict:
+def _git_commit() -> str:
+    try:
+        return (
+            subprocess.run(
+                ["git", "rev-parse", "--short", "HEAD"],
+                capture_output=True,
+                text=True,
+                check=True,
+                cwd=Path(__file__).resolve().parent,
+            ).stdout.strip()
+            or "unknown"
+        )
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+
+
+def bench_size(num_vars: int, backends: list[str], witness_seed: int, best_of: int) -> dict:
     t0 = time.perf_counter()
     srs = setup(num_vars, seed=1)
     setup_seconds = time.perf_counter() - t0
@@ -59,33 +95,34 @@ def bench_size(num_vars: int, backends: list[str], witness_seed: int) -> dict:
     }
     proof_blobs: dict[str, bytes] = {}
     for backend in backends:
-        # Vectors keep the backend they were created with, so the circuit
-        # tables and proving key must be (re)built under the backend being
-        # measured — otherwise the timed prove would partly run on vectors
-        # that preprocessing created under a different policy.  The SRS is
-        # plain curve points and can be shared.
-        set_default_backend(None if backend == "auto" else backend)
-        try:
-            circuit = mock_circuit(num_vars, seed=witness_seed)
+        # One engine per backend: vectors keep the backend they were created
+        # with, so the circuit tables and proving key must be (re)built under
+        # the backend being measured — the engine does that inside its
+        # config context.  The SRS is plain curve points and is shared.
+        engine = ProverEngine(
+            EngineConfig(field_backend=backend, srs_seed=1, collect_trace=True)
+        )
+        engine.preload_srs(srs)
+        prove_seconds = verify_seconds = float("inf")
+        preprocess_seconds = 0.0
+        artifact = None
+        for iteration in range(best_of):
+            artifact = engine.prove("mock", num_vars=num_vars, seed=witness_seed)
+            if iteration == 0:
+                # Later iterations hit the session key cache and report 0.
+                preprocess_seconds = artifact.timings["setup_and_preprocess"]
+            prove_seconds = min(prove_seconds, artifact.timings["prove"])
             t0 = time.perf_counter()
-            pk, vk = preprocess(circuit, srs)
-            preprocess_seconds = time.perf_counter() - t0
-            t0 = time.perf_counter()
-            proof, trace = prove(pk, collect_trace=True)
-            prove_seconds = time.perf_counter() - t0
-            t0 = time.perf_counter()
-            ok = verify(vk, proof)
-            verify_seconds = time.perf_counter() - t0
-        finally:
-            set_default_backend(None)
-        if not ok:
-            raise SystemExit(f"verification FAILED for backend {backend!r}")
-        proof_blobs[backend] = serialize_proof(proof)
+            ok = engine.verify(artifact)
+            verify_seconds = min(verify_seconds, time.perf_counter() - t0)
+            if not ok:
+                raise SystemExit(f"verification FAILED for backend {backend!r}")
+        proof_blobs[backend] = artifact.to_bytes()
         entry["backends"][backend] = {
             "preprocess_seconds": round(preprocess_seconds, 3),
             "prove_seconds": round(prove_seconds, 3),
             "verify_seconds": round(verify_seconds, 3),
-            "phases": _phase_breakdown(trace),
+            "phases": _phase_breakdown(artifact.trace),
         }
         print(
             f"  2^{num_vars:<2d} {backend:>7s}: prove {prove_seconds:7.2f}s  "
@@ -100,6 +137,30 @@ def bench_size(num_vars: int, backends: list[str], witness_seed: int) -> dict:
         )
     entry["identical_proofs_across_backends"] = True
     return entry
+
+
+def compare_to_last(previous: dict, sizes: list[dict], tolerance: float) -> list[str]:
+    """Prove-time regressions of ``sizes`` vs a previous record, as messages."""
+    regressions: list[str] = []
+    old_sizes = {e["num_vars"]: e for e in previous.get("sizes", [])}
+    for entry in sizes:
+        old_entry = old_sizes.get(entry["num_vars"])
+        if old_entry is None:
+            continue
+        for backend, result in entry["backends"].items():
+            old_result = old_entry.get("backends", {}).get(backend)
+            if old_result is None:
+                continue
+            old_time = old_result.get("prove_seconds", 0.0)
+            new_time = result["prove_seconds"]
+            if old_time > 0 and new_time > old_time * (1.0 + tolerance):
+                regressions.append(
+                    f"2^{entry['num_vars']} {backend}: prove {new_time:.3f}s vs "
+                    f"{old_time:.3f}s recorded at {previous.get('commit', '?')} "
+                    f"(+{100 * (new_time / old_time - 1):.0f}% > "
+                    f"{100 * tolerance:.0f}% tolerance)"
+                )
+    return regressions
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -117,6 +178,32 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("--witness-seed", type=int, default=3)
     parser.add_argument(
+        "--best-of",
+        type=int,
+        default=1,
+        help="repeat each prove/verify N times and record the fastest "
+        "(default: 1; use 3+ for regression gating)",
+    )
+    parser.add_argument(
+        "--compare-last",
+        action="store_true",
+        help="compare prove times against the last recorded run and exit "
+        "non-zero on a regression beyond --tolerance",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.20,
+        help="allowed relative prove-time regression for --compare-last "
+        "(default: 0.20)",
+    )
+    parser.add_argument(
+        "--compare-any-host",
+        action="store_true",
+        help="apply --compare-last even when the recorded baseline comes "
+        "from a different host (cross-machine wall-clock comparison)",
+    )
+    parser.add_argument(
         "--output",
         default=str(Path(__file__).resolve().parent.parent / "BENCH_prover.json"),
     )
@@ -131,14 +218,66 @@ def main(argv: list[str] | None = None) -> int:
     print(f"backends: {', '.join(backends)}   sizes: {sizes}")
     results = {
         "benchmark": "hyperplonk_prover_e2e",
+        "commit": _git_commit(),
         "python": platform.python_version(),
         "machine": platform.machine(),
+        "hostname": os.environ.get("REPRO_BENCH_HOST") or platform.node(),
         "available_backends": available_backends(),
-        "sizes": [bench_size(nv, backends, args.witness_seed) for nv in sizes],
+        "sizes": [
+            bench_size(nv, backends, args.witness_seed, max(1, args.best_of))
+            for nv in sizes
+        ],
     }
+
     out_path = Path(args.output)
+    previous: dict = {}
+    if out_path.exists():
+        try:
+            previous = json.loads(out_path.read_text())
+        except json.JSONDecodeError:
+            previous = {}
+
+    # Carry forward the cross-PR context: the seed-implementation reference
+    # numbers and the append-only history of past runs.
+    for key in ("seed_reference", "notes"):
+        if key in previous:
+            results[key] = previous[key]
+    history = list(previous.get("history", []))
+    if previous.get("sizes"):
+        history.append(
+            {
+                key: previous[key]
+                for key in ("commit", "python", "machine", "hostname", "sizes")
+                if key in previous
+            }
+        )
+    results["history"] = history
+
+    regressions: list[str] = []
+    skipped_foreign_host = False
+    if args.compare_last and previous.get("sizes"):
+        same_host = previous.get("hostname") == results["hostname"]
+        if same_host or args.compare_any_host:
+            regressions = compare_to_last(previous, results["sizes"], args.tolerance)
+        else:
+            skipped_foreign_host = True
+
     out_path.write_text(json.dumps(results, indent=2) + "\n")
-    print(f"wrote {out_path}")
+    print(f"wrote {out_path} ({len(history)} historical run(s) kept)")
+    if skipped_foreign_host:
+        print(
+            f"regression check skipped: baseline recorded on "
+            f"{previous.get('hostname', 'unknown host')!r}, this is "
+            f"{results['hostname']!r} (cross-machine wall-clock comparison "
+            f"is meaningless; pass --compare-any-host to force)"
+        )
+    if regressions:
+        print("PERFORMANCE REGRESSION detected:", file=sys.stderr)
+        for message in regressions:
+            print(f"  {message}", file=sys.stderr)
+        return 1
+    if args.compare_last and not skipped_foreign_host:
+        print(f"no prove-time regression beyond {100 * args.tolerance:.0f}%")
     return 0
 
 

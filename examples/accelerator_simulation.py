@@ -1,10 +1,11 @@
 #!/usr/bin/env python3
 """Simulate the zkSpeed accelerator on the paper's workloads (Table 3 / 5).
 
-Uses the architectural model to reproduce the headline results: per-workload
-runtimes and speedups over the CPU baseline, the area/power breakdown of the
-highlighted 366 mm^2 design, per-step runtime fractions (Figure 12b) and unit
-utilizations (Figure 13).
+Drives the architectural model through `repro.api.ProverEngine` to
+reproduce the headline results: per-workload runtimes and speedups over the
+CPU baseline, the area/power breakdown of the highlighted 366 mm^2 design,
+per-step runtime fractions (Figure 12b) and unit utilizations (Figure 13).
+The workloads are the same named scenarios the functional prover runs.
 
 Run with:  python examples/accelerator_simulation.py
 """
@@ -13,22 +14,25 @@ from __future__ import annotations
 
 import math
 
-from repro.core import CpuBaseline, WorkloadModel, ZkSpeedChip, ZkSpeedConfig
+from repro.api import ProverEngine, available_scenarios, resolve_scenario
 
 
 def main() -> None:
-    config = ZkSpeedConfig.paper_default()
-    chip = ZkSpeedChip(config)
-    cpu = CpuBaseline()
+    engine = ProverEngine()
+    chip = engine.chip()
+    cpu = engine.cpu_baseline()
 
     print("== zkSpeed configuration ==")
-    print(" ", config.describe())
+    print(" ", chip.config.describe())
 
     print("\n== Table 3: workload runtimes ==")
     print(f"{'workload':<32s} {'size':>6s} {'CPU (ms)':>12s} {'zkSpeed (ms)':>13s} {'speedup':>9s}")
     speedups = []
-    for workload in WorkloadModel.paper_table3():
-        report = chip.simulate(workload)
+    table3 = [name for name in available_scenarios() if name != "mock"]
+    for name in sorted(table3, key=lambda n: resolve_scenario(n).paper_log_size):
+        scenario = resolve_scenario(name)
+        workload = scenario.workload_model()  # published Table 3 size
+        report = engine.simulate(workload=workload)
         cpu_ms = cpu.runtime_ms(workload.num_vars)
         speedup = cpu_ms / report.total_runtime_ms
         speedups.append(speedup)
@@ -47,7 +51,7 @@ def main() -> None:
     print(f"  {'Total':<22s} {sum(area.values()):>8.2f} mm^2   {sum(power.values()):>7.2f} W")
 
     print("\n== Figure 12b: runtime breakdown at 2^20 ==")
-    report = chip.simulate(WorkloadModel(num_vars=20))
+    report = engine.simulate(num_vars=20)
     for step in report.steps:
         fraction = report.step_fractions()[step.name]
         bound = "memory-bound" if step.is_memory_bound else "compute-bound"

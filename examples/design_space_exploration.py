@@ -1,11 +1,11 @@
 #!/usr/bin/env python3
 """Design-space exploration: sweep zkSpeed configurations and pick a design.
 
-Reproduces the Figure 9 methodology at a reduced sweep size: evaluate a grid
-of configurations over the Table 2 knobs for several off-chip bandwidths,
-extract per-bandwidth and global Pareto frontiers, and select (a) the fastest
-design under an area budget and (b) the iso-CPU-area design used for the
-Table 3 comparison.
+Reproduces the Figure 9 methodology at a reduced sweep size through
+`repro.api.ProverEngine`: evaluate a grid of configurations over the
+Table 2 knobs for several off-chip bandwidths, extract per-bandwidth and
+global Pareto frontiers, and select (a) the fastest design under an area
+budget and (b) the iso-CPU-area design used for the Table 3 comparison.
 
 Run with:  python examples/design_space_exploration.py [log2_gates]
 """
@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import sys
 
-from repro.core import CpuBaseline, DesignSpaceExplorer, WorkloadModel
+from repro.api import ProverEngine
 
 
 SWEEP = {
@@ -32,12 +32,13 @@ SWEEP = {
 
 def main() -> None:
     log_gates = int(sys.argv[1]) if len(sys.argv) > 1 else 20
-    workload = WorkloadModel(num_vars=log_gates)
-    explorer = DesignSpaceExplorer(workload)
-    cpu = CpuBaseline()
+    engine = ProverEngine()
+    cpu = engine.cpu_baseline()
 
     print(f"== Design-space exploration at 2^{log_gates} gates ==")
-    points = explorer.sweep(overrides=SWEEP, max_points=None)
+    explorer, points = engine.explore(
+        num_vars=log_gates, overrides=SWEEP, max_points=None
+    )
     print(f"evaluated {len(points)} configurations")
 
     print("\nper-bandwidth Pareto frontiers (fastest point each):")

@@ -1,10 +1,12 @@
 #!/usr/bin/env python3
 """Private-transaction workload: the Zcash-style circuit from Table 3.
 
-Builds the synthetic private-transaction circuit (balance check, range
-proofs, a toy Merkle-path hash chain), proves it with HyperPlonk, verifies
-the proof, and prints the prover-side statistics that motivate zkSpeed's
-Sparse-MSM path (witness sparsity) and streaming SumCheck units.
+Proves the synthetic private-transaction scenario (balance check, range
+proofs, a toy Merkle-path hash chain) through `repro.api.ProverEngine`,
+verifies the proof, and prints the prover-side statistics that motivate
+zkSpeed's Sparse-MSM path (witness sparsity) and streaming SumCheck units.
+The same scenario name then drives the accelerator model at the paper's
+problem size — functional prover and chip model share one registry.
 
 Run with:  python examples/private_transaction.py [log2_gates]
 """
@@ -12,19 +14,17 @@ Run with:  python examples/private_transaction.py [log2_gates]
 from __future__ import annotations
 
 import sys
-import time
 
-from repro.circuits import zcash_transfer_circuit
-from repro.core import WorkloadModel, ZkSpeedChip, ZkSpeedConfig, CpuBaseline
-from repro.pcs import setup
-from repro.protocol import preprocess, prove, verify
+from repro.api import EngineConfig, ProverEngine, resolve_scenario
 
 
 def main() -> None:
     log_gates = int(sys.argv[1]) if len(sys.argv) > 1 else 6
     print(f"== Private transaction (Zcash-style) at 2^{log_gates} gates ==")
 
-    circuit = zcash_transfer_circuit(log_gates)
+    engine = ProverEngine(EngineConfig(srs_seed=7, collect_trace=True))
+    scenario = resolve_scenario("zcash")
+    circuit = scenario.build_circuit(num_vars=log_gates)
     sparsity = circuit.witness_sparsity()
     print(f"gates: {circuit.num_real_gates} real / {circuit.num_gates} padded")
     print(
@@ -35,18 +35,14 @@ def main() -> None:
         "(the Sparse-MSM statistics of Section 3.3.1)"
     )
 
-    srs = setup(circuit.num_vars, seed=7)
-    pk, vk = preprocess(circuit, srs)
-
-    start = time.perf_counter()
-    proof, trace = prove(pk, collect_trace=True)
-    prove_seconds = time.perf_counter() - start
-    print(f"functional prover: {prove_seconds:.2f} s, proof {proof.size_bytes() / 1024:.2f} KiB")
-    assert verify(vk, proof)
+    artifact = engine.prove(circuit=circuit)
+    print(f"functional prover: {artifact.timings['prove']:.2f} s, "
+          f"proof {artifact.size_bytes / 1024:.2f} KiB")
+    assert engine.verify(artifact)
     print("verification: ACCEPT")
 
     print("\nper-step prover statistics (functional trace):")
-    for step in trace.steps:
+    for step in artifact.trace.steps:
         msm_points = sum(s.num_points for s in step.msm_stats)
         extras = []
         if msm_points:
@@ -59,21 +55,17 @@ def main() -> None:
             extras.append(f"SHA3 invocations={step.sha3_invocations}")
         print(f"  {step.name:<20s} {step.wall_time_seconds * 1000:8.1f} ms   {' '.join(extras)}")
 
-    # What would this look like at the paper's scale, on zkSpeed?
-    print("\nprojection to the paper's problem size (2^17) on the zkSpeed accelerator:")
-    chip = ZkSpeedChip(ZkSpeedConfig.paper_default())
-    workload = WorkloadModel(
-        num_vars=17,
-        dense_fraction=max(0.01, sparsity["dense_fraction"]),
-        one_fraction=sparsity["one_fraction"],
-        zero_fraction=1.0 - max(0.01, sparsity["dense_fraction"]) - sparsity["one_fraction"],
-        name="Zcash",
-    )
-    report = chip.simulate(workload)
-    cpu = CpuBaseline()
+    # What would this look like at the paper's scale, on zkSpeed?  The same
+    # scenario drives the chip model; the measured sparsity carries over.
+    paper_size = scenario.paper_log_size
+    print(f"\nprojection to the paper's problem size (2^{paper_size}) "
+          "on the zkSpeed accelerator:")
+    workload = scenario.workload_model(num_vars=paper_size, circuit=circuit)
+    report = engine.simulate(workload=workload)
+    cpu = engine.cpu_baseline()
     print(f"  zkSpeed runtime:  {report.total_runtime_ms:.2f} ms")
-    print(f"  CPU baseline:     {cpu.runtime_ms(17):.0f} ms")
-    print(f"  speedup:          {cpu.runtime_ms(17) / report.total_runtime_ms:.0f}x "
+    print(f"  CPU baseline:     {cpu.runtime_ms(paper_size):.0f} ms")
+    print(f"  speedup:          {cpu.runtime_ms(paper_size) / report.total_runtime_ms:.0f}x "
           "(paper reports 720x for this workload)")
 
 

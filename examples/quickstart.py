@@ -1,12 +1,14 @@
 #!/usr/bin/env python3
 """Quickstart: build a circuit, generate a HyperPlonk proof, verify it.
 
-This walks through the full functional pipeline at laptop scale:
+This walks through the full functional pipeline at laptop scale, driven
+through the public session API (`repro.api.ProverEngine`):
 
 1. describe a computation with the Plonk circuit builder;
-2. run the universal trusted setup (once per maximum size);
-3. preprocess the circuit into proving / verifying keys;
-4. prove and verify.
+2. hand it to a `ProverEngine`, which runs the universal trusted setup and
+   circuit preprocessing on demand and caches both for the session;
+3. prove and verify — a second proof of the same circuit structure skips
+   setup and preprocessing entirely.
 
 Run with:  python examples/quickstart.py
 """
@@ -15,9 +17,8 @@ from __future__ import annotations
 
 import time
 
+from repro.api import EngineConfig, ProverEngine
 from repro.circuits import CircuitBuilder
-from repro.pcs import setup
-from repro.protocol import preprocess, prove, verify
 
 
 def build_example_circuit():
@@ -46,23 +47,28 @@ def main() -> None:
     print(f"circuit: {circuit.num_real_gates} real gates, padded to 2^{circuit.num_vars}")
     print(f"circuit satisfied: {circuit.is_satisfied()}")
 
-    start = time.perf_counter()
-    srs = setup(circuit.num_vars, seed=42)
-    print(f"universal setup (2^{circuit.num_vars} max gates): {time.perf_counter() - start:.2f} s")
+    engine = ProverEngine(EngineConfig(srs_seed=42))
 
     start = time.perf_counter()
-    pk, vk = preprocess(circuit, srs)
-    print(f"preprocessing (selector/permutation commitments): {time.perf_counter() - start:.2f} s")
+    artifact = engine.prove(circuit=circuit)
+    elapsed = time.perf_counter() - start
+    print(f"setup + preprocess (2^{circuit.num_vars} max gates): "
+          f"{artifact.timings['setup_and_preprocess']:.2f} s")
+    print(f"proving: {artifact.timings['prove']:.2f} s  (end to end {elapsed:.2f} s)")
+    print(f"proof size: {artifact.size_bytes / 1024:.2f} KiB "
+          f"({artifact.proof.num_commitments()} G1 points, "
+          f"{artifact.proof.num_field_elements()} field elements)")
 
     start = time.perf_counter()
-    proof = prove(pk)
-    print(f"proving: {time.perf_counter() - start:.2f} s")
-    print(f"proof size: {proof.size_bytes() / 1024:.2f} KiB "
-          f"({proof.num_commitments()} G1 points, {proof.num_field_elements()} field elements)")
-
-    start = time.perf_counter()
-    ok = verify(vk, proof)
+    ok = engine.verify(artifact)
     print(f"verification: {time.perf_counter() - start:.3f} s -> {'ACCEPT' if ok else 'REJECT'}")
+
+    # The session caches the SRS and the circuit keys: proving again is
+    # witness-only work.
+    start = time.perf_counter()
+    engine.prove(circuit=circuit)
+    print(f"second proof (cached SRS + keys): {time.perf_counter() - start:.2f} s "
+          f"-> cache {engine.cache_stats.as_dict()}")
 
 
 if __name__ == "__main__":

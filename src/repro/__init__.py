@@ -1,18 +1,34 @@
 """zkSpeed: a HyperPlonk proving stack and accelerator model.
 
 Reproduction of "Need for zkSpeed: Accelerating HyperPlonk for Zero-Knowledge
-Proofs" (ISCA 2025).  The package is organized in two layers:
+Proofs" (ISCA 2025).  The package is organized in three layers:
 
 * the functional HyperPlonk protocol (``repro.fields``, ``repro.curves``,
   ``repro.mle``, ``repro.sumcheck``, ``repro.pcs``, ``repro.circuits``,
-  ``repro.transcript``, ``repro.protocol``), and
+  ``repro.transcript``, ``repro.protocol``),
 * the zkSpeed architectural model (``repro.core``) used to reproduce the
-  paper's evaluation.
+  paper's evaluation, and
+* the public session API (``repro.api``) — ``ProverEngine`` /
+  ``EngineConfig`` — the one configurable way into both.
 
-See README.md for a tour and DESIGN.md / EXPERIMENTS.md for the experiment
-index and measured-vs-published comparisons.
+``ProverEngine``, ``EngineConfig`` and ``ProofArtifact`` are re-exported
+lazily at the top level, so ``from repro import ProverEngine`` works
+without paying the import cost when only a subpackage is needed.
+
+See README.md for a tour and the "Public API" section for migration from
+the deprecated free-function entry points.
 """
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
-__all__ = ["__version__"]
+__all__ = ["__version__", "ProverEngine", "EngineConfig", "ProofArtifact"]
+
+_API_EXPORTS = ("ProverEngine", "EngineConfig", "ProofArtifact")
+
+
+def __getattr__(name: str):
+    if name in _API_EXPORTS:
+        import repro.api
+
+        return getattr(repro.api, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")

@@ -1,0 +1,40 @@
+"""The public session API: one configurable way into the whole stack.
+
+``repro.api`` replaces the paper-shaped free-function surface
+(``repro.pcs.setup`` + ``repro.protocol.preprocess/prove/verify`` and the
+hand-wired CLI/examples) with a single façade:
+
+>>> from repro.api import ProverEngine, EngineConfig
+>>> engine = ProverEngine(EngineConfig(field_backend="auto"))
+>>> artifact = engine.prove(scenario="zcash", num_vars=6)
+>>> assert engine.verify(artifact)
+>>> report = engine.simulate(scenario="zcash")        # zkSpeed chip model
+>>> explorer, points = engine.explore(scenario="zcash")
+
+Sessions cache the universal SRS by size and circuit keys by structure
+fingerprint, so repeated proofs amortize setup; ``prove_many`` batches
+proofs and shards their witness-commit MSMs over a worker pool.  The old
+module-level entry points still work but emit :class:`DeprecationWarning`.
+"""
+
+from repro.api.artifacts import CacheStats, ProofArtifact
+from repro.api.config import EngineConfig, FIELD_BACKEND_POLICIES
+from repro.api.engine import ProverEngine
+from repro.api.scenarios import (
+    Scenario,
+    available_scenarios,
+    register_scenario,
+    resolve_scenario,
+)
+
+__all__ = [
+    "CacheStats",
+    "EngineConfig",
+    "FIELD_BACKEND_POLICIES",
+    "ProofArtifact",
+    "ProverEngine",
+    "Scenario",
+    "available_scenarios",
+    "register_scenario",
+    "resolve_scenario",
+]

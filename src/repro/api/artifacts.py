@@ -1,0 +1,57 @@
+"""Artifacts returned by the engine: proof bundles and cache statistics."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.protocol.proof import HyperPlonkProof, ProverTrace
+from repro.protocol.keys import VerifyingKey
+from repro.protocol.serialization import deserialize_proof, proof_size_bytes, serialize_proof
+
+
+@dataclass
+class ProofArtifact:
+    """A proof plus everything needed to verify and account for it.
+
+    ``timings`` holds wall-clock seconds for ``setup``, ``preprocess`` and
+    ``prove``; cached stages report 0.0 (the point of the session API is
+    that repeated proofs amortize them away).
+    """
+
+    scenario: str
+    num_vars: int
+    proof: HyperPlonkProof
+    verifying_key: VerifyingKey
+    timings: dict[str, float] = field(default_factory=dict)
+    trace: ProverTrace | None = None
+
+    def to_bytes(self) -> bytes:
+        """Serialize the proof to the canonical wire format."""
+        return serialize_proof(self.proof)
+
+    @staticmethod
+    def proof_from_bytes(data: bytes) -> HyperPlonkProof:
+        """Deserialize a proof previously produced by :meth:`to_bytes`."""
+        return deserialize_proof(data)
+
+    @property
+    def size_bytes(self) -> int:
+        return proof_size_bytes(self.proof)
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss counters for the engine's SRS and circuit-key caches."""
+
+    srs_hits: int = 0
+    srs_misses: int = 0
+    key_hits: int = 0
+    key_misses: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "srs_hits": self.srs_hits,
+            "srs_misses": self.srs_misses,
+            "key_hits": self.key_hits,
+            "key_misses": self.key_misses,
+        }

@@ -1,0 +1,156 @@
+"""Engine configuration: every cross-cutting knob in one place.
+
+PR 1 made performance configuration a cross-cutting concern — field-vector
+backends (``REPRO_FIELD_BACKEND``), MSM window sizes, sparse-witness
+strategies — with no single home.  :class:`EngineConfig` is that home: an
+immutable dataclass consumed by :class:`repro.api.ProverEngine`, applied to
+the process-wide seams (backend registry, MSM defaults) only for the
+duration of an engine operation and restored afterwards, so two engines
+with different configs can coexist in one process.
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import warnings
+from dataclasses import dataclass, replace
+from typing import Iterator
+
+from repro.curves.msm import msm_defaults, set_msm_defaults
+from repro.fields.backends import available_backends, default_policy, set_default_backend
+
+#: Policies accepted by ``field_backend`` ("auto" resolves per vector size).
+FIELD_BACKEND_POLICIES = ("auto", "python", "numpy")
+
+
+@dataclass(frozen=True)
+class EngineConfig:
+    """All knobs of a :class:`~repro.api.engine.ProverEngine` session.
+
+    Attributes
+    ----------
+    field_backend:
+        Field-vector backend policy: ``"auto"`` (size-based selection),
+        ``"python"`` or ``"numpy"``.  A requested-but-unavailable backend
+        degrades to the default policy with a warning, mirroring how a
+        direct ``REPRO_FIELD_BACKEND`` request behaves.
+    msm_window_bits:
+        Fixed Pippenger window size for every MSM, or ``None`` for the
+        built-in per-MSM cost model.  Performance-only: proof bytes do not
+        depend on it.
+    sparse_witness_msm:
+        Whether sparse-classified commitments — the witness commits in the
+        prover and the selector commits in preprocessing — take the
+        Sparse-MSM path (skip zeros, tree-sum ones — Section 3.3.1) or
+        plain Pippenger.  Performance-only.
+    workers:
+        Worker-process count for :meth:`~repro.api.engine.ProverEngine.prove_many`'s
+        independent witness-commit MSMs.  ``workers <= 1`` runs serially;
+        ``0`` means "one per CPU" (``os.cpu_count()``-gated, the ROADMAP's
+        sharded-prover seam).
+    transcript_label:
+        Fiat-Shamir domain-separation tag.  Proofs made under one label
+        never verify under another; the default matches the historical
+        free-function path byte for byte.
+    srs_seed:
+        Seed for the toxic-waste RNG of the universal setup.
+    keep_trapdoor:
+        Retain the SRS trapdoor to enable the fast pairing-free
+        verification path (tests / development).  Production would set
+        False.
+    collect_trace:
+        Collect a :class:`~repro.protocol.proof.ProverTrace` with per-step
+        operation statistics on every prove.
+    """
+
+    field_backend: str = "auto"
+    msm_window_bits: int | None = None
+    sparse_witness_msm: bool = True
+    workers: int = 1
+    transcript_label: bytes = b"hyperplonk"
+    srs_seed: int = 0
+    keep_trapdoor: bool = True
+    collect_trace: bool = False
+
+    def __post_init__(self) -> None:
+        if self.field_backend not in FIELD_BACKEND_POLICIES:
+            raise ValueError(
+                f"unknown field backend policy {self.field_backend!r}; "
+                f"expected one of {', '.join(FIELD_BACKEND_POLICIES)}"
+            )
+        if self.msm_window_bits is not None and not 1 <= self.msm_window_bits <= 31:
+            raise ValueError("msm_window_bits must be in 1..31 (or None for auto)")
+        if self.workers < 0:
+            raise ValueError("workers must be >= 0 (0 means one per CPU)")
+        if not isinstance(self.transcript_label, bytes):
+            raise ValueError("transcript_label must be bytes")
+
+    @classmethod
+    def from_env(cls, **overrides) -> "EngineConfig":
+        """Build a config from ``REPRO_*`` environment variables.
+
+        Recognized: ``REPRO_FIELD_BACKEND`` and ``REPRO_WORKERS``.  Keyword
+        overrides win over the environment.
+        """
+        env: dict = {}
+        backend = os.environ.get("REPRO_FIELD_BACKEND")
+        if backend in FIELD_BACKEND_POLICIES:
+            env["field_backend"] = backend
+        raw_workers = os.environ.get("REPRO_WORKERS", "")
+        try:
+            env["workers"] = int(raw_workers)
+        except ValueError:
+            pass
+        env.update(overrides)
+        return cls(**env)
+
+    def with_options(self, **changes) -> "EngineConfig":
+        """A copy of this config with ``changes`` applied."""
+        return replace(self, **changes)
+
+    def effective_workers(self) -> int:
+        """Resolve ``workers`` against the machine (``0`` -> CPU count)."""
+        if self.workers == 0:
+            return os.cpu_count() or 1
+        return self.workers
+
+    @contextlib.contextmanager
+    def apply(self) -> Iterator[None]:
+        """Install this config's process-wide seams, restoring them on exit.
+
+        Covers the field-vector backend policy and the MSM defaults.  Heavy
+        engine operations run inside this context so vectors, MSMs and
+        transcripts all see one consistent configuration.
+        """
+        previous_policy = default_policy()
+        previous_msm = msm_defaults()
+        try:
+            try:
+                set_default_backend(
+                    None if self.field_backend == "auto" else self.field_backend
+                )
+            except KeyError:
+                warnings.warn(
+                    f"field backend {self.field_backend!r} is unavailable "
+                    f"(installed: {', '.join(available_backends())}); "
+                    f"falling back to the default policy",
+                    RuntimeWarning,
+                    stacklevel=3,
+                )
+                set_default_backend(None)
+            set_msm_defaults(
+                window_bits=self.msm_window_bits,
+                sparse_witness=self.sparse_witness_msm,
+            )
+            yield
+        finally:
+            try:
+                set_default_backend(
+                    None if previous_policy == "auto" else previous_policy
+                )
+            except KeyError:
+                # The previous policy came from an env var naming a backend
+                # that is not installed; fall back to resolution-time policy.
+                set_default_backend(None)
+            set_msm_defaults(*previous_msm)

@@ -1,0 +1,392 @@
+"""The :class:`ProverEngine` façade.
+
+One configurable object in front of the whole stack: the functional
+HyperPlonk prover/verifier, the universal setup, and the zkSpeed
+architectural model.  Sessions cache the SRS by size and circuit keys by
+``(num_vars, circuit fingerprint)`` so repeated ``prove()`` / ``verify()``
+/ ``prove_many()`` calls amortize setup — the seam a heavy-traffic proving
+service shards across.
+
+The engine deliberately imports the *implementation* modules
+(``repro.pcs.srs``, ``repro.protocol.prover`` ...) rather than the
+package-level re-exports, which are deprecation shims as of this redesign.
+"""
+
+from __future__ import annotations
+
+import time
+from collections import OrderedDict
+from typing import Iterable, Mapping, Sequence, Union
+
+from repro.api.artifacts import CacheStats, ProofArtifact
+from repro.api.config import EngineConfig
+from repro.api.parallel import auto_workers, batch_witness_commitments
+from repro.api.scenarios import available_scenarios, resolve_scenario
+from repro.circuits.builder import Circuit
+from repro.core.chip import SimulationReport, ZkSpeedChip
+from repro.core.config import ZkSpeedConfig
+from repro.core.cpu_baseline import CpuBaseline
+from repro.core.dse import DesignPoint, DesignSpaceExplorer
+from repro.core.opcounts import KernelProfile, protocol_operation_counts
+from repro.core.workload_model import WorkloadModel
+from repro.pcs.srs import UniversalSRS
+from repro.pcs.srs import setup as _setup_srs
+from repro.protocol.keys import ProvingKey, VerifyingKey
+from repro.protocol.keys import preprocess as _preprocess
+from repro.protocol.proof import HyperPlonkProof
+from repro.protocol.prover import prove as _prove
+from repro.protocol.verifier import verify as _verify
+from repro.transcript.transcript import Transcript
+
+#: A ``prove_many`` request: a scenario name, a built circuit, or keyword
+#: arguments for :meth:`ProverEngine.prove`.
+ProveRequest = Union[str, Circuit, Mapping]
+
+
+class ProverEngine:
+    """Session façade over proving, verification and accelerator simulation.
+
+    >>> engine = ProverEngine()
+    >>> artifact = engine.prove(scenario="zcash", num_vars=6)
+    >>> assert engine.verify(artifact)
+    >>> report = engine.simulate(scenario="zcash")   # same name, chip model
+
+    All configuration lives in the :class:`EngineConfig` given at
+    construction; the engine itself is cheap to create but worth keeping
+    around, because its caches turn repeated proofs over the same circuit
+    structure into witness-only work.
+    """
+
+    #: Bound on the built-circuit LRU: circuits carry full witness tables,
+    #: so an unbounded cache would grow by megabytes per distinct seed in a
+    #: long-lived service; the SRS/key caches hold the genuinely expensive
+    #: artifacts and are keyed by the much smaller structure space.
+    CIRCUIT_CACHE_SIZE = 16
+
+    def __init__(self, config: EngineConfig | None = None):
+        self.config = config if config is not None else EngineConfig()
+        self.cache_stats = CacheStats()
+        self._srs_cache: dict[int, UniversalSRS] = {}
+        self._key_cache: dict[tuple[int, str], tuple[ProvingKey, VerifyingKey]] = {}
+        self._circuit_cache: OrderedDict[tuple[str, int, int], Circuit] = OrderedDict()
+
+    # -- configuration / introspection ------------------------------------------
+
+    def scenarios(self) -> list[str]:
+        """Names accepted by ``prove(scenario=...)`` / ``simulate(scenario=...)``."""
+        return available_scenarios()
+
+    def transcript(self) -> Transcript:
+        """A fresh Fiat-Shamir transcript under this engine's domain tag."""
+        return Transcript(label=self.config.transcript_label)
+
+    # -- setup & preprocessing (cached) -----------------------------------------
+
+    def setup(self, num_vars: int) -> UniversalSRS:
+        """The universal SRS for ``num_vars``, generated once per session."""
+        srs = self._srs_cache.get(num_vars)
+        if srs is not None:
+            self.cache_stats.srs_hits += 1
+            return srs
+        self.cache_stats.srs_misses += 1
+        with self.config.apply():
+            srs = _setup_srs(
+                num_vars,
+                seed=self.config.srs_seed,
+                keep_trapdoor=self.config.keep_trapdoor,
+            )
+        self._srs_cache[num_vars] = srs
+        return srs
+
+    def preload_srs(self, srs: UniversalSRS) -> None:
+        """Seed the SRS cache with an externally generated SRS.
+
+        Lets several engines (e.g. one per backend in a benchmark) share
+        one expensive setup; the SRS is plain curve points and carries no
+        backend or config state.
+        """
+        self._srs_cache[srs.num_vars] = srs
+
+    def preprocess(
+        self, circuit: Circuit, fingerprint: str | None = None
+    ) -> tuple[ProvingKey, VerifyingKey]:
+        """Proving/verifying keys for ``circuit``, cached by structure.
+
+        The cache key is ``(num_vars, circuit.fingerprint())`` — the
+        witness-independent tables — so circuits that differ only in their
+        witness share keys.  Pass ``fingerprint`` if already computed to
+        avoid a second hash pass over the structure tables.
+        """
+        if fingerprint is None:
+            fingerprint = circuit.fingerprint()
+        cache_key = (circuit.num_vars, fingerprint)
+        cached = self._key_cache.get(cache_key)
+        if cached is not None:
+            self.cache_stats.key_hits += 1
+            return cached
+        self.cache_stats.key_misses += 1
+        # apply() nests cleanly, so direct calls honor this engine's MSM /
+        # backend configuration just like the prove()/prove_many() paths.
+        with self.config.apply():
+            keys = _preprocess(circuit, self.setup(circuit.num_vars))
+        self._key_cache[cache_key] = keys
+        return keys
+
+    # -- proving -----------------------------------------------------------------
+
+    def _resolve_circuit(
+        self,
+        scenario: str | None,
+        circuit: Circuit | None,
+        num_vars: int | None,
+        seed: int,
+    ) -> tuple[str, Circuit]:
+        if (scenario is None) == (circuit is None):
+            raise ValueError("pass exactly one of scenario= or circuit=")
+        if circuit is not None:
+            return circuit.name, circuit
+        spec = resolve_scenario(scenario)
+        cache_key = (spec.name, -1 if num_vars is None else num_vars, seed)
+        cached = self._circuit_cache.get(cache_key)
+        if cached is not None:
+            self._circuit_cache.move_to_end(cache_key)
+            return spec.name, cached
+        built = spec.build_circuit(num_vars=num_vars, seed=seed)
+        self._circuit_cache[cache_key] = built
+        while len(self._circuit_cache) > self.CIRCUIT_CACHE_SIZE:
+            self._circuit_cache.popitem(last=False)
+        return spec.name, built
+
+    def prove(
+        self,
+        scenario: str | None = None,
+        *,
+        circuit: Circuit | None = None,
+        num_vars: int | None = None,
+        seed: int = 0,
+        collect_trace: bool | None = None,
+    ) -> ProofArtifact:
+        """Prove one circuit, reusing the session's SRS and key caches.
+
+        Exactly one of ``scenario`` (a registry name, built at ``num_vars``
+        with ``seed``) or ``circuit`` (a pre-built circuit) must be given.
+        """
+        collect = self.config.collect_trace if collect_trace is None else collect_trace
+        with self.config.apply():
+            name, resolved = self._resolve_circuit(scenario, circuit, num_vars, seed)
+            t0 = time.perf_counter()
+            srs_cached = resolved.num_vars in self._srs_cache
+            fingerprint = resolved.fingerprint()
+            key_cached = (resolved.num_vars, fingerprint) in self._key_cache
+            pk, vk = self.preprocess(resolved, fingerprint=fingerprint)
+            preprocess_seconds = time.perf_counter() - t0
+            t0 = time.perf_counter()
+            result = _prove(
+                pk,
+                circuit=resolved,
+                transcript=self.transcript(),
+                collect_trace=collect,
+            )
+            prove_seconds = time.perf_counter() - t0
+        proof, trace = result if collect else (result, None)
+        return ProofArtifact(
+            scenario=name,
+            num_vars=resolved.num_vars,
+            proof=proof,
+            verifying_key=vk,
+            timings={
+                "setup_and_preprocess": 0.0 if key_cached else preprocess_seconds,
+                "srs_cached": float(srs_cached),
+                "key_cached": float(key_cached),
+                "prove": prove_seconds,
+            },
+            trace=trace,
+        )
+
+    def prove_many(
+        self,
+        requests: Iterable[ProveRequest],
+        workers: int | None = None,
+    ) -> list[ProofArtifact]:
+        """Prove a batch, sharding the independent witness-commit MSMs.
+
+        Each request is a scenario name, a built :class:`Circuit`, or a
+        mapping of :meth:`prove` keyword arguments.  With ``workers > 1``
+        (default: the engine config; ``0`` means one per CPU) the witness
+        commitments of the whole batch are computed by a fork-based
+        ``multiprocessing`` pool before the per-proof transcript work runs
+        serially — proof bytes are identical to the serial path.
+        """
+        if workers is None:
+            workers = self.config.workers
+        if workers == 0:
+            workers = auto_workers()
+
+        normalized: list[dict] = []
+        for request in requests:
+            if isinstance(request, str):
+                normalized.append({"scenario": request})
+            elif isinstance(request, Circuit):
+                normalized.append({"circuit": request})
+            else:
+                normalized.append(dict(request))
+
+        with self.config.apply():
+            jobs = []
+            prover_keys: list = []
+            key_index_of: dict[int, int] = {}
+            key_indices: list[int] = []
+            for request in normalized:
+                name, resolved = self._resolve_circuit(
+                    request.get("scenario"),
+                    request.get("circuit"),
+                    request.get("num_vars"),
+                    request.get("seed", 0),
+                )
+                pk, vk = self.preprocess(resolved)
+                if id(pk.pcs) not in key_index_of:
+                    key_index_of[id(pk.pcs)] = len(prover_keys)
+                    prover_keys.append(pk.pcs)
+                key_indices.append(key_index_of[id(pk.pcs)])
+                jobs.append((request, name, resolved, pk, vk))
+
+            commitments = batch_witness_commitments(
+                prover_keys,
+                [resolved for _, _, resolved, _, _ in jobs],
+                key_indices,
+                workers,
+            )
+
+            artifacts: list[ProofArtifact] = []
+            for (request, name, resolved, pk, vk), witness_commitments in zip(
+                jobs, commitments
+            ):
+                collect = request.get("collect_trace", self.config.collect_trace)
+                t0 = time.perf_counter()
+                result = _prove(
+                    pk,
+                    circuit=resolved,
+                    transcript=self.transcript(),
+                    collect_trace=collect,
+                    precomputed_witness_commitments=witness_commitments,
+                )
+                prove_seconds = time.perf_counter() - t0
+                proof, trace = result if collect else (result, None)
+                artifacts.append(
+                    ProofArtifact(
+                        scenario=name,
+                        num_vars=resolved.num_vars,
+                        proof=proof,
+                        verifying_key=vk,
+                        timings={"prove": prove_seconds},
+                        trace=trace,
+                    )
+                )
+        return artifacts
+
+    # -- verification ------------------------------------------------------------
+
+    def verify(
+        self,
+        artifact: ProofArtifact | HyperPlonkProof,
+        verifying_key: VerifyingKey | None = None,
+        use_pairing: bool | None = None,
+    ) -> bool:
+        """Verify a proof under this engine's transcript domain tag.
+
+        Accepts a :class:`ProofArtifact` (which carries its verifying key)
+        or a bare proof plus ``verifying_key``.
+        """
+        if isinstance(artifact, ProofArtifact):
+            proof = artifact.proof
+            verifying_key = (
+                verifying_key if verifying_key is not None else artifact.verifying_key
+            )
+        else:
+            proof = artifact
+        if verifying_key is None:
+            raise ValueError("a bare proof needs an explicit verifying_key")
+        with self.config.apply():
+            return _verify(
+                verifying_key,
+                proof,
+                transcript=self.transcript(),
+                use_pairing=use_pairing,
+            )
+
+    # -- accelerator model ---------------------------------------------------------
+
+    def chip(
+        self,
+        chip_config: ZkSpeedConfig | None = None,
+        bandwidth_gbs: float | None = None,
+    ) -> ZkSpeedChip:
+        """A zkSpeed chip model (paper-default configuration by default)."""
+        config = chip_config if chip_config is not None else ZkSpeedConfig.paper_default()
+        if bandwidth_gbs is not None:
+            config = config.with_bandwidth(bandwidth_gbs)
+        return ZkSpeedChip(config)
+
+    def workload(
+        self,
+        scenario: str | None = None,
+        *,
+        num_vars: int | None = None,
+        circuit: Circuit | None = None,
+    ) -> WorkloadModel:
+        """The architectural-model workload for a scenario (or a plain size)."""
+        if scenario is not None:
+            return resolve_scenario(scenario).workload_model(
+                num_vars=num_vars, circuit=circuit
+            )
+        if circuit is not None:
+            return WorkloadModel.from_circuit(circuit)
+        if num_vars is None:
+            raise ValueError("pass scenario=, circuit= or num_vars=")
+        return WorkloadModel(num_vars=num_vars)
+
+    def simulate(
+        self,
+        scenario: str | None = None,
+        *,
+        num_vars: int | None = None,
+        workload: WorkloadModel | None = None,
+        chip_config: ZkSpeedConfig | None = None,
+        bandwidth_gbs: float | None = None,
+    ) -> SimulationReport:
+        """Simulate the zkSpeed accelerator on a scenario or explicit workload."""
+        if workload is None:
+            workload = self.workload(scenario, num_vars=num_vars)
+        return self.chip(chip_config, bandwidth_gbs).simulate(workload)
+
+    def explore(
+        self,
+        scenario: str | None = None,
+        *,
+        num_vars: int | None = None,
+        workload: WorkloadModel | None = None,
+        overrides: Mapping[str, Sequence] | None = None,
+        max_points: int | None = 400,
+    ) -> tuple[DesignSpaceExplorer, list[DesignPoint]]:
+        """Run a design-space exploration; returns (explorer, points)."""
+        if workload is None:
+            workload = self.workload(scenario, num_vars=num_vars)
+        explorer = DesignSpaceExplorer(workload)
+        points = explorer.sweep(overrides=overrides, max_points=max_points)
+        return explorer, points
+
+    def kernel_profiles(
+        self,
+        scenario: str | None = None,
+        *,
+        num_vars: int | None = None,
+        workload: WorkloadModel | None = None,
+    ) -> list[KernelProfile]:
+        """The Table 1 kernel profiles for a scenario or problem size."""
+        if workload is None:
+            workload = self.workload(scenario, num_vars=num_vars)
+        return protocol_operation_counts(workload)
+
+    def cpu_baseline(self) -> CpuBaseline:
+        """The paper's calibrated CPU baseline."""
+        return CpuBaseline()

@@ -1,0 +1,117 @@
+"""Multiprocessing witness-commit MSMs (the sharded-prover down-payment).
+
+The three witness commitments of every proof in a batch are independent
+sparse MSMs — embarrassingly parallel work the ROADMAP earmarks for a
+fork-based shard backend.  :func:`batch_witness_commitments` computes them
+for a whole ``prove_many`` batch, fanning out over a ``multiprocessing``
+pool when the config asks for more than one worker and falling back to the
+serial in-line path otherwise (or when the platform cannot fork).
+
+Only the task *indices* cross the process boundary: workers are forked
+after a module-level global is pointed at the proving keys and witness
+tables, so the SRS (megabytes of curve points at interesting sizes) is
+inherited by copy-on-write instead of being pickled per task.  Results
+travel back as plain ``(x, y, infinity)`` integer tuples plus the
+:class:`MSMStatistics` the trace needs.  Both paths produce identical
+commitments — the parallel path only reorders *which process* runs each
+MSM, not the arithmetic — so proof bytes are unaffected.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from typing import Sequence
+
+from repro.circuits.builder import Circuit
+from repro.curves.curve import AffinePoint
+from repro.curves.msm import MSMStatistics
+from repro.pcs.multilinear_kzg import Commitment, commit
+from repro.pcs.srs import ProverKey
+from repro.protocol.keys import WITNESS_POLY_NAMES
+
+#: ``(prover_keys, circuits)`` visible to forked workers; set only for the
+#: lifetime of the pool.
+_POOL_STATE: tuple[Sequence[ProverKey], Sequence[Circuit]] | None = None
+
+WitnessCommitments = dict[str, tuple[Commitment, MSMStatistics]]
+
+
+def fork_available() -> bool:
+    """Whether a copy-on-write (fork) pool can be used on this platform."""
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def _commit_one(
+    prover_key: ProverKey, circuit: Circuit, name: str
+) -> tuple[Commitment, MSMStatistics]:
+    stats = MSMStatistics()
+    commitment = commit(prover_key, circuit.witnesses[name], sparse=True, stats=stats)
+    return commitment, stats
+
+
+def _pool_task(task: tuple[int, int, str]):
+    circuit_index, key_index, name = task
+    assert _POOL_STATE is not None
+    prover_keys, circuits = _POOL_STATE
+    commitment, stats = _commit_one(prover_keys[key_index], circuits[circuit_index], name)
+    point = commitment.point
+    return circuit_index, name, (point.x, point.y, point.infinity), stats
+
+
+def batch_witness_commitments(
+    prover_keys: Sequence[ProverKey],
+    circuits: Sequence[Circuit],
+    key_indices: Sequence[int],
+    workers: int,
+) -> list[WitnessCommitments]:
+    """Witness commitments for every circuit in a batch.
+
+    Parameters
+    ----------
+    prover_keys:
+        Distinct PCS prover keys used by the batch (typically one per size).
+    circuits:
+        The circuits to commit; ``key_indices[i]`` names the prover key for
+        ``circuits[i]``.
+    workers:
+        Process count.  ``<= 1`` — or a platform without ``fork`` — runs
+        the exact serial path the in-line prover would.
+    """
+    if len(circuits) != len(key_indices):
+        raise ValueError("circuits and key_indices must have equal length")
+    results: list[WitnessCommitments] = [{} for _ in circuits]
+
+    workers = min(workers, len(circuits) * len(WITNESS_POLY_NAMES))
+    if workers <= 1 or not fork_available():
+        for index, circuit in enumerate(circuits):
+            key = prover_keys[key_indices[index]]
+            for name in WITNESS_POLY_NAMES:
+                results[index][name] = _commit_one(key, circuit, name)
+        return results
+
+    tasks = [
+        (circuit_index, key_indices[circuit_index], name)
+        for circuit_index in range(len(circuits))
+        for name in WITNESS_POLY_NAMES
+    ]
+    global _POOL_STATE
+    _POOL_STATE = (prover_keys, circuits)
+    try:
+        context = multiprocessing.get_context("fork")
+        with context.Pool(processes=workers) as pool:
+            for circuit_index, name, (x, y, infinity), stats in pool.map(
+                _pool_task, tasks
+            ):
+                results[circuit_index][name] = (
+                    Commitment(AffinePoint(x, y, infinity)),
+                    stats,
+                )
+    finally:
+        _POOL_STATE = None
+    return results
+
+
+def auto_workers() -> int:
+    """Default worker count: one per CPU (the ``os.cpu_count()`` gate)."""
+    return os.cpu_count() or 1

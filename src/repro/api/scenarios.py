@@ -1,0 +1,113 @@
+"""Unified scenario registry: one name drives prover *and* chip model.
+
+Before this module the functional prover and the zkSpeed architectural
+model shared no workload naming: ``repro.circuits.WORKLOADS`` mapped Table 3
+names to circuit generators while ``WorkloadModel.paper_table3()`` kept its
+own parallel list of display names and sizes.  A :class:`Scenario` binds
+both views together so ``engine.prove(scenario="zcash")`` and
+``engine.simulate(scenario="zcash")`` are guaranteed to describe the same
+workload.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable
+
+from repro.circuits.builder import Circuit
+from repro.circuits.workloads import WORKLOADS, mock_circuit
+from repro.core.workload_model import WorkloadModel
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """A named workload usable by both the prover and the chip model."""
+
+    name: str
+    title: str
+    description: str
+    paper_log_size: int
+    default_log_size: int
+    builder: Callable[[int, int], Circuit]
+
+    def build_circuit(self, num_vars: int | None = None, seed: int = 0) -> Circuit:
+        """Build a functional circuit instance (laptop-scale by default)."""
+        return self.builder(
+            self.default_log_size if num_vars is None else num_vars, seed
+        )
+
+    def workload_model(
+        self,
+        num_vars: int | None = None,
+        circuit: Circuit | None = None,
+    ) -> WorkloadModel:
+        """The architectural-model view of this scenario.
+
+        With a ``circuit``, the sparsity statistics are measured from its
+        actual witness; otherwise the paper's pessimistic 10/45/45 split is
+        used at ``num_vars`` (default: the published Table 3 size).
+        """
+        if circuit is not None:
+            model = WorkloadModel.from_circuit(circuit, name=self.title)
+            if num_vars is not None and num_vars != model.num_vars:
+                model = WorkloadModel(
+                    num_vars=num_vars,
+                    dense_fraction=model.dense_fraction,
+                    one_fraction=model.one_fraction,
+                    zero_fraction=model.zero_fraction,
+                    name=self.title,
+                )
+            return model
+        return WorkloadModel(
+            num_vars=self.paper_log_size if num_vars is None else num_vars,
+            name=self.title,
+        )
+
+
+_REGISTRY: dict[str, Scenario] = {}
+
+
+def register_scenario(scenario: Scenario) -> None:
+    """Register (or replace) a scenario under ``scenario.name``."""
+    _REGISTRY[scenario.name] = scenario
+
+
+def available_scenarios() -> list[str]:
+    """Names of all registered scenarios."""
+    return sorted(_REGISTRY)
+
+
+def resolve_scenario(name: str) -> Scenario:
+    """Look up a scenario by name (raises ``KeyError`` with guidance)."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown scenario {name!r}; "
+            f"available: {', '.join(available_scenarios())}"
+        ) from None
+
+
+register_scenario(
+    Scenario(
+        name="mock",
+        title="Mock circuit",
+        description="Random satisfiable circuit with HyperPlonk's mock-workload "
+        "sparsity statistics",
+        paper_log_size=20,
+        default_log_size=5,
+        builder=lambda num_vars, seed: mock_circuit(num_vars, seed=seed),
+    )
+)
+
+for _key, _spec in WORKLOADS.items():
+    register_scenario(
+        Scenario(
+            name=_key,
+            title=_spec.name,
+            description=_spec.description,
+            paper_log_size=_spec.paper_log_size,
+            default_log_size=6,
+            builder=_spec.generator,
+        )
+    )

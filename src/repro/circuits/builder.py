@@ -12,6 +12,7 @@ everything into the MLE tables the HyperPlonk prover consumes:
 
 from __future__ import annotations
 
+import hashlib
 from dataclasses import dataclass, field as dataclass_field
 from typing import Sequence
 
@@ -85,6 +86,31 @@ class Circuit:
             "one_fraction": ones / total,
             "dense_fraction": dense / total,
         }
+
+    def fingerprint(self) -> str:
+        """Hex digest of the witness-independent circuit structure.
+
+        Two circuits with the same fingerprint share selector and
+        permutation tables, so preprocessing output (proving/verifying
+        keys) is interchangeable between them; witness values are
+        deliberately excluded.  Used by the session API to cache keys.
+        Memoized: the structure tables are immutable after compile, and
+        hashing them costs a full pass over 8 tables.
+        """
+        cached = getattr(self, "_fingerprint_cache", None)
+        if cached is not None:
+            return cached
+        hasher = hashlib.sha3_256(b"circuit-structure-v1")
+        hasher.update(self.num_vars.to_bytes(4, "big"))
+        for name in SELECTOR_NAMES:
+            for value in self.selectors[name].evaluations.to_int_list():
+                hasher.update(value.to_bytes(32, "big"))
+        for sigma in self.sigmas:
+            for value in sigma.evaluations.to_int_list():
+                hasher.update(value.to_bytes(32, "big"))
+        digest = hasher.hexdigest()
+        object.__setattr__(self, "_fingerprint_cache", digest)
+        return digest
 
 
 class CircuitBuilder:

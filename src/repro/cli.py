@@ -1,13 +1,20 @@
 """Command-line interface: ``python -m repro <command>``.
 
+Every command is a thin view over :class:`repro.api.ProverEngine`; the
+engine-level flags (``--field-backend``, ``--workers``) are accepted
+uniformly by all of them.
+
 Commands
 --------
-``simulate``   Simulate the zkSpeed accelerator on a problem size and print
-               runtime, speedup over the CPU baseline, and breakdowns.
+``simulate``   Simulate the zkSpeed accelerator on a problem size or named
+               scenario and print runtime, speedup over the CPU baseline,
+               and breakdowns.
 ``dse``        Run a reduced design-space exploration and print the Pareto
                frontier for a problem size.
-``prove``      Build a small demo circuit, generate a HyperPlonk proof,
-               verify it, and report the serialized proof size.
+``prove``      Build a circuit (mock by default, or any registered
+               scenario), generate a HyperPlonk proof, verify it, and
+               report the serialized proof size.  ``--count N`` proves a
+               batch via the engine's ``prove_many`` path.
 ``table1``     Print the Table 1 kernel-profile reproduction for a size.
 """
 
@@ -19,27 +26,58 @@ import sys
 import time
 from typing import Sequence
 
-from repro.core import (
-    CpuBaseline,
-    DesignSpaceExplorer,
-    WorkloadModel,
-    ZkSpeedChip,
-    ZkSpeedConfig,
-    protocol_operation_counts,
-)
+from repro.api import EngineConfig, ProverEngine, available_scenarios
+
+
+def _engine_from_args(args: argparse.Namespace, **extra) -> ProverEngine:
+    return ProverEngine(
+        EngineConfig(
+            field_backend=args.field_backend,
+            workers=args.workers,
+            **extra,
+        )
+    )
+
+
+def _positive_int(raw: str) -> int:
+    value = int(raw)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be >= 1, got {value}")
+    return value
+
+
+def _nonnegative_int(raw: str) -> int:
+    value = int(raw)
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be >= 0, got {value}")
+    return value
+
+
+def _model_num_vars(args: argparse.Namespace) -> int | None:
+    """Problem size for the model commands.
+
+    ``--log-gates`` wins when given; otherwise a named scenario runs at its
+    published Table 3 size (``None`` → the engine resolves it) and the
+    plain synthetic workload keeps the historical 2^20 default.
+    """
+    if args.log_gates is not None:
+        return args.log_gates
+    return None if args.scenario else 20
 
 
 def _cmd_simulate(args: argparse.Namespace) -> int:
-    config = ZkSpeedConfig.paper_default().with_bandwidth(args.bandwidth)
-    chip = ZkSpeedChip(config)
-    workload = WorkloadModel(num_vars=args.log_gates)
+    engine = _engine_from_args(args)
+    chip = engine.chip(bandwidth_gbs=args.bandwidth)
+    workload = engine.workload(args.scenario, num_vars=_model_num_vars(args))
     report = chip.simulate(workload)
-    cpu = CpuBaseline()
-    print(f"configuration : {config.describe()}")
-    print(f"problem size  : 2^{args.log_gates} gates")
+    cpu = engine.cpu_baseline()
+    print(f"configuration : {chip.config.describe()}")
+    if args.scenario:
+        print(f"scenario      : {workload.name}")
+    print(f"problem size  : 2^{workload.num_vars} gates")
     print(f"runtime       : {report.total_runtime_ms:.2f} ms")
-    print(f"CPU baseline  : {cpu.runtime_ms(args.log_gates):.0f} ms")
-    print(f"speedup       : {cpu.runtime_ms(args.log_gates) / report.total_runtime_ms:.0f}x")
+    print(f"CPU baseline  : {cpu.runtime_ms(workload.num_vars):.0f} ms")
+    print(f"speedup       : {cpu.runtime_ms(workload.num_vars) / report.total_runtime_ms:.0f}x")
     print(f"total area    : {report.total_area_mm2:.1f} mm^2")
     print(f"total power   : {report.total_power_w:.1f} W")
     print("step breakdown:")
@@ -52,10 +90,12 @@ def _cmd_simulate(args: argparse.Namespace) -> int:
 
 
 def _cmd_dse(args: argparse.Namespace) -> int:
-    workload = WorkloadModel(num_vars=args.log_gates)
-    explorer = DesignSpaceExplorer(workload)
-    points = explorer.sweep(max_points=args.max_points)
-    print(f"evaluated {len(points)} configurations at 2^{args.log_gates} gates")
+    engine = _engine_from_args(args)
+    explorer, points = engine.explore(
+        args.scenario, num_vars=_model_num_vars(args), max_points=args.max_points
+    )
+    num_vars = explorer.workload.num_vars
+    print(f"evaluated {len(points)} configurations at 2^{num_vars} gates")
     frontier = explorer.global_pareto(points)
     print("global Pareto frontier (runtime ms, area mm^2, config):")
     for point in frontier:
@@ -72,43 +112,57 @@ def _cmd_dse(args: argparse.Namespace) -> int:
 
 
 def _cmd_prove(args: argparse.Namespace) -> int:
-    from repro.circuits import mock_circuit
-    from repro.fields import set_default_backend
-    from repro.pcs import setup
-    from repro.protocol import preprocess, prove, proof_size_bytes, verify
-
-    if args.field_backend != "auto":
-        try:
-            set_default_backend(args.field_backend)
-        except KeyError:
-            # e.g. --field-backend numpy on an install without NumPy: degrade
-            # to the default policy resolution (REPRO_FIELD_BACKEND or auto),
-            # like a direct env-var request for a missing backend would.
-            from repro.fields.backends import default_policy
-
-            print(
-                f"warning: backend {args.field_backend!r} unavailable, "
-                f"using default backend policy ({default_policy()!r})"
-            )
+    engine = _engine_from_args(args, srs_seed=args.seed)
+    # Witness seeds derive from --seed exactly as the historical CLI did, so
+    # the proof bytes for a given invocation are unchanged by the redesign.
     rng = random.Random(args.seed)
-    circuit = mock_circuit(args.log_gates, seed=rng.randrange(1 << 30))
-    print(f"circuit: 2^{circuit.num_vars} gates ({circuit.num_real_gates} real)")
+    witness_seeds = [rng.randrange(1 << 30) for _ in range(args.count)]
+
     start = time.perf_counter()
-    srs = setup(circuit.num_vars, seed=args.seed)
-    pk, vk = preprocess(circuit, srs)
-    print(f"setup + preprocess: {time.perf_counter() - start:.2f} s")
-    start = time.perf_counter()
-    proof = prove(pk)
-    print(f"prove: {time.perf_counter() - start:.2f} s")
-    print(f"proof size: {proof_size_bytes(proof)} bytes")
-    start = time.perf_counter()
-    ok = verify(vk, proof)
-    print(f"verify: {time.perf_counter() - start:.3f} s -> {'ACCEPT' if ok else 'REJECT'}")
+    if args.count == 1:
+        artifacts = [
+            engine.prove(args.scenario, num_vars=args.log_gates, seed=witness_seeds[0])
+        ]
+    else:
+        artifacts = engine.prove_many(
+            [
+                {"scenario": args.scenario, "num_vars": args.log_gates, "seed": seed}
+                for seed in witness_seeds
+            ]
+        )
+    total_prove = time.perf_counter() - start
+
+    ok = True
+    for index, artifact in enumerate(artifacts):
+        circuit_label = f"[{index}] " if args.count > 1 else ""
+        print(
+            f"{circuit_label}circuit: 2^{artifact.num_vars} gates "
+            f"(scenario {artifact.scenario!r})"
+        )
+        setup_seconds = artifact.timings.get("setup_and_preprocess")
+        if setup_seconds is not None:
+            print(f"{circuit_label}setup + preprocess: {setup_seconds:.2f} s")
+        print(f"{circuit_label}prove: {artifact.timings['prove']:.2f} s")
+        print(f"{circuit_label}proof size: {artifact.size_bytes} bytes")
+        start = time.perf_counter()
+        accepted = engine.verify(artifact)
+        ok = ok and accepted
+        print(
+            f"{circuit_label}verify: {time.perf_counter() - start:.3f} s -> "
+            f"{'ACCEPT' if accepted else 'REJECT'}"
+        )
+    if args.count > 1:
+        print(
+            f"batch: {len(artifacts)} proofs in {total_prove:.2f} s "
+            f"({engine.config.effective_workers()} worker(s)); "
+            f"cache {engine.cache_stats.as_dict()}"
+        )
     return 0 if ok else 1
 
 
 def _cmd_table1(args: argparse.Namespace) -> int:
-    profiles = protocol_operation_counts(WorkloadModel(num_vars=args.log_gates))
+    engine = _engine_from_args(args)
+    profiles = engine.kernel_profiles(args.scenario, num_vars=_model_num_vars(args))
     print(f"{'kernel':<22s} {'modmuls (M)':>12s} {'in (MB)':>10s} {'out (MB)':>10s} {'AI':>7s}")
     for profile in profiles:
         print(
@@ -123,32 +177,84 @@ def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="zkSpeed / HyperPlonk reproduction toolkit"
     )
-    subparsers = parser.add_subparsers(dest="command", required=True)
-
-    simulate = subparsers.add_parser("simulate", help="simulate zkSpeed on a problem size")
-    simulate.add_argument("--log-gates", type=int, default=20)
-    simulate.add_argument("--bandwidth", type=float, default=2048.0, help="GB/s")
-    simulate.set_defaults(func=_cmd_simulate)
-
-    dse = subparsers.add_parser("dse", help="run a reduced design-space exploration")
-    dse.add_argument("--log-gates", type=int, default=20)
-    dse.add_argument("--max-points", type=int, default=400)
-    dse.add_argument("--area-budget", type=float, default=366.0)
-    dse.set_defaults(func=_cmd_dse)
-
-    prove = subparsers.add_parser("prove", help="prove and verify a demo circuit")
-    prove.add_argument("--log-gates", type=int, default=5)
-    prove.add_argument("--seed", type=int, default=0)
-    prove.add_argument(
+    # Engine-level options shared by every command (previously these
+    # silently no-opped on everything but `prove`).
+    engine_options = argparse.ArgumentParser(add_help=False)
+    engine_options.add_argument(
         "--field-backend",
         choices=("auto", "python", "numpy"),
         default="auto",
         help="field-vector backend for the prover hot paths (default: auto)",
     )
+    engine_options.add_argument(
+        "--workers",
+        type=_nonnegative_int,
+        default=1,
+        help="worker processes for batch witness commitments "
+        "(0 = one per CPU, default: 1)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    simulate = subparsers.add_parser(
+        "simulate",
+        parents=[engine_options],
+        help="simulate zkSpeed on a problem size or scenario",
+    )
+    simulate.add_argument(
+        "--log-gates",
+        type=_positive_int,
+        default=None,
+        help="problem size exponent (default: the scenario's published "
+        "Table 3 size, or 20 for the synthetic workload)",
+    )
+    simulate.add_argument("--bandwidth", type=float, default=2048.0, help="GB/s")
+    simulate.add_argument(
+        "--scenario",
+        choices=available_scenarios(),
+        default=None,
+        help="named workload (default: synthetic sparsity at --log-gates)",
+    )
+    simulate.set_defaults(func=_cmd_simulate)
+
+    dse = subparsers.add_parser(
+        "dse",
+        parents=[engine_options],
+        help="run a reduced design-space exploration",
+    )
+    dse.add_argument("--log-gates", type=_positive_int, default=None)
+    dse.add_argument("--max-points", type=_positive_int, default=400)
+    dse.add_argument("--area-budget", type=float, default=366.0)
+    dse.add_argument("--scenario", choices=available_scenarios(), default=None)
+    dse.set_defaults(func=_cmd_dse)
+
+    prove = subparsers.add_parser(
+        "prove",
+        parents=[engine_options],
+        help="prove and verify one or more circuits",
+    )
+    prove.add_argument("--log-gates", type=_positive_int, default=5)
+    prove.add_argument("--seed", type=int, default=0)
+    prove.add_argument(
+        "--scenario",
+        choices=available_scenarios(),
+        default="mock",
+        help="circuit generator to prove (default: mock)",
+    )
+    prove.add_argument(
+        "--count",
+        type=_positive_int,
+        default=1,
+        help="number of proofs to generate via the batch path (default: 1)",
+    )
     prove.set_defaults(func=_cmd_prove)
 
-    table1 = subparsers.add_parser("table1", help="print the Table 1 kernel profiles")
-    table1.add_argument("--log-gates", type=int, default=20)
+    table1 = subparsers.add_parser(
+        "table1",
+        parents=[engine_options],
+        help="print the Table 1 kernel profiles",
+    )
+    table1.add_argument("--log-gates", type=_positive_int, default=None)
+    table1.add_argument("--scenario", choices=available_scenarios(), default=None)
     table1.set_defaults(func=_cmd_table1)
     return parser
 

@@ -471,6 +471,33 @@ class _TypedScalars(list):
         self.bits = bits
 
 
+_default_window_bits: int | None = None
+_default_sparse_witness: bool = True
+
+
+def set_msm_defaults(
+    window_bits: int | None = None, sparse_witness: bool = True
+) -> None:
+    """Set process-wide MSM policy defaults (owned by ``repro.api.EngineConfig``).
+
+    ``window_bits=None`` keeps the per-call cost-model heuristic.  The
+    choice only affects performance: any window size computes the same
+    group element, so proofs stay byte-identical.  ``sparse_witness``
+    controls whether callers passing ``sparse=True`` — every
+    sparse-classified commitment, i.e. the witness commits in the prover
+    *and* the selector commits in preprocessing — actually take the
+    zero/one-skipping route or the plain Pippenger path.
+    """
+    global _default_window_bits, _default_sparse_witness
+    _default_window_bits = window_bits
+    _default_sparse_witness = sparse_witness
+
+
+def msm_defaults() -> tuple[int | None, bool]:
+    """The currently active ``(window_bits, sparse_witness)`` defaults."""
+    return _default_window_bits, _default_sparse_witness
+
+
 def msm(
     scalars: IntoScalars,
     points: Sequence[AffinePoint],
@@ -479,6 +506,8 @@ def msm(
     stats: MSMStatistics | None = None,
 ) -> JacobianPoint:
     """Top-level MSM entry point used by the commitment scheme."""
-    if sparse:
+    if window_bits is None:
+        window_bits = _default_window_bits
+    if sparse and _default_sparse_witness:
         return sparse_msm(scalars, points, window_bits=window_bits, stats=stats)
     return pippenger_msm(scalars, points, window_bits=window_bits, stats=stats)

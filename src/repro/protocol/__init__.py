@@ -5,18 +5,31 @@ paper: Witness Commits, Gate Identity (ZeroCheck), Wiring Identity
 (PermCheck with Fraction and Product MLEs), Batch Evaluations, and the
 Polynomial Opening step (OpenCheck followed by a batched multilinear-KZG
 opening), all made non-interactive with a SHA3 Fiat-Shamir transcript.
+
+.. deprecated::
+    The module-level :func:`preprocess`, :func:`prove` and :func:`verify`
+    entry points are kept for backward compatibility but new code should go
+    through :class:`repro.api.ProverEngine`, which caches circuit keys per
+    session and owns all configuration.  The implementation modules
+    (``repro.protocol.keys`` / ``.prover`` / ``.verifier``) remain the
+    non-deprecated low-level entry points.
 """
 
-from repro.protocol.keys import ProvingKey, VerifyingKey, preprocess
+import functools
+import warnings
+
+from repro.protocol.keys import ProvingKey, VerifyingKey
+from repro.protocol.keys import preprocess as _preprocess
 from repro.protocol.proof import EvaluationClaim, HyperPlonkProof, ProverTrace
-from repro.protocol.prover import prove
+from repro.protocol.prover import prove as _prove
 from repro.protocol.serialization import (
     SerializationError,
     deserialize_proof,
     proof_size_bytes,
     serialize_proof,
 )
-from repro.protocol.verifier import VerificationError, verify
+from repro.protocol.verifier import VerificationError
+from repro.protocol.verifier import verify as _verify
 
 __all__ = [
     "ProvingKey",
@@ -33,3 +46,23 @@ __all__ = [
     "proof_size_bytes",
     "SerializationError",
 ]
+
+
+def _deprecated(wrapped, name: str):
+    @functools.wraps(wrapped)
+    def shim(*args, **kwargs):
+        warnings.warn(
+            f"repro.protocol.{name}() is deprecated; use "
+            f"repro.api.ProverEngine.{name}() instead (the implementation "
+            f"modules under repro.protocol.* remain non-deprecated)",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return wrapped(*args, **kwargs)
+
+    return shim
+
+
+preprocess = _deprecated(_preprocess, "preprocess")
+prove = _deprecated(_prove, "prove")
+verify = _deprecated(_verify, "verify")

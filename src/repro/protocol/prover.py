@@ -90,6 +90,9 @@ def prove(
     circuit: Circuit | None = None,
     transcript: Transcript | None = None,
     collect_trace: bool = False,
+    precomputed_witness_commitments: (
+        dict[str, tuple["Commitment", MSMStatistics]] | None
+    ) = None,
 ) -> HyperPlonkProof | tuple[HyperPlonkProof, ProverTrace]:
     """Generate a HyperPlonk proof for the witness carried by ``circuit``.
 
@@ -101,6 +104,12 @@ def prove(
     collect_trace:
         When True, also return a :class:`ProverTrace` with per-step
         operation statistics for the architectural model.
+    precomputed_witness_commitments:
+        Optional ``{name: (commitment, msm_stats)}`` for the witness
+        polynomials, e.g. computed ahead of time by a worker pool (see
+        :mod:`repro.api.parallel`).  Must be the exact commitments of the
+        witnesses in ``circuit``; the proof bytes are identical to the
+        in-line path because the same points enter the transcript.
     """
     circuit = circuit if circuit is not None else pk.circuit
     if circuit.num_vars != pk.num_vars:
@@ -122,10 +131,13 @@ def prove(
     start = time.perf_counter()
     witness_commitments = {}
     for name in WITNESS_POLY_NAMES:
-        stats = MSMStatistics()
-        witness_commitments[name] = commit(
-            pk.pcs, witnesses[name], sparse=True, stats=stats
-        )
+        if precomputed_witness_commitments is not None:
+            witness_commitments[name], stats = precomputed_witness_commitments[name]
+        else:
+            stats = MSMStatistics()
+            witness_commitments[name] = commit(
+                pk.pcs, witnesses[name], sparse=True, stats=stats
+            )
         step.msm_stats.append(stats)
         transcript.absorb_point(b"witness/" + name.encode(), witness_commitments[name].point)
     step.wall_time_seconds = time.perf_counter() - start

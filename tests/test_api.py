@@ -1,0 +1,335 @@
+"""Tests for the public session API (``repro.api``).
+
+Covers the ISSUE-2 acceptance surface: engine-level round-trips
+(prove -> serialize -> deserialize -> verify), SRS/key cache behavior,
+byte-equality of proofs between the deprecated free-function path and the
+engine, ``DeprecationWarning`` on the shims, the scenario registry that
+unifies the functional prover and the chip model, and the ``prove_many``
+witness-commit worker pool.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import pytest
+
+from repro.api import (
+    EngineConfig,
+    ProofArtifact,
+    ProverEngine,
+    available_scenarios,
+    resolve_scenario,
+)
+from repro.api.parallel import batch_witness_commitments, fork_available
+from repro.circuits import mock_circuit
+from repro.core.chip import SimulationReport
+from repro.protocol.serialization import serialize_proof
+
+
+@pytest.fixture(scope="module")
+def engine():
+    return ProverEngine(EngineConfig(srs_seed=11))
+
+
+@pytest.fixture(scope="module")
+def artifact(engine):
+    return engine.prove("mock", num_vars=5, seed=21)
+
+
+class TestEngineConfig:
+    def test_defaults_are_valid(self):
+        config = EngineConfig()
+        assert config.field_backend == "auto"
+        assert config.workers == 1
+
+    def test_rejects_unknown_backend_policy(self):
+        with pytest.raises(ValueError, match="backend policy"):
+            EngineConfig(field_backend="cuda")
+
+    def test_rejects_negative_workers(self):
+        with pytest.raises(ValueError, match="workers"):
+            EngineConfig(workers=-1)
+
+    def test_rejects_bad_window_bits(self):
+        with pytest.raises(ValueError, match="window_bits"):
+            EngineConfig(msm_window_bits=0)
+
+    def test_effective_workers_auto_is_cpu_gated(self):
+        import os
+
+        assert EngineConfig(workers=0).effective_workers() == (os.cpu_count() or 1)
+        assert EngineConfig(workers=3).effective_workers() == 3
+
+    def test_from_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FIELD_BACKEND", "python")
+        monkeypatch.setenv("REPRO_WORKERS", "4")
+        config = EngineConfig.from_env()
+        assert config.field_backend == "python"
+        assert config.workers == 4
+        assert EngineConfig.from_env(workers=2).workers == 2
+
+    def test_with_options(self):
+        config = EngineConfig().with_options(field_backend="python")
+        assert config.field_backend == "python"
+
+    def test_apply_restores_backend_policy(self):
+        from repro.fields.backends import default_policy
+
+        before = default_policy()
+        with EngineConfig(field_backend="python").apply():
+            assert default_policy() == "python"
+        assert default_policy() == before
+
+    def test_apply_unavailable_backend_degrades_with_warning(self):
+        # Policy validation happens at construction, so sneak an
+        # unregistered name past it to model e.g. a NumPy-free install
+        # asked for the numpy backend.
+        config = EngineConfig(field_backend="auto")
+        object.__setattr__(config, "field_backend", "ghost")
+        with pytest.warns(RuntimeWarning, match="unavailable"):
+            with config.apply():
+                pass
+
+
+class TestProveVerifyRoundTrip:
+    def test_prove_returns_artifact(self, artifact):
+        assert isinstance(artifact, ProofArtifact)
+        assert artifact.scenario == "mock"
+        assert artifact.num_vars == 5
+        assert artifact.size_bytes > 0
+
+    def test_verify_accepts(self, engine, artifact):
+        assert engine.verify(artifact)
+
+    def test_serialize_deserialize_verify(self, engine, artifact):
+        blob = artifact.to_bytes()
+        restored = ProofArtifact.proof_from_bytes(blob)
+        assert engine.verify(restored, verifying_key=artifact.verifying_key)
+
+    def test_bare_proof_requires_key(self, engine, artifact):
+        with pytest.raises(ValueError, match="verifying_key"):
+            engine.verify(artifact.proof)
+
+    def test_prove_with_prebuilt_circuit(self, engine):
+        circuit = mock_circuit(5, seed=21)
+        built = engine.prove(circuit=circuit)
+        assert engine.verify(built)
+
+    def test_requires_exactly_one_source(self, engine):
+        with pytest.raises(ValueError, match="exactly one"):
+            engine.prove()
+        with pytest.raises(ValueError, match="exactly one"):
+            engine.prove("mock", circuit=mock_circuit(5, seed=1))
+
+    def test_collect_trace(self, engine):
+        traced = engine.prove("mock", num_vars=5, seed=21, collect_trace=True)
+        assert traced.trace is not None
+        assert [s.name for s in traced.trace.steps][0] == "witness_commits"
+
+    def test_transcript_domain_tag_separates_proofs(self):
+        base = ProverEngine(EngineConfig(srs_seed=11))
+        tagged = ProverEngine(EngineConfig(srs_seed=11, transcript_label=b"other"))
+        plain = base.prove("mock", num_vars=5, seed=21)
+        other = tagged.prove("mock", num_vars=5, seed=21)
+        assert plain.to_bytes() != other.to_bytes()
+        # Each engine accepts its own proof but rejects the foreign tag.
+        assert base.verify(plain) and tagged.verify(other)
+        from repro.protocol.verifier import VerificationError
+
+        with pytest.raises(VerificationError):
+            base.verify(other)
+
+
+class TestSessionCaches:
+    def test_srs_and_key_cache_hits(self):
+        engine = ProverEngine(EngineConfig(srs_seed=5))
+        first = engine.prove("mock", num_vars=5, seed=9)
+        assert engine.cache_stats.srs_misses == 1
+        assert engine.cache_stats.key_misses == 1
+        second = engine.prove("mock", num_vars=5, seed=9)
+        assert engine.cache_stats.key_hits >= 1
+        assert second.timings["setup_and_preprocess"] == 0.0
+        assert first.to_bytes() == second.to_bytes()
+
+    def test_key_cache_is_structure_keyed(self):
+        # zcash circuits with different witness seeds share gate structure
+        # only when the embedded random constants match, so same-seed
+        # rebuilds hit and different-seed builds miss.
+        engine = ProverEngine(EngineConfig(srs_seed=5))
+        spec = resolve_scenario("zcash")
+        a = spec.build_circuit(num_vars=5, seed=1)
+        b = spec.build_circuit(num_vars=5, seed=1)
+        assert a is not b
+        assert a.fingerprint() == b.fingerprint()
+        engine.preprocess(a)
+        engine.preprocess(b)
+        assert engine.cache_stats.key_hits == 1
+        assert engine.cache_stats.key_misses == 1
+
+    def test_fingerprint_ignores_witness(self):
+        spec = resolve_scenario("auction")
+        a = spec.build_circuit(num_vars=6, seed=2)
+        b = spec.build_circuit(num_vars=6, seed=3)
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_setup_cached_across_sizes(self):
+        engine = ProverEngine()
+        srs = engine.setup(4)
+        assert engine.setup(4) is srs
+        assert engine.cache_stats.srs_hits == 1
+        assert engine.setup(5) is not srs
+
+    def test_preload_srs(self):
+        from repro.pcs.srs import setup as raw_setup
+
+        srs = raw_setup(4, seed=0)
+        engine = ProverEngine()
+        engine.preload_srs(srs)
+        assert engine.setup(4) is srs
+        assert engine.cache_stats.srs_misses == 0
+
+
+class TestOldApiEquivalence:
+    def test_proof_bytes_identical_old_vs_new(self):
+        """The redesign must not change a single proof byte."""
+        engine = ProverEngine(EngineConfig(srs_seed=1))
+        new_blob = engine.prove("mock", num_vars=5, seed=3).to_bytes()
+
+        from repro.pcs import setup
+        from repro.protocol import preprocess, prove
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore", DeprecationWarning)
+            srs = setup(5, seed=1)
+            pk, _vk = preprocess(mock_circuit(5, seed=3), srs)
+            old_blob = serialize_proof(prove(pk))
+        assert old_blob == new_blob
+
+    def test_pcs_setup_shim_warns(self):
+        from repro.pcs import setup
+
+        with pytest.warns(DeprecationWarning, match="ProverEngine"):
+            setup(2, seed=0)
+
+    def test_protocol_shims_warn(self, engine):
+        from repro.pcs.srs import setup as raw_setup
+        from repro.protocol import preprocess, prove, verify
+
+        circuit = mock_circuit(4, seed=0)
+        srs = raw_setup(4, seed=0)
+        with pytest.warns(DeprecationWarning, match="preprocess"):
+            pk, vk = preprocess(circuit, srs)
+        with pytest.warns(DeprecationWarning, match="prove"):
+            proof = prove(pk)
+        with pytest.warns(DeprecationWarning, match="verify"):
+            assert verify(vk, proof)
+
+    def test_implementation_modules_do_not_warn(self):
+        from repro.pcs.srs import setup as raw_setup
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            raw_setup(2, seed=0)
+
+
+class TestProveMany:
+    def test_serial_batch_matches_singles(self):
+        engine = ProverEngine(EngineConfig(srs_seed=11))
+        single = engine.prove("mock", num_vars=5, seed=4)
+        batch = engine.prove_many(
+            [{"scenario": "mock", "num_vars": 5, "seed": 4}], workers=1
+        )
+        assert len(batch) == 1
+        assert batch[0].to_bytes() == single.to_bytes()
+        assert engine.verify(batch[0])
+
+    def test_request_forms(self):
+        engine = ProverEngine(EngineConfig(srs_seed=11))
+        circuit = mock_circuit(5, seed=8)
+        artifacts = engine.prove_many(["mock", circuit], workers=1)
+        assert [a.scenario for a in artifacts] == ["mock", circuit.name]
+        assert all(engine.verify(a) for a in artifacts)
+
+    @pytest.mark.skipif(not fork_available(), reason="requires fork start method")
+    def test_parallel_batch_is_byte_identical(self):
+        engine = ProverEngine(EngineConfig(srs_seed=11))
+        requests = [
+            {"scenario": "mock", "num_vars": 5, "seed": 4},
+            {"scenario": "mock", "num_vars": 5, "seed": 5},
+        ]
+        serial = engine.prove_many(requests, workers=1)
+        parallel = engine.prove_many(requests, workers=2)
+        assert [a.to_bytes() for a in serial] == [a.to_bytes() for a in parallel]
+
+    @pytest.mark.skipif(not fork_available(), reason="requires fork start method")
+    def test_pool_commitments_match_serial(self, engine):
+        circuit = mock_circuit(5, seed=4)
+        pk, _ = engine.preprocess(circuit)
+        serial = batch_witness_commitments([pk.pcs], [circuit], [0], workers=1)
+        pooled = batch_witness_commitments([pk.pcs], [circuit], [0], workers=2)
+        for name in ("w1", "w2", "w3"):
+            assert serial[0][name][0] == pooled[0][name][0]
+            # The trace statistics survive the process boundary too.
+            assert (
+                serial[0][name][1].num_points == pooled[0][name][1].num_points
+            )
+
+    def test_trace_collected_through_batch_path(self):
+        engine = ProverEngine(EngineConfig(srs_seed=11, collect_trace=True))
+        (artifact,) = engine.prove_many(
+            [{"scenario": "mock", "num_vars": 5, "seed": 4}], workers=1
+        )
+        assert artifact.trace is not None
+        witness_step = artifact.trace.steps[0]
+        assert witness_step.name == "witness_commits"
+        assert sum(s.num_points for s in witness_step.msm_stats) > 0
+
+
+class TestScenarios:
+    def test_registry_contents(self):
+        names = available_scenarios()
+        assert "mock" in names
+        for expected in ("zcash", "auction", "rescue", "recursive", "rollup"):
+            assert expected in names
+
+    def test_unknown_scenario_is_guided(self):
+        with pytest.raises(KeyError, match="available"):
+            resolve_scenario("aes")
+
+    @pytest.mark.parametrize("name", ["zcash", "auction", "rescue", "recursive", "rollup"])
+    def test_scenarios_build_satisfiable_circuits(self, name):
+        scenario = resolve_scenario(name)
+        circuit = scenario.build_circuit(num_vars=6, seed=0)
+        assert circuit.is_satisfied()
+        model = scenario.workload_model()
+        assert model.num_vars == scenario.paper_log_size
+        assert model.name == scenario.title
+
+    def test_workload_model_from_circuit(self):
+        scenario = resolve_scenario("zcash")
+        circuit = scenario.build_circuit(num_vars=6, seed=0)
+        model = scenario.workload_model(num_vars=17, circuit=circuit)
+        assert model.num_vars == 17
+        measured = circuit.witness_sparsity()
+        assert model.dense_fraction == pytest.approx(measured["dense_fraction"])
+
+    def test_simulate_and_profiles_by_name(self, engine):
+        report = engine.simulate(scenario="zcash")
+        assert isinstance(report, SimulationReport)
+        assert report.total_runtime_ms > 0
+        profiles = engine.kernel_profiles(scenario="zcash")
+        assert any("MSM" in p.name for p in profiles)
+
+    def test_explore_by_size(self, engine):
+        explorer, points = engine.explore(num_vars=16, max_points=16)
+        assert len(points) == 16
+        assert explorer.global_pareto(points)
+
+    def test_top_level_reexports(self):
+        import repro
+
+        assert repro.ProverEngine is ProverEngine
+        assert repro.EngineConfig is EngineConfig
+        with pytest.raises(AttributeError):
+            repro.not_a_symbol

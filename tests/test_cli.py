@@ -11,9 +11,39 @@ class TestParser:
             build_parser().parse_args([])
 
     def test_simulate_defaults(self):
+        # --log-gates defaults to None so a named scenario can fall through
+        # to its published Table 3 size; the synthetic workload resolves to
+        # the historical 2^20 (covered in TestCommands).
         args = build_parser().parse_args(["simulate"])
-        assert args.log_gates == 20
+        assert args.log_gates is None
         assert args.bandwidth == 2048.0
+
+    def test_rejects_nonpositive_count_and_negative_workers(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["prove", "--count", "0"])
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["prove", "--workers", "-1"])
+
+    def test_engine_flags_accepted_by_every_command(self):
+        # --field-backend/--workers used to silently no-op on everything
+        # but `prove`; now they parse (and are honored) uniformly.
+        for command in ("simulate", "dse", "prove", "table1"):
+            args = build_parser().parse_args(
+                [command, "--field-backend", "python", "--workers", "2"]
+            )
+            assert args.field_backend == "python"
+            assert args.workers == 2
+
+    def test_prove_scenario_and_count(self):
+        args = build_parser().parse_args(
+            ["prove", "--scenario", "zcash", "--count", "3"]
+        )
+        assert args.scenario == "zcash"
+        assert args.count == 3
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["prove", "--scenario", "aes"])
 
 
 class TestCommands:
@@ -43,3 +73,36 @@ class TestCommands:
         output = capsys.readouterr().out
         assert "ACCEPT" in output
         assert "proof size" in output
+
+    def test_prove_with_field_backend(self, capsys):
+        assert main(
+            ["prove", "--log-gates", "4", "--seed", "1", "--field-backend", "python"]
+        ) == 0
+        assert "ACCEPT" in capsys.readouterr().out
+
+    def test_prove_scenario_batch(self, capsys):
+        assert main(
+            ["prove", "--log-gates", "4", "--seed", "1", "--scenario", "zcash",
+             "--count", "2"]
+        ) == 0
+        output = capsys.readouterr().out
+        assert output.count("ACCEPT") == 2
+        assert "batch: 2 proofs" in output
+
+    def test_simulate_scenario(self, capsys):
+        assert main(["simulate", "--scenario", "zcash", "--log-gates", "17"]) == 0
+        output = capsys.readouterr().out
+        assert "Zcash" in output
+        assert "speedup" in output
+
+    def test_simulate_scenario_defaults_to_paper_size(self, capsys):
+        assert main(["simulate", "--scenario", "zcash"]) == 0
+        assert "problem size  : 2^17 gates" in capsys.readouterr().out
+
+    def test_simulate_synthetic_defaults_to_2_20(self, capsys):
+        assert main(["simulate"]) == 0
+        assert "problem size  : 2^20 gates" in capsys.readouterr().out
+
+    def test_table1_with_engine_flags(self, capsys):
+        assert main(["table1", "--log-gates", "18", "--workers", "2"]) == 0
+        assert "Witness MSMs" in capsys.readouterr().out
