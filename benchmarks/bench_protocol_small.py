@@ -13,8 +13,11 @@ import pytest
 from repro.circuits import mock_circuit
 from repro.fields import Fr
 from repro.mle import MultilinearPolynomial, VirtualPolynomial
-from repro.pcs import commit, open_at_point, setup
-from repro.protocol import preprocess, prove, verify
+from repro.pcs.multilinear_kzg import commit, open_at_point
+from repro.pcs.srs import setup
+from repro.protocol.keys import preprocess
+from repro.protocol.prover import prove
+from repro.protocol.verifier import verify
 from repro.sumcheck import prove_sumcheck
 from repro.transcript import Transcript
 

@@ -12,6 +12,14 @@ Run from the repository root::
     PYTHONPATH=src python benchmarks/bench_prover_e2e.py
     PYTHONPATH=src python benchmarks/bench_prover_e2e.py --sizes 8,10,12
     PYTHONPATH=src python benchmarks/bench_prover_e2e.py --sizes 14 --backends auto
+    PYTHONPATH=src python benchmarks/bench_prover_e2e.py --sizes 12 --workers 1,2,0
+
+``--workers`` additionally sweeps the sharded prover (``EngineConfig.workers``;
+``0`` = one per CPU) at each size, records the scaling curve under
+``workers_sweep`` in the output file, and asserts every worker count
+produces byte-identical proofs.  Sweep entries never participate in the
+``--compare-last`` regression gate, which compares serial backend numbers
+only.
 
 Regression tracking (used by CI)::
 
@@ -82,7 +90,13 @@ def _git_commit() -> str:
         return "unknown"
 
 
-def bench_size(num_vars: int, backends: list[str], witness_seed: int, best_of: int) -> dict:
+def bench_size(
+    num_vars: int,
+    backends: list[str],
+    witness_seed: int,
+    best_of: int,
+    workers_sweep: list[int],
+) -> dict:
     t0 = time.perf_counter()
     srs = setup(num_vars, seed=1)
     setup_seconds = time.perf_counter() - t0
@@ -136,6 +150,36 @@ def bench_size(num_vars: int, backends: list[str], witness_seed: int, best_of: i
             f"{sorted(proof_blobs)}"
         )
     entry["identical_proofs_across_backends"] = True
+
+    # Worker sweep: the intra-proof scaling curve behind EngineConfig.workers.
+    # Recorded under a separate key so the serial-baseline regression gate
+    # (--compare-last walks only "backends") never trips on sweep entries.
+    reference_blob = next(iter(blobs))
+    if workers_sweep:
+        entry["workers_sweep"] = {}
+    for workers in workers_sweep:
+        engine = ProverEngine(
+            EngineConfig(srs_seed=1, workers=workers, collect_trace=True)
+        )
+        engine.preload_srs(srs)
+        prove_seconds = float("inf")
+        artifact = None
+        for _ in range(best_of):
+            artifact = engine.prove("mock", num_vars=num_vars, seed=witness_seed)
+            prove_seconds = min(prove_seconds, artifact.timings["prove"])
+        if artifact.to_bytes() != reference_blob:
+            raise SystemExit(
+                f"workers={workers} produced a DIFFERENT proof at 2^{num_vars}"
+            )
+        entry["workers_sweep"][str(workers)] = {
+            "prove_seconds": round(prove_seconds, 3),
+            "phases": _phase_breakdown(artifact.trace),
+        }
+        engine.close()
+        print(
+            f"  2^{num_vars:<2d} workers={workers}: prove {prove_seconds:7.2f}s  "
+            f"(byte-identical)"
+        )
     return entry
 
 
@@ -178,6 +222,15 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument("--witness-seed", type=int, default=3)
     parser.add_argument(
+        "--workers",
+        default="",
+        help="comma-separated worker counts to sweep at each size (e.g. "
+        "'1,2,4'; 0 = one per CPU; default: no sweep).  Sweep entries are "
+        "recorded under 'workers_sweep' and are NOT part of the "
+        "--compare-last regression gate, which reads serial backend "
+        "numbers only",
+    )
+    parser.add_argument(
         "--best-of",
         type=int,
         default=1,
@@ -214,17 +267,27 @@ def main(argv: list[str] | None = None) -> int:
         backends = [b.strip() for b in args.backends.split(",") if b.strip()]
     else:
         backends = ["auto"] + available_backends()
+    workers_sweep = [
+        os.cpu_count() or 1 if int(w) == 0 else int(w)
+        for w in args.workers.split(",")
+        if w.strip()
+    ]
 
     print(f"backends: {', '.join(backends)}   sizes: {sizes}")
+    if workers_sweep:
+        print(f"workers sweep: {workers_sweep}   (cpu_count: {os.cpu_count()})")
     results = {
         "benchmark": "hyperplonk_prover_e2e",
         "commit": _git_commit(),
         "python": platform.python_version(),
         "machine": platform.machine(),
         "hostname": os.environ.get("REPRO_BENCH_HOST") or platform.node(),
+        "cpu_count": os.cpu_count(),
         "available_backends": available_backends(),
         "sizes": [
-            bench_size(nv, backends, args.witness_seed, max(1, args.best_of))
+            bench_size(
+                nv, backends, args.witness_seed, max(1, args.best_of), workers_sweep
+            )
             for nv in sizes
         ],
     }

@@ -12,9 +12,13 @@ hand-wired CLI/examples) with a single façade:
 >>> explorer, points = engine.explore(scenario="zcash")
 
 Sessions cache the universal SRS by size and circuit keys by structure
-fingerprint, so repeated proofs amortize setup; ``prove_many`` batches
-proofs and shards their witness-commit MSMs over a worker pool.  The old
-module-level entry points still work but emit :class:`DeprecationWarning`.
+fingerprint, so repeated proofs amortize setup (optionally to disk via
+``EngineConfig.srs_cache_dir``).  With ``EngineConfig(workers=N)`` a
+session shards work across a persistent fork pool: Pippenger MSM windows
+and SumCheck round term-tables within one ``prove()``, whole proofs across
+a ``prove_many()`` batch — proof bytes identical at every worker count
+(see :mod:`repro.api.parallel`).  The old module-level entry points still
+work but emit :class:`DeprecationWarning`.
 """
 
 from repro.api.artifacts import CacheStats, ProofArtifact

@@ -17,7 +17,7 @@ import warnings
 from dataclasses import dataclass, replace
 from typing import Iterator
 
-from repro.curves.msm import msm_defaults, set_msm_defaults
+from repro.curves.msm import SPARSE_SMALL_SCALAR_MAX, msm_defaults, set_msm_defaults
 from repro.fields.backends import available_backends, default_policy, set_default_backend
 
 #: Policies accepted by ``field_backend`` ("auto" resolves per vector size).
@@ -44,11 +44,33 @@ class EngineConfig:
         prover and the selector commits in preprocessing — take the
         Sparse-MSM path (skip zeros, tree-sum ones — Section 3.3.1) or
         plain Pippenger.  Performance-only.
+    sparse_small_scalar_max:
+        Largest scalar finished by the Sparse-MSM small-bucket flow (one
+        PADD tree per value 2..max plus a short double-and-add) instead of
+        the full Pippenger path.  ``<= 1`` disables the small buckets.
+        Performance-only.
     workers:
-        Worker-process count for :meth:`~repro.api.engine.ProverEngine.prove_many`'s
-        independent witness-commit MSMs.  ``workers <= 1`` runs serially;
-        ``0`` means "one per CPU" (``os.cpu_count()``-gated, the ROADMAP's
-        sharded-prover seam).
+        Worker-process count for the sharded prover.  With ``workers > 1``
+        (and a fork-capable platform) a single
+        :meth:`~repro.api.engine.ProverEngine.prove` shards Pippenger MSM
+        windows and SumCheck round term-tables across a persistent
+        per-session fork pool, and
+        :meth:`~repro.api.engine.ProverEngine.prove_many` shards whole
+        proofs (one forked worker per proof).  ``workers <= 1`` runs
+        serially; ``0`` means "one per CPU" (``os.cpu_count()``-gated).
+        Proof bytes are identical at every worker count.
+    parallel_min_msm_points:
+        Smallest MSM (point count) worth sharding across workers; smaller
+        MSMs — e.g. the late, shrinking quotient MSMs of the opening step —
+        run serially because task pickling would dominate.
+    parallel_min_sumcheck_size:
+        Smallest SumCheck table (full hypercube size) worth sharding; late
+        rounds fall back to the serial path as the tables shrink below it.
+    srs_cache_dir:
+        Directory for the disk-backed SRS cache, or ``None`` to disable.
+        Deterministic setups (``srs_seed``) are stored by
+        ``(num_vars, seed, keep_trapdoor)`` so forked and restarted
+        processes skip the multi-second trusted setup.
     transcript_label:
         Fiat-Shamir domain-separation tag.  Proofs made under one label
         never verify under another; the default matches the historical
@@ -67,7 +89,11 @@ class EngineConfig:
     field_backend: str = "auto"
     msm_window_bits: int | None = None
     sparse_witness_msm: bool = True
+    sparse_small_scalar_max: int = SPARSE_SMALL_SCALAR_MAX
     workers: int = 1
+    parallel_min_msm_points: int = 2048
+    parallel_min_sumcheck_size: int = 4096
+    srs_cache_dir: str | None = None
     transcript_label: bytes = b"hyperplonk"
     srs_seed: int = 0
     keep_trapdoor: bool = True
@@ -83,6 +109,10 @@ class EngineConfig:
             raise ValueError("msm_window_bits must be in 1..31 (or None for auto)")
         if self.workers < 0:
             raise ValueError("workers must be >= 0 (0 means one per CPU)")
+        if self.parallel_min_msm_points < 1:
+            raise ValueError("parallel_min_msm_points must be >= 1")
+        if self.parallel_min_sumcheck_size < 1:
+            raise ValueError("parallel_min_sumcheck_size must be >= 1")
         if not isinstance(self.transcript_label, bytes):
             raise ValueError("transcript_label must be bytes")
 
@@ -90,8 +120,9 @@ class EngineConfig:
     def from_env(cls, **overrides) -> "EngineConfig":
         """Build a config from ``REPRO_*`` environment variables.
 
-        Recognized: ``REPRO_FIELD_BACKEND`` and ``REPRO_WORKERS``.  Keyword
-        overrides win over the environment.
+        Recognized: ``REPRO_FIELD_BACKEND``, ``REPRO_WORKERS`` and
+        ``REPRO_SRS_CACHE_DIR``.  Keyword overrides win over the
+        environment.
         """
         env: dict = {}
         backend = os.environ.get("REPRO_FIELD_BACKEND")
@@ -102,6 +133,9 @@ class EngineConfig:
             env["workers"] = int(raw_workers)
         except ValueError:
             pass
+        cache_dir = os.environ.get("REPRO_SRS_CACHE_DIR")
+        if cache_dir:
+            env["srs_cache_dir"] = cache_dir
         env.update(overrides)
         return cls(**env)
 
@@ -142,6 +176,7 @@ class EngineConfig:
             set_msm_defaults(
                 window_bits=self.msm_window_bits,
                 sparse_witness=self.sparse_witness_msm,
+                small_scalar_max=self.sparse_small_scalar_max,
             )
             yield
         finally:

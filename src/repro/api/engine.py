@@ -14,13 +14,24 @@ package-level re-exports, which are deprecation shims as of this redesign.
 
 from __future__ import annotations
 
+import contextlib
 import time
 from collections import OrderedDict
-from typing import Iterable, Mapping, Sequence, Union
+from typing import Iterable, Iterator, Mapping, Sequence, Union
 
 from repro.api.artifacts import CacheStats, ProofArtifact
 from repro.api.config import EngineConfig
-from repro.api.parallel import auto_workers, batch_witness_commitments
+from repro.api.parallel import (
+    MsmShardRunner,
+    SumcheckShardRunner,
+    WorkerPool,
+    auto_workers,
+    batch_witness_commitments,
+    fork_available,
+    release_points,
+    run_batch_proofs,
+    share_points,
+)
 from repro.api.scenarios import available_scenarios, resolve_scenario
 from repro.circuits.builder import Circuit
 from repro.core.chip import SimulationReport, ZkSpeedChip
@@ -29,8 +40,10 @@ from repro.core.cpu_baseline import CpuBaseline
 from repro.core.dse import DesignPoint, DesignSpaceExplorer
 from repro.core.opcounts import KernelProfile, protocol_operation_counts
 from repro.core.workload_model import WorkloadModel
+from repro.curves.msm import msm_shard_runner, set_msm_shard_runner
 from repro.pcs.srs import UniversalSRS
-from repro.pcs.srs import setup as _setup_srs
+from repro.pcs.srs import setup_cached as _setup_srs
+from repro.sumcheck.prover import set_sumcheck_shard_runner, sumcheck_shard_runner
 from repro.protocol.keys import ProvingKey, VerifyingKey
 from repro.protocol.keys import preprocess as _preprocess
 from repro.protocol.proof import HyperPlonkProof
@@ -64,11 +77,107 @@ class ProverEngine:
     CIRCUIT_CACHE_SIZE = 16
 
     def __init__(self, config: EngineConfig | None = None):
-        self.config = config if config is not None else EngineConfig()
+        # A default-constructed engine honors the REPRO_* environment
+        # (workers, field backend, SRS cache dir) via from_env(); with a
+        # clean environment that is exactly EngineConfig().  Pass an
+        # explicit config to pin every knob.
+        self.config = config if config is not None else EngineConfig.from_env()
         self.cache_stats = CacheStats()
         self._srs_cache: dict[int, UniversalSRS] = {}
         self._key_cache: dict[tuple[int, str], tuple[ProvingKey, VerifyingKey]] = {}
         self._circuit_cache: OrderedDict[tuple[str, int, int], Circuit] = OrderedDict()
+        #: Session worker pool (created lazily on first parallel work).
+        self._pool: WorkerPool | None = None
+        self._shared_srs_keys: list[str] = []
+        self._registered_srs_sizes: set[int] = set()
+
+    # -- session / pool lifecycle -------------------------------------------------
+
+    def _parallel_enabled(self) -> bool:
+        """Whether this session shards work across processes at all."""
+        return self.config.effective_workers() > 1 and fork_available()
+
+    def _ensure_pool(self) -> WorkerPool:
+        """The session's persistent fork pool, created on first use."""
+        if self._pool is None:
+            self._pool = WorkerPool(self.config.effective_workers())
+        return self._pool
+
+    def close(self) -> None:
+        """Tear down the session: worker processes and shared-state entries.
+
+        Safe to call more than once; the engine remains usable afterwards
+        (a later parallel operation simply re-creates the pool).
+        """
+        if self._pool is not None:
+            self._pool.close()
+            self._pool = None
+        for key in self._shared_srs_keys:
+            release_points(key)
+        self._shared_srs_keys = []
+        self._registered_srs_sizes = set()
+
+    def __enter__(self) -> "ProverEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __del__(self):  # pragma: no cover - GC timing is interpreter-dependent
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def _register_srs_tables(self, srs: UniversalSRS) -> None:
+        """Publish the SRS point tables for by-reference MSM shard payloads.
+
+        Workers then receive megabytes of Lagrange-basis points through the
+        fork's copy-on-write memory instead of per-task pickles.  Keys are
+        engine-unique so two sessions never alias each other's tables; they
+        are dropped again on :meth:`close`.
+        """
+        if not self._parallel_enabled() or srs.num_vars in self._registered_srs_sizes:
+            return
+        for k, table in enumerate(srs.prover_key.lagrange_tables):
+            key = share_points(
+                f"srs:{id(self)}:{self.config.srs_seed}:{srs.num_vars}:{k}", table
+            )
+            self._shared_srs_keys.append(key)
+        self._registered_srs_sizes.add(srs.num_vars)
+
+    @contextlib.contextmanager
+    def _parallel_seams(self) -> Iterator[None]:
+        """Install the intra-proof shard runners for one engine operation.
+
+        With ``workers <= 1`` (or no fork support) this is a no-op and every
+        kernel runs the serial path.  Otherwise the MSM window-shard and
+        SumCheck round-shard runners are pointed at the session pool for the
+        duration, and restored afterwards so engines with different configs
+        can interleave.
+        """
+        if not self._parallel_enabled():
+            yield
+            return
+        workers = self.config.effective_workers()
+        pool = self._ensure_pool()
+        # Re-publish cached SRS tables if a close() dropped them (the cached
+        # setup() path will not run again for sizes already in the cache).
+        for srs in self._srs_cache.values():
+            self._register_srs_tables(srs)
+        previous_msm = msm_shard_runner()
+        previous_sumcheck = sumcheck_shard_runner()
+        set_msm_shard_runner(
+            MsmShardRunner(pool, workers, self.config.parallel_min_msm_points)
+        )
+        set_sumcheck_shard_runner(
+            SumcheckShardRunner(pool, workers, self.config.parallel_min_sumcheck_size)
+        )
+        try:
+            yield
+        finally:
+            set_msm_shard_runner(previous_msm)
+            set_sumcheck_shard_runner(previous_sumcheck)
 
     # -- configuration / introspection ------------------------------------------
 
@@ -83,7 +192,13 @@ class ProverEngine:
     # -- setup & preprocessing (cached) -----------------------------------------
 
     def setup(self, num_vars: int) -> UniversalSRS:
-        """The universal SRS for ``num_vars``, generated once per session."""
+        """The universal SRS for ``num_vars``, generated once per session.
+
+        With ``EngineConfig.srs_cache_dir`` set, the SRS is also persisted
+        to (and on later runs loaded from) a disk cache keyed by
+        ``(num_vars, srs_seed, keep_trapdoor)``, so restarted processes
+        skip the multi-second trusted setup.
+        """
         srs = self._srs_cache.get(num_vars)
         if srs is not None:
             self.cache_stats.srs_hits += 1
@@ -94,8 +209,10 @@ class ProverEngine:
                 num_vars,
                 seed=self.config.srs_seed,
                 keep_trapdoor=self.config.keep_trapdoor,
+                cache_dir=self.config.srs_cache_dir,
             )
         self._srs_cache[num_vars] = srs
+        self._register_srs_tables(srs)
         return srs
 
     def preload_srs(self, srs: UniversalSRS) -> None:
@@ -106,6 +223,7 @@ class ProverEngine:
         backend or config state.
         """
         self._srs_cache[srs.num_vars] = srs
+        self._register_srs_tables(srs)
 
     def preprocess(
         self, circuit: Circuit, fingerprint: str | None = None
@@ -172,7 +290,7 @@ class ProverEngine:
         with ``seed``) or ``circuit`` (a pre-built circuit) must be given.
         """
         collect = self.config.collect_trace if collect_trace is None else collect_trace
-        with self.config.apply():
+        with self.config.apply(), self._parallel_seams():
             name, resolved = self._resolve_circuit(scenario, circuit, num_vars, seed)
             t0 = time.perf_counter()
             srs_cached = resolved.num_vars in self._srs_cache
@@ -212,10 +330,14 @@ class ProverEngine:
 
         Each request is a scenario name, a built :class:`Circuit`, or a
         mapping of :meth:`prove` keyword arguments.  With ``workers > 1``
-        (default: the engine config; ``0`` means one per CPU) the witness
-        commitments of the whole batch are computed by a fork-based
-        ``multiprocessing`` pool before the per-proof transcript work runs
-        serially — proof bytes are identical to the serial path.
+        (default: the engine config; ``0`` means one per CPU) on a
+        fork-capable platform, the batch is sharded *whole proofs at a
+        time*: one forked worker per proof, proving keys and witness tables
+        inherited copy-on-write (the ``_POOL_STATE`` pattern), giving
+        service-style throughput.  A single-request batch, ``workers <= 1``
+        or a fork-less platform falls back to the PR 2 path (parallel
+        witness commits where possible, serial transcript work) — and
+        proof bytes are identical on every path.
         """
         if workers is None:
             workers = self.config.workers
@@ -250,6 +372,9 @@ class ProverEngine:
                 key_indices.append(key_index_of[id(pk.pcs)])
                 jobs.append((request, name, resolved, pk, vk))
 
+            if workers > 1 and fork_available() and len(jobs) > 1:
+                return self._prove_many_sharded(jobs, workers)
+
             commitments = batch_witness_commitments(
                 prover_keys,
                 [resolved for _, _, resolved, _, _ in jobs],
@@ -282,6 +407,46 @@ class ProverEngine:
                         trace=trace,
                     )
                 )
+        return artifacts
+
+    def _prove_many_sharded(
+        self,
+        jobs: Sequence[tuple[Mapping, str, Circuit, ProvingKey, VerifyingKey]],
+        workers: int,
+    ) -> list[ProofArtifact]:
+        """Whole-proof sharding: one forked worker per proof in the batch.
+
+        Uses the session pool when the requested worker count matches the
+        config (the common case); an explicit per-call override gets a
+        short-lived pool of its own so the session pool keeps its size.
+        """
+        batch_jobs = [
+            (pk, resolved, request.get("collect_trace", self.config.collect_trace))
+            for request, _, resolved, pk, _ in jobs
+        ]
+        if workers == self.config.effective_workers():
+            pool, ephemeral = self._ensure_pool(), False
+        else:
+            pool, ephemeral = WorkerPool(workers), True
+        try:
+            results = run_batch_proofs(pool, self.config, batch_jobs)
+        finally:
+            if ephemeral:
+                pool.close()
+        artifacts: list[ProofArtifact] = []
+        for (request, name, resolved, pk, vk), (proof_bytes, trace, seconds) in zip(
+            jobs, results
+        ):
+            artifacts.append(
+                ProofArtifact(
+                    scenario=name,
+                    num_vars=resolved.num_vars,
+                    proof=ProofArtifact.proof_from_bytes(proof_bytes),
+                    verifying_key=vk,
+                    timings={"prove": seconds},
+                    trace=trace,
+                )
+            )
         return artifacts
 
     # -- verification ------------------------------------------------------------

@@ -1,37 +1,74 @@
-"""Multiprocessing witness-commit MSMs (the sharded-prover down-payment).
+"""Multiprocessing execution for the prover: the sharded-prover subsystem.
 
-The three witness commitments of every proof in a batch are independent
-sparse MSMs — embarrassingly parallel work the ROADMAP earmarks for a
-fork-based shard backend.  :func:`batch_witness_commitments` computes them
-for a whole ``prove_many`` batch, fanning out over a ``multiprocessing``
-pool when the config asks for more than one worker and falling back to the
-serial in-line path otherwise (or when the platform cannot fork).
+The paper's core observation is that proof generation is dominated by
+massively parallel kernels — MSM bucket accumulation and SumCheck round
+evaluation — and this module is the software mirror of that structure.  It
+provides, all behind ``EngineConfig.workers``:
 
-Only the task *indices* cross the process boundary: workers are forked
-after a module-level global is pointed at the proving keys and witness
-tables, so the SRS (megabytes of curve points at interesting sizes) is
-inherited by copy-on-write instead of being pickled per task.  Results
-travel back as plain ``(x, y, infinity)`` integer tuples plus the
-:class:`MSMStatistics` the trace needs.  Both paths produce identical
-commitments — the parallel path only reorders *which process* runs each
-MSM, not the arithmetic — so proof bytes are unaffected.
+* :class:`WorkerPool` — one persistent fork-based pool per
+  :class:`~repro.api.engine.ProverEngine` session, created lazily on first
+  parallel work and torn down on ``close()``/GC.  Large read-only state
+  (SRS tables, batch proving keys) reaches workers by copy-on-write
+  inheritance through the :func:`share_state` registry: the pool snapshots
+  the registry's versions at fork time and transparently re-forks when a
+  required entry is missing or stale, so steady-state proving reuses one
+  set of processes with zero per-call setup.
+* :class:`MsmShardRunner` — intra-MSM window sharding.  Installed into
+  :mod:`repro.curves.msm` for the duration of an engine operation; ships
+  disjoint Pippenger window ranges to workers and merges the window sums
+  serially.  Full-table MSMs (the wiring-identity commits and the large
+  early quotient MSMs of the opening step) name their registered SRS
+  tables by reference, reaching workers through fork copy-on-write; the
+  filtered sub-lists of the sparse witness-commit flow travel by value
+  (they are the ~10% dense residue of a witness table and usually sit
+  under the size gate anyway — sharing per-call scalars/tables is a
+  ROADMAP follow-up).
+* :class:`SumcheckShardRunner` — SumCheck term-table sharding.  Splits each
+  round's boolean-hypercube instances into contiguous chunks; workers
+  return partial round-polynomial evaluations that sum (exactly — field
+  addition is associative) in the parent.
+* :func:`run_batch_proofs` — the process-per-proof pipeline behind
+  ``ProverEngine.prove_many``: one forked worker per proof, proving keys
+  and circuits inherited copy-on-write, serialized proofs returned.
+* :func:`batch_witness_commitments` — the original PR 2 entry point
+  (independent witness-commit MSMs of a batch), kept as the fallback path.
+
+Every sharded path produces proofs byte-identical to the serial path: MSM
+window sums are canonical group elements computed by the same kernel
+(:func:`repro.curves.msm.compute_window_sums`), SumCheck partial sums are
+exact field arithmetic, and whole-proof sharding only moves *which process*
+runs an unchanged prover.
 """
 
 from __future__ import annotations
 
 import multiprocessing
 import os
-from typing import Sequence
+import time
+from typing import Callable, Iterable, Sequence
+
+import importlib
 
 from repro.circuits.builder import Circuit
 from repro.curves.curve import AffinePoint
-from repro.curves.msm import MSMStatistics
+from repro.curves.msm import MSMStatistics, compute_window_sums
+from repro.fields.field import FieldElement, PrimeField
+from repro.fields.vector import FieldVector
 from repro.pcs.multilinear_kzg import Commitment, commit
 from repro.pcs.srs import ProverKey
 from repro.protocol.keys import WITNESS_POLY_NAMES
+from repro.protocol.prover import prove as _prove
+from repro.protocol.serialization import serialize_proof
+from repro.transcript.transcript import Transcript
+
+# The ``repro.curves`` package re-exports an ``msm`` *function*, which would
+# shadow the submodule under ``from repro.curves import msm``; resolve both
+# seam modules explicitly.
+_msm_module = importlib.import_module("repro.curves.msm")
+_sumcheck_module = importlib.import_module("repro.sumcheck.prover")
 
 #: ``(prover_keys, circuits)`` visible to forked workers; set only for the
-#: lifetime of the pool.
+#: lifetime of a ``batch_witness_commitments`` pool.
 _POOL_STATE: tuple[Sequence[ProverKey], Sequence[Circuit]] | None = None
 
 WitnessCommitments = dict[str, tuple[Commitment, MSMStatistics]]
@@ -40,6 +77,375 @@ WitnessCommitments = dict[str, tuple[Commitment, MSMStatistics]]
 def fork_available() -> bool:
     """Whether a copy-on-write (fork) pool can be used on this platform."""
     return "fork" in multiprocessing.get_all_start_methods()
+
+
+def auto_workers() -> int:
+    """Default worker count: one per CPU (the ``os.cpu_count()`` gate)."""
+    return os.cpu_count() or 1
+
+
+# -- copy-on-write shared state ------------------------------------------------------
+
+#: Versioned registry of state forked workers inherit copy-on-write.
+#: ``key -> (version, value)``; bumping a key's version is what tells a
+#: :class:`WorkerPool` its snapshot went stale.
+_SHARED: dict[str, tuple[int, object]] = {}
+_SHARED_VERSION = 0
+
+#: ``id(point table) -> shared key`` for registered SRS point tables, so MSM
+#: shard tasks can name megabytes of curve points by reference instead of
+#: pickling them per task.  ``_POINT_REF_COUNTS`` refcounts each key: two
+#: engine sessions preloading the same SRS object share one registration,
+#: and the fast path survives until the last holder releases it.
+_POINT_REFS: dict[int, str] = {}
+_POINT_REF_COUNTS: dict[str, int] = {}
+
+
+def share_state(key: str, value: object) -> None:
+    """Publish ``value`` under ``key`` for copy-on-write worker inheritance."""
+    global _SHARED_VERSION
+    _SHARED_VERSION += 1
+    _SHARED[key] = (_SHARED_VERSION, value)
+
+
+def drop_state(key: str) -> None:
+    """Remove a shared entry (forked workers keep their snapshot until refork)."""
+    _SHARED.pop(key, None)
+    for table_id, ref in list(_POINT_REFS.items()):
+        if ref == key:
+            del _POINT_REFS[table_id]
+
+
+def shared_value(key: str) -> object:
+    """The current value under ``key`` (parent or fork-inherited copy)."""
+    return _SHARED[key][1]
+
+
+def share_points(key: str, table: Sequence[AffinePoint]) -> str:
+    """Register an SRS point table for by-reference MSM shard payloads.
+
+    Returns the canonical shared key: a table already registered (e.g. one
+    SRS preloaded into several engines) keeps its first key with a bumped
+    refcount instead of being re-published, so no session's ``close()``
+    can strand another session's fast path.  Pair every call with
+    :func:`release_points` on the returned key.
+    """
+    existing = _POINT_REFS.get(id(table))
+    if existing is not None:
+        _POINT_REF_COUNTS[existing] += 1
+        return existing
+    share_state(key, table)
+    _POINT_REFS[id(table)] = key
+    _POINT_REF_COUNTS[key] = 1
+    return key
+
+
+def release_points(key: str) -> None:
+    """Drop one registration of a shared point table (refcounted)."""
+    count = _POINT_REF_COUNTS.get(key)
+    if count is None:
+        return
+    if count > 1:
+        _POINT_REF_COUNTS[key] = count - 1
+        return
+    del _POINT_REF_COUNTS[key]
+    drop_state(key)
+
+
+def point_table_ref(table: Sequence[AffinePoint]) -> str | None:
+    """The shared key of a registered point table, if any."""
+    return _POINT_REFS.get(id(table))
+
+
+def _worker_init() -> None:
+    """Pool-worker initializer: forked children must never shard further.
+
+    Children inherit the parent's installed shard runners (and their dead
+    pool handles) at fork time; pool workers are daemonic and cannot spawn
+    pools of their own, so the seams are cleared before any task runs.
+    """
+    _msm_module.set_msm_shard_runner(None)
+    _sumcheck_module.set_sumcheck_shard_runner(None)
+
+
+class WorkerPool:
+    """A persistent fork pool with copy-on-write shared-state epochs.
+
+    The pool is cheap to hold and lazy to start: processes are forked on the
+    first :meth:`ensure`/:meth:`map` call.  Each fork snapshots the versions
+    of every :func:`share_state` entry; a later ``ensure`` whose required
+    keys are missing or newer than the snapshot re-forks, giving workers a
+    fresh copy-on-write view.  In steady state (same SRS, repeated proofs)
+    no refork happens and per-call overhead is just task pickling.
+    """
+
+    def __init__(self, workers: int):
+        if workers < 1:
+            raise ValueError("WorkerPool needs at least one worker")
+        self.workers = workers
+        self._pool = None
+        self._snapshot: dict[str, int] = {}
+        self.fork_count = 0
+
+    @property
+    def alive(self) -> bool:
+        """Whether worker processes are currently running."""
+        return self._pool is not None
+
+    def ensure(self, keys: Iterable[str] = ()) -> None:
+        """Start the pool if needed; re-fork if any required key is stale."""
+        required = {}
+        for key in keys:
+            if key not in _SHARED:
+                raise KeyError(f"shared state {key!r} must be published first")
+            required[key] = _SHARED[key][0]
+        if self._pool is None or any(
+            self._snapshot.get(key) != version for key, version in required.items()
+        ):
+            self._fork()
+
+    def _fork(self) -> None:
+        self.close()
+        context = multiprocessing.get_context("fork")
+        self._pool = context.Pool(processes=self.workers, initializer=_worker_init)
+        self._snapshot = {key: version for key, (version, _) in _SHARED.items()}
+        self.fork_count += 1
+
+    def map(self, fn: Callable, tasks: Sequence) -> list:
+        """Run ``fn`` over ``tasks`` in the worker processes (pool must be up)."""
+        self.ensure()
+        return self._pool.map(fn, tasks)
+
+    def close(self) -> None:
+        """Terminate the worker processes (the pool may be ensured again later)."""
+        if self._pool is not None:
+            self._pool.terminate()
+            self._pool.join()
+            self._pool = None
+            self._snapshot = {}
+
+    def __del__(self):  # pragma: no cover - GC timing is interpreter-dependent
+        try:
+            self.close()
+        except Exception:
+            pass
+
+
+def _chunk_bounds(total: int, chunks: int) -> list[tuple[int, int]]:
+    """Split ``range(total)`` into up to ``chunks`` balanced contiguous ranges."""
+    chunks = max(1, min(chunks, total))
+    base, extra = divmod(total, chunks)
+    bounds = []
+    start = 0
+    for i in range(chunks):
+        end = start + base + (1 if i < extra else 0)
+        bounds.append((start, end))
+        start = end
+    return bounds
+
+
+# -- intra-MSM window sharding --------------------------------------------------------
+
+
+#: Worker-side cache of coordinate lists derived from shared point tables,
+#: keyed by shared key.  Populated only inside worker processes; a refork
+#: (which is the only way a key's value can change) starts fresh processes
+#: with an empty cache, so entries can never go stale.
+_COORDS_CACHE: dict[str, list] = {}
+
+
+def _coords_for_ref(points_ref: str) -> list:
+    coords = _COORDS_CACHE.get(points_ref)
+    if coords is None:
+        table = shared_value(points_ref)
+        coords = [None if p.infinity else (p.x, p.y) for p in table]
+        _COORDS_CACHE[points_ref] = coords
+    return coords
+
+
+def _msm_shard_task(payload):
+    """Worker: window sums for one shard of an MSM's Pippenger windows."""
+    (values, coords, points_ref, start, end, window_bits, aggregation,
+     group_size) = payload
+    if coords is None:
+        coords = _coords_for_ref(points_ref)
+    stats = MSMStatistics()
+    sums = compute_window_sums(
+        values, coords, window_bits, start, end, aggregation, group_size, stats
+    )
+    return [(p.x, p.y, p.z) for p in sums], stats
+
+
+class MsmShardRunner:
+    """Shards Pippenger window ranges of one MSM across a :class:`WorkerPool`.
+
+    Installed via :func:`repro.curves.msm.set_msm_shard_runner` for the
+    duration of an engine operation.  ``min_points`` gates small MSMs to
+    the serial path (task pickling would dominate); point tables registered
+    with :func:`share_points` (the SRS Lagrange tables — every MSM input of
+    the HyperPlonk prover) travel by reference and reach workers through
+    the fork's copy-on-write memory.
+    """
+
+    def __init__(self, pool: WorkerPool, shards: int, min_points: int):
+        self.pool = pool
+        self.shards = max(1, shards)
+        self.min_points = min_points
+
+    def run_windows(
+        self,
+        values: Sequence[int],
+        points: Sequence[AffinePoint],
+        coords: Sequence,
+        window_bits: int,
+        num_windows: int,
+        aggregation: str,
+        aggregation_group_size: int,
+    ):
+        shards = min(self.shards, num_windows)
+        if shards <= 1:
+            return None
+        ref = point_table_ref(points)
+        self.pool.ensure([ref] if ref is not None else [])
+        payloads = [
+            (
+                list(values),
+                None if ref is not None else list(coords),
+                ref,
+                start,
+                end,
+                window_bits,
+                aggregation,
+                aggregation_group_size,
+            )
+            for start, end in _chunk_bounds(num_windows, shards)
+        ]
+        return self.pool.map(_msm_shard_task, payloads)
+
+
+# -- SumCheck term-table sharding -----------------------------------------------------
+
+#: Worker-side cache of reconstructed prime fields, keyed by modulus.
+_FIELD_CACHE: dict[int, PrimeField] = {}
+
+
+def _field_for(modulus: int) -> PrimeField:
+    field = _FIELD_CACHE.get(modulus)
+    if field is None:
+        field = PrimeField(modulus, "Fshard")
+        _FIELD_CACHE[modulus] = field
+    return field
+
+
+def _sumcheck_shard_task(payload):
+    """Worker: partial round-polynomial evaluations over one hypercube chunk."""
+    modulus, degree, mle_chunks, terms = payload
+    field = _field_for(modulus)
+    halves = [
+        (FieldVector.from_ints(field, low), FieldVector.from_ints(field, high))
+        for low, high in mle_chunks
+    ]
+    term_pairs = [(field(coeff), indices) for coeff, indices in terms]
+    partials = _sumcheck_module.accumulate_round_evaluations(
+        halves, term_pairs, field, degree
+    )
+    return [int(p) for p in partials]
+
+
+class SumcheckShardRunner:
+    """Shards one SumCheck round's hypercube instances across a pool.
+
+    Installed via :func:`repro.sumcheck.prover.set_sumcheck_shard_runner`.
+    The parent splits every unique MLE's even/odd halves into contiguous
+    chunks; each worker runs the shared accumulation kernel over its chunk
+    and returns the (exact) partial sums, which the parent adds in chunk
+    order.  ``min_size`` gates small tables (late rounds fall back to the
+    serial path automatically as the tables shrink).
+    """
+
+    def __init__(self, pool: WorkerPool, shards: int, min_size: int):
+        self.pool = pool
+        self.shards = max(1, shards)
+        self.min_size = min_size
+
+    def run_round(
+        self,
+        mle_halves: Sequence[tuple],
+        terms: Sequence[tuple],
+        field: PrimeField,
+        degree: int,
+    ) -> list[FieldElement] | None:
+        half_len = len(mle_halves[0][0]) if mle_halves else 0
+        shards = min(self.shards, half_len)
+        if shards <= 1:
+            return None
+        int_halves = [
+            (low.to_int_list(), high.to_int_list()) for low, high in mle_halves
+        ]
+        term_ints = [(int(coeff), indices) for coeff, indices in terms]
+        payloads = [
+            (
+                field.modulus,
+                degree,
+                [(low[start:end], high[start:end]) for low, high in int_halves],
+                term_ints,
+            )
+            for start, end in _chunk_bounds(half_len, shards)
+        ]
+        self.pool.ensure()
+        results = self.pool.map(_sumcheck_shard_task, payloads)
+        evaluations = []
+        for t in range(degree + 1):
+            evaluations.append(field(sum(partials[t] for partials in results)))
+        return evaluations
+
+
+# -- process-per-proof pipeline -------------------------------------------------------
+
+#: Shared-state key under which a ``prove_many`` batch is published.
+BATCH_STATE_KEY = "prove_many/batch"
+
+
+def _batch_proof_task(index: int):
+    """Worker: run the full prover for one proof of the published batch."""
+    config, jobs = shared_value(BATCH_STATE_KEY)
+    pk, circuit, collect = jobs[index]
+    with config.apply():
+        start = time.perf_counter()
+        result = _prove(
+            pk,
+            circuit=circuit,
+            transcript=Transcript(label=config.transcript_label),
+            collect_trace=collect,
+        )
+        prove_seconds = time.perf_counter() - start
+    proof, trace = result if collect else (result, None)
+    return serialize_proof(proof), trace, prove_seconds
+
+
+def run_batch_proofs(
+    pool: WorkerPool,
+    config,
+    jobs: Sequence[tuple[object, Circuit, bool]],
+) -> list[tuple[bytes, object, float]]:
+    """Prove a batch with one forked worker per proof (whole-proof sharding).
+
+    ``jobs`` is a list of ``(proving_key, circuit, collect_trace)``.  The
+    batch is published through the copy-on-write registry (proving keys and
+    witness tables are never pickled); workers return ``(proof_bytes,
+    trace, prove_seconds)`` per proof, in request order.  Each worker runs
+    the identical serial prover against a fresh transcript, so proof bytes
+    match the in-line path exactly.
+    """
+    share_state(BATCH_STATE_KEY, (config, list(jobs)))
+    try:
+        pool.ensure([BATCH_STATE_KEY])
+        return pool.map(_batch_proof_task, list(range(len(jobs))))
+    finally:
+        drop_state(BATCH_STATE_KEY)
+
+
+# -- batched witness commitments (PR 2 path, kept as the fallback) --------------------
 
 
 def _commit_one(
@@ -99,7 +505,7 @@ def batch_witness_commitments(
     _POOL_STATE = (prover_keys, circuits)
     try:
         context = multiprocessing.get_context("fork")
-        with context.Pool(processes=workers) as pool:
+        with context.Pool(processes=workers, initializer=_worker_init) as pool:
             for circuit_index, name, (x, y, infinity), stats in pool.map(
                 _pool_task, tasks
             ):
@@ -110,8 +516,3 @@ def batch_witness_commitments(
     finally:
         _POOL_STATE = None
     return results
-
-
-def auto_workers() -> int:
-    """Default worker count: one per CPU (the ``os.cpu_count()`` gate)."""
-    return os.cpu_count() or 1

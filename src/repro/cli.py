@@ -34,6 +34,7 @@ def _engine_from_args(args: argparse.Namespace, **extra) -> ProverEngine:
         EngineConfig(
             field_backend=args.field_backend,
             workers=args.workers,
+            srs_cache_dir=args.srs_cache_dir,
             **extra,
         )
     )
@@ -157,6 +158,7 @@ def _cmd_prove(args: argparse.Namespace) -> int:
             f"({engine.config.effective_workers()} worker(s)); "
             f"cache {engine.cache_stats.as_dict()}"
         )
+    engine.close()
     return 0 if ok else 1
 
 
@@ -190,8 +192,16 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers",
         type=_nonnegative_int,
         default=1,
-        help="worker processes for batch witness commitments "
-        "(0 = one per CPU, default: 1)",
+        help="worker processes for the sharded prover: MSM windows and "
+        "SumCheck rounds within one proof, whole proofs across a --count "
+        "batch (0 = one per CPU, default: 1 = serial)",
+    )
+    engine_options.add_argument(
+        "--srs-cache-dir",
+        default=None,
+        metavar="DIR",
+        help="disk cache for the universal SRS, keyed by size and seed "
+        "(default: no disk cache)",
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 

@@ -9,6 +9,7 @@ from repro.curves.curve import AffinePoint, JacobianPoint, G1Curve
 from repro.curves.bls12_381 import G1_GENERATOR, g1_generator, g2_generator, G2Point
 from repro.curves.msm import (
     MSMStatistics,
+    classify_sparse_scalars,
     msm,
     naive_msm,
     pippenger_msm,
@@ -26,6 +27,7 @@ __all__ = [
     "g2_generator",
     "G2Point",
     "MSMStatistics",
+    "classify_sparse_scalars",
     "msm",
     "naive_msm",
     "pippenger_msm",

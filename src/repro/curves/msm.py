@@ -86,9 +86,14 @@ class MSMStatistics:
     window_combine_doublings: int = 0
     window_combine_padds: int = 0
     sparse_tree_padds: int = 0
+    sparse_small_padds: int = 0
+    sparse_small_doublings: int = 0
     skipped_zero_scalars: int = 0
     one_scalars: int = 0
     dense_scalars: int = 0
+    small_scalars: int = 0
+    """Scalars in 2..small_scalar_max routed to the small-bucket flow (a
+    subset of ``dense_scalars``, which keeps counting every non-0/1 scalar)."""
 
     @property
     def total_padds(self) -> int:
@@ -97,6 +102,7 @@ class MSMStatistics:
             + self.aggregation_padds
             + self.window_combine_padds
             + self.sparse_tree_padds
+            + self.sparse_small_padds
         )
 
     @property
@@ -105,7 +111,28 @@ class MSMStatistics:
             self.total_padds
             + self.aggregation_doublings
             + self.window_combine_doublings
+            + self.sparse_small_doublings
         )
+
+    def merge(self, other: "MSMStatistics") -> None:
+        """Fold a worker shard's operation counts into this instance.
+
+        Only the additive counters are combined; the whole-MSM descriptors
+        (``num_points``, ``num_windows``, ``window_bits``) stay as set by
+        the coordinating process.
+        """
+        self.bucket_padds += other.bucket_padds
+        self.aggregation_padds += other.aggregation_padds
+        self.aggregation_doublings += other.aggregation_doublings
+        self.window_combine_doublings += other.window_combine_doublings
+        self.window_combine_padds += other.window_combine_padds
+        self.sparse_tree_padds += other.sparse_tree_padds
+        self.sparse_small_padds += other.sparse_small_padds
+        self.sparse_small_doublings += other.sparse_small_doublings
+        self.skipped_zero_scalars += other.skipped_zero_scalars
+        self.one_scalars += other.one_scalars
+        self.dense_scalars += other.dense_scalars
+        self.small_scalars += other.small_scalars
 
 
 def default_window_bits(num_points: int) -> int:
@@ -211,6 +238,92 @@ def _aggregate_buckets_batched(
                 stats.aggregation_padds += 1
         results.append(acc)
     return results
+
+
+def compute_window_sums(
+    values: Sequence[int],
+    coords: Sequence[XY],
+    window_bits: int,
+    window_start: int,
+    window_end: int,
+    aggregation: str,
+    aggregation_group_size: int,
+    stats: MSMStatistics,
+) -> list[JacobianPoint]:
+    """Bucket accumulation + aggregation for windows ``[window_start, window_end)``.
+
+    This is the per-window kernel of :func:`pippenger_msm`, factored out so a
+    shard runner can execute disjoint window ranges in worker processes: each
+    window's sum is a group element fully determined by ``(values, coords,
+    window_bits)``, and the arithmetic performed here is bitwise identical
+    whether the range covers all windows (the serial path) or one shard —
+    batching of the affine addition trees never crosses a window boundary's
+    result, so coordinates (and therefore proof bytes downstream) match the
+    serial path exactly.
+    """
+    # Windows are processed in groups bounding peak memory at ~2^21 point
+    # slots (materializing every window at once would be O(n * num_windows)).
+    mask = (1 << window_bits) - 1
+    window_group = max(1, (1 << 21) // max(len(coords), 1))
+    window_buckets: list[list[XY]] = []
+    placed = 0
+    for group_start in range(window_start, window_end, window_group):
+        group_end = min(window_end, group_start + window_group)
+        group_buckets: list[list[XY]] = []
+        for window_index in range(group_start, group_end):
+            shift = window_index * window_bits
+            bucket_points: list[list[XY]] = [[] for _ in range(mask)]
+            for s, c in zip(values, coords):
+                digit = (s >> shift) & mask
+                if digit == 0 or c is None:
+                    continue
+                bucket_points[digit - 1].append(c)
+                placed += 1
+            group_buckets.extend(bucket_points)
+        group_sums = _batch_tree_sums(group_buckets)
+        window_buckets.extend(
+            group_sums[wi * mask : (wi + 1) * mask]
+            for wi in range(group_end - group_start)
+        )
+    stats.bucket_padds += placed
+
+    if aggregation == "batched":
+        return _aggregate_buckets_batched(window_buckets, window_bits, stats)
+    window_sums = []
+    for buckets_xy in window_buckets:
+        buckets = [
+            JacobianPoint(b[0], b[1], 1) if b is not None
+            else JacobianPoint.identity()
+            for b in buckets_xy
+        ]
+        if aggregation == "serial":
+            window_sums.append(_aggregate_buckets_serial(buckets, stats))
+        else:
+            window_sums.append(
+                _aggregate_buckets_grouped(buckets, stats, aggregation_group_size)
+            )
+    return window_sums
+
+
+#: Window-shard runner installed by :mod:`repro.api.parallel` (None = serial).
+#: The runner must expose ``min_points`` (size gate) and
+#: ``run_windows(values, points, coords, window_bits, num_windows,
+#: aggregation, aggregation_group_size)`` returning a list of
+#: ``((x, y, z), stats)`` pairs ordered by window index, computed with
+#: :func:`compute_window_sums` so results are bit-identical to the serial
+#: path.
+_shard_runner = None
+
+
+def set_msm_shard_runner(runner) -> None:
+    """Install (or clear, with ``None``) the process-wide MSM shard runner."""
+    global _shard_runner
+    _shard_runner = runner
+
+
+def msm_shard_runner():
+    """The currently installed MSM shard runner (or None)."""
+    return _shard_runner
 
 
 def _batched_window_bits(num_points: int, scalar_bits: int) -> int:
@@ -348,52 +461,38 @@ def pippenger_msm(
     # Bucket phase: route points into per-window bucket lists, then reduce
     # whole groups of windows with batched tree passes so each tree level
     # shares a single Fq inversion across as many buckets as possible.
-    # Points travel as bare (x, y) tuples through the hot loops.  Windows
-    # are processed in groups bounding peak memory at ~2^21 point slots
-    # (materializing every window at once would be O(n * num_windows)).
-    mask = (1 << w) - 1
+    # Points travel as bare (x, y) tuples through the hot loops.
     coords: list[XY] = [
         None if p.infinity else (p.x, p.y) for p in points
     ]
-    window_group = max(1, (1 << 21) // max(len(points), 1))
-    window_buckets: list[list[XY]] = []
-    placed = 0
-    for group_start in range(0, num_windows, window_group):
-        group_end = min(num_windows, group_start + window_group)
-        group_buckets: list[list[XY]] = []
-        for window_index in range(group_start, group_end):
-            shift = window_index * w
-            bucket_points: list[list[XY]] = [[] for _ in range(mask)]
-            for s, c in zip(values, coords):
-                digit = (s >> shift) & mask
-                if digit == 0 or c is None:
-                    continue
-                bucket_points[digit - 1].append(c)
-                placed += 1
-            group_buckets.extend(bucket_points)
-        group_sums = _batch_tree_sums(group_buckets)
-        window_buckets.extend(
-            group_sums[wi * mask : (wi + 1) * mask]
-            for wi in range(group_end - group_start)
+    runner = _shard_runner
+    window_sums: list[JacobianPoint] | None = None
+    if (
+        runner is not None
+        and num_windows > 1
+        and len(points) >= getattr(runner, "min_points", 2048)
+    ):
+        # Window/bucket accumulation is embarrassingly parallel per window:
+        # ship disjoint window ranges to worker processes and merge the
+        # returned window sums (and operation counts) here.  Each shard runs
+        # compute_window_sums on identical inputs, so the combined result is
+        # bit-identical to the serial path below.
+        sharded = runner.run_windows(
+            values, points, coords, w, num_windows, aggregation,
+            aggregation_group_size,
         )
-    stats.bucket_padds += placed
-
-    if aggregation == "batched":
-        window_sums = _aggregate_buckets_batched(window_buckets, w, stats)
-    else:
-        window_sums = []
-        for buckets_xy in window_buckets:
-            buckets = [
-                JacobianPoint(b[0], b[1], 1) if b is not None
-                else JacobianPoint.identity()
-                for b in buckets_xy
-            ]
-            if aggregation == "serial":
-                window_sums.append(_aggregate_buckets_serial(buckets, stats))
-            else:
-                window_sums.append(
-                    _aggregate_buckets_grouped(buckets, stats, aggregation_group_size)
+        if sharded is not None:
+            window_sums = []
+            for shard_sums, shard_stats in sharded:
+                window_sums.extend(
+                    JacobianPoint(x, y, z) for x, y, z in shard_sums
                 )
+                stats.merge(shard_stats)
+    if window_sums is None:
+        window_sums = compute_window_sums(
+            values, coords, w, 0, num_windows, aggregation,
+            aggregation_group_size, stats,
+        )
 
     # Combine windows: Horner over windows from most significant to least.
     result = JacobianPoint.identity()
@@ -428,26 +527,81 @@ def split_sparse_scalars(
     return zeros, ones, dense
 
 
+#: Largest scalar handled by the small-bucket flow of :func:`sparse_msm`.
+SPARSE_SMALL_SCALAR_MAX = 15
+
+
+def classify_sparse_scalars(
+    scalars: IntoScalars, small_max: int = SPARSE_SMALL_SCALAR_MAX
+) -> tuple[list[int], list[int], dict[int, list[int]], list[int]]:
+    """Partition scalar indices into (zeros, ones, small buckets, dense).
+
+    Extends the 0/1 classification of :func:`split_sparse_scalars` with
+    per-value buckets for scalars ``2..small_max``; those are cheap to
+    finish with one PADD tree per value plus a handful of doublings,
+    skipping the full Pippenger machinery.  ``small_max <= 1`` disables the
+    small buckets (every non-0/1 scalar lands in ``dense``).
+    """
+    zeros: list[int] = []
+    ones: list[int] = []
+    smalls: dict[int, list[int]] = {}
+    dense: list[int] = []
+    for i, s in enumerate(_scalar_values(scalars)):
+        if s == 0:
+            zeros.append(i)
+        elif s == 1:
+            ones.append(i)
+        elif 2 <= s <= small_max:
+            smalls.setdefault(s, []).append(i)
+        else:
+            dense.append(i)
+    return zeros, ones, smalls, dense
+
+
 def sparse_msm(
     scalars: IntoScalars,
     points: Sequence[AffinePoint],
     window_bits: int | None = None,
     stats: MSMStatistics | None = None,
+    small_scalar_max: int | None = None,
 ) -> JacobianPoint:
-    """Sparse MSM: skip zeros, tree-sum one-scalars, Pippenger for the rest."""
+    """Sparse MSM: skip zeros, tree-sum ones and small scalars, Pippenger the rest.
+
+    Scalars ``2..small_scalar_max`` (default: the process-wide setting, 15
+    out of the box) are reduced per value with the same PADD tree used for
+    ones, then weighted with a short double-and-add — the full windowed
+    bucket method only ever sees genuinely wide scalars.  The result is the
+    same group element regardless of the classification split, so proof
+    bytes are unaffected.
+    """
     if len(scalars) != len(points):
         raise ValueError("scalars and points must have equal length")
     if stats is None:
         stats = MSMStatistics()
+    if small_scalar_max is None:
+        small_scalar_max = _default_small_scalar_max
     values = _scalar_values(scalars)
     scalar_bits = _scalar_bits(scalars)
-    zeros, ones, dense = split_sparse_scalars(values)
+    zeros, ones, smalls, dense = classify_sparse_scalars(values, small_scalar_max)
     stats.skipped_zero_scalars = len(zeros)
     stats.one_scalars = len(ones)
-    stats.dense_scalars = len(dense)
+    # dense_scalars keeps its historical meaning (every non-0/1 scalar);
+    # small_scalars counts the subset that skipped Pippenger.
+    stats.dense_scalars = len(dense) + sum(len(v) for v in smalls.values())
+    stats.small_scalars = sum(len(v) for v in smalls.values())
 
     ones_sum, tree_padds = tree_sum_affine([points[i] for i in ones])
     stats.sparse_tree_padds += tree_padds
+
+    small_result = JacobianPoint.identity()
+    for s in sorted(smalls):
+        subtotal, tree_padds = tree_sum_affine([points[i] for i in smalls[s]])
+        stats.sparse_tree_padds += tree_padds
+        if subtotal.is_identity():
+            continue
+        small_result = small_result + subtotal.scalar_mul(s)
+        stats.sparse_small_doublings += max(0, s.bit_length() - 1)
+        stats.sparse_small_padds += max(0, bin(s).count("1") - 1) + 1
 
     dense_result = JacobianPoint.identity()
     if dense:
@@ -460,7 +614,7 @@ def sparse_msm(
             window_bits=window_bits,
             stats=stats,
         )
-    return ones_sum + dense_result
+    return ones_sum + small_result + dense_result
 
 
 class _TypedScalars(list):
@@ -473,10 +627,13 @@ class _TypedScalars(list):
 
 _default_window_bits: int | None = None
 _default_sparse_witness: bool = True
+_default_small_scalar_max: int = SPARSE_SMALL_SCALAR_MAX
 
 
 def set_msm_defaults(
-    window_bits: int | None = None, sparse_witness: bool = True
+    window_bits: int | None = None,
+    sparse_witness: bool = True,
+    small_scalar_max: int = SPARSE_SMALL_SCALAR_MAX,
 ) -> None:
     """Set process-wide MSM policy defaults (owned by ``repro.api.EngineConfig``).
 
@@ -487,15 +644,18 @@ def set_msm_defaults(
     sparse-classified commitment, i.e. the witness commits in the prover
     *and* the selector commits in preprocessing — actually take the
     zero/one-skipping route or the plain Pippenger path.
+    ``small_scalar_max`` bounds the small-bucket flow of
+    :func:`sparse_msm` (``<= 1`` disables it); also performance-only.
     """
-    global _default_window_bits, _default_sparse_witness
+    global _default_window_bits, _default_sparse_witness, _default_small_scalar_max
     _default_window_bits = window_bits
     _default_sparse_witness = sparse_witness
+    _default_small_scalar_max = small_scalar_max
 
 
-def msm_defaults() -> tuple[int | None, bool]:
-    """The currently active ``(window_bits, sparse_witness)`` defaults."""
-    return _default_window_bits, _default_sparse_witness
+def msm_defaults() -> tuple[int | None, bool, int]:
+    """The active ``(window_bits, sparse_witness, small_scalar_max)`` defaults."""
+    return _default_window_bits, _default_sparse_witness, _default_small_scalar_max
 
 
 def msm(

@@ -5,7 +5,11 @@
 * ``open_at_point`` -- produces one quotient commitment per variable.  The
   quotient tables halve in size each round (2^(mu-1), 2^(mu-2), ..., 1),
   which is exactly the sequence of shrinking MSMs the paper describes in the
-  Polynomial Opening step (Section 3.3.5).
+  Polynomial Opening step (Section 3.3.5).  Both entry points delegate to
+  :func:`repro.curves.msm.msm`, so an installed window-shard runner
+  (``EngineConfig.workers > 1``) parallelizes the commitment MSMs and the
+  large early quotient MSMs alike; the late quotients fall under the
+  runner's size gate and stay serial.
 * ``verify_opening`` -- either the real pairing check
   ``e(C - y*G, H) = prod_i e(Q_i, [tau_i - z_i]_2)`` or, when the SRS
   retained its trapdoor, an equivalent group-element check that avoids

@@ -19,8 +19,12 @@ the real pairing check is exercised by dedicated (slower) tests.
 
 from __future__ import annotations
 
+import os
+import pickle
 import random
+import tempfile
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Sequence
 
 from repro.curves.bls12_381 import G2Point, g1_generator, g2_generator
@@ -123,3 +127,91 @@ def setup(
     return UniversalSRS(
         num_vars=num_vars, prover_key=prover_key, verifier_key=verifier_key
     )
+
+
+# -- disk-backed SRS cache ------------------------------------------------------------
+
+#: Bumped whenever the on-disk layout changes; mismatched files are ignored.
+SRS_CACHE_FORMAT = 1
+
+
+def srs_cache_path(
+    cache_dir: str | os.PathLike, num_vars: int, seed: int, keep_trapdoor: bool
+) -> Path:
+    """The cache file a deterministic ``setup(num_vars, seed=...)`` maps to."""
+    trapdoor_tag = "td" if keep_trapdoor else "notd"
+    return Path(cache_dir) / f"srs_v{SRS_CACHE_FORMAT}_n{num_vars}_s{seed}_{trapdoor_tag}.pkl"
+
+
+def save_srs(srs: UniversalSRS, path: str | os.PathLike, seed: int | None = None) -> None:
+    """Persist an SRS to ``path`` atomically (write to a temp file, rename).
+
+    Setup is multi-second pure-Python curve arithmetic at interesting sizes;
+    the cache lets forked and restarted processes skip it entirely.  The
+    format is a pickle (trusted local cache, same trust domain as the code).
+    """
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    record = {
+        "format": SRS_CACHE_FORMAT,
+        "num_vars": srs.num_vars,
+        "seed": seed,
+        "srs": srs,
+    }
+    fd, tmp_name = tempfile.mkstemp(dir=path.parent, prefix=path.name, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            pickle.dump(record, handle, protocol=pickle.HIGHEST_PROTOCOL)
+        os.replace(tmp_name, path)
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+
+
+def load_srs(path: str | os.PathLike, num_vars: int | None = None) -> UniversalSRS | None:
+    """Load a cached SRS, or None when absent/corrupt/mismatched.
+
+    A damaged or stale cache entry is never an error — the caller simply
+    regenerates and overwrites it.
+    """
+    path = Path(path)
+    if not path.is_file():
+        return None
+    try:
+        with path.open("rb") as handle:
+            record = pickle.load(handle)
+        if record.get("format") != SRS_CACHE_FORMAT:
+            return None
+        srs = record["srs"]
+        if not isinstance(srs, UniversalSRS):
+            return None
+        if num_vars is not None and srs.num_vars != num_vars:
+            return None
+        return srs
+    except Exception:
+        return None
+
+
+def setup_cached(
+    num_vars: int,
+    seed: int | None = None,
+    keep_trapdoor: bool = True,
+    cache_dir: str | os.PathLike | None = None,
+) -> UniversalSRS:
+    """:func:`setup` with an optional disk cache.
+
+    Only deterministic setups are cacheable: with ``cache_dir`` unset or
+    ``seed`` None (fresh toxic waste every call) this is plain ``setup``.
+    """
+    if cache_dir is None or seed is None:
+        return setup(num_vars, seed=seed, keep_trapdoor=keep_trapdoor)
+    path = srs_cache_path(cache_dir, num_vars, seed, keep_trapdoor)
+    cached = load_srs(path, num_vars=num_vars)
+    if cached is not None:
+        return cached
+    srs = setup(num_vars, seed=seed, keep_trapdoor=keep_trapdoor)
+    save_srs(srs, path, seed=seed)
+    return srs

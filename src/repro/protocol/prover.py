@@ -14,6 +14,15 @@ paper (SHA3 transcript updates enforce this order):
 
 A :class:`~repro.protocol.proof.ProverTrace` records per-step operation
 statistics for the architectural model.
+
+Every compute-dominant kernel below runs through a shardable seam: the
+MSMs (witness commits, wiring commits, opening quotients) consult
+:func:`repro.curves.msm.msm_shard_runner` and the SumCheck rounds consult
+:func:`repro.sumcheck.prover.sumcheck_shard_runner`.  When
+``EngineConfig.workers > 1`` installs runners for the duration of a prove,
+those kernels fan out across a process pool and recombine exactly — the
+transcript sees identical bytes, so this module needs no parallel-specific
+logic of its own.
 """
 
 from __future__ import annotations

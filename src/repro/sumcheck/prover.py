@@ -53,24 +53,48 @@ class SumcheckProverOutput:
     """Evaluation of each registered MLE at the challenge point."""
 
 
-def _round_polynomial(
-    poly: VirtualPolynomial, degree: int
-) -> list[FieldElement]:
-    """Compute evaluations of the round polynomial g(X) at X = 0..degree.
+#: Round-shard runner installed by :mod:`repro.api.parallel` (None = serial).
+#: The runner must expose ``min_size`` (full-table size gate) and
+#: ``run_round(mle_halves, terms, field, degree)`` returning the round
+#: polynomial evaluations at X = 0..degree, or None to decline.  Workers
+#: execute :func:`accumulate_round_evaluations` over disjoint hypercube
+#: chunks; field addition is exact, so the chunk partial sums combine to the
+#: identical field elements (and transcript bytes) of the serial path.
+_round_shard_runner = None
 
-    Vectorized over the boolean-hypercube instances: every unique MLE is
-    split once into its even/odd halves, extended to X = 0..degree with one
-    vector addition per extra point (each table entry is linear in X), and
-    the per-term products reduce to a handful of whole-table Hadamard
-    multiplies followed by a sum -- the streaming dataflow of zkSpeed's
-    SumCheck PE (Section 4.1) expressed as array operations.
+
+def set_sumcheck_shard_runner(runner) -> None:
+    """Install (or clear, with ``None``) the process-wide round-shard runner."""
+    global _round_shard_runner
+    _round_shard_runner = runner
+
+
+def sumcheck_shard_runner():
+    """The currently installed SumCheck round-shard runner (or None)."""
+    return _round_shard_runner
+
+
+def accumulate_round_evaluations(
+    mle_halves: Sequence[tuple],
+    terms: Sequence[tuple],
+    field,
+    degree: int,
+) -> list[FieldElement]:
+    """Round-polynomial accumulation over one hypercube slice.
+
+    ``mle_halves[i]`` is the ``(low, high)`` even/odd pair of the i-th unique
+    MLE restricted to the slice (as :class:`~repro.fields.vector.FieldVector`
+    instances); ``terms`` is a list of ``(coefficient, mle_indices)`` pairs.
+    This is the shard kernel of :func:`_round_polynomial`: running it over
+    the full table reproduces the serial result, and summing its outputs
+    over disjoint slices reproduces it exactly as well (field addition is
+    associative), which is what keeps parallel proofs byte-identical.
     """
-    field = poly.field
     num_points = degree + 1
-    # Per-MLE table evaluations at X = 0..degree, each a half-size vector.
+    # Per-MLE table evaluations at X = 0..degree, each a slice-size vector:
+    # each table entry is linear in X, so one vector addition per extra point.
     mle_evals: list[list] = []
-    for m in poly.mles:
-        low, high = m.evaluations.even_odd()
+    for low, high in mle_halves:
         evals = [low, high]
         diff = high - low
         current = high
@@ -83,13 +107,44 @@ def _round_polynomial(
     accumulators: list[FieldElement] = []
     for t in range(num_points):
         total = field.zero()
-        for term in poly.terms:
-            vec = mle_evals[term.mle_indices[0]][t]
-            for mle_index in term.mle_indices[1:]:
+        for coefficient, mle_indices in terms:
+            vec = mle_evals[mle_indices[0]][t]
+            for mle_index in mle_indices[1:]:
                 vec = vec * mle_evals[mle_index][t]
-            total = total + term.coefficient * vec.sum()
+            total = total + coefficient * vec.sum()
         accumulators.append(total)
     return accumulators
+
+
+def _round_polynomial(
+    poly: VirtualPolynomial, degree: int
+) -> list[FieldElement]:
+    """Compute evaluations of the round polynomial g(X) at X = 0..degree.
+
+    Vectorized over the boolean-hypercube instances: every unique MLE is
+    split once into its even/odd halves, extended to X = 0..degree with one
+    vector addition per extra point (each table entry is linear in X), and
+    the per-term products reduce to a handful of whole-table Hadamard
+    multiplies followed by a sum -- the streaming dataflow of zkSpeed's
+    SumCheck PE (Section 4.1) expressed as array operations.
+
+    When a round-shard runner is installed (``EngineConfig.workers > 1``)
+    and the table clears its size gate, the per-instance work is split by
+    hypercube chunks across worker processes; partial sums are combined
+    here, preserving the exact field results of the serial path.
+    """
+    mle_halves = [m.evaluations.even_odd() for m in poly.mles]
+    terms = [(t.coefficient, t.mle_indices) for t in poly.terms]
+    runner = _round_shard_runner
+    if (
+        runner is not None
+        and poly.num_vars > 1
+        and (1 << poly.num_vars) >= getattr(runner, "min_size", 4096)
+    ):
+        result = runner.run_round(mle_halves, terms, poly.field, degree)
+        if result is not None:
+            return result
+    return accumulate_round_evaluations(mle_halves, terms, poly.field, degree)
 
 
 def prove_sumcheck(

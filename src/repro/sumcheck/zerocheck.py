@@ -6,6 +6,11 @@ constraint polynomial F(x) by the random multilinear polynomial
 ``eq(a, x)`` (the "Build MLE" r(X) of the paper) and proves the sum of
 F(x) * eq(a, x) over the hypercube is zero.  If F is nonzero at any boolean
 point the sum is nonzero with overwhelming probability over ``a``.
+
+ZeroChecks run through :func:`repro.sumcheck.prover.prove_sumcheck`, so an
+installed round-shard runner (``EngineConfig.workers > 1``) shards both
+identities' term tables across worker processes with no code here — the eq
+factor is just one more MLE in the combined polynomial.
 """
 
 from __future__ import annotations

@@ -12,8 +12,9 @@ import random
 import pytest
 
 from repro.circuits import mock_circuit
-from repro.pcs import setup
-from repro.protocol import preprocess, prove
+from repro.pcs.srs import setup
+from repro.protocol.keys import preprocess
+from repro.protocol.prover import prove
 
 
 @pytest.fixture(scope="session")

@@ -1,0 +1,345 @@
+"""Parallel-execution subsystem tests.
+
+Determinism is the contract: every sharded path (MSM windows, SumCheck
+term-tables, whole proofs) must produce results — and proof bytes — that
+are identical to the serial path, because the shards recombine with exact
+group/field arithmetic.  These tests enforce that, plus the session pool's
+lifecycle (lazy creation, reuse across proves, teardown on close) and the
+satellite features (small-scalar sparse buckets, the SRS disk cache).
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.api import EngineConfig, ProverEngine
+from repro.api.parallel import (
+    MsmShardRunner,
+    SumcheckShardRunner,
+    WorkerPool,
+    _chunk_bounds,
+    fork_available,
+    point_table_ref,
+    release_points,
+    share_points,
+    share_state,
+)
+from repro.curves.bls12_381 import g1_generator
+from repro.curves.msm import (
+    MSMStatistics,
+    classify_sparse_scalars,
+    naive_msm,
+    pippenger_msm,
+    set_msm_shard_runner,
+    sparse_msm,
+)
+from repro.fields.bls12_381 import Fr
+from repro.mle.mle import MultilinearPolynomial
+from repro.mle.virtual_poly import VirtualPolynomial
+from repro.pcs.srs import load_srs, save_srs, setup_cached, srs_cache_path
+from repro.sumcheck.prover import prove_sumcheck, set_sumcheck_shard_runner
+from repro.transcript.transcript import Transcript
+
+needs_fork = pytest.mark.skipif(
+    not fork_available(), reason="requires the fork start method"
+)
+
+#: Thresholds low enough that test-size circuits exercise every shard path.
+PARALLEL_CONFIG = dict(
+    workers=2, parallel_min_msm_points=4, parallel_min_sumcheck_size=4
+)
+
+
+@pytest.fixture
+def msm_inputs():
+    rng = random.Random(11)
+    g = g1_generator()
+    points = [(g * rng.randrange(1, 1 << 30)).to_affine() for _ in range(48)]
+    scalars = [Fr.random(rng) for _ in range(48)]
+    return scalars, points
+
+
+@pytest.fixture
+def pool():
+    pool = WorkerPool(2)
+    yield pool
+    pool.close()
+
+
+class TestChunkBounds:
+    def test_covers_range_contiguously(self):
+        for total in (1, 2, 5, 16, 17):
+            for chunks in (1, 2, 3, 8, 40):
+                bounds = _chunk_bounds(total, chunks)
+                assert bounds[0][0] == 0
+                assert bounds[-1][1] == total
+                for (_, end), (start, _) in zip(bounds, bounds[1:]):
+                    assert end == start
+                assert len(bounds) <= min(chunks, total)
+
+
+@needs_fork
+class TestMsmWindowSharding:
+    def test_matches_serial_including_stats(self, msm_inputs, pool):
+        scalars, points = msm_inputs
+        serial_stats = MSMStatistics()
+        serial = pippenger_msm(scalars, points, stats=serial_stats)
+        set_msm_shard_runner(MsmShardRunner(pool, 2, min_points=1))
+        try:
+            parallel_stats = MSMStatistics()
+            parallel = pippenger_msm(scalars, points, stats=parallel_stats)
+        finally:
+            set_msm_shard_runner(None)
+        assert serial.to_affine() == parallel.to_affine()
+        assert serial_stats == parallel_stats
+
+    def test_shared_point_table_travels_by_reference(self, msm_inputs, pool):
+        scalars, points = msm_inputs
+        serial = pippenger_msm(scalars, points)
+        share_points("test/msm-table", points)
+        set_msm_shard_runner(MsmShardRunner(pool, 2, min_points=1))
+        try:
+            parallel = pippenger_msm(scalars, points)
+        finally:
+            set_msm_shard_runner(None)
+        assert serial.to_affine() == parallel.to_affine()
+
+    def test_size_gate_keeps_small_msms_serial(self, msm_inputs, pool):
+        scalars, points = msm_inputs
+        runner = MsmShardRunner(pool, 2, min_points=10_000)
+        set_msm_shard_runner(runner)
+        try:
+            pippenger_msm(scalars, points)
+        finally:
+            set_msm_shard_runner(None)
+        assert not pool.alive  # the gate never started worker processes
+
+
+@needs_fork
+class TestSumcheckSharding:
+    def _polynomial(self, num_vars=5):
+        rng = random.Random(7)
+        mles = [MultilinearPolynomial.random(num_vars, rng) for _ in range(3)]
+        poly = VirtualPolynomial(num_vars)
+        poly.add_product(mles[:2])
+        poly.add_product(mles[1:], Fr(9))
+        return poly
+
+    def test_round_messages_match_serial(self, pool):
+        poly = self._polynomial()
+        serial = prove_sumcheck(poly, Transcript())
+        set_sumcheck_shard_runner(SumcheckShardRunner(pool, 2, min_size=2))
+        try:
+            parallel = prove_sumcheck(poly, Transcript())
+        finally:
+            set_sumcheck_shard_runner(None)
+        assert serial.proof.round_messages() == parallel.proof.round_messages()
+        assert serial.challenges == parallel.challenges
+        assert serial.final_evaluations == parallel.final_evaluations
+
+
+@needs_fork
+class TestEngineParallelProve:
+    def test_single_proof_byte_identical_across_worker_counts(self):
+        serial_engine = ProverEngine(EngineConfig(srs_seed=1))
+        reference = serial_engine.prove("mock", num_vars=5, seed=3).to_bytes()
+        with ProverEngine(
+            EngineConfig(srs_seed=1, **PARALLEL_CONFIG)
+        ) as engine:
+            artifact = engine.prove("mock", num_vars=5, seed=3)
+            assert artifact.to_bytes() == reference
+            assert engine.verify(artifact)
+
+    def test_trace_stats_match_serial(self):
+        serial_engine = ProverEngine(EngineConfig(srs_seed=1, collect_trace=True))
+        reference = serial_engine.prove("mock", num_vars=5, seed=3)
+        with ProverEngine(
+            EngineConfig(srs_seed=1, collect_trace=True, **PARALLEL_CONFIG)
+        ) as engine:
+            artifact = engine.prove("mock", num_vars=5, seed=3)
+        for ref_step, par_step in zip(reference.trace.steps, artifact.trace.steps):
+            assert ref_step.name == par_step.name
+            assert ref_step.msm_stats == par_step.msm_stats
+
+    def test_prove_many_whole_proof_sharding_byte_identical(self):
+        requests = [
+            {"scenario": "mock", "num_vars": 5, "seed": seed} for seed in (3, 4, 5)
+        ]
+        serial_engine = ProverEngine(EngineConfig(srs_seed=1))
+        serial = serial_engine.prove_many(requests, workers=1)
+        with ProverEngine(EngineConfig(srs_seed=1, workers=2)) as engine:
+            parallel = engine.prove_many(requests, workers=2)
+        assert [a.to_bytes() for a in serial] == [a.to_bytes() for a in parallel]
+        for artifact in parallel:
+            assert serial_engine.verify(artifact)
+
+    def test_prove_many_whole_proof_sharding_carries_traces(self):
+        requests = [
+            {"scenario": "mock", "num_vars": 4, "seed": seed, "collect_trace": True}
+            for seed in (1, 2)
+        ]
+        with ProverEngine(EngineConfig(srs_seed=1, workers=2)) as engine:
+            artifacts = engine.prove_many(requests, workers=2)
+        for artifact in artifacts:
+            assert artifact.trace is not None
+            assert artifact.trace.step_named("witness_commits").msm_stats
+
+
+@needs_fork
+class TestPoolLifecycle:
+    def test_pool_is_lazy_reused_and_closed(self):
+        engine = ProverEngine(EngineConfig(srs_seed=1, **PARALLEL_CONFIG))
+        assert engine._pool is None  # nothing proved yet: no processes
+        engine.prove("mock", num_vars=5, seed=3)
+        pool = engine._pool
+        assert pool is not None and pool.alive
+        forks = pool.fork_count
+        engine.prove("mock", num_vars=5, seed=4)
+        assert engine._pool is pool
+        assert pool.fork_count == forks  # steady state: no refork
+        engine.close()
+        assert engine._pool is None
+        assert not pool.alive
+
+    def test_close_is_idempotent_and_engine_reusable(self):
+        engine = ProverEngine(EngineConfig(srs_seed=1, **PARALLEL_CONFIG))
+        engine.close()
+        engine.close()
+        artifact = engine.prove("mock", num_vars=4, seed=1)
+        assert engine.verify(artifact)
+        engine.close()
+
+    def test_prove_after_close_at_cached_size(self):
+        """Regression: close() drops shared SRS tables; a later prove at the
+        same (session-cached) size must re-publish them, not crash on a
+        stale point-table reference."""
+        serial = ProverEngine(EngineConfig(srs_seed=1)).prove(
+            "mock", num_vars=5, seed=3
+        )
+        engine = ProverEngine(EngineConfig(srs_seed=1, **PARALLEL_CONFIG))
+        engine.prove("mock", num_vars=5, seed=3)
+        engine.close()
+        again = engine.prove("mock", num_vars=5, seed=3)
+        assert again.to_bytes() == serial.to_bytes()
+        engine.close()
+
+    def test_stale_shared_state_triggers_refork(self, pool):
+        share_state("test/epoch", 1)
+        pool.ensure(["test/epoch"])
+        first_forks = pool.fork_count
+        pool.ensure(["test/epoch"])
+        assert pool.fork_count == first_forks  # unchanged key: no refork
+        share_state("test/epoch", 2)
+        pool.ensure(["test/epoch"])
+        assert pool.fork_count == first_forks + 1
+
+    def test_ensure_requires_published_state(self, pool):
+        with pytest.raises(KeyError):
+            pool.ensure(["test/never-published"])
+
+    def test_shared_table_registration_is_refcounted(self):
+        table = [g1_generator().to_affine()]
+        first = share_points("test/refcount-a", table)
+        second = share_points("test/refcount-b", table)
+        assert first == second == "test/refcount-a"  # one canonical key
+        release_points(first)
+        assert point_table_ref(table) == first  # one holder left: still fast
+        release_points(first)
+        assert point_table_ref(table) is None
+
+    def test_closing_one_engine_keeps_anothers_fast_path(self, srs5):
+        """Two sessions preloading one SRS must not strand each other's
+        by-reference point tables when either closes."""
+        config = EngineConfig(srs_seed=2025, **PARALLEL_CONFIG)
+        first, second = ProverEngine(config), ProverEngine(config)
+        first.preload_srs(srs5)
+        second.preload_srs(srs5)
+        table = srs5.prover_key.lagrange_tables[0]
+        ref = point_table_ref(table)
+        assert ref is not None
+        second.close()
+        assert point_table_ref(table) == ref  # first engine still registered
+        first.close()
+        assert point_table_ref(table) is None
+
+
+class TestSmallScalarSparseMsm:
+    def test_classification_buckets_small_scalars(self):
+        scalars = [Fr(0), Fr(1), Fr(2), Fr(15), Fr(16), Fr(2), Fr(1 << 100)]
+        zeros, ones, smalls, dense = classify_sparse_scalars(scalars)
+        assert zeros == [0]
+        assert ones == [1]
+        assert smalls == {2: [2, 5], 15: [3]}
+        assert dense == [4, 6]
+
+    def test_small_max_disables_buckets(self):
+        scalars = [Fr(2), Fr(3)]
+        zeros, ones, smalls, dense = classify_sparse_scalars(scalars, small_max=1)
+        assert smalls == {} and dense == [0, 1]
+
+    def test_matches_naive_and_skips_pippenger(self):
+        rng = random.Random(13)
+        g = g1_generator()
+        points = [(g * rng.randrange(1, 1 << 30)).to_affine() for _ in range(40)]
+        scalars = [Fr(rng.choice([0, 1, 2, 3, 7, 15])) for _ in range(40)]
+        stats = MSMStatistics()
+        assert sparse_msm(scalars, points, stats=stats) == naive_msm(scalars, points)
+        assert stats.small_scalars > 0
+        assert stats.bucket_padds == 0  # nothing reached the windowed path
+        # dense_scalars keeps its historical meaning: every non-0/1 scalar.
+        assert stats.dense_scalars == sum(1 for s in scalars if s.value > 1)
+
+    def test_mixed_small_and_wide_scalars(self):
+        rng = random.Random(17)
+        g = g1_generator()
+        points = [(g * rng.randrange(1, 1 << 30)).to_affine() for _ in range(32)]
+        scalars = [
+            Fr(rng.choice([0, 1, 5, 12])) if rng.random() < 0.7 else Fr.random(rng)
+            for _ in range(32)
+        ]
+        stats = MSMStatistics()
+        assert sparse_msm(scalars, points, stats=stats) == naive_msm(scalars, points)
+
+    def test_engine_small_scalar_knob_keeps_proofs_identical(self):
+        reference = ProverEngine(
+            EngineConfig(srs_seed=1, sparse_small_scalar_max=1)
+        ).prove("mock", num_vars=4, seed=2)
+        bucketed = ProverEngine(
+            EngineConfig(srs_seed=1, sparse_small_scalar_max=15)
+        ).prove("mock", num_vars=4, seed=2)
+        assert reference.to_bytes() == bucketed.to_bytes()
+
+
+class TestSrsDiskCache:
+    def test_round_trip_and_reuse(self, tmp_path):
+        srs = setup_cached(4, seed=9, cache_dir=tmp_path)
+        path = srs_cache_path(tmp_path, 4, 9, True)
+        assert path.is_file()
+        loaded = setup_cached(4, seed=9, cache_dir=tmp_path)
+        assert loaded.prover_key.lagrange_tables[0] == srs.prover_key.lagrange_tables[0]
+        assert loaded.verifier_key.trapdoor == srs.verifier_key.trapdoor
+
+    def test_corrupt_cache_is_regenerated(self, tmp_path):
+        path = srs_cache_path(tmp_path, 4, 9, True)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_bytes(b"not a pickle")
+        assert load_srs(path) is None
+        srs = setup_cached(4, seed=9, cache_dir=tmp_path)
+        assert srs.num_vars == 4
+        assert load_srs(path) is not None  # overwritten with a good record
+
+    def test_size_mismatch_rejected(self, tmp_path):
+        srs = setup_cached(3, seed=9, cache_dir=tmp_path)
+        path = srs_cache_path(tmp_path, 3, 9, True)
+        save_srs(srs, path, seed=9)
+        assert load_srs(path, num_vars=4) is None
+
+    def test_engine_uses_disk_cache_across_sessions(self, tmp_path):
+        config = EngineConfig(srs_seed=1, srs_cache_dir=str(tmp_path))
+        first = ProverEngine(config).prove("mock", num_vars=4, seed=2)
+        second_engine = ProverEngine(config)
+        second = second_engine.prove("mock", num_vars=4, seed=2)
+        assert first.to_bytes() == second.to_bytes()
+        assert srs_cache_path(tmp_path, 4, 1, True).is_file()
