@@ -1,0 +1,339 @@
+"""Closed-loop load generator for the proof-serving subsystem.
+
+Measures what the serving layer actually delivers to independent callers:
+proofs/sec and end-to-end request latency (p50/p95/p99) as functions of
+client concurrency and the dynamic batcher's coalescing window.  Each
+client thread runs a closed loop — submit a prove request, wait for the
+proof, optionally verify it over HTTP, repeat — so offered load tracks
+service capacity and the latency distribution is honest (no coordinated
+omission from an open-loop arrival schedule).
+
+By default the benchmark hosts the service in-process
+(:class:`repro.service.BackgroundServer`, one server per batch-window
+setting); pass ``--url`` to drive an externally started ``repro serve``
+instead (then ``--windows`` must describe the server you started).
+
+Run from the repository root::
+
+    PYTHONPATH=src python benchmarks/bench_service.py
+    PYTHONPATH=src python benchmarks/bench_service.py --log-gates 6 \
+        --clients 1,4,8 --windows 0,25,100
+    PYTHONPATH=src python benchmarks/bench_service.py --url http://127.0.0.1:8000 \
+        --clients 2 --requests 4 --windows 25
+
+Results land in ``BENCH_service.json`` (previous runs append to its
+``history`` list, same idiom as ``BENCH_prover.json``).  Every sweep cell
+verifies one served proof end-to-end over ``POST /verify`` and the run
+fails if any verification is rejected — CI's service smoke job relies on
+that.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import subprocess
+import sys
+import threading
+import time
+from pathlib import Path
+
+from repro.api import EngineConfig
+from repro.service import (
+    BackgroundServer,
+    ProofService,
+    ServiceClient,
+    ServiceConfig,
+    ServiceUnavailable,
+)
+from repro.service.metrics import latency_summary
+
+
+def _git_commit() -> str:
+    try:
+        return (
+            subprocess.run(
+                ["git", "rev-parse", "--short", "HEAD"],
+                capture_output=True,
+                text=True,
+                check=True,
+                cwd=Path(__file__).resolve().parent,
+            ).stdout.strip()
+            or "unknown"
+        )
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+
+
+def _client_loop(
+    host: str,
+    port: int,
+    scenario: str,
+    num_vars: int,
+    seeds: list[int],
+    timeout: float,
+    latencies: list[float],
+    errors: list[str],
+    barrier: threading.Barrier,
+) -> None:
+    """One closed-loop client: prove each seed in turn, recording latency.
+
+    A 503 (backpressure) is not an error for a closed-loop run — the client
+    honors ``Retry-After`` and resubmits; the wait lands in the recorded
+    latency, which is exactly the cost backpressure imposes on callers.
+    """
+    with ServiceClient(host, port, timeout=timeout) as client:
+        barrier.wait()
+        for seed in seeds:
+            started = time.perf_counter()
+            while True:
+                try:
+                    client.prove(scenario, num_vars=num_vars, seed=seed)
+                except ServiceUnavailable as exc:
+                    time.sleep(min(exc.retry_after, 5.0))
+                    continue
+                except Exception as exc:  # pragma: no cover - aborts the cell
+                    errors.append(f"seed {seed}: {exc}")
+                    break
+                latencies.append(time.perf_counter() - started)
+                break
+
+
+def run_cell(
+    host: str,
+    port: int,
+    *,
+    scenario: str,
+    num_vars: int,
+    clients: int,
+    requests_per_client: int,
+    timeout: float,
+) -> dict:
+    """One sweep cell: ``clients`` closed loops of ``requests_per_client``."""
+    with ServiceClient(host, port, timeout=timeout) as probe:
+        # Warm the SRS/key caches outside the measured window so every cell
+        # reports steady-state serving, not one-off setup; the warm-up proof
+        # also closes the e2e loop (served bytes verify over POST /verify).
+        warm = probe.prove(scenario, num_vars=num_vars, seed=0)
+        if not probe.verify(warm):
+            raise RuntimeError("served warm-up proof failed verification")
+        before = probe.metrics()
+
+    per_thread_latencies: list[list[float]] = [[] for _ in range(clients)]
+    errors: list[str] = []
+    barrier = threading.Barrier(clients + 1)
+    threads = []
+    for index in range(clients):
+        seeds = [
+            1 + index * requests_per_client + i for i in range(requests_per_client)
+        ]
+        thread = threading.Thread(
+            target=_client_loop,
+            args=(
+                host,
+                port,
+                scenario,
+                num_vars,
+                seeds,
+                timeout,
+                per_thread_latencies[index],
+                errors,
+                barrier,
+            ),
+        )
+        thread.start()
+        threads.append(thread)
+    barrier.wait()
+    started = time.perf_counter()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - started
+
+    latencies = [value for bucket in per_thread_latencies for value in bucket]
+    if errors:
+        raise RuntimeError(f"{len(errors)} request(s) failed: {errors[:3]}")
+
+    with ServiceClient(host, port, timeout=timeout) as probe:
+        after = probe.metrics()
+    batches = after["prove_many_calls"] - before["prove_many_calls"]
+    proofs = after["proofs_total"] - before["proofs_total"]
+    summary = latency_summary(latencies)
+    return {
+        "clients": clients,
+        "requests": len(latencies),
+        "wall_seconds": round(wall, 3),
+        "proofs_per_second": round(len(latencies) / wall, 3) if wall else 0.0,
+        "latency_seconds": {
+            key: round(value, 4) if isinstance(value, float) else value
+            for key, value in summary.items()
+        },
+        "prove_many_calls": batches,
+        "mean_batch_size": round(proofs / batches, 2) if batches else 0.0,
+        "rejected_503": after["rejected_total"] - before["rejected_total"],
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n\n")[0])
+    parser.add_argument("--scenario", default="mock")
+    parser.add_argument(
+        "--log-gates",
+        type=int,
+        default=5,
+        help="circuit size exponent per request (default: 5)",
+    )
+    parser.add_argument(
+        "--clients",
+        default="1,2,4,8",
+        help="comma-separated closed-loop client counts (default: 1,2,4,8)",
+    )
+    parser.add_argument(
+        "--requests",
+        type=int,
+        default=4,
+        help="requests per client per cell (default: 4)",
+    )
+    parser.add_argument(
+        "--windows",
+        default="0,25",
+        help="batch windows (ms) to sweep; one hosted server per value "
+        "(default: 0,25)",
+    )
+    parser.add_argument(
+        "--url",
+        default=None,
+        help="drive an already-running `repro serve` instead of hosting "
+        "the service in-process",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="EngineConfig.workers for the hosted server (default: 1)",
+    )
+    parser.add_argument(
+        "--max-batch",
+        type=int,
+        default=16,
+        help="hosted server's max coalesced batch (default: 16)",
+    )
+    parser.add_argument(
+        "--max-queue",
+        type=int,
+        default=64,
+        help="hosted server's queue bound (default: 64)",
+    )
+    parser.add_argument("--timeout", type=float, default=600.0)
+    parser.add_argument(
+        "--output",
+        default=str(Path(__file__).resolve().parent.parent / "BENCH_service.json"),
+    )
+    args = parser.parse_args(argv)
+
+    client_levels = [int(c) for c in args.clients.split(",") if c.strip()]
+    windows = [float(w) for w in args.windows.split(",") if w.strip()]
+
+    sweeps = []
+    for window_ms in windows:
+        if args.url is not None:
+            client = ServiceClient.from_url(args.url, timeout=args.timeout)
+            host, port = client.host, client.port
+            client.close()
+            hosted = None
+        else:
+            hosted = BackgroundServer(
+                ProofService(
+                    ServiceConfig(
+                        port=0,
+                        batch_window_ms=window_ms,
+                        max_batch=args.max_batch,
+                        max_queue=args.max_queue,
+                    ),
+                    engine_config=EngineConfig(workers=args.workers),
+                )
+            ).start()
+            host, port = "127.0.0.1", hosted.port
+        try:
+            cells = []
+            for clients in client_levels:
+                cell = run_cell(
+                    host,
+                    port,
+                    scenario=args.scenario,
+                    num_vars=args.log_gates,
+                    clients=clients,
+                    requests_per_client=args.requests,
+                    timeout=args.timeout,
+                )
+                cells.append(cell)
+                print(
+                    f"window {window_ms:g} ms, {clients:2d} client(s): "
+                    f"{cell['proofs_per_second']:6.2f} proofs/s  "
+                    f"p50 {cell['latency_seconds']['p50']:.3f}s "
+                    f"p95 {cell['latency_seconds']['p95']:.3f}s "
+                    f"p99 {cell['latency_seconds']['p99']:.3f}s  "
+                    f"({cell['prove_many_calls']} batches, "
+                    f"mean size {cell['mean_batch_size']})"
+                )
+        finally:
+            if hosted is not None:
+                hosted.stop()
+        sweeps.append(
+            {
+                "batch_window_ms": window_ms,
+                "external_url": args.url,
+                "levels": cells,
+            }
+        )
+
+    results = {
+        "benchmark": "proof_service_load",
+        "commit": _git_commit(),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "hostname": os.environ.get("REPRO_BENCH_HOST") or platform.node(),
+        "cpu_count": os.cpu_count(),
+        "scenario": args.scenario,
+        "num_vars": args.log_gates,
+        "requests_per_client": args.requests,
+        "engine_workers": args.workers,
+        "max_batch": args.max_batch,
+        "sweeps": sweeps,
+    }
+
+    out_path = Path(args.output)
+    previous: dict = {}
+    if out_path.exists():
+        try:
+            previous = json.loads(out_path.read_text())
+        except json.JSONDecodeError:
+            previous = {}
+    if "notes" in previous:
+        results["notes"] = previous["notes"]
+    history = list(previous.get("history", []))
+    if previous.get("sweeps"):
+        history.append(
+            {
+                key: previous[key]
+                for key in (
+                    "commit",
+                    "python",
+                    "machine",
+                    "hostname",
+                    "num_vars",
+                    "engine_workers",
+                    "sweeps",
+                )
+                if key in previous
+            }
+        )
+    results["history"] = history
+    out_path.write_text(json.dumps(results, indent=2) + "\n")
+    print(f"wrote {out_path} ({len(history)} historical run(s) kept)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,25 +1,27 @@
 """zkSpeed: a HyperPlonk proving stack and accelerator model.
 
 Reproduction of "Need for zkSpeed: Accelerating HyperPlonk for Zero-Knowledge
-Proofs" (ISCA 2025).  The package is organized in three layers:
+Proofs" (ISCA 2025).  The package is organized in four layers:
 
 * the functional HyperPlonk protocol (``repro.fields``, ``repro.curves``,
   ``repro.mle``, ``repro.sumcheck``, ``repro.pcs``, ``repro.circuits``,
   ``repro.transcript``, ``repro.protocol``),
 * the zkSpeed architectural model (``repro.core``) used to reproduce the
-  paper's evaluation, and
+  paper's evaluation,
 * the public session API (``repro.api``) — ``ProverEngine`` /
-  ``EngineConfig`` — the one configurable way into both.
+  ``EngineConfig`` — the one configurable way into both, and
+* the serving subsystem (``repro.service``) — a batching asyncio HTTP
+  front end (``repro serve`` / ``repro submit``) over a long-lived engine.
 
 ``ProverEngine``, ``EngineConfig`` and ``ProofArtifact`` are re-exported
 lazily at the top level, so ``from repro import ProverEngine`` works
 without paying the import cost when only a subpackage is needed.
 
-See README.md for a tour and the "Public API" section for migration from
-the deprecated free-function entry points.
+See README.md for a tour; the "Public API" section maps the removed
+free-function entry points to their engine equivalents.
 """
 
-__version__ = "1.1.0"
+__version__ = "1.2.0"
 
 __all__ = ["__version__", "ProverEngine", "EngineConfig", "ProofArtifact"]
 

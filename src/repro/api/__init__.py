@@ -17,8 +17,11 @@ fingerprint, so repeated proofs amortize setup (optionally to disk via
 session shards work across a persistent fork pool: Pippenger MSM windows
 and SumCheck round term-tables within one ``prove()``, whole proofs across
 a ``prove_many()`` batch — proof bytes identical at every worker count
-(see :mod:`repro.api.parallel`).  The old module-level entry points still
-work but emit :class:`DeprecationWarning`.
+(see :mod:`repro.api.parallel`).  The old module-level entry points warned
+as :class:`DeprecationWarning` shims for two PRs and have been removed;
+the implementation modules (``repro.pcs.srs``, ``repro.protocol.prover``
+...) remain the low-level surface.  For serving proofs over HTTP, see
+:mod:`repro.service`.
 """
 
 from repro.api.artifacts import CacheStats, ProofArtifact

@@ -275,6 +275,41 @@ class ProverEngine:
             self._circuit_cache.popitem(last=False)
         return spec.name, built
 
+    def resolve_circuit(
+        self,
+        scenario: str | None = None,
+        *,
+        circuit: Circuit | None = None,
+        num_vars: int | None = None,
+        seed: int = 0,
+    ) -> tuple[str, Circuit]:
+        """The ``(name, built circuit)`` a prove call with these arguments
+        would use, through the session's circuit LRU.
+
+        Public so out-of-process layers (the serving subsystem, benchmarks)
+        can reach the exact witness tables behind a scenario request without
+        re-deriving the registry-and-cache logic.
+        """
+        return self._resolve_circuit(scenario, circuit, num_vars, seed)
+
+    def verifying_key(
+        self,
+        scenario: str | None = None,
+        *,
+        circuit: Circuit | None = None,
+        num_vars: int | None = None,
+        seed: int = 0,
+    ) -> VerifyingKey:
+        """The cached verifying key for a scenario request or built circuit.
+
+        The key depends only on circuit *structure*, so any seed resolves to
+        the same key; this is what lets a service verify an uploaded proof
+        from nothing but ``(scenario, num_vars)`` coordinates.
+        """
+        _, resolved = self._resolve_circuit(scenario, circuit, num_vars, seed)
+        _, vk = self.preprocess(resolved)
+        return vk
+
     def prove(
         self,
         scenario: str | None = None,

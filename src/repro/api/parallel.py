@@ -12,17 +12,23 @@ provides, all behind ``EngineConfig.workers``:
   inheritance through the :func:`share_state` registry: the pool snapshots
   the registry's versions at fork time and transparently re-forks when a
   required entry is missing or stale, so steady-state proving reuses one
-  set of processes with zero per-call setup.
+  set of processes with zero per-call setup.  Per-call epochs — a
+  ``prove_many`` batch, a shared-scalar large MSM — are the deliberate
+  exceptions: each such call is one refork by design.
 * :class:`MsmShardRunner` — intra-MSM window sharding.  Installed into
   :mod:`repro.curves.msm` for the duration of an engine operation; ships
   disjoint Pippenger window ranges to workers and merges the window sums
   serially.  Full-table MSMs (the wiring-identity commits and the large
   early quotient MSMs of the opening step) name their registered SRS
-  tables by reference, reaching workers through fork copy-on-write; the
-  filtered sub-lists of the sparse witness-commit flow travel by value
-  (they are the ~10% dense residue of a witness table and usually sit
-  under the size gate anyway — sharing per-call scalars/tables is a
-  ROADMAP follow-up).
+  tables by reference, reaching workers through fork copy-on-write.
+  Per-call *scalars* of large MSMs travel the same way: the runner
+  publishes them once under :data:`MSM_SCALARS_KEY` (a shared-state epoch
+  — the pool re-forks and inherits them copy-on-write) instead of pickling
+  the scalar list into every window task; below
+  ``share_scalars_min_points`` the by-value payload stays, because one
+  cheap pickle beats a re-fork.  The filtered sub-lists of the sparse
+  witness-commit flow (the ~10% dense residue of a witness table) usually
+  sit under both gates and keep the by-value path.
 * :class:`SumcheckShardRunner` — SumCheck term-table sharding.  Splits each
   round's boolean-hypercube instances into contiguous chunks; workers
   return partial round-polynomial evaluations that sum (exactly — field
@@ -44,6 +50,7 @@ from __future__ import annotations
 
 import multiprocessing
 import os
+import signal
 import time
 from typing import Callable, Iterable, Sequence
 
@@ -163,7 +170,21 @@ def _worker_init() -> None:
     Children inherit the parent's installed shard runners (and their dead
     pool handles) at fork time; pool workers are daemonic and cannot spawn
     pools of their own, so the seams are cleared before any task runs.
+
+    Children also inherit the parent's *signal state*.  When the engine
+    lives inside an asyncio process (the serving subsystem), SIGTERM /
+    SIGINT carry no-op C-level handlers plus a wakeup fd pointing at the
+    parent's event loop — a worker inheriting those shrugs off the SIGTERM
+    that ``Pool.terminate()`` sends and the parent's ``join()`` hangs
+    forever (observed as a wedged ``repro serve --workers N``).  Restore
+    the default SIGTERM disposition (so terminate kills), ignore SIGINT
+    (so a Ctrl-C to the process group lets the parent drive the graceful
+    drain instead of killing workers mid-batch), and detach the inherited
+    wakeup fd.
     """
+    signal.signal(signal.SIGTERM, signal.SIG_DFL)
+    signal.signal(signal.SIGINT, signal.SIG_IGN)
+    signal.set_wakeup_fd(-1)
     _msm_module.set_msm_shard_runner(None)
     _sumcheck_module.set_sumcheck_shard_runner(None)
 
@@ -216,6 +237,19 @@ class WorkerPool:
         self.ensure()
         return self._pool.map(fn, tasks)
 
+    def imap(self, fn: Callable, tasks: Sequence) -> list:
+        """Work-stealing variant of :meth:`map`: one task per dispatch.
+
+        ``Pool.map`` pre-chunks the task list across workers, so a batch of
+        heterogeneous tasks (e.g. whole proofs of different sizes) can
+        strand a big chunk behind one slow worker while others idle.
+        ``chunksize=1`` makes every worker pull the next pending task the
+        moment it finishes — work stealing in all but name.  Results come
+        back in task order regardless of completion order.
+        """
+        self.ensure()
+        return list(self._pool.imap(fn, tasks, chunksize=1))
+
     def close(self) -> None:
         """Terminate the worker processes (the pool may be ensured again later)."""
         if self._pool is not None:
@@ -246,6 +280,23 @@ def _chunk_bounds(total: int, chunks: int) -> list[tuple[int, int]]:
 
 # -- intra-MSM window sharding --------------------------------------------------------
 
+#: Shared-state key under which one MSM call's scalar values are published
+#: for copy-on-write inheritance (bumped per call — an "epoch").
+MSM_SCALARS_KEY = "msm/scalars"
+
+#: Smallest scalar count for which publishing the scalars through the
+#: shared-state registry beats pickling the list into every window-shard
+#: task.  The trade is deliberate and not free: a new epoch means the pool
+#: re-forks for that MSM (terminate + fork, and the workers' derived
+#: ``_COORDS_CACHE`` starts empty and is rebuilt once per refork), while
+#: the by-value path pays a pickle linear in points × shards on *every*
+#: call.  The fork side is near-constant (kernel copy-on-write) and the
+#: coords rebuild is one cheap O(points) pass, so very large MSMs win by
+#: reference and everything below this bar keeps the stable-pool by-value
+#: path — the steady-state "no refork" property of repeated proofs only
+#: holds below the bar.  Calibrated conservatively for the CPython pickle
+#: cost of ~255-bit ints; re-tune on a multi-core host (ROADMAP).
+SHARE_SCALARS_MIN_POINTS = 1 << 14
 
 #: Worker-side cache of coordinate lists derived from shared point tables,
 #: keyed by shared key.  Populated only inside worker processes; a refork
@@ -267,6 +318,8 @@ def _msm_shard_task(payload):
     """Worker: window sums for one shard of an MSM's Pippenger windows."""
     (values, coords, points_ref, start, end, window_bits, aggregation,
      group_size) = payload
+    if values is None:
+        values = shared_value(MSM_SCALARS_KEY)
     if coords is None:
         coords = _coords_for_ref(points_ref)
     stats = MSMStatistics()
@@ -287,10 +340,17 @@ class MsmShardRunner:
     the fork's copy-on-write memory.
     """
 
-    def __init__(self, pool: WorkerPool, shards: int, min_points: int):
+    def __init__(
+        self,
+        pool: WorkerPool,
+        shards: int,
+        min_points: int,
+        share_scalars_min_points: int = SHARE_SCALARS_MIN_POINTS,
+    ):
         self.pool = pool
         self.shards = max(1, shards)
         self.min_points = min_points
+        self.share_scalars_min_points = share_scalars_min_points
 
     def run_windows(
         self,
@@ -306,21 +366,32 @@ class MsmShardRunner:
         if shards <= 1:
             return None
         ref = point_table_ref(points)
-        self.pool.ensure([ref] if ref is not None else [])
-        payloads = [
-            (
-                list(values),
-                None if ref is not None else list(coords),
-                ref,
-                start,
-                end,
-                window_bits,
-                aggregation,
-                aggregation_group_size,
-            )
-            for start, end in _chunk_bounds(num_windows, shards)
-        ]
-        return self.pool.map(_msm_shard_task, payloads)
+        required = [ref] if ref is not None else []
+        scalars_by_ref = len(values) >= self.share_scalars_min_points
+        if scalars_by_ref:
+            # One shared-state epoch per MSM call: every shard reads the
+            # same inherited list instead of deserializing its own pickle.
+            share_state(MSM_SCALARS_KEY, list(values))
+            required.append(MSM_SCALARS_KEY)
+        try:
+            self.pool.ensure(required)
+            payloads = [
+                (
+                    None if scalars_by_ref else list(values),
+                    None if ref is not None else list(coords),
+                    ref,
+                    start,
+                    end,
+                    window_bits,
+                    aggregation,
+                    aggregation_group_size,
+                )
+                for start, end in _chunk_bounds(num_windows, shards)
+            ]
+            return self.pool.map(_msm_shard_task, payloads)
+        finally:
+            if scalars_by_ref:
+                drop_state(MSM_SCALARS_KEY)
 
 
 # -- SumCheck term-table sharding -----------------------------------------------------
@@ -436,11 +507,17 @@ def run_batch_proofs(
     trace, prove_seconds)`` per proof, in request order.  Each worker runs
     the identical serial prover against a fresh transcript, so proof bytes
     match the in-line path exactly.
+
+    Dispatch is work-stealing (:meth:`WorkerPool.imap`): at ``batch >
+    workers`` with heterogeneous proof sizes, a freed worker immediately
+    picks up the next proof instead of idling behind a static round-robin
+    assignment — the service batcher's mixed-scenario batches are exactly
+    that shape.
     """
     share_state(BATCH_STATE_KEY, (config, list(jobs)))
     try:
         pool.ensure([BATCH_STATE_KEY])
-        return pool.map(_batch_proof_task, list(range(len(jobs))))
+        return pool.imap(_batch_proof_task, list(range(len(jobs))))
     finally:
         drop_state(BATCH_STATE_KEY)
 

@@ -16,11 +16,17 @@ Commands
                report the serialized proof size.  ``--count N`` proves a
                batch via the engine's ``prove_many`` path.
 ``table1``     Print the Table 1 kernel-profile reproduction for a size.
+``serve``      Run the asyncio proof-serving subsystem: a long-lived
+               engine behind ``POST /prove`` / ``POST /verify`` with
+               dynamic batching and backpressure (``repro.service``).
+``submit``     Submit prove requests to a running ``repro serve`` from a
+               script, verify the returned proofs, and print latencies.
 """
 
 from __future__ import annotations
 
 import argparse
+import asyncio
 import random
 import sys
 import time
@@ -175,6 +181,92 @@ def _cmd_table1(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve(args: argparse.Namespace) -> int:
+    # Imported here so `repro simulate` and friends never pay for the
+    # service stack.
+    from repro.service import ProofService, ServiceConfig
+
+    service = ProofService(
+        ServiceConfig(
+            host=args.host,
+            port=args.port,
+            batch_window_ms=args.batch_window_ms,
+            max_batch=args.max_batch,
+            max_queue=args.max_queue,
+        ),
+        engine_config=EngineConfig(
+            field_backend=args.field_backend,
+            workers=args.workers,
+            srs_cache_dir=args.srs_cache_dir,
+        ),
+    )
+
+    def announce(svc: ProofService) -> None:
+        print(
+            f"serving on http://{svc.config.host}:{svc.port} "
+            f"(window {svc.config.batch_window_ms:g} ms, "
+            f"max batch {svc.config.max_batch}, "
+            f"queue bound {svc.config.max_queue}, "
+            f"{svc.engine.config.effective_workers()} worker(s)); "
+            f"Ctrl-C drains and exits",
+            flush=True,
+        )
+
+    asyncio.run(service.serve_forever(on_ready=announce))
+    print("drained; bye")
+    return 0
+
+
+def _cmd_submit(args: argparse.Namespace) -> int:
+    import concurrent.futures
+
+    from repro.service import ServiceClient
+
+    # Witness seeds derive from --seed exactly like `repro prove --count`,
+    # so a submit batch reproduces the proofs a local batch would.
+    rng = random.Random(args.seed)
+    witness_seeds = [rng.randrange(1 << 30) for _ in range(args.count)]
+    concurrency = min(args.concurrency, args.count)
+
+    def one(seed: int) -> tuple[int, dict, float]:
+        with ServiceClient.from_url(args.url, timeout=args.timeout) as client:
+            start = time.perf_counter()
+            result = client.prove(args.scenario, num_vars=args.log_gates, seed=seed)
+            latency = time.perf_counter() - start
+            if not args.no_verify and not client.verify(result):
+                raise RuntimeError(f"proof for seed {seed} rejected by /verify")
+            return seed, result, latency
+
+    started = time.perf_counter()
+    failures = 0
+    latencies: list[float] = []
+    with concurrent.futures.ThreadPoolExecutor(max_workers=concurrency) as pool:
+        for future in [pool.submit(one, seed) for seed in witness_seeds]:
+            try:
+                seed, result, latency = future.result()
+            except Exception as exc:
+                failures += 1
+                print(f"request failed: {exc}")
+                continue
+            latencies.append(latency)
+            print(
+                f"seed {seed}: 2^{result['num_vars']} proof, "
+                f"{result['proof_size_bytes']} bytes, "
+                f"batch of {result['batch_size']}, {latency:.3f} s"
+                + ("" if args.no_verify else " -> ACCEPT")
+            )
+    wall = time.perf_counter() - started
+    if latencies:
+        ordered = sorted(latencies)
+        print(
+            f"{len(latencies)}/{args.count} ok in {wall:.2f} s "
+            f"({len(latencies) / wall:.2f} proofs/s, {concurrency} client(s)); "
+            f"latency p50 {ordered[len(ordered) // 2]:.3f} s "
+            f"max {ordered[-1]:.3f} s"
+        )
+    return 0 if not failures else 1
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro", description="zkSpeed / HyperPlonk reproduction toolkit"
@@ -266,6 +358,82 @@ def build_parser() -> argparse.ArgumentParser:
     table1.add_argument("--log-gates", type=_positive_int, default=None)
     table1.add_argument("--scenario", choices=available_scenarios(), default=None)
     table1.set_defaults(func=_cmd_table1)
+
+    serve = subparsers.add_parser(
+        "serve",
+        parents=[engine_options],
+        help="run the batching proof-serving subsystem over HTTP",
+    )
+    serve.add_argument("--host", default="127.0.0.1", help="bind address")
+    serve.add_argument(
+        "--port",
+        type=_nonnegative_int,
+        default=8000,
+        help="bind port (0 = ephemeral; the resolved port is printed)",
+    )
+    serve.add_argument(
+        "--batch-window-ms",
+        type=float,
+        default=25.0,
+        help="how long the first queued request waits for concurrent "
+        "company before prove_many runs (default: 25 ms)",
+    )
+    serve.add_argument(
+        "--max-batch",
+        type=_positive_int,
+        default=16,
+        help="largest coalesced prove_many batch (default: 16)",
+    )
+    serve.add_argument(
+        "--max-queue",
+        type=_positive_int,
+        default=64,
+        help="queued-request bound before 503 backpressure (default: 64)",
+    )
+    serve.set_defaults(func=_cmd_serve)
+
+    submit = subparsers.add_parser(
+        "submit",
+        help="submit prove requests to a running `repro serve`",
+    )
+    submit.add_argument(
+        "--url",
+        default="http://127.0.0.1:8000",
+        help="service address (default: http://127.0.0.1:8000)",
+    )
+    submit.add_argument(
+        "--scenario",
+        choices=available_scenarios(),
+        default="mock",
+        help="circuit generator to request (default: mock)",
+    )
+    submit.add_argument("--log-gates", type=_positive_int, default=5)
+    submit.add_argument("--seed", type=int, default=0)
+    submit.add_argument(
+        "--count",
+        type=_positive_int,
+        default=1,
+        help="number of prove requests to submit (default: 1)",
+    )
+    submit.add_argument(
+        "--concurrency",
+        type=_positive_int,
+        default=4,
+        help="client threads submitting concurrently, so the server's "
+        "batcher has something to coalesce (default: 4)",
+    )
+    submit.add_argument(
+        "--timeout",
+        type=float,
+        default=300.0,
+        help="per-request HTTP timeout in seconds (default: 300)",
+    )
+    submit.add_argument(
+        "--no-verify",
+        action="store_true",
+        help="skip the POST /verify round-trip per returned proof",
+    )
+    submit.set_defaults(func=_cmd_submit)
     return parser
 
 

@@ -4,17 +4,13 @@ HyperPlonk commits to every MLE with a pairing-based multilinear KZG scheme
 over BLS12-381.  Commitments and opening proofs are G1 MSMs (the kernels the
 zkSpeed MSM unit accelerates); verification uses pairings and is cheap.
 
-.. deprecated::
-    The module-level :func:`setup` entry point is kept for backward
-    compatibility but new code should go through
-    :class:`repro.api.ProverEngine`, which caches the SRS per session.
+Sessions should go through :class:`repro.api.ProverEngine`, which caches
+the SRS; :func:`repro.pcs.srs.setup` is the low-level entry point.  (The
+deprecated module-level ``setup`` shim warned for two PRs per the PR 2
+policy and has been removed.)
 """
 
-import functools
-import warnings
-
 from repro.pcs.srs import UniversalSRS, ProverKey, VerifierKey
-from repro.pcs.srs import setup as _setup
 from repro.pcs.multilinear_kzg import (
     Commitment,
     OpeningProof,
@@ -27,22 +23,9 @@ __all__ = [
     "UniversalSRS",
     "ProverKey",
     "VerifierKey",
-    "setup",
     "Commitment",
     "OpeningProof",
     "commit",
     "open_at_point",
     "verify_opening",
 ]
-
-
-@functools.wraps(_setup)
-def setup(*args, **kwargs):
-    warnings.warn(
-        "repro.pcs.setup() is deprecated; use repro.api.ProverEngine, whose "
-        "sessions cache the SRS (repro.pcs.srs.setup remains the "
-        "non-deprecated low-level entry point)",
-        DeprecationWarning,
-        stacklevel=2,
-    )
-    return _setup(*args, **kwargs)

@@ -6,22 +6,16 @@ paper: Witness Commits, Gate Identity (ZeroCheck), Wiring Identity
 Polynomial Opening step (OpenCheck followed by a batched multilinear-KZG
 opening), all made non-interactive with a SHA3 Fiat-Shamir transcript.
 
-.. deprecated::
-    The module-level :func:`preprocess`, :func:`prove` and :func:`verify`
-    entry points are kept for backward compatibility but new code should go
-    through :class:`repro.api.ProverEngine`, which caches circuit keys per
-    session and owns all configuration.  The implementation modules
-    (``repro.protocol.keys`` / ``.prover`` / ``.verifier``) remain the
-    non-deprecated low-level entry points.
+Sessions should go through :class:`repro.api.ProverEngine`, which caches
+circuit keys per session and owns all configuration; the implementation
+modules (``repro.protocol.keys`` / ``.prover`` / ``.verifier``) are the
+low-level entry points.  (The deprecated module-level
+``preprocess``/``prove``/``verify`` shims warned for two PRs per the PR 2
+policy and have been removed.)
 """
 
-import functools
-import warnings
-
 from repro.protocol.keys import ProvingKey, VerifyingKey
-from repro.protocol.keys import preprocess as _preprocess
 from repro.protocol.proof import EvaluationClaim, HyperPlonkProof, ProverTrace
-from repro.protocol.prover import prove as _prove
 from repro.protocol.serialization import (
     SerializationError,
     deserialize_proof,
@@ -29,40 +23,16 @@ from repro.protocol.serialization import (
     serialize_proof,
 )
 from repro.protocol.verifier import VerificationError
-from repro.protocol.verifier import verify as _verify
 
 __all__ = [
     "ProvingKey",
     "VerifyingKey",
-    "preprocess",
     "EvaluationClaim",
     "HyperPlonkProof",
     "ProverTrace",
-    "prove",
-    "verify",
     "VerificationError",
     "serialize_proof",
     "deserialize_proof",
     "proof_size_bytes",
     "SerializationError",
 ]
-
-
-def _deprecated(wrapped, name: str):
-    @functools.wraps(wrapped)
-    def shim(*args, **kwargs):
-        warnings.warn(
-            f"repro.protocol.{name}() is deprecated; use "
-            f"repro.api.ProverEngine.{name}() instead (the implementation "
-            f"modules under repro.protocol.* remain non-deprecated)",
-            DeprecationWarning,
-            stacklevel=2,
-        )
-        return wrapped(*args, **kwargs)
-
-    return shim
-
-
-preprocess = _deprecated(_preprocess, "preprocess")
-prove = _deprecated(_prove, "prove")
-verify = _deprecated(_verify, "verify")

@@ -1,0 +1,41 @@
+"""The proof-serving subsystem: batching asyncio HTTP over a ProverEngine.
+
+This package is the layer that turns the in-process session API into a
+long-lived, measurable service — the ROADMAP's "serves heavy traffic" line.
+Everything is standard library: an :mod:`asyncio` HTTP/JSON server
+(:mod:`repro.service.server`) with a dynamic batcher that coalesces
+concurrent ``POST /prove`` requests into single
+:meth:`~repro.api.ProverEngine.prove_many` calls
+(:mod:`repro.service.batcher`), explicit backpressure and graceful drain,
+a shared wire format (:mod:`repro.service.wire`), per-endpoint metrics
+(:mod:`repro.service.metrics`) and a blocking client
+(:mod:`repro.service.client`).
+
+>>> from repro.service import BackgroundServer, ProofService, ServiceClient
+>>> from repro.service import ServiceConfig
+>>> with BackgroundServer(ProofService(ServiceConfig(port=0))) as server:
+...     client = ServiceClient(port=server.port)
+...     result = client.prove("mock", num_vars=5, seed=1)
+...     assert client.verify(result)
+
+From a shell: ``repro serve`` / ``repro submit`` (see ``repro serve -h``),
+and ``benchmarks/bench_service.py`` for the closed-loop load generator.
+"""
+
+from repro.service.batcher import Draining, DynamicBatcher, QueueFull
+from repro.service.client import ServiceClient, ServiceError, ServiceUnavailable
+from repro.service.metrics import ServiceMetrics
+from repro.service.server import BackgroundServer, ProofService, ServiceConfig
+
+__all__ = [
+    "BackgroundServer",
+    "Draining",
+    "DynamicBatcher",
+    "ProofService",
+    "QueueFull",
+    "ServiceClient",
+    "ServiceConfig",
+    "ServiceError",
+    "ServiceMetrics",
+    "ServiceUnavailable",
+]

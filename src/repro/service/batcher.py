@@ -1,0 +1,197 @@
+"""Dynamic request batching with explicit backpressure.
+
+The PR 3 process-per-proof pool (``ProverEngine.prove_many``) is only
+saturated when independent callers' requests reach it *as one batch*.  The
+:class:`DynamicBatcher` is the piece that makes that happen for a service:
+concurrent ``POST /prove`` requests land in a bounded queue, a collector
+coalesces everything that arrives within a configurable window (up to a
+maximum batch size) into a single blocking ``prove_many``-shaped call on a
+dedicated engine thread, and each caller's future resolves with its own
+result.
+
+Backpressure is explicit rather than emergent: once ``max_queue`` requests
+are waiting, :meth:`submit` raises :class:`QueueFull` *immediately* and the
+server turns that into ``503 + Retry-After`` — a full service degrades into
+fast rejections, never into unbounded memory growth or hung sockets.
+
+Shutdown is a drain, not a drop: :meth:`drain` stops new admissions (callers
+get :class:`Draining` → 503) but every already-queued request is still
+batched, proved and answered before the collector exits.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from collections import deque
+from concurrent.futures import Executor
+from typing import Callable, Sequence
+
+from repro.service.metrics import ServiceMetrics
+
+
+class QueueFull(Exception):
+    """The bounded request queue is at capacity; reject with 503."""
+
+    def __init__(self, depth: int):
+        super().__init__(f"request queue full ({depth} waiting)")
+        self.depth = depth
+
+
+class Draining(Exception):
+    """The service is shutting down and no longer admits requests."""
+
+
+class DynamicBatcher:
+    """Coalesces concurrent requests into single batched engine calls.
+
+    Parameters
+    ----------
+    prove_batch:
+        Blocking callable mapping a list of request dicts to an equal-length
+        list of results; runs on ``executor`` (the server's single engine
+        thread, which is what serializes all engine access).
+    window_ms:
+        How long the collector holds an open batch after its *first* request
+        arrives, waiting for more to coalesce.  ``0`` batches only what is
+        already queued (requests arriving during an in-flight batch still
+        coalesce into the next one).
+    max_batch:
+        Largest batch handed to ``prove_batch``; above it the collector
+        dispatches immediately and the remainder forms the next batch.
+    max_queue:
+        Bound on *waiting* requests (the in-flight batch does not count).
+    """
+
+    def __init__(
+        self,
+        prove_batch: Callable[[list], list],
+        executor: Executor,
+        *,
+        window_ms: float = 25.0,
+        max_batch: int = 16,
+        max_queue: int = 64,
+        metrics: ServiceMetrics | None = None,
+    ):
+        if max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if max_queue < 1:
+            raise ValueError("max_queue must be >= 1")
+        if window_ms < 0:
+            raise ValueError("window_ms must be >= 0")
+        self._prove_batch = prove_batch
+        self._executor = executor
+        self.window_seconds = window_ms / 1000.0
+        self.max_batch = max_batch
+        self.max_queue = max_queue
+        self.metrics = metrics if metrics is not None else ServiceMetrics()
+        self._pending: deque[tuple[dict, asyncio.Future]] = deque()
+        self._wake = asyncio.Event()
+        self._draining = False
+        self._task: asyncio.Task | None = None
+
+    # -- introspection -------------------------------------------------------
+
+    @property
+    def queue_depth(self) -> int:
+        """Requests admitted but not yet dispatched to the engine."""
+        return len(self._pending)
+
+    @property
+    def draining(self) -> bool:
+        return self._draining
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> None:
+        """Start the collector task (idempotent) on the running loop."""
+        if self._task is None:
+            self._task = asyncio.get_running_loop().create_task(self._run())
+
+    async def drain(self) -> None:
+        """Stop admissions, flush every queued request, stop the collector."""
+        self._draining = True
+        self._wake.set()
+        if self._task is not None:
+            await self._task
+            self._task = None
+
+    # -- request path --------------------------------------------------------
+
+    async def submit(self, request: dict):
+        """Queue one request and wait for its batched result.
+
+        Raises :class:`Draining` during shutdown and :class:`QueueFull` when
+        the bounded queue is at capacity — both *before* enqueueing, so a
+        rejected caller costs the service nothing further.
+        """
+        if self._draining:
+            raise Draining()
+        if len(self._pending) >= self.max_queue:
+            raise QueueFull(len(self._pending))
+        future = asyncio.get_running_loop().create_future()
+        self._pending.append((request, future))
+        self._wake.set()
+        return await future
+
+    # -- collector -----------------------------------------------------------
+
+    async def _collect(self) -> list[tuple[dict, asyncio.Future]]:
+        """One coalescing window: the next batch, in arrival order."""
+        loop = asyncio.get_running_loop()
+        deadline = loop.time() + self.window_seconds
+        # Hold the batch open until the window closes or it is full; a drain
+        # request flushes immediately (no point waiting for arrivals that
+        # would be rejected anyway).
+        while len(self._pending) < self.max_batch and not self._draining:
+            remaining = deadline - loop.time()
+            if remaining <= 0:
+                break
+            self._wake.clear()
+            try:
+                await asyncio.wait_for(self._wake.wait(), remaining)
+            except (asyncio.TimeoutError, TimeoutError):
+                break
+        size = min(self.max_batch, len(self._pending))
+        return [self._pending.popleft() for _ in range(size)]
+
+    async def _run(self) -> None:
+        loop = asyncio.get_running_loop()
+        while True:
+            if not self._pending:
+                if self._draining:
+                    return
+                self._wake.clear()
+                await self._wake.wait()
+                continue
+            batch = await self._collect()
+            if not batch:
+                continue
+            requests = [request for request, _ in batch]
+            started = time.perf_counter()
+            try:
+                results = await loop.run_in_executor(
+                    self._executor, self._prove_batch, requests
+                )
+                if len(results) != len(batch):
+                    raise RuntimeError(
+                        f"batch returned {len(results)} results "
+                        f"for {len(batch)} requests"
+                    )
+            except Exception as exc:
+                for _, future in batch:
+                    if not future.cancelled():
+                        future.set_exception(exc)
+                continue
+            self.metrics.batch_done(len(batch), time.perf_counter() - started)
+            for (_, future), result in zip(batch, results):
+                if not future.cancelled():
+                    future.set_result(result)
+
+
+def split_batches(requests: Sequence, max_batch: int) -> list[list]:
+    """Arrival-order chunks of at most ``max_batch`` (pure helper for tests)."""
+    if max_batch < 1:
+        raise ValueError("max_batch must be >= 1")
+    items = list(requests)
+    return [items[i : i + max_batch] for i in range(0, len(items), max_batch)]

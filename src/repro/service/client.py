@@ -1,0 +1,179 @@
+"""A stdlib blocking client for the proof service.
+
+:class:`ServiceClient` wraps ``http.client`` with the wire format from
+:mod:`repro.service.wire`, so scripted callers (``repro submit``, the load
+generator, tests) speak to the server without third-party HTTP libraries.
+One client holds one keep-alive connection and is *not* thread-safe — a
+closed-loop load generator creates one client per worker thread, which is
+also what exercises the server's connection handling realistically.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import socket
+from urllib.parse import urlsplit
+
+from repro.service import wire
+
+
+class ServiceError(Exception):
+    """A non-2xx response from the service."""
+
+    def __init__(self, status: int, payload: dict | None = None):
+        self.status = status
+        self.payload = payload or {}
+        error = self.payload.get("error", {})
+        message = error.get("message") or f"HTTP {status}"
+        super().__init__(f"{message} (code={error.get('code', 'unknown')})")
+        self.code = error.get("code", "unknown")
+
+
+class ServiceUnavailable(ServiceError):
+    """A 503: backpressure or drain.  ``retry_after`` echoes the header."""
+
+    def __init__(self, status: int, payload: dict | None, retry_after: float):
+        super().__init__(status, payload)
+        self.retry_after = retry_after
+
+
+class ServiceClient:
+    """Blocking client over one keep-alive connection (reconnects on close)."""
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 8000,
+        timeout: float = 120.0,
+    ):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self._connection: http.client.HTTPConnection | None = None
+
+    @classmethod
+    def from_url(cls, url: str, timeout: float = 120.0) -> "ServiceClient":
+        """Build a client from ``http://host:port`` (the CLI's ``--url``)."""
+        parts = urlsplit(url if "//" in url else f"//{url}")
+        if parts.scheme not in ("", "http"):
+            raise ValueError(f"only http:// URLs are supported, got {url!r}")
+        if not parts.hostname:
+            raise ValueError(f"no host in service URL {url!r}")
+        return cls(parts.hostname, parts.port or 8000, timeout=timeout)
+
+    # -- transport -----------------------------------------------------------
+
+    def close(self) -> None:
+        if self._connection is not None:
+            self._connection.close()
+            self._connection = None
+
+    def __enter__(self) -> "ServiceClient":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _request(self, method: str, path: str, body: dict | None = None) -> dict:
+        payload = json.dumps(body).encode("utf-8") if body is not None else None
+        headers = {"Content-Type": "application/json"} if payload else {}
+        # One transparent retry on a dead keep-alive connection (the server
+        # closes idle sockets on drain; a fresh connection disambiguates
+        # "connection went away" from a real refusal).
+        for attempt in (0, 1):
+            if self._connection is None:
+                self._connection = http.client.HTTPConnection(
+                    self.host, self.port, timeout=self.timeout
+                )
+            try:
+                self._connection.request(method, path, body=payload, headers=headers)
+                response = self._connection.getresponse()
+                raw = response.read()
+                break
+            except (
+                http.client.HTTPException,
+                ConnectionError,
+                socket.timeout,
+                OSError,
+            ):
+                self.close()
+                if attempt:
+                    raise
+        if response.will_close:
+            self.close()
+        try:
+            decoded = json.loads(raw.decode("utf-8")) if raw else {}
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            decoded = {}
+        if response.status == 503:
+            try:
+                retry_after = float(response.headers.get("Retry-After", "1"))
+            except ValueError:
+                retry_after = 1.0
+            raise ServiceUnavailable(response.status, decoded, retry_after)
+        if response.status >= 400:
+            raise ServiceError(response.status, decoded)
+        return decoded
+
+    # -- endpoints -----------------------------------------------------------
+
+    def prove(
+        self,
+        scenario: str = "mock",
+        num_vars: int | None = None,
+        seed: int = 0,
+        include_witness: bool = False,
+    ) -> dict:
+        """``POST /prove``; the response's proof comes back as raw bytes."""
+        body: dict = {"scenario": scenario, "seed": seed}
+        if num_vars is not None:
+            body["num_vars"] = num_vars
+        if include_witness:
+            body["include_witness"] = True
+        result = self._request("POST", "/prove", body)
+        result["proof_bytes"] = wire.decode_bytes(result["proof"])
+        return result
+
+    def verify(
+        self,
+        proof: bytes | dict,
+        scenario: str | None = None,
+        num_vars: int | None = None,
+        seed: int | None = None,
+    ) -> bool:
+        """``POST /verify``.
+
+        Accepts raw proof bytes plus scenario coordinates, or a full
+        :meth:`prove` response dict (from which scenario, size and seed
+        default).
+        """
+        if isinstance(proof, dict):
+            scenario = scenario if scenario is not None else proof["scenario"]
+            num_vars = num_vars if num_vars is not None else proof["num_vars"]
+            seed = seed if seed is not None else proof.get("seed", 0)
+            proof_bytes = proof.get("proof_bytes") or wire.decode_bytes(proof["proof"])
+        else:
+            proof_bytes = proof
+        if scenario is None:
+            raise ValueError("verify needs a scenario (or a prove response dict)")
+        body = {
+            "scenario": scenario,
+            "seed": 0 if seed is None else seed,
+            "proof": wire.encode_bytes(proof_bytes),
+        }
+        if num_vars is not None:
+            body["num_vars"] = num_vars
+        return bool(self._request("POST", "/verify", body)["valid"])
+
+    def scenarios(self) -> list[dict]:
+        """``GET /scenarios``."""
+        return self._request("GET", "/scenarios")["scenarios"]
+
+    def healthz(self) -> dict:
+        """``GET /healthz``."""
+        return self._request("GET", "/healthz")
+
+    def metrics(self) -> dict:
+        """``GET /metrics``."""
+        return self._request("GET", "/metrics")

@@ -1,0 +1,129 @@
+"""Service counters and latency percentiles for ``GET /metrics``.
+
+The service is the layer every future scaling PR gets measured through, so
+its observability is part of the subsystem, not an afterthought.  One
+:class:`ServiceMetrics` instance lives on the server; handlers and the
+batcher record into it from the event-loop thread (plus batch completions
+from the engine thread), so the few compound updates take a lock — the
+counters must stay consistent enough that the load generator can diff two
+``/metrics`` snapshots.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import Counter, deque
+
+
+def percentile(samples: list[float], fraction: float) -> float:
+    """Nearest-rank percentile of ``samples`` (which must be sorted)."""
+    if not samples:
+        return 0.0
+    rank = max(0, min(len(samples) - 1, round(fraction * (len(samples) - 1))))
+    return samples[rank]
+
+
+def latency_summary(samples: list[float]) -> dict:
+    """count/mean/p50/p95/p99/max for a latency sample list (seconds)."""
+    ordered = sorted(samples)
+    count = len(ordered)
+    return {
+        "count": count,
+        "mean": sum(ordered) / count if count else 0.0,
+        "p50": percentile(ordered, 0.50),
+        "p95": percentile(ordered, 0.95),
+        "p99": percentile(ordered, 0.99),
+        "max": ordered[-1] if ordered else 0.0,
+    }
+
+
+class ServiceMetrics:
+    """Counters + bounded latency reservoirs behind ``GET /metrics``."""
+
+    #: Per-endpoint latency samples kept for percentile computation.  A
+    #: bounded deque keeps a long-lived server's memory flat; 4096 samples
+    #: give stable p99 estimates at the tail the bench sweeps.
+    RESERVOIR = 4096
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.started_at = time.time()
+        self.requests_total: Counter = Counter()
+        self.responses_total: Counter = Counter()
+        self.rejected_total = 0
+        self.proofs_total = 0
+        self.verifications_total = 0
+        self.prove_many_calls = 0
+        self.batch_sizes: Counter = Counter()
+        self.batch_seconds_total = 0.0
+        self._latency: dict[str, deque] = {}
+
+    # -- recording (handlers / batcher) -------------------------------------
+
+    def request(self, endpoint: str) -> None:
+        with self._lock:
+            self.requests_total[endpoint] += 1
+
+    def response(self, status: int) -> None:
+        with self._lock:
+            self.responses_total[str(status)] += 1
+            if status == 503:
+                self.rejected_total += 1
+
+    def batch_done(self, size: int, seconds: float) -> None:
+        """One ``prove_many`` dispatch of ``size`` coalesced requests."""
+        with self._lock:
+            self.prove_many_calls += 1
+            self.proofs_total += size
+            self.batch_sizes[size] += 1
+            self.batch_seconds_total += seconds
+
+    def verified(self) -> None:
+        with self._lock:
+            self.verifications_total += 1
+
+    def latency(self, endpoint: str, seconds: float) -> None:
+        with self._lock:
+            reservoir = self._latency.get(endpoint)
+            if reservoir is None:
+                reservoir = self._latency[endpoint] = deque(maxlen=self.RESERVOIR)
+            reservoir.append(seconds)
+
+    # -- derived views -------------------------------------------------------
+
+    def average_batch_seconds(self) -> float:
+        """Mean wall time of a prove batch (the Retry-After estimator)."""
+        with self._lock:
+            if not self.prove_many_calls:
+                return 0.0
+            return self.batch_seconds_total / self.prove_many_calls
+
+    def snapshot(self, state: str, queue_depth: int, queue_capacity: int) -> dict:
+        """The full ``GET /metrics`` body."""
+        with self._lock:
+            batches = sum(self.batch_sizes.values())
+            coalesced = sum(size * n for size, n in self.batch_sizes.items())
+            return {
+                "state": state,
+                "uptime_seconds": time.time() - self.started_at,
+                "queue_depth": queue_depth,
+                "queue_capacity": queue_capacity,
+                "requests_total": dict(self.requests_total),
+                "responses_total": dict(self.responses_total),
+                "rejected_total": self.rejected_total,
+                "proofs_total": self.proofs_total,
+                "verifications_total": self.verifications_total,
+                "prove_many_calls": self.prove_many_calls,
+                "batches": {
+                    "count": batches,
+                    "total_requests": coalesced,
+                    "mean_size": coalesced / batches if batches else 0.0,
+                    "max_size": max(self.batch_sizes) if self.batch_sizes else 0,
+                    "sizes": {str(k): v for k, v in sorted(self.batch_sizes.items())},
+                },
+                "latency_seconds": {
+                    endpoint: latency_summary(list(samples))
+                    for endpoint, samples in self._latency.items()
+                },
+            }

@@ -1,0 +1,191 @@
+"""The service wire format: JSON bodies with base64 binary fields.
+
+One module owns every byte that crosses the HTTP boundary so the server
+(:mod:`repro.service.server`), the stdlib client
+(:mod:`repro.service.client`) and the load generator
+(``benchmarks/bench_service.py``) can never drift apart.  All payloads are
+JSON objects; binary values — serialized proofs (the canonical
+:mod:`repro.protocol.serialization` format) and witness columns — travel as
+base64 strings.
+
+Requests
+--------
+``POST /prove``::
+
+    {"scenario": "zcash", "num_vars": 6, "seed": 3,
+     "include_witness": false}
+
+``POST /verify``::
+
+    {"scenario": "zcash", "num_vars": 6, "seed": 3,
+     "proof": "<base64>"}
+
+``scenario`` is any name from ``GET /scenarios``; ``num_vars`` defaults to
+the scenario's laptop-scale size, ``seed`` to 0.  The verify request names
+the circuit *structure* (scenario + size) so the server can resolve the
+cached verifying key; the seed only picks the witness and is accepted for
+symmetry with the prove request.
+
+Responses are JSON too; errors use ``{"error": {"code": ..., "message":
+...}}`` with a matching HTTP status (400 malformed request, 404 unknown
+route, 503 backpressure/draining with a ``Retry-After`` header).
+"""
+
+from __future__ import annotations
+
+import base64
+import binascii
+from typing import Mapping
+
+from repro.api.scenarios import available_scenarios, resolve_scenario
+from repro.circuits.builder import Circuit
+from repro.protocol.keys import WITNESS_POLY_NAMES
+
+#: Field elements serialize as fixed-width big-endian words, matching the
+#: proof wire format in :mod:`repro.protocol.serialization`.
+FIELD_BYTES = 32
+
+#: Hard cap on request bodies (a verify request is dominated by one base64
+#: proof, ~7 KB at paper sizes; anything near the cap is abuse).
+MAX_BODY_BYTES = 8 << 20
+
+#: Largest circuit size a request may name.  The paper's Table 3 tops out
+#: around 2^23 gates; without a cap a single ``{"num_vars": 34}`` request
+#: would have the engine thread attempt a multi-GB SRS/circuit allocation —
+#: the one resource knob the bounded queue and body cap don't cover.
+MAX_NUM_VARS = 24
+
+
+class WireError(ValueError):
+    """A request that cannot be decoded into a valid engine call."""
+
+
+def encode_bytes(data: bytes) -> str:
+    """Binary value -> base64 JSON string."""
+    return base64.b64encode(data).decode("ascii")
+
+
+def decode_bytes(value: str, field: str = "proof") -> bytes:
+    """Base64 JSON string -> binary value (raises :class:`WireError`)."""
+    if not isinstance(value, str):
+        raise WireError(f"{field} must be a base64 string")
+    try:
+        return base64.b64decode(value.encode("ascii"), validate=True)
+    except (binascii.Error, UnicodeEncodeError) as exc:
+        raise WireError(f"{field} is not valid base64: {exc}") from None
+
+
+def _require_mapping(body) -> Mapping:
+    if not isinstance(body, Mapping):
+        raise WireError("request body must be a JSON object")
+    return body
+
+
+def _scenario_field(body: Mapping) -> str:
+    scenario = body.get("scenario", "mock")
+    if not isinstance(scenario, str):
+        raise WireError("scenario must be a string")
+    try:
+        resolve_scenario(scenario)
+    except KeyError:
+        raise WireError(
+            f"unknown scenario {scenario!r}; "
+            f"available: {', '.join(available_scenarios())}"
+        ) from None
+    return scenario
+
+
+def _int_field(
+    body: Mapping,
+    name: str,
+    default,
+    minimum: int,
+    maximum: int | None = None,
+    allow_none: bool = False,
+):
+    value = body.get(name, default)
+    if value is None:
+        # An *explicit* JSON null is only meaningful where None has engine
+        # semantics (num_vars -> the scenario's default size); elsewhere it
+        # must not leak through as a non-integer.
+        if allow_none:
+            return None
+        raise WireError(f"{name} must be an integer, not null")
+    if isinstance(value, bool) or not isinstance(value, int):
+        raise WireError(f"{name} must be an integer")
+    if value < minimum:
+        raise WireError(f"{name} must be >= {minimum}, got {value}")
+    if maximum is not None and value > maximum:
+        raise WireError(f"{name} must be <= {maximum}, got {value}")
+    return value
+
+
+def parse_prove_request(body) -> dict:
+    """Validate a ``POST /prove`` body into ``ProverEngine.prove`` kwargs.
+
+    Validation happens *before* the request joins the batch queue, so one
+    malformed request gets its own 400 instead of failing a whole batch.
+    """
+    body = _require_mapping(body)
+    return {
+        "scenario": _scenario_field(body),
+        "num_vars": _int_field(
+            body, "num_vars", None, minimum=1, maximum=MAX_NUM_VARS, allow_none=True
+        ),
+        "seed": _int_field(body, "seed", 0, minimum=0),
+        "include_witness": bool(body.get("include_witness", False)),
+    }
+
+
+def parse_verify_request(body) -> dict:
+    """Validate a ``POST /verify`` body; ``proof`` comes back as bytes."""
+    body = _require_mapping(body)
+    if "proof" not in body:
+        raise WireError("verify request needs a base64 proof field")
+    return {
+        "scenario": _scenario_field(body),
+        "num_vars": _int_field(
+            body, "num_vars", None, minimum=1, maximum=MAX_NUM_VARS, allow_none=True
+        ),
+        "seed": _int_field(body, "seed", 0, minimum=0),
+        "proof": decode_bytes(body["proof"]),
+    }
+
+
+def serialize_witness(circuit: Circuit) -> dict[str, str]:
+    """The circuit's witness columns as base64 fixed-width field words.
+
+    Column order and element layout follow the proof wire format
+    (big-endian ``FIELD_BYTES``-byte words), so an auditing client can
+    re-derive commitments without guessing at encodings.
+    """
+    columns: dict[str, str] = {}
+    for name in WITNESS_POLY_NAMES:
+        table = circuit.witnesses[name].evaluations
+        blob = b"".join(
+            int(value).to_bytes(FIELD_BYTES, "big") for value in table
+        )
+        columns[name] = encode_bytes(blob)
+    return columns
+
+
+def prove_response(artifact, request: Mapping, batch_size: int) -> dict:
+    """The ``POST /prove`` response body for one served artifact."""
+    body = {
+        "scenario": artifact.scenario,
+        "num_vars": artifact.num_vars,
+        "seed": request.get("seed", 0),
+        "proof": encode_bytes(artifact.to_bytes()),
+        "proof_size_bytes": artifact.size_bytes,
+        "prove_seconds": artifact.timings.get("prove"),
+        "batch_size": batch_size,
+    }
+    witness = request.get("witness_columns")
+    if witness is not None:
+        body["witness"] = witness
+    return body
+
+
+def error_body(code: str, message: str) -> dict:
+    """The uniform error payload (the HTTP status carries the semantics)."""
+    return {"error": {"code": code, "message": message}}

@@ -2,10 +2,10 @@
 
 Covers the ISSUE-2 acceptance surface: engine-level round-trips
 (prove -> serialize -> deserialize -> verify), SRS/key cache behavior,
-byte-equality of proofs between the deprecated free-function path and the
-engine, ``DeprecationWarning`` on the shims, the scenario registry that
-unifies the functional prover and the chip model, and the ``prove_many``
-witness-commit worker pool.
+byte-equality of proofs between the low-level free-function path and the
+engine, removal of the PR 2 deprecation shims (they warned for two PRs),
+the scenario registry that unifies the functional prover and the chip
+model, and the ``prove_many`` witness-commit worker pool.
 """
 
 from __future__ import annotations
@@ -196,34 +196,27 @@ class TestOldApiEquivalence:
         engine = ProverEngine(EngineConfig(srs_seed=1))
         new_blob = engine.prove("mock", num_vars=5, seed=3).to_bytes()
 
-        from repro.pcs import setup
-        from repro.protocol import preprocess, prove
+        from repro.pcs.srs import setup
+        from repro.protocol.keys import preprocess
+        from repro.protocol.prover import prove
 
-        with warnings.catch_warnings():
-            warnings.simplefilter("ignore", DeprecationWarning)
-            srs = setup(5, seed=1)
-            pk, _vk = preprocess(mock_circuit(5, seed=3), srs)
-            old_blob = serialize_proof(prove(pk))
+        srs = setup(5, seed=1)
+        pk, _vk = preprocess(mock_circuit(5, seed=3), srs)
+        old_blob = serialize_proof(prove(pk))
         assert old_blob == new_blob
 
-    def test_pcs_setup_shim_warns(self):
-        from repro.pcs import setup
+    def test_deprecated_shims_removed(self):
+        """The PR 2 shims warned for two PRs; per policy they are now gone.
 
-        with pytest.warns(DeprecationWarning, match="ProverEngine"):
-            setup(2, seed=0)
+        ``repro.pcs`` / ``repro.protocol`` still re-export the genuinely
+        public names — only the free-function prover entry points moved.
+        """
+        import repro.pcs
+        import repro.protocol
 
-    def test_protocol_shims_warn(self, engine):
-        from repro.pcs.srs import setup as raw_setup
-        from repro.protocol import preprocess, prove, verify
-
-        circuit = mock_circuit(4, seed=0)
-        srs = raw_setup(4, seed=0)
-        with pytest.warns(DeprecationWarning, match="preprocess"):
-            pk, vk = preprocess(circuit, srs)
-        with pytest.warns(DeprecationWarning, match="prove"):
-            proof = prove(pk)
-        with pytest.warns(DeprecationWarning, match="verify"):
-            assert verify(vk, proof)
+        assert not hasattr(repro.pcs, "setup")
+        for name in ("preprocess", "prove", "verify"):
+            assert not hasattr(repro.protocol, name)
 
     def test_implementation_modules_do_not_warn(self):
         from repro.pcs.srs import setup as raw_setup

@@ -21,7 +21,8 @@ from repro.curves.curve import (
     tree_sum_affine,
 )
 from repro.mle import MultilinearPolynomial
-from repro.pcs import open_at_point, setup
+from repro.pcs import open_at_point
+from repro.pcs.srs import setup
 
 
 @pytest.fixture(autouse=True)

@@ -226,9 +226,11 @@ class TestSelectionPolicy:
     def test_proofs_identical_across_backends(self):
         """The whole protocol must be backend-invariant (acceptance criterion)."""
         from repro.circuits import mock_circuit
-        from repro.pcs import setup
-        from repro.protocol import preprocess, prove, verify
+        from repro.pcs.srs import setup
+        from repro.protocol.keys import preprocess
+        from repro.protocol.prover import prove
         from repro.protocol.serialization import serialize_proof
+        from repro.protocol.verifier import verify
 
         blobs = {}
         for backend in ("python", "numpy"):

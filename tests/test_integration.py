@@ -18,8 +18,10 @@ from repro.core import (
     protocol_operation_counts,
 )
 from repro.core.units.msm_unit import MsmUnitModel
-from repro.pcs import setup
-from repro.protocol import preprocess, prove, verify
+from repro.pcs.srs import setup
+from repro.protocol.keys import preprocess
+from repro.protocol.prover import prove
+from repro.protocol.verifier import verify
 
 
 class TestTraceModelConsistency:

@@ -11,11 +11,13 @@ satellite features (small-scalar sparse buckets, the SRS disk cache).
 from __future__ import annotations
 
 import random
+import time
 
 import pytest
 
 from repro.api import EngineConfig, ProverEngine
 from repro.api.parallel import (
+    MSM_SCALARS_KEY,
     MsmShardRunner,
     SumcheckShardRunner,
     WorkerPool,
@@ -25,6 +27,7 @@ from repro.api.parallel import (
     release_points,
     share_points,
     share_state,
+    shared_value,
 )
 from repro.curves.bls12_381 import g1_generator
 from repro.curves.msm import (
@@ -116,6 +119,55 @@ class TestMsmWindowSharding:
             set_msm_shard_runner(None)
         assert not pool.alive  # the gate never started worker processes
 
+    def test_scalars_travel_by_shared_epoch(self, msm_inputs, pool):
+        """Per-call scalars shared copy-on-write match the by-value path.
+
+        With ``share_scalars_min_points=1`` every sharded MSM publishes its
+        scalar list under :data:`MSM_SCALARS_KEY` instead of pickling it
+        into each window task; results and statistics must be unchanged,
+        and the epoch entry must be dropped again after the call.
+        """
+        scalars, points = msm_inputs
+        serial_stats = MSMStatistics()
+        serial = pippenger_msm(scalars, points, stats=serial_stats)
+        runner = MsmShardRunner(pool, 2, min_points=1, share_scalars_min_points=1)
+        set_msm_shard_runner(runner)
+        try:
+            shared_stats = MSMStatistics()
+            shared = pippenger_msm(scalars, points, stats=shared_stats)
+        finally:
+            set_msm_shard_runner(None)
+        assert serial.to_affine() == shared.to_affine()
+        assert serial_stats == shared_stats
+        with pytest.raises(KeyError):
+            shared_value(MSM_SCALARS_KEY)  # epoch cleaned up after the call
+
+    def test_scalar_epoch_reforks_per_call(self, msm_inputs, pool):
+        """Each shared-scalar MSM is a fresh epoch: the pool re-forks."""
+        scalars, points = msm_inputs
+        runner = MsmShardRunner(pool, 2, min_points=1, share_scalars_min_points=1)
+        set_msm_shard_runner(runner)
+        try:
+            pippenger_msm(scalars, points)
+            first_forks = pool.fork_count
+            pippenger_msm(scalars, points)
+            assert pool.fork_count == first_forks + 1
+        finally:
+            set_msm_shard_runner(None)
+
+    def test_small_msms_keep_by_value_scalars(self, msm_inputs, pool):
+        """Below the share gate, no epoch is published (no refork needed)."""
+        scalars, points = msm_inputs
+        runner = MsmShardRunner(pool, 2, min_points=1, share_scalars_min_points=10_000)
+        set_msm_shard_runner(runner)
+        try:
+            pippenger_msm(scalars, points)
+            forks = pool.fork_count
+            pippenger_msm(scalars, points)
+            assert pool.fork_count == forks  # by-value payloads: stable pool
+        finally:
+            set_msm_shard_runner(None)
+
 
 @needs_fork
 class TestSumcheckSharding:
@@ -185,6 +237,76 @@ class TestEngineParallelProve:
         for artifact in artifacts:
             assert artifact.trace is not None
             assert artifact.trace.step_named("witness_commits").msm_stats
+
+
+def _imap_probe(payload):
+    index, delay = payload
+    time.sleep(delay)
+    return index
+
+
+def _double(value):
+    return value * 2
+
+
+@needs_fork
+class TestWorkerSignalSafety:
+    def test_pool_teardown_under_asyncio_signal_handlers(self):
+        """Workers forked inside an asyncio process must die on terminate.
+
+        The serving subsystem forks pools from an executor thread while the
+        event loop holds no-op SIGTERM/SIGINT handlers plus a wakeup fd;
+        workers inherit both, and without ``_worker_init`` restoring the
+        default dispositions ``Pool.terminate()``'s SIGTERM is a no-op and
+        ``close()`` hangs forever (a wedged ``repro serve --workers N``).
+        """
+        import asyncio
+        import signal
+
+        async def scenario():
+            loop = asyncio.get_running_loop()
+            added = []
+            for signum in (signal.SIGTERM, signal.SIGINT):
+                try:
+                    loop.add_signal_handler(signum, lambda: None)
+                    added.append(signum)
+                except (NotImplementedError, ValueError):  # pragma: no cover
+                    pass
+            try:
+
+                def engine_thread():
+                    pool = WorkerPool(2)
+                    try:
+                        assert pool.map(_double, [1, 2, 3]) == [2, 4, 6]
+                    finally:
+                        pool.close()  # hangs forever without the fix
+                    return True
+
+                assert await asyncio.wait_for(
+                    loop.run_in_executor(None, engine_thread), timeout=60
+                )
+            finally:
+                for signum in added:
+                    loop.remove_signal_handler(signum)
+
+        asyncio.run(scenario())
+
+
+@needs_fork
+class TestWorkStealingImap:
+    def test_imap_preserves_task_order(self):
+        """Dynamic dispatch must still return results in task order.
+
+        The first task is the slowest, so under ``chunksize=1`` the other
+        worker steals through the rest of the queue while it runs — and the
+        result list must come back ordered regardless.
+        """
+        pool = WorkerPool(2)
+        try:
+            tasks = [(0, 0.3), (1, 0.0), (2, 0.05), (3, 0.0), (4, 0.0)]
+            assert pool.imap(_imap_probe, tasks) == [0, 1, 2, 3, 4]
+        finally:
+            pool.close()
 
 
 @needs_fork

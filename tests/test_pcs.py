@@ -7,8 +7,9 @@ import pytest
 from repro.curves.msm import MSMStatistics
 from repro.fields import Fr
 from repro.mle import MultilinearPolynomial
-from repro.pcs import commit, open_at_point, setup, verify_opening
+from repro.pcs import commit, open_at_point, verify_opening
 from repro.pcs.multilinear_kzg import PCSError, combine_commitments
+from repro.pcs.srs import setup
 
 
 @pytest.fixture()

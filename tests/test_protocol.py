@@ -6,14 +6,11 @@ import pytest
 
 from repro.circuits import CircuitBuilder, mock_circuit, zcash_transfer_circuit
 from repro.fields import Fr
-from repro.pcs import setup
-from repro.protocol import (
-    HyperPlonkProof,
-    VerificationError,
-    preprocess,
-    prove,
-    verify,
-)
+from repro.pcs.srs import setup
+from repro.protocol import HyperPlonkProof, VerificationError
+from repro.protocol.keys import preprocess
+from repro.protocol.prover import prove
+from repro.protocol.verifier import verify
 from repro.protocol.common import CLAIM_SCHEDULE, POINT_NAMES
 from repro.protocol.keys import COMMITTED_POLY_NAMES
 from repro.protocol.proof import EvaluationClaim

@@ -10,8 +10,8 @@ from repro.protocol import (
     deserialize_proof,
     proof_size_bytes,
     serialize_proof,
-    verify,
 )
+from repro.protocol.verifier import verify
 from repro.protocol.serialization import compress_g1, decompress_g1
 
 
