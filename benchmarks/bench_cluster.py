@@ -1,0 +1,423 @@
+"""Closed-loop load generator for the sharded serving tier.
+
+Measures what the cluster front tier delivers to independent callers:
+proofs/sec and end-to-end latency (p50/p95/p99) as functions of **backend
+count × client concurrency** — the scaling surface the ROADMAP's
+"Multi-host sharding" line asks about.  Each client thread runs a closed
+loop against the *router* (submit, wait, repeat), so offered load tracks
+capacity and the latency distribution is honest.
+
+Every sweep also records the routing evidence:
+
+- ``routed_vs_direct_identical`` — one routed proof per backend count is
+  compared byte-for-byte against a direct in-process ``engine.prove`` (the
+  run fails on a mismatch, which is what the CI smoke job leans on);
+- ``structures_per_backend`` / ``affinity_violations`` — each distinct
+  ``(scenario, num_vars)`` in the workload must have been served by
+  exactly one backend (read off the ``served_by`` field).
+
+By default the benchmark hosts everything in-process (N
+:class:`~repro.service.ProofService` backends + one
+:class:`~repro.cluster.ClusterRouter` per cell, engines sharing one
+preloaded SRS so cells measure serving, not setup); pass ``--url`` to
+drive an externally started ``repro cluster`` instead (then
+``--backend-counts`` must describe the cluster you started).
+
+Run from the repository root::
+
+    PYTHONPATH=src python benchmarks/bench_cluster.py
+    PYTHONPATH=src python benchmarks/bench_cluster.py --log-gates 8 \
+        --backend-counts 1,2,4 --clients 2,8
+    PYTHONPATH=src python benchmarks/bench_cluster.py \
+        --url http://127.0.0.1:8100 --clients 2 --requests 2
+
+Results land in ``BENCH_cluster.json`` (previous runs append to its
+``history`` list, same idiom as the other BENCH files).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import subprocess
+import sys
+import threading
+import time
+from collections import defaultdict
+from pathlib import Path
+
+from repro.api import EngineConfig, ProverEngine
+from repro.cluster import ClusterRouter, RouterConfig
+from repro.service import (
+    BackgroundServer,
+    ProofService,
+    ServiceClient,
+    ServiceConfig,
+    ServiceUnavailable,
+)
+from repro.service.metrics import latency_summary
+
+SRS_SEED = 0
+
+
+def _git_commit() -> str:
+    try:
+        return (
+            subprocess.run(
+                ["git", "rev-parse", "--short", "HEAD"],
+                capture_output=True,
+                text=True,
+                check=True,
+                cwd=Path(__file__).resolve().parent,
+            ).stdout.strip()
+            or "unknown"
+        )
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+
+
+def _client_loop(
+    host: str,
+    port: int,
+    jobs: list[tuple[str, int, int]],
+    timeout: float,
+    latencies: list[float],
+    served_by: dict,
+    errors: list[str],
+    barrier: threading.Barrier,
+) -> None:
+    """One closed-loop client; 503s are honored (Retry-After) not errors."""
+    with ServiceClient(host, port, timeout=timeout) as client:
+        barrier.wait()
+        for scenario, num_vars, seed in jobs:
+            started = time.perf_counter()
+            while True:
+                try:
+                    result = client.prove(scenario, num_vars=num_vars, seed=seed)
+                except ServiceUnavailable as exc:
+                    time.sleep(min(exc.retry_after, 5.0))
+                    continue
+                except Exception as exc:  # pragma: no cover - aborts the cell
+                    errors.append(f"{scenario}:{num_vars} seed {seed}: {exc}")
+                    break
+                latencies.append(time.perf_counter() - started)
+                served_by[(scenario, result["num_vars"])].add(
+                    result.get("served_by", "direct")
+                )
+                break
+
+
+def run_cell(
+    host: str,
+    port: int,
+    *,
+    scenario: str,
+    sizes: list[int],
+    clients: int,
+    requests_per_client: int,
+    timeout: float,
+) -> dict:
+    """``clients`` closed loops, each cycling through the size mix."""
+    with ServiceClient(host, port, timeout=timeout) as probe:
+        # Warm every structure outside the measured window so cells report
+        # steady-state serving (hot SRS/keys), not one-off setup.
+        for size in sizes:
+            warm = probe.prove(scenario, num_vars=size, seed=0)
+            if not probe.verify(warm):
+                raise RuntimeError("served warm-up proof failed verification")
+
+    per_thread_latencies: list[list[float]] = [[] for _ in range(clients)]
+    served_by: dict = defaultdict(set)
+    errors: list[str] = []
+    barrier = threading.Barrier(clients + 1)
+    threads = []
+    for index in range(clients):
+        jobs = [
+            (scenario, sizes[i % len(sizes)], 1 + index * requests_per_client + i)
+            for i in range(requests_per_client)
+        ]
+        thread = threading.Thread(
+            target=_client_loop,
+            args=(
+                host,
+                port,
+                jobs,
+                timeout,
+                per_thread_latencies[index],
+                served_by,
+                errors,
+                barrier,
+            ),
+        )
+        thread.start()
+        threads.append(thread)
+    barrier.wait()
+    started = time.perf_counter()
+    for thread in threads:
+        thread.join()
+    wall = time.perf_counter() - started
+
+    latencies = [value for bucket in per_thread_latencies for value in bucket]
+    if errors:
+        raise RuntimeError(f"{len(errors)} request(s) failed: {errors[:3]}")
+
+    # Structure-affinity evidence: every structure on exactly one backend.
+    owners = {f"{s}:{n}": sorted(backends) for (s, n), backends in served_by.items()}
+    violations = {key: value for key, value in owners.items() if len(value) != 1}
+    summary = latency_summary(latencies)
+    return {
+        "clients": clients,
+        "requests": len(latencies),
+        "wall_seconds": round(wall, 3),
+        "proofs_per_second": round(len(latencies) / wall, 3) if wall else 0.0,
+        "latency_seconds": {
+            key: round(value, 4) if isinstance(value, float) else value
+            for key, value in summary.items()
+        },
+        "structure_owners": owners,
+        "affinity_violations": violations,
+    }
+
+
+class _HostedCluster:
+    """N in-process backends + one router, for one backend-count sweep."""
+
+    def __init__(self, backend_count: int, *, workers: int, max_batch: int,
+                 window_ms: float, srs: list):
+        self.backends = []
+        for _ in range(backend_count):
+            engine = ProverEngine(EngineConfig(workers=workers, srs_seed=SRS_SEED))
+            for cached in srs:
+                engine.preload_srs(cached)
+            self.backends.append(
+                BackgroundServer(
+                    ProofService(
+                        ServiceConfig(
+                            port=0, batch_window_ms=window_ms, max_batch=max_batch
+                        ),
+                        engine=engine,
+                    )
+                ).start()
+            )
+        self.router_server = BackgroundServer(
+            ClusterRouter(
+                RouterConfig(port=0, health_interval_s=1.0),
+                backends=[
+                    f"127.0.0.1:{backend.port}" for backend in self.backends
+                ],
+            )
+        ).start()
+        self.port = self.router_server.port
+
+    def stop(self) -> None:
+        self.router_server.stop()
+        for backend in self.backends:
+            engine = backend.service.engine
+            backend.stop()
+            engine.close()
+
+
+def _assert_routed_byte_identity(
+    host: str, port: int, scenario: str, num_vars: int, timeout: float
+) -> bool:
+    """One routed proof must equal the direct in-process engine's bytes."""
+    with ServiceClient(host, port, timeout=timeout) as client:
+        routed = client.prove(scenario, num_vars=num_vars, seed=12345)
+    with ProverEngine(EngineConfig(srs_seed=SRS_SEED)) as engine:
+        direct = engine.prove(scenario, num_vars=num_vars, seed=12345)
+    if routed["proof_bytes"] != direct.to_bytes():
+        raise RuntimeError(
+            f"routed proof differs from direct engine.prove for "
+            f"{scenario}:{num_vars} — the cluster is not byte-transparent"
+        )
+    return True
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n\n")[0])
+    parser.add_argument("--scenario", default="mock")
+    parser.add_argument(
+        "--log-gates",
+        default="5,6",
+        help="comma-separated circuit size exponents mixed into the "
+        "workload (default: 5,6 — two structures so routing has "
+        "something to spread)",
+    )
+    parser.add_argument(
+        "--backend-counts",
+        default="1,2",
+        help="backend counts to sweep; one hosted cluster per value "
+        "(default: 1,2)",
+    )
+    parser.add_argument(
+        "--clients",
+        default="1,2,4,8",
+        help="comma-separated closed-loop client counts (default: 1,2,4,8)",
+    )
+    parser.add_argument(
+        "--requests",
+        type=int,
+        default=4,
+        help="requests per client per cell (default: 4)",
+    )
+    parser.add_argument(
+        "--url",
+        default=None,
+        help="drive an already-running `repro cluster` instead of hosting "
+        "one in-process",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=1,
+        help="EngineConfig.workers for hosted backends (default: 1)",
+    )
+    parser.add_argument(
+        "--batch-window-ms",
+        type=float,
+        default=10.0,
+        help="hosted backends' coalescing window (default: 10)",
+    )
+    parser.add_argument(
+        "--max-batch",
+        type=int,
+        default=16,
+        help="hosted backends' max coalesced batch (default: 16)",
+    )
+    parser.add_argument("--timeout", type=float, default=600.0)
+    parser.add_argument(
+        "--output",
+        default=str(Path(__file__).resolve().parent.parent / "BENCH_cluster.json"),
+    )
+    args = parser.parse_args(argv)
+
+    sizes = [int(value) for value in args.log_gates.split(",") if value.strip()]
+    client_levels = [int(c) for c in args.clients.split(",") if c.strip()]
+    backend_counts = [int(b) for b in args.backend_counts.split(",") if b.strip()]
+
+    # One SRS per size, shared by every hosted backend across the whole
+    # sweep: the benchmark measures serving, not N copies of trusted setup.
+    shared_srs = []
+    if args.url is None:
+        with ProverEngine(EngineConfig(srs_seed=SRS_SEED)) as setup_engine:
+            shared_srs = [setup_engine.setup(size) for size in sizes]
+
+    sweeps = []
+    for backend_count in backend_counts:
+        if args.url is not None:
+            probe = ServiceClient.from_url(args.url, timeout=args.timeout)
+            host, port = probe.host, probe.port
+            reported = probe.healthz().get("backends_total")
+            probe.close()
+            hosted = None
+            if reported is not None and reported != backend_count:
+                print(
+                    f"note: --url cluster reports {reported} backends; "
+                    f"recording that instead of {backend_count}"
+                )
+                backend_count = reported
+        else:
+            hosted = _HostedCluster(
+                backend_count,
+                workers=args.workers,
+                max_batch=args.max_batch,
+                window_ms=args.batch_window_ms,
+                srs=shared_srs,
+            )
+            host, port = "127.0.0.1", hosted.port
+        try:
+            identity_ok = _assert_routed_byte_identity(
+                host, port, args.scenario, sizes[0], args.timeout
+            )
+            cells = []
+            for clients in client_levels:
+                cell = run_cell(
+                    host,
+                    port,
+                    scenario=args.scenario,
+                    sizes=sizes,
+                    clients=clients,
+                    requests_per_client=args.requests,
+                    timeout=args.timeout,
+                )
+                if cell["affinity_violations"]:
+                    raise RuntimeError(
+                        "structure-affinity violated: "
+                        f"{cell['affinity_violations']}"
+                    )
+                cells.append(cell)
+                print(
+                    f"{backend_count} backend(s), {clients:2d} client(s): "
+                    f"{cell['proofs_per_second']:6.2f} proofs/s  "
+                    f"p50 {cell['latency_seconds']['p50']:.3f}s "
+                    f"p95 {cell['latency_seconds']['p95']:.3f}s "
+                    f"p99 {cell['latency_seconds']['p99']:.3f}s  "
+                    f"(structures on "
+                    f"{len({o[0] for o in cell['structure_owners'].values()})} "
+                    f"backend(s))"
+                )
+        finally:
+            if hosted is not None:
+                hosted.stop()
+        sweeps.append(
+            {
+                "backends": backend_count,
+                "external_url": args.url,
+                "routed_vs_direct_identical": identity_ok,
+                "levels": cells,
+            }
+        )
+        if args.url is not None:
+            break  # an external cluster has one fixed backend count
+
+    results = {
+        "benchmark": "proof_cluster_load",
+        "commit": _git_commit(),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "hostname": os.environ.get("REPRO_BENCH_HOST") or platform.node(),
+        "cpu_count": os.cpu_count(),
+        "scenario": args.scenario,
+        "sizes": sizes,
+        "requests_per_client": args.requests,
+        "engine_workers": args.workers,
+        "batch_window_ms": args.batch_window_ms,
+        "sweeps": sweeps,
+    }
+
+    out_path = Path(args.output)
+    previous: dict = {}
+    if out_path.exists():
+        try:
+            previous = json.loads(out_path.read_text())
+        except json.JSONDecodeError:
+            previous = {}
+    if "notes" in previous:
+        results["notes"] = previous["notes"]
+    history = list(previous.get("history", []))
+    if previous.get("sweeps"):
+        history.append(
+            {
+                key: previous[key]
+                for key in (
+                    "commit",
+                    "python",
+                    "machine",
+                    "hostname",
+                    "sizes",
+                    "engine_workers",
+                    "sweeps",
+                )
+                if key in previous
+            }
+        )
+    results["history"] = history
+    out_path.write_text(json.dumps(results, indent=2) + "\n")
+    print(f"wrote {out_path} ({len(history)} historical run(s) kept)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

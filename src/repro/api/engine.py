@@ -181,6 +181,24 @@ class ProverEngine:
 
     # -- configuration / introspection ------------------------------------------
 
+    def cache_contents(self) -> dict:
+        """What this session's caches currently hold (JSON-serializable).
+
+        The serving layer reports this from ``GET /healthz`` so a routing
+        tier can see which circuit structures a backend is *hot* for:
+        ``srs_sizes`` (num_vars with a cached SRS), ``key_structures``
+        (``"num_vars:fingerprint-prefix"`` of each cached proving/verifying
+        key pair) and the built-circuit LRU occupancy.
+        """
+        return {
+            "srs_sizes": sorted(self._srs_cache),
+            "key_structures": sorted(
+                f"{num_vars}:{fingerprint[:12]}"
+                for num_vars, fingerprint in self._key_cache
+            ),
+            "circuits_cached": len(self._circuit_cache),
+        }
+
     def scenarios(self) -> list[str]:
         """Names accepted by ``prove(scenario=...)`` / ``simulate(scenario=...)``."""
         return available_scenarios()

@@ -19,8 +19,13 @@ Commands
 ``serve``      Run the asyncio proof-serving subsystem: a long-lived
                engine behind ``POST /prove`` / ``POST /verify`` with
                dynamic batching and backpressure (``repro.service``).
-``submit``     Submit prove requests to a running ``repro serve`` from a
-               script, verify the returned proofs, and print latencies.
+``cluster``    Run the sharded serving tier (``repro.cluster``): a router
+               over N backend ``repro serve`` processes — spawned as
+               children (``--spawn``) or attached (``--backends``) — with
+               structure-affine routing and health-checked failover.
+``submit``     Submit prove requests to a running ``repro serve`` or
+               ``repro cluster`` from a script, verify the returned
+               proofs, and print latencies.
 """
 
 from __future__ import annotations
@@ -217,6 +222,59 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_cluster(args: argparse.Namespace) -> int:
+    # Imported here so the model commands never pay for the serving stack.
+    from repro.cluster import ClusterRouter, RouterConfig, parse_backend_list
+
+    if bool(args.spawn) == bool(args.backends):
+        print("pass exactly one of --spawn N or --backends host:port,...",
+              file=sys.stderr)
+        return 2
+
+    config = RouterConfig(
+        host=args.host,
+        port=args.port,
+        health_interval_s=args.health_interval,
+        fail_threshold=args.fail_threshold,
+        retry_limit=args.retry_limit,
+        pool_size=args.pool_size,
+        request_timeout_s=args.timeout,
+    )
+    if args.spawn:
+        # Children inherit the engine/batcher flags; each resolves its own
+        # ephemeral port and the router parses the announcement.
+        spawn_args = [
+            "--field-backend", args.field_backend,
+            "--workers", str(args.workers),
+            "--batch-window-ms", str(args.batch_window_ms),
+            "--max-batch", str(args.max_batch),
+            "--max-queue", str(args.max_queue),
+        ]
+        if args.srs_cache_dir is not None:
+            spawn_args += ["--srs-cache-dir", args.srs_cache_dir]
+        router = ClusterRouter(config, spawn=args.spawn, spawn_args=spawn_args)
+    else:
+        attached = [
+            f"{host}:{port}" for host, port in parse_backend_list(args.backends)
+        ]
+        router = ClusterRouter(config, backends=attached)
+
+    def announce(rtr: ClusterRouter) -> None:
+        print(
+            f"routing on http://{rtr.config.host}:{rtr.port} over "
+            f"{len(rtr.backend_ids)} backend(s): {', '.join(rtr.backend_ids)} "
+            f"({'spawned' if args.spawn else 'attached'}; "
+            f"retry limit {rtr.config.retry_limit}, "
+            f"health every {rtr.config.health_interval_s:g} s); "
+            f"Ctrl-C drains the whole tree and exits",
+            flush=True,
+        )
+
+    asyncio.run(router.serve_forever(on_ready=announce))
+    print("cluster drained; bye")
+    return 0
+
+
 def _cmd_submit(args: argparse.Namespace) -> int:
     import concurrent.futures
 
@@ -392,9 +450,90 @@ def build_parser() -> argparse.ArgumentParser:
     )
     serve.set_defaults(func=_cmd_serve)
 
+    cluster = subparsers.add_parser(
+        "cluster",
+        parents=[engine_options],
+        help="run the sharded serving tier over N proving backends",
+    )
+    cluster.add_argument("--host", default="127.0.0.1", help="router bind address")
+    cluster.add_argument(
+        "--port",
+        type=_nonnegative_int,
+        default=8100,
+        help="router bind port (0 = ephemeral; the resolved port is printed)",
+    )
+    cluster.add_argument(
+        "--spawn",
+        type=_nonnegative_int,
+        default=0,
+        metavar="N",
+        help="fork N `repro serve` children on ephemeral ports (engine and "
+        "batcher flags are forwarded to them)",
+    )
+    cluster.add_argument(
+        "--backends",
+        default=None,
+        metavar="HOST:PORT,...",
+        help="attach externally started `repro serve` backends instead of "
+        "spawning children",
+    )
+    cluster.add_argument(
+        "--health-interval",
+        type=float,
+        default=2.0,
+        metavar="SECONDS",
+        help="period of the background healthz probe loop (default: 2)",
+    )
+    cluster.add_argument(
+        "--fail-threshold",
+        type=_positive_int,
+        default=2,
+        help="consecutive probe failures before a backend leaves rotation "
+        "(default: 2; a failed forward marks it down immediately)",
+    )
+    cluster.add_argument(
+        "--retry-limit",
+        type=_nonnegative_int,
+        default=2,
+        help="bounded failover attempts after a backend transport failure "
+        "(default: 2; requests are idempotent so retries are safe)",
+    )
+    cluster.add_argument(
+        "--pool-size",
+        type=_positive_int,
+        default=8,
+        help="keep-alive connections per backend (default: 8)",
+    )
+    cluster.add_argument(
+        "--timeout",
+        type=float,
+        default=600.0,
+        help="per-forwarded-request timeout in seconds (default: 600)",
+    )
+    # Batcher knobs forwarded to spawned children (ignored with --backends).
+    cluster.add_argument(
+        "--batch-window-ms",
+        type=float,
+        default=25.0,
+        help="spawned children's coalescing window (default: 25 ms)",
+    )
+    cluster.add_argument(
+        "--max-batch",
+        type=_positive_int,
+        default=16,
+        help="spawned children's largest coalesced batch (default: 16)",
+    )
+    cluster.add_argument(
+        "--max-queue",
+        type=_positive_int,
+        default=64,
+        help="spawned children's queue bound (default: 64)",
+    )
+    cluster.set_defaults(func=_cmd_cluster)
+
     submit = subparsers.add_parser(
         "submit",
-        help="submit prove requests to a running `repro serve`",
+        help="submit prove requests to a running `repro serve` or `repro cluster`",
     )
     submit.add_argument(
         "--url",

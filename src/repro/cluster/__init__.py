@@ -1,0 +1,69 @@
+"""The sharded multi-backend serving tier: a cluster over ``ProofService``.
+
+PR 3 parallelized one proof, PR 4 served one engine; this package is the
+layer the ROADMAP's "Multi-host sharding" line asked for: an asyncio front
+tier (:mod:`repro.cluster.router`) that spreads traffic across N backend
+``repro serve`` processes while keeping each backend's SRS/proving-key
+caches perfectly hot, because placement is *structure-affine* — requests
+rendezvous-hash by ``(scenario, resolved num_vars)``
+(:mod:`repro.cluster.topology`), so identical circuit structures always
+land on the same engine.  Backends are health-checked and failed over with
+bounded retries (:mod:`repro.cluster.health`), reached through per-backend
+asyncio keep-alive connection pools, spawned as children or attached as
+external processes (:mod:`repro.cluster.backend`), and drained as a tree
+on SIGTERM.
+
+The router speaks the PR 4 wire format verbatim, so any service client
+works against a cluster unchanged:
+
+>>> from repro.cluster import ClusterRouter, RouterConfig
+>>> from repro.service import BackgroundServer, ServiceClient
+>>> router = ClusterRouter(RouterConfig(port=0), backends=["127.0.0.1:8321"])
+>>> with BackgroundServer(router) as server:          # doctest: +SKIP
+...     client = ServiceClient(port=server.port)
+...     result = client.prove("zcash", num_vars=6)
+...     result["served_by"]
+'127.0.0.1:8321'
+
+From a shell: ``repro cluster --spawn 2`` (children on ephemeral ports) or
+``repro cluster --backends host:port,host:port`` (attach), then ``repro
+submit --url http://127.0.0.1:8100`` exactly as against a single service;
+``benchmarks/bench_cluster.py`` is the cluster load generator.
+"""
+
+from repro.cluster.backend import (
+    AsyncBackendClient,
+    BackendBusy,
+    BackendError,
+    SpawnedBackend,
+    parse_backend_list,
+    spawn_backend,
+    spawn_backends,
+)
+from repro.cluster.health import BackendHealth, HealthMonitor
+from repro.cluster.router import ClusterRouter, RouterConfig, RouterMetrics
+from repro.cluster.topology import (
+    ClusterTopology,
+    rank_members,
+    rendezvous_score,
+    structure_key,
+)
+
+__all__ = [
+    "AsyncBackendClient",
+    "BackendBusy",
+    "BackendError",
+    "BackendHealth",
+    "ClusterRouter",
+    "ClusterTopology",
+    "HealthMonitor",
+    "RouterConfig",
+    "RouterMetrics",
+    "SpawnedBackend",
+    "parse_backend_list",
+    "rank_members",
+    "rendezvous_score",
+    "spawn_backend",
+    "spawn_backends",
+    "structure_key",
+]

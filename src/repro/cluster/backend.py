@@ -1,0 +1,399 @@
+"""Backend plumbing for the cluster tier: asyncio clients and child spawning.
+
+Two ways a backend joins a cluster:
+
+- **attached** — an externally managed ``repro serve`` named by
+  ``host:port`` (``repro cluster --backends``); the router never owns its
+  lifecycle, only its connections;
+- **spawned** — a child ``repro serve`` process forked by the router on an
+  ephemeral port (``repro cluster --spawn N``); the router parses the
+  child's startup announcement for the bound port, keeps its stdout
+  drained, and SIGTERMs it (graceful drain, exit 0) on shutdown.
+
+Either way the router talks to it through :class:`AsyncBackendClient`: a
+keep-alive connection pool speaking the same wire format as the stdlib
+:class:`~repro.service.client.ServiceClient`, but asyncio-native so one
+router event loop can keep many requests in flight per backend — up to
+``pool_size`` concurrent keep-alive connections each, reused LIFO so a
+quiet backend collapses back to one warm socket.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+import os
+import re
+import signal
+import sys
+from pathlib import Path
+
+from repro.service.http import MAX_HEADER_BYTES
+
+
+class BackendError(Exception):
+    """Transport-level failure talking to a backend (connect/read/timeout).
+
+    This is the failover trigger: the router marks the backend down and
+    re-routes.  Application-level errors (4xx/5xx JSON answers) are *not*
+    BackendErrors — they come back as normal responses.
+    """
+
+
+class BackendBusy(Exception):
+    """The per-backend connection pool stayed saturated past the bounded
+    wait.  Deliberately *not* a :class:`BackendError`: the backend is
+    healthy, just loaded — the router answers 503 backpressure instead of
+    evicting it and scattering its hot structures."""
+
+
+class BackendResponse:
+    """One decoded backend answer: status, headers, parsed JSON body."""
+
+    __slots__ = ("status", "headers", "body")
+
+    def __init__(self, status: int, headers: dict, body: dict):
+        self.status = status
+        self.headers = headers
+        self.body = body
+
+
+class AsyncBackendClient:
+    """Keep-alive HTTP/1.1 connection pool to one backend.
+
+    ``request()`` may be called from many tasks at once; up to ``pool_size``
+    requests proceed concurrently (each on its own pooled connection) and
+    the rest wait on the semaphore — but only up to ``acquire_timeout``
+    seconds, after which :class:`BackendBusy` is raised so a saturated
+    backend degrades into fast 503 backpressure at the router rather than
+    hung client sockets and unbounded buffered bodies.  A request that
+    fails on a *reused* connection retries once on a guaranteed-fresh one —
+    an idle keep-alive socket the backend closed is indistinguishable from
+    a dead backend until a fresh connect attempt settles it.
+    """
+
+    def __init__(
+        self,
+        host: str,
+        port: int,
+        *,
+        pool_size: int = 8,
+        timeout: float = 600.0,
+        acquire_timeout: float = 30.0,
+    ):
+        self.host = host
+        self.port = port
+        self.timeout = timeout
+        self.acquire_timeout = acquire_timeout
+        self._idle: list[tuple[asyncio.StreamReader, asyncio.StreamWriter]] = []
+        self._slots = asyncio.Semaphore(pool_size)
+        self._closed = False
+
+    @property
+    def backend_id(self) -> str:
+        return f"{self.host}:{self.port}"
+
+    # -- transport -----------------------------------------------------------
+
+    async def _connect(self) -> tuple[asyncio.StreamReader, asyncio.StreamWriter]:
+        try:
+            return await asyncio.wait_for(
+                asyncio.open_connection(self.host, self.port, limit=MAX_HEADER_BYTES),
+                timeout=min(self.timeout, 10.0),
+            )
+        except (OSError, asyncio.TimeoutError, TimeoutError) as exc:
+            raise BackendError(f"connect to {self.backend_id} failed: {exc}") from None
+
+    @staticmethod
+    def _close_connection(writer: asyncio.StreamWriter) -> None:
+        with contextlib.suppress(Exception):
+            writer.close()
+
+    async def _roundtrip(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        method: str,
+        path: str,
+        payload: bytes | None,
+    ) -> tuple[BackendResponse, bool]:
+        """One request/response on an open connection.
+
+        Returns ``(response, reusable)``; raises on any transport problem.
+        """
+        head = [
+            f"{method} {path} HTTP/1.1",
+            f"Host: {self.backend_id}",
+            "Connection: keep-alive",
+        ]
+        if payload is not None:
+            head.append("Content-Type: application/json")
+            head.append(f"Content-Length: {len(payload)}")
+        writer.write("\r\n".join(head).encode("latin-1") + b"\r\n\r\n" + (payload or b""))
+        await writer.drain()
+
+        header_blob = await reader.readuntil(b"\r\n\r\n")
+        status_line, *header_lines = header_blob.decode("latin-1").split("\r\n")
+        parts = status_line.split(" ", 2)
+        if len(parts) < 2 or not parts[1].isdigit():
+            raise BackendError(
+                f"malformed status line from {self.backend_id}: {status_line!r}"
+            )
+        status = int(parts[1])
+        headers: dict[str, str] = {}
+        for line in header_lines:
+            if not line:
+                continue
+            name, _, value = line.partition(":")
+            headers[name.strip().lower()] = value.strip()
+        length = int(headers.get("content-length", "0"))
+        raw = await reader.readexactly(length) if length else b""
+        try:
+            body = json.loads(raw.decode("utf-8")) if raw else {}
+        except (json.JSONDecodeError, UnicodeDecodeError):
+            body = {}
+        reusable = headers.get("connection", "keep-alive").lower() != "close"
+        return BackendResponse(status, headers, body), reusable
+
+    async def request(
+        self, method: str, path: str, body: dict | None = None
+    ) -> BackendResponse:
+        """One request through the pool.
+
+        Raises :class:`BackendBusy` when no pool slot frees up within
+        ``acquire_timeout`` and :class:`BackendError` on transport failure
+        (after the one stale-keep-alive retry).
+        """
+        if self._closed:
+            raise BackendError(f"client for {self.backend_id} is closed")
+        payload = json.dumps(body).encode("utf-8") if body is not None else None
+        try:
+            await asyncio.wait_for(
+                self._slots.acquire(), timeout=self.acquire_timeout
+            )
+        except (asyncio.TimeoutError, TimeoutError):
+            raise BackendBusy(
+                f"{self.backend_id} pool saturated for "
+                f"{self.acquire_timeout:.0f}s"
+            ) from None
+        try:
+            for attempt in (0, 1):
+                # The retry attempt always opens a fresh connection: with
+                # several stale idle sockets pooled (e.g. a restarted
+                # backend), popping a second stale one would burn the retry
+                # without ever settling stale-keep-alive vs dead-backend.
+                reused = bool(self._idle) and attempt == 0
+                reader, writer = self._idle.pop() if reused else await self._connect()
+                try:
+                    response, reusable = await asyncio.wait_for(
+                        self._roundtrip(reader, writer, method, path, payload),
+                        timeout=self.timeout,
+                    )
+                except BackendError:
+                    self._close_connection(writer)
+                    raise
+                except (
+                    OSError,
+                    EOFError,
+                    asyncio.IncompleteReadError,
+                    asyncio.LimitOverrunError,
+                    asyncio.TimeoutError,
+                    TimeoutError,
+                ) as exc:
+                    self._close_connection(writer)
+                    # Only a *reused* connection earns a retry: it may have
+                    # been idle-closed by the backend.  A fresh connection
+                    # failing is the backend failing.
+                    if reused:
+                        continue
+                    raise BackendError(
+                        f"{method} {path} on {self.backend_id} failed: "
+                        f"{type(exc).__name__}: {exc}"
+                    ) from None
+                if reusable and not self._closed:
+                    self._idle.append((reader, writer))
+                else:
+                    self._close_connection(writer)
+                return response
+        finally:
+            self._slots.release()
+        raise BackendError(
+            f"{method} {path} on {self.backend_id}: retries exhausted"
+        )  # pragma: no cover - loop always returns or raises
+
+    async def close(self) -> None:
+        """Close every pooled connection; the client rejects further use."""
+        self._closed = True
+        while self._idle:
+            _, writer = self._idle.pop()
+            self._close_connection(writer)
+
+
+def parse_backend_list(spec: str) -> list[tuple[str, int]]:
+    """``"host:port,host:port"`` → ``[(host, port), ...]`` (CLI --backends)."""
+    backends: list[tuple[str, int]] = []
+    for entry in spec.split(","):
+        entry = entry.strip()
+        if not entry:
+            continue
+        host, separator, raw_port = entry.rpartition(":")
+        if not separator or not host or not raw_port.isdigit():
+            raise ValueError(
+                f"backend {entry!r} is not host:port (e.g. 127.0.0.1:8321)"
+            )
+        backends.append((host, int(raw_port)))
+    if not backends:
+        raise ValueError(f"no backends in {spec!r}")
+    return backends
+
+
+#: The `repro serve` announcement the spawner parses for the bound address.
+_ANNOUNCE_RE = re.compile(r"serving on http://([0-9.]+):(\d+)")
+
+
+class SpawnedBackend:
+    """A child ``repro serve`` process owned by the router."""
+
+    def __init__(self, process: asyncio.subprocess.Process, host: str, port: int):
+        self.process = process
+        self.host = host
+        self.port = port
+        self._drain_task: asyncio.Task | None = None
+
+    @property
+    def backend_id(self) -> str:
+        return f"{self.host}:{self.port}"
+
+    def start_stdout_drain(self) -> None:
+        """Keep the child's stdout pipe from filling (its output is noise
+        after the announcement; the child's logs are its own concern)."""
+
+        async def drain() -> None:
+            assert self.process.stdout is not None
+            while await self.process.stdout.read(65536):
+                pass
+
+        self._drain_task = asyncio.get_running_loop().create_task(drain())
+
+    async def terminate(self, timeout: float = 60.0) -> int | None:
+        """SIGTERM (graceful drain in the child), bounded wait, then SIGKILL."""
+        if self.process.returncode is None:
+            with contextlib.suppress(ProcessLookupError):
+                self.process.send_signal(signal.SIGTERM)
+            try:
+                await asyncio.wait_for(self.process.wait(), timeout=timeout)
+            except (asyncio.TimeoutError, TimeoutError):
+                with contextlib.suppress(ProcessLookupError):
+                    self.process.kill()
+                await self.process.wait()
+        if self._drain_task is not None:
+            self._drain_task.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await self._drain_task
+            self._drain_task = None
+        return self.process.returncode
+
+
+def _child_environment() -> dict[str, str]:
+    """The child's environment, guaranteed to be able to ``import repro``.
+
+    ``repro cluster --spawn`` must work from a source checkout where only
+    the parent's ``PYTHONPATH`` (or cwd) makes the package importable; the
+    package's own location is prepended so the children resolve the same
+    code the router runs.
+    """
+    env = dict(os.environ)
+    package_root = str(Path(__file__).resolve().parent.parent.parent)
+    existing = env.get("PYTHONPATH", "")
+    if package_root not in existing.split(os.pathsep):
+        env["PYTHONPATH"] = (
+            package_root + (os.pathsep + existing if existing else "")
+        )
+    return env
+
+
+async def spawn_backend(
+    serve_args: list[str],
+    *,
+    host: str = "127.0.0.1",
+    start_timeout: float = 120.0,
+) -> SpawnedBackend:
+    """Fork one ``repro serve`` child on an ephemeral port.
+
+    ``serve_args`` are extra ``repro serve`` flags (engine and batcher
+    knobs); the spawner pins ``--host``/``--port 0`` itself and parses the
+    announcement line for the resolved port.  Raises :class:`BackendError`
+    if the child dies or stays silent past ``start_timeout``.
+    """
+    command = [
+        sys.executable,
+        "-m",
+        "repro",
+        "serve",
+        "--host",
+        host,
+        "--port",
+        "0",
+        *serve_args,
+    ]
+    process = await asyncio.create_subprocess_exec(
+        *command,
+        stdout=asyncio.subprocess.PIPE,
+        stderr=asyncio.subprocess.STDOUT,
+        env=_child_environment(),
+    )
+    assert process.stdout is not None
+    deadline = asyncio.get_running_loop().time() + start_timeout
+    lines: list[str] = []
+    while True:
+        remaining = deadline - asyncio.get_running_loop().time()
+        if remaining <= 0:
+            with contextlib.suppress(ProcessLookupError):
+                process.kill()
+            await process.wait()
+            raise BackendError(
+                f"spawned backend did not announce within {start_timeout:.0f}s; "
+                f"output: {''.join(lines[-5:])!r}"
+            )
+        try:
+            raw = await asyncio.wait_for(process.stdout.readline(), timeout=remaining)
+        except (asyncio.TimeoutError, TimeoutError):
+            continue
+        if not raw:
+            await process.wait()
+            raise BackendError(
+                f"spawned backend exited with {process.returncode} before "
+                f"announcing; output: {''.join(lines[-5:])!r}"
+            )
+        line = raw.decode("utf-8", "replace")
+        lines.append(line)
+        match = _ANNOUNCE_RE.search(line)
+        if match:
+            backend = SpawnedBackend(process, match.group(1), int(match.group(2)))
+            backend.start_stdout_drain()
+            return backend
+
+
+async def spawn_backends(
+    count: int,
+    serve_args: list[str],
+    *,
+    host: str = "127.0.0.1",
+    start_timeout: float = 120.0,
+) -> list[SpawnedBackend]:
+    """Spawn ``count`` children concurrently; on any failure, reap them all."""
+    results = await asyncio.gather(
+        *(
+            spawn_backend(serve_args, host=host, start_timeout=start_timeout)
+            for _ in range(count)
+        ),
+        return_exceptions=True,
+    )
+    spawned = [result for result in results if isinstance(result, SpawnedBackend)]
+    failures = [result for result in results if not isinstance(result, SpawnedBackend)]
+    if failures:
+        for backend in spawned:
+            await backend.terminate(timeout=10.0)
+        raise BackendError(f"spawning {count} backends failed: {failures[0]}")
+    return spawned

@@ -1,0 +1,209 @@
+"""Backend health tracking: active probes plus passive failure reports.
+
+A backend leaves the routing rotation in one of two ways:
+
+- **passively** — the router's forwarding path hit a transport error
+  (:class:`~repro.cluster.backend.BackendError`); that is the strongest
+  possible signal, so the backend is marked down *immediately* and the
+  request retries on the key's next rendezvous choice;
+- **actively** — the :class:`HealthMonitor`'s periodic ``GET /healthz``
+  probe failed ``fail_threshold`` consecutive times (a threshold, so one
+  slow probe against a backend deep in a 2^14 batch does not flap it).
+
+Recovery is active only: a probe must succeed before a downed backend
+rejoins the rotation, at which point its rendezvous slots return to it and
+its caches are exactly as hot as it left them.
+
+The monitor also keeps each backend's last ``/healthz`` body (queue depth,
+in-flight batches, engine cache contents — the PR's extended health report)
+so the router's own ``/healthz`` can expose a whole-cluster view without
+extra fan-out at query time.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import logging
+import time
+from typing import Callable
+
+from repro.cluster.backend import AsyncBackendClient, BackendError
+from repro.cluster.topology import ClusterTopology
+
+logger = logging.getLogger("repro.cluster")
+
+
+class BackendHealth:
+    """Mutable probe state for one backend."""
+
+    __slots__ = ("live", "consecutive_failures", "last_probe_at", "last_error", "report")
+
+    def __init__(self) -> None:
+        self.live = False
+        self.consecutive_failures = 0
+        self.last_probe_at: float | None = None
+        self.last_error: str | None = None
+        self.report: dict = {}
+
+    def as_dict(self) -> dict:
+        body = {
+            "live": self.live,
+            "consecutive_failures": self.consecutive_failures,
+            "last_probe_at": self.last_probe_at,
+        }
+        if self.last_error is not None:
+            body["last_error"] = self.last_error
+        if self.report:
+            body["report"] = self.report
+        return body
+
+
+class HealthMonitor:
+    """Periodic ``GET /healthz`` probes driving the topology's liveness."""
+
+    def __init__(
+        self,
+        clients: dict[str, AsyncBackendClient],
+        topology: ClusterTopology,
+        *,
+        interval_s: float = 2.0,
+        fail_threshold: int = 2,
+        probe_timeout_s: float = 10.0,
+        on_transition: Callable[[str, bool], None] | None = None,
+    ):
+        if interval_s <= 0:
+            raise ValueError("interval_s must be > 0")
+        if fail_threshold < 1:
+            raise ValueError("fail_threshold must be >= 1")
+        self._clients = clients
+        self._topology = topology
+        self.interval_s = interval_s
+        self.fail_threshold = fail_threshold
+        self.probe_timeout_s = probe_timeout_s
+        self._on_transition = on_transition
+        self._health = {backend_id: BackendHealth() for backend_id in clients}
+        self._task: asyncio.Task | None = None
+
+    # -- state ----------------------------------------------------------------
+
+    def health_of(self, backend_id: str) -> BackendHealth:
+        return self._health[backend_id]
+
+    def snapshot(self) -> dict[str, dict]:
+        """Per-backend health for the router's ``/healthz`` body."""
+        return {
+            backend_id: health.as_dict()
+            for backend_id, health in sorted(self._health.items())
+        }
+
+    # -- transitions ----------------------------------------------------------
+
+    def _transition(self, backend_id: str, live: bool) -> None:
+        changed = (
+            self._topology.mark_up(backend_id)
+            if live
+            else self._topology.mark_down(backend_id)
+        )
+        self._health[backend_id].live = live
+        if changed:
+            logger.log(
+                logging.INFO if live else logging.WARNING,
+                "backend %s %s rotation",
+                backend_id,
+                "joined" if live else "left",
+            )
+            if self._on_transition is not None:
+                self._on_transition(backend_id, live)
+
+    def report_failure(self, backend_id: str, error: Exception | str) -> None:
+        """Passive mark-down from the forwarding path (immediate)."""
+        health = self._health[backend_id]
+        health.consecutive_failures += 1
+        health.last_error = str(error)
+        if self._topology.is_live(backend_id):
+            self._transition(backend_id, live=False)
+
+    def report_success(self, backend_id: str) -> None:
+        """Passive mark-up is *not* allowed — only a probe revives a backend
+        — but a served request does reset the failure streak."""
+        self._health[backend_id].consecutive_failures = 0
+
+    # -- probing ---------------------------------------------------------------
+
+    async def probe(self, backend_id: str) -> bool:
+        """One ``GET /healthz`` round-trip; updates liveness per the rules."""
+        client = self._clients[backend_id]
+        health = self._health[backend_id]
+        health.last_probe_at = time.time()
+        try:
+            response = await asyncio.wait_for(
+                client.request("GET", "/healthz"), timeout=self.probe_timeout_s
+            )
+            ok = response.status == 200 and response.body.get("state") == "serving"
+            if ok:
+                health.report = response.body
+            else:
+                health.last_error = (
+                    f"healthz answered {response.status} "
+                    f"(state={response.body.get('state')!r})"
+                )
+        except (BackendError, asyncio.TimeoutError, TimeoutError) as exc:
+            ok = False
+            health.last_error = str(exc)
+        if ok:
+            health.consecutive_failures = 0
+            if not self._topology.is_live(backend_id):
+                self._transition(backend_id, live=True)
+            return True
+        health.consecutive_failures += 1
+        if (
+            self._topology.is_live(backend_id)
+            and health.consecutive_failures >= self.fail_threshold
+        ):
+            self._transition(backend_id, live=False)
+        return False
+
+    async def probe_all(self) -> dict[str, bool]:
+        results = await asyncio.gather(
+            *(self.probe(backend_id) for backend_id in self._clients)
+        )
+        return dict(zip(self._clients, results))
+
+    async def wait_until_live(
+        self, minimum: int | None = None, timeout: float = 120.0
+    ) -> None:
+        """Block until ``minimum`` backends (default: all) pass a probe."""
+        needed = len(self._clients) if minimum is None else minimum
+        deadline = asyncio.get_running_loop().time() + timeout
+        while True:
+            await self.probe_all()
+            live = len(self._topology.live_members)
+            if live >= needed:
+                return
+            if asyncio.get_running_loop().time() >= deadline:
+                raise BackendError(
+                    f"only {live}/{needed} backends became healthy within "
+                    f"{timeout:.0f}s: {self.snapshot()}"
+                )
+            await asyncio.sleep(min(0.5, self.interval_s))
+
+    # -- background loop -------------------------------------------------------
+
+    def start(self) -> None:
+        """Start the periodic probe loop (idempotent) on the running loop."""
+        if self._task is None:
+            self._task = asyncio.get_running_loop().create_task(self._run())
+
+    async def stop(self) -> None:
+        if self._task is not None:
+            self._task.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await self._task
+            self._task = None
+
+    async def _run(self) -> None:
+        while True:
+            await asyncio.sleep(self.interval_s)
+            with contextlib.suppress(Exception):
+                await self.probe_all()

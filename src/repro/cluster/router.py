@@ -1,0 +1,564 @@
+"""The cluster front tier: one asyncio router over N proving backends.
+
+:class:`ClusterRouter` is the scale-out layer above PR 4's single-engine
+:class:`~repro.service.ProofService`: it speaks the exact same wire format
+on the exact same endpoints, so every existing client — the stdlib
+:class:`~repro.service.client.ServiceClient`, ``repro submit``, the load
+generators — points at a cluster by changing nothing but the port.
+
+Routing is *structure-affine*: each request's
+:func:`~repro.cluster.topology.structure_key` (scenario + resolved size)
+rendezvous-hashes to one backend, so identical circuit structures always
+land on the same engine and hit its SRS/proving-key caches; distinct
+structures spread across the fleet.  Failures re-route per key to the next
+rendezvous choice (the other backends' placements never move), and because
+proving is deterministic and verification read-only, a failed forward is
+retried — bounded — on the new home without the caller noticing beyond
+latency.
+
+The router owns no engine; its work is parsing, placement, forwarding over
+per-backend keep-alive connection pools
+(:class:`~repro.cluster.backend.AsyncBackendClient`), health
+(:class:`~repro.cluster.health.HealthMonitor`), metrics aggregation, and —
+in ``--spawn`` mode — the lifecycle of its child ``repro serve`` processes
+(SIGTERM fans out into child drains on shutdown).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import logging
+import threading
+import time
+from collections import Counter, deque
+from dataclasses import dataclass, field
+
+from repro.cluster.backend import (
+    AsyncBackendClient,
+    BackendBusy,
+    BackendError,
+    SpawnedBackend,
+    spawn_backends,
+)
+from repro.cluster.health import HealthMonitor
+from repro.cluster.topology import ClusterTopology, structure_key
+from repro.service import wire
+from repro.service.http import HttpServerBase
+from repro.service.metrics import ServiceMetrics, latency_summary
+
+logger = logging.getLogger("repro.cluster")
+
+#: Key used to place requests that have no circuit structure (``GET
+#: /scenarios``): any stable backend will do, rendezvous just keeps it
+#: deterministic.
+_STRUCTURELESS_KEY = "__structureless__"
+
+
+@dataclass(frozen=True)
+class RouterConfig:
+    """Front-tier knobs (backend engine knobs travel as ``repro serve``
+    flags to spawned children, or belong to whoever started an attached
+    backend).
+
+    Attributes
+    ----------
+    host / port:
+        Router bind address; ``port=0`` picks an ephemeral port.
+    health_interval_s:
+        Period of the background ``GET /healthz`` probe loop.
+    fail_threshold:
+        Consecutive *probe* failures before a backend leaves rotation (a
+        transport failure on a live request marks it down immediately).
+    retry_limit:
+        Extra forwarding attempts after the first fails — bounded failover
+        for idempotent requests.  ``0`` disables failover retries.
+    pool_size:
+        Keep-alive connections per backend (the per-backend concurrency
+        cap; above it requests queue on the pool's semaphore).
+    request_timeout_s:
+        Wall-clock bound on one forwarded request (proving a big batch is
+        slow; the default is deliberately generous).
+    pool_wait_timeout_s:
+        How long a request may wait for a free connection in its backend's
+        pool before the router answers 503 backpressure (the backend is
+        healthy, just saturated — see
+        :class:`~repro.cluster.backend.BackendBusy`).
+    min_live_at_start:
+        Backends that must pass a health probe before the router starts
+        serving (``None`` = every configured backend).
+    """
+
+    host: str = "127.0.0.1"
+    port: int = 8100
+    health_interval_s: float = 2.0
+    fail_threshold: int = 2
+    retry_limit: int = 2
+    pool_size: int = 8
+    request_timeout_s: float = 600.0
+    pool_wait_timeout_s: float = 30.0
+    min_live_at_start: int | None = None
+
+    def __post_init__(self) -> None:
+        if self.health_interval_s <= 0:
+            raise ValueError("health_interval_s must be > 0")
+        if self.fail_threshold < 1:
+            raise ValueError("fail_threshold must be >= 1")
+        if self.retry_limit < 0:
+            raise ValueError("retry_limit must be >= 0")
+        if self.pool_size < 1:
+            raise ValueError("pool_size must be >= 1")
+        if (
+            self.min_live_at_start is not None
+            and self.min_live_at_start < 1
+        ):
+            raise ValueError("min_live_at_start must be >= 1 (or None for all)")
+
+
+class RouterMetrics:
+    """Router-side counters + forwarding latency percentiles.
+
+    Backend-side numbers (proofs, batches, engine latency) live on the
+    backends and are *aggregated* by ``GET /metrics``, not duplicated here;
+    this object only counts what the router itself does: route, forward,
+    fail over, reject.
+    """
+
+    RESERVOIR = ServiceMetrics.RESERVOIR
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self.started_at = time.time()
+        self.requests_total: Counter = Counter()
+        self.responses_total: Counter = Counter()
+        self.routed_total: Counter = Counter()
+        self.failovers_total = 0
+        self.no_backend_total = 0
+        self._latency: dict[str, deque] = {}
+
+    def request(self, endpoint: str) -> None:
+        with self._lock:
+            self.requests_total[endpoint] += 1
+
+    def response(self, status: int) -> None:
+        with self._lock:
+            self.responses_total[str(status)] += 1
+
+    def routed(self, backend_id: str) -> None:
+        with self._lock:
+            self.routed_total[backend_id] += 1
+
+    def failover(self) -> None:
+        with self._lock:
+            self.failovers_total += 1
+
+    def no_backend(self) -> None:
+        with self._lock:
+            self.no_backend_total += 1
+
+    def latency(self, endpoint: str, seconds: float) -> None:
+        with self._lock:
+            reservoir = self._latency.get(endpoint)
+            if reservoir is None:
+                reservoir = self._latency[endpoint] = deque(maxlen=self.RESERVOIR)
+            reservoir.append(seconds)
+
+    def snapshot(self) -> dict:
+        with self._lock:
+            return {
+                "uptime_seconds": time.time() - self.started_at,
+                "requests_total": dict(self.requests_total),
+                "responses_total": dict(self.responses_total),
+                "routed_total": dict(self.routed_total),
+                "failovers_total": self.failovers_total,
+                "no_backend_total": self.no_backend_total,
+                "latency_seconds": {
+                    endpoint: latency_summary(list(samples))
+                    for endpoint, samples in self._latency.items()
+                },
+            }
+
+
+@dataclass
+class _Backends:
+    """Everything the router knows about its fleet, built at start()."""
+
+    clients: dict[str, AsyncBackendClient] = field(default_factory=dict)
+    #: Separate single-connection clients for health probes, so a probe
+    #: never queues behind forwarded load — a backend deep in a big batch
+    #: with a saturated forwarding pool must still answer /healthz (it
+    #: would otherwise be evicted for being *busy*, not for being down).
+    probe_clients: dict[str, AsyncBackendClient] = field(default_factory=dict)
+    spawned: list[SpawnedBackend] = field(default_factory=list)
+
+
+class ClusterRouter(HttpServerBase):
+    """Sharded serving tier over N ``ProofService`` backends.
+
+    Exactly one of ``backends`` (attach: ``["host:port", ...]``) or
+    ``spawn`` (own ``spawn`` child ``repro serve`` processes, started with
+    ``spawn_args``) must describe the fleet.
+    """
+
+    max_body_bytes = wire.MAX_BODY_BYTES
+    logger = logging.getLogger("repro.cluster")
+
+    def __init__(
+        self,
+        config: RouterConfig | None = None,
+        *,
+        backends: list[str] | None = None,
+        spawn: int = 0,
+        spawn_args: list[str] | None = None,
+    ):
+        if bool(backends) == bool(spawn):
+            raise ValueError("pass exactly one of backends=[...] or spawn=N")
+        if spawn < 0:
+            raise ValueError("spawn must be >= 0")
+        self.config = config if config is not None else RouterConfig()
+        super().__init__(self.config.host, self.config.port)
+        self._attach_backends = list(backends) if backends else []
+        self._spawn_count = spawn
+        self._spawn_args = list(spawn_args) if spawn_args else []
+        self.metrics = RouterMetrics()
+        self._fleet = _Backends()
+        self.topology: ClusterTopology | None = None
+        self.monitor: HealthMonitor | None = None
+
+    # -- lifecycle -------------------------------------------------------------
+
+    @property
+    def backend_ids(self) -> list[str]:
+        return list(self._fleet.clients)
+
+    async def start(self) -> None:
+        """Spawn/attach the fleet, wait for health, bind the socket."""
+        if self._state != "new":
+            raise RuntimeError(f"cannot start a {self._state} router")
+        if self._spawn_count:
+            logger.info("spawning %d backend(s)", self._spawn_count)
+            self._fleet.spawned = await spawn_backends(
+                self._spawn_count, self._spawn_args
+            )
+            addresses = [
+                (backend.host, backend.port) for backend in self._fleet.spawned
+            ]
+        else:
+            addresses = [
+                (host, port)
+                for host, port in (
+                    entry.rsplit(":", 1) for entry in self._attach_backends
+                )
+            ]
+            addresses = [(host, int(port)) for host, port in addresses]
+        for host, port in addresses:
+            client = AsyncBackendClient(
+                host,
+                port,
+                pool_size=self.config.pool_size,
+                timeout=self.config.request_timeout_s,
+                acquire_timeout=self.config.pool_wait_timeout_s,
+            )
+            self._fleet.clients[client.backend_id] = client
+            self._fleet.probe_clients[client.backend_id] = AsyncBackendClient(
+                host, port, pool_size=1, timeout=30.0
+            )
+        # Members start *down*: only a successful health probe puts a
+        # backend into rotation, so a half-started fleet never takes
+        # traffic it would drop.
+        self.topology = ClusterTopology(self.backend_ids, assume_live=False)
+        self.monitor = HealthMonitor(
+            self._fleet.probe_clients,
+            self.topology,
+            interval_s=self.config.health_interval_s,
+            fail_threshold=self.config.fail_threshold,
+        )
+        try:
+            await self.monitor.wait_until_live(self.config.min_live_at_start)
+        except BackendError:
+            await self._teardown_fleet()
+            raise
+        self.monitor.start()
+        await self._start_http()
+        self._state = "serving"
+        logger.info(
+            "routing on %s:%d over %d backend(s): %s",
+            self.config.host,
+            self.port,
+            len(self._fleet.clients),
+            ", ".join(self.backend_ids),
+        )
+
+    async def _teardown_fleet(self) -> None:
+        for client in self._fleet.clients.values():
+            await client.close()
+        for client in self._fleet.probe_clients.values():
+            await client.close()
+        self._fleet.clients = {}
+        self._fleet.probe_clients = {}
+        if self._fleet.spawned:
+            await asyncio.gather(
+                *(backend.terminate() for backend in self._fleet.spawned)
+            )
+            self._fleet.spawned = []
+
+    async def shutdown(self) -> None:
+        """Graceful drain of the whole tree.
+
+        Ordering: stop accepting (keep-alive gate drops with the state
+        change), let in-flight forwarded requests finish writing, close the
+        listening socket, stop the probe loop, then SIGTERM the spawned
+        children — each of which runs its own admitted-work drain before
+        exiting.  Attached backends are left untouched.
+        """
+        if self._state in ("draining", "stopped"):
+            return
+        self._state = "draining"
+        await self._stop_http()
+        if self.monitor is not None:
+            await self.monitor.stop()
+        await self._teardown_fleet()
+        self._state = "stopped"
+        logger.info("router drained and stopped")
+
+    def on_response(self, status: int) -> None:
+        self.metrics.response(status)
+
+    # -- forwarding ------------------------------------------------------------
+
+    async def _forward_with_failover(
+        self, method: str, path: str, body: dict | None, key: str
+    ):
+        """Forward one idempotent request to ``key``'s backend, failing over
+        (bounded) through the key's rendezvous order on transport errors.
+
+        Returns ``(status, body, extra_headers, backend_id)``; application
+        responses — including a backend's own 503 backpressure — are
+        forwarded verbatim, only *transport* failures trigger failover.
+        """
+        assert self.topology is not None and self.monitor is not None
+        attempted: set[str] = set()
+        last_error: BackendError | None = None
+        for _ in range(self.config.retry_limit + 1):
+            backend_id = next(
+                (
+                    candidate
+                    for candidate in self.topology.rank(key)
+                    if candidate not in attempted
+                ),
+                None,
+            )
+            if backend_id is None:
+                break
+            attempted.add(backend_id)
+            client = self._fleet.clients[backend_id]
+            try:
+                response = await client.request(method, path, body)
+            except BackendBusy as exc:
+                # The backend is healthy, just saturated: answer 503
+                # backpressure rather than evicting it or spilling its hot
+                # structure onto a cold backend.
+                logger.warning("backpressure from %s: %s", backend_id, exc)
+                return (
+                    503,
+                    wire.error_body("backend_saturated", str(exc)),
+                    {"Retry-After": str(max(1, round(self.config.pool_wait_timeout_s)))},
+                    None,
+                )
+            except BackendError as exc:
+                logger.warning("forward to %s failed: %s", backend_id, exc)
+                self.monitor.report_failure(backend_id, exc)
+                self.metrics.failover()
+                last_error = exc
+                continue
+            self.monitor.report_success(backend_id)
+            self.metrics.routed(backend_id)
+            extra = None
+            retry_after = response.headers.get("retry-after")
+            if retry_after is not None:
+                extra = {"Retry-After": retry_after}
+            return response.status, response.body, extra, backend_id
+        if last_error is None:
+            self.metrics.no_backend()
+            return (
+                503,
+                wire.error_body("no_backends", "no live backend for this request"),
+                {"Retry-After": str(max(1, round(self.config.health_interval_s * 2)))},
+                None,
+            )
+        return (
+            502,
+            wire.error_body(
+                "backend_unreachable",
+                f"all {len(attempted)} attempted backend(s) failed; "
+                f"last error: {last_error}",
+            ),
+            None,
+            None,
+        )
+
+    # -- routing ---------------------------------------------------------------
+
+    def routes(self) -> dict:
+        return {
+            ("POST", "/prove"): self._handle_prove,
+            ("POST", "/verify"): self._handle_verify,
+            ("GET", "/scenarios"): self._handle_scenarios,
+            ("GET", "/healthz"): self._handle_healthz,
+            ("GET", "/metrics"): self._handle_metrics,
+        }
+
+    def on_request(self, endpoint: str) -> None:
+        self.metrics.request(endpoint)
+
+    def on_latency(self, endpoint: str, seconds: float) -> None:
+        self.metrics.latency(endpoint, seconds)
+
+    async def _handle_prove(self, request: dict):
+        """Validate at the edge, then forward by structure key.
+
+        Validation up front means a malformed request gets its 400 from the
+        router without burning a backend round-trip, and the canonical
+        parsed coordinates are what feed the placement hash.
+        """
+        try:
+            prove_request = wire.parse_prove_request(
+                wire.parse_json_body(request["body"])
+            )
+        except wire.WireError as exc:
+            return 400, wire.error_body("bad_request", str(exc)), None
+        key = structure_key(prove_request["scenario"], prove_request["num_vars"])
+        body = {
+            "scenario": prove_request["scenario"],
+            "num_vars": prove_request["num_vars"],
+            "seed": prove_request["seed"],
+        }
+        if prove_request["include_witness"]:
+            body["include_witness"] = True
+        status, response_body, extra, backend_id = await self._forward_with_failover(
+            "POST", "/prove", body, key
+        )
+        if status == 200 and backend_id is not None:
+            # Additive: clients that don't know about the cluster ignore it;
+            # the affinity tests and the bench read it instead of scraping
+            # every backend's metrics.
+            response_body = dict(response_body)
+            response_body["served_by"] = backend_id
+        return status, response_body, extra
+
+    async def _handle_verify(self, request: dict):
+        """Verify routes by the same structure key as prove — the verifying
+        key cache is exactly as structure-affine as the proving caches."""
+        try:
+            verify_request = wire.parse_verify_request(
+                wire.parse_json_body(request["body"])
+            )
+        except wire.WireError as exc:
+            return 400, wire.error_body("bad_request", str(exc)), None
+        key = structure_key(verify_request["scenario"], verify_request["num_vars"])
+        body = {
+            "scenario": verify_request["scenario"],
+            "num_vars": verify_request["num_vars"],
+            "seed": verify_request["seed"],
+            "proof": wire.encode_bytes(verify_request["proof"]),
+        }
+        status, response_body, extra, backend_id = await self._forward_with_failover(
+            "POST", "/verify", body, key
+        )
+        if status == 200 and backend_id is not None:
+            response_body = dict(response_body)
+            response_body["served_by"] = backend_id
+        return status, response_body, extra
+
+    async def _handle_scenarios(self, request: dict):
+        status, body, extra, _ = await self._forward_with_failover(
+            "GET", "/scenarios", None, _STRUCTURELESS_KEY
+        )
+        return status, body, extra
+
+    async def _handle_healthz(self, request: dict):
+        assert self.topology is not None and self.monitor is not None
+        live = self.topology.live_members
+        total = len(self.topology.members)
+        if self._state != "serving":
+            status_word = self._state
+        elif len(live) == total:
+            status_word = "ok"
+        elif live:
+            status_word = "degraded"
+        else:
+            status_word = "down"
+        return (
+            200,
+            {
+                "status": status_word,
+                "state": self._state,
+                "role": "router",
+                "uptime_seconds": time.time() - self.metrics.started_at,
+                "backends_total": total,
+                "backends_live": len(live),
+                "live_backends": live,
+                "spawned": bool(self._fleet.spawned),
+                "backends": self.monitor.snapshot(),
+            },
+            None,
+        )
+
+    async def _handle_metrics(self, request: dict):
+        """Router counters plus a concurrent fan-out over backend metrics.
+
+        Dead or mid-restart backends appear with an ``error`` entry instead
+        of poisoning the whole answer; the ``aggregate`` block sums only
+        what actually reported.
+        """
+        backend_snapshots: dict[str, dict] = {}
+
+        async def fetch(backend_id: str, client: AsyncBackendClient) -> None:
+            try:
+                response = await client.request("GET", "/metrics")
+                if response.status == 200:
+                    backend_snapshots[backend_id] = response.body
+                else:
+                    backend_snapshots[backend_id] = {
+                        "error": f"metrics answered {response.status}"
+                    }
+            except BackendError as exc:
+                backend_snapshots[backend_id] = {"error": str(exc)}
+
+        await asyncio.gather(
+            *(
+                fetch(backend_id, client)
+                for backend_id, client in self._fleet.clients.items()
+            )
+        )
+        aggregate: Counter = Counter()
+        reporting = 0
+        for snapshot in backend_snapshots.values():
+            if "error" in snapshot:
+                continue
+            reporting += 1
+            for counter in (
+                "proofs_total",
+                "verifications_total",
+                "prove_many_calls",
+                "rejected_total",
+            ):
+                aggregate[counter] += int(snapshot.get(counter, 0))
+        return (
+            200,
+            {
+                "state": self._state,
+                "router": self.metrics.snapshot(),
+                "aggregate": {
+                    **{key: aggregate.get(key, 0) for key in (
+                        "proofs_total",
+                        "verifications_total",
+                        "prove_many_calls",
+                        "rejected_total",
+                    )},
+                    "backends_reporting": reporting,
+                    "backends_total": len(self._fleet.clients),
+                },
+                "backends": dict(sorted(backend_snapshots.items())),
+            },
+            None,
+        )

@@ -1,0 +1,129 @@
+"""Structure-affine placement: rendezvous hashing of circuit structures.
+
+The whole premise of the cluster tier is that a proving backend is cheap to
+hit only when its caches are hot: the SRS for a circuit size, the
+proving/verifying keys for a circuit *structure*, the built-circuit LRU.
+Those caches are keyed by ``(scenario, num_vars)`` — the same coordinates
+every wire request carries — so the router's placement rule is simply:
+**identical structure, identical backend**.
+
+Placement uses rendezvous (highest-random-weight) hashing rather than a
+ring: every ``(key, backend)`` pair gets a deterministic score from
+SHA-256 and a key lives on its highest-scoring *live* backend.  The
+properties that matter here fall out directly:
+
+- deterministic and stateless — any router instance (or a test) computes
+  the same placement from the same member list; there is nothing to sync;
+- minimal movement — when a backend dies, only *its* keys move (each to
+  its second-highest backend); every other structure keeps its hot caches;
+- no configuration — no virtual-node counts or ring weights to tune.
+
+:class:`ClusterTopology` tracks the member list plus liveness and answers
+``route(key)`` / ``rank(key)``; scoring is pure (module functions) so the
+routing tests can assert placement without a router in the loop.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+from repro.service.wire import resolved_num_vars
+
+
+def structure_key(scenario: str, num_vars: int | None) -> str:
+    """The placement key of a request: ``"scenario:resolved_num_vars"``.
+
+    Uses the same size-resolution rule as the batcher's size buckets
+    (:func:`repro.service.wire.resolved_num_vars`), so a request that names
+    no size routes with the scenario's default — the size its backend will
+    actually build and cache.
+    """
+    return f"{scenario}:{resolved_num_vars(scenario, num_vars)}"
+
+
+def rendezvous_score(key: str, member: str) -> int:
+    """The deterministic weight of placing ``key`` on ``member``.
+
+    First 8 bytes of ``SHA-256(key | member)`` as a big-endian integer —
+    uniform enough that structures spread evenly, and stable across
+    processes and Python versions (no ``hash()`` randomization).
+    """
+    digest = hashlib.sha256(f"{key}|{member}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big")
+
+
+def rank_members(key: str, members: list[str]) -> list[str]:
+    """All members ordered by descending placement score for ``key``.
+
+    The first entry is the key's home; the rest are its failover order.
+    Ties (astronomically unlikely) break by member id for determinism.
+    """
+    return sorted(
+        members, key=lambda member: (rendezvous_score(key, member), member),
+        reverse=True,
+    )
+
+
+class ClusterTopology:
+    """The router's member list with liveness, answering placement queries."""
+
+    def __init__(self, members: list[str], assume_live: bool = True):
+        if not members:
+            raise ValueError("a cluster needs at least one backend")
+        if len(set(members)) != len(members):
+            raise ValueError(f"duplicate backend ids in {members}")
+        self._members = list(members)
+        # assume_live=False starts every member out of rotation — the
+        # router's stance: a backend takes traffic only after a health
+        # probe has actually seen it serving.
+        self._live = set(members) if assume_live else set()
+
+    # -- membership ----------------------------------------------------------
+
+    @property
+    def members(self) -> list[str]:
+        """All configured backend ids, in configuration order."""
+        return list(self._members)
+
+    @property
+    def live_members(self) -> list[str]:
+        """Backends currently in rotation, in configuration order."""
+        return [member for member in self._members if member in self._live]
+
+    def is_live(self, member: str) -> bool:
+        return member in self._live
+
+    def mark_down(self, member: str) -> bool:
+        """Take ``member`` out of rotation; returns True if it was live."""
+        if member in self._live:
+            self._live.discard(member)
+            return True
+        return False
+
+    def mark_up(self, member: str) -> bool:
+        """Return ``member`` to rotation; returns True if it was down."""
+        if member in self._members and member not in self._live:
+            self._live.add(member)
+            return True
+        return False
+
+    # -- placement -----------------------------------------------------------
+
+    def rank(self, key: str) -> list[str]:
+        """Every *live* backend in failover order for ``key``.
+
+        Index 0 is the key's current home.  A dead backend simply vanishes
+        from the ranking, which is exactly the rendezvous re-route: the
+        dead member's keys fall to their second choice, everyone else's
+        home is unchanged.
+        """
+        return rank_members(key, self.live_members)
+
+    def route(self, key: str) -> str | None:
+        """The live backend that owns ``key`` (``None`` if none are live)."""
+        ranked = self.rank(key)
+        return ranked[0] if ranked else None
+
+    def placement(self, keys: list[str]) -> dict[str, str | None]:
+        """Bulk :meth:`route` — handy for tests and the healthz snapshot."""
+        return {key: self.route(key) for key in keys}

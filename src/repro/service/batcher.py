@@ -9,6 +9,15 @@ maximum batch size) into a single blocking ``prove_many``-shaped call on a
 dedicated engine thread, and each caller's future resolves with its own
 result.
 
+Batches can be *size-aware*: with a ``bucket_key`` (the server passes the
+request's resolved ``num_vars``), a batch only ever coalesces requests from
+one bucket, so a 2^14 job never rides in — and stalls — the same batch as a
+burst of 2^10 jobs.  Bucket selection is FIFO by oldest waiting request
+(no starvation), arrival order *within* a bucket is preserved, and because
+every proof in a ``prove_many`` batch is independent, splitting a mixed
+burst into per-size batches changes which call serves a request but never
+its bytes.
+
 Backpressure is explicit rather than emergent: once ``max_queue`` requests
 are waiting, :meth:`submit` raises :class:`QueueFull` *immediately* and the
 server turns that into ``503 + Retry-After`` — a full service degrades into
@@ -61,6 +70,10 @@ class DynamicBatcher:
         dispatches immediately and the remainder forms the next batch.
     max_queue:
         Bound on *waiting* requests (the in-flight batch does not count).
+    bucket_key:
+        Optional request → bucket mapping; a batch only coalesces requests
+        whose keys are equal (see the module docstring).  ``None`` keeps the
+        single-bucket behavior.
     """
 
     def __init__(
@@ -72,6 +85,7 @@ class DynamicBatcher:
         max_batch: int = 16,
         max_queue: int = 64,
         metrics: ServiceMetrics | None = None,
+        bucket_key: Callable[[dict], object] | None = None,
     ):
         if max_batch < 1:
             raise ValueError("max_batch must be >= 1")
@@ -85,10 +99,13 @@ class DynamicBatcher:
         self.max_batch = max_batch
         self.max_queue = max_queue
         self.metrics = metrics if metrics is not None else ServiceMetrics()
-        self._pending: deque[tuple[dict, asyncio.Future]] = deque()
+        self._bucket_key = bucket_key
+        #: (request, future, bucket, enqueued_at) in arrival order.
+        self._pending: deque[tuple[dict, asyncio.Future, object, float]] = deque()
         self._wake = asyncio.Event()
         self._draining = False
         self._task: asyncio.Task | None = None
+        self._in_flight_batches = 0
 
     # -- introspection -------------------------------------------------------
 
@@ -96,6 +113,13 @@ class DynamicBatcher:
     def queue_depth(self) -> int:
         """Requests admitted but not yet dispatched to the engine."""
         return len(self._pending)
+
+    @property
+    def in_flight_batches(self) -> int:
+        """Batches currently executing on the engine thread (0 or 1 here,
+        but reported as a count so the contract survives a multi-executor
+        future)."""
+        return self._in_flight_batches
 
     @property
     def draining(self) -> bool:
@@ -129,21 +153,40 @@ class DynamicBatcher:
             raise Draining()
         if len(self._pending) >= self.max_queue:
             raise QueueFull(len(self._pending))
-        future = asyncio.get_running_loop().create_future()
-        self._pending.append((request, future))
+        loop = asyncio.get_running_loop()
+        bucket = self._bucket_key(request) if self._bucket_key else None
+        future = loop.create_future()
+        self._pending.append((request, future, bucket, loop.time()))
         self._wake.set()
         return await future
 
     # -- collector -----------------------------------------------------------
 
-    async def _collect(self) -> list[tuple[dict, asyncio.Future]]:
-        """One coalescing window: the next batch, in arrival order."""
+    def _bucket_depth(self, bucket: object) -> int:
+        if self._bucket_key is None:
+            return len(self._pending)
+        return sum(1 for _, _, key, _ in self._pending if key == bucket)
+
+    async def _collect(self) -> list:
+        """One coalescing window: the next batch, in arrival order.
+
+        The batch's bucket is fixed by the *oldest* waiting request (FIFO
+        across buckets, so no size class starves); the window then holds the
+        batch open for more arrivals in that bucket.  Requests from other
+        buckets stay queued, in order, for later cycles.
+
+        The window is anchored to the head request's *arrival*, not to this
+        collection cycle: a request that already waited out its window
+        behind another bucket's batch dispatches immediately instead of
+        paying a fresh window per deferral.
+        """
         loop = asyncio.get_running_loop()
-        deadline = loop.time() + self.window_seconds
-        # Hold the batch open until the window closes or it is full; a drain
-        # request flushes immediately (no point waiting for arrivals that
-        # would be rejected anyway).
-        while len(self._pending) < self.max_batch and not self._draining:
+        bucket = self._pending[0][2]
+        deadline = self._pending[0][3] + self.window_seconds
+        # Hold the batch open until the window closes or the bucket fills; a
+        # drain request flushes immediately (no point waiting for arrivals
+        # that would be rejected anyway).
+        while self._bucket_depth(bucket) < self.max_batch and not self._draining:
             remaining = deadline - loop.time()
             if remaining <= 0:
                 break
@@ -152,8 +195,22 @@ class DynamicBatcher:
                 await asyncio.wait_for(self._wake.wait(), remaining)
             except (asyncio.TimeoutError, TimeoutError):
                 break
-        size = min(self.max_batch, len(self._pending))
-        return [self._pending.popleft() for _ in range(size)]
+        batch: list = []
+        deferred: deque = deque()
+        while self._pending and len(batch) < self.max_batch:
+            item = self._pending.popleft()
+            if item[2] == bucket:
+                batch.append(item)
+            else:
+                deferred.append(item)
+        deferred.extend(self._pending)
+        self._pending = deferred
+        if deferred:
+            # Other buckets (or an overflow of this one) are still waiting;
+            # make sure the collector loops straight into the next cycle
+            # instead of sleeping until the next submit.
+            self._wake.set()
+        return batch
 
     async def _run(self) -> None:
         loop = asyncio.get_running_loop()
@@ -167,8 +224,9 @@ class DynamicBatcher:
             batch = await self._collect()
             if not batch:
                 continue
-            requests = [request for request, _ in batch]
+            requests = [request for request, _, _, _ in batch]
             started = time.perf_counter()
+            self._in_flight_batches += 1
             try:
                 results = await loop.run_in_executor(
                     self._executor, self._prove_batch, requests
@@ -179,12 +237,16 @@ class DynamicBatcher:
                         f"for {len(batch)} requests"
                     )
             except Exception as exc:
-                for _, future in batch:
+                for _, future, _, _ in batch:
                     if not future.cancelled():
                         future.set_exception(exc)
                 continue
-            self.metrics.batch_done(len(batch), time.perf_counter() - started)
-            for (_, future), result in zip(batch, results):
+            finally:
+                self._in_flight_batches -= 1
+            self.metrics.batch_done(
+                len(batch), time.perf_counter() - started, bucket=batch[0][2]
+            )
+            for (_, future, _, _), result in zip(batch, results):
                 if not future.cancelled():
                     future.set_result(result)
 

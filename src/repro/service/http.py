@@ -1,0 +1,354 @@
+"""Shared asyncio HTTP/1.1 plumbing for the serving tiers.
+
+Both network layers of the reproduction — the single-engine
+:class:`~repro.service.server.ProofService` (PR 4) and the multi-backend
+:class:`~repro.cluster.router.ClusterRouter` front tier — speak the same
+deliberately small slice of HTTP/1.1: JSON bodies, ``Content-Length``
+framing, keep-alive connections.  :class:`HttpServerBase` owns everything
+that is protocol rather than application: request framing, response
+writing, the per-connection loop, in-flight request accounting (so a
+graceful drain can wait for handlers to finish *writing*), and the
+``serve_forever`` / signal-handler / ``request_stop`` lifecycle.
+
+Subclasses implement :meth:`HttpServerBase._dispatch` (route one parsed
+request, respond via :meth:`HttpServerBase._respond`) plus their own
+``start`` / ``shutdown`` around :meth:`_start_http` / :meth:`_stop_http`.
+The class is deliberately not a framework: no middleware, no streaming —
+exactly what two JSON services need to share one tested implementation of
+the fiddly parts (truncated requests, oversized bodies, keep-alive
+semantics during drain).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import json
+import logging
+import signal
+import time
+
+#: Cap on the request line + headers (JSON bodies are framed separately).
+MAX_HEADER_BYTES = 16384
+
+STATUS_REASONS = {
+    200: "OK",
+    400: "Bad Request",
+    404: "Not Found",
+    405: "Method Not Allowed",
+    413: "Payload Too Large",
+    500: "Internal Server Error",
+    502: "Bad Gateway",
+    503: "Service Unavailable",
+    504: "Gateway Timeout",
+}
+
+
+class BadRequest(Exception):
+    """Malformed HTTP framing; answer 400 and close the connection."""
+
+
+def error_body(code: str, message: str) -> dict:
+    """The uniform error payload (the HTTP status carries the semantics)."""
+    return {"error": {"code": code, "message": message}}
+
+
+async def read_http_request(
+    reader: asyncio.StreamReader, max_body_bytes: int
+) -> dict | None:
+    """One framed HTTP request, or ``None`` on a clean connection close.
+
+    Returns ``{"method", "path", "body", "keep_alive"}``; raises
+    :class:`BadRequest` on malformed framing and propagates
+    ``asyncio.LimitOverrunError`` when the header block exceeds the stream
+    limit (callers answer 400 for both).
+    """
+    try:
+        header_blob = await reader.readuntil(b"\r\n\r\n")
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise BadRequest("truncated request") from None
+    try:
+        head, *header_lines = header_blob.decode("latin-1").split("\r\n")
+        method, path, version = head.split(" ", 2)
+    except ValueError:
+        raise BadRequest("malformed request line") from None
+    headers = {}
+    for line in header_lines:
+        if not line:
+            continue
+        name, _, value = line.partition(":")
+        headers[name.strip().lower()] = value.strip()
+    try:
+        content_length = int(headers.get("content-length", "0"))
+    except ValueError:
+        raise BadRequest("malformed Content-Length") from None
+    if content_length < 0 or content_length > max_body_bytes:
+        raise BadRequest(
+            f"body of {content_length} bytes exceeds the "
+            f"{max_body_bytes}-byte limit"
+        )
+    body = await reader.readexactly(content_length) if content_length else b""
+    connection = headers.get("connection", "").lower()
+    keep_alive = connection != "close" and not version.startswith("HTTP/1.0")
+    return {
+        "method": method.upper(),
+        "path": path.split("?", 1)[0],
+        "body": body,
+        "keep_alive": keep_alive,
+    }
+
+
+def format_http_response(
+    status: int,
+    payload: bytes,
+    *,
+    keep_alive: bool = True,
+    extra_headers: dict | None = None,
+    content_type: str = "application/json",
+) -> bytes:
+    """The full response byte string for one JSON payload."""
+    reason = STATUS_REASONS.get(status, "Unknown")
+    headers = [
+        f"HTTP/1.1 {status} {reason}",
+        f"Content-Type: {content_type}",
+        f"Content-Length: {len(payload)}",
+        f"Connection: {'keep-alive' if keep_alive else 'close'}",
+    ]
+    for name, value in (extra_headers or {}).items():
+        headers.append(f"{name}: {value}")
+    return "\r\n".join(headers).encode("latin-1") + b"\r\n\r\n" + payload
+
+
+class HttpServerBase:
+    """Protocol plumbing shared by the service and the cluster router.
+
+    Subclass contract:
+
+    - implement :meth:`routes` — the ``(method, path) → async handler``
+      table; each handler takes the parsed request and returns
+      ``(status, body, extra_headers)`` (the shared dispatcher answers
+      404/405 for unknown combinations and 500 for handler crashes);
+    - implement ``async start()`` / ``async shutdown()`` using
+      :meth:`_start_http` / :meth:`_stop_http` (and set :attr:`_state`);
+    - optionally override the observation hooks :meth:`on_request`,
+      :meth:`on_latency` and :meth:`on_response` (responses are counted
+      *before* the socket write, so observers that react to the response
+      bytes already see updated counters).
+
+    The ``new → serving → draining → stopped`` state string doubles as the
+    keep-alive gate: connections stop being persistent the moment the
+    server leaves ``serving``.
+    """
+
+    #: Largest accepted request body; subclasses may override.
+    max_body_bytes = 8 << 20
+
+    #: Subclasses point this at their own logger for dispatch errors.
+    logger = logging.getLogger("repro.service.http")
+
+    def __init__(self, host: str, port: int):
+        self._host = host
+        self._requested_port = port
+        self._server: asyncio.AbstractServer | None = None
+        self._state = "new"
+        self._connections: set[asyncio.StreamWriter] = set()
+        self._in_flight = 0
+        self._idle: asyncio.Event | None = None
+        self._stop_requested: asyncio.Event | None = None
+        self._loop: asyncio.AbstractEventLoop | None = None
+        self.port: int | None = None
+
+    # -- state ----------------------------------------------------------------
+
+    @property
+    def state(self) -> str:
+        """``new`` → ``serving`` → ``draining`` → ``stopped``."""
+        return self._state
+
+    def routes(self) -> dict:  # pragma: no cover - subclass contract
+        """The ``(method, path) → async handler`` dispatch table."""
+        raise NotImplementedError
+
+    def on_request(self, endpoint: str) -> None:
+        """Hook: a request for a *known* endpoint was received."""
+
+    def on_latency(self, endpoint: str, seconds: float) -> None:
+        """Hook: a known endpoint's handler finished after ``seconds``."""
+
+    def on_response(self, status: int) -> None:
+        """Hook: one response of ``status`` is about to hit the wire."""
+
+    # -- lifecycle helpers ----------------------------------------------------
+
+    async def _start_http(self) -> None:
+        """Bind the listening socket; resolves :attr:`port`."""
+        self._loop = asyncio.get_running_loop()
+        self._idle = asyncio.Event()
+        self._idle.set()
+        self._stop_requested = asyncio.Event()
+        self._server = await asyncio.start_server(
+            self._handle_connection,
+            host=self._host,
+            port=self._requested_port,
+            limit=MAX_HEADER_BYTES,
+        )
+        self.port = self._server.sockets[0].getsockname()[1]
+
+    async def _stop_http(self) -> None:
+        """Wait for in-flight handlers, then close sockets and connections."""
+        if self._idle is not None:
+            await self._idle.wait()
+        if self._server is not None:
+            self._server.close()
+            with contextlib.suppress(Exception):
+                await self._server.wait_closed()
+        for writer in list(self._connections):
+            writer.close()
+
+    def request_stop(self) -> None:
+        """Ask the serving loop to begin a graceful shutdown (thread-safe)."""
+        if self._loop is not None and self._stop_requested is not None:
+            self._loop.call_soon_threadsafe(self._stop_requested.set)
+
+    async def start(self) -> None:  # pragma: no cover - subclass contract
+        raise NotImplementedError
+
+    async def shutdown(self) -> None:  # pragma: no cover - subclass contract
+        raise NotImplementedError
+
+    async def serve_forever(
+        self, install_signal_handlers: bool = True, on_ready=None
+    ) -> None:
+        """Start, run until :meth:`request_stop` / SIGINT / SIGTERM, drain.
+
+        ``on_ready`` (if given) is called once the socket is bound — the CLI
+        uses it to print the resolved address before blocking.
+        """
+        await self.start()
+        if on_ready is not None:
+            on_ready(self)
+        if install_signal_handlers:
+            loop = asyncio.get_running_loop()
+            for signum in (signal.SIGINT, signal.SIGTERM):
+                with contextlib.suppress(NotImplementedError, ValueError):
+                    loop.add_signal_handler(signum, self.request_stop)
+        try:
+            await self._stop_requested.wait()
+        finally:
+            await self.shutdown()
+
+    # -- connection loop ------------------------------------------------------
+
+    async def _handle_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self._connections.add(writer)
+        try:
+            while True:
+                try:
+                    request = await read_http_request(reader, self.max_body_bytes)
+                except BadRequest as exc:
+                    await self._respond(
+                        writer,
+                        400,
+                        error_body("bad_request", str(exc)),
+                        keep_alive=False,
+                    )
+                    break
+                except asyncio.LimitOverrunError:
+                    await self._respond(
+                        writer,
+                        400,
+                        error_body("bad_request", "headers too large"),
+                        keep_alive=False,
+                    )
+                    break
+                if request is None:
+                    break
+                keep_alive = request["keep_alive"] and self._state == "serving"
+                self._begin_request()
+                try:
+                    await self._dispatch(request, writer, keep_alive)
+                finally:
+                    self._end_request()
+                if not keep_alive:
+                    break
+        except (ConnectionResetError, BrokenPipeError, asyncio.IncompleteReadError):
+            pass
+        except asyncio.CancelledError:
+            # Loop teardown cancels idle keep-alive handlers; swallowing the
+            # cancellation here (the connection is closed below either way)
+            # keeps drain-time shutdown quiet.
+            pass
+        finally:
+            self._connections.discard(writer)
+            writer.close()
+            with contextlib.suppress(Exception):
+                await writer.wait_closed()
+
+    def _begin_request(self) -> None:
+        self._in_flight += 1
+        self._idle.clear()
+
+    def _end_request(self) -> None:
+        self._in_flight -= 1
+        if self._in_flight == 0:
+            self._idle.set()
+
+    async def _dispatch(
+        self, request: dict, writer: asyncio.StreamWriter, keep_alive: bool
+    ) -> None:
+        method, path = request["method"], request["path"]
+        started = time.perf_counter()
+        routes = self.routes()
+        handler = routes.get((method, path))
+        if handler is None:
+            known_paths = {route_path for _, route_path in routes}
+            if path in known_paths:
+                status, body, extra = 405, error_body(
+                    "method_not_allowed", f"{method} not supported on {path}"
+                ), None
+            else:
+                status, body, extra = 404, error_body(
+                    "not_found", f"no route for {path}"
+                ), None
+        else:
+            self.on_request(path.lstrip("/"))
+            try:
+                status, body, extra = await handler(request)
+            except Exception:
+                self.logger.exception("unhandled error on %s %s", method, path)
+                status, body, extra = 500, error_body(
+                    "internal_error", f"unhandled error on {method} {path}"
+                ), None
+            # Latency reservoirs are keyed by endpoint and only exist for
+            # known routes — recording arbitrary request paths would let a
+            # scanner grow a long-lived server's memory without bound.
+            self.on_latency(path.lstrip("/"), time.perf_counter() - started)
+        await self._respond(
+            writer, status, body, keep_alive=keep_alive, extra_headers=extra
+        )
+
+    async def _respond(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        body: dict,
+        *,
+        keep_alive: bool = True,
+        extra_headers: dict | None = None,
+    ) -> None:
+        payload = json.dumps(body).encode("utf-8")
+        # Count before the socket write: the moment bytes hit the wire a
+        # client thread may act on them, and observers (tests, the load
+        # generator) expect the counters to already reflect the response.
+        self.on_response(status)
+        writer.write(
+            format_http_response(
+                status, payload, keep_alive=keep_alive, extra_headers=extra_headers
+            )
+        )
+        with contextlib.suppress(ConnectionResetError, BrokenPipeError):
+            await writer.drain()

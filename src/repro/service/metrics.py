@@ -56,6 +56,7 @@ class ServiceMetrics:
         self.verifications_total = 0
         self.prove_many_calls = 0
         self.batch_sizes: Counter = Counter()
+        self.batch_buckets: Counter = Counter()
         self.batch_seconds_total = 0.0
         self._latency: dict[str, deque] = {}
 
@@ -71,12 +72,18 @@ class ServiceMetrics:
             if status == 503:
                 self.rejected_total += 1
 
-    def batch_done(self, size: int, seconds: float) -> None:
-        """One ``prove_many`` dispatch of ``size`` coalesced requests."""
+    def batch_done(self, size: int, seconds: float, bucket: object = None) -> None:
+        """One ``prove_many`` dispatch of ``size`` coalesced requests.
+
+        ``bucket`` is the batch's size-bucket key (the resolved ``num_vars``
+        under size-aware batching, ``None`` in single-bucket mode).
+        """
         with self._lock:
             self.prove_many_calls += 1
             self.proofs_total += size
             self.batch_sizes[size] += 1
+            if bucket is not None:
+                self.batch_buckets[str(bucket)] += 1
             self.batch_seconds_total += seconds
 
     def verified(self) -> None:
@@ -121,6 +128,7 @@ class ServiceMetrics:
                     "mean_size": coalesced / batches if batches else 0.0,
                     "max_size": max(self.batch_sizes) if self.batch_sizes else 0,
                     "sizes": {str(k): v for k, v in sorted(self.batch_sizes.items())},
+                    "by_bucket": dict(sorted(self.batch_buckets.items())),
                 },
                 "latency_seconds": {
                     endpoint: latency_summary(list(samples))

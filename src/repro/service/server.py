@@ -3,17 +3,21 @@
 :class:`ProofService` turns a long-lived :class:`~repro.api.ProverEngine`
 into a network service using nothing beyond the standard library: an
 ``asyncio.start_server`` loop speaking a deliberately small slice of
-HTTP/1.1 (JSON bodies, keep-alive, ``Content-Length`` framing) in front of
-the :class:`~repro.service.batcher.DynamicBatcher`.
+HTTP/1.1 (JSON bodies, keep-alive, ``Content-Length`` framing — the shared
+plumbing in :mod:`repro.service.http`) in front of the
+:class:`~repro.service.batcher.DynamicBatcher`.
 
 Endpoints
 ---------
 ``POST /prove``     queue one prove request; coalesced with concurrent
-                    callers into a single ``prove_many`` batch
+                    callers *of the same circuit size* into a single
+                    ``prove_many`` batch
 ``POST /verify``    verify a base64 proof against a scenario's cached
                     verifying key
 ``GET  /scenarios`` the scenario registry (names, sizes, descriptions)
-``GET  /healthz``   liveness + lifecycle state (``serving``/``draining``)
+``GET  /healthz``   liveness, lifecycle state, queue depth, in-flight
+                    batches, and the engine's cache contents (what the
+                    cluster router's structure-affine placement keeps hot)
 ``GET  /metrics``   counters, batch statistics, latency percentiles
 
 Threading model: the event loop owns all sockets and the queue; *every*
@@ -24,18 +28,15 @@ concurrent HTTP traffic — parallelism comes from the engine's own worker
 pool underneath, not from racing engine calls.
 
 Backpressure and shutdown are first-class: a full queue answers ``503``
-with a ``Retry-After`` estimated from recent batch wall times, and
-:meth:`ProofService.shutdown` drains every admitted request before the
-sockets close.
+with a ``Retry-After`` estimated from recent batch wall times (or a
+documented floor on a cold service), and :meth:`ProofService.shutdown`
+drains every admitted request before the sockets close.
 """
 
 from __future__ import annotations
 
 import asyncio
-import contextlib
-import json
 import logging
-import signal
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
@@ -47,22 +48,18 @@ from repro.protocol.serialization import SerializationError, deserialize_proof
 from repro.protocol.verifier import VerificationError
 from repro.service import wire
 from repro.service.batcher import Draining, DynamicBatcher, QueueFull
+from repro.service.http import HttpServerBase
 from repro.service.metrics import ServiceMetrics
 
 logger = logging.getLogger("repro.service")
 
-#: Cap on the request line + headers (JSON bodies are framed separately).
-MAX_HEADER_BYTES = 16384
-
-_STATUS_REASONS = {
-    200: "OK",
-    400: "Bad Request",
-    404: "Not Found",
-    405: "Method Not Allowed",
-    413: "Payload Too Large",
-    500: "Internal Server Error",
-    503: "Service Unavailable",
-}
+#: ``Retry-After`` answered by a cold service (no batch has completed yet,
+#: so there is no wall-time history to estimate from).  A fixed, documented
+#: floor beats extrapolating from the coalescing window — a zero-window
+#: server would otherwise tell rejected callers to hammer it again almost
+#: immediately while the very first (cache-cold, SRS-building) batch is
+#: still minutes from finishing.
+COLD_RETRY_AFTER_SECONDS = 2
 
 
 @dataclass(frozen=True)
@@ -82,6 +79,11 @@ class ServiceConfig:
     max_queue:
         Bound on admitted-but-undispatched prove requests; beyond it the
         service answers ``503`` with a ``Retry-After`` hint.
+    size_buckets:
+        Bucket queued prove requests by their (resolved) ``num_vars`` so a
+        batch never mixes circuit sizes — one slow 2^14 job stops inflating
+        the p99 of 2^10 jobs that would otherwise share its batch.  Within
+        a bucket, arrival order and proof bytes are unchanged.
     """
 
     host: str = "127.0.0.1"
@@ -89,6 +91,7 @@ class ServiceConfig:
     batch_window_ms: float = 25.0
     max_batch: int = 16
     max_queue: int = 64
+    size_buckets: bool = True
 
     def __post_init__(self) -> None:
         if self.batch_window_ms < 0:
@@ -99,17 +102,16 @@ class ServiceConfig:
             raise ValueError("max_queue must be >= 1")
 
 
-class _BadRequest(Exception):
-    """Internal: malformed HTTP framing; answer 400 and close."""
-
-
-class ProofService:
+class ProofService(HttpServerBase):
     """A long-lived proving service over one :class:`ProverEngine` session.
 
     Pass an ``engine`` to serve an existing session (it is left open on
     shutdown), or an ``engine_config`` to let the service own its engine's
     whole lifecycle — including ``engine.close()`` on drain.
     """
+
+    max_body_bytes = wire.MAX_BODY_BYTES
+    logger = logging.getLogger("repro.service")
 
     def __init__(
         self,
@@ -121,6 +123,7 @@ class ProofService:
         if engine is not None and engine_config is not None:
             raise ValueError("pass engine= or engine_config=, not both")
         self.config = config if config is not None else ServiceConfig()
+        super().__init__(self.config.host, self.config.port)
         self._owns_engine = engine is None
         self.engine = engine if engine is not None else ProverEngine(engine_config)
         self.metrics = ServiceMetrics()
@@ -134,39 +137,17 @@ class ProofService:
             max_batch=self.config.max_batch,
             max_queue=self.config.max_queue,
             metrics=self.metrics,
+            bucket_key=self._bucket_key if self.config.size_buckets else None,
         )
-        self._server: asyncio.AbstractServer | None = None
-        self._state = "new"
-        self._connections: set[asyncio.StreamWriter] = set()
-        self._in_flight = 0
-        self._idle: asyncio.Event | None = None
-        self._stop_requested: asyncio.Event | None = None
-        self._loop: asyncio.AbstractEventLoop | None = None
-        self.port: int | None = None
 
     # -- lifecycle -----------------------------------------------------------
-
-    @property
-    def state(self) -> str:
-        """``new`` → ``serving`` → ``draining`` → ``stopped``."""
-        return self._state
 
     async def start(self) -> None:
         """Bind the socket and start the batcher; returns once listening."""
         if self._state != "new":
             raise RuntimeError(f"cannot start a {self._state} service")
-        self._loop = asyncio.get_running_loop()
-        self._idle = asyncio.Event()
-        self._idle.set()
-        self._stop_requested = asyncio.Event()
         self.batcher.start()
-        self._server = await asyncio.start_server(
-            self._handle_connection,
-            host=self.config.host,
-            port=self.config.port,
-            limit=MAX_HEADER_BYTES,
-        )
-        self.port = self._server.sockets[0].getsockname()[1]
+        await self._start_http()
         self._state = "serving"
         logger.info("serving on %s:%d", self.config.host, self.port)
 
@@ -182,46 +163,28 @@ class ProofService:
             return
         self._state = "draining"
         await self.batcher.drain()
-        await self._idle.wait()
-        if self._server is not None:
-            self._server.close()
-            with contextlib.suppress(Exception):
-                await self._server.wait_closed()
-        for writer in list(self._connections):
-            writer.close()
+        await self._stop_http()
         self._state = "stopped"
         self._executor.shutdown(wait=True)
         if self._owns_engine:
             self.engine.close()
         logger.info("drained and stopped")
 
-    def request_stop(self) -> None:
-        """Ask the serving loop to begin a graceful shutdown (thread-safe)."""
-        if self._loop is not None and self._stop_requested is not None:
-            self._loop.call_soon_threadsafe(self._stop_requested.set)
+    def on_request(self, endpoint: str) -> None:
+        self.metrics.request(endpoint)
 
-    async def serve_forever(
-        self, install_signal_handlers: bool = True, on_ready=None
-    ) -> None:
-        """Start, run until :meth:`request_stop` / SIGINT / SIGTERM, drain.
+    def on_latency(self, endpoint: str, seconds: float) -> None:
+        self.metrics.latency(endpoint, seconds)
 
-        ``on_ready`` (if given) is called once the socket is bound — the CLI
-        uses it to print the resolved address before blocking.
-        """
-        await self.start()
-        if on_ready is not None:
-            on_ready(self)
-        if install_signal_handlers:
-            loop = asyncio.get_running_loop()
-            for signum in (signal.SIGINT, signal.SIGTERM):
-                with contextlib.suppress(NotImplementedError, ValueError):
-                    loop.add_signal_handler(signum, self.request_stop)
-        try:
-            await self._stop_requested.wait()
-        finally:
-            await self.shutdown()
+    def on_response(self, status: int) -> None:
+        self.metrics.response(status)
 
     # -- engine-thread work ---------------------------------------------------
+
+    @staticmethod
+    def _bucket_key(request: dict) -> int:
+        """The size bucket of a parsed prove request (resolved ``num_vars``)."""
+        return wire.resolved_num_vars(request["scenario"], request["num_vars"])
 
     def _prove_batch(self, requests: list[dict]) -> list[dict]:
         """Blocking: one coalesced batch through ``engine.prove_many``.
@@ -284,190 +247,39 @@ class ProofService:
             body["reason"] = reason
         return body
 
-    # -- HTTP plumbing --------------------------------------------------------
-
-    async def _handle_connection(
-        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
-    ) -> None:
-        self._connections.add(writer)
-        try:
-            while True:
-                try:
-                    request = await self._read_request(reader)
-                except _BadRequest as exc:
-                    await self._respond(
-                        writer, 400, wire.error_body("bad_request", str(exc)),
-                        keep_alive=False,
-                    )
-                    break
-                except asyncio.LimitOverrunError:
-                    await self._respond(
-                        writer, 400,
-                        wire.error_body("bad_request", "headers too large"),
-                        keep_alive=False,
-                    )
-                    break
-                if request is None:
-                    break
-                keep_alive = request["keep_alive"] and self._state == "serving"
-                self._begin_request()
-                try:
-                    await self._dispatch(request, writer, keep_alive)
-                finally:
-                    self._end_request()
-                if not keep_alive:
-                    break
-        except (ConnectionResetError, BrokenPipeError, asyncio.IncompleteReadError):
-            pass
-        except asyncio.CancelledError:
-            # Loop teardown cancels idle keep-alive handlers; swallowing the
-            # cancellation here (the connection is closed below either way)
-            # keeps drain-time shutdown quiet.
-            pass
-        finally:
-            self._connections.discard(writer)
-            writer.close()
-            with contextlib.suppress(Exception):
-                await writer.wait_closed()
-
-    def _begin_request(self) -> None:
-        self._in_flight += 1
-        self._idle.clear()
-
-    def _end_request(self) -> None:
-        self._in_flight -= 1
-        if self._in_flight == 0:
-            self._idle.set()
-
-    async def _read_request(self, reader: asyncio.StreamReader) -> dict | None:
-        """One framed HTTP request, or ``None`` on a clean connection close."""
-        try:
-            header_blob = await reader.readuntil(b"\r\n\r\n")
-        except asyncio.IncompleteReadError as exc:
-            if not exc.partial:
-                return None
-            raise _BadRequest("truncated request") from None
-        try:
-            head, *header_lines = header_blob.decode("latin-1").split("\r\n")
-            method, path, version = head.split(" ", 2)
-        except ValueError:
-            raise _BadRequest("malformed request line") from None
-        headers = {}
-        for line in header_lines:
-            if not line:
-                continue
-            name, _, value = line.partition(":")
-            headers[name.strip().lower()] = value.strip()
-        try:
-            content_length = int(headers.get("content-length", "0"))
-        except ValueError:
-            raise _BadRequest("malformed Content-Length") from None
-        if content_length < 0 or content_length > wire.MAX_BODY_BYTES:
-            raise _BadRequest(
-                f"body of {content_length} bytes exceeds the "
-                f"{wire.MAX_BODY_BYTES}-byte limit"
-            )
-        body = await reader.readexactly(content_length) if content_length else b""
-        connection = headers.get("connection", "").lower()
-        keep_alive = connection != "close" and not version.startswith("HTTP/1.0")
-        return {
-            "method": method.upper(),
-            "path": path.split("?", 1)[0],
-            "body": body,
-            "keep_alive": keep_alive,
-        }
-
-    async def _respond(
-        self,
-        writer: asyncio.StreamWriter,
-        status: int,
-        body: dict,
-        *,
-        keep_alive: bool = True,
-        extra_headers: dict | None = None,
-    ) -> None:
-        payload = json.dumps(body).encode("utf-8")
-        reason = _STATUS_REASONS.get(status, "Unknown")
-        headers = [
-            f"HTTP/1.1 {status} {reason}",
-            "Content-Type: application/json",
-            f"Content-Length: {len(payload)}",
-            f"Connection: {'keep-alive' if keep_alive else 'close'}",
-        ]
-        for name, value in (extra_headers or {}).items():
-            headers.append(f"{name}: {value}")
-        # Count before the socket write: the moment bytes hit the wire a
-        # client thread may act on them, and observers (tests, the load
-        # generator) expect the counters to already reflect the response.
-        self.metrics.response(status)
-        writer.write("\r\n".join(headers).encode("latin-1") + b"\r\n\r\n" + payload)
-        with contextlib.suppress(ConnectionResetError, BrokenPipeError):
-            await writer.drain()
-
     # -- routing --------------------------------------------------------------
 
-    async def _dispatch(
-        self, request: dict, writer: asyncio.StreamWriter, keep_alive: bool
-    ) -> None:
-        method, path = request["method"], request["path"]
-        started = time.perf_counter()
-        routes = {
+    def routes(self) -> dict:
+        return {
             ("POST", "/prove"): self._handle_prove,
             ("POST", "/verify"): self._handle_verify,
             ("GET", "/scenarios"): self._handle_scenarios,
             ("GET", "/healthz"): self._handle_healthz,
             ("GET", "/metrics"): self._handle_metrics,
         }
-        handler = routes.get((method, path))
-        if handler is None:
-            known_paths = {route_path for _, route_path in routes}
-            if path in known_paths:
-                status, body, extra = 405, wire.error_body(
-                    "method_not_allowed", f"{method} not supported on {path}"
-                ), None
-            else:
-                status, body, extra = 404, wire.error_body(
-                    "not_found", f"no route for {path}"
-                ), None
-        else:
-            self.metrics.request(path.lstrip("/"))
-            try:
-                status, body, extra = await handler(request)
-            except Exception:
-                logger.exception("unhandled error on %s %s", method, path)
-                status, body, extra = 500, wire.error_body(
-                    "internal_error", f"unhandled error on {method} {path}"
-                ), None
-            # Latency reservoirs are keyed by endpoint and only exist for
-            # known routes — recording arbitrary request paths would let a
-            # scanner grow a long-lived server's memory without bound.
-            self.metrics.latency(path.lstrip("/"), time.perf_counter() - started)
-        await self._respond(
-            writer, status, body, keep_alive=keep_alive, extra_headers=extra
-        )
-
-    def _parse_json(self, raw: bytes):
-        try:
-            return json.loads(raw.decode("utf-8")) if raw else {}
-        except (json.JSONDecodeError, UnicodeDecodeError) as exc:
-            raise wire.WireError(f"body is not valid JSON: {exc}") from None
 
     def _retry_after_seconds(self) -> int:
         """A pessimistic-but-bounded hint for rejected callers.
 
         The queue drains one batch per collector cycle, so a full queue
-        clears in roughly ``(max_queue / max_batch)`` batch wall times; with
-        no batch history yet, fall back to one coalescing window.
+        clears in roughly ``(max_queue / max_batch)`` batch wall times.  A
+        *cold* service (no batch completed yet) has no wall-time history at
+        all — the first batch is still building the SRS and proving keys —
+        so it answers the documented :data:`COLD_RETRY_AFTER_SECONDS` floor
+        instead of extrapolating from the coalescing window, which says
+        nothing about proving time.
         """
         batch_seconds = self.metrics.average_batch_seconds()
         if batch_seconds <= 0:
-            batch_seconds = max(self.config.batch_window_ms / 1000.0, 0.05)
+            return COLD_RETRY_AFTER_SECONDS
         cycles = max(1.0, self.config.max_queue / self.config.max_batch)
         return max(1, min(60, round(cycles * batch_seconds + 0.5)))
 
     async def _handle_prove(self, request: dict):
         try:
-            prove_request = wire.parse_prove_request(self._parse_json(request["body"]))
+            prove_request = wire.parse_prove_request(
+                wire.parse_json_body(request["body"])
+            )
         except wire.WireError as exc:
             return 400, wire.error_body("bad_request", str(exc)), None
         try:
@@ -489,7 +301,7 @@ class ProofService:
     async def _handle_verify(self, request: dict):
         try:
             verify_request = wire.parse_verify_request(
-                self._parse_json(request["body"])
+                wire.parse_json_body(request["body"])
             )
         except wire.WireError as exc:
             return 400, wire.error_body("bad_request", str(exc)), None
@@ -524,6 +336,20 @@ class ProofService:
         return 200, {"scenarios": scenarios}, None
 
     async def _handle_healthz(self, request: dict):
+        """Liveness plus the load/cache signals a routing tier needs.
+
+        Queue depth and in-flight batch count let a load-aware router skip
+        a saturated backend; the engine cache contents show which circuit
+        structures this backend is *hot* for — the whole point of the
+        cluster tier's structure-affine placement.
+        """
+        engine_info = {
+            "workers": self.engine.config.effective_workers(),
+            "field_backend": self.engine.config.field_backend,
+        }
+        cache_contents = getattr(self.engine, "cache_contents", None)
+        if cache_contents is not None:
+            engine_info["cache"] = cache_contents()
         return (
             200,
             {
@@ -532,10 +358,9 @@ class ProofService:
                 "uptime_seconds": time.time() - self.metrics.started_at,
                 "queue_depth": self.batcher.queue_depth,
                 "queue_capacity": self.config.max_queue,
-                "engine": {
-                    "workers": self.engine.config.effective_workers(),
-                    "field_backend": self.engine.config.field_backend,
-                },
+                "in_flight_batches": self.batcher.in_flight_batches,
+                "size_buckets": self.config.size_buckets,
+                "engine": engine_info,
             },
             None,
         )
@@ -553,10 +378,12 @@ class ProofService:
 
 
 class BackgroundServer:
-    """A :class:`ProofService` on a dedicated thread with its own event loop.
+    """An :class:`HttpServerBase` server on a dedicated thread + event loop.
 
-    The harness tests, the load generator and interactive sessions all need
-    a serving loop *next to* synchronous code; this wraps the lifecycle::
+    The harness tests, the load generators and interactive sessions all need
+    a serving loop *next to* synchronous code; this wraps the lifecycle for
+    any server built on the shared base (a :class:`ProofService`, a
+    :class:`~repro.cluster.router.ClusterRouter`)::
 
         with BackgroundServer(ProofService(...)) as server:
             client = ServiceClient(port=server.port)
@@ -566,7 +393,7 @@ class BackgroundServer:
     full graceful drain before the thread joins.
     """
 
-    def __init__(self, service: ProofService, start_timeout: float = 30.0):
+    def __init__(self, service: HttpServerBase, start_timeout: float = 30.0):
         self.service = service
         self.start_timeout = start_timeout
         self._thread: threading.Thread | None = None

@@ -35,9 +35,11 @@ from __future__ import annotations
 
 import base64
 import binascii
+import json
 from typing import Mapping
 
 from repro.api.scenarios import available_scenarios, resolve_scenario
+from repro.service.http import error_body  # noqa: F401  (canonical error shape)
 from repro.circuits.builder import Circuit
 from repro.protocol.keys import WITNESS_POLY_NAMES
 
@@ -73,6 +75,27 @@ def decode_bytes(value: str, field: str = "proof") -> bytes:
         return base64.b64decode(value.encode("ascii"), validate=True)
     except (binascii.Error, UnicodeEncodeError) as exc:
         raise WireError(f"{field} is not valid base64: {exc}") from None
+
+
+def parse_json_body(raw: bytes):
+    """A request body's JSON value (raises :class:`WireError`; empty → {})."""
+    try:
+        return json.loads(raw.decode("utf-8")) if raw else {}
+    except (json.JSONDecodeError, UnicodeDecodeError) as exc:
+        raise WireError(f"body is not valid JSON: {exc}") from None
+
+
+def resolved_num_vars(scenario: str, num_vars: int | None) -> int:
+    """The circuit size a request will actually run at.
+
+    ``num_vars=None`` means "the scenario's laptop-scale default" — this is
+    the one resolution rule shared by the batcher's size buckets and the
+    cluster router's structure keys, so a request routed by its resolved
+    size lands on the backend whose caches hold exactly that size.
+    """
+    if num_vars is not None:
+        return num_vars
+    return resolve_scenario(scenario).default_log_size
 
 
 def _require_mapping(body) -> Mapping:
@@ -184,8 +207,3 @@ def prove_response(artifact, request: Mapping, batch_size: int) -> dict:
     if witness is not None:
         body["witness"] = witness
     return body
-
-
-def error_body(code: str, message: str) -> dict:
-    """The uniform error payload (the HTTP status carries the semantics)."""
-    return {"error": {"code": code, "message": message}}

@@ -317,6 +317,191 @@ class TestBatcherUnits:
             ServiceConfig(batch_window_ms=-1)
 
 
+class TestSizeBuckets:
+    """Satellite of ISSUE 5: size-aware batching in the DynamicBatcher."""
+
+    def _run_bucketed(self, submissions, *, max_batch=16, window_ms=100.0):
+        """Drive a recording batcher with concurrent ``submissions``."""
+        import asyncio
+        from concurrent.futures import ThreadPoolExecutor
+
+        from repro.service.batcher import DynamicBatcher
+
+        batches: list[list[dict]] = []
+
+        def record(requests):
+            batches.append(list(requests))
+            return list(requests)
+
+        async def scenario():
+            with ThreadPoolExecutor(max_workers=1) as executor:
+                batcher = DynamicBatcher(
+                    record,
+                    executor,
+                    window_ms=window_ms,
+                    max_batch=max_batch,
+                    bucket_key=lambda request: request["num_vars"],
+                )
+                batcher.start()
+                results = await asyncio.gather(
+                    *(batcher.submit(request) for request in submissions)
+                )
+                await batcher.drain()
+                return results
+
+        results = asyncio.run(scenario())
+        return batches, results
+
+    def test_batches_never_mix_sizes(self):
+        submissions = [
+            {"num_vars": 10 if index % 2 else 14, "seed": index}
+            for index in range(8)
+        ]
+        batches, results = self._run_bucketed(submissions)
+        assert results == submissions  # everyone answered with their own
+        for batch in batches:
+            sizes = {request["num_vars"] for request in batch}
+            assert len(sizes) == 1, f"mixed-size batch: {batch}"
+        assert sum(len(batch) for batch in batches) == 8
+
+    def test_fifo_within_bucket_and_across_buckets(self):
+        submissions = [
+            {"num_vars": 10, "seed": 0},
+            {"num_vars": 14, "seed": 1},
+            {"num_vars": 10, "seed": 2},
+            {"num_vars": 14, "seed": 3},
+            {"num_vars": 10, "seed": 4},
+        ]
+        batches, _ = self._run_bucketed(submissions)
+        # Arrival order within each bucket is preserved...
+        for batch in batches:
+            seeds = [request["seed"] for request in batch]
+            assert seeds == sorted(seeds)
+        # ... and the first batch belongs to the *oldest* request's bucket.
+        assert batches[0][0]["num_vars"] == 10
+        assert [r["seed"] for r in batches[0]] == [0, 2, 4]
+
+    def test_small_jobs_not_stuck_behind_big_bucket_overflow(self):
+        # 3 big jobs overflow max_batch=2 into two batches; the small job's
+        # bucket still gets its own batch without waiting a full window per
+        # deferred request (the collector loops immediately).
+        submissions = [
+            {"num_vars": 14, "seed": 0},
+            {"num_vars": 14, "seed": 1},
+            {"num_vars": 14, "seed": 2},
+            {"num_vars": 10, "seed": 3},
+        ]
+        batches, _ = self._run_bucketed(submissions, max_batch=2, window_ms=50.0)
+        assert [len(batch) for batch in batches] == [2, 1, 1]
+        assert batches[2] == [{"num_vars": 14, "seed": 2}] or batches[1] == [
+            {"num_vars": 14, "seed": 2}
+        ]
+
+    def test_deferred_bucket_window_anchored_to_arrival(self):
+        """A bucket deferred behind another's batch must not pay a fresh
+        coalescing window per deferral: its window is anchored to its head
+        request's arrival, so once that has elapsed it dispatches
+        immediately on its turn."""
+        import asyncio
+        from concurrent.futures import ThreadPoolExecutor
+
+        from repro.service.batcher import DynamicBatcher
+
+        window_ms = 300.0
+        dispatch_times: list[tuple[int, float]] = []
+
+        async def scenario():
+            loop = asyncio.get_running_loop()
+            origin = loop.time()
+
+            def record(requests):
+                dispatch_times.append(
+                    (requests[0]["num_vars"], loop.time() - origin)
+                )
+                return list(requests)
+
+            with ThreadPoolExecutor(max_workers=1) as executor:
+                batcher = DynamicBatcher(
+                    record,
+                    executor,
+                    window_ms=window_ms,
+                    max_batch=4,
+                    bucket_key=lambda request: request["num_vars"],
+                )
+                batcher.start()
+                await asyncio.gather(
+                    batcher.submit({"num_vars": 10, "seed": 0}),
+                    batcher.submit({"num_vars": 14, "seed": 1}),
+                )
+                await batcher.drain()
+
+        asyncio.run(scenario())
+        assert [num_vars for num_vars, _ in dispatch_times] == [10, 14]
+        first, second = (elapsed for _, elapsed in dispatch_times)
+        # Bucket 10 holds its window open; bucket 14 arrived at the same
+        # time, so by its turn the shared window has expired and it must
+        # dispatch right behind (well under a second full window).
+        assert first >= window_ms / 1000.0 * 0.9
+        assert second - first < window_ms / 1000.0 * 0.5
+
+    def test_served_sizes_stay_byte_identical(self, server, client, direct_engine):
+        """Mixed-size concurrent load through the real server: every proof
+        still matches the direct engine byte for byte, and the bucketed
+        batches are visible in the metrics."""
+        sizes = [3, 4, 3, 4, 3, 4]
+        results: list[dict | None] = [None] * len(sizes)
+        errors: list[Exception] = []
+        barrier = threading.Barrier(len(sizes))
+
+        def submit(index: int) -> None:
+            try:
+                with ServiceClient(port=server.port) as own_client:
+                    barrier.wait(timeout=30)
+                    results[index] = own_client.prove(
+                        "mock", num_vars=sizes[index], seed=300 + index
+                    )
+            except Exception as exc:
+                errors.append(exc)
+
+        threads = [
+            threading.Thread(target=submit, args=(index,))
+            for index in range(len(sizes))
+        ]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join(timeout=120)
+        assert not errors, f"mixed-size prove failed: {errors[:3]}"
+        for index, result in enumerate(results):
+            assert result is not None
+            assert result["num_vars"] == sizes[index]
+            direct = direct_engine.prove(
+                "mock", num_vars=sizes[index], seed=300 + index
+            )
+            assert result["proof_bytes"] == direct.to_bytes()
+        by_bucket = client.metrics()["batches"]["by_bucket"]
+        assert {"3", "4"} <= set(by_bucket)
+
+
+class TestExtendedHealthz:
+    """Satellite of ISSUE 5: healthz reports load + cache state."""
+
+    def test_healthz_reports_queue_and_engine_caches(self, client):
+        client.prove("mock", num_vars=NUM_VARS, seed=5)
+        health = client.healthz()
+        assert health["queue_depth"] == 0
+        assert health["in_flight_batches"] == 0
+        assert health["size_buckets"] is True
+        engine = health["engine"]
+        assert engine["workers"] >= 1
+        assert NUM_VARS in engine["cache"]["srs_sizes"]
+        assert any(
+            entry.startswith(f"{NUM_VARS}:")
+            for entry in engine["cache"]["key_structures"]
+        )
+        assert engine["cache"]["circuits_cached"] >= 1
+
+
 class _StubEngine:
     """Engine double: ``prove_many`` blocks on an event and replays a canned
     artifact, so backpressure/drain states are deterministic."""
@@ -407,6 +592,52 @@ class TestBackpressure:
                 thread.join(timeout=30)
             assert len(results) == 3
         assert service.engine.closed is False  # injected engine is not owned
+
+
+class TestColdRetryAfter:
+    """Satellite of ISSUE 5: the 503 path on a service with no batch history.
+
+    Before any batch completes there is no wall-time sample to estimate
+    from; the answer must be the documented floor, not a degenerate
+    extrapolation of the coalescing window (a zero-window server would
+    otherwise advertise an almost-immediate retry while its first cold
+    batch is still building the SRS).
+    """
+
+    def test_cold_503_returns_documented_floor(self, canned_artifact):
+        from repro.service.server import COLD_RETRY_AFTER_SECONDS
+
+        gate = threading.Event()
+        service = _stub_service(
+            canned_artifact, gate, batch_window_ms=0.0, max_batch=1, max_queue=1
+        )
+        with BackgroundServer(service) as background:
+            threads = [
+                threading.Thread(
+                    target=lambda seed: ServiceClient(port=background.port).prove(
+                        "mock", num_vars=3, seed=seed
+                    ),
+                    args=(seed,),
+                    daemon=True,
+                )
+                for seed in range(2)
+            ]
+            for thread in threads:
+                thread.start()
+                time.sleep(0.15)
+            deadline = time.time() + 10
+            while service.batcher.queue_depth < 1 and time.time() < deadline:
+                time.sleep(0.01)
+
+            assert service.metrics.average_batch_seconds() == 0.0  # truly cold
+            with ServiceClient(port=background.port) as extra:
+                with pytest.raises(ServiceUnavailable) as excinfo:
+                    extra.prove("mock", num_vars=3, seed=99)
+            assert excinfo.value.retry_after == COLD_RETRY_AFTER_SECONDS
+
+            gate.set()
+            for thread in threads:
+                thread.join(timeout=30)
 
 
 class TestGracefulDrain:
