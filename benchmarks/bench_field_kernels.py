@@ -1,0 +1,355 @@
+"""Field-kernel microbenchmark across vector backends (the mulmod floor).
+
+Times the hot vector kernels — elementwise Montgomery multiplication
+(``mulmod``), batch inversion, dot product, and fused ``axpy`` — for every
+installed field-vector backend at several vector lengths, verifies the
+results are identical across backends, and writes ``BENCH_kernels.json``
+with per-backend throughput plus speedups over the pure-Python baseline.
+This is the kernel-level companion to ``bench_prover_e2e.py``: the e2e
+benchmark proves the pipeline win, this one isolates the arithmetic floor
+the compiled backend was built to break.
+
+Run from the repository root::
+
+    PYTHONPATH=src python benchmarks/bench_field_kernels.py
+    PYTHONPATH=src python benchmarks/bench_field_kernels.py --sizes 1024,65536
+    PYTHONPATH=src python benchmarks/bench_field_kernels.py --fields fr,fq
+
+Acceptance / CI gating::
+
+    PYTHONPATH=src python benchmarks/bench_field_kernels.py \
+        --require-native-speedup 5.0 --compare-last --tolerance 0.30
+
+``--require-native-speedup X`` exits non-zero unless the native backend is
+installed and its Fr mulmod speedup over pure Python at the largest
+measured size is at least ``X`` — the PR acceptance gate (Fr is the field
+every prover vector op runs in; Fq numbers are recorded informationally).
+``--compare-last`` additionally gates per-kernel ns/element against the
+last run recorded in the output file, same-host only (host identity via
+``REPRO_BENCH_HOST`` or ``platform.node()``, exactly like BENCH_prover);
+every run appends the previous record to ``history``.
+
+Interpreting the numbers
+------------------------
+* ``ns_per_element`` is best-of-``--best-of`` wall time divided by vector
+  length — lower is better.
+* ``speedup_vs_python`` is the pure-Python baseline time over this
+  backend's time for the same kernel/size — higher is better.
+* The native/python crossover sits around n=32 for mulmod (measured on
+  the development host; see README "Field backends"), which is where
+  ``auto`` starts preferring the compiled kernel
+  (``REPRO_FIELD_BACKEND_NATIVE_THRESHOLD``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import random
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+from repro.fields import Fq, Fr, available_backends
+from repro.fields.vector import FieldVector
+
+FIELDS = {"fr": Fr, "fq": Fq}
+
+#: kernel name -> callable(a, b) running one timed pass (b unused for inv).
+KERNELS = {
+    "mul": lambda a, b: a * b,
+    "inv": lambda a, b: a.inverse(64),
+    "dot": lambda a, b: a.dot(b),
+    "axpy": lambda a, b: a.axpy(a[0], b),
+}
+
+
+def _git_commit() -> str:
+    try:
+        return (
+            subprocess.run(
+                ["git", "rev-parse", "--short", "HEAD"],
+                capture_output=True,
+                text=True,
+                check=True,
+                cwd=Path(__file__).resolve().parent,
+            ).stdout.strip()
+            or "unknown"
+        )
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+
+
+def _canonical(result) -> object:
+    """A backend-independent representation for cross-backend identity."""
+    if isinstance(result, FieldVector):
+        return tuple(result.to_int_list())
+    return int(result)
+
+
+def bench_case(field_name: str, size: int, backends: list[str], best_of: int) -> dict:
+    field = FIELDS[field_name]
+    rng = random.Random(0xC0FFEE ^ size)
+    # Nonzero entries so the inversion kernel never hits the zero fast-path.
+    a_ints = [rng.randrange(1, field.modulus) for _ in range(size)]
+    b_ints = [rng.randrange(1, field.modulus) for _ in range(size)]
+
+    entry: dict = {"field": field_name, "size": size, "backends": {}}
+    reference: dict[str, object] = {}
+    for backend in backends:
+        a = FieldVector.from_ints(field, a_ints, backend)
+        b = FieldVector.from_ints(field, b_ints, backend)
+        kernels: dict[str, float] = {}
+        for name, fn in KERNELS.items():
+            fn(a, b)  # warm-up (JIT-free, but primes caches / lazy imports)
+            best = float("inf")
+            for _ in range(best_of):
+                t0 = time.perf_counter()
+                result = fn(a, b)
+                best = min(best, time.perf_counter() - t0)
+            canon = _canonical(result)
+            if reference.setdefault(name, canon) != canon:
+                raise SystemExit(
+                    f"backend {backend!r} disagrees on {field_name}/{name} "
+                    f"at n={size}"
+                )
+            kernels[name] = best
+        entry["backends"][backend] = {
+            name: {
+                "ns_per_element": round(1e9 * seconds / size, 1),
+                "mops_per_second": round(size / seconds / 1e6, 2),
+            }
+            for name, seconds in kernels.items()
+        }
+
+    python_times = entry["backends"].get("python")
+    if python_times:
+        for backend, stats in entry["backends"].items():
+            for name in KERNELS:
+                base = python_times[name]["ns_per_element"]
+                mine = stats[name]["ns_per_element"]
+                stats[name]["speedup_vs_python"] = (
+                    round(base / mine, 2) if mine > 0 else float("inf")
+                )
+    entry["identical_results_across_backends"] = True
+
+    for backend, stats in entry["backends"].items():
+        summary = "  ".join(
+            f"{name} {stats[name]['ns_per_element']:8.1f}ns"
+            + (
+                f" ({stats[name]['speedup_vs_python']:5.2f}x)"
+                if "speedup_vs_python" in stats[name]
+                else ""
+            )
+            for name in KERNELS
+        )
+        print(f"  {field_name} n={size:<6d} {backend:>7s}: {summary}")
+    return entry
+
+
+def compare_to_last(previous: dict, cases: list[dict], tolerance: float) -> list[str]:
+    """Per-kernel ns/element regressions vs a previous record, as messages."""
+    regressions: list[str] = []
+    old_cases = {
+        (e["field"], e["size"]): e for e in previous.get("cases", [])
+    }
+    for entry in cases:
+        old_entry = old_cases.get((entry["field"], entry["size"]))
+        if old_entry is None:
+            continue
+        for backend, stats in entry["backends"].items():
+            old_stats = old_entry.get("backends", {}).get(backend)
+            if old_stats is None:
+                continue
+            for name in KERNELS:
+                old_ns = old_stats.get(name, {}).get("ns_per_element", 0.0)
+                new_ns = stats[name]["ns_per_element"]
+                if old_ns > 0 and new_ns > old_ns * (1.0 + tolerance):
+                    regressions.append(
+                        f"{entry['field']} n={entry['size']} {backend}/{name}: "
+                        f"{new_ns:.1f}ns vs {old_ns:.1f}ns recorded at "
+                        f"{previous.get('commit', '?')} "
+                        f"(+{100 * (new_ns / old_ns - 1):.0f}% > "
+                        f"{100 * tolerance:.0f}% tolerance)"
+                    )
+    return regressions
+
+
+def native_mulmod_speedup(cases: list[dict]) -> tuple[float, str] | None:
+    """(speedup, label) of native Fr mulmod at the largest measured size."""
+    best = None
+    for entry in cases:
+        if entry["field"] != "fr":
+            continue
+        native = entry["backends"].get("native", {}).get("mul", {})
+        speedup = native.get("speedup_vs_python")
+        if speedup is None:
+            continue
+        if best is None or entry["size"] > best[2]:
+            best = (speedup, f"fr mulmod n={entry['size']}", entry["size"])
+    return (best[0], best[1]) if best else None
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--sizes",
+        default="1024,16384",
+        help="comma-separated vector lengths (default: 1024,16384)",
+    )
+    parser.add_argument(
+        "--fields",
+        default="fr",
+        help="comma-separated fields: fr and/or fq (default: fr; prover "
+        "vector ops are all Fr, Fq numbers are informational)",
+    )
+    parser.add_argument(
+        "--backends",
+        default=None,
+        help="comma-separated backends (default: every installed backend)",
+    )
+    parser.add_argument(
+        "--best-of",
+        type=int,
+        default=5,
+        help="repeat each kernel N times and record the fastest (default: 5)",
+    )
+    parser.add_argument(
+        "--require-native-speedup",
+        type=float,
+        default=None,
+        metavar="X",
+        help="exit non-zero unless the native backend is installed and its "
+        "Fr mulmod speedup over python at the largest size is >= X "
+        "(the PR acceptance gate; CI uses 5.0)",
+    )
+    parser.add_argument(
+        "--compare-last",
+        action="store_true",
+        help="compare ns/element against the last recorded run and exit "
+        "non-zero on a regression beyond --tolerance (same host only)",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.30,
+        help="allowed relative ns/element regression for --compare-last "
+        "(default: 0.30 — microbenchmarks are noisier than e2e)",
+    )
+    parser.add_argument(
+        "--compare-any-host",
+        action="store_true",
+        help="apply --compare-last even against a foreign-host baseline",
+    )
+    parser.add_argument(
+        "--output",
+        default=str(Path(__file__).resolve().parent.parent / "BENCH_kernels.json"),
+    )
+    args = parser.parse_args(argv)
+
+    sizes = [int(s) for s in args.sizes.split(",") if s.strip()]
+    fields = [f.strip().lower() for f in args.fields.split(",") if f.strip()]
+    for f in fields:
+        if f not in FIELDS:
+            parser.error(f"unknown field {f!r} (choose from fr, fq)")
+    if args.backends:
+        backends = [b.strip() for b in args.backends.split(",") if b.strip()]
+    else:
+        backends = available_backends()
+
+    print(f"backends: {', '.join(backends)}   fields: {fields}   sizes: {sizes}")
+    cases = [
+        bench_case(field_name, size, backends, max(1, args.best_of))
+        for field_name in fields
+        for size in sizes
+    ]
+    results = {
+        "benchmark": "field_vector_kernels",
+        "commit": _git_commit(),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "hostname": os.environ.get("REPRO_BENCH_HOST") or platform.node(),
+        "cpu_count": os.cpu_count(),
+        "available_backends": available_backends(),
+        "best_of": max(1, args.best_of),
+        "cases": cases,
+    }
+
+    out_path = Path(args.output)
+    previous: dict = {}
+    if out_path.exists():
+        try:
+            previous = json.loads(out_path.read_text())
+        except json.JSONDecodeError:
+            previous = {}
+
+    for key in ("notes",):
+        if key in previous:
+            results[key] = previous[key]
+    history = list(previous.get("history", []))
+    if previous.get("cases"):
+        history.append(
+            {
+                key: previous[key]
+                for key in ("commit", "python", "machine", "hostname", "cases")
+                if key in previous
+            }
+        )
+    results["history"] = history
+
+    regressions: list[str] = []
+    skipped_foreign_host = False
+    if args.compare_last and previous.get("cases"):
+        same_host = previous.get("hostname") == results["hostname"]
+        if same_host or args.compare_any_host:
+            regressions = compare_to_last(previous, cases, args.tolerance)
+        else:
+            skipped_foreign_host = True
+
+    out_path.write_text(json.dumps(results, indent=2) + "\n")
+    print(f"wrote {out_path} ({len(history)} historical run(s) kept)")
+    if skipped_foreign_host:
+        print(
+            f"regression check skipped: baseline recorded on "
+            f"{previous.get('hostname', 'unknown host')!r}, this is "
+            f"{results['hostname']!r} (pass --compare-any-host to force)"
+        )
+
+    exit_code = 0
+    if args.require_native_speedup is not None:
+        measured = native_mulmod_speedup(cases)
+        if measured is None:
+            print(
+                "SPEEDUP GATE FAILED: native backend not measured "
+                "(is the extension built, and fr among --fields?)",
+                file=sys.stderr,
+            )
+            exit_code = 1
+        elif measured[0] < args.require_native_speedup:
+            print(
+                f"SPEEDUP GATE FAILED: native {measured[1]} speedup "
+                f"{measured[0]:.2f}x < required "
+                f"{args.require_native_speedup:.2f}x",
+                file=sys.stderr,
+            )
+            exit_code = 1
+        else:
+            print(
+                f"speedup gate passed: native {measured[1]} "
+                f"{measured[0]:.2f}x >= {args.require_native_speedup:.2f}x"
+            )
+    if regressions:
+        print("PERFORMANCE REGRESSION detected:", file=sys.stderr)
+        for message in regressions:
+            print(f"  {message}", file=sys.stderr)
+        exit_code = 1
+    elif args.compare_last and not skipped_foreign_host:
+        print(f"no kernel regression beyond {100 * args.tolerance:.0f}%")
+    return exit_code
+
+
+if __name__ == "__main__":
+    sys.exit(main())

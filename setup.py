@@ -4,8 +4,26 @@ The environment used for offline evaluation ships setuptools without the
 ``wheel`` package, so PEP 660 editable installs are unavailable; this shim
 lets ``pip install -e . --no-build-isolation`` fall back to the legacy
 ``setup.py develop`` path.  All project metadata lives in ``pyproject.toml``.
+
+The native Montgomery field kernel is an *optional* cffi extension: when
+cffi and a C compiler are present, ``build_ext`` compiles
+``repro.fields.backends._native_kernel`` via the ``cffi_modules`` hook
+below; otherwise the install proceeds without it and the backend registry
+falls back to the pure-Python / NumPy backends.  The kernel can also be
+built directly with ``python src/repro/fields/backends/_native_build.py``.
 """
 
 from setuptools import setup
 
-setup()
+kwargs = {}
+try:
+    import cffi  # noqa: F401
+
+    kwargs["cffi_modules"] = [
+        "src/repro/fields/backends/_native_build.py:ffibuilder"
+    ]
+    kwargs["setup_requires"] = ["cffi"]
+except ImportError:
+    pass
+
+setup(**kwargs)

@@ -21,7 +21,7 @@ from repro.curves.msm import SPARSE_SMALL_SCALAR_MAX, msm_defaults, set_msm_defa
 from repro.fields.backends import available_backends, default_policy, set_default_backend
 
 #: Policies accepted by ``field_backend`` ("auto" resolves per vector size).
-FIELD_BACKEND_POLICIES = ("auto", "python", "numpy")
+FIELD_BACKEND_POLICIES = ("auto", "python", "numpy", "native")
 
 
 @dataclass(frozen=True)
@@ -32,9 +32,10 @@ class EngineConfig:
     ----------
     field_backend:
         Field-vector backend policy: ``"auto"`` (size-based selection),
-        ``"python"`` or ``"numpy"``.  A requested-but-unavailable backend
-        degrades to the default policy with a warning, mirroring how a
-        direct ``REPRO_FIELD_BACKEND`` request behaves.
+        ``"python"``, ``"numpy"`` or ``"native"`` (the compiled cffi
+        Montgomery kernel, when built).  A requested-but-unavailable
+        backend degrades to the default policy with a warning, mirroring
+        how a direct ``REPRO_FIELD_BACKEND`` request behaves.
     msm_window_bits:
         Fixed Pippenger window size for every MSM, or ``None`` for the
         built-in per-MSM cost model.  Performance-only: proof bytes do not

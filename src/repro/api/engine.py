@@ -22,6 +22,7 @@ from typing import Iterable, Iterator, Mapping, Sequence, Union
 from repro.api.artifacts import CacheStats, ProofArtifact
 from repro.api.config import EngineConfig
 from repro.api.parallel import (
+    MleShardRunner,
     MsmShardRunner,
     SumcheckShardRunner,
     WorkerPool,
@@ -41,6 +42,7 @@ from repro.core.dse import DesignPoint, DesignSpaceExplorer
 from repro.core.opcounts import KernelProfile, protocol_operation_counts
 from repro.core.workload_model import WorkloadModel
 from repro.curves.msm import msm_shard_runner, set_msm_shard_runner
+from repro.mle.operations import mle_shard_runner, set_mle_shard_runner
 from repro.pcs.srs import UniversalSRS
 from repro.pcs.srs import setup_cached as _setup_srs
 from repro.sumcheck.prover import set_sumcheck_shard_runner, sumcheck_shard_runner
@@ -151,10 +153,11 @@ class ProverEngine:
         """Install the intra-proof shard runners for one engine operation.
 
         With ``workers <= 1`` (or no fork support) this is a no-op and every
-        kernel runs the serial path.  Otherwise the MSM window-shard and
-        SumCheck round-shard runners are pointed at the session pool for the
-        duration, and restored afterwards so engines with different configs
-        can interleave.
+        kernel runs the serial path.  Otherwise the MSM window-shard,
+        SumCheck round-shard, and MLE-phase (wiring-identity fraction /
+        product construction and batch-evaluation dots) runners are pointed
+        at the session pool for the duration, and restored afterwards so
+        engines with different configs can interleave.
         """
         if not self._parallel_enabled():
             yield
@@ -167,17 +170,22 @@ class ProverEngine:
             self._register_srs_tables(srs)
         previous_msm = msm_shard_runner()
         previous_sumcheck = sumcheck_shard_runner()
+        previous_mle = mle_shard_runner()
         set_msm_shard_runner(
             MsmShardRunner(pool, workers, self.config.parallel_min_msm_points)
         )
         set_sumcheck_shard_runner(
             SumcheckShardRunner(pool, workers, self.config.parallel_min_sumcheck_size)
         )
+        set_mle_shard_runner(
+            MleShardRunner(pool, workers, self.config.parallel_min_sumcheck_size)
+        )
         try:
             yield
         finally:
             set_msm_shard_runner(previous_msm)
             set_sumcheck_shard_runner(previous_sumcheck)
+            set_mle_shard_runner(previous_mle)
 
     # -- configuration / introspection ------------------------------------------
 
@@ -188,7 +196,11 @@ class ProverEngine:
         tier can see which circuit structures a backend is *hot* for:
         ``srs_sizes`` (num_vars with a cached SRS), ``key_structures``
         (``"num_vars:fingerprint-prefix"`` of each cached proving/verifying
-        key pair) and the built-circuit LRU occupancy.
+        key pair) and the built-circuit LRU occupancy — plus
+        ``field_backend`` (policy, installed backends, and the backend the
+        prover's large vectors actually resolve to under this config) so
+        cluster operators can verify a fleet is running the compiled
+        kernel and not silently degraded to the pure fallback.
         """
         return {
             "srs_sizes": sorted(self._srs_cache),
@@ -197,6 +209,24 @@ class ProverEngine:
                 for num_vars, fingerprint in self._key_cache
             ),
             "circuits_cached": len(self._circuit_cache),
+            "field_backend": self.field_backend_info(),
+        }
+
+    def field_backend_info(self) -> dict:
+        """The field-backend policy and its runtime resolution.
+
+        ``active`` is the backend a prover-sized vector (``1 << 16``
+        elements, deep in every crossover) resolves to with this engine's
+        config applied — i.e. what the hot paths will really use.
+        """
+        from repro.fields.backends import available_backends, default_backend_for
+
+        with self.config.apply():
+            active = default_backend_for(1 << 16).name
+        return {
+            "policy": self.config.field_backend,
+            "active": active,
+            "available": available_backends(),
         }
 
     def scenarios(self) -> list[str]:

@@ -59,6 +59,7 @@ import importlib
 from repro.circuits.builder import Circuit
 from repro.curves.curve import AffinePoint
 from repro.curves.msm import MSMStatistics, compute_window_sums
+from repro.fields.backends import get_backend
 from repro.fields.field import FieldElement, PrimeField
 from repro.fields.vector import FieldVector
 from repro.pcs.multilinear_kzg import Commitment, commit
@@ -73,6 +74,7 @@ from repro.transcript.transcript import Transcript
 # seam modules explicitly.
 _msm_module = importlib.import_module("repro.curves.msm")
 _sumcheck_module = importlib.import_module("repro.sumcheck.prover")
+_mle_module = importlib.import_module("repro.mle.operations")
 
 #: ``(prover_keys, circuits)`` visible to forked workers; set only for the
 #: lifetime of a ``batch_witness_commitments`` pool.
@@ -187,6 +189,7 @@ def _worker_init() -> None:
     signal.set_wakeup_fd(-1)
     _msm_module.set_msm_shard_runner(None)
     _sumcheck_module.set_sumcheck_shard_runner(None)
+    _mle_module.set_mle_shard_runner(None)
 
 
 class WorkerPool:
@@ -469,6 +472,177 @@ class SumcheckShardRunner:
         for t in range(degree + 1):
             evaluations.append(field(sum(partials[t] for partials in results)))
         return evaluations
+
+
+# -- wiring-identity / batch-evaluation MLE sharding ----------------------------------
+
+
+def _mle_chunk(vector: FieldVector, start: int, stop: int):
+    """A backend-native chunk payload: ``(backend_name, data)``.
+
+    Shipping the backend's own data object instead of a Python int list is
+    what makes MLE sharding viable at all post-compiled-kernel: native
+    chunks pickle as flat limb bytes (memcpy speed) and NumPy chunks as
+    arrays, where bignum int lists cost ~1us/element each way — more than
+    the compiled multiply they would parallelize.
+    """
+    backend = vector.backend
+    return backend.name, backend.slice(vector.field.modulus, vector.data, start, stop)
+
+
+def _mle_vector(field: PrimeField, chunk) -> FieldVector:
+    backend_name, data = chunk
+    return FieldVector(field, get_backend(backend_name), data)
+
+
+def _mle_fraction_task(payload):
+    """Worker: one contiguous window-aligned chunk of phi = N / D."""
+    modulus, batch_size, num_chunk, den_chunk = payload
+    field = _field_for(modulus)
+    numerator = _mle_vector(field, num_chunk)
+    denominator = _mle_vector(field, den_chunk)
+    result = numerator * denominator.inverse(batch_size)
+    return result.backend.name, result.data
+
+
+def _mle_level_task(payload):
+    """Worker: pairwise even*odd products over one chunk of a tree level."""
+    modulus, chunk = payload
+    field = _field_for(modulus)
+    even, odd = _mle_vector(field, chunk).even_odd()
+    result = even * odd
+    return result.backend.name, result.data
+
+
+def _mle_dots_task(payload):
+    """Worker: partial dot products of several MLE chunks with an eq chunk."""
+    modulus, eq_chunk, mle_chunks = payload
+    field = _field_for(modulus)
+    eq_vec = _mle_vector(field, eq_chunk)
+    return [int(_mle_vector(field, chunk).dot(eq_vec)) for chunk in mle_chunks]
+
+
+class MleShardRunner:
+    """Shards the remaining serial prover phases across a :class:`WorkerPool`.
+
+    Installed via :func:`repro.mle.operations.set_mle_shard_runner` for the
+    duration of an engine operation; covers the wiring identity's Fraction
+    MLE (batched inversion) and Product MLE (per-level pairwise products)
+    construction plus the Batch Evaluations dot products — the phases the
+    PR 3 sharding left serial (ROADMAP carried item).  Every recombination
+    is exact: inverse values are unique regardless of chunking, level
+    products are disjoint by construction, and partial dot sums recombine
+    by field addition — so proofs stay byte-identical at every worker
+    count.
+
+    Gating: ``min_size`` is the floor below which nothing shards (the
+    engine installs ``EngineConfig.parallel_min_sumcheck_size``), and each
+    phase applies a measured multiplier on top.  The compiled field kernel
+    moved these crossovers substantially (4 workers, 24-core dev host;
+    see README "Field backends"):
+
+    * Fraction MLE stays pow-bound (~3-5us/element batch inversion on
+      every backend), so sharding pays from ~16k elements everywhere —
+      measured 2.4x at 64k on the native backend.
+    * Level products are one multiply per output element: sharding beats
+      the pure-Python floor from ~16k (1.5x at 64k) but can never catch
+      the compiled kernel (~87ns/multiply vs ~1us/element of payload
+      transfer), so it engages only for python-backend tables.
+    * Batch-evaluation dots ship one chunk per polynomial plus the eq
+      chunk for one multiply-add each — payload-bound at every measured
+      size on every backend, so the default gate sits beyond prover
+      scales and the serial path stays the measured optimum.
+
+    Lowering ``parallel_min_sumcheck_size`` scales all gates down
+    proportionally, which is also how tests force sharding on tiny
+    tables.
+    """
+
+    #: Phase gates as multiples of ``min_size`` (defaults: 4096 * these).
+    FRACTION_FACTOR = 4  # pow-bound: measured crossover ~16k elements
+    LEVEL_FACTOR = 4  # mul-bound: ~16k crossover, python backend only
+    DOTS_FACTOR = 256  # payload-bound at every measured size
+
+    def __init__(self, pool: WorkerPool, shards: int, min_size: int):
+        self.pool = pool
+        self.shards = max(1, shards)
+        self.min_size = min_size
+
+    def run_fraction(
+        self,
+        numerator: FieldVector,
+        denominator: FieldVector,
+        batch_size: int,
+        field: PrimeField,
+    ) -> FieldVector | None:
+        total = len(numerator)
+        # Chunk on inversion-window boundaries so each worker runs the same
+        # windowed kernel the serial path would over its slice.
+        windows = -(-total // batch_size)
+        shards = min(self.shards, windows)
+        if shards <= 1 or total < self.min_size * self.FRACTION_FACTOR:
+            return None
+        payloads = []
+        for w_start, w_end in _chunk_bounds(windows, shards):
+            start, end = w_start * batch_size, min(w_end * batch_size, total)
+            payloads.append(
+                (
+                    field.modulus,
+                    batch_size,
+                    _mle_chunk(numerator, start, end),
+                    _mle_chunk(denominator, start, end),
+                )
+            )
+        self.pool.ensure()
+        parts = self.pool.map(_mle_fraction_task, payloads)
+        return FieldVector.concat_many(
+            field, [_mle_vector(field, part) for part in parts]
+        )
+
+    def run_level_product(
+        self, current: FieldVector, field: PrimeField
+    ) -> FieldVector | None:
+        half = len(current) // 2
+        shards = min(self.shards, half)
+        if (
+            shards <= 1
+            or len(current) < self.min_size * self.LEVEL_FACTOR
+            or current.backend.name != "python"
+        ):
+            return None
+        payloads = [
+            (field.modulus, _mle_chunk(current, 2 * start, 2 * end))
+            for start, end in _chunk_bounds(half, shards)
+        ]
+        self.pool.ensure()
+        parts = self.pool.map(_mle_level_task, payloads)
+        return FieldVector.concat_many(
+            field, [_mle_vector(field, part) for part in parts]
+        )
+
+    def run_dots(
+        self,
+        vectors: Sequence[FieldVector],
+        eq_vec: FieldVector,
+        field: PrimeField,
+    ) -> list[FieldElement] | None:
+        total = len(eq_vec)
+        shards = min(self.shards, total)
+        if shards <= 1 or not vectors or total < self.min_size * self.DOTS_FACTOR:
+            return None
+        payloads = [
+            (
+                field.modulus,
+                _mle_chunk(eq_vec, start, end),
+                [_mle_chunk(v, start, end) for v in vectors],
+            )
+            for start, end in _chunk_bounds(total, shards)
+        ]
+        self.pool.ensure()
+        parts = self.pool.map(_mle_dots_task, payloads)
+        return [
+            field(sum(part[i] for part in parts)) for i in range(len(vectors))
+        ]
 
 
 # -- process-per-proof pipeline -------------------------------------------------------

@@ -334,7 +334,7 @@ def build_parser() -> argparse.ArgumentParser:
     engine_options = argparse.ArgumentParser(add_help=False)
     engine_options.add_argument(
         "--field-backend",
-        choices=("auto", "python", "numpy"),
+        choices=("auto", "python", "numpy", "native"),
         default="auto",
         help="field-vector backend for the prover hot paths (default: auto)",
     )

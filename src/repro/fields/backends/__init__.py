@@ -1,10 +1,13 @@
 """Pluggable field-vector backends.
 
-Two backends ship with the repository:
+Three backends ship with the repository:
 
 * ``"python"`` -- portable ``list[int]`` arithmetic (always available).
 * ``"numpy"``  -- vectorized multi-limb Montgomery arithmetic (requires
   NumPy; silently absent when the dependency is not installed).
+* ``"native"`` -- the compiled cffi Montgomery kernel (requires the
+  ``_native_kernel`` extension built by ``_native_build.py`` / ``setup.py``;
+  silently absent until built).
 
 Selection
 ---------
@@ -12,13 +15,24 @@ The active policy is resolved, in order, from:
 
 1. an explicit :func:`set_default_backend` call (e.g. from the CLI),
 2. the ``REPRO_FIELD_BACKEND`` environment variable
-   (``python`` / ``numpy`` / ``auto``),
+   (``python`` / ``numpy`` / ``native`` / ``auto``),
 3. the built-in default ``auto``.
 
-``auto`` picks NumPy for vectors of at least ``REPRO_FIELD_BACKEND_THRESHOLD``
-elements (default 1024 -- the measured crossover where vectorized Montgomery
-limb arithmetic overtakes CPython big-int arithmetic) and the Python backend
-below it, so small test vectors never pay per-call NumPy dispatch overhead.
+``auto`` ranks the registered backends by *priority* and picks the
+highest-priority backend whose ``auto_min_length`` the vector meets --
+so the compiled kernel (priority 20, crossover ``NATIVE_AUTO_THRESHOLD``,
+default 32) outranks NumPy (priority 10, crossover ``AUTO_THRESHOLD``,
+default 1024), which outranks the Python reference (priority 0, always
+eligible).  Small vectors therefore never pay per-call dispatch overhead,
+and third-party backends registered with
+``register_backend(backend, auto_priority=..., auto_min_length=...)``
+participate in ``auto`` on the same terms.
+
+The crossovers are measured, not guessed: ``benchmarks/bench_field_kernels.py``
+puts native ahead of pure Python from ~32 elements (1.7x at 16, 3.6x at 64)
+and ahead of NumPy at every size, while NumPy needs ~1k elements to amortize
+its dispatch overhead.  Both are overridable via
+``REPRO_FIELD_BACKEND_THRESHOLD`` and ``REPRO_FIELD_BACKEND_NATIVE_THRESHOLD``.
 """
 
 from __future__ import annotations
@@ -36,38 +50,85 @@ __all__ = [
     "default_backend_for",
     "default_policy",
     "register_backend",
+    "unregister_backend",
     "set_default_backend",
 ]
 
 _REGISTRY: dict[str, VectorBackend] = {}
 
+#: ``name -> (auto_priority, auto_min_length)`` for backends that take part
+#: in ``auto`` selection.  Higher priority wins among eligible backends.
+_AUTO_RANKS: dict[str, tuple[int, int]] = {}
 
-def register_backend(backend: VectorBackend) -> None:
-    """Register (or replace) a backend under ``backend.name``."""
+
+def _int_env(name: str, default: int) -> int:
+    try:
+        return int(os.environ.get(name, ""))
+    except ValueError:
+        return default
+
+
+#: Vector length at which ``auto`` prefers NumPy over the Python backend.
+AUTO_THRESHOLD = _int_env("REPRO_FIELD_BACKEND_THRESHOLD", 1024)
+
+#: Vector length at which ``auto`` prefers the compiled kernel (it beats the
+#: Python backend from a few dozen elements; below that, cffi call overhead
+#: and limb packing dominate).
+NATIVE_AUTO_THRESHOLD = _int_env("REPRO_FIELD_BACKEND_NATIVE_THRESHOLD", 32)
+
+
+def register_backend(
+    backend: VectorBackend,
+    *,
+    auto_priority: int | None = None,
+    auto_min_length: int = 0,
+) -> None:
+    """Register (or replace) a backend under ``backend.name``.
+
+    ``auto_priority`` opts the backend into ``auto`` selection: among the
+    registered backends whose ``auto_min_length`` a vector meets, the
+    highest priority wins.  ``None`` keeps the backend explicit-only
+    (reachable via ``get_backend`` / ``REPRO_FIELD_BACKEND=<name>`` but
+    never chosen by ``auto``).
+    """
     _REGISTRY[backend.name] = backend
+    if auto_priority is not None:
+        _AUTO_RANKS[backend.name] = (auto_priority, auto_min_length)
+    else:
+        _AUTO_RANKS.pop(backend.name, None)
 
 
-register_backend(PythonVectorBackend())
+def unregister_backend(name: str) -> None:
+    """Remove a backend from the registry (and from ``auto`` selection)."""
+    if name == "python":
+        raise ValueError("the python reference backend cannot be unregistered")
+    _REGISTRY.pop(name, None)
+    _AUTO_RANKS.pop(name, None)
+
+
+register_backend(PythonVectorBackend(), auto_priority=0, auto_min_length=0)
 
 try:  # NumPy is an optional dependency; the repo must work without it.
     from repro.fields.backends.numpy_backend import NumpyVectorBackend
 
-    register_backend(NumpyVectorBackend())
+    register_backend(
+        NumpyVectorBackend(), auto_priority=10, auto_min_length=AUTO_THRESHOLD
+    )
     HAS_NUMPY = True
 except ImportError:  # pragma: no cover - exercised on NumPy-free installs
     HAS_NUMPY = False
 
+try:  # The compiled kernel is optional; absent until built in place.
+    from repro.fields.backends.native_backend import NativeVectorBackend
 
-def _threshold_from_env() -> int:
-    raw = os.environ.get("REPRO_FIELD_BACKEND_THRESHOLD", "")
-    try:
-        return int(raw)
-    except ValueError:
-        return 1024
-
-
-#: Vector length at which ``auto`` switches from the Python backend to NumPy.
-AUTO_THRESHOLD = _threshold_from_env()
+    register_backend(
+        NativeVectorBackend(),
+        auto_priority=20,
+        auto_min_length=NATIVE_AUTO_THRESHOLD,
+    )
+    HAS_NATIVE = True
+except ImportError:  # pragma: no cover - exercised on extension-free installs
+    HAS_NATIVE = False
 
 _override_policy: str | None = None
 
@@ -89,7 +150,7 @@ def get_backend(name: str) -> VectorBackend:
 
 
 def set_default_backend(name: str | None) -> None:
-    """Force the selection policy (``"python"``/``"numpy"``/``"auto"``/None).
+    """Force the selection policy (a backend name, ``"auto"``, or ``None``).
 
     ``None`` restores environment-variable / built-in resolution.
     """
@@ -110,13 +171,17 @@ def default_backend_for(length: int) -> VectorBackend:
     """Resolve the backend a new ``length``-element vector should use."""
     policy = default_policy()
     if policy == "auto":
-        if HAS_NUMPY and length >= AUTO_THRESHOLD:
-            return _REGISTRY["numpy"]
-        return _REGISTRY["python"]
+        best = _REGISTRY["python"]
+        best_rank = -1
+        for name, (priority, min_length) in _AUTO_RANKS.items():
+            if length >= min_length and priority > best_rank:
+                best = _REGISTRY[name]
+                best_rank = priority
+        return best
     backend = _REGISTRY.get(policy)
     if backend is None:
-        # A requested-but-unavailable backend (e.g. REPRO_FIELD_BACKEND=numpy
-        # without NumPy installed) degrades to the reference implementation
-        # rather than failing an otherwise valid run.
+        # A requested-but-unavailable backend (e.g. REPRO_FIELD_BACKEND=native
+        # without the built extension) degrades to the reference
+        # implementation rather than failing an otherwise valid run.
         return _REGISTRY["python"]
     return backend

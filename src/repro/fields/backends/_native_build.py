@@ -1,0 +1,668 @@
+"""cffi build script for the native Montgomery field kernel.
+
+Compiles ``repro.fields.backends._native_kernel`` — a C extension
+implementing whole-vector Montgomery arithmetic over the same ``(L, n)``
+uint64 29-bit-limb layout as the NumPy backend: limb ``j`` of lane ``i``
+lives at ``data[j * n + i]`` (row-major limb rows, little-endian limb
+order), every limb normalized below ``2^29`` and every value canonical
+(below ``N``) in Montgomery form.
+
+The arithmetic schedule is a line-for-line port of the NumPy kernels
+(:mod:`repro.fields.backends.numpy_backend`), which keeps the compiled
+backends bit-identical by construction:
+
+* CIOS-style interleaved Montgomery multiplication with lazy carries —
+  29-bit limbs in 64-bit lanes mean a full schoolbook column (operand
+  products plus the interleaved REDC additions, ``L <= 14`` for the
+  BLS12-381 base field) stays below ``2^63`` and carries propagate once
+  per multiply;
+* borrow-chain subtraction with conditional ``+N``;
+* batch inversion as a prefix-product sweep (one field exponentiation at
+  the root, performed by the Python caller) — inverse *values* are unique,
+  so any batching scheme matches the other backends byte for byte.
+
+Two structural choices carry the speed:
+
+* the hot kernels are *macro-instantiated* with the limb count as a
+  compile-time constant for the two BLS12-381 fields (L=9 for the 255-bit
+  scalar field, L=14 for the 381-bit base field), so the compiler fully
+  unrolls the limb loops; any other modulus takes a generic runtime-L
+  fallback;
+* elementwise arithmetic runs *row-wise over cache-sized tiles* (the
+  NumPy dataflow, minus the dispatch overhead).  Because limbs are 29-bit,
+  every multiply in the schedule is 32x32->64 — the shape SSE/AVX
+  ``pmuludq`` implements directly — and the row-wise inner loops
+  autovectorize.
+
+Build it in place (no new dependencies; cffi and a C compiler ship with
+the toolchain image) with::
+
+    python src/repro/fields/backends/_native_build.py
+
+or via ``pip install -e .`` / ``python setup.py build_ext --inplace``
+(the ``cffi_modules`` hook in ``setup.py``).  When the extension is
+absent or fails to import, the backend registry simply skips ``native``
+— nothing else in the repository depends on it.
+
+cffi API-mode calls release the GIL for the duration of the C function,
+so every whole-vector kernel below is a GIL-free region.
+"""
+
+from __future__ import annotations
+
+try:
+    from cffi import FFI
+except ImportError:  # pragma: no cover - build script only runs with cffi
+    FFI = None
+
+CDEF = """
+typedef struct {
+    int limbs;
+    uint64_t n0inv;
+    uint64_t mod[16];
+    uint64_t comp[16];
+    uint64_t one_mont[16];
+} repro_field;
+
+void repro_mont_mul(uint64_t *out, const uint64_t *a, const uint64_t *b,
+                    size_t n, const repro_field *f);
+void repro_mont_mul_scalar(uint64_t *out, const uint64_t *a,
+                           const uint64_t *s, size_t n,
+                           const repro_field *f);
+void repro_add(uint64_t *out, const uint64_t *a, const uint64_t *b,
+               size_t n, const repro_field *f);
+void repro_add_scalar(uint64_t *out, const uint64_t *a, const uint64_t *s,
+                      size_t n, const repro_field *f);
+void repro_sub(uint64_t *out, const uint64_t *a, const uint64_t *b,
+               size_t n, const repro_field *f);
+void repro_neg(uint64_t *out, const uint64_t *a, size_t n,
+               const repro_field *f);
+void repro_axpy(uint64_t *out, const uint64_t *a, const uint64_t *s,
+                const uint64_t *x, size_t n, const repro_field *f);
+void repro_fold(uint64_t *out, const uint64_t *a, const uint64_t *r,
+                size_t half, const repro_field *f);
+void repro_even_odd(uint64_t *even, uint64_t *odd, const uint64_t *a,
+                    size_t n, const repro_field *f);
+void repro_limb_sums(uint64_t *acc, const uint64_t *a, size_t n,
+                     const repro_field *f);
+void repro_dot(uint64_t *acc, const uint64_t *a, const uint64_t *b,
+               size_t n, const repro_field *f);
+int64_t repro_inv_prefix(uint64_t *prefix, uint64_t *total,
+                         const uint64_t *a, size_t n,
+                         const repro_field *f);
+void repro_inv_finish(uint64_t *out, const uint64_t *a,
+                      const uint64_t *total_inv, size_t n,
+                      const repro_field *f);
+void repro_count_zeros_ones(const uint64_t *a, size_t n,
+                            const repro_field *f, size_t *zeros,
+                            size_t *ones);
+int repro_is_zero(const uint64_t *a, size_t n, const repro_field *f);
+"""
+
+C_SOURCE = r"""
+#include <stdint.h>
+#include <stddef.h>
+#include <string.h>
+
+#define LIMB_BITS 29
+#define LIMB_MASK ((uint64_t)((1ULL << LIMB_BITS) - 1))
+#define LIMB_BASE ((uint64_t)1 << LIMB_BITS)
+#define MAX_LIMBS 16
+
+/* Lanes per tile of the row-wise kernels: the (2L, TILE) multiply
+ * accumulator of a 381-bit product stays within L2. */
+#define TILE 256
+
+typedef struct {
+    int limbs;          /* L: limbs per element (ceil(bits / 29)) */
+    uint64_t n0inv;     /* -N^-1 mod 2^29 */
+    uint64_t mod[MAX_LIMBS];      /* N, 29-bit limbs, little-endian */
+    uint64_t comp[MAX_LIMBS];     /* R - N (the conditional-subtract adder) */
+    uint64_t one_mont[MAX_LIMBS]; /* R mod N (Montgomery form of 1) */
+} repro_field;
+
+/* ---- lane helpers -------------------------------------------------------
+ * Layout: (L, n) row-major limb rows -- limb j of lane i at a[j*n + i].
+ * These gather one element's limbs into a register-resident array for the
+ * sequential kernels (the prefix-product inversion sweeps); elementwise
+ * arithmetic uses the row-wise tile kernels below instead. */
+
+static inline void lane_load(uint64_t *dst, const uint64_t *a, size_t i,
+                             size_t n, int L) {
+    for (int j = 0; j < L; j++) dst[j] = a[(size_t)j * n + i];
+}
+
+static inline void lane_store(uint64_t *out, const uint64_t *src, size_t i,
+                              size_t n, int L) {
+    for (int j = 0; j < L; j++) out[(size_t)j * n + i] = src[j];
+}
+
+static inline int lane_is_zero(const uint64_t *v, int L) {
+    uint64_t any = 0;
+    for (int j = 0; j < L; j++) any |= v[j];
+    return any == 0;
+}
+
+/* Reduce a normalized value (carry * R + t, guaranteed < 2N) into [0, N). */
+static inline void lane_cond_sub(uint64_t *t, const uint64_t *mod,
+                                 uint64_t carry, int L) {
+    int ge = carry != 0;
+    if (!ge) {
+        ge = 1; /* t == N also subtracts (canonical residues are < N) */
+        for (int j = L - 1; j >= 0; j--) {
+            if (t[j] != mod[j]) { ge = t[j] > mod[j]; break; }
+        }
+    }
+    if (ge) {
+        uint64_t borrow = 0;
+        for (int j = 0; j < L; j++) {
+            uint64_t v = t[j] + LIMB_BASE - mod[j] - borrow;
+            t[j] = v & LIMB_MASK;
+            borrow = 1 - (v >> LIMB_BITS);
+        }
+        /* A final borrow cancels against the carry limb (value < 2N). */
+    }
+}
+
+/* One Montgomery product: the CIOS schedule of the NumPy _mul_tile kernel.
+ * Schoolbook columns accumulate lazily (at most 2L products per column,
+ * each < 2^58, so columns stay < 2^63), then one interleaved REDC pass and
+ * a single normalization. */
+static inline void mont_mul1(uint64_t *out, const uint64_t *a,
+                             const uint64_t *b, const uint64_t *mod,
+                             uint64_t n0inv, int L) {
+    uint64_t t[2 * MAX_LIMBS];
+    memset(t, 0, sizeof(uint64_t) * (size_t)(2 * L));
+    for (int i = 0; i < L; i++) {
+        uint64_t ai = a[i];
+        for (int j = 0; j < L; j++) t[i + j] += ai * b[j];
+    }
+    for (int i = 0; i < L; i++) {
+        uint64_t m = (t[i] * n0inv) & LIMB_MASK;
+        for (int j = 0; j < L; j++) t[i + j] += m * mod[j];
+        t[i + 1] += t[i] >> LIMB_BITS;
+    }
+    uint64_t carry = 0;
+    for (int j = 0; j < L; j++) {
+        uint64_t v = t[L + j] + carry;
+        out[j] = v & LIMB_MASK;
+        carry = v >> LIMB_BITS;
+    }
+    lane_cond_sub(out, mod, carry, L);
+}
+
+/* ---- row-wise tile kernels ----------------------------------------------
+ * The NumPy dataflow in C: contiguous row operations over TILE-lane tiles,
+ * every multiply a 32x32->64 (limbs < 2^29), so the inner k-loops
+ * autovectorize to pmuludq/paddq.  Scratch tiles use a fixed TILE row
+ * stride; source/destination rows use the caller's stride (the vector
+ * length n).  Instantiated per limb count: LV is a literal 9 / 14 for the
+ * two BLS12-381 fields (full unroll of the j-loops) and f->limbs in the
+ * generic fallback. */
+
+#define DEFINE_FIELD_KERNELS(SUF, LV)                                        \
+/* Propagate lazy carries of an (L, TILE-stride) scratch tile in place. */   \
+static void tnorm_##SUF(uint64_t *t, uint64_t *carry, size_t T,              \
+                        const repro_field *f) {                              \
+    const int L = (LV); (void)f;                                             \
+    for (size_t k = 0; k < T; k++) {                                         \
+        carry[k] = t[k] >> LIMB_BITS;                                        \
+        t[k] &= LIMB_MASK;                                                   \
+    }                                                                        \
+    for (int j = 1; j < L; j++) {                                            \
+        uint64_t *row = t + (size_t)j * TILE;                                \
+        for (size_t k = 0; k < T; k++) {                                     \
+            row[k] += carry[k];                                              \
+            carry[k] = row[k] >> LIMB_BITS;                                  \
+            row[k] &= LIMB_MASK;                                             \
+        }                                                                    \
+    }                                                                        \
+}                                                                            \
+/* Reduce a normalized tile below 2N into [0, N): add R-N, renormalize,     \
+ * and keep the subtracted copy wherever it (or the carry-in) overflowed    \
+ * R -- the NumPy _cond_sub_n schedule with branchless masks. */             \
+static void tcondsub_##SUF(uint64_t *t, const uint64_t *carry_in, size_t T,  \
+                           const repro_field *f) {                           \
+    const int L = (LV);                                                      \
+    uint64_t d[MAX_LIMBS * TILE], dc[TILE];                                  \
+    for (int j = 0; j < L; j++) {                                            \
+        uint64_t cj = f->comp[j];                                            \
+        const uint64_t *tr = t + (size_t)j * TILE;                           \
+        uint64_t *dr = d + (size_t)j * TILE;                                 \
+        for (size_t k = 0; k < T; k++) dr[k] = tr[k] + cj;                   \
+    }                                                                        \
+    tnorm_##SUF(d, dc, T, f);                                                \
+    for (size_t k = 0; k < T; k++)                                           \
+        dc[k] = 0 - (uint64_t)((dc[k] | carry_in[k]) != 0);                  \
+    for (int j = 0; j < L; j++) {                                            \
+        uint64_t *tr = t + (size_t)j * TILE;                                 \
+        const uint64_t *dr = d + (size_t)j * TILE;                           \
+        for (size_t k = 0; k < T; k++)                                       \
+            tr[k] = (dr[k] & dc[k]) | (tr[k] & ~dc[k]);                      \
+    }                                                                        \
+}                                                                            \
+/* Montgomery-multiply one tile: schoolbook accumulation + interleaved      \
+ * REDC into a (2L, TILE) scratch, then normalize / cond-sub the top half   \
+ * and copy it to the strided output rows.  b is either a same-shape        \
+ * vector (stride bs) or, with b_scalar, one element's L limbs.  Every      \
+ * product is 32x32->64: a/b/m limbs < 2^29. */                             \
+static void tmul_##SUF(uint64_t *out, size_t os, const uint64_t *a,          \
+                       size_t as, const uint64_t *b, size_t bs,              \
+                       int b_scalar, size_t T, const repro_field *f) {       \
+    const int L = (LV);                                                      \
+    uint64_t t[2 * MAX_LIMBS * TILE], m[TILE], carry[TILE];                  \
+    memset(t, 0, sizeof(uint64_t) * (size_t)(2 * L) * TILE);                 \
+    for (int i = 0; i < L; i++) {                                            \
+        const uint64_t *ar = a + (size_t)i * as;                             \
+        for (int j = 0; j < L; j++) {                                        \
+            uint64_t *tr = t + (size_t)(i + j) * TILE;                       \
+            if (b_scalar) {                                                  \
+                uint32_t bj = (uint32_t)b[j];                                \
+                for (size_t k = 0; k < T; k++)                               \
+                    tr[k] += (uint64_t)(uint32_t)ar[k] * bj;                 \
+            } else {                                                         \
+                const uint64_t *br = b + (size_t)j * bs;                     \
+                for (size_t k = 0; k < T; k++)                               \
+                    tr[k] += (uint64_t)(uint32_t)ar[k] * (uint32_t)br[k];    \
+            }                                                                \
+        }                                                                    \
+    }                                                                        \
+    const uint32_t n0 = (uint32_t)f->n0inv;                                  \
+    for (int i = 0; i < L; i++) {                                            \
+        uint64_t *ti = t + (size_t)i * TILE;                                 \
+        for (size_t k = 0; k < T; k++)                                       \
+            m[k] = ((uint64_t)(uint32_t)ti[k] * n0) & LIMB_MASK;             \
+        for (int j = 0; j < L; j++) {                                        \
+            uint32_t nj = (uint32_t)f->mod[j];                               \
+            uint64_t *tr = t + (size_t)(i + j) * TILE;                       \
+            for (size_t k = 0; k < T; k++)                                   \
+                tr[k] += (uint64_t)(uint32_t)m[k] * nj;                      \
+        }                                                                    \
+        uint64_t *tn = t + (size_t)(i + 1) * TILE;                           \
+        for (size_t k = 0; k < T; k++) tn[k] += ti[k] >> LIMB_BITS;          \
+    }                                                                        \
+    uint64_t *res = t + (size_t)L * TILE;                                    \
+    tnorm_##SUF(res, carry, T, f);                                           \
+    tcondsub_##SUF(res, carry, T, f);                                        \
+    for (int j = 0; j < L; j++)                                              \
+        memcpy(out + (size_t)j * os, res + (size_t)j * TILE,                 \
+               T * sizeof(uint64_t));                                        \
+}                                                                            \
+static void tadd_##SUF(uint64_t *out, size_t os, const uint64_t *a,          \
+                       size_t as, const uint64_t *b, size_t bs,              \
+                       int b_scalar, size_t T, const repro_field *f) {       \
+    const int L = (LV);                                                      \
+    uint64_t s[MAX_LIMBS * TILE], carry[TILE];                               \
+    for (int j = 0; j < L; j++) {                                            \
+        const uint64_t *ar = a + (size_t)j * as;                             \
+        uint64_t *sr = s + (size_t)j * TILE;                                 \
+        if (b_scalar) {                                                      \
+            uint64_t bj = b[j];                                              \
+            for (size_t k = 0; k < T; k++) sr[k] = ar[k] + bj;               \
+        } else {                                                             \
+            const uint64_t *br = b + (size_t)j * bs;                         \
+            for (size_t k = 0; k < T; k++) sr[k] = ar[k] + br[k];            \
+        }                                                                    \
+    }                                                                        \
+    tnorm_##SUF(s, carry, T, f);                                             \
+    tcondsub_##SUF(s, carry, T, f);                                          \
+    for (int j = 0; j < L; j++)                                              \
+        memcpy(out + (size_t)j * os, s + (size_t)j * TILE,                   \
+               T * sizeof(uint64_t));                                        \
+}                                                                            \
+/* Borrow-chain subtraction; where the final borrow fired the true value    \
+ * is t - base^L and adding N (mod base^L) lands it back in [0, N). */      \
+static void tsub_##SUF(uint64_t *out, size_t os, const uint64_t *a,          \
+                       size_t as, int a_zero, const uint64_t *b, size_t bs,  \
+                       size_t T, const repro_field *f) {                     \
+    const int L = (LV);                                                      \
+    uint64_t s[MAX_LIMBS * TILE], d[MAX_LIMBS * TILE];                       \
+    uint64_t borrow[TILE], dc[TILE];                                         \
+    memset(borrow, 0, T * sizeof(uint64_t));                                 \
+    for (int j = 0; j < L; j++) {                                            \
+        const uint64_t *ar = a + (size_t)j * as;                             \
+        const uint64_t *br = b + (size_t)j * bs;                             \
+        uint64_t *sr = s + (size_t)j * TILE;                                 \
+        for (size_t k = 0; k < T; k++) {                                     \
+            uint64_t v = (a_zero ? 0 : ar[k]) + LIMB_BASE - br[k]            \
+                - borrow[k];                                                 \
+            sr[k] = v & LIMB_MASK;                                           \
+            borrow[k] = 1 - (v >> LIMB_BITS);                                \
+        }                                                                    \
+    }                                                                        \
+    for (int j = 0; j < L; j++) {                                            \
+        uint64_t nj = f->mod[j];                                             \
+        const uint64_t *sr = s + (size_t)j * TILE;                           \
+        uint64_t *dr = d + (size_t)j * TILE;                                 \
+        for (size_t k = 0; k < T; k++) dr[k] = sr[k] + nj;                   \
+    }                                                                        \
+    tnorm_##SUF(d, dc, T, f);                                                \
+    for (size_t k = 0; k < T; k++)                                           \
+        borrow[k] = 0 - (uint64_t)(borrow[k] != 0);                          \
+    for (int j = 0; j < L; j++) {                                            \
+        uint64_t *sr = s + (size_t)j * TILE;                                 \
+        const uint64_t *dr = d + (size_t)j * TILE;                           \
+        for (size_t k = 0; k < T; k++)                                       \
+            sr[k] = (dr[k] & borrow[k]) | (sr[k] & ~borrow[k]);              \
+    }                                                                        \
+    for (int j = 0; j < L; j++)                                              \
+        memcpy(out + (size_t)j * os, s + (size_t)j * TILE,                   \
+               T * sizeof(uint64_t));                                        \
+}                                                                            \
+/* ---- whole-vector entry points (tile loops) ---- */                       \
+static void vmul_##SUF(uint64_t *out, const uint64_t *a, const uint64_t *b,  \
+                       size_t n, const repro_field *f) {                     \
+    for (size_t s = 0; s < n; s += TILE) {                                   \
+        size_t T = n - s < TILE ? n - s : TILE;                              \
+        tmul_##SUF(out + s, n, a + s, n, b + s, n, 0, T, f);                 \
+    }                                                                        \
+}                                                                            \
+static void vmuls_##SUF(uint64_t *out, const uint64_t *a,                    \
+                        const uint64_t *sc, size_t n,                        \
+                        const repro_field *f) {                              \
+    for (size_t s = 0; s < n; s += TILE) {                                   \
+        size_t T = n - s < TILE ? n - s : TILE;                              \
+        tmul_##SUF(out + s, n, a + s, n, sc, 0, 1, T, f);                    \
+    }                                                                        \
+}                                                                            \
+static void vadd_##SUF(uint64_t *out, const uint64_t *a, const uint64_t *b,  \
+                       size_t n, const repro_field *f) {                     \
+    for (size_t s = 0; s < n; s += TILE) {                                   \
+        size_t T = n - s < TILE ? n - s : TILE;                              \
+        tadd_##SUF(out + s, n, a + s, n, b + s, n, 0, T, f);                 \
+    }                                                                        \
+}                                                                            \
+static void vadds_##SUF(uint64_t *out, const uint64_t *a,                    \
+                        const uint64_t *sc, size_t n,                        \
+                        const repro_field *f) {                              \
+    for (size_t s = 0; s < n; s += TILE) {                                   \
+        size_t T = n - s < TILE ? n - s : TILE;                              \
+        tadd_##SUF(out + s, n, a + s, n, sc, 0, 1, T, f);                    \
+    }                                                                        \
+}                                                                            \
+static void vsub_##SUF(uint64_t *out, const uint64_t *a, const uint64_t *b,  \
+                       size_t n, const repro_field *f) {                     \
+    for (size_t s = 0; s < n; s += TILE) {                                   \
+        size_t T = n - s < TILE ? n - s : TILE;                              \
+        tsub_##SUF(out + s, n, a + s, n, 0, b + s, n, T, f);                 \
+    }                                                                        \
+}                                                                            \
+static void vneg_##SUF(uint64_t *out, const uint64_t *a, size_t n,           \
+                       const repro_field *f) {                               \
+    for (size_t s = 0; s < n; s += TILE) {                                   \
+        size_t T = n - s < TILE ? n - s : TILE;                              \
+        /* 0 - a: a_zero ignores the first operand rows */                   \
+        tsub_##SUF(out + s, n, a + s, n, 1, a + s, n, T, f);                 \
+    }                                                                        \
+}                                                                            \
+/* Fused a + s*x -- the MLE Combine / Construct N&D inner pattern. */        \
+static void vaxpy_##SUF(uint64_t *out, const uint64_t *a,                    \
+                        const uint64_t *sc, const uint64_t *x, size_t n,     \
+                        const repro_field *f) {                              \
+    uint64_t prod[MAX_LIMBS * TILE];                                         \
+    for (size_t s = 0; s < n; s += TILE) {                                   \
+        size_t T = n - s < TILE ? n - s : TILE;                              \
+        tmul_##SUF(prod, TILE, x + s, n, sc, 0, 1, T, f);                    \
+        tadd_##SUF(out + s, n, a + s, n, prod, TILE, 0, T, f);               \
+    }                                                                        \
+}                                                                            \
+/* MLE Update: out[i] = a[2i] + r * (a[2i+1] - a[2i]); `a` has 2*half       \
+ * lanes (row stride 2*half), `out` has `half`: deinterleave a tile of      \
+ * lo/hi pairs, then row-wise sub / broadcast-mul / add. */                 \
+static void vfold_##SUF(uint64_t *out, const uint64_t *a,                    \
+                        const uint64_t *r, size_t half,                      \
+                        const repro_field *f) {                              \
+    const int L = (LV);                                                      \
+    uint64_t lo[MAX_LIMBS * TILE], hi[MAX_LIMBS * TILE];                     \
+    uint64_t dm[MAX_LIMBS * TILE];                                           \
+    size_t src_n = 2 * half;                                                 \
+    for (size_t s = 0; s < half; s += TILE) {                                \
+        size_t T = half - s < TILE ? half - s : TILE;                        \
+        for (int j = 0; j < L; j++) {                                        \
+            const uint64_t *ar = a + (size_t)j * src_n + 2 * s;              \
+            uint64_t *lr = lo + (size_t)j * TILE;                            \
+            uint64_t *hr = hi + (size_t)j * TILE;                            \
+            for (size_t k = 0; k < T; k++) {                                 \
+                lr[k] = ar[2 * k];                                           \
+                hr[k] = ar[2 * k + 1];                                       \
+            }                                                                \
+        }                                                                    \
+        tsub_##SUF(dm, TILE, hi, TILE, 0, lo, TILE, T, f);                   \
+        tmul_##SUF(dm, TILE, dm, TILE, r, 0, 1, T, f);                       \
+        tadd_##SUF(out + s, half, lo, TILE, dm, TILE, 0, T, f);              \
+    }                                                                        \
+}                                                                            \
+/* acc[j] += limb j of every Montgomery product a[i]*b[i] -- the caller     \
+ * assembles the big integer and applies one REDC + mod.  Limbs < 2^29,     \
+ * so the uint64 accumulators are exact up to 2^35 lanes. */                \
+static void vdot_##SUF(uint64_t *acc, const uint64_t *a, const uint64_t *b,  \
+                       size_t n, const repro_field *f) {                     \
+    const int L = (LV);                                                      \
+    uint64_t prod[MAX_LIMBS * TILE];                                         \
+    for (size_t s = 0; s < n; s += TILE) {                                   \
+        size_t T = n - s < TILE ? n - s : TILE;                              \
+        tmul_##SUF(prod, TILE, a + s, n, b + s, n, 0, T, f);                 \
+        for (int j = 0; j < L; j++) {                                        \
+            const uint64_t *pr = prod + (size_t)j * TILE;                    \
+            uint64_t sum = 0;                                                \
+            for (size_t k = 0; k < T; k++) sum += pr[k];                     \
+            acc[j] += sum;                                                   \
+        }                                                                    \
+    }                                                                        \
+}                                                                            \
+/* Batch inversion, forward sweep: prefix[i] = a[0]*...*a[i-1] (with        \
+ * prefix[0] = one_mont) and *total* the full product.  Sequential by       \
+ * nature, so it runs on the lane kernels.  Returns the index of the        \
+ * first zero lane (making the inverse undefined) or -1. */                 \
+static int64_t vinvpre_##SUF(uint64_t *prefix, uint64_t *total,              \
+                             const uint64_t *a, size_t n,                    \
+                             const repro_field *f) {                         \
+    const int L = (LV);                                                      \
+    uint64_t run[MAX_LIMBS], la[MAX_LIMBS];                                  \
+    memcpy(run, f->one_mont, sizeof(uint64_t) * (size_t)L);                  \
+    for (size_t i = 0; i < n; i++) {                                         \
+        lane_load(la, a, i, n, L);                                           \
+        if (lane_is_zero(la, L)) return (int64_t)i;                          \
+        lane_store(prefix, run, i, n, L);                                    \
+        mont_mul1(run, run, la, f->mod, f->n0inv, L);                        \
+    }                                                                        \
+    memcpy(total, run, sizeof(uint64_t) * (size_t)L);                        \
+    return -1;                                                               \
+}                                                                            \
+/* Backward sweep: with inv_run starting at (total product)^-1,             \
+ * out[i] = prefix[i] * inv_run  is exactly a[i]^-1, then inv_run *= a[i].  \
+ * `out` holds the prefixes on entry and the inverses on exit. */           \
+static void vinvfin_##SUF(uint64_t *out, const uint64_t *a,                  \
+                          const uint64_t *total_inv, size_t n,               \
+                          const repro_field *f) {                            \
+    const int L = (LV);                                                      \
+    uint64_t inv_run[MAX_LIMBS], la[MAX_LIMBS], pre[MAX_LIMBS],              \
+        res[MAX_LIMBS];                                                      \
+    memcpy(inv_run, total_inv, sizeof(uint64_t) * (size_t)L);                \
+    for (size_t i = n; i-- > 0;) {                                           \
+        lane_load(pre, out, i, n, L);                                        \
+        lane_load(la, a, i, n, L);                                           \
+        mont_mul1(res, pre, inv_run, f->mod, f->n0inv, L);                   \
+        lane_store(out, res, i, n, L);                                       \
+        mont_mul1(inv_run, inv_run, la, f->mod, f->n0inv, L);                \
+    }                                                                        \
+}
+
+DEFINE_FIELD_KERNELS(9, 9)          /* BLS12-381 Fr: 255-bit modulus */
+DEFINE_FIELD_KERNELS(14, 14)        /* BLS12-381 Fq: 381-bit modulus */
+DEFINE_FIELD_KERNELS(g, f->limbs)   /* any other modulus up to 16 limbs */
+
+#define DISPATCH_L(FN, ...)                                                  \
+    do {                                                                     \
+        if (f->limbs == 9) FN##_9(__VA_ARGS__);                              \
+        else if (f->limbs == 14) FN##_14(__VA_ARGS__);                       \
+        else FN##_g(__VA_ARGS__);                                            \
+    } while (0)
+
+void repro_mont_mul(uint64_t *out, const uint64_t *a, const uint64_t *b,
+                    size_t n, const repro_field *f) {
+    DISPATCH_L(vmul, out, a, b, n, f);
+}
+
+void repro_mont_mul_scalar(uint64_t *out, const uint64_t *a,
+                           const uint64_t *s, size_t n,
+                           const repro_field *f) {
+    DISPATCH_L(vmuls, out, a, s, n, f);
+}
+
+void repro_add(uint64_t *out, const uint64_t *a, const uint64_t *b,
+               size_t n, const repro_field *f) {
+    DISPATCH_L(vadd, out, a, b, n, f);
+}
+
+void repro_add_scalar(uint64_t *out, const uint64_t *a, const uint64_t *s,
+                      size_t n, const repro_field *f) {
+    DISPATCH_L(vadds, out, a, s, n, f);
+}
+
+void repro_sub(uint64_t *out, const uint64_t *a, const uint64_t *b,
+               size_t n, const repro_field *f) {
+    DISPATCH_L(vsub, out, a, b, n, f);
+}
+
+void repro_neg(uint64_t *out, const uint64_t *a, size_t n,
+               const repro_field *f) {
+    DISPATCH_L(vneg, out, a, n, f);
+}
+
+void repro_axpy(uint64_t *out, const uint64_t *a, const uint64_t *s,
+                const uint64_t *x, size_t n, const repro_field *f) {
+    DISPATCH_L(vaxpy, out, a, s, x, n, f);
+}
+
+void repro_fold(uint64_t *out, const uint64_t *a, const uint64_t *r,
+                size_t half, const repro_field *f) {
+    DISPATCH_L(vfold, out, a, r, half, f);
+}
+
+void repro_even_odd(uint64_t *even, uint64_t *odd, const uint64_t *a,
+                    size_t n, const repro_field *f) {
+    size_t ne = (n + 1) / 2, no = n / 2;
+    for (int j = 0; j < f->limbs; j++) {
+        const uint64_t *row = a + (size_t)j * n;
+        uint64_t *er = even + (size_t)j * ne;
+        uint64_t *orow = odd + (size_t)j * no;
+        for (size_t i = 0; i < no; i++) {
+            er[i] = row[2 * i];
+            orow[i] = row[2 * i + 1];
+        }
+        if (ne > no) er[no] = row[2 * no];
+    }
+}
+
+/* Per-limb lane sums (the Montgomery map is linear, so the sum of forms is
+ * the form of the sum).  Limbs are < 2^29; exact up to 2^35 lanes. */
+void repro_limb_sums(uint64_t *acc, const uint64_t *a, size_t n,
+                     const repro_field *f) {
+    for (int j = 0; j < f->limbs; j++) {
+        const uint64_t *row = a + (size_t)j * n;
+        uint64_t sum = 0;
+        for (size_t i = 0; i < n; i++) sum += row[i];
+        acc[j] = sum;
+    }
+}
+
+void repro_dot(uint64_t *acc, const uint64_t *a, const uint64_t *b,
+               size_t n, const repro_field *f) {
+    DISPATCH_L(vdot, acc, a, b, n, f);
+}
+
+int64_t repro_inv_prefix(uint64_t *prefix, uint64_t *total,
+                         const uint64_t *a, size_t n,
+                         const repro_field *f) {
+    if (f->limbs == 9) return vinvpre_9(prefix, total, a, n, f);
+    if (f->limbs == 14) return vinvpre_14(prefix, total, a, n, f);
+    return vinvpre_g(prefix, total, a, n, f);
+}
+
+void repro_inv_finish(uint64_t *out, const uint64_t *a,
+                      const uint64_t *total_inv, size_t n,
+                      const repro_field *f) {
+    DISPATCH_L(vinvfin, out, a, total_inv, n, f);
+}
+
+void repro_count_zeros_ones(const uint64_t *a, size_t n,
+                            const repro_field *f, size_t *zeros,
+                            size_t *ones) {
+    const int L = f->limbs;
+    uint64_t la[MAX_LIMBS];
+    size_t z = 0, o = 0;
+    for (size_t i = 0; i < n; i++) {
+        lane_load(la, a, i, n, L);
+        if (lane_is_zero(la, L)) {
+            z++;
+            continue;
+        }
+        uint64_t diff = 0;
+        for (int j = 0; j < L; j++) diff |= la[j] ^ f->one_mont[j];
+        if (diff == 0) o++;
+    }
+    *zeros = z;
+    *ones = o;
+}
+
+int repro_is_zero(const uint64_t *a, size_t n, const repro_field *f) {
+    uint64_t any = 0;
+    size_t total = (size_t)f->limbs * n;
+    for (size_t k = 0; k < total; k++) any |= a[k];
+    return any == 0;
+}
+"""
+
+
+def compile_args() -> list[str]:
+    """Optimization flags for the in-place build.
+
+    The kernel is compiled for this machine only (never distributed), so
+    ``-march=native`` is safe.  On x86-64 the row-wise tile loops want the
+    single-uop ``vpmuludq`` 32x32->64 multiply; with AVX-512DQ enabled GCC
+    prefers the microcoded ``vpmullq`` instead, so that ISA extension is
+    switched off (measured ~15% on the 381-bit field here).
+    """
+    import platform
+    import sys
+
+    args = ["-O3"]
+    if sys.platform.startswith("linux") and platform.machine() == "x86_64":
+        args += ["-march=native", "-mno-avx512dq", "-mprefer-vector-width=512"]
+    return args
+
+
+def make_ffibuilder(extra_compile_args: list[str] | None = None):
+    if FFI is None:  # pragma: no cover
+        raise RuntimeError("building the native kernel requires cffi")
+    builder = FFI()
+    builder.cdef(CDEF)
+    builder.set_source(
+        "repro.fields.backends._native_kernel",
+        C_SOURCE,
+        extra_compile_args=(
+            compile_args() if extra_compile_args is None else extra_compile_args
+        ),
+    )
+    return builder
+
+
+# ``setup.py`` consumes this via cffi_modules; building lazily keeps the
+# module importable (for CDEF/C_SOURCE introspection) without cffi.
+if FFI is not None:
+    ffibuilder = make_ffibuilder()
+
+
+if __name__ == "__main__":
+    import pathlib
+
+    # Compile in place so `src/repro/fields/backends/_native_kernel*.so`
+    # is importable with the repo's PYTHONPATH=src layout.
+    src_root = pathlib.Path(__file__).resolve().parents[3]
+    try:
+        make_ffibuilder().compile(tmpdir=str(src_root), verbose=True)
+    except Exception:
+        # Tuning flags can be rejected by unusual toolchains; a plain -O3
+        # build is still far ahead of the interpreted backends.
+        make_ffibuilder(["-O3"]).compile(tmpdir=str(src_root), verbose=True)

@@ -1,0 +1,408 @@
+"""Native backend: compiled Montgomery arithmetic via the cffi kernel.
+
+Thin Python wrapper over ``repro.fields.backends._native_kernel`` (built by
+:mod:`repro.fields.backends._native_build`).  Storage is the same ``(L, n)``
+uint64 29-bit-limb Montgomery layout as the NumPy backend, held in a flat
+``bytearray`` (``L * n * 8`` bytes, limb row ``j`` at byte offset
+``j * n * 8``); the C kernels operate on it zero-copy through
+``ffi.from_buffer`` and every call releases the GIL for its duration.
+
+Only the boundary conversions (``from_ints`` / ``to_ints`` / ``getitem``)
+touch Python integers; whole-vector arithmetic — including the CIOS
+Montgomery multiply, the fused ``axpy``, the ``fold`` MLE Update and
+prefix-product batch inversion — runs in C.  All residues crossing the
+:class:`~repro.fields.backends.base.VectorBackend` interface are canonical,
+and the C schedule mirrors the NumPy kernels limb for limb, so results are
+byte-identical across the python / numpy / native backends.
+
+Importing this module raises ``ImportError`` when the extension has not
+been built; the backend registry treats that as "native unavailable" and
+carries on with the pure backends.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Sequence
+
+from repro.fields.backends._native_kernel import ffi, lib
+from repro.fields.backends.base import VectorBackend
+
+LIMB_BITS = 29
+LIMB_MASK = (1 << LIMB_BITS) - 1
+
+_WORD = 8  # bytes per uint64 limb
+
+
+class NativeVecData:
+    """Opaque storage handle: ``(L, n)`` limb rows in one flat bytearray."""
+
+    __slots__ = ("buf", "n", "limbs")
+
+    def __init__(self, buf: bytearray, n: int, limbs: int):
+        self.buf = buf
+        self.n = n
+        self.limbs = limbs
+
+    def words(self) -> memoryview:
+        """The buffer as a flat uint64 view (native byte order)."""
+        return memoryview(self.buf).cast("Q")
+
+    # Pickled inside proving keys shared with forked/spawned workers.
+    def __getstate__(self):
+        return (bytes(self.buf), self.n, self.limbs)
+
+    def __setstate__(self, state):
+        buf, self.n, self.limbs = state
+        self.buf = bytearray(buf)
+
+
+def _backend_singleton():
+    from repro.fields.backends import get_backend
+
+    return get_backend("native")
+
+
+class _NativeFieldContext:
+    """Per-modulus constants handed to C as one ``repro_field`` struct."""
+
+    __slots__ = (
+        "modulus",
+        "num_limbs",
+        "r",
+        "r_inv",
+        "f",
+        "r2_c",
+        "one_c",
+    )
+
+    def __init__(self, modulus: int):
+        if modulus % 2 == 0:
+            raise ValueError("Montgomery arithmetic requires an odd modulus")
+        self.modulus = modulus
+        self.num_limbs = -(-modulus.bit_length() // LIMB_BITS)
+        if self.num_limbs > 16:
+            raise ValueError("native kernel supports moduli up to 16 limbs")
+        self.r = 1 << (LIMB_BITS * self.num_limbs)
+        self.r_inv = pow(self.r, -1, modulus)
+        f = ffi.new("repro_field *")
+        f.limbs = self.num_limbs
+        f.n0inv = (-pow(modulus, -1, 1 << LIMB_BITS)) % (1 << LIMB_BITS)
+        for j, limb in enumerate(self._limb_list(modulus)):
+            f.mod[j] = limb
+        for j, limb in enumerate(self._limb_list(self.r - modulus)):
+            f.comp[j] = limb
+        for j, limb in enumerate(self._limb_list(self.r % modulus)):
+            f.one_mont[j] = limb
+        self.f = f
+        self.r2_c = self._limbs_c((self.r * self.r) % modulus)
+        self.one_c = self._limbs_c(1)
+
+    def _limb_list(self, value: int) -> list[int]:
+        return [
+            (value >> (LIMB_BITS * j)) & LIMB_MASK for j in range(self.num_limbs)
+        ]
+
+    def _limbs_c(self, value: int):
+        return ffi.new("uint64_t[]", self._limb_list(value))
+
+    def to_mont_int(self, value: int) -> int:
+        return (value * self.r) % self.modulus
+
+    def from_mont_int(self, value: int) -> int:
+        return (value * self.r_inv) % self.modulus
+
+
+class NativeVectorBackend(VectorBackend):
+    """Compiled Montgomery backend (requires the built cffi extension)."""
+
+    name = "native"
+
+    def __init__(self) -> None:
+        self._contexts: dict[int, _NativeFieldContext] = {}
+
+    # The engine pickles FieldVectors (inside proving keys) into worker
+    # processes; resolve back to the registry singleton instead of
+    # serializing cffi handles.
+    def __reduce__(self):
+        return (_backend_singleton, ())
+
+    def _ctx(self, modulus: int) -> _NativeFieldContext:
+        ctx = self._contexts.get(modulus)
+        if ctx is None:
+            ctx = _NativeFieldContext(modulus)
+            self._contexts[modulus] = ctx
+        return ctx
+
+    def _alloc(self, ctx: _NativeFieldContext, n: int) -> NativeVecData:
+        return NativeVecData(bytearray(ctx.num_limbs * n * _WORD), n, ctx.num_limbs)
+
+    @staticmethod
+    def _c(data: NativeVecData):
+        return ffi.from_buffer("uint64_t[]", data.buf, require_writable=True)
+
+    # -- construction / conversion --------------------------------------------
+
+    def from_ints(self, modulus: int, values: Sequence[int]) -> NativeVecData:
+        ctx = self._ctx(modulus)
+        n = len(values)
+        out = self._alloc(ctx, n)
+        if n == 0:
+            return out
+        # Pack plain residues row by row, then one broadcast Montgomery
+        # multiply by R^2 converts the whole vector into the domain.
+        mv = memoryview(out.buf)
+        for j in range(ctx.num_limbs):
+            shift = LIMB_BITS * j
+            row = array("Q", [(v >> shift) & LIMB_MASK for v in values])
+            mv[j * n * _WORD : (j + 1) * n * _WORD] = row.tobytes()
+        lib.repro_mont_mul_scalar(self._c(out), self._c(out), ctx.r2_c, n, ctx.f)
+        return out
+
+    def filled(self, modulus: int, value: int, length: int) -> NativeVecData:
+        ctx = self._ctx(modulus)
+        out = self._alloc(ctx, length)
+        if length == 0:
+            return out
+        mont = ctx.to_mont_int(value)
+        mv = memoryview(out.buf)
+        for j in range(ctx.num_limbs):
+            limb = (mont >> (LIMB_BITS * j)) & LIMB_MASK
+            row = array("Q", [limb]) * length
+            mv[j * length * _WORD : (j + 1) * length * _WORD] = row.tobytes()
+        return out
+
+    def to_ints(self, modulus: int, data: NativeVecData) -> list[int]:
+        ctx = self._ctx(modulus)
+        n = data.n
+        if n == 0:
+            return []
+        # Multiplying by plain 1 is one REDC: x*R -> x for the whole vector.
+        plain = self._alloc(ctx, n)
+        lib.repro_mont_mul_scalar(self._c(plain), self._c(data), ctx.one_c, n, ctx.f)
+        words = plain.words()
+        out = [0] * n
+        for j in range(ctx.num_limbs):
+            shift = LIMB_BITS * j
+            row = words[j * n : (j + 1) * n].tolist()
+            for i in range(n):
+                out[i] += row[i] << shift
+        return out
+
+    def copy(self, modulus: int, data: NativeVecData) -> NativeVecData:
+        return NativeVecData(bytearray(data.buf), data.n, data.limbs)
+
+    # -- shape / element access ------------------------------------------------
+
+    def length(self, data: NativeVecData) -> int:
+        return data.n
+
+    def getitem(self, modulus: int, data: NativeVecData, index: int) -> int:
+        ctx = self._ctx(modulus)
+        words = data.words()
+        mont = 0
+        for j in range(ctx.num_limbs - 1, -1, -1):
+            mont = (mont << LIMB_BITS) | words[j * data.n + index]
+        return ctx.from_mont_int(mont)
+
+    def setitem(
+        self, modulus: int, data: NativeVecData, index: int, value: int
+    ) -> None:
+        ctx = self._ctx(modulus)
+        mont = ctx.to_mont_int(value)
+        words = data.words()
+        for j in range(ctx.num_limbs):
+            words[j * data.n + index] = (mont >> (LIMB_BITS * j)) & LIMB_MASK
+
+    def slice(
+        self, modulus: int, data: NativeVecData, start: int, stop: int
+    ) -> NativeVecData:
+        ctx = self._ctx(modulus)
+        n = data.n
+        m = max(0, stop - start)
+        out = self._alloc(ctx, m)
+        if m:
+            src = memoryview(data.buf)
+            dst = memoryview(out.buf)
+            for j in range(ctx.num_limbs):
+                dst[j * m * _WORD : (j + 1) * m * _WORD] = src[
+                    (j * n + start) * _WORD : (j * n + stop) * _WORD
+                ]
+        return out
+
+    def concat(
+        self, modulus: int, parts: Sequence[NativeVecData]
+    ) -> NativeVecData:
+        ctx = self._ctx(modulus)
+        total = sum(p.n for p in parts)
+        out = self._alloc(ctx, total)
+        dst = memoryview(out.buf)
+        for j in range(ctx.num_limbs):
+            offset = j * total * _WORD
+            for p in parts:
+                if p.n == 0:
+                    continue
+                row = memoryview(p.buf)[j * p.n * _WORD : (j + 1) * p.n * _WORD]
+                dst[offset : offset + p.n * _WORD] = row
+                offset += p.n * _WORD
+        return out
+
+    # -- elementwise arithmetic -------------------------------------------------
+
+    def add(self, modulus: int, a: NativeVecData, b: NativeVecData) -> NativeVecData:
+        ctx = self._ctx(modulus)
+        out = self._alloc(ctx, a.n)
+        lib.repro_add(self._c(out), self._c(a), self._c(b), a.n, ctx.f)
+        return out
+
+    def sub(self, modulus: int, a: NativeVecData, b: NativeVecData) -> NativeVecData:
+        ctx = self._ctx(modulus)
+        out = self._alloc(ctx, a.n)
+        lib.repro_sub(self._c(out), self._c(a), self._c(b), a.n, ctx.f)
+        return out
+
+    def neg(self, modulus: int, a: NativeVecData) -> NativeVecData:
+        ctx = self._ctx(modulus)
+        out = self._alloc(ctx, a.n)
+        lib.repro_neg(self._c(out), self._c(a), a.n, ctx.f)
+        return out
+
+    def mul(self, modulus: int, a: NativeVecData, b: NativeVecData) -> NativeVecData:
+        ctx = self._ctx(modulus)
+        out = self._alloc(ctx, a.n)
+        lib.repro_mont_mul(self._c(out), self._c(a), self._c(b), a.n, ctx.f)
+        return out
+
+    # -- scalar broadcast --------------------------------------------------------
+
+    def _scalar_c(self, ctx: _NativeFieldContext, scalar: int):
+        return ffi.new("uint64_t[]", ctx._limb_list(ctx.to_mont_int(scalar)))
+
+    def scalar_mul(self, modulus: int, a: NativeVecData, scalar: int) -> NativeVecData:
+        ctx = self._ctx(modulus)
+        if scalar == 0:
+            return self._alloc(ctx, a.n)
+        if scalar == 1:
+            return self.copy(modulus, a)
+        out = self._alloc(ctx, a.n)
+        lib.repro_mont_mul_scalar(
+            self._c(out), self._c(a), self._scalar_c(ctx, scalar), a.n, ctx.f
+        )
+        return out
+
+    def scalar_add(self, modulus: int, a: NativeVecData, scalar: int) -> NativeVecData:
+        ctx = self._ctx(modulus)
+        if scalar == 0:
+            return self.copy(modulus, a)
+        out = self._alloc(ctx, a.n)
+        lib.repro_add_scalar(
+            self._c(out), self._c(a), self._scalar_c(ctx, scalar), a.n, ctx.f
+        )
+        return out
+
+    def axpy(
+        self, modulus: int, a: NativeVecData, scalar: int, x: NativeVecData
+    ) -> NativeVecData:
+        ctx = self._ctx(modulus)
+        if scalar == 0:
+            return self.copy(modulus, a)
+        if scalar == 1:
+            return self.add(modulus, a, x)
+        out = self._alloc(ctx, a.n)
+        lib.repro_axpy(
+            self._c(out), self._c(a), self._scalar_c(ctx, scalar), self._c(x),
+            a.n, ctx.f,
+        )
+        return out
+
+    # -- MLE-shaped operations ----------------------------------------------------
+
+    def fold(self, modulus: int, a: NativeVecData, r: int) -> NativeVecData:
+        ctx = self._ctx(modulus)
+        half = a.n // 2
+        if r == 0 or r == 1:
+            even, odd = self.even_odd(modulus, a)
+            return even if r == 0 else odd
+        out = self._alloc(ctx, half)
+        lib.repro_fold(
+            self._c(out), self._c(a), self._scalar_c(ctx, r), half, ctx.f
+        )
+        return out
+
+    def even_odd(
+        self, modulus: int, a: NativeVecData
+    ) -> tuple[NativeVecData, NativeVecData]:
+        ctx = self._ctx(modulus)
+        even = self._alloc(ctx, (a.n + 1) // 2)
+        odd = self._alloc(ctx, a.n // 2)
+        if a.n:
+            lib.repro_even_odd(self._c(even), self._c(odd), self._c(a), a.n, ctx.f)
+        return even, odd
+
+    # -- reductions ----------------------------------------------------------------
+
+    def _acc_to_residue(self, ctx: _NativeFieldContext, acc) -> int:
+        mont = 0
+        for j in range(ctx.num_limbs - 1, -1, -1):
+            mont = (mont << LIMB_BITS) + int(acc[j])
+        return ctx.from_mont_int(mont % ctx.modulus)
+
+    def sum(self, modulus: int, a: NativeVecData) -> int:
+        ctx = self._ctx(modulus)
+        acc = ffi.new("uint64_t[]", ctx.num_limbs)
+        if a.n:
+            lib.repro_limb_sums(acc, self._c(a), a.n, ctx.f)
+        return self._acc_to_residue(ctx, acc)
+
+    def dot(self, modulus: int, a: NativeVecData, b: NativeVecData) -> int:
+        ctx = self._ctx(modulus)
+        acc = ffi.new("uint64_t[]", ctx.num_limbs)
+        if a.n:
+            lib.repro_dot(acc, self._c(a), self._c(b), a.n, ctx.f)
+        return self._acc_to_residue(ctx, acc)
+
+    # -- batch inversion -------------------------------------------------------------
+
+    def inverse(self, modulus: int, a: NativeVecData) -> NativeVecData:
+        ctx = self._ctx(modulus)
+        n = a.n
+        if n == 0:
+            return self.copy(modulus, a)
+        out = self._alloc(ctx, n)
+        total = ffi.new("uint64_t[]", ctx.num_limbs)
+        zero_index = lib.repro_inv_prefix(
+            self._c(out), total, self._c(a), n, ctx.f
+        )
+        if zero_index >= 0:
+            raise ZeroDivisionError(
+                f"batch inverse: element {zero_index} is zero"
+            )
+        total_mont = 0
+        for j in range(ctx.num_limbs - 1, -1, -1):
+            total_mont = (total_mont << LIMB_BITS) | int(total[j])
+        root = ctx.from_mont_int(total_mont)
+        # One scalar field exponentiation at the root; the backward C sweep
+        # turns the prefixes into per-element inverses.
+        inv_mont = ctx.to_mont_int(pow(root, modulus - 2, modulus))
+        total_inv = ffi.new("uint64_t[]", ctx._limb_list(inv_mont))
+        lib.repro_inv_finish(self._c(out), self._c(a), total_inv, n, ctx.f)
+        return out
+
+    # -- predicates -------------------------------------------------------------------
+
+    def count_zeros_ones(self, modulus: int, a: NativeVecData) -> tuple[int, int]:
+        ctx = self._ctx(modulus)
+        zeros = ffi.new("size_t *")
+        ones = ffi.new("size_t *")
+        if a.n:
+            lib.repro_count_zeros_ones(self._c(a), a.n, ctx.f, zeros, ones)
+        return int(zeros[0]), int(ones[0])
+
+    def is_zero(self, modulus: int, a: NativeVecData) -> bool:
+        if a.n == 0:
+            return True
+        return bool(lib.repro_is_zero(self._c(a), a.n, self._ctx(modulus).f))
+
+    def equal(self, modulus: int, a: NativeVecData, b: NativeVecData) -> bool:
+        # Canonical Montgomery limbs make bytewise comparison exact.
+        return a.n == b.n and a.buf == b.buf

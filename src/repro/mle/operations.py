@@ -23,6 +23,34 @@ from repro.fields.field import FieldElement, PrimeField
 from repro.fields.vector import FieldVector
 from repro.mle.mle import MultilinearPolynomial, eq_mle
 
+#: Optional shard runner (installed by the engine's parallel seams) that
+#: spreads the remaining serial prover phases — the wiring identity's
+#: fraction/product MLE construction and the batch-evaluation dot products
+#: — across a worker pool.  ``None`` (the default, and always inside pool
+#: workers) runs everything serially.  Runners may decline a call by
+#: returning ``None``; results are exact either way, so proof bytes are
+#: identical at every worker count.
+_mle_shard_runner = None
+
+
+def set_mle_shard_runner(runner) -> None:
+    """Install (or clear, with ``None``) the MLE-phase shard runner."""
+    global _mle_shard_runner
+    _mle_shard_runner = runner
+
+
+def mle_shard_runner():
+    """The currently installed MLE-phase shard runner (or ``None``)."""
+    return _mle_shard_runner
+
+
+def _active_runner(table_size: int):
+    """The installed runner, if the table clears its sharding gate."""
+    runner = _mle_shard_runner
+    if runner is not None and table_size >= getattr(runner, "min_size", 4096):
+        return runner
+    return None
+
 
 def build_eq_table(
     point: Sequence[FieldElement], field: PrimeField = Fr
@@ -49,6 +77,13 @@ def batch_evaluate(
     if eq_table is None:
         eq_table = eq_mle(point, field)
     eq_vec = eq_table.evaluations
+    runner = _active_runner(len(eq_vec))
+    if runner is not None:
+        # Chunked partial dot products; field addition is associative, so
+        # the recombined values (hence proof bytes) are exact.
+        sharded = runner.run_dots([m.evaluations for m in mles], eq_vec, field)
+        if sharded is not None:
+            return sharded
     return [m.evaluations.dot(eq_vec) for m in mles]
 
 
@@ -68,9 +103,18 @@ def fraction_mle(
     if batch_size <= 0:
         raise ValueError("batch_size must be positive")
     field = numerator.field
-    # Windowed batch inversion on the table's native backend, then one
-    # elementwise multiply.
-    phi = numerator.evaluations * denominator.evaluations.inverse(batch_size)
+    runner = _active_runner(len(denominator.evaluations))
+    phi = None
+    if runner is not None:
+        # Inverse *values* are unique, so any chunking of the batched
+        # inversion reproduces the serial result exactly.
+        phi = runner.run_fraction(
+            numerator.evaluations, denominator.evaluations, batch_size, field
+        )
+    if phi is None:
+        # Windowed batch inversion on the table's native backend, then one
+        # elementwise multiply.
+        phi = numerator.evaluations * denominator.evaluations.inverse(batch_size)
     return MultilinearPolynomial(numerator.num_vars, phi, field, copy=False)
 
 
@@ -116,8 +160,17 @@ def product_tree_mle(phi: MultilinearPolynomial) -> MultilinearPolynomial:
     levels: list[FieldVector] = []
     current = phi.evaluations
     while len(current) > 1:
-        even, odd = current.even_odd()
-        current = even * odd
+        # The top tree levels carry almost all the work (the level sizes
+        # halve), so sharding naturally stops once a level shrinks below
+        # the runner's gate and the tail runs serially.
+        runner = _active_runner(len(current))
+        next_level = (
+            runner.run_level_product(current, field) if runner is not None else None
+        )
+        if next_level is None:
+            even, odd = current.even_odd()
+            next_level = even * odd
+        current = next_level
         levels.append(current)
     levels.append(FieldVector.zeros(field, 1))
     pi = FieldVector.concat_many(field, levels)

@@ -347,6 +347,13 @@ class ProofService(HttpServerBase):
             "workers": self.engine.config.effective_workers(),
             "field_backend": self.engine.config.field_backend,
         }
+        backend_info = getattr(self.engine, "field_backend_info", None)
+        if backend_info is not None:
+            # Full resolution — policy, the backend large vectors actually
+            # use, and what is installed — so an operator can tell a fleet
+            # running the compiled kernel from one silently degraded to the
+            # pure fallback.
+            engine_info["field_backend"] = backend_info()
         cache_contents = getattr(self.engine, "cache_contents", None)
         if cache_contents is not None:
             engine_info["cache"] = cache_contents()

@@ -141,6 +141,37 @@ class TestProveVerifyRoundTrip:
             base.verify(other)
 
 
+class TestFieldBackendIntrospection:
+    def test_field_backend_info_resolves_policy(self):
+        from repro.fields import available_backends
+
+        engine = ProverEngine(EngineConfig(field_backend="python"))
+        info = engine.field_backend_info()
+        assert info["policy"] == "python"
+        assert info["active"] == "python"
+        assert info["available"] == available_backends()
+
+    def test_auto_policy_reports_resolved_backend(self):
+        from repro.fields import available_backends
+        from repro.fields.backends import HAS_NATIVE, HAS_NUMPY
+
+        engine = ProverEngine(EngineConfig(field_backend="auto"))
+        info = engine.field_backend_info()
+        assert info["policy"] == "auto"
+        if HAS_NATIVE:
+            assert info["active"] == "native"
+        elif HAS_NUMPY:
+            assert info["active"] == "numpy"
+        else:
+            assert info["active"] == "python"
+        assert info["active"] in available_backends()
+
+    def test_cache_contents_carry_field_backend(self):
+        engine = ProverEngine(EngineConfig())
+        contents = engine.cache_contents()
+        assert contents["field_backend"] == engine.field_backend_info()
+
+
 class TestSessionCaches:
     def test_srs_and_key_cache_hits(self):
         engine = ProverEngine(EngineConfig(srs_seed=5))

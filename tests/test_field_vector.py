@@ -1,9 +1,11 @@
 """Backend-parity and behavior tests for the FieldVector engine.
 
-Property-style tests asserting that the NumPy multi-limb Montgomery backend
-and the pure-Python-int reference backend agree on every vector operation,
-over both BLS12-381 prime fields, including the edge cases the ISSUE calls
-out: the zero vector, length-1 vectors, and values hugging the modulus.
+Property-style tests asserting that every installed vector backend (the
+NumPy multi-limb Montgomery backend, the compiled native Montgomery
+kernel, and any third-party registration) agrees with the pure-Python-int
+reference backend on every vector operation, over both BLS12-381 prime
+fields, including the edge cases the ISSUE calls out: the zero vector,
+length-1 vectors, and values hugging the modulus.
 """
 
 import random
@@ -16,8 +18,16 @@ from repro.fields.field import FieldElement
 from repro.fields.vector import FieldVector
 
 HAS_NUMPY = "numpy" in available_backends()
+HAS_NATIVE = "native" in available_backends()
 
 needs_numpy = pytest.mark.skipif(not HAS_NUMPY, reason="NumPy not installed")
+needs_native = pytest.mark.skipif(
+    not HAS_NATIVE, reason="native extension not built"
+)
+
+#: Every installed backend other than the pure-Python reference; the parity
+#: suite runs each of them against the reference (skipped when none exist).
+ALT_BACKENDS = [name for name in available_backends() if name != "python"]
 
 FIELDS = [Fr, Fq]
 LENGTHS = [1, 2, 3, 8, 33, 130]
@@ -31,33 +41,33 @@ def _edge_values(field, n, rng):
     return values
 
 
-def _vectors(field, values):
+def _vectors(field, values, alt="numpy"):
     return (
         FieldVector.from_ints(field, values, get_backend("python")),
-        FieldVector.from_ints(field, values, get_backend("numpy")),
+        FieldVector.from_ints(field, values, get_backend(alt)),
     )
 
 
-@needs_numpy
+@pytest.mark.parametrize("alt", ALT_BACKENDS or [pytest.param("none", marks=pytest.mark.skip(reason="only the python backend is installed"))])
 @pytest.mark.parametrize("field", FIELDS, ids=lambda f: f.name)
 @pytest.mark.parametrize("n", LENGTHS)
 class TestBackendParity:
-    def test_roundtrip_and_elementwise_ops(self, field, n):
+    def test_roundtrip_and_elementwise_ops(self, field, n, alt):
         rng = random.Random(1000 + n)
         a_vals = _edge_values(field, n, rng)
         b_vals = _edge_values(field, n, random.Random(2000 + n))
-        a_py, a_np = _vectors(field, a_vals)
-        b_py, b_np = _vectors(field, b_vals)
+        a_py, a_np = _vectors(field, a_vals, alt)
+        b_py, b_np = _vectors(field, b_vals, alt)
         assert a_np.to_int_list() == a_vals
         assert (a_py + b_py).to_int_list() == (a_np + b_np).to_int_list()
         assert (a_py - b_py).to_int_list() == (a_np - b_np).to_int_list()
         assert (a_py * b_py).to_int_list() == (a_np * b_np).to_int_list()
         assert (-a_py).to_int_list() == (-a_np).to_int_list()
 
-    def test_scalar_broadcast(self, field, n):
+    def test_scalar_broadcast(self, field, n, alt):
         rng = random.Random(3000 + n)
         values = _edge_values(field, n, rng)
-        a_py, a_np = _vectors(field, values)
+        a_py, a_np = _vectors(field, values, alt)
         for scalar in (0, 1, field.modulus - 1, rng.randrange(field.modulus)):
             assert a_py.scale(scalar).to_int_list() == a_np.scale(scalar).to_int_list()
             assert (
@@ -69,23 +79,23 @@ class TestBackendParity:
                 == a_np.axpy(scalar, a_np).to_int_list()
             )
 
-    def test_reductions(self, field, n):
+    def test_reductions(self, field, n, alt):
         rng = random.Random(4000 + n)
         a_vals = _edge_values(field, n, rng)
         b_vals = [rng.randrange(field.modulus) for _ in range(n)]
-        a_py, a_np = _vectors(field, a_vals)
-        b_py, b_np = _vectors(field, b_vals)
+        a_py, a_np = _vectors(field, a_vals, alt)
+        b_py, b_np = _vectors(field, b_vals, alt)
         assert a_py.sum() == a_np.sum()
         assert a_py.dot(b_py) == a_np.dot(b_np)
         assert a_py.sum().value == sum(a_vals) % field.modulus
 
-    def test_fold_matches_reference(self, field, n):
+    def test_fold_matches_reference(self, field, n, alt):
         if n % 2:
             pytest.skip("fold needs even length")
         rng = random.Random(5000 + n)
         values = _edge_values(field, n, rng)
         r = rng.randrange(field.modulus)
-        a_py, a_np = _vectors(field, values)
+        a_py, a_np = _vectors(field, values, alt)
         expected = [
             (values[2 * i] + r * (values[2 * i + 1] - values[2 * i])) % field.modulus
             for i in range(n // 2)
@@ -93,20 +103,20 @@ class TestBackendParity:
         assert a_py.fold(r).to_int_list() == expected
         assert a_np.fold(r).to_int_list() == expected
 
-    def test_batch_inverse(self, field, n):
+    def test_batch_inverse(self, field, n, alt):
         rng = random.Random(6000 + n)
         values = [v or 1 for v in _edge_values(field, n, rng)]
-        a_py, a_np = _vectors(field, values)
+        a_py, a_np = _vectors(field, values, alt)
         inv_py = a_py.inverse().to_int_list()
         inv_np = a_np.inverse().to_int_list()
         assert inv_py == inv_np
         for v, i in zip(values, inv_py):
             assert v * i % field.modulus == 1
 
-    def test_structural_ops(self, field, n):
+    def test_structural_ops(self, field, n, alt):
         rng = random.Random(7000 + n)
         values = _edge_values(field, n, rng)
-        a_py, a_np = _vectors(field, values)
+        a_py, a_np = _vectors(field, values, alt)
         assert a_py == a_np  # cross-backend equality
         if n % 2 == 0:
             for (e, o) in (a_py.even_odd(), a_np.even_odd()):
@@ -121,10 +131,9 @@ class TestBackendParity:
         assert a_py.sparsity_counts() == a_np.sparsity_counts()
 
 
-@needs_numpy
 @pytest.mark.parametrize("field", FIELDS, ids=lambda f: f.name)
 def test_zero_vector_everything(field):
-    for backend in ("python", "numpy"):
+    for backend in available_backends():
         z = FieldVector.zeros(field, 16, get_backend(backend))
         assert z.is_zero()
         assert z.sum().is_zero()
@@ -137,10 +146,9 @@ def test_zero_vector_everything(field):
             z.inverse()
 
 
-@needs_numpy
 def test_slices_never_alias_storage():
     """Full-range slices must be independent copies on every backend."""
-    for backend in ("python", "numpy"):
+    for backend in available_backends():
         vec = FieldVector.from_ints(Fr, [1, 2, 3, 4], get_backend(backend))
         window = vec[0:4]
         window[0] = Fr(99)
@@ -149,13 +157,12 @@ def test_slices_never_alias_storage():
         even[0] = Fr(0)  # length-1 halves must also be independent
 
 
-@needs_numpy
 def test_non_canonical_scalars_are_reduced():
     """Directly-constructed FieldElements may carry residues >= p."""
     from repro.fields import batch_inverse
 
     raw = FieldElement(Fr.modulus + 3, Fr)
-    for backend in ("python", "numpy"):
+    for backend in available_backends():
         vec = FieldVector.from_ints(Fr, [Fr.modulus - 1], get_backend(backend))
         assert vec.add_scalar(raw).to_int_list() == [2], backend
         vec[0] = raw
@@ -165,9 +172,8 @@ def test_non_canonical_scalars_are_reduced():
         batch_inverse([FieldElement(Fr.modulus, Fr), Fr(2)])
 
 
-@needs_numpy
 def test_mutation_parity():
-    for backend in ("python", "numpy"):
+    for backend in available_backends():
         vec = FieldVector.from_ints(Fr, [1, 2, 3, 4], get_backend(backend))
         vec[2] = Fr(99)
         vec[-1] = 7
@@ -177,10 +183,9 @@ def test_mutation_parity():
         assert vec[0] == Fr(1), "copy must not alias"
 
 
-@needs_numpy
 def test_equality_against_element_lists():
     values = [5, 0, 1, Fr.modulus - 1]
-    for backend in ("python", "numpy"):
+    for backend in available_backends():
         vec = FieldVector.from_ints(Fr, values, get_backend(backend))
         assert vec == [Fr(v) for v in values]
         assert vec == values
@@ -207,12 +212,25 @@ class TestSelectionPolicy:
         finally:
             set_default_backend(None)
 
-    @needs_numpy
     def test_auto_threshold(self):
         set_default_backend("auto")
         try:
             assert default_backend_for(4).name == "python"
-            assert default_backend_for(1 << 14).name == "numpy"
+            # The compiled kernel (priority 20, crossover 32) outranks NumPy
+            # (priority 10, crossover 1024), which outranks pure Python.
+            if HAS_NATIVE:
+                expected_large = "native"
+            elif HAS_NUMPY:
+                expected_large = "numpy"
+            else:
+                expected_large = "python"
+            assert default_backend_for(1 << 14).name == expected_large
+            if HAS_NATIVE:
+                from repro.fields.backends import NATIVE_AUTO_THRESHOLD
+
+                assert default_backend_for(NATIVE_AUTO_THRESHOLD).name == "native"
+                below = default_backend_for(NATIVE_AUTO_THRESHOLD - 1).name
+                assert below == "python"
         finally:
             set_default_backend(None)
 
@@ -222,7 +240,36 @@ class TestSelectionPolicy:
         with pytest.raises(KeyError):
             set_default_backend("cuda")
 
-    @needs_numpy
+    def test_third_party_backend_participates_in_auto(self):
+        """register_backend with a priority joins ``auto`` selection."""
+        from repro.fields.backends import (
+            PythonVectorBackend,
+            register_backend,
+            unregister_backend,
+        )
+
+        class LoudBackend(PythonVectorBackend):
+            name = "loud"
+
+        backend = LoudBackend()
+        register_backend(backend, auto_priority=99, auto_min_length=8)
+        set_default_backend("auto")
+        try:
+            assert get_backend("loud") is backend
+            assert "loud" in available_backends()
+            assert default_backend_for(8).name == "loud"
+            assert default_backend_for(7).name == "python"
+            vec = FieldVector.from_ints(Fr, list(range(10)))
+            assert vec.backend.name == "loud"
+            assert vec.to_int_list() == list(range(10))
+        finally:
+            set_default_backend(None)
+            unregister_backend("loud")
+        assert "loud" not in available_backends()
+        assert default_backend_for(1 << 20).name != "loud"
+        with pytest.raises(ValueError):
+            unregister_backend("python")
+
     def test_proofs_identical_across_backends(self):
         """The whole protocol must be backend-invariant (acceptance criterion)."""
         from repro.circuits import mock_circuit
@@ -233,7 +280,7 @@ class TestSelectionPolicy:
         from repro.protocol.verifier import verify
 
         blobs = {}
-        for backend in ("python", "numpy"):
+        for backend in available_backends():
             set_default_backend(backend)
             try:
                 srs = setup(4, seed=11)
@@ -244,4 +291,36 @@ class TestSelectionPolicy:
                 blobs[backend] = serialize_proof(proof)
             finally:
                 set_default_backend(None)
-        assert blobs["python"] == blobs["numpy"]
+        assert len(set(blobs.values())) == 1, sorted(blobs)
+
+
+@needs_native
+class TestNativeBackend:
+    """Behaviors specific to the compiled Montgomery kernel."""
+
+    def test_pickle_round_trip(self):
+        import pickle
+
+        vec = FieldVector.from_ints(Fr, [3, 1, 4, 1, 5], get_backend("native"))
+        clone = pickle.loads(pickle.dumps(vec))
+        assert clone.backend.name == "native"
+        assert clone.to_int_list() == [3, 1, 4, 1, 5]
+        clone[0] = Fr(9)  # unpickled storage must be writable and independent
+        assert vec.to_int_list() == [3, 1, 4, 1, 5]
+
+    def test_backend_unpickles_to_registry_singleton(self):
+        import pickle
+
+        backend = get_backend("native")
+        assert pickle.loads(pickle.dumps(backend)) is backend
+
+    def test_batch_inverse_reports_zero_index(self):
+        vec = FieldVector.from_ints(Fr, [5, 7, 0, 11], get_backend("native"))
+        with pytest.raises(ZeroDivisionError, match="element 2"):
+            vec.inverse()
+
+    def test_env_selection_policy(self, monkeypatch):
+        monkeypatch.setenv("REPRO_FIELD_BACKEND", "native")
+        assert default_backend_for(1).name == "native"
+        monkeypatch.setenv("REPRO_FIELD_BACKEND", "python")
+        assert default_backend_for(1 << 20).name == "python"

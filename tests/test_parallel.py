@@ -18,6 +18,7 @@ import pytest
 from repro.api import EngineConfig, ProverEngine
 from repro.api.parallel import (
     MSM_SCALARS_KEY,
+    MleShardRunner,
     MsmShardRunner,
     SumcheckShardRunner,
     WorkerPool,
@@ -42,6 +43,9 @@ from repro.fields.bls12_381 import Fr
 from repro.mle.mle import MultilinearPolynomial
 from repro.mle.virtual_poly import VirtualPolynomial
 from repro.pcs.srs import load_srs, save_srs, setup_cached, srs_cache_path
+from repro.fields import available_backends
+from repro.fields.vector import FieldVector
+from repro.mle.operations import set_mle_shard_runner
 from repro.sumcheck.prover import prove_sumcheck, set_sumcheck_shard_runner
 from repro.transcript.transcript import Transcript
 
@@ -190,6 +194,94 @@ class TestSumcheckSharding:
         assert serial.proof.round_messages() == parallel.proof.round_messages()
         assert serial.challenges == parallel.challenges
         assert serial.final_evaluations == parallel.final_evaluations
+
+
+@needs_fork
+class TestMleSharding:
+    """The remaining serial prover phases, sharded (ROADMAP carried item).
+
+    Covers the wiring identity's Fraction and Product MLE construction and
+    the batch-evaluation dot products: every sharded result must equal the
+    serial result exactly, on every installed backend, because inverse
+    values are unique regardless of chunking, tree-level products are
+    disjoint, and partial dot sums recombine by exact field addition.
+    """
+
+    def _vectors(self, backend, n=512, seed=13):
+        rng = random.Random(seed)
+        make = lambda: FieldVector.from_ints(
+            Fr, [rng.randrange(1, Fr.modulus) for _ in range(n)], backend
+        )
+        return make(), make()
+
+    def test_fraction_matches_serial_on_every_backend(self, pool):
+        runner = MleShardRunner(pool, 2, min_size=0)
+        for backend in available_backends():
+            num, den = self._vectors(backend)
+            for batch_size in (64, 100):  # aligned and ragged windows
+                sharded = runner.run_fraction(num, den, batch_size, Fr)
+                serial = num * den.inverse(batch_size)
+                assert sharded.to_int_list() == serial.to_int_list(), backend
+
+    def test_level_product_matches_serial(self, pool):
+        runner = MleShardRunner(pool, 2, min_size=0)
+        current, _ = self._vectors("python")
+        sharded = runner.run_level_product(current, Fr)
+        even, odd = current.even_odd()
+        assert sharded.to_int_list() == (even * odd).to_int_list()
+
+    def test_dots_match_serial_on_every_backend(self, pool):
+        runner = MleShardRunner(pool, 2, min_size=0)
+        for backend in available_backends():
+            a, b = self._vectors(backend)
+            sharded = runner.run_dots([a, b], b, Fr)
+            assert [int(v) for v in sharded] == [int(a.dot(b)), int(b.dot(b))]
+
+    def test_measured_gates_keep_losing_phases_serial(self, pool):
+        """Defaults from bench_field_kernels measurements: dots stay serial
+        at prover scales, level products shard only on the python floor."""
+        runner = MleShardRunner(pool, 2, min_size=4096)
+        num, den = self._vectors("python", n=1024)
+        assert runner.run_fraction(num, den, 64, Fr) is None  # < 4 * min_size
+        assert runner.run_dots([num], den, Fr) is None  # < 256 * min_size
+        if "native" in available_backends():
+            big, _ = self._vectors("native", n=1 << 15)
+            small_gate = MleShardRunner(pool, 2, min_size=1)
+            assert small_gate.run_level_product(big, Fr) is None  # not python
+
+    def test_prove_byte_identical_with_mle_sharding_forced(self):
+        """Acceptance criterion: python/numpy/native x workers 1 and 2."""
+        reference = None
+        for backend in available_backends():
+            for workers in (1, 2):
+                with ProverEngine(
+                    EngineConfig(
+                        srs_seed=1,
+                        field_backend=backend,
+                        workers=workers,
+                        parallel_min_msm_points=4,
+                        parallel_min_sumcheck_size=4,
+                    )
+                ) as engine:
+                    artifact = engine.prove("mock", num_vars=5, seed=3)
+                    assert engine.verify(artifact)
+                    blob = artifact.to_bytes()
+                if reference is None:
+                    reference = blob
+                assert blob == reference, (backend, workers)
+
+    def test_worker_seam_is_cleared_in_children(self, pool):
+        """A worker must never try to re-shard into the (absent) pool."""
+        runner = MleShardRunner(pool, 2, min_size=0)
+        set_mle_shard_runner(runner)
+        try:
+            num, den = self._vectors("python")
+            sharded = runner.run_fraction(num, den, 64, Fr)
+            serial = num * den.inverse(64)
+            assert sharded.to_int_list() == serial.to_int_list()
+        finally:
+            set_mle_shard_runner(None)
+
 
 
 @needs_fork

@@ -501,6 +501,15 @@ class TestExtendedHealthz:
         )
         assert engine["cache"]["circuits_cached"] >= 1
 
+    def test_healthz_reports_field_backend(self, client):
+        """ISSUE 6 fix: operators can see which kernel a node actually runs."""
+        health = client.healthz()
+        info = health["engine"]["field_backend"]
+        assert "python" in info["available"]
+        assert info["active"] in info["available"]
+        cache_info = health["engine"]["cache"]["field_backend"]
+        assert cache_info == info
+
 
 class _StubEngine:
     """Engine double: ``prove_many`` blocks on an event and replays a canned
