@@ -1,0 +1,391 @@
+"""Throughput + regression benchmark for the ``repro.dse`` sweep engine.
+
+Measures design-space-exploration throughput (points/second) for the same
+:class:`~repro.dse.SweepPlan` along the three execution paths the
+subsystem offers:
+
+- **serial** — one process, the engine's memoized ``simulate_config`` loop;
+- **workers** — the engine's fork :class:`~repro.api.parallel.WorkerPool`
+  (``EngineConfig(workers=N)``), shard chunks interleaved;
+- **cluster** — an in-process 2-backend
+  :class:`~repro.cluster.ClusterRouter`, the sweep sharded across backends
+  over HTTP and the Pareto frontiers merged by the router.
+
+Every run asserts the three paths return **identical Pareto frontiers**
+(same design points, same costs, in the same order) — the run fails on
+any divergence, which is what the CI ``sim-smoke`` job leans on.
+
+The run also records ``cycle_gates``: ``total_cycles`` of the analytical
+chip model at the paper-default configuration and paper workload size for
+every registered scenario.  Cycle counts are a pure function of the model
+— deterministic and host-independent — so ``--compare-last`` enforces
+them as an **exact match** against the committed baseline on any machine
+(no tolerance, unlike wall-clock gates).  Throughput comparison stays
+same-host-only with ``--tolerance``, same idiom as the other BENCH files.
+
+Run from the repository root::
+
+    PYTHONPATH=src python benchmarks/bench_sim.py
+    PYTHONPATH=src python benchmarks/bench_sim.py --max-points 1000 --workers 8
+    PYTHONPATH=src python benchmarks/bench_sim.py --compare-last
+
+Results land in ``BENCH_sim.json`` (previous runs append to its
+``history`` list, same idiom as the other BENCH files).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+from repro.api import EngineConfig, ProverEngine, available_scenarios
+from repro.cluster import ClusterRouter, RouterConfig
+from repro.dse import SweepPlan
+from repro.service import BackgroundServer, ProofService, ServiceClient, ServiceConfig
+
+
+def _git_commit() -> str:
+    try:
+        return (
+            subprocess.run(
+                ["git", "rev-parse", "--short", "HEAD"],
+                capture_output=True,
+                text=True,
+                check=True,
+                cwd=Path(__file__).resolve().parent,
+            ).stdout.strip()
+            or "unknown"
+        )
+    except (OSError, subprocess.CalledProcessError):
+        return "unknown"
+
+
+def cycle_gates(scenarios: list[str]) -> dict:
+    """Paper-default-model cycle counts per scenario (the hard gate).
+
+    One simulation per scenario at the paper-default chip configuration and
+    the scenario's paper workload size.  Everything recorded here is a
+    deterministic function of the analytical model, so any change is a
+    *model* change, not noise — the regression check matches it exactly.
+    """
+    gates: dict = {}
+    with ProverEngine(EngineConfig()) as engine:
+        for scenario in scenarios:
+            report = engine.simulate(scenario)
+            gates[scenario] = {
+                "num_vars": report.workload.num_vars,
+                "total_cycles": report.total_cycles,
+                "runtime_ms": round(report.total_runtime_ms, 6),
+                "area_mm2": round(report.total_area_mm2, 6),
+                "power_w": round(report.total_power_w, 6),
+            }
+            print(
+                f"  {scenario:10s} 2^{report.workload.num_vars:<2d} "
+                f"{report.total_cycles:>14,.0f} cycles  "
+                f"{report.total_runtime_ms:8.2f} ms  "
+                f"{report.total_area_mm2:6.1f} mm^2"
+            )
+    return gates
+
+
+def _frontier_key(pareto: list[dict]) -> list[tuple]:
+    """A comparable signature of a wire-format Pareto frontier."""
+    return [
+        (point["index"], point["runtime_ms"], point["area_mm2"])
+        for point in pareto
+    ]
+
+
+def run_local(plan: SweepPlan, workers: int) -> tuple[dict, list[dict]]:
+    """One local sweep (serial when ``workers == 1``); returns (cell, pareto)."""
+    with ProverEngine(EngineConfig(workers=workers)) as engine:
+        started = time.perf_counter()
+        result = engine.sweep(plan)
+        wall = time.perf_counter() - started
+    wire = result.to_wire()
+    cell = {
+        "mode": result.mode,
+        "workers": workers,
+        "points": len(result.points),
+        "wall_seconds": round(wall, 3),
+        "points_per_second": round(len(result.points) / wall, 1) if wall else 0.0,
+        "pareto_size": len(wire["pareto"]),
+    }
+    return cell, wire["pareto"]
+
+
+def run_cluster(
+    plan: SweepPlan, backend_count: int, timeout: float
+) -> tuple[dict, list[dict]]:
+    """One sweep through an in-process router + N backends over HTTP."""
+    backends = [
+        BackgroundServer(
+            ProofService(ServiceConfig(port=0), engine=ProverEngine(EngineConfig()))
+        ).start()
+        for _ in range(backend_count)
+    ]
+    router = BackgroundServer(
+        ClusterRouter(
+            RouterConfig(port=0, health_interval_s=1.0),
+            backends=[f"127.0.0.1:{backend.port}" for backend in backends],
+        )
+    ).start()
+    try:
+        with ServiceClient(port=router.port, timeout=timeout) as client:
+            started = time.perf_counter()
+            body = client.sweep(
+                scenario=plan.scenario,
+                num_vars=plan.num_vars,
+                overrides={k: list(v) for k, v in plan.overrides.items()}
+                if plan.overrides
+                else None,
+                max_points=plan.max_points,
+            )
+            wall = time.perf_counter() - started
+    finally:
+        router.stop()
+        for backend in backends:
+            engine = backend.service.engine
+            backend.stop()
+            engine.close()
+    shards = body.get("shards", [])
+    cell = {
+        "mode": body["mode"],
+        "backends": backend_count,
+        "points": body["total_points"],
+        "wall_seconds": round(wall, 3),
+        "points_per_second": round(body["total_points"] / wall, 1) if wall else 0.0,
+        "pareto_size": body["pareto_size"],
+        "shards": [
+            {key: shard[key] for key in ("index", "served_by", "points")}
+            for shard in shards
+        ],
+    }
+    return cell, body["pareto"]
+
+
+def compare_to_last(previous: dict, results: dict, tolerance: float) -> list[str]:
+    """Regressions vs the last recorded run, as messages.
+
+    Cycle gates are exact-match and host-independent; throughput is
+    tolerance-based and only meaningful same-host (the caller gates that).
+    """
+    regressions: list[str] = []
+    for scenario, old_gate in previous.get("cycle_gates", {}).items():
+        new_gate = results["cycle_gates"].get(scenario)
+        if new_gate is None:
+            regressions.append(f"{scenario}: cycle gate disappeared from this run")
+            continue
+        if new_gate["num_vars"] != old_gate["num_vars"]:
+            continue  # paper size changed deliberately; cycles not comparable
+        if new_gate["total_cycles"] != old_gate["total_cycles"]:
+            regressions.append(
+                f"{scenario}: total_cycles {new_gate['total_cycles']:,} != "
+                f"{old_gate['total_cycles']:,} recorded at "
+                f"{previous.get('commit', '?')} (the analytical model is "
+                f"deterministic — this is a model change, not noise)"
+            )
+    return regressions
+
+
+def compare_throughput(previous: dict, results: dict, tolerance: float) -> list[str]:
+    """Same-host points/s regressions beyond ``tolerance``."""
+    regressions: list[str] = []
+    old_cells = {cell["mode"]: cell for cell in previous.get("sweep_cells", [])}
+    for cell in results["sweep_cells"]:
+        old_cell = old_cells.get(cell["mode"])
+        if old_cell is None or previous.get("max_points") != results["max_points"]:
+            continue
+        old_rate, new_rate = old_cell["points_per_second"], cell["points_per_second"]
+        if old_rate > 0 and new_rate < old_rate * (1.0 - tolerance):
+            regressions.append(
+                f"{cell['mode']}: {new_rate:.0f} points/s vs {old_rate:.0f} "
+                f"recorded at {previous.get('commit', '?')} "
+                f"(-{100 * (1 - new_rate / old_rate):.0f}% > "
+                f"{100 * tolerance:.0f}% tolerance)"
+            )
+    return regressions
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scenario", default="zcash")
+    parser.add_argument(
+        "--max-points",
+        type=int,
+        default=500,
+        help="design points swept per execution path (default: 500)",
+    )
+    parser.add_argument(
+        "--workers",
+        type=int,
+        default=0,
+        help="worker count for the fork-pool path (0 = min(4, cpus); "
+        "default: 0)",
+    )
+    parser.add_argument(
+        "--backends",
+        type=int,
+        default=2,
+        help="in-process cluster backend count (default: 2)",
+    )
+    parser.add_argument(
+        "--skip-cluster",
+        action="store_true",
+        help="skip the in-process cluster path (e.g. on spawn-only hosts)",
+    )
+    parser.add_argument(
+        "--compare-last",
+        action="store_true",
+        help="compare against the last recorded run: cycle gates are an "
+        "exact match on any host; points/s applies --tolerance same-host",
+    )
+    parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=0.30,
+        help="allowed relative points/s regression for --compare-last "
+        "(default: 0.30; cycle gates ignore this — they are exact)",
+    )
+    parser.add_argument(
+        "--compare-any-host",
+        action="store_true",
+        help="apply the throughput part of --compare-last across hosts too",
+    )
+    parser.add_argument("--timeout", type=float, default=600.0)
+    parser.add_argument(
+        "--output",
+        default=str(Path(__file__).resolve().parent.parent / "BENCH_sim.json"),
+    )
+    args = parser.parse_args(argv)
+
+    workers = args.workers or min(4, os.cpu_count() or 1)
+    plan = SweepPlan(scenario=args.scenario, max_points=args.max_points)
+    print(
+        f"scenario: {args.scenario}   plan: {plan.total_points()} of "
+        f"{plan.grid_size():,} grid points   workers: {workers}   "
+        f"backends: {args.backends}"
+    )
+
+    print("cycle gates (paper-default config, paper sizes):")
+    gates = cycle_gates(available_scenarios())
+
+    cells: list[dict] = []
+    frontiers: dict[str, list[dict]] = {}
+    for mode_workers in (1, workers):
+        cell, pareto = run_local(plan, mode_workers)
+        cells.append(cell)
+        frontiers[cell["mode"]] = pareto
+        print(
+            f"  {cell['mode']:8s} ({mode_workers} worker(s)): "
+            f"{cell['points_per_second']:8.1f} points/s  "
+            f"pareto {cell['pareto_size']}"
+        )
+        if mode_workers == workers == 1:
+            break  # serial == workers on 1 CPU; one cell is the truth
+    if not args.skip_cluster:
+        cell, pareto = run_cluster(plan, args.backends, args.timeout)
+        cells.append(cell)
+        frontiers[cell["mode"]] = pareto
+        print(
+            f"  {cell['mode']:8s} ({args.backends} backend(s)): "
+            f"{cell['points_per_second']:8.1f} points/s  "
+            f"pareto {cell['pareto_size']}  shards "
+            f"{[shard['points'] for shard in cell['shards']]}"
+        )
+
+    reference = _frontier_key(frontiers["serial"])
+    for mode, pareto in frontiers.items():
+        if _frontier_key(pareto) != reference:
+            raise SystemExit(
+                f"Pareto frontier from the {mode} path differs from serial — "
+                f"the distributed sweep is not transparent"
+            )
+    print(
+        f"frontier identity: {len(frontiers)} path(s) agree on "
+        f"{len(reference)} Pareto point(s)"
+    )
+
+    results = {
+        "benchmark": "dse_sweep_throughput",
+        "commit": _git_commit(),
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+        "hostname": os.environ.get("REPRO_BENCH_HOST") or platform.node(),
+        "cpu_count": os.cpu_count(),
+        "scenario": args.scenario,
+        "max_points": args.max_points,
+        "grid_size": plan.grid_size(),
+        "workers": workers,
+        "backends": args.backends,
+        "frontiers_identical": True,
+        "pareto_size": len(reference),
+        "cycle_gates": gates,
+        "sweep_cells": cells,
+    }
+
+    out_path = Path(args.output)
+    previous: dict = {}
+    if out_path.exists():
+        try:
+            previous = json.loads(out_path.read_text())
+        except json.JSONDecodeError:
+            previous = {}
+    if "notes" in previous:
+        results["notes"] = previous["notes"]
+    history = list(previous.get("history", []))
+    if previous.get("sweep_cells"):
+        history.append(
+            {
+                key: previous[key]
+                for key in (
+                    "commit",
+                    "python",
+                    "machine",
+                    "hostname",
+                    "max_points",
+                    "workers",
+                    "cycle_gates",
+                    "sweep_cells",
+                )
+                if key in previous
+            }
+        )
+    results["history"] = history
+
+    regressions: list[str] = []
+    skipped_foreign_host = False
+    if args.compare_last and previous.get("cycle_gates"):
+        # Cycle counts are host-independent: always enforced, exact.
+        regressions = compare_to_last(previous, results, args.tolerance)
+        same_host = previous.get("hostname") == results["hostname"]
+        if same_host or args.compare_any_host:
+            regressions += compare_throughput(previous, results, args.tolerance)
+        else:
+            skipped_foreign_host = True
+
+    out_path.write_text(json.dumps(results, indent=2) + "\n")
+    print(f"wrote {out_path} ({len(history)} historical run(s) kept)")
+    if skipped_foreign_host:
+        print(
+            f"throughput check skipped: baseline recorded on "
+            f"{previous.get('hostname', 'unknown host')!r}, this is "
+            f"{results['hostname']!r} (cycle gates were still enforced — "
+            f"they are host-independent)"
+        )
+    if regressions:
+        print("SIMULATION REGRESSION detected:", file=sys.stderr)
+        for message in regressions:
+            print(f"  {message}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

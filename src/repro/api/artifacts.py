@@ -41,12 +41,14 @@ class ProofArtifact:
 
 @dataclass
 class CacheStats:
-    """Hit/miss counters for the engine's SRS and circuit-key caches."""
+    """Hit/miss counters for the engine's SRS, circuit-key and sim caches."""
 
     srs_hits: int = 0
     srs_misses: int = 0
     key_hits: int = 0
     key_misses: int = 0
+    sim_hits: int = 0
+    sim_misses: int = 0
 
     def as_dict(self) -> dict[str, int]:
         return {
@@ -54,4 +56,6 @@ class CacheStats:
             "srs_misses": self.srs_misses,
             "key_hits": self.key_hits,
             "key_misses": self.key_misses,
+            "sim_hits": self.sim_hits,
+            "sim_misses": self.sim_misses,
         }

@@ -36,7 +36,7 @@ from repro.api.parallel import (
 from repro.api.scenarios import available_scenarios, resolve_scenario
 from repro.circuits.builder import Circuit
 from repro.core.chip import SimulationReport, ZkSpeedChip
-from repro.core.config import ZkSpeedConfig
+from repro.core.config import ZkSpeedConfig, config_fingerprint
 from repro.core.cpu_baseline import CpuBaseline
 from repro.core.dse import DesignPoint, DesignSpaceExplorer
 from repro.core.opcounts import KernelProfile, protocol_operation_counts
@@ -78,6 +78,11 @@ class ProverEngine:
     #: artifacts and are keyed by the much smaller structure space.
     CIRCUIT_CACHE_SIZE = 16
 
+    #: Bound on the simulation-report LRU.  A report is a few hundred bytes
+    #: of floats, so the cache can afford to cover a whole decimated Table 2
+    #: sweep (2000 points by default) with room for several workloads.
+    SIM_CACHE_SIZE = 8192
+
     def __init__(self, config: EngineConfig | None = None):
         # A default-constructed engine honors the REPRO_* environment
         # (workers, field backend, SRS cache dir) via from_env(); with a
@@ -88,6 +93,13 @@ class ProverEngine:
         self._srs_cache: dict[int, UniversalSRS] = {}
         self._key_cache: dict[tuple[int, str], tuple[ProvingKey, VerifyingKey]] = {}
         self._circuit_cache: OrderedDict[tuple[str, int, int], Circuit] = OrderedDict()
+        #: Memoized accelerator simulations, keyed by (chip-config
+        #: fingerprint, workload) — mirrors the SRS/key caches: simulation
+        #: is deterministic, so a repeated (design point, workload) pair in
+        #: a sweep or a /simulate request stream is pure cache traffic.
+        self._sim_cache: OrderedDict[
+            tuple[str, WorkloadModel], SimulationReport
+        ] = OrderedDict()
         #: Session worker pool (created lazily on first parallel work).
         self._pool: WorkerPool | None = None
         self._shared_srs_keys: list[str] = []
@@ -209,6 +221,7 @@ class ProverEngine:
                 for num_vars, fingerprint in self._key_cache
             ),
             "circuits_cached": len(self._circuit_cache),
+            "simulations_cached": len(self._sim_cache),
             "field_backend": self.field_backend_info(),
         }
 
@@ -602,10 +615,66 @@ class ProverEngine:
         chip_config: ZkSpeedConfig | None = None,
         bandwidth_gbs: float | None = None,
     ) -> SimulationReport:
-        """Simulate the zkSpeed accelerator on a scenario or explicit workload."""
+        """Simulate the zkSpeed accelerator on a scenario or explicit workload.
+
+        Memoized per ``(chip-config fingerprint, workload)`` in the session
+        cache — the model is deterministic, so identical requests (common
+        in served sweep traffic, where many clients probe the same Pareto
+        region) cost one dict lookup after the first.
+        """
         if workload is None:
             workload = self.workload(scenario, num_vars=num_vars)
-        return self.chip(chip_config, bandwidth_gbs).simulate(workload)
+        config = (
+            chip_config if chip_config is not None else ZkSpeedConfig.paper_default()
+        )
+        if bandwidth_gbs is not None:
+            config = config.with_bandwidth(bandwidth_gbs)
+        report, _cached = self.simulate_config(config, workload)
+        return report
+
+    def simulate_config(
+        self, chip_config: ZkSpeedConfig, workload: WorkloadModel
+    ) -> tuple[SimulationReport, bool]:
+        """Memoizing simulation primitive; returns ``(report, was_cached)``.
+
+        The cache hit/miss split feeds :class:`CacheStats` (and from there
+        ``/healthz``), and the boolean lets the service's ``/simulate``
+        handler report whether it answered from cache.
+        """
+        key = (config_fingerprint(chip_config), workload)
+        cached = self._sim_cache.get(key)
+        if cached is not None:
+            self._sim_cache.move_to_end(key)
+            self.cache_stats.sim_hits += 1
+            return cached, True
+        self.cache_stats.sim_misses += 1
+        report = ZkSpeedChip(chip_config).simulate(workload)
+        self._sim_cache[key] = report
+        if len(self._sim_cache) > self.SIM_CACHE_SIZE:
+            self._sim_cache.popitem(last=False)
+        return report, False
+
+    def sweep(self, plan, *, items=None, on_progress=None):
+        """Evaluate a :class:`~repro.dse.SweepPlan` with this session's pool.
+
+        Runs through the fork :class:`WorkerPool` when the config enables
+        parallelism (``workers > 1`` on a fork-capable platform), else
+        serially through the memoized :meth:`simulate_config` path.  Both
+        produce bit-identical results — the tests enforce it.  ``items``
+        restricts evaluation to an explicit shard (``plan.shard_items``
+        output); ``on_progress(done, total, pareto_size)`` streams progress.
+        """
+        from repro.dse.runner import run_sweep
+
+        if self._parallel_enabled():
+            return run_sweep(
+                plan,
+                items=items,
+                pool=self._ensure_pool(),
+                workers=self.config.effective_workers(),
+                on_progress=on_progress,
+            )
+        return run_sweep(plan, items=items, engine=self, on_progress=on_progress)
 
     def explore(
         self,

@@ -253,6 +253,20 @@ class WorkerPool:
         self.ensure()
         return list(self._pool.imap(fn, tasks, chunksize=1))
 
+    def imap_iter(self, fn: Callable, tasks: Sequence):
+        """Streaming variant of :meth:`imap`: yield results as they finish.
+
+        Completion order, not task order — callers that need task order
+        must carry an index inside each task (the sweep runner tags every
+        design point with its global plan index for exactly this reason).
+        Streaming matters for long sweeps: the consumer can fold each
+        result into an online Pareto frontier and report progress while
+        later tasks are still running, instead of blocking on the full
+        materialized list.
+        """
+        self.ensure()
+        yield from self._pool.imap_unordered(fn, tasks, chunksize=1)
+
     def close(self) -> None:
         """Terminate the worker processes (the pool may be ensured again later)."""
         if self._pool is not None:

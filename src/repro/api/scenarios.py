@@ -29,6 +29,11 @@ class Scenario:
     paper_log_size: int
     default_log_size: int
     builder: Callable[[int, int], Circuit]
+    #: Which engine verbs accept this scenario.  Every registered scenario
+    #: today supports both; the field exists so the wire layer can reject a
+    #: simulate request for a future prove-only scenario (or vice versa)
+    #: with a 400 instead of a mid-shard failure.
+    capabilities: tuple[str, ...] = ("prove", "simulate")
 
     def build_circuit(self, num_vars: int | None = None, seed: int = 0) -> Circuit:
         """Build a functional circuit instance (laptop-scale by default)."""

@@ -11,6 +11,10 @@ Commands
                and breakdowns.
 ``dse``        Run a reduced design-space exploration and print the Pareto
                frontier for a problem size.
+``sweep``      Run a distributed design-space sweep (``repro.dse``):
+               locally over the engine's worker pool, or against a running
+               ``repro serve`` / ``repro cluster`` with ``--url`` —
+               incremental progress, online Pareto frontier.
 ``prove``      Build a circuit (mock by default, or any registered
                scenario), generate a HyperPlonk proof, verify it, and
                report the serialized proof size.  ``--count N`` proves a
@@ -25,7 +29,9 @@ Commands
                structure-affine routing and health-checked failover.
 ``submit``     Submit prove requests to a running ``repro serve`` or
                ``repro cluster`` from a script, verify the returned
-               proofs, and print latencies.
+               proofs, and print latencies.  ``--simulate`` submits
+               accelerator simulations instead, cycling design points
+               through ``POST /simulate``.
 """
 
 from __future__ import annotations
@@ -120,6 +126,111 @@ def _cmd_dse(args: argparse.Namespace) -> int:
             f"fastest under {args.area_budget:.0f} mm^2: {best.runtime_ms:.2f} ms "
             f"({explorer.speedup(best):.0f}x over CPU)"
         )
+    return 0
+
+
+def _parse_override(raw: str) -> tuple[str, tuple]:
+    """``knob=v1,v2`` → ``(knob, (v1, v2))`` with numeric value coercion."""
+    knob, separator, values = raw.partition("=")
+    if not separator or not values:
+        raise argparse.ArgumentTypeError(
+            f"override must look like knob=value,value — got {raw!r}"
+        )
+
+    def coerce(text: str):
+        for parse in (int, float):
+            try:
+                return parse(text)
+            except ValueError:
+                continue
+        return text
+
+    return knob, tuple(coerce(value) for value in values.split(","))
+
+
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.core.config import ZkSpeedConfig
+    from repro.dse import SweepPlan
+
+    overrides = dict(args.override) if args.override else None
+    try:
+        plan = SweepPlan(
+            scenario=args.scenario,
+            num_vars=args.log_gates,
+            overrides=overrides,
+            max_points=args.max_points,
+        )
+    except (ValueError, KeyError) as exc:
+        print(f"bad sweep plan: {exc}", file=sys.stderr)
+        return 2
+    print(f"sweep plan: {plan.describe()}")
+
+    def progress(done: int, total: int, pareto_size: int) -> None:
+        print(
+            f"  {done}/{total} points, frontier size {pareto_size}",
+            file=sys.stderr,
+            flush=True,
+        )
+
+    if args.url:
+        from repro.service import ServiceClient
+
+        def on_event(event: dict) -> None:
+            kind = event.get("event")
+            if kind == "progress":
+                progress(event["done"], event["total"], event["pareto_size"])
+            elif kind == "shard":
+                print(
+                    f"  shard {event['index'] + 1}/{event['count']} done on "
+                    f"{event['served_by']} ({event['points']} points)",
+                    file=sys.stderr,
+                    flush=True,
+                )
+
+        with ServiceClient.from_url(args.url, timeout=args.timeout) as client:
+            result = client.sweep(
+                scenario=args.scenario,
+                num_vars=args.log_gates,
+                overrides={k: list(v) for k, v in overrides.items()}
+                if overrides
+                else None,
+                max_points=args.max_points,
+                stream=True,
+                on_event=on_event,
+            )
+        mode = result["mode"]
+        total = result["total_points"]
+        elapsed = result["elapsed_s"]
+        rate = result["points_per_second"]
+        pareto = result["pareto"]
+    else:
+        engine = _engine_from_args(args)
+        result_obj = engine.sweep(plan, on_progress=progress)
+        engine.close()
+        mode = result_obj.mode
+        total = len(result_obj.points)
+        elapsed = result_obj.elapsed_s
+        rate = result_obj.points_per_second
+        pareto = result_obj.pareto_points
+        result = result_obj.to_wire(include_points=args.output is not None)
+
+    print(
+        f"evaluated {total} configurations in {elapsed:.2f} s "
+        f"({rate:.0f} points/s, mode {mode})"
+    )
+    print("global Pareto frontier (runtime ms, area mm^2, config):")
+    for point in pareto:
+        config = ZkSpeedConfig(**point["config"])
+        print(
+            f"  {point['runtime_ms']:9.2f}  {point['area_mm2']:8.1f}  "
+            f"{config.describe()}"
+        )
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(result, handle, indent=2)
+        print(f"wrote {args.output}")
     return 0
 
 
@@ -286,39 +397,79 @@ def _cmd_submit(args: argparse.Namespace) -> int:
     witness_seeds = [rng.randrange(1 << 30) for _ in range(args.count)]
     concurrency = min(args.concurrency, args.count)
 
-    def one(seed: int) -> tuple[int, dict, float]:
-        with ServiceClient.from_url(args.url, timeout=args.timeout) as client:
-            start = time.perf_counter()
-            result = client.prove(args.scenario, num_vars=args.log_gates, seed=seed)
-            latency = time.perf_counter() - start
-            if not args.no_verify and not client.verify(result):
-                raise RuntimeError(f"proof for seed {seed} rejected by /verify")
-            return seed, result, latency
+    if args.simulate:
+        # Distinct design points per request (bandwidth cycles through the
+        # Table 2 values), so a submit batch exercises both the memoized
+        # and the cold path of POST /simulate.
+        from repro.core.config import DESIGN_SPACE
+
+        bandwidths = list(DESIGN_SPACE["bandwidth_gbs"])
+
+        def one(index: int) -> tuple[int, dict, float]:
+            with ServiceClient.from_url(args.url, timeout=args.timeout) as client:
+                start = time.perf_counter()
+                result = client.simulate(
+                    args.scenario,
+                    num_vars=args.log_gates,
+                    bandwidth_gbs=bandwidths[index % len(bandwidths)],
+                )
+                return index, result, time.perf_counter() - start
+
+        requests = list(range(args.count))
+        unit = "simulations"
+    else:
+
+        def one(seed: int) -> tuple[int, dict, float]:
+            with ServiceClient.from_url(args.url, timeout=args.timeout) as client:
+                start = time.perf_counter()
+                result = client.prove(
+                    args.scenario,
+                    num_vars=args.log_gates if args.log_gates is not None else 5,
+                    seed=seed,
+                )
+                latency = time.perf_counter() - start
+                if not args.no_verify and not client.verify(result):
+                    raise RuntimeError(f"proof for seed {seed} rejected by /verify")
+                return seed, result, latency
+
+        requests = witness_seeds
+        unit = "proofs"
 
     started = time.perf_counter()
     failures = 0
     latencies: list[float] = []
     with concurrent.futures.ThreadPoolExecutor(max_workers=concurrency) as pool:
-        for future in [pool.submit(one, seed) for seed in witness_seeds]:
+        for future in [pool.submit(one, request) for request in requests]:
             try:
-                seed, result, latency = future.result()
+                key, result, latency = future.result()
             except Exception as exc:
                 failures += 1
                 print(f"request failed: {exc}")
                 continue
             latencies.append(latency)
-            print(
-                f"seed {seed}: 2^{result['num_vars']} proof, "
-                f"{result['proof_size_bytes']} bytes, "
-                f"batch of {result['batch_size']}, {latency:.3f} s"
-                + ("" if args.no_verify else " -> ACCEPT")
-            )
+            if args.simulate:
+                served = result.get("served_by")
+                print(
+                    f"[{key}] 2^{result['num_vars']} {result['scenario']}: "
+                    f"{result['runtime_ms']:.2f} ms modeled, "
+                    f"{result['area_mm2']:.1f} mm^2, "
+                    f"{'cache hit' if result['cached'] else 'cold'}"
+                    + (f", served by {served}" if served else "")
+                    + f", {latency:.3f} s"
+                )
+            else:
+                print(
+                    f"seed {key}: 2^{result['num_vars']} proof, "
+                    f"{result['proof_size_bytes']} bytes, "
+                    f"batch of {result['batch_size']}, {latency:.3f} s"
+                    + ("" if args.no_verify else " -> ACCEPT")
+                )
     wall = time.perf_counter() - started
     if latencies:
         ordered = sorted(latencies)
         print(
             f"{len(latencies)}/{args.count} ok in {wall:.2f} s "
-            f"({len(latencies) / wall:.2f} proofs/s, {concurrency} client(s)); "
+            f"({len(latencies) / wall:.2f} {unit}/s, {concurrency} client(s)); "
             f"latency p50 {ordered[len(ordered) // 2]:.3f} s "
             f"max {ordered[-1]:.3f} s"
         )
@@ -386,6 +537,59 @@ def build_parser() -> argparse.ArgumentParser:
     dse.add_argument("--area-budget", type=float, default=366.0)
     dse.add_argument("--scenario", choices=available_scenarios(), default=None)
     dse.set_defaults(func=_cmd_dse)
+
+    sweep = subparsers.add_parser(
+        "sweep",
+        parents=[engine_options],
+        help="run a distributed design-space sweep (local workers or --url)",
+    )
+    sweep.add_argument(
+        "--scenario",
+        choices=available_scenarios(),
+        default=None,
+        help="named workload (default: synthetic sparsity at --log-gates)",
+    )
+    sweep.add_argument(
+        "--log-gates",
+        type=_positive_int,
+        default=None,
+        help="problem size exponent (default: the scenario's published "
+        "Table 3 size; required without --scenario)",
+    )
+    sweep.add_argument(
+        "--max-points",
+        type=_positive_int,
+        default=500,
+        help="stride-decimate the Table 2 grid to at most this many design "
+        "points (default: 500)",
+    )
+    sweep.add_argument(
+        "--override",
+        type=_parse_override,
+        action="append",
+        metavar="KNOB=V1,V2",
+        help="restrict one design-space knob to the given values "
+        "(repeatable, e.g. --override sumcheck_pes=2,4)",
+    )
+    sweep.add_argument(
+        "--url",
+        default=None,
+        help="run the sweep on a running `repro serve` / `repro cluster` "
+        "instead of in-process (streamed, sharded across a cluster)",
+    )
+    sweep.add_argument(
+        "--timeout",
+        type=float,
+        default=600.0,
+        help="per-request HTTP timeout for --url sweeps (default: 600)",
+    )
+    sweep.add_argument(
+        "--output",
+        default=None,
+        metavar="FILE",
+        help="also write the full sweep result (all points) as JSON",
+    )
+    sweep.set_defaults(func=_cmd_sweep)
 
     prove = subparsers.add_parser(
         "prove",
@@ -546,8 +750,20 @@ def build_parser() -> argparse.ArgumentParser:
         default="mock",
         help="circuit generator to request (default: mock)",
     )
-    submit.add_argument("--log-gates", type=_positive_int, default=5)
+    submit.add_argument(
+        "--log-gates",
+        type=_positive_int,
+        default=None,
+        help="problem size exponent (default: 5 for prove requests, the "
+        "scenario's published size for --simulate)",
+    )
     submit.add_argument("--seed", type=int, default=0)
+    submit.add_argument(
+        "--simulate",
+        action="store_true",
+        help="submit accelerator simulations (POST /simulate) instead of "
+        "prove requests, cycling bandwidth across the Table 2 values",
+    )
     submit.add_argument(
         "--count",
         type=_positive_int,

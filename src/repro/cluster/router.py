@@ -42,8 +42,10 @@ from repro.cluster.backend import (
 )
 from repro.cluster.health import HealthMonitor
 from repro.cluster.topology import ClusterTopology, structure_key
+from repro.core.config import config_to_dict
+from repro.dse.runner import frontier_for_points
 from repro.service import wire
-from repro.service.http import HttpServerBase
+from repro.service.http import HttpServerBase, NdjsonStream
 from repro.service.metrics import ServiceMetrics, latency_summary
 
 logger = logging.getLogger("repro.cluster")
@@ -133,6 +135,9 @@ class RouterMetrics:
         self.routed_total: Counter = Counter()
         self.failovers_total = 0
         self.no_backend_total = 0
+        self.sweeps_total = 0
+        self.sweep_shards_total = 0
+        self.sweep_points_total = 0
         self._latency: dict[str, deque] = {}
 
     def request(self, endpoint: str) -> None:
@@ -155,6 +160,13 @@ class RouterMetrics:
         with self._lock:
             self.no_backend_total += 1
 
+    def sweep_done(self, shards: int, points: int) -> None:
+        """One whole sweep the router split, fanned out and merged."""
+        with self._lock:
+            self.sweeps_total += 1
+            self.sweep_shards_total += shards
+            self.sweep_points_total += points
+
     def latency(self, endpoint: str, seconds: float) -> None:
         with self._lock:
             reservoir = self._latency.get(endpoint)
@@ -171,6 +183,9 @@ class RouterMetrics:
                 "routed_total": dict(self.routed_total),
                 "failovers_total": self.failovers_total,
                 "no_backend_total": self.no_backend_total,
+                "sweeps_total": self.sweeps_total,
+                "sweep_shards_total": self.sweep_shards_total,
+                "sweep_points_total": self.sweep_points_total,
                 "latency_seconds": {
                     endpoint: latency_summary(list(samples))
                     for endpoint, samples in self._latency.items()
@@ -402,6 +417,8 @@ class ClusterRouter(HttpServerBase):
         return {
             ("POST", "/prove"): self._handle_prove,
             ("POST", "/verify"): self._handle_verify,
+            ("POST", "/simulate"): self._handle_simulate,
+            ("POST", "/sweep"): self._handle_sweep,
             ("GET", "/scenarios"): self._handle_scenarios,
             ("GET", "/healthz"): self._handle_healthz,
             ("GET", "/metrics"): self._handle_metrics,
@@ -468,6 +485,231 @@ class ClusterRouter(HttpServerBase):
             response_body = dict(response_body)
             response_body["served_by"] = backend_id
         return status, response_body, extra
+
+    async def _handle_simulate(self, request: dict):
+        """Simulations route like proofs: by (scenario, resolved size).
+
+        Simulation traffic is cache-heavy (the backend memoizes per config
+        fingerprint × workload), so keeping a workload's probes on one
+        backend is worth exactly what the SRS affinity is worth to proving
+        — the ``sim:`` prefix keeps the placement space disjoint from the
+        prover keys, letting simulate and prove traffic for one scenario
+        land on different backends.
+        """
+        try:
+            sim_request = wire.parse_simulate_request(
+                wire.parse_json_body(request["body"])
+            )
+        except wire.WireError as exc:
+            return 400, wire.error_body("bad_request", str(exc)), None
+        resolved = wire.resolved_sim_num_vars(
+            sim_request["scenario"], sim_request["num_vars"]
+        )
+        key = f"sim:{sim_request['scenario']}:{resolved}"
+        body = {
+            "scenario": sim_request["scenario"],
+            "num_vars": resolved,
+            "chip_config": config_to_dict(sim_request["chip_config"]),
+        }
+        status, response_body, extra, backend_id = await self._forward_with_failover(
+            "POST", "/simulate", body, key
+        )
+        if status == 200 and backend_id is not None:
+            response_body = dict(response_body)
+            response_body["served_by"] = backend_id
+        return status, response_body, extra
+
+    async def _forward_sweep_shard(self, body: dict, candidates: list[str]):
+        """Forward one sweep sub-shard, trying ``candidates`` in order.
+
+        Sub-shards need *placement by position* (shard ``i`` → the ``i``-th
+        live backend) rather than by rendezvous key — hashing the shards of
+        one sweep could pile several onto one backend and idle the rest.
+        Failover walks the remaining live backends; sweeps are pure
+        functions of the plan, so a retried shard is safe anywhere.
+        """
+        assert self.monitor is not None
+        last_error: BackendError | None = None
+        for backend_id in candidates:
+            client = self._fleet.clients[backend_id]
+            try:
+                response = await client.request("POST", "/sweep", body)
+            except BackendBusy as exc:
+                logger.warning("sweep backpressure from %s: %s", backend_id, exc)
+                return 503, wire.error_body("backend_saturated", str(exc)), None
+            except BackendError as exc:
+                logger.warning("sweep shard to %s failed: %s", backend_id, exc)
+                self.monitor.report_failure(backend_id, exc)
+                self.metrics.failover()
+                last_error = exc
+                continue
+            self.monitor.report_success(backend_id)
+            self.metrics.routed(backend_id)
+            return response.status, response.body, backend_id
+        if last_error is None:
+            self.metrics.no_backend()
+            return (
+                503,
+                wire.error_body("no_backends", "no live backend for this shard"),
+                None,
+            )
+        return (
+            502,
+            wire.error_body(
+                "backend_unreachable",
+                f"all {len(candidates)} backend(s) failed this sweep shard; "
+                f"last error: {last_error}",
+            ),
+            None,
+        )
+
+    async def _handle_sweep(self, request: dict):
+        """Split an unsharded sweep across the live fleet and merge.
+
+        An already-sharded request (a caller doing its own partitioning)
+        forwards whole, routed by its shard coordinates.  An unsharded one
+        becomes ``len(live)`` strided sub-shards evaluated concurrently;
+        per-shard Pareto frontiers merge exactly (a point dominated inside
+        its shard is dominated in the union, and the global-index tie rule
+        is completion-order-independent), so the router only needs each
+        shard's frontier — full point lists travel only when the client
+        asked for them.  With ``stream=true`` the router emits one NDJSON
+        line per completed shard, then the merged result.
+        """
+        try:
+            sweep_request = wire.parse_sweep_request(
+                wire.parse_json_body(request["body"])
+            )
+        except wire.WireError as exc:
+            return 400, wire.error_body("bad_request", str(exc)), None
+        assert self.topology is not None
+        plan = sweep_request["plan"]
+        include_points = sweep_request["include_points"]
+
+        if sweep_request["shard"] is not None:
+            index, count = sweep_request["shard"]
+            live = self.topology.live_members
+            if not live:
+                self.metrics.no_backend()
+                return (
+                    503,
+                    wire.error_body("no_backends", "no live backend for this shard"),
+                    {"Retry-After": str(max(1, round(self.config.health_interval_s * 2)))},
+                )
+            body = dict(wire.parse_json_body(request["body"]))
+            body.pop("stream", None)  # backend links are Content-Length framed
+            candidates = live[index % len(live) :] + live[: index % len(live)]
+            status, response_body, backend_id = await self._forward_sweep_shard(
+                body, candidates
+            )
+            if status == 200 and backend_id is not None:
+                response_body = dict(response_body)
+                response_body["served_by"] = backend_id
+            return status, response_body, None
+
+        live = self.topology.live_members
+        if not live:
+            self.metrics.no_backend()
+            return (
+                503,
+                wire.error_body("no_backends", "no live backend for this sweep"),
+                {"Retry-After": str(max(1, round(self.config.health_interval_s * 2)))},
+            )
+        shard_count = min(len(live), max(1, plan.total_points()))
+        started = time.perf_counter()
+
+        async def run_shard(index: int):
+            body = plan.to_wire()
+            body["shard"] = {"index": index, "count": shard_count}
+            # The router always needs per-shard frontiers (in the response
+            # body by default); full point lists only when the client asked.
+            if include_points:
+                body["include_points"] = True
+            rotation = live[index % len(live) :] + live[: index % len(live)]
+            status, response_body, backend_id = await self._forward_sweep_shard(
+                body, rotation
+            )
+            return index, status, response_body, backend_id
+
+        def merge(shard_results):
+            frontier = frontier_for_points(
+                point
+                for _, _, body, _ in shard_results
+                for point in body["pareto"]
+            )
+            total_points = sum(body["total_points"] for _, _, body, _ in shard_results)
+            elapsed = time.perf_counter() - started
+            merged: dict = {
+                "workload": shard_results[0][2]["workload"],
+                "num_vars": shard_results[0][2]["num_vars"],
+                "total_points": total_points,
+                "pareto_size": len(frontier),
+                "pareto": frontier.points,
+                "elapsed_s": elapsed,
+                "points_per_second": total_points / elapsed if elapsed > 0 else 0.0,
+                "mode": "cluster",
+                "shards": [
+                    {
+                        "index": index,
+                        "count": shard_count,
+                        "served_by": backend_id,
+                        "points": body["total_points"],
+                        "elapsed_s": body["elapsed_s"],
+                    }
+                    for index, _, body, backend_id in sorted(shard_results)
+                ],
+            }
+            if include_points:
+                all_points = [
+                    point
+                    for _, _, body, _ in shard_results
+                    for point in body["points"]
+                ]
+                all_points.sort(key=lambda p: p["index"])
+                merged["points"] = all_points
+            self.metrics.sweep_done(shard_count, total_points)
+            return merged
+
+        if not sweep_request["stream"]:
+            shard_results = await asyncio.gather(
+                *(run_shard(index) for index in range(shard_count))
+            )
+            for _, status, body, _ in shard_results:
+                if status != 200:
+                    return status, body, None
+            return 200, merge(list(shard_results)), None
+
+        async def lines():
+            yield {
+                "event": "start",
+                "total_points": plan.total_points(),
+                "shard_count": shard_count,
+                "backends": live,
+            }
+            shard_results = []
+            failed = None
+            for task in asyncio.as_completed(
+                [run_shard(index) for index in range(shard_count)]
+            ):
+                index, status, body, backend_id = await task
+                if status != 200:
+                    failed = (status, body)
+                    continue
+                shard_results.append((index, status, body, backend_id))
+                yield {
+                    "event": "shard",
+                    "index": index,
+                    "count": shard_count,
+                    "served_by": backend_id,
+                    "points": body["total_points"],
+                    "pareto_size": body["pareto_size"],
+                }
+            if failed is not None:
+                yield {"event": "error", "status": failed[0], **failed[1]}
+                return
+            yield {"event": "result", **merge(shard_results)}
+
+        return 200, NdjsonStream(lines()), None
 
     async def _handle_scenarios(self, request: dict):
         status, body, extra, _ = await self._forward_with_failover(
@@ -541,8 +783,13 @@ class ClusterRouter(HttpServerBase):
                 "verifications_total",
                 "prove_many_calls",
                 "rejected_total",
+                "simulations_total",
+                "sim_cache_hits",
             ):
                 aggregate[counter] += int(snapshot.get(counter, 0))
+            sweeps = snapshot.get("sweeps") or {}
+            aggregate["sweep_shards_total"] += int(sweeps.get("count", 0))
+            aggregate["sweep_points_total"] += int(sweeps.get("points_total", 0))
         return (
             200,
             {
@@ -554,6 +801,10 @@ class ClusterRouter(HttpServerBase):
                         "verifications_total",
                         "prove_many_calls",
                         "rejected_total",
+                        "simulations_total",
+                        "sim_cache_hits",
+                        "sweep_shards_total",
+                        "sweep_points_total",
                     )},
                     "backends_reporting": reporting,
                     "backends_total": len(self._fleet.clients),

@@ -16,19 +16,33 @@ Typical use::
     print(report.total_runtime_ms, chip.total_area_mm2())
 """
 
-from repro.core.config import ZkSpeedConfig, DESIGN_SPACE, enumerate_design_space
+from repro.core.config import (
+    CONFIG_FIELDS,
+    DESIGN_SPACE,
+    ZkSpeedConfig,
+    config_fingerprint,
+    config_from_dict,
+    config_to_dict,
+    design_space_size,
+    enumerate_design_space,
+)
 from repro.core.technology import TechnologyModel
 from repro.core.workload_model import WorkloadModel
 from repro.core.opcounts import KernelProfile, protocol_operation_counts
 from repro.core.chip import ZkSpeedChip, SimulationReport, StepTiming
 from repro.core.cpu_baseline import CpuBaseline
 from repro.core.dse import DesignSpaceExplorer, DesignPoint
-from repro.core.pareto import pareto_frontier
+from repro.core.pareto import OnlineParetoFront, dominates, pareto_frontier
 from repro.core.comparison import ACCELERATOR_COMPARISON, accelerator_comparison_table
 
 __all__ = [
     "ZkSpeedConfig",
+    "CONFIG_FIELDS",
     "DESIGN_SPACE",
+    "config_fingerprint",
+    "config_from_dict",
+    "config_to_dict",
+    "design_space_size",
     "enumerate_design_space",
     "TechnologyModel",
     "WorkloadModel",
@@ -40,6 +54,8 @@ __all__ = [
     "CpuBaseline",
     "DesignSpaceExplorer",
     "DesignPoint",
+    "OnlineParetoFront",
+    "dominates",
     "pareto_frontier",
     "ACCELERATOR_COMPARISON",
     "accelerator_comparison_table",

@@ -9,9 +9,12 @@ product (or a decimated subset for quick sweeps).
 
 from __future__ import annotations
 
+import dataclasses
+import hashlib
 import itertools
+import json
 from dataclasses import dataclass, replace
-from typing import Iterator, Sequence
+from typing import Iterator, Mapping, Sequence
 
 
 @dataclass(frozen=True)
@@ -81,6 +84,48 @@ class ZkSpeedConfig:
         )
 
 
+#: Field names of :class:`ZkSpeedConfig`, in declaration order — the
+#: canonical key set for wire/serialized chip configurations.
+CONFIG_FIELDS: tuple[str, ...] = tuple(
+    f.name for f in dataclasses.fields(ZkSpeedConfig)
+)
+
+
+def config_to_dict(config: ZkSpeedConfig) -> dict:
+    """A JSON-serializable view of one design point (round-trips exactly)."""
+    return dataclasses.asdict(config)
+
+
+def config_from_dict(data: Mapping) -> ZkSpeedConfig:
+    """Rebuild a :class:`ZkSpeedConfig` from :func:`config_to_dict` output.
+
+    Raises ``ValueError`` — never ``TypeError`` — on unknown fields, wrong
+    types or out-of-range values, so wire-level validators can treat every
+    bad chip configuration uniformly.
+    """
+    if not isinstance(data, Mapping):
+        raise ValueError("chip config must be a mapping of field values")
+    unknown = sorted(set(data) - set(CONFIG_FIELDS))
+    if unknown:
+        raise ValueError(f"unknown chip-config field(s): {', '.join(unknown)}")
+    try:
+        return ZkSpeedConfig(**dict(data))
+    except TypeError as exc:
+        raise ValueError(f"bad chip config: {exc}") from None
+
+
+def config_fingerprint(config: ZkSpeedConfig) -> str:
+    """A short stable content hash of a design point.
+
+    Mirrors the circuit-structure fingerprints the engine keys its SRS and
+    proving-key caches by: the simulation cache, sweep results and the
+    Pareto identity tests all name configurations by this digest instead of
+    comparing nine-field dataclasses.
+    """
+    canonical = json.dumps(config_to_dict(config), sort_keys=True)
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()[:16]
+
+
 #: The design space of Table 2.
 DESIGN_SPACE: dict[str, Sequence] = {
     "msm_cores": (1, 2),
@@ -93,6 +138,28 @@ DESIGN_SPACE: dict[str, Sequence] = {
     "mle_update_modmuls_per_pe": (1, 2, 4, 8, 16),
     "bandwidth_gbs": (64.0, 128.0, 256.0, 512.0, 1024.0, 2048.0, 4096.0),
 }
+
+
+def design_space_size(overrides: Mapping[str, Sequence] | None = None) -> int:
+    """Cross-product size of the (optionally restricted) design space.
+
+    Computed without materializing any combination, so wire validators can
+    bound a requested sweep before :func:`enumerate_design_space` commits
+    memory to it.  Raises ``KeyError`` on unknown knobs (same contract as
+    enumeration) and ``ValueError`` on an empty value list.
+    """
+    space = dict(DESIGN_SPACE)
+    if overrides:
+        for key, values in overrides.items():
+            if key not in space:
+                raise KeyError(f"unknown design-space knob {key!r}")
+            space[key] = tuple(values)
+    size = 1
+    for key, values in space.items():
+        if not values:
+            raise ValueError(f"design-space knob {key!r} has no values")
+        size *= len(values)
+    return size
 
 
 def enumerate_design_space(

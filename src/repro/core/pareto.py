@@ -1,8 +1,23 @@
-"""Pareto-frontier extraction for the design-space exploration."""
+"""Pareto-frontier extraction for the design-space exploration.
+
+Two views of the same minimization frontier over ``(cost_x, cost_y)``:
+
+- :func:`pareto_frontier` — the batch form: all points known up front
+  (the seed's Figure 9 path);
+- :class:`OnlineParetoFront` — the streaming form: points arrive one at a
+  time, in any order, from any number of sweep shards, and the frontier is
+  maintained incrementally.  The distributed sweep runner updates one of
+  these as results land so the frontier is observable *during* a sweep.
+
+The two agree exactly: feeding the same points to either (in any order)
+yields the same frontier, including which representative survives a cost
+tie — see :meth:`OnlineParetoFront.add` for the deterministic tie rule.
+"""
 
 from __future__ import annotations
 
-from typing import Callable, Sequence, TypeVar
+import bisect
+from typing import Callable, Iterable, Sequence, TypeVar
 
 T = TypeVar("T")
 
@@ -38,3 +53,94 @@ def dominates(
     ax, ay = cost_x(a), cost_y(a)
     bx, by = cost_x(b), cost_y(b)
     return ax <= bx and ay <= by and (ax < bx or ay < by)
+
+
+class OnlineParetoFront:
+    """An incrementally maintained Pareto frontier (minimizing both costs).
+
+    The frontier is kept sorted by ``cost_x`` ascending, which on a strict
+    frontier means ``cost_y`` strictly descending — so membership tests and
+    evictions are one :mod:`bisect` probe plus a contiguous slice, O(log n)
+    amortized per :meth:`add` rather than a full rescan.
+
+    Determinism under ties: among points with *identical* costs the one
+    with the smallest ``order`` wins.  ``order`` defaults to insertion
+    sequence; a distributed sweep passes each design point's global index
+    instead, which makes the surviving frontier — items included, not just
+    cost pairs — independent of the order shards happen to complete in.
+    This matches :func:`pareto_frontier` exactly: ``sorted`` is stable, so
+    the batch form also keeps the first-in-input-order point of a tied
+    cost pair.
+    """
+
+    def __init__(
+        self,
+        cost_x: Callable[[T], float] | None = None,
+        cost_y: Callable[[T], float] | None = None,
+    ):
+        self._cost_x = cost_x if cost_x is not None else lambda p: p[0]
+        self._cost_y = cost_y if cost_y is not None else lambda p: p[1]
+        #: Sorted cost pairs, mirrored by ``_entries``; kept separate so
+        #: bisect never has to compare (possibly uncomparable) items.
+        self._keys: list[tuple[float, float]] = []
+        self._entries: list[tuple[int, T]] = []  # (order, item) per key
+        self._counter = 0
+
+    def __len__(self) -> int:
+        return len(self._keys)
+
+    @property
+    def points(self) -> list[T]:
+        """Frontier items, sorted by ``cost_x`` ascending."""
+        return [item for _, item in self._entries]
+
+    def costs(self) -> list[tuple[float, float]]:
+        """The frontier's ``(cost_x, cost_y)`` pairs, sorted by ``cost_x``."""
+        return list(self._keys)
+
+    def add(self, item: T, order: int | None = None) -> bool:
+        """Offer one point; returns True if the frontier changed.
+
+        Rejected when an existing point is at least as good in both costs
+        (ties included — except an *exactly* tied cost pair, where the
+        smaller ``order`` survives); otherwise every now-dominated point is
+        evicted and the new point inserted.
+        """
+        x, y = self._cost_x(item), self._cost_y(item)
+        if order is None:
+            order = self._counter
+        self._counter += 1
+        keys = self._keys
+        position = bisect.bisect_left(keys, (x, y))
+        if position < len(keys) and keys[position] == (x, y):
+            if order < self._entries[position][0]:
+                self._entries[position] = (order, item)
+                return True
+            return False
+        # The predecessor is the largest key < (x, y); it dominates the
+        # candidate iff its y is also no worse.  Nothing further left can
+        # dominate if it doesn't: y grows strictly leftward.
+        if position > 0 and keys[position - 1][1] <= y:
+            return False
+        # Successors have larger x; those with y >= y are now dominated and
+        # form a contiguous run (y shrinks strictly rightward).
+        end = position
+        while end < len(keys) and keys[end][1] >= y:
+            end += 1
+        del keys[position:end]
+        del self._entries[position:end]
+        keys.insert(position, (x, y))
+        self._entries.insert(position, (order, item))
+        return True
+
+    def add_many(self, items: Iterable[T]) -> int:
+        """Offer a batch (insertion-sequence orders); returns changes made."""
+        return sum(1 for item in items if self.add(item))
+
+    def merge(self, other: "OnlineParetoFront") -> int:
+        """Fold another frontier in, preserving its per-item orders."""
+        changed = 0
+        for (order, item) in list(other._entries):
+            if self.add(item, order=order):
+                changed += 1
+        return changed

@@ -1,0 +1,38 @@
+"""Distributed design-space exploration (`repro.dse`).
+
+The paper's Section 7 sweep machinery, made distributable: a
+:class:`SweepPlan` describes a sweep (workload × configuration set) in a
+form that serializes, shards by strided global index, and re-derives
+identically anywhere; :func:`run_sweep` evaluates a plan (or one shard of
+it) serially, through the engine's memoized simulation cache, or fanned
+over a fork :class:`~repro.api.parallel.WorkerPool`; and
+:class:`~repro.core.pareto.OnlineParetoFront` accumulates the (runtime,
+area) frontier incrementally as points land — locally, per service shard,
+or merged across cluster backends.
+
+Typical use::
+
+    from repro.dse import SweepPlan, run_sweep
+
+    plan = SweepPlan(scenario="zcash", max_points=500)
+    result = run_sweep(plan, workers=4)
+    print(result.points_per_second, len(result.frontier))
+"""
+
+from repro.dse.plan import SweepPlan
+from repro.dse.runner import (
+    SweepResult,
+    frontier_for_points,
+    merge_shard_points,
+    point_costs,
+    run_sweep,
+)
+
+__all__ = [
+    "SweepPlan",
+    "SweepResult",
+    "frontier_for_points",
+    "merge_shard_points",
+    "point_costs",
+    "run_sweep",
+]

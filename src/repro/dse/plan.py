@@ -1,0 +1,211 @@
+"""Sweep plans: a serializable description of one design-space sweep.
+
+A :class:`SweepPlan` names everything a sweep needs — the workload
+coordinates (a scenario and/or problem size) and the configuration set
+(the Table 2 grid, optionally restricted/decimated, or an explicit list of
+chip configs) — without holding any evaluated state.  That makes the plan
+the unit that crosses every boundary of the distributed explorer: the CLI
+builds one, the service validates one off the wire, the cluster router
+splits one into shards, and each shard re-derives exactly its slice of
+points from the same plan.
+
+Sharding is *strided*: shard ``s`` of ``n`` owns the plan points whose
+global index ``i`` satisfies ``i % n == s``.  Strides keep every shard
+representative of the whole space (the grid enumeration orders bandwidth
+fastest, so a contiguous split would hand each backend a biased corner)
+and make recombination trivial — the global index rides along with every
+evaluated point, so merged results sort back into plan order and the
+Pareto tie rule (:class:`repro.core.pareto.OnlineParetoFront`) stays
+order-independent.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterator, Mapping, Sequence
+
+from repro.core.config import (
+    ZkSpeedConfig,
+    config_from_dict,
+    config_to_dict,
+    design_space_size,
+    enumerate_design_space,
+)
+from repro.core.workload_model import WorkloadModel
+
+
+@dataclass(frozen=True)
+class SweepPlan:
+    """One sweep: a workload × a set of chip configurations.
+
+    Exactly one configuration source is active: an explicit ``configs``
+    tuple, or the Table 2 grid with optional per-knob ``overrides`` and
+    ``max_points`` stride decimation (the :func:`enumerate_design_space`
+    semantics, unchanged).  The workload is a registry ``scenario`` (size
+    defaulting to its published Table 3 size) and/or an explicit
+    ``num_vars`` for the synthetic sparsity model.
+    """
+
+    scenario: str | None = None
+    num_vars: int | None = None
+    overrides: dict[str, tuple] | None = None
+    configs: tuple[ZkSpeedConfig, ...] | None = None
+    max_points: int | None = 2000
+    seed_hint: str = field(default="", compare=False)
+
+    def __post_init__(self) -> None:
+        if self.scenario is None and self.num_vars is None:
+            raise ValueError("a sweep plan needs scenario= and/or num_vars=")
+        if self.configs is not None and self.overrides is not None:
+            raise ValueError("pass configs= or overrides=, not both")
+        if self.configs is not None and not self.configs:
+            raise ValueError("an explicit config list cannot be empty")
+        if self.max_points is not None and self.max_points < 1:
+            raise ValueError("max_points must be >= 1 (or None)")
+        if self.overrides is not None:
+            # Normalize to hashable tuples and validate the knob names
+            # immediately — a plan that enumerates at all must enumerate
+            # everywhere (parent, worker, every backend) identically.
+            normalized = {
+                key: tuple(values) for key, values in self.overrides.items()
+            }
+            design_space_size(normalized)  # raises on unknown/empty knobs
+            object.__setattr__(self, "overrides", normalized)
+
+    # -- size ------------------------------------------------------------------
+
+    def grid_size(self) -> int:
+        """Cross-product size before decimation (== len(configs) for lists)."""
+        if self.configs is not None:
+            return len(self.configs)
+        return design_space_size(self.overrides)
+
+    def total_points(self) -> int:
+        """Evaluated points after ``max_points`` stride decimation."""
+        if self.configs is not None:
+            return len(self.configs)
+        total = self.grid_size()
+        if self.max_points is None or total <= self.max_points:
+            return total
+        stride = -(-total // self.max_points)
+        return -(-total // stride)
+
+    # -- enumeration -----------------------------------------------------------
+
+    def iter_configs(self) -> Iterator[tuple[int, ZkSpeedConfig]]:
+        """Every plan point as ``(global index, config)``, in plan order."""
+        if self.configs is not None:
+            yield from enumerate(self.configs)
+            return
+        yield from enumerate(
+            enumerate_design_space(
+                overrides=self.overrides, max_points=self.max_points
+            )
+        )
+
+    def shard_items(
+        self, shard_index: int, shard_count: int
+    ) -> list[tuple[int, ZkSpeedConfig]]:
+        """The strided slice of plan points owned by one shard."""
+        if not 0 <= shard_index < shard_count:
+            raise ValueError(
+                f"shard index {shard_index} out of range for {shard_count} shard(s)"
+            )
+        return [
+            (index, config)
+            for index, config in self.iter_configs()
+            if index % shard_count == shard_index
+        ]
+
+    # -- workload --------------------------------------------------------------
+
+    def workload(self) -> WorkloadModel:
+        """The architectural workload every point of this plan simulates.
+
+        A named scenario resolves through the registry (published Table 3
+        size unless ``num_vars`` overrides it); a bare ``num_vars`` uses
+        the paper's pessimistic synthetic sparsity split.
+        """
+        if self.scenario is not None:
+            from repro.api.scenarios import resolve_scenario
+
+            return resolve_scenario(self.scenario).workload_model(
+                num_vars=self.num_vars
+            )
+        return WorkloadModel(num_vars=self.num_vars)
+
+    # -- wire format -----------------------------------------------------------
+
+    def to_wire(self) -> dict:
+        """A JSON-serializable body that :meth:`from_wire` round-trips."""
+        body: dict = {}
+        if self.scenario is not None:
+            body["scenario"] = self.scenario
+        if self.num_vars is not None:
+            body["num_vars"] = self.num_vars
+        if self.overrides is not None:
+            body["overrides"] = {k: list(v) for k, v in self.overrides.items()}
+        if self.configs is not None:
+            body["configs"] = [config_to_dict(c) for c in self.configs]
+        # Always explicit (None -> JSON null): from_wire defaults a *missing*
+        # max_points to 2000, so omitting it would break the round-trip for
+        # undecimated plans.
+        body["max_points"] = self.max_points
+        return body
+
+    @classmethod
+    def from_wire(cls, body: Mapping) -> "SweepPlan":
+        """Rebuild a plan from a wire body (raises ``ValueError`` on junk)."""
+        if not isinstance(body, Mapping):
+            raise ValueError("sweep plan must be a JSON object")
+        scenario = body.get("scenario")
+        if scenario is not None and not isinstance(scenario, str):
+            raise ValueError("scenario must be a string")
+        num_vars = body.get("num_vars")
+        if num_vars is not None and (
+            isinstance(num_vars, bool) or not isinstance(num_vars, int)
+        ):
+            raise ValueError("num_vars must be an integer")
+        max_points = body.get("max_points", 2000)
+        if max_points is not None and (
+            isinstance(max_points, bool) or not isinstance(max_points, int)
+        ):
+            raise ValueError("max_points must be an integer or null")
+        overrides = body.get("overrides")
+        if overrides is not None:
+            if not isinstance(overrides, Mapping):
+                raise ValueError("overrides must be an object of knob: values")
+            parsed: dict[str, tuple] = {}
+            for key, values in overrides.items():
+                if not isinstance(values, Sequence) or isinstance(values, str):
+                    raise ValueError(f"override {key!r} must be a list of values")
+                parsed[key] = tuple(values)
+            overrides = parsed
+        raw_configs = body.get("configs")
+        configs = None
+        if raw_configs is not None:
+            if not isinstance(raw_configs, Sequence) or isinstance(raw_configs, str):
+                raise ValueError("configs must be a list of chip-config objects")
+            configs = tuple(config_from_dict(entry) for entry in raw_configs)
+        try:
+            return cls(
+                scenario=scenario,
+                num_vars=num_vars,
+                overrides=overrides,
+                configs=configs,
+                max_points=max_points,
+            )
+        except KeyError as exc:
+            # design_space_size reports unknown knobs as KeyError; the wire
+            # contract is ValueError for every malformed plan.
+            raise ValueError(str(exc.args[0]) if exc.args else str(exc)) from None
+
+    def describe(self) -> str:
+        workload = self.scenario or f"synthetic 2^{self.num_vars}"
+        if self.configs is not None:
+            source = f"{len(self.configs)} explicit config(s)"
+        elif self.overrides:
+            source = f"grid restricted on {', '.join(sorted(self.overrides))}"
+        else:
+            source = "full Table 2 grid"
+        return f"{workload}: {source}, {self.total_points()} point(s)"

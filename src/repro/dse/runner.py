@@ -1,0 +1,223 @@
+"""Sweep execution: evaluate a :class:`SweepPlan` serially or across workers.
+
+The unit of distribution is a *shard* — the strided slice of plan points a
+single process evaluates.  :func:`_sweep_shard_task` is the top-level,
+picklable function that the PR 3 :class:`~repro.api.parallel.WorkerPool`
+forks run; it returns plain point dicts (config as field dict, costs as
+floats) so results survive both pickling to the parent and JSON to a remote
+caller without changing value.  IEEE doubles round-trip JSON exactly, which
+is what makes the cross-path identity the tests enforce (serial == workers
+== cluster, frontier items included) possible at all.
+
+:func:`run_sweep` is the shared driver: the engine's session sweep, the
+service's ``POST /sweep`` handler and the cluster router's shard fan-out
+all end up here, differing only in which slice of the plan they pass and
+where the worker pool lives.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Sequence
+
+from repro.core.chip import ZkSpeedChip
+from repro.core.config import ZkSpeedConfig, config_fingerprint, config_to_dict
+from repro.core.pareto import OnlineParetoFront
+from repro.core.workload_model import WorkloadModel
+from repro.dse.plan import SweepPlan
+
+#: How often (in evaluated points) the incremental progress callback fires.
+DEFAULT_PROGRESS_EVERY = 64
+
+#: Worker-side chunk size: each pool task evaluates this many plan points,
+#: amortizing pickling overhead while keeping result latency low enough for
+#: incremental frontier updates to be visible mid-sweep.
+SHARD_CHUNK_POINTS = 32
+
+
+def point_costs(point: dict) -> tuple[float, float]:
+    return point["runtime_ms"], point["area_mm2"]
+
+
+def _evaluate_point(
+    index: int, config: ZkSpeedConfig, workload: WorkloadModel
+) -> dict:
+    """Simulate one design point into its wire/pickle-stable dict form."""
+    report = ZkSpeedChip(config).simulate(workload)
+    return {
+        "index": index,
+        "config": config_to_dict(config),
+        "fingerprint": config_fingerprint(config),
+        "bandwidth_gbs": config.bandwidth_gbs,
+        "runtime_ms": report.total_runtime_ms,
+        "area_mm2": report.total_area_mm2,
+        "compute_area_mm2": report.compute_area_mm2,
+        "total_cycles": report.total_cycles,
+    }
+
+
+def _sweep_shard_task(payload) -> list[dict]:
+    """Worker-pool task: evaluate a chunk of ``(index, config)`` pairs.
+
+    Top-level by necessity — fork workers resolve it by qualified name.
+    """
+    workload, items = payload
+    return [_evaluate_point(index, config, workload) for index, config in items]
+
+
+def frontier_for_points(points: Sequence[dict]) -> OnlineParetoFront:
+    """Build the (runtime, area) frontier of a point set, tie-broken by index."""
+    front: OnlineParetoFront = OnlineParetoFront(
+        cost_x=lambda p: p["runtime_ms"], cost_y=lambda p: p["area_mm2"]
+    )
+    for point in points:
+        front.add(point, order=point["index"])
+    return front
+
+
+@dataclass
+class SweepResult:
+    """Everything one sweep produced, in deterministic (plan) order."""
+
+    plan: SweepPlan
+    workload: WorkloadModel
+    points: list[dict]
+    frontier: OnlineParetoFront
+    elapsed_s: float
+    mode: str  # "serial" | "workers" | remote modes set by callers
+
+    @property
+    def pareto_points(self) -> list[dict]:
+        return self.frontier.points
+
+    @property
+    def points_per_second(self) -> float:
+        if self.elapsed_s <= 0:
+            return float("inf")
+        return len(self.points) / self.elapsed_s
+
+    def to_wire(self, include_points: bool = False) -> dict:
+        body = {
+            "workload": self.workload.name,
+            "num_vars": self.workload.num_vars,
+            "total_points": len(self.points),
+            "pareto_size": len(self.frontier),
+            "pareto": self.pareto_points,
+            "elapsed_s": self.elapsed_s,
+            "points_per_second": self.points_per_second,
+            "mode": self.mode,
+        }
+        if include_points:
+            body["points"] = self.points
+        return body
+
+
+def _chunks(items: Sequence, size: int) -> list[Sequence]:
+    return [items[start : start + size] for start in range(0, len(items), size)]
+
+
+def run_sweep(
+    plan: SweepPlan,
+    *,
+    items: Sequence[tuple[int, ZkSpeedConfig]] | None = None,
+    engine=None,
+    workers: int = 1,
+    pool=None,
+    on_progress: Callable[[int, int, int], None] | None = None,
+    progress_every: int = DEFAULT_PROGRESS_EVERY,
+) -> SweepResult:
+    """Evaluate a plan (or an explicit shard of one) into a SweepResult.
+
+    ``items`` overrides the plan's own enumeration — shard executors pass
+    their :meth:`SweepPlan.shard_items` slice here.  With ``workers > 1``
+    (or an explicit ``pool``) chunks are fanned over a fork pool and the
+    frontier is updated as chunks complete; otherwise points are evaluated
+    in-process, through ``engine.simulate``'s memoization cache when an
+    engine is supplied.  ``on_progress(done, total, pareto_size)`` fires
+    every ``progress_every`` points and once at the end.
+    """
+    workload = plan.workload()
+    if items is None:
+        items = list(plan.iter_configs())
+    total = len(items)
+    frontier: OnlineParetoFront = OnlineParetoFront(
+        cost_x=lambda p: p["runtime_ms"], cost_y=lambda p: p["area_mm2"]
+    )
+    points: list[dict] = []
+    started = time.perf_counter()
+
+    def _note_progress(force: bool = False) -> None:
+        if on_progress is None:
+            return
+        done = len(points)
+        if force or done % max(1, progress_every) == 0:
+            on_progress(done, total, len(frontier))
+
+    use_pool = pool is not None or workers > 1
+    mode = "workers" if use_pool else "serial"
+    if use_pool:
+        owned_pool = None
+        if pool is None:
+            from repro.api.parallel import WorkerPool
+
+            owned_pool = WorkerPool(workers)
+            pool = owned_pool
+        try:
+            tasks = [
+                (workload, chunk) for chunk in _chunks(items, SHARD_CHUNK_POINTS)
+            ]
+            for chunk_points in pool.imap_iter(_sweep_shard_task, tasks):
+                for point in chunk_points:
+                    points.append(point)
+                    frontier.add(point, order=point["index"])
+                _note_progress()
+        finally:
+            if owned_pool is not None:
+                owned_pool.close()
+    else:
+        for index, config in items:
+            if engine is not None:
+                report, _cached = engine.simulate_config(config, workload)
+                point = {
+                    "index": index,
+                    "config": config_to_dict(config),
+                    "fingerprint": config_fingerprint(config),
+                    "bandwidth_gbs": config.bandwidth_gbs,
+                    "runtime_ms": report.total_runtime_ms,
+                    "area_mm2": report.total_area_mm2,
+                    "compute_area_mm2": report.compute_area_mm2,
+                    "total_cycles": report.total_cycles,
+                }
+            else:
+                point = _evaluate_point(index, config, workload)
+            points.append(point)
+            frontier.add(point, order=point["index"])
+            _note_progress()
+    _note_progress(force=True)
+    points.sort(key=lambda p: p["index"])
+    elapsed = time.perf_counter() - started
+    return SweepResult(
+        plan=plan,
+        workload=workload,
+        points=points,
+        frontier=frontier,
+        elapsed_s=elapsed,
+        mode=mode,
+    )
+
+
+def merge_shard_points(
+    plan: SweepPlan, shard_point_lists: Sequence[Sequence[dict]]
+) -> tuple[list[dict], OnlineParetoFront]:
+    """Recombine shard results into plan order plus the global frontier.
+
+    The frontier is rebuilt from the merged points with global indices as
+    tie-break orders, so it is identical to the one a serial sweep of the
+    whole plan would produce regardless of shard completion order.
+    """
+    merged: list[dict] = []
+    for shard_points in shard_point_lists:
+        merged.extend(shard_points)
+    merged.sort(key=lambda p: p["index"])
+    return merged, frontier_for_points(merged)

@@ -166,6 +166,116 @@ class ServiceClient:
             body["num_vars"] = num_vars
         return bool(self._request("POST", "/verify", body)["valid"])
 
+    def simulate(
+        self,
+        scenario: str = "mock",
+        num_vars: int | None = None,
+        chip_config: dict | None = None,
+        bandwidth_gbs: float | None = None,
+    ) -> dict:
+        """``POST /simulate``: one design point on a scenario's workload."""
+        body: dict = {"scenario": scenario}
+        if num_vars is not None:
+            body["num_vars"] = num_vars
+        if chip_config is not None:
+            body["chip_config"] = chip_config
+        if bandwidth_gbs is not None:
+            body["bandwidth_gbs"] = bandwidth_gbs
+        return self._request("POST", "/simulate", body)
+
+    def sweep(
+        self,
+        scenario: str | None = None,
+        num_vars: int | None = None,
+        overrides: dict | None = None,
+        configs: list | None = None,
+        max_points: int | None = 2000,
+        shard: tuple[int, int] | None = None,
+        include_points: bool = False,
+        stream: bool = False,
+        on_event=None,
+    ) -> dict:
+        """``POST /sweep``; returns the final sweep result body.
+
+        With ``stream=True`` the server answers chunked NDJSON; each parsed
+        line is passed to ``on_event`` as it arrives (``event`` is
+        ``start`` / ``progress`` / ``result``) and the ``result`` line is
+        returned.  A stream that ends without a ``result`` line means the
+        sweep died server-side and raises :class:`ServiceError`.
+        """
+        body: dict = {}
+        if scenario is not None:
+            body["scenario"] = scenario
+        if num_vars is not None:
+            body["num_vars"] = num_vars
+        if overrides is not None:
+            body["overrides"] = overrides
+        if configs is not None:
+            body["configs"] = configs
+        if max_points is not None:
+            body["max_points"] = max_points
+        if shard is not None:
+            body["shard"] = {"index": shard[0], "count": shard[1]}
+        if include_points:
+            body["include_points"] = True
+        if not stream:
+            return self._request("POST", "/sweep", body)
+        body["stream"] = True
+        result = None
+        for line in self._stream_request("POST", "/sweep", body):
+            if on_event is not None:
+                on_event(line)
+            if line.get("event") == "result":
+                result = line
+        if result is None:
+            raise ServiceError(502, wire.error_body(
+                "truncated_stream", "sweep stream ended without a result line"
+            ))
+        return result
+
+    def _stream_request(self, method: str, path: str, body: dict):
+        """Yield parsed NDJSON lines from a chunked streaming endpoint.
+
+        ``http.client`` de-chunks transparently, so iteration is plain
+        ``readline`` on the response; an incomplete chunked body surfaces
+        as ``IncompleteRead``, which callers see as a truncated stream
+        (no ``result`` line).
+        """
+        payload = json.dumps(body).encode("utf-8")
+        headers = {"Content-Type": "application/json"}
+        if self._connection is None:
+            self._connection = http.client.HTTPConnection(
+                self.host, self.port, timeout=self.timeout
+            )
+        try:
+            self._connection.request(method, path, body=payload, headers=headers)
+            response = self._connection.getresponse()
+        except (http.client.HTTPException, ConnectionError, socket.timeout, OSError):
+            self.close()
+            raise
+        if response.status >= 400:
+            raw = response.read()
+            try:
+                decoded = json.loads(raw.decode("utf-8")) if raw else {}
+            except (json.JSONDecodeError, UnicodeDecodeError):
+                decoded = {}
+            if response.will_close:
+                self.close()
+            raise ServiceError(response.status, decoded)
+        try:
+            while True:
+                line = response.readline()
+                if not line:
+                    break
+                line = line.strip()
+                if line:
+                    yield json.loads(line.decode("utf-8"))
+        except (http.client.HTTPException, ConnectionError, OSError):
+            self.close()
+            raise
+        if response.will_close:
+            self.close()
+
     def scenarios(self) -> list[dict]:
         """``GET /scenarios``."""
         return self._request("GET", "/scenarios")["scenarios"]

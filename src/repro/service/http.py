@@ -13,10 +13,12 @@ graceful drain can wait for handlers to finish *writing*), and the
 Subclasses implement :meth:`HttpServerBase._dispatch` (route one parsed
 request, respond via :meth:`HttpServerBase._respond`) plus their own
 ``start`` / ``shutdown`` around :meth:`_start_http` / :meth:`_stop_http`.
-The class is deliberately not a framework: no middleware, no streaming —
-exactly what two JSON services need to share one tested implementation of
-the fiddly parts (truncated requests, oversized bodies, keep-alive
-semantics during drain).
+The class is deliberately not a framework: no middleware, and exactly one
+streaming shape — a handler may return an :class:`NdjsonStream` body,
+which is written as ``Transfer-Encoding: chunked`` newline-delimited JSON
+(one JSON object per chunk).  That is what an incremental sweep response
+needs and nothing more; every other response remains a single
+``Content-Length``-framed JSON object.
 """
 
 from __future__ import annotations
@@ -51,6 +53,21 @@ class BadRequest(Exception):
 def error_body(code: str, message: str) -> dict:
     """The uniform error payload (the HTTP status carries the semantics)."""
     return {"error": {"code": code, "message": message}}
+
+
+class NdjsonStream:
+    """A streamed response body: an async iterator of JSON-serializable lines.
+
+    A handler returns ``(200, NdjsonStream(gen()), extra)`` to stream; the
+    dispatcher writes each yielded object as one newline-terminated JSON
+    line inside one HTTP chunk.  Mid-stream failures cannot be turned into
+    an error status (the 200 is already on the wire), so the connection is
+    closed without the terminating zero-chunk — a spec-compliant client
+    sees a truncated chunked body and knows the response is incomplete.
+    """
+
+    def __init__(self, lines):
+        self.lines = lines
 
 
 async def read_http_request(
@@ -340,6 +357,11 @@ class HttpServerBase:
         keep_alive: bool = True,
         extra_headers: dict | None = None,
     ) -> None:
+        if isinstance(body, NdjsonStream):
+            await self._respond_stream(
+                writer, status, body, keep_alive=keep_alive, extra_headers=extra_headers
+            )
+            return
         payload = json.dumps(body).encode("utf-8")
         # Count before the socket write: the moment bytes hit the wire a
         # client thread may act on them, and observers (tests, the load
@@ -352,3 +374,45 @@ class HttpServerBase:
         )
         with contextlib.suppress(ConnectionResetError, BrokenPipeError):
             await writer.drain()
+
+    async def _respond_stream(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        stream: NdjsonStream,
+        *,
+        keep_alive: bool = True,
+        extra_headers: dict | None = None,
+    ) -> None:
+        """Write one chunked-transfer NDJSON response.
+
+        Each yielded object becomes one HTTP chunk holding one JSON line;
+        draining per chunk gives the client genuine incremental delivery
+        (the sweep progress lines arrive while later shards still run).
+        """
+        reason = STATUS_REASONS.get(status, "Unknown")
+        headers = [
+            f"HTTP/1.1 {status} {reason}",
+            "Content-Type: application/x-ndjson",
+            "Transfer-Encoding: chunked",
+            f"Connection: {'keep-alive' if keep_alive else 'close'}",
+        ]
+        for name, value in (extra_headers or {}).items():
+            headers.append(f"{name}: {value}")
+        self.on_response(status)
+        writer.write("\r\n".join(headers).encode("latin-1") + b"\r\n\r\n")
+        try:
+            async for line in stream.lines:
+                chunk = json.dumps(line).encode("utf-8") + b"\n"
+                writer.write(f"{len(chunk):X}\r\n".encode("latin-1"))
+                writer.write(chunk + b"\r\n")
+                await writer.drain()
+            writer.write(b"0\r\n\r\n")
+            await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        except Exception:
+            # The status line is long gone; the only honest signal left is
+            # a truncated chunked body.  Close without the zero-chunk.
+            self.logger.exception("error while streaming response")
+            writer.close()

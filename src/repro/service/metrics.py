@@ -58,6 +58,14 @@ class ServiceMetrics:
         self.batch_sizes: Counter = Counter()
         self.batch_buckets: Counter = Counter()
         self.batch_seconds_total = 0.0
+        self.simulations_total = 0
+        self.sim_cache_hits = 0
+        self.sweeps_total = 0
+        self.sweep_points_total = 0
+        self.last_pareto_size = 0
+        #: Single-slot progress gauge for the sweep currently on the engine
+        #: thread (there is at most one: the executor is one thread wide).
+        self._sweep_progress: dict | None = None
         self._latency: dict[str, deque] = {}
 
     # -- recording (handlers / batcher) -------------------------------------
@@ -89,6 +97,30 @@ class ServiceMetrics:
     def verified(self) -> None:
         with self._lock:
             self.verifications_total += 1
+
+    def simulated(self, cached: bool) -> None:
+        """One ``/simulate`` answer (``cached`` = served from the sim LRU)."""
+        with self._lock:
+            self.simulations_total += 1
+            if cached:
+                self.sim_cache_hits += 1
+
+    def sweep_progress(self, done: int, total: int, pareto_size: int) -> None:
+        """Update the in-progress sweep gauge (visible live in /metrics)."""
+        with self._lock:
+            self._sweep_progress = {
+                "done": done,
+                "total": total,
+                "pareto_size": pareto_size,
+            }
+
+    def sweep_done(self, points: int, pareto_size: int) -> None:
+        """One completed sweep (or sweep shard); clears the progress gauge."""
+        with self._lock:
+            self.sweeps_total += 1
+            self.sweep_points_total += points
+            self.last_pareto_size = pareto_size
+            self._sweep_progress = None
 
     def latency(self, endpoint: str, seconds: float) -> None:
         with self._lock:
@@ -122,6 +154,16 @@ class ServiceMetrics:
                 "proofs_total": self.proofs_total,
                 "verifications_total": self.verifications_total,
                 "prove_many_calls": self.prove_many_calls,
+                "simulations_total": self.simulations_total,
+                "sim_cache_hits": self.sim_cache_hits,
+                "sweeps": {
+                    "count": self.sweeps_total,
+                    "points_total": self.sweep_points_total,
+                    "last_pareto_size": self.last_pareto_size,
+                    "active": dict(self._sweep_progress)
+                    if self._sweep_progress
+                    else None,
+                },
                 "batches": {
                     "count": batches,
                     "total_requests": coalesced,

@@ -14,7 +14,13 @@ Endpoints
                     ``prove_many`` batch
 ``POST /verify``    verify a base64 proof against a scenario's cached
                     verifying key
-``GET  /scenarios`` the scenario registry (names, sizes, descriptions)
+``POST /simulate``  simulate one zkSpeed design point on a scenario's
+                    architectural workload (memoized; answers carry a
+                    ``cached`` flag)
+``POST /sweep``     evaluate a design-space sweep plan (or one shard of
+                    it); optionally streamed as NDJSON progress chunks
+``GET  /scenarios`` the scenario registry (names, sizes, descriptions,
+                    per-scenario capability flags)
 ``GET  /healthz``   liveness, lifecycle state, queue depth, in-flight
                     batches, and the engine's cache contents (what the
                     cluster router's structure-affine placement keeps hot)
@@ -48,7 +54,7 @@ from repro.protocol.serialization import SerializationError, deserialize_proof
 from repro.protocol.verifier import VerificationError
 from repro.service import wire
 from repro.service.batcher import Draining, DynamicBatcher, QueueFull
-from repro.service.http import HttpServerBase
+from repro.service.http import HttpServerBase, NdjsonStream
 from repro.service.metrics import ServiceMetrics
 
 logger = logging.getLogger("repro.service")
@@ -247,12 +253,32 @@ class ProofService(HttpServerBase):
             body["reason"] = reason
         return body
 
+    def _simulate_blocking(self, request: dict) -> dict:
+        """Blocking: one memoized chip simulation on the engine thread."""
+        num_vars = wire.resolved_sim_num_vars(request["scenario"], request["num_vars"])
+        workload = self.engine.workload(request["scenario"], num_vars=num_vars)
+        report, cached = self.engine.simulate_config(request["chip_config"], workload)
+        self.metrics.simulated(cached)
+        return wire.simulate_response(report, request["scenario"], num_vars, cached)
+
+    def _sweep_blocking(self, plan, items, on_progress):
+        """Blocking: one sweep (or shard) through ``engine.sweep``.
+
+        Runs on the single engine thread like every other engine call; the
+        engine decides internally whether its fork pool fans the points out.
+        """
+        result = self.engine.sweep(plan, items=items, on_progress=on_progress)
+        self.metrics.sweep_done(len(result.points), len(result.frontier))
+        return result
+
     # -- routing --------------------------------------------------------------
 
     def routes(self) -> dict:
         return {
             ("POST", "/prove"): self._handle_prove,
             ("POST", "/verify"): self._handle_verify,
+            ("POST", "/simulate"): self._handle_simulate,
+            ("POST", "/sweep"): self._handle_sweep,
             ("GET", "/scenarios"): self._handle_scenarios,
             ("GET", "/healthz"): self._handle_healthz,
             ("GET", "/metrics"): self._handle_metrics,
@@ -320,6 +346,99 @@ class ProofService(HttpServerBase):
             return 400, wire.error_body("bad_proof", str(exc)), None
         return 200, body, None
 
+    async def _handle_simulate(self, request: dict):
+        try:
+            sim_request = wire.parse_simulate_request(
+                wire.parse_json_body(request["body"])
+            )
+        except wire.WireError as exc:
+            return 400, wire.error_body("bad_request", str(exc)), None
+        if self._state != "serving":
+            return (
+                503,
+                wire.error_body("draining", "service is shutting down"),
+                {"Retry-After": str(self._retry_after_seconds())},
+            )
+        loop = asyncio.get_running_loop()
+        body = await loop.run_in_executor(
+            self._executor, self._simulate_blocking, sim_request
+        )
+        return 200, body, None
+
+    async def _handle_sweep(self, request: dict):
+        try:
+            sweep_request = wire.parse_sweep_request(
+                wire.parse_json_body(request["body"])
+            )
+        except wire.WireError as exc:
+            return 400, wire.error_body("bad_request", str(exc)), None
+        if self._state != "serving":
+            return (
+                503,
+                wire.error_body("draining", "service is shutting down"),
+                {"Retry-After": str(self._retry_after_seconds())},
+            )
+        plan = sweep_request["plan"]
+        shard = sweep_request["shard"]
+        include_points = sweep_request["include_points"]
+        items = plan.shard_items(*shard) if shard is not None else None
+        loop = asyncio.get_running_loop()
+        if not sweep_request["stream"]:
+            result = await loop.run_in_executor(
+                self._executor,
+                self._sweep_blocking,
+                plan,
+                items,
+                self.metrics.sweep_progress,
+            )
+            return 200, wire.sweep_response(result, include_points, shard), None
+
+        # Streamed variant: progress callbacks from the engine thread are
+        # bridged onto the event loop through a queue and written as NDJSON
+        # chunks while the sweep is still running, then one final result
+        # line.  A mid-sweep crash truncates the chunked body (no zero
+        # chunk), which clients must treat as failure.
+        progress_queue: asyncio.Queue = asyncio.Queue()
+
+        def on_progress(done: int, total: int, pareto_size: int) -> None:
+            self.metrics.sweep_progress(done, total, pareto_size)
+            loop.call_soon_threadsafe(
+                progress_queue.put_nowait, (done, total, pareto_size)
+            )
+
+        async def lines():
+            total = len(items) if items is not None else plan.total_points()
+            yield {
+                "event": "start",
+                "total_points": total,
+                "workload": plan.workload().name,
+                "shard": {"index": shard[0], "count": shard[1]} if shard else None,
+            }
+            future = loop.run_in_executor(
+                self._executor, self._sweep_blocking, plan, items, on_progress
+            )
+            future.add_done_callback(
+                lambda _f: progress_queue.put_nowait(None)
+            )
+            while True:
+                event = await progress_queue.get()
+                if event is None:
+                    break
+                done, total, pareto_size = event
+                yield {
+                    "event": "progress",
+                    "done": done,
+                    "total": total,
+                    "pareto_size": pareto_size,
+                }
+            result = await future
+            yield {
+                "event": "result",
+                **wire.sweep_response(result, include_points, shard),
+            }
+
+        return 200, NdjsonStream(lines()), None
+
     async def _handle_scenarios(self, request: dict):
         scenarios = []
         for name in available_scenarios():
@@ -331,6 +450,7 @@ class ProofService(HttpServerBase):
                     "description": spec.description,
                     "paper_log_size": spec.paper_log_size,
                     "default_log_size": spec.default_log_size,
+                    "capabilities": list(spec.capabilities),
                 }
             )
         return 200, {"scenarios": scenarios}, None

@@ -20,11 +20,28 @@ Requests
     {"scenario": "zcash", "num_vars": 6, "seed": 3,
      "proof": "<base64>"}
 
+``POST /simulate``::
+
+    {"scenario": "zcash", "num_vars": 20,
+     "chip_config": {"msm_cores": 2, ...},   # optional, paper default
+     "bandwidth_gbs": 1024.0}                # optional override
+
+``POST /sweep``::
+
+    {"scenario": "zcash", "overrides": {"sumcheck_pes": [2, 4]},
+     "max_points": 500,
+     "shard": {"index": 0, "count": 2},      # optional: evaluate one shard
+     "stream": true,                          # optional: NDJSON chunks
+     "include_points": false}                 # optional: all points in body
+
 ``scenario`` is any name from ``GET /scenarios``; ``num_vars`` defaults to
 the scenario's laptop-scale size, ``seed`` to 0.  The verify request names
 the circuit *structure* (scenario + size) so the server can resolve the
 cached verifying key; the seed only picks the witness and is accepted for
-symmetry with the prove request.
+symmetry with the prove request.  Simulate/sweep requests instead default
+``num_vars`` to the scenario's *published* size (the analytical model is
+O(1) in problem size) and advertise their availability per scenario via
+the ``capabilities`` flags in ``GET /scenarios``.
 
 Responses are JSON too; errors use ``{"error": {"code": ..., "message":
 ...}}`` with a matching HTTP status (400 malformed request, 404 unknown
@@ -39,6 +56,13 @@ import json
 from typing import Mapping
 
 from repro.api.scenarios import available_scenarios, resolve_scenario
+from repro.core.config import (
+    ZkSpeedConfig,
+    config_fingerprint,
+    config_from_dict,
+    config_to_dict,
+)
+from repro.dse.plan import SweepPlan
 from repro.service.http import error_body  # noqa: F401  (canonical error shape)
 from repro.circuits.builder import Circuit
 from repro.protocol.keys import WITNESS_POLY_NAMES
@@ -56,6 +80,25 @@ MAX_BODY_BYTES = 8 << 20
 #: would have the engine thread attempt a multi-GB SRS/circuit allocation —
 #: the one resource knob the bounded queue and body cap don't cover.
 MAX_NUM_VARS = 24
+
+#: Largest *architectural-model* problem size a simulate/sweep request may
+#: name.  The chip model is analytical (no per-gate state), so it tolerates
+#: sizes the functional prover never could; 2^30 comfortably covers every
+#: published workload while still rejecting nonsense.
+MAX_SIM_NUM_VARS = 30
+
+#: Bound on a sweep's *pre-decimation* grid (the full Table 2 cross product
+#: is 1,155,000 — deliberately inside the cap) and on the points actually
+#: evaluated after ``max_points`` decimation.  Validation computes both
+#: without materializing a single config, so an absurd request costs a 400,
+#: not memory.
+MAX_SWEEP_COMBOS = 4_000_000
+MAX_SWEEP_POINTS = 20_000
+
+#: Most shards a sweep request may declare.  Far above any real fleet; the
+#: cap only rules out degenerate ``count`` values that would make strided
+#: enumeration itself the bottleneck.
+MAX_SWEEP_SHARDS = 1024
 
 
 class WireError(ValueError):
@@ -104,17 +147,22 @@ def _require_mapping(body) -> Mapping:
     return body
 
 
-def _scenario_field(body: Mapping) -> str:
+def _scenario_field(body: Mapping, capability: str = "prove") -> str:
     scenario = body.get("scenario", "mock")
     if not isinstance(scenario, str):
         raise WireError("scenario must be a string")
     try:
-        resolve_scenario(scenario)
+        resolved = resolve_scenario(scenario)
     except KeyError:
         raise WireError(
             f"unknown scenario {scenario!r}; "
             f"available: {', '.join(available_scenarios())}"
         ) from None
+    if capability not in resolved.capabilities:
+        raise WireError(
+            f"scenario {scenario!r} does not support {capability!r} "
+            f"(capabilities: {', '.join(resolved.capabilities)})"
+        )
     return scenario
 
 
@@ -173,6 +221,140 @@ def parse_verify_request(body) -> dict:
         "seed": _int_field(body, "seed", 0, minimum=0),
         "proof": decode_bytes(body["proof"]),
     }
+
+
+def resolved_sim_num_vars(scenario: str, num_vars: int | None) -> int:
+    """The problem size a simulate/sweep request will actually model.
+
+    Unlike the prover path (laptop-scale defaults — proving 2^20 gates in
+    Python is minutes), the analytical chip model defaults to the
+    scenario's *published* Table 3 size: simulating it costs the same
+    fraction of a millisecond as any toy size, and the paper's numbers are
+    the ones worth reproducing by default.
+    """
+    if num_vars is not None:
+        return num_vars
+    return resolve_scenario(scenario).paper_log_size
+
+
+def parse_simulate_request(body) -> dict:
+    """Validate a ``POST /simulate`` body into engine simulation kwargs.
+
+    The chip configuration is validated here — field names, types, *and*
+    the model's own range checks (``ZkSpeedConfig.__post_init__``) — so a
+    bad design point is a 400 at the door, never an exception on the
+    engine thread.
+    """
+    body = _require_mapping(body)
+    scenario = _scenario_field(body, capability="simulate")
+    num_vars = _int_field(
+        body, "num_vars", None, minimum=1, maximum=MAX_SIM_NUM_VARS, allow_none=True
+    )
+    raw_config = body.get("chip_config")
+    if raw_config is None:
+        chip_config = ZkSpeedConfig.paper_default()
+    else:
+        try:
+            chip_config = config_from_dict(raw_config)
+        except ValueError as exc:
+            raise WireError(f"bad chip_config: {exc}") from None
+    bandwidth = body.get("bandwidth_gbs")
+    if bandwidth is not None:
+        if isinstance(bandwidth, bool) or not isinstance(bandwidth, (int, float)):
+            raise WireError("bandwidth_gbs must be a number")
+        if bandwidth <= 0:
+            raise WireError("bandwidth_gbs must be positive")
+        chip_config = chip_config.with_bandwidth(float(bandwidth))
+    return {
+        "scenario": scenario,
+        "num_vars": num_vars,
+        "chip_config": chip_config,
+    }
+
+
+def parse_sweep_request(body) -> dict:
+    """Validate a ``POST /sweep`` body into a plan plus execution options.
+
+    Returns ``{"plan": SweepPlan, "shard": (index, count) | None,
+    "stream": bool, "include_points": bool}``.  Everything that could make
+    a shard fail later — unknown knobs, invalid configs, an oversized
+    grid — is rejected here with a 400, honoring the service's
+    validate-before-queue contract.
+    """
+    body = _require_mapping(body)
+    if body.get("scenario") is not None:
+        _scenario_field(body, capability="simulate")
+    plan_fields = {
+        key: body[key]
+        for key in ("scenario", "num_vars", "overrides", "configs", "max_points")
+        if key in body
+    }
+    if "num_vars" in plan_fields and plan_fields["num_vars"] is not None:
+        _int_field(body, "num_vars", None, minimum=1, maximum=MAX_SIM_NUM_VARS)
+    try:
+        plan = SweepPlan.from_wire(plan_fields)
+    except ValueError as exc:
+        raise WireError(f"bad sweep plan: {exc}") from None
+    if plan.grid_size() > MAX_SWEEP_COMBOS:
+        raise WireError(
+            f"sweep grid has {plan.grid_size()} combinations "
+            f"(cap {MAX_SWEEP_COMBOS}); restrict overrides"
+        )
+    if plan.total_points() > MAX_SWEEP_POINTS:
+        raise WireError(
+            f"sweep evaluates {plan.total_points()} points "
+            f"(cap {MAX_SWEEP_POINTS}); lower max_points"
+        )
+    shard = body.get("shard")
+    if shard is not None:
+        if not isinstance(shard, Mapping):
+            raise WireError("shard must be an object with index and count")
+        count = _int_field(shard, "count", None, minimum=1, maximum=MAX_SWEEP_SHARDS)
+        index = _int_field(shard, "index", None, minimum=0)
+        if index >= count:
+            raise WireError(f"shard index {index} out of range for count {count}")
+        shard = (index, count)
+    return {
+        "plan": plan,
+        "shard": shard,
+        "stream": bool(body.get("stream", False)),
+        "include_points": bool(body.get("include_points", False)),
+    }
+
+
+def simulate_response(
+    report, scenario: str, num_vars: int, cached: bool
+) -> dict:
+    """The ``POST /simulate`` response body for one simulated design point."""
+    return {
+        "scenario": scenario,
+        "num_vars": num_vars,
+        "workload": report.workload.name,
+        "chip_config": config_to_dict(report.config),
+        "fingerprint": config_fingerprint(report.config),
+        "total_cycles": report.total_cycles,
+        "runtime_ms": report.total_runtime_ms,
+        "area_mm2": report.total_area_mm2,
+        "compute_area_mm2": report.compute_area_mm2,
+        "power_w": report.total_power_w,
+        "steps": [
+            {
+                "name": step.name,
+                "cycles": step.total_cycles,
+                "memory_bound": step.is_memory_bound,
+            }
+            for step in report.steps
+        ],
+        "cached": cached,
+    }
+
+
+def sweep_response(result, include_points: bool, shard=None) -> dict:
+    """The (non-streamed) ``POST /sweep`` response body."""
+    body = result.to_wire(include_points=include_points)
+    if shard is not None:
+        body["shard"] = {"index": shard[0], "count": shard[1]}
+    return body
 
 
 def serialize_witness(circuit: Circuit) -> dict[str, str]:

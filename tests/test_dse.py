@@ -58,6 +58,22 @@ class TestParetoFrontier:
         assert not dominates(b, a, lambda p: p[0], lambda p: p[1])
         assert not dominates(a, a, lambda p: p[0], lambda p: p[1])
 
+    def test_online_frontier_matches_global_pareto(self, small_sweep, explorer):
+        """The streaming accumulator reproduces the batch frontier exactly.
+
+        The distributed sweep (repro.dse) relies on this identity; the
+        exhaustive order/tie/duplicate cases live in
+        tests/test_dse_distributed.py.
+        """
+        from repro.core.pareto import OnlineParetoFront
+
+        online = OnlineParetoFront(
+            cost_x=lambda p: p.runtime_ms, cost_y=lambda p: p.area_mm2
+        )
+        for order, point in enumerate(small_sweep):
+            online.add(point, order=order)
+        assert online.points == explorer.global_pareto(small_sweep)
+
 
 class TestSweep:
     def test_sweep_size(self, small_sweep):

@@ -1,0 +1,667 @@
+"""Tests for the distributed design-space exploration (``repro.dse``).
+
+The acceptance surface of ISSUE 7: the online Pareto accumulator agrees
+exactly with the batch frontier (shuffles, exact-cost ties, duplicates
+included), a :class:`~repro.dse.SweepPlan` enumerates/shards/round-trips
+deterministically, ``run_sweep`` produces identical results serially and
+through the fork pool, the engine memoizes ``simulate_config`` per
+(config fingerprint, workload), the service's ``POST /simulate`` /
+``POST /sweep`` validate on the wire (bad chip configs are a 400, never a
+failed shard) and stream NDJSON progress, and — the headline — a
+500-point sweep through a real spawned 2-backend cluster returns the
+*same Pareto frontier* as the serial in-process path.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+
+import pytest
+
+from repro.api import EngineConfig, ProverEngine
+from repro.api.parallel import fork_available
+from repro.cluster import ClusterRouter, RouterConfig
+from repro.core import DesignSpaceExplorer, WorkloadModel, ZkSpeedConfig
+from repro.core.config import (
+    config_fingerprint,
+    config_from_dict,
+    config_to_dict,
+    design_space_size,
+    enumerate_design_space,
+)
+from repro.core.pareto import OnlineParetoFront, pareto_frontier
+from repro.dse import (
+    SweepPlan,
+    frontier_for_points,
+    merge_shard_points,
+    point_costs,
+    run_sweep,
+)
+from repro.service import (
+    BackgroundServer,
+    ProofService,
+    ServiceClient,
+    ServiceConfig,
+    ServiceError,
+)
+
+needs_fork = pytest.mark.skipif(
+    not fork_available(), reason="requires the fork start method"
+)
+
+#: A restricted grid whose frontier has interesting structure but whose
+#: full cross-product stays test-sized (every knob pinned: 3*3*2*3 = 54).
+SMALL_OVERRIDES = {
+    "msm_cores": (1,),
+    "msm_pes_per_core": (2, 8, 16),
+    "msm_window_bits": (9,),
+    "msm_points_per_pe": (2048,),
+    "fracmle_pes": (1,),
+    "sumcheck_pes": (1, 2, 8),
+    "mle_update_pes": (4, 11),
+    "mle_update_modmuls_per_pe": (4,),
+    "bandwidth_gbs": (256.0, 512.0, 2048.0),
+}
+
+
+def frontier_signature(pareto: list[dict]) -> list[tuple]:
+    """Comparable identity of a wire-format frontier: points, not just costs."""
+    return [
+        (p["index"], p["fingerprint"], p["runtime_ms"], p["area_mm2"])
+        for p in pareto
+    ]
+
+
+# -- online frontier vs batch frontier ----------------------------------------
+
+
+class TestOnlineParetoFront:
+    def _random_points(self, seed: int, n: int = 200) -> list[tuple]:
+        rng = random.Random(seed)
+        # A coarse lattice forces plenty of exact cost collisions.
+        return [
+            (float(rng.randint(0, 20)), float(rng.randint(0, 20)), i)
+            for i in range(n)
+        ]
+
+    def test_matches_batch_frontier_under_shuffles(self):
+        for seed in range(5):
+            points = self._random_points(seed)
+            batch = pareto_frontier(
+                points, cost_x=lambda p: p[0], cost_y=lambda p: p[1]
+            )
+            for shuffle_seed in range(4):
+                shuffled = points[:]
+                random.Random(shuffle_seed).shuffle(shuffled)
+                online = OnlineParetoFront(
+                    cost_x=lambda p: p[0], cost_y=lambda p: p[1]
+                )
+                for point in shuffled:
+                    online.add(point, order=point[2])
+                # Same surviving items (identity, not just costs), same order.
+                assert online.points == batch
+
+    def test_exact_tie_keeps_smallest_order(self):
+        first, second = (1.0, 1.0, "a"), (1.0, 1.0, "b")
+        for arrival in ([first, second], [second, first]):
+            online = OnlineParetoFront(cost_x=lambda p: p[0], cost_y=lambda p: p[1])
+            orders = {"a": 3, "b": 7}
+            for point in arrival:
+                online.add(point, order=orders[point[2]])
+            assert online.points == [first]  # order 3 beats order 7, always
+
+    def test_duplicate_point_is_idempotent(self):
+        online = OnlineParetoFront(cost_x=lambda p: p[0], cost_y=lambda p: p[1])
+        assert online.add((2.0, 3.0), order=5) is True
+        assert online.add((2.0, 3.0), order=5) is False
+        assert len(online) == 1
+
+    def test_dominated_point_rejected_and_evictions_contiguous(self):
+        online = OnlineParetoFront(cost_x=lambda p: p[0], cost_y=lambda p: p[1])
+        for point in [(1.0, 10.0), (2.0, 5.0), (3.0, 4.0), (4.0, 2.0)]:
+            online.add(point)
+        assert online.add((2.5, 6.0)) is False  # dominated by (2, 5)
+        assert online.add((1.5, 3.0)) is True  # evicts (2,5) and (3,4)
+        assert online.costs() == [(1.0, 10.0), (1.5, 3.0), (4.0, 2.0)]
+
+    def test_merge_preserves_orders(self):
+        left = OnlineParetoFront(cost_x=lambda p: p[0], cost_y=lambda p: p[1])
+        right = OnlineParetoFront(cost_x=lambda p: p[0], cost_y=lambda p: p[1])
+        left.add((1.0, 1.0, "late"), order=9)
+        right.add((1.0, 1.0, "early"), order=2)
+        left.merge(right)
+        assert left.points == [(1.0, 1.0, "early")]
+
+    def test_matches_explorer_global_pareto(self):
+        """The streaming frontier reproduces the seed's batch DSE exactly."""
+        explorer = DesignSpaceExplorer(WorkloadModel(num_vars=16))
+        points = explorer.sweep(overrides=dict(SMALL_OVERRIDES), max_points=None)
+        batch = explorer.global_pareto(points)
+        online = OnlineParetoFront(
+            cost_x=lambda p: p.runtime_ms, cost_y=lambda p: p.area_mm2
+        )
+        for order, point in enumerate(points):
+            online.add(point, order=order)
+        assert online.points == batch
+
+
+# -- sweep plans --------------------------------------------------------------
+
+
+class TestSweepPlan:
+    def test_needs_workload_coordinates(self):
+        with pytest.raises(ValueError):
+            SweepPlan()
+
+    def test_configs_and_overrides_are_exclusive(self):
+        config = ZkSpeedConfig.paper_default()
+        with pytest.raises(ValueError):
+            SweepPlan(num_vars=10, configs=(config,), overrides={"msm_cores": (1,)})
+
+    def test_unknown_knob_rejected_at_construction(self):
+        with pytest.raises(KeyError):
+            SweepPlan(num_vars=10, overrides={"warp_drives": (1, 2)})
+
+    def test_total_points_matches_enumeration(self):
+        for max_points in (None, 7, 50, 10**6):
+            plan = SweepPlan(
+                num_vars=12, overrides=SMALL_OVERRIDES, max_points=max_points
+            )
+            assert plan.total_points() == sum(1 for _ in plan.iter_configs())
+        assert plan.grid_size() == design_space_size(dict(SMALL_OVERRIDES))
+
+    def test_enumeration_matches_design_space(self):
+        plan = SweepPlan(num_vars=12, overrides=SMALL_OVERRIDES, max_points=11)
+        expected = list(
+            enumerate_design_space(overrides=dict(SMALL_OVERRIDES), max_points=11)
+        )
+        assert [config for _, config in plan.iter_configs()] == expected
+
+    def test_shards_partition_the_plan(self):
+        plan = SweepPlan(num_vars=12, overrides=SMALL_OVERRIDES, max_points=40)
+        everything = list(plan.iter_configs())
+        for shard_count in (1, 2, 3, 5):
+            shards = [plan.shard_items(s, shard_count) for s in range(shard_count)]
+            recombined = sorted(
+                (item for shard in shards for item in shard), key=lambda t: t[0]
+            )
+            assert recombined == everything
+            for index, shard in enumerate(shards):
+                assert all(i % shard_count == index for i, _ in shard)
+        with pytest.raises(ValueError):
+            plan.shard_items(3, 3)
+
+    def test_wire_roundtrip(self):
+        plans = [
+            SweepPlan(scenario="zcash", max_points=100),
+            SweepPlan(num_vars=14, overrides=SMALL_OVERRIDES, max_points=None),
+            SweepPlan(
+                scenario="mock",
+                num_vars=9,
+                configs=(
+                    ZkSpeedConfig.paper_default(),
+                    ZkSpeedConfig.paper_default().with_bandwidth(512.0),
+                ),
+            ),
+        ]
+        for plan in plans:
+            body = json.loads(json.dumps(plan.to_wire()))  # through real JSON
+            assert SweepPlan.from_wire(body) == plan
+
+    def test_from_wire_rejects_junk_with_value_error(self):
+        bad_bodies = [
+            "not an object",
+            {},  # no workload coordinates
+            {"scenario": 7},
+            {"num_vars": "ten"},
+            {"num_vars": 10, "max_points": True},
+            {"num_vars": 10, "overrides": {"msm_cores": "1,2"}},
+            {"num_vars": 10, "overrides": {"warp_drives": [1]}},  # KeyError wrapped
+            {"num_vars": 10, "configs": "nope"},
+            {"num_vars": 10, "configs": [{"msm_cores": -1}]},  # invalid config
+            {"num_vars": 10, "configs": [{"warp_drives": 2}]},  # unknown field
+        ]
+        for body in bad_bodies:
+            with pytest.raises(ValueError):
+                SweepPlan.from_wire(body)
+
+    def test_workload_resolves_scenario_paper_size(self):
+        from repro.api.scenarios import resolve_scenario
+
+        plan = SweepPlan(scenario="zcash")
+        assert plan.workload().num_vars == resolve_scenario("zcash").paper_log_size
+        assert SweepPlan(scenario="zcash", num_vars=9).workload().num_vars == 9
+        assert SweepPlan(num_vars=13).workload().num_vars == 13
+
+
+# -- the sweep runner ---------------------------------------------------------
+
+
+class TestRunSweep:
+    PLAN = SweepPlan(num_vars=14, overrides=SMALL_OVERRIDES, max_points=None)
+
+    def test_serial_sweep_point_integrity(self):
+        result = run_sweep(self.PLAN)
+        assert result.mode == "serial"
+        assert len(result.points) == self.PLAN.total_points()
+        assert [p["index"] for p in result.points] == list(range(len(result.points)))
+        for point in result.points:
+            assert point_costs(point) == (point["runtime_ms"], point["area_mm2"])
+            assert point["fingerprint"] == config_fingerprint(
+                config_from_dict(point["config"])
+            )
+
+    def test_serial_matches_explorer_costs(self):
+        """The runner's costs are the seed explorer's, point for point."""
+        result = run_sweep(self.PLAN)
+        explorer = DesignSpaceExplorer(self.PLAN.workload())
+        for point in result.points[:: max(1, len(result.points) // 7)]:
+            reference = explorer.evaluate(config_from_dict(point["config"]))
+            assert point["runtime_ms"] == reference.runtime_ms
+            assert point["area_mm2"] == reference.area_mm2
+            assert point["total_cycles"] == reference.report.total_cycles
+
+    def test_engine_path_equals_plain_path(self):
+        with ProverEngine(EngineConfig()) as engine:
+            via_engine = engine.sweep(self.PLAN)
+        assert via_engine.points == run_sweep(self.PLAN).points
+
+    def test_shard_merge_equals_full_sweep_any_completion_order(self):
+        full = run_sweep(self.PLAN)
+        shard_results = [
+            run_sweep(self.PLAN, items=self.PLAN.shard_items(s, 3)) for s in range(3)
+        ]
+        for order in ([0, 1, 2], [2, 0, 1], [1, 2, 0]):
+            merged, frontier = merge_shard_points(
+                self.PLAN, [shard_results[i].points for i in order]
+            )
+            assert merged == full.points
+            assert frontier.points == full.frontier.points
+
+    def test_progress_callback_counts_up_to_total(self):
+        seen: list[tuple] = []
+        run_sweep(self.PLAN, on_progress=lambda *args: seen.append(args))
+        assert seen[-1] == (
+            self.PLAN.total_points(),
+            self.PLAN.total_points(),
+            len(run_sweep(self.PLAN).frontier),
+        )
+        assert all(done <= total for done, total, _ in seen)
+
+    @needs_fork
+    def test_workers_sweep_identical_to_serial(self):
+        serial = run_sweep(self.PLAN)
+        parallel = run_sweep(self.PLAN, workers=2)
+        assert parallel.mode == "workers"
+        assert parallel.points == serial.points
+        assert parallel.frontier.points == serial.frontier.points
+        assert parallel.frontier.costs() == serial.frontier.costs()
+
+    def test_frontier_for_points_is_order_independent(self):
+        points = run_sweep(self.PLAN).points
+        shuffled = points[:]
+        random.Random(3).shuffle(shuffled)
+        assert (
+            frontier_for_points(shuffled).points
+            == frontier_for_points(points).points
+        )
+
+
+# -- engine memoization -------------------------------------------------------
+
+
+class TestSimulationMemoization:
+    def test_repeat_simulation_hits_cache(self):
+        with ProverEngine(EngineConfig()) as engine:
+            first = engine.simulate("zcash")
+            assert engine.cache_stats.sim_misses == 1
+            second = engine.simulate("zcash")
+            assert engine.cache_stats.sim_hits == 1
+            assert second is first  # the memo returns the same report object
+            assert engine.cache_contents()["simulations_cached"] == 1
+
+    def test_distinct_configs_and_workloads_miss(self):
+        with ProverEngine(EngineConfig()) as engine:
+            engine.simulate("zcash")
+            engine.simulate("zcash", bandwidth_gbs=512.0)
+            engine.simulate("zcash", num_vars=12)
+            assert engine.cache_stats.sim_misses == 3
+            assert engine.cache_stats.sim_hits == 0
+
+    def test_cache_is_bounded(self):
+        with ProverEngine(EngineConfig()) as engine:
+            engine.SIM_CACHE_SIZE = 4
+            for num_vars in range(10, 17):
+                engine.simulate("mock", num_vars=num_vars)
+            assert engine.cache_contents()["simulations_cached"] == 4
+
+
+# -- the served surface -------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def sim_server():
+    server = BackgroundServer(
+        ProofService(ServiceConfig(port=0), engine=ProverEngine(EngineConfig()))
+    ).start()
+    try:
+        yield server
+    finally:
+        engine = server.service.engine
+        server.stop()
+        engine.close()
+
+
+@pytest.fixture(scope="module")
+def sim_client(sim_server):
+    with ServiceClient(port=sim_server.port, timeout=120.0) as client:
+        yield client
+
+
+class TestServedSimulate:
+    def test_scenarios_advertise_capabilities(self, sim_client):
+        entries = {entry["name"]: entry for entry in sim_client.scenarios()}
+        assert "simulate" in entries["zcash"]["capabilities"]
+        assert "prove" in entries["zcash"]["capabilities"]
+
+    def test_simulate_roundtrip_and_cache_flag(self, sim_client):
+        first = sim_client.simulate("zcash", bandwidth_gbs=999.5)
+        assert first["cached"] is False
+        assert first["workload"] and first["num_vars"] == 17  # paper size
+        assert first["total_cycles"] > 0
+        assert first["chip_config"]["bandwidth_gbs"] == 999.5
+        second = sim_client.simulate("zcash", bandwidth_gbs=999.5)
+        assert second["cached"] is True
+        assert second["total_cycles"] == first["total_cycles"]
+        assert second["steps"] == first["steps"]
+
+    def test_simulate_matches_direct_engine(self, sim_client):
+        served = sim_client.simulate("rescue")
+        with ProverEngine(EngineConfig()) as engine:
+            direct = engine.simulate("rescue")
+        assert served["total_cycles"] == direct.total_cycles
+        assert served["runtime_ms"] == direct.total_runtime_ms
+        assert served["area_mm2"] == direct.total_area_mm2
+
+    def test_bad_chip_config_is_a_400(self, sim_client):
+        with pytest.raises(ServiceError) as excinfo:
+            sim_client.simulate("zcash", chip_config={"msm_cores": "three"})
+        assert excinfo.value.status == 400
+        with pytest.raises(ServiceError) as excinfo:
+            sim_client.simulate("zcash", num_vars=4000)
+        assert excinfo.value.status == 400
+
+    def test_unknown_scenario_is_a_400(self, sim_client):
+        with pytest.raises(ServiceError) as excinfo:
+            sim_client.simulate("atlantis")
+        assert excinfo.value.status == 400
+
+    def test_healthz_surfaces_sim_cache(self, sim_client):
+        sim_client.simulate("zcash")
+        body = sim_client.healthz()
+        assert body["engine"]["cache"]["simulations_cached"] >= 1
+
+
+class TestServedSweep:
+    PLAN = SweepPlan(num_vars=14, overrides=SMALL_OVERRIDES, max_points=None)
+
+    def _overrides_wire(self):
+        return {k: list(v) for k, v in SMALL_OVERRIDES.items()}
+
+    def test_sweep_matches_local_serial(self, sim_client):
+        body = sim_client.sweep(
+            num_vars=14, overrides=self._overrides_wire(), max_points=None
+        )
+        local = run_sweep(self.PLAN)
+        assert body["total_points"] == len(local.points)
+        assert frontier_signature(body["pareto"]) == frontier_signature(
+            local.to_wire()["pareto"]
+        )
+
+    def test_include_points_returns_identical_point_list(self, sim_client):
+        body = sim_client.sweep(
+            num_vars=14,
+            overrides=self._overrides_wire(),
+            max_points=None,
+            include_points=True,
+        )
+        assert body["points"] == run_sweep(self.PLAN).points
+
+    def test_manual_shards_merge_to_full_frontier(self, sim_client):
+        shard_bodies = [
+            sim_client.sweep(
+                num_vars=14,
+                overrides=self._overrides_wire(),
+                max_points=None,
+                shard=(index, 2),
+                include_points=True,
+            )
+            for index in range(2)
+        ]
+        merged, frontier = merge_shard_points(
+            self.PLAN, [body["points"] for body in shard_bodies]
+        )
+        local = run_sweep(self.PLAN)
+        assert merged == local.points
+        assert frontier.points == local.frontier.points
+
+    def test_streamed_sweep_reports_progress_then_result(self, sim_client):
+        events: list[dict] = []
+        result = sim_client.sweep(
+            num_vars=14,
+            overrides=self._overrides_wire(),
+            max_points=None,
+            stream=True,
+            on_event=events.append,
+        )
+        kinds = [event["event"] for event in events]
+        assert kinds[0] == "start"
+        assert kinds[-1] == "result"
+        assert "progress" in kinds
+        assert events[0]["total_points"] == self.PLAN.total_points()
+        final_progress = [e for e in events if e["event"] == "progress"][-1]
+        assert final_progress["done"] == self.PLAN.total_points()
+        assert frontier_signature(result["pareto"]) == frontier_signature(
+            run_sweep(self.PLAN).to_wire()["pareto"]
+        )
+
+    def test_invalid_sweeps_are_rejected_on_the_wire(self, sim_client):
+        for kwargs in (
+            dict(num_vars=14, overrides={"warp_drives": [1]}),
+            dict(num_vars=14, overrides={"msm_cores": []}),
+            dict(scenario="atlantis"),
+            dict(num_vars=14, max_points=10**9),
+            dict(num_vars=14, shard=(5, 2)),
+        ):
+            with pytest.raises(ServiceError) as excinfo:
+                sim_client.sweep(**kwargs)
+            assert excinfo.value.status == 400
+
+    def test_metrics_count_sweeps_and_points(self, sim_client):
+        before = sim_client.metrics()["sweeps"]
+        sim_client.sweep(num_vars=12, overrides=self._overrides_wire(), max_points=20)
+        evaluated = SweepPlan(
+            num_vars=12, overrides=SMALL_OVERRIDES, max_points=20
+        ).total_points()
+        after = sim_client.metrics()["sweeps"]
+        assert after["count"] == before["count"] + 1
+        assert after["points_total"] == before["points_total"] + evaluated
+        assert after["last_pareto_size"] >= 1
+
+
+# -- the cluster surface ------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def sim_cluster():
+    backends = [
+        BackgroundServer(
+            ProofService(ServiceConfig(port=0), engine=ProverEngine(EngineConfig()))
+        ).start()
+        for _ in range(2)
+    ]
+    router_server = BackgroundServer(
+        ClusterRouter(
+            RouterConfig(port=0, health_interval_s=0.5, request_timeout_s=120.0),
+            backends=[f"127.0.0.1:{backend.port}" for backend in backends],
+        )
+    ).start()
+    try:
+        with ServiceClient(port=router_server.port, timeout=120.0) as client:
+            yield client
+    finally:
+        router_server.stop()
+        for backend in backends:
+            engine = backend.service.engine
+            backend.stop()
+            engine.close()
+
+
+class TestClusterSweep:
+    PLAN = SweepPlan(num_vars=14, overrides=SMALL_OVERRIDES, max_points=None)
+
+    def _overrides_wire(self):
+        return {k: list(v) for k, v in SMALL_OVERRIDES.items()}
+
+    def test_routed_simulate_carries_served_by(self, sim_cluster):
+        body = sim_cluster.simulate("zcash")
+        assert body["served_by"].startswith("127.0.0.1:")
+        assert body["total_cycles"] > 0
+
+    def test_cluster_sweep_shards_across_both_backends(self, sim_cluster):
+        body = sim_cluster.sweep(
+            num_vars=14, overrides=self._overrides_wire(), max_points=None
+        )
+        assert body["mode"] == "cluster"
+        shards = body["shards"]
+        assert len(shards) == 2
+        assert len({shard["served_by"] for shard in shards}) == 2
+        assert sum(shard["points"] for shard in shards) == body["total_points"]
+        local = run_sweep(self.PLAN)
+        assert frontier_signature(body["pareto"]) == frontier_signature(
+            local.to_wire()["pareto"]
+        )
+
+    def test_cluster_sweep_with_points_matches_serial_points(self, sim_cluster):
+        body = sim_cluster.sweep(
+            num_vars=14,
+            overrides=self._overrides_wire(),
+            max_points=None,
+            include_points=True,
+        )
+        assert body["points"] == run_sweep(self.PLAN).points
+
+    def test_streamed_cluster_sweep_emits_shard_events(self, sim_cluster):
+        events: list[dict] = []
+        result = sim_cluster.sweep(
+            num_vars=12,
+            overrides=self._overrides_wire(),
+            max_points=30,
+            stream=True,
+            on_event=events.append,
+        )
+        kinds = [event["event"] for event in events]
+        assert kinds[0] == "start" and kinds[-1] == "result"
+        assert kinds.count("shard") == 2
+        assert result["mode"] == "cluster"
+
+    def test_invalid_sweep_rejected_at_the_router(self, sim_cluster):
+        with pytest.raises(ServiceError) as excinfo:
+            sim_cluster.sweep(num_vars=14, overrides={"warp_drives": [1]})
+        assert excinfo.value.status == 400
+
+    def test_router_metrics_aggregate_sim_counters(self, sim_cluster):
+        sim_cluster.simulate("rollup")
+        body = sim_cluster.metrics()
+        assert body["router"]["sweeps_total"] >= 1
+        aggregate = body["aggregate"]
+        assert aggregate["simulations_total"] >= 1
+        assert aggregate["sweep_points_total"] >= self.PLAN.total_points()
+
+
+# -- the acceptance path: 500 points, spawned children ------------------------
+
+
+class TestSweepAcceptance:
+    """ISSUE 7's headline check, against real ``repro serve`` subprocesses."""
+
+    PLAN = SweepPlan(scenario="zcash", max_points=500)
+
+    def test_500_point_sweep_identical_serial_workers_cluster(self):
+        serial = run_sweep(self.PLAN)
+        assert len(serial.points) == 500
+        reference = frontier_signature(serial.to_wire()["pareto"])
+
+        if fork_available():
+            with ProverEngine(EngineConfig(workers=2)) as engine:
+                workers = engine.sweep(self.PLAN)
+            assert workers.mode == "workers"
+            assert workers.points == serial.points
+            assert frontier_signature(workers.to_wire()["pareto"]) == reference
+
+        router_server = BackgroundServer(
+            ClusterRouter(
+                RouterConfig(port=0, health_interval_s=1.0, request_timeout_s=300.0),
+                spawn=2,
+            )
+        ).start()
+        try:
+            with ServiceClient(port=router_server.port, timeout=300.0) as client:
+                body = client.sweep(scenario="zcash", max_points=500)
+        finally:
+            router_server.stop()
+        assert body["mode"] == "cluster"
+        assert body["total_points"] == 500
+        assert len(body["shards"]) == 2
+        assert len({shard["served_by"] for shard in body["shards"]}) == 2
+        assert frontier_signature(body["pareto"]) == reference
+
+
+# -- CLI ----------------------------------------------------------------------
+
+
+class TestSweepCli:
+    def test_local_sweep_prints_frontier(self, capsys, tmp_path):
+        from repro.cli import main
+
+        output = tmp_path / "sweep.json"
+        assert (
+            main(
+                [
+                    "sweep",
+                    "--log-gates", "12",
+                    "--max-points", "40",
+                    "--override", "bandwidth_gbs=256,2048",
+                    "--output", str(output),
+                ]
+            )
+            == 0
+        )
+        stdout = capsys.readouterr().out
+        assert "evaluated 40 configurations" in stdout
+        saved = json.loads(output.read_text())
+        assert saved["total_points"] == 40
+        assert len(saved["points"]) == 40
+        assert saved["pareto_size"] == len(saved["pareto"])
+
+    def test_override_parsing_rejects_unknown_knob(self, capsys):
+        from repro.cli import main
+
+        assert main(["sweep", "--log-gates", "12", "--override", "warp=1"]) == 2
+        assert "warp" in capsys.readouterr().err
+
+    def test_sweep_needs_a_workload(self, capsys):
+        from repro.cli import main
+
+        assert main(["sweep", "--max-points", "10"]) == 2
+
+    def test_submit_simulate_flag_parses(self):
+        from repro.cli import build_parser
+
+        args = build_parser().parse_args(
+            ["submit", "--url", "http://127.0.0.1:1", "--simulate", "--count", "3"]
+        )
+        assert args.simulate is True
+        assert args.count == 3
+        assert args.log_gates is None
