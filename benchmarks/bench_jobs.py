@@ -1,0 +1,334 @@
+"""Benchmark + crash smoke for the durable job tier (``repro.jobs``).
+
+Two modes:
+
+**Throughput (default).**  Hosts one :class:`~repro.service.ProofService`
+in-process and drives the durable path closed-loop: submit ``--count``
+prove jobs spread over ``--distinct`` distinct payloads, wait for every
+job to finish, download every artifact, and report jobs/sec, time from
+submit to ``done`` (p50/p95), and what content addressing saved (the
+dedup ratio is ``1 - distinct/count`` by construction — the measured
+``artifact_dedup_total`` must agree).  Results append to
+``BENCH_jobs.json`` (same history idiom as the other BENCH files).
+
+**Crash smoke (``--crash-smoke``).**  The CI acceptance drill for ISSUE
+8, across real process boundaries: spawn two ``repro serve`` children
+with per-child ``--job-dir`` queues, both armed (via ``REPRO_FAULTS``)
+to SIGKILL themselves when their first job batch reaches the engine;
+attach a ``repro cluster`` router over them; submit prove jobs through
+the router; watch the children die mid-batch; restart each dead child
+clean on its old port and job dir; and require **every accepted job** to
+reach ``done`` with artifact bytes identical to a direct in-process
+``engine.prove`` — plus an empty queue and an empty dead-letter at the
+end.  Exits non-zero on any miss, which is what the ``jobs-smoke`` CI
+job leans on.
+
+Run from the repository root::
+
+    PYTHONPATH=src python benchmarks/bench_jobs.py
+    PYTHONPATH=src python benchmarks/bench_jobs.py --count 32 --distinct 8
+    PYTHONPATH=src python benchmarks/bench_jobs.py --crash-smoke
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import platform
+import re
+import subprocess
+import sys
+import time
+from pathlib import Path
+
+from repro.api import EngineConfig, ProverEngine
+from repro.service import (
+    BackgroundServer,
+    ProofService,
+    ServiceClient,
+    ServiceConfig,
+)
+
+SRS_SEED = 0
+RECORD_PATH = Path(__file__).resolve().parent.parent / "BENCH_jobs.json"
+
+
+# -- throughput mode ----------------------------------------------------------
+
+
+def run_throughput(count: int, distinct: int, num_vars: int) -> dict:
+    service = ProofService(
+        ServiceConfig(port=0, batch_window_ms=5.0, job_poll_s=0.02),
+        engine_config=EngineConfig(srs_seed=SRS_SEED),
+    )
+    with BackgroundServer(service) as background:
+        with ServiceClient(port=background.port, timeout=600.0) as client:
+            started = time.perf_counter()
+            acks = [
+                client.submit_job(
+                    {
+                        "kind": "prove",
+                        "scenario": "mock",
+                        "num_vars": num_vars,
+                        "seed": index % distinct,
+                    }
+                )
+                for index in range(count)
+            ]
+            latencies = []
+            for ack in acks:
+                record = client.wait_for_job(ack["id"], timeout=600.0)
+                assert record["state"] == "done", record
+                latencies.append(record["updated_at"] - record["created_at"])
+            wall = time.perf_counter() - started
+            blobs = {client.job_artifact(ack["id"]) for ack in acks}
+            metrics = client.metrics()["jobs"]
+            health = client.healthz()["jobs"]
+    assert len(blobs) == distinct, (len(blobs), distinct)
+    assert metrics["artifact_dedup_total"] == count - distinct, metrics
+    latencies.sort()
+    return {
+        "count": count,
+        "distinct": distinct,
+        "num_vars": num_vars,
+        "wall_s": round(wall, 3),
+        "jobs_per_second": round(count / wall, 2),
+        "submit_to_done_p50_s": round(latencies[len(latencies) // 2], 3),
+        "submit_to_done_p95_s": round(latencies[int(len(latencies) * 0.95)], 3),
+        "artifact_dedup_total": metrics["artifact_dedup_total"],
+        "artifact_blobs": health["artifacts"]["count"],
+        "failed_attempts_total": metrics["failed_attempts_total"],
+        "dead_total": metrics["dead_total"],
+    }
+
+
+# -- crash-smoke mode ---------------------------------------------------------
+
+
+def _child_env(faults: str | None = None) -> dict:
+    env = dict(os.environ)
+    src = str(Path(__file__).resolve().parent.parent / "src")
+    env["PYTHONPATH"] = os.pathsep.join(
+        [src, env.get("PYTHONPATH", "")]
+    ).rstrip(os.pathsep)
+    env.pop("REPRO_FAULTS", None)
+    if faults:
+        env["REPRO_FAULTS"] = faults
+    return env
+
+
+def _await_announce(process: subprocess.Popen, pattern: str) -> int:
+    deadline = time.time() + 120
+    while time.time() < deadline:
+        line = process.stdout.readline()
+        if not line and process.poll() is not None:
+            break
+        match = re.search(pattern, line)
+        if match:
+            return int(match.group(1))
+    raise RuntimeError("child never announced its port")
+
+
+def _spawn_serve(job_dir: str, *, port: int = 0, faults: str | None = None):
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", str(port),
+         "--batch-window-ms", "5", "--job-dir", job_dir],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+        env=_child_env(faults),
+    )
+    return process, _await_announce(process, r"serving on http://[\d.]+:(\d+)")
+
+
+def run_crash_smoke(count: int, num_vars: int, work_dir: str) -> int:
+    sizes = [max(3, num_vars - delta) for delta in range(min(count, 6))]
+    jobs = [("mock", sizes[index % len(sizes)], index) for index in range(count)]
+
+    backends: list[dict] = []
+    router = None
+    try:
+        for name in ("a", "b"):
+            job_dir = os.path.join(work_dir, name)
+            # Armed to SIGKILL itself the first time a job batch reaches
+            # its engine thread: the honest mid-batch crash.
+            process, port = _spawn_serve(
+                job_dir, faults="batch-execute:kill:times=1"
+            )
+            backends.append(
+                {"name": name, "dir": job_dir, "port": port,
+                 "process": process, "restarted": False}
+            )
+        backend_list = ",".join(f"127.0.0.1:{b['port']}" for b in backends)
+        router = subprocess.Popen(
+            [sys.executable, "-m", "repro", "cluster", "--port", "0",
+             "--backends", backend_list, "--health-interval", "0.5"],
+            stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True,
+            env=_child_env(),
+        )
+        router_port = _await_announce(router, r"routing on http://[\d.]+:(\d+)")
+
+        def restart_dead() -> int:
+            """Restart any dead child clean — same port, same job dir."""
+            revived = 0
+            for backend in backends:
+                if backend["process"].poll() is None or backend["restarted"]:
+                    continue
+                code = backend["process"].returncode
+                print(
+                    f"backend {backend['name']} died (exit {code}); "
+                    f"restarting on port {backend['port']} with the same "
+                    "job dir"
+                )
+                backend["process"], backend["port"] = _spawn_serve(
+                    backend["dir"], port=backend["port"]
+                )
+                backend["restarted"] = True
+                revived += 1
+            return revived
+
+        # Submissions race the injected crashes: a child may die with the
+        # router mid-forward, so each submit retries (restarting any dead
+        # child first) until the fleet durably acks it.
+        accepted = []
+        deaths = 0
+        with ServiceClient(port=router_port, timeout=60.0) as client:
+            for scenario, size, seed in jobs:
+                for _ in range(120):
+                    deaths += restart_dead()
+                    try:
+                        ack = client.submit_job(
+                            {"kind": "prove", "scenario": scenario,
+                             "num_vars": size, "seed": seed}
+                        )
+                        break
+                    except Exception:
+                        time.sleep(0.25)
+                else:
+                    print(f"FAIL: could not submit job seed {seed}")
+                    return 1
+                accepted.append((scenario, size, seed, ack["id"]))
+        print(f"accepted {len(accepted)} jobs through the router")
+
+        # Babysit the fleet: each armed child dies when it first executes
+        # a batch; restart it clean and let the recovered queue finish.
+        # Track job states through the router.
+        done: dict[str, dict] = {}
+        deadline = time.time() + 300
+        with ServiceClient(port=router_port, timeout=60.0) as client:
+            while time.time() < deadline and len(done) < len(accepted):
+                deaths += restart_dead()
+                for scenario, size, seed, job_id in accepted:
+                    if job_id in done:
+                        continue
+                    try:
+                        record = client.job(job_id)
+                    except Exception:
+                        continue  # router mid-failover; try next round
+                    if record["state"] == "done":
+                        done[job_id] = record
+                    elif record["state"] == "dead":
+                        print(f"FAIL: job {job_id} dead-lettered: "
+                              f"{record.get('error')}")
+                        return 1
+                time.sleep(0.25)
+
+            if len(done) < len(accepted):
+                print(f"FAIL: only {len(done)}/{len(accepted)} jobs "
+                      "completed before the deadline")
+                return 1
+            if deaths == 0:
+                print("FAIL: no backend died — the crash was never tested")
+                return 1
+
+            # Byte-identity: every recovered artifact must equal a clean
+            # serial run on a fresh engine (the CLI's default config).
+            engine = ProverEngine(EngineConfig())
+            try:
+                retried = 0
+                for scenario, size, seed, job_id in accepted:
+                    blob = client.job_artifact(job_id)
+                    direct = engine.prove(scenario, num_vars=size, seed=seed)
+                    if blob != direct.to_bytes():
+                        print(f"FAIL: artifact for job {job_id} diverged "
+                              "from the clean serial run")
+                        return 1
+                    if done[job_id]["attempts"] > 1:
+                        retried += 1
+            finally:
+                engine.close()
+
+            health = client.healthz()
+            view = health.get("jobs") or {}
+            print(
+                f"PASS: {len(done)}/{len(accepted)} accepted jobs done after "
+                f"{deaths} SIGKILL(s) + restart(s); {retried} burned a retry; "
+                "all artifacts byte-identical to the clean serial run; "
+                f"fleet queue depth {view.get('queue_depth')}, "
+                f"dead letter {view.get('dead_letter')}"
+            )
+            return 0
+    finally:
+        for child in ([router] if router else []) + [
+            backend["process"] for backend in backends
+        ]:
+            if child.poll() is None:
+                child.terminate()
+                try:
+                    child.wait(timeout=30)
+                except subprocess.TimeoutExpired:
+                    child.kill()
+
+
+# -- entry point --------------------------------------------------------------
+
+
+def _append_record(result: dict) -> None:
+    record = {
+        "timestamp": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "host": os.environ.get("REPRO_BENCH_HOST", platform.node()),
+        "python": platform.python_version(),
+        "result": result,
+    }
+    history = []
+    if RECORD_PATH.exists():
+        try:
+            history = json.loads(RECORD_PATH.read_text()).get("history", [])
+        except (json.JSONDecodeError, OSError):
+            history = []
+    history.append(record)
+    RECORD_PATH.write_text(json.dumps({"history": history}, indent=2) + "\n")
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--count", type=int, default=16,
+                        help="jobs to submit (default: 16)")
+    parser.add_argument("--distinct", type=int, default=4,
+                        help="distinct payloads among them (default: 4)")
+    parser.add_argument("--log-gates", type=int, default=4,
+                        help="problem size exponent (default: 4)")
+    parser.add_argument("--crash-smoke", action="store_true",
+                        help="run the SIGKILL-and-recover drill instead of "
+                        "the throughput benchmark (exits non-zero on loss)")
+    parser.add_argument("--work-dir", default=None,
+                        help="crash-smoke job-dir root (default: a temp dir)")
+    args = parser.parse_args(argv)
+
+    if args.crash_smoke:
+        import tempfile
+
+        work_dir = args.work_dir or tempfile.mkdtemp(prefix="repro-jobs-smoke-")
+        return run_crash_smoke(args.count, args.log_gates, work_dir)
+
+    if args.distinct < 1 or args.distinct > args.count:
+        parser.error("--distinct must be in [1, --count]")
+    result = run_throughput(args.count, args.distinct, args.log_gates)
+    for key, value in result.items():
+        print(f"{key:>24s} : {value}")
+    _append_record(result)
+    print(f"appended to {RECORD_PATH.name}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

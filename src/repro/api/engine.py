@@ -15,6 +15,7 @@ package-level re-exports, which are deprecation shims as of this redesign.
 from __future__ import annotations
 
 import contextlib
+import json
 import time
 from collections import OrderedDict
 from typing import Iterable, Iterator, Mapping, Sequence, Union
@@ -675,6 +676,103 @@ class ProverEngine:
                 on_progress=on_progress,
             )
         return run_sweep(plan, items=items, engine=self, on_progress=on_progress)
+
+    def execute_job_batch(
+        self, kind: str, payloads: Sequence[Mapping]
+    ) -> list[tuple[bytes | None, dict]]:
+        """Execute one durable-job batch (the ``repro.jobs`` engine seam).
+
+        ``kind`` is ``prove`` / ``verify`` / ``sweep``; payloads are the
+        validated job payloads the service stored at admission (a batch is
+        homogeneous by construction).  Returns one ``(artifact_bytes,
+        result)`` pair per payload: prove artifacts are the canonical
+        serialized proof bytes (deterministic, so re-execution after a
+        crash re-derives the identical artifact — the content-addressed
+        store dedups it), sweep artifacts are the canonical JSON result
+        with volatile timing fields split into the job result, and verify
+        jobs produce a result only.
+        """
+        import base64
+
+        if kind == "prove":
+            artifacts = self.prove_many(
+                [
+                    {
+                        "scenario": payload["scenario"],
+                        "num_vars": payload.get("num_vars"),
+                        "seed": payload.get("seed", 0),
+                    }
+                    for payload in payloads
+                ]
+            )
+            return [
+                (
+                    artifact.to_bytes(),
+                    {
+                        "scenario": artifact.scenario,
+                        "num_vars": artifact.num_vars,
+                        "seed": payload.get("seed", 0),
+                        "proof_size_bytes": artifact.size_bytes,
+                        "prove_seconds": artifact.timings.get("prove"),
+                    },
+                )
+                for payload, artifact in zip(payloads, artifacts)
+            ]
+
+        if kind == "verify":
+            from repro.protocol.serialization import (
+                SerializationError,
+                deserialize_proof,
+            )
+            from repro.protocol.verifier import VerificationError
+
+            outcomes: list[tuple[bytes | None, dict]] = []
+            for payload in payloads:
+                result = {
+                    "scenario": payload["scenario"],
+                    "num_vars": payload.get("num_vars"),
+                }
+                try:
+                    proof = deserialize_proof(
+                        base64.b64decode(payload["proof"].encode("ascii"))
+                    )
+                    verifying_key = self.verifying_key(
+                        payload["scenario"],
+                        num_vars=payload.get("num_vars"),
+                        seed=payload.get("seed", 0),
+                    )
+                    result["valid"] = bool(self.verify(proof, verifying_key))
+                except (SerializationError, VerificationError) as exc:
+                    result["valid"] = False
+                    result["reason"] = str(exc)
+                outcomes.append((None, result))
+            return outcomes
+
+        if kind == "sweep":
+            from repro.dse.plan import SweepPlan
+
+            outcomes = []
+            for payload in payloads:
+                plan = SweepPlan.from_wire(payload["plan"])
+                result = self.sweep(plan)
+                body = result.to_wire(
+                    include_points=bool(payload.get("include_points", False))
+                )
+                # Volatile fields go in the job result; the artifact keeps
+                # only the deterministic part so identical sweep jobs dedup
+                # exactly like identical proofs do.
+                summary = {
+                    "total_points": body.get("total_points"),
+                    "pareto_size": body.get("pareto_size"),
+                    "elapsed_s": body.pop("elapsed_s", None),
+                    "points_per_second": body.pop("points_per_second", None),
+                    "mode": body.pop("mode", None),
+                }
+                blob = json.dumps(body, sort_keys=True).encode("utf-8")
+                outcomes.append((blob, summary))
+            return outcomes
+
+        raise ValueError(f"unknown job kind {kind!r}")
 
     def explore(
         self,

@@ -22,7 +22,14 @@ Commands
 ``table1``     Print the Table 1 kernel-profile reproduction for a size.
 ``serve``      Run the asyncio proof-serving subsystem: a long-lived
                engine behind ``POST /prove`` / ``POST /verify`` with
-               dynamic batching and backpressure (``repro.service``).
+               dynamic batching and backpressure (``repro.service``),
+               plus the durable job tier (``POST /jobs``) — point
+               ``--job-dir`` at persistent storage to make accepted jobs
+               survive crashes and restarts.
+``chaos``      Run ``serve`` with fault-injection rules armed
+               (``repro.testing.faults``): crash or error the process at
+               named seams (``batch-execute``, ``store-write``, ...) to
+               demonstrate — or test — durable-job crash recovery.
 ``cluster``    Run the sharded serving tier (``repro.cluster``): a router
                over N backend ``repro serve`` processes — spawned as
                children (``--spawn``) or attached (``--backends``) — with
@@ -189,17 +196,39 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
                     flush=True,
                 )
 
-        with ServiceClient.from_url(args.url, timeout=args.timeout) as client:
-            result = client.sweep(
-                scenario=args.scenario,
-                num_vars=args.log_gates,
-                overrides={k: list(v) for k, v in overrides.items()}
-                if overrides
-                else None,
-                max_points=args.max_points,
-                stream=True,
-                on_event=on_event,
+        from repro.service.client import TruncatedStream
+
+        try:
+            with ServiceClient.from_url(args.url, timeout=args.timeout) as client:
+                result = client.sweep(
+                    scenario=args.scenario,
+                    num_vars=args.log_gates,
+                    overrides={k: list(v) for k, v in overrides.items()}
+                    if overrides
+                    else None,
+                    max_points=args.max_points,
+                    stream=True,
+                    on_event=on_event,
+                )
+        except TruncatedStream as exc:
+            # A partial frontier is NOT a frontier: dominated points may
+            # simply not have met their dominators yet.  Fail loudly
+            # instead of printing a silently wrong result.
+            print(
+                f"sweep stream truncated after {exc.partial} event(s): the "
+                "server died (or was restarted) mid-stream, so the partial "
+                "frontier is unusable.",
+                file=sys.stderr,
             )
+            print(
+                "resume: re-run this exact command once the service is "
+                "healthy again (sweeps are deterministic and shard results "
+                "are memoized server-side), or submit it as a durable job "
+                "that survives restarts: "
+                "POST /jobs {\"kind\": \"sweep\", ...}.",
+                file=sys.stderr,
+            )
+            return 3
         mode = result["mode"]
         total = result["total_points"]
         elapsed = result["elapsed_s"]
@@ -309,6 +338,10 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             batch_window_ms=args.batch_window_ms,
             max_batch=args.max_batch,
             max_queue=args.max_queue,
+            job_dir=args.job_dir,
+            job_lease_s=args.job_lease,
+            job_max_attempts=args.job_attempts,
+            job_queue_limit=args.job_queue_limit,
         ),
         engine_config=EngineConfig(
             field_backend=args.field_backend,
@@ -331,6 +364,38 @@ def _cmd_serve(args: argparse.Namespace) -> int:
     asyncio.run(service.serve_forever(on_ready=announce))
     print("drained; bye")
     return 0
+
+
+def _cmd_chaos(args: argparse.Namespace) -> int:
+    """``repro serve`` with fault-injection rules armed.
+
+    The rules land in ``REPRO_FAULTS`` (the same spec the tests use), so
+    they also survive into any child process this one spawns.  A ``kill``
+    rule SIGKILLs the server at the seam — restart it with the same
+    ``--job-dir`` to watch every accepted job recover.
+    """
+    import os
+
+    from repro.testing.faults import parse_fault_spec
+
+    spec = ";".join(args.fault)
+    try:
+        rules = parse_fault_spec(spec)
+    except ValueError as exc:
+        print(f"bad --fault spec: {exc}", file=sys.stderr)
+        return 2
+    os.environ["REPRO_FAULTS"] = spec
+    print(
+        "chaos mode: "
+        + "; ".join(
+            f"{rule.point} -> {rule.action}"
+            + (f" after {rule.after}" if rule.after else "")
+            + (f" x{rule.times}" if rule.times is not None else "")
+            for rule in rules
+        ),
+        flush=True,
+    )
+    return _cmd_serve(args)
 
 
 def _cmd_cluster(args: argparse.Namespace) -> int:
@@ -363,8 +428,31 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         ]
         if args.srs_cache_dir is not None:
             spawn_args += ["--srs-cache-dir", args.srs_cache_dir]
-        router = ClusterRouter(config, spawn=args.spawn, spawn_args=spawn_args)
+        per_backend_args = None
+        if args.job_dir is not None:
+            # One durable queue per child: sqlite leases assume one owning
+            # process, and per-child directories let a restarted child
+            # recover exactly its own jobs.
+            import os
+
+            per_backend_args = [
+                ["--job-dir", os.path.join(args.job_dir, f"backend-{index}")]
+                for index in range(args.spawn)
+            ]
+        router = ClusterRouter(
+            config,
+            spawn=args.spawn,
+            spawn_args=spawn_args,
+            spawn_per_backend_args=per_backend_args,
+        )
     else:
+        if args.job_dir is not None:
+            print(
+                "--job-dir only applies to spawned children; attached "
+                "backends own their job directories",
+                file=sys.stderr,
+            )
+            return 2
         attached = [
             f"{host}:{port}" for host, port in parse_backend_list(args.backends)
         ]
@@ -386,6 +474,26 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
     return 0
 
 
+def _retrying(call, retries: int):
+    """Run ``call``, retrying 429/503 answers up to ``retries`` times.
+
+    The server's ``Retry-After`` estimate wins when present; otherwise a
+    jittered exponential backoff paces the retries.
+    """
+    from repro.service.client import ServiceUnavailable, backoff_delay
+
+    attempt = 0
+    while True:
+        try:
+            return call()
+        except ServiceUnavailable as exc:
+            if attempt >= retries:
+                raise
+            delay = exc.retry_after if exc.retry_after else backoff_delay(attempt)
+            time.sleep(delay)
+            attempt += 1
+
+
 def _cmd_submit(args: argparse.Namespace) -> int:
     import concurrent.futures
 
@@ -396,6 +504,11 @@ def _cmd_submit(args: argparse.Namespace) -> int:
     rng = random.Random(args.seed)
     witness_seeds = [rng.randrange(1 << 30) for _ in range(args.count)]
     concurrency = min(args.concurrency, args.count)
+
+    if args.jobs and args.simulate:
+        print("--jobs supports prove requests only, not --simulate",
+              file=sys.stderr)
+        return 2
 
     if args.simulate:
         # Distinct design points per request (bandwidth cycles through the
@@ -408,24 +521,68 @@ def _cmd_submit(args: argparse.Namespace) -> int:
         def one(index: int) -> tuple[int, dict, float]:
             with ServiceClient.from_url(args.url, timeout=args.timeout) as client:
                 start = time.perf_counter()
-                result = client.simulate(
-                    args.scenario,
-                    num_vars=args.log_gates,
-                    bandwidth_gbs=bandwidths[index % len(bandwidths)],
+                result = _retrying(
+                    lambda: client.simulate(
+                        args.scenario,
+                        num_vars=args.log_gates,
+                        bandwidth_gbs=bandwidths[index % len(bandwidths)],
+                    ),
+                    args.retries,
                 )
                 return index, result, time.perf_counter() - start
 
         requests = list(range(args.count))
         unit = "simulations"
+    elif args.jobs:
+
+        def one(seed: int) -> tuple[int, dict, float]:
+            with ServiceClient.from_url(args.url, timeout=args.timeout) as client:
+                start = time.perf_counter()
+                ack = _retrying(
+                    lambda: client.submit_job(
+                        {
+                            "kind": "prove",
+                            "scenario": args.scenario,
+                            "num_vars": args.log_gates
+                            if args.log_gates is not None
+                            else 5,
+                            "seed": seed,
+                        }
+                    ),
+                    args.retries,
+                )
+                record = client.wait_for_job(ack["id"], timeout=args.timeout)
+                if record["state"] != "done":
+                    raise RuntimeError(
+                        f"job {ack['id']} ended {record['state']}: "
+                        f"{record.get('error')}"
+                    )
+                blob = _retrying(
+                    lambda: client.job_artifact(ack["id"]), args.retries
+                )
+                result = {
+                    "job_id": ack["id"],
+                    "state": record["state"],
+                    "attempts": record["attempts"],
+                    "artifact_bytes": len(blob),
+                    "digest": (record.get("artifact") or {}).get("digest", ""),
+                }
+                return seed, result, time.perf_counter() - start
+
+        requests = witness_seeds
+        unit = "jobs"
     else:
 
         def one(seed: int) -> tuple[int, dict, float]:
             with ServiceClient.from_url(args.url, timeout=args.timeout) as client:
                 start = time.perf_counter()
-                result = client.prove(
-                    args.scenario,
-                    num_vars=args.log_gates if args.log_gates is not None else 5,
-                    seed=seed,
+                result = _retrying(
+                    lambda: client.prove(
+                        args.scenario,
+                        num_vars=args.log_gates if args.log_gates is not None else 5,
+                        seed=seed,
+                    ),
+                    args.retries,
                 )
                 latency = time.perf_counter() - start
                 if not args.no_verify and not client.verify(result):
@@ -456,6 +613,13 @@ def _cmd_submit(args: argparse.Namespace) -> int:
                     f"{'cache hit' if result['cached'] else 'cold'}"
                     + (f", served by {served}" if served else "")
                     + f", {latency:.3f} s"
+                )
+            elif args.jobs:
+                print(
+                    f"seed {key}: job {result['job_id']} done in "
+                    f"{result['attempts']} attempt(s), "
+                    f"{result['artifact_bytes']} artifact bytes "
+                    f"({result['digest'][:12]}), {latency:.3f} s"
                 )
             else:
                 print(
@@ -621,38 +785,86 @@ def build_parser() -> argparse.ArgumentParser:
     table1.add_argument("--scenario", choices=available_scenarios(), default=None)
     table1.set_defaults(func=_cmd_table1)
 
+    def add_serve_arguments(target: argparse.ArgumentParser) -> None:
+        target.add_argument("--host", default="127.0.0.1", help="bind address")
+        target.add_argument(
+            "--port",
+            type=_nonnegative_int,
+            default=8000,
+            help="bind port (0 = ephemeral; the resolved port is printed)",
+        )
+        target.add_argument(
+            "--batch-window-ms",
+            type=float,
+            default=25.0,
+            help="how long the first queued request waits for concurrent "
+            "company before prove_many runs (default: 25 ms)",
+        )
+        target.add_argument(
+            "--max-batch",
+            type=_positive_int,
+            default=16,
+            help="largest coalesced prove_many batch (default: 16)",
+        )
+        target.add_argument(
+            "--max-queue",
+            type=_positive_int,
+            default=64,
+            help="queued-request bound before 503 backpressure (default: 64)",
+        )
+        target.add_argument(
+            "--job-dir",
+            default=None,
+            metavar="DIR",
+            help="durable job-tier directory (sqlite queue + artifact store); "
+            "default: a throwaway temp dir, so jobs do NOT survive restarts",
+        )
+        target.add_argument(
+            "--job-lease",
+            type=float,
+            default=30.0,
+            metavar="SECONDS",
+            help="worker lease on a claimed job before it becomes "
+            "re-claimable (default: 30)",
+        )
+        target.add_argument(
+            "--job-attempts",
+            type=_positive_int,
+            default=3,
+            help="attempts before a job is dead-lettered (default: 3)",
+        )
+        target.add_argument(
+            "--job-queue-limit",
+            type=_positive_int,
+            default=256,
+            help="pending-job bound before POST /jobs answers 429 "
+            "(default: 256)",
+        )
+
     serve = subparsers.add_parser(
         "serve",
         parents=[engine_options],
         help="run the batching proof-serving subsystem over HTTP",
     )
-    serve.add_argument("--host", default="127.0.0.1", help="bind address")
-    serve.add_argument(
-        "--port",
-        type=_nonnegative_int,
-        default=8000,
-        help="bind port (0 = ephemeral; the resolved port is printed)",
-    )
-    serve.add_argument(
-        "--batch-window-ms",
-        type=float,
-        default=25.0,
-        help="how long the first queued request waits for concurrent "
-        "company before prove_many runs (default: 25 ms)",
-    )
-    serve.add_argument(
-        "--max-batch",
-        type=_positive_int,
-        default=16,
-        help="largest coalesced prove_many batch (default: 16)",
-    )
-    serve.add_argument(
-        "--max-queue",
-        type=_positive_int,
-        default=64,
-        help="queued-request bound before 503 backpressure (default: 64)",
-    )
+    add_serve_arguments(serve)
     serve.set_defaults(func=_cmd_serve)
+
+    chaos = subparsers.add_parser(
+        "chaos",
+        parents=[engine_options],
+        help="run `serve` with fault-injection rules armed",
+    )
+    add_serve_arguments(chaos)
+    chaos.add_argument(
+        "--fault",
+        action="append",
+        required=True,
+        metavar="POINT:ACTION[:k=v...]",
+        help="fault rule, repeatable — e.g. batch-execute:kill:after=2 or "
+        "store-write:error:times=1 (points: store-write, lease-renew, "
+        "batch-execute, socket-write; actions: error, kill, delay)",
+    )
+    chaos.set_defaults(func=_cmd_chaos)
 
     cluster = subparsers.add_parser(
         "cluster",
@@ -733,6 +945,13 @@ def build_parser() -> argparse.ArgumentParser:
         default=64,
         help="spawned children's queue bound (default: 64)",
     )
+    cluster.add_argument(
+        "--job-dir",
+        default=None,
+        metavar="DIR",
+        help="root directory for the spawned children's durable job tiers "
+        "(child N gets DIR/backend-N); spawn-only",
+    )
     cluster.set_defaults(func=_cmd_cluster)
 
     submit = subparsers.add_parser(
@@ -787,6 +1006,20 @@ def build_parser() -> argparse.ArgumentParser:
         "--no-verify",
         action="store_true",
         help="skip the POST /verify round-trip per returned proof",
+    )
+    submit.add_argument(
+        "--jobs",
+        action="store_true",
+        help="submit through the durable job tier (POST /jobs) instead of "
+        "the synchronous prove path: enqueue, poll to completion, then "
+        "download and size the proof artifact",
+    )
+    submit.add_argument(
+        "--retries",
+        type=_nonnegative_int,
+        default=3,
+        help="retries per request on 429/503, honoring the server's "
+        "Retry-After header (default: 3)",
     )
     submit.set_defaults(func=_cmd_submit)
     return parser

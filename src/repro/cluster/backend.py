@@ -24,6 +24,7 @@ import asyncio
 import contextlib
 import json
 import os
+import random
 import re
 import signal
 import sys
@@ -80,12 +81,22 @@ class AsyncBackendClient:
         *,
         pool_size: int = 8,
         timeout: float = 600.0,
+        connect_timeout: float | None = None,
         acquire_timeout: float = 30.0,
+        retry_backoff_s: float = 0.05,
     ):
         self.host = host
         self.port = port
         self.timeout = timeout
+        # Connect gets its own (much shorter) bound: a backend that cannot
+        # even accept a TCP connection should fail over fast, while a long
+        # read timeout stays legitimate for slow prove batches.
+        self.connect_timeout = (
+            connect_timeout if connect_timeout is not None
+            else min(timeout, 10.0)
+        )
         self.acquire_timeout = acquire_timeout
+        self.retry_backoff_s = retry_backoff_s
         self._idle: list[tuple[asyncio.StreamReader, asyncio.StreamWriter]] = []
         self._slots = asyncio.Semaphore(pool_size)
         self._closed = False
@@ -100,7 +111,7 @@ class AsyncBackendClient:
         try:
             return await asyncio.wait_for(
                 asyncio.open_connection(self.host, self.port, limit=MAX_HEADER_BYTES),
-                timeout=min(self.timeout, 10.0),
+                timeout=self.connect_timeout,
             )
         except (OSError, asyncio.TimeoutError, TimeoutError) as exc:
             raise BackendError(f"connect to {self.backend_id} failed: {exc}") from None
@@ -204,8 +215,14 @@ class AsyncBackendClient:
                     self._close_connection(writer)
                     # Only a *reused* connection earns a retry: it may have
                     # been idle-closed by the backend.  A fresh connection
-                    # failing is the backend failing.
+                    # failing is the backend failing.  The short jittered
+                    # pause keeps a pool full of stale sockets (a restarted
+                    # backend) from replaying every retry in the same
+                    # instant.
                     if reused:
+                        await asyncio.sleep(
+                            self.retry_backoff_s * (0.5 + random.random())
+                        )
                         continue
                     raise BackendError(
                         f"{method} {path} on {self.backend_id} failed: "
@@ -379,14 +396,28 @@ async def spawn_backends(
     count: int,
     serve_args: list[str],
     *,
+    per_backend_args: list[list[str]] | None = None,
     host: str = "127.0.0.1",
     start_timeout: float = 120.0,
 ) -> list[SpawnedBackend]:
-    """Spawn ``count`` children concurrently; on any failure, reap them all."""
+    """Spawn ``count`` children concurrently; on any failure, reap them all.
+
+    ``per_backend_args`` appends child-specific flags (one list per child)
+    after the shared ``serve_args`` — how each child gets its own durable
+    ``--job-dir`` while sharing every other knob.
+    """
+    if per_backend_args is not None and len(per_backend_args) != count:
+        raise ValueError(
+            f"per_backend_args has {len(per_backend_args)} entries "
+            f"for {count} backends"
+        )
+    extras = per_backend_args if per_backend_args is not None else [[]] * count
     results = await asyncio.gather(
         *(
-            spawn_backend(serve_args, host=host, start_timeout=start_timeout)
-            for _ in range(count)
+            spawn_backend(
+                serve_args + list(extra), host=host, start_timeout=start_timeout
+            )
+            for extra in extras
         ),
         return_exceptions=True,
     )

@@ -44,6 +44,7 @@ from repro.cluster.health import HealthMonitor
 from repro.cluster.topology import ClusterTopology, structure_key
 from repro.core.config import config_to_dict
 from repro.dse.runner import frontier_for_points
+from repro.jobs import job_id_structure_key, new_job_id
 from repro.service import wire
 from repro.service.http import HttpServerBase, NdjsonStream
 from repro.service.metrics import ServiceMetrics, latency_summary
@@ -224,16 +225,22 @@ class ClusterRouter(HttpServerBase):
         backends: list[str] | None = None,
         spawn: int = 0,
         spawn_args: list[str] | None = None,
+        spawn_per_backend_args: list[list[str]] | None = None,
     ):
         if bool(backends) == bool(spawn):
             raise ValueError("pass exactly one of backends=[...] or spawn=N")
         if spawn < 0:
             raise ValueError("spawn must be >= 0")
+        if spawn_per_backend_args is not None and len(spawn_per_backend_args) != spawn:
+            raise ValueError(
+                "spawn_per_backend_args must have one entry per spawned backend"
+            )
         self.config = config if config is not None else RouterConfig()
         super().__init__(self.config.host, self.config.port)
         self._attach_backends = list(backends) if backends else []
         self._spawn_count = spawn
         self._spawn_args = list(spawn_args) if spawn_args else []
+        self._spawn_per_backend_args = spawn_per_backend_args
         self.metrics = RouterMetrics()
         self._fleet = _Backends()
         self.topology: ClusterTopology | None = None
@@ -252,7 +259,9 @@ class ClusterRouter(HttpServerBase):
         if self._spawn_count:
             logger.info("spawning %d backend(s)", self._spawn_count)
             self._fleet.spawned = await spawn_backends(
-                self._spawn_count, self._spawn_args
+                self._spawn_count,
+                self._spawn_args,
+                per_backend_args=self._spawn_per_backend_args,
             )
             addresses = [
                 (backend.host, backend.port) for backend in self._fleet.spawned
@@ -419,10 +428,14 @@ class ClusterRouter(HttpServerBase):
             ("POST", "/verify"): self._handle_verify,
             ("POST", "/simulate"): self._handle_simulate,
             ("POST", "/sweep"): self._handle_sweep,
+            ("POST", "/jobs"): self._handle_submit_job,
             ("GET", "/scenarios"): self._handle_scenarios,
             ("GET", "/healthz"): self._handle_healthz,
             ("GET", "/metrics"): self._handle_metrics,
         }
+
+    def prefix_routes(self) -> dict:
+        return {("GET", "/jobs/"): self._handle_get_job}
 
     def on_request(self, endpoint: str) -> None:
         self.metrics.request(endpoint)
@@ -711,6 +724,120 @@ class ClusterRouter(HttpServerBase):
 
         return 200, NdjsonStream(lines()), None
 
+    async def _handle_submit_job(self, request: dict):
+        """Route a durable job by its structure key — with an id the router
+        mints *before* forwarding.
+
+        Minting up front makes the forward idempotent: if a backend
+        persists the job but dies before its 202 crosses back, the
+        failover resubmission carries the same id and the next backend's
+        ``INSERT OR IGNORE`` (or the restarted owner's) simply acks the
+        existing row.  The id embeds the structure key, so every later
+        ``GET /jobs/<id>`` re-derives the same routing without state in
+        the router.
+        """
+        try:
+            raw_body = wire.parse_json_body(request["body"])
+            job_request = wire.parse_job_request(raw_body)
+        except wire.WireError as exc:
+            return 400, wire.error_body("bad_request", str(exc)), None
+        key = job_request["structure_key"]
+        job_id = job_request["job_id"] or new_job_id(key)
+        body = dict(raw_body)
+        body["id"] = job_id
+        status, response_body, extra, backend_id = await self._forward_with_failover(
+            "POST", "/jobs", body, key
+        )
+        if status == 202 and backend_id is not None:
+            response_body = dict(response_body)
+            response_body["served_by"] = backend_id
+        return status, response_body, extra
+
+    async def _handle_get_job(self, request: dict):
+        """``GET /jobs/<id>`` and ``GET /jobs/<id>/artifact`` at the router.
+
+        The id's embedded structure key names the rendezvous home, but a
+        job may live further down the rank order (submitted during a
+        failover window), so an *answering* backend's 404 walks to the
+        next candidate instead of being trusted as final.  Artifact
+        downloads answer ``307`` to the owning backend — proof bytes cross
+        one hop, not two.
+        """
+        rest = request["path"][len("/jobs/"):]
+        want_artifact = rest.endswith("/artifact")
+        job_id = rest[: -len("/artifact")] if want_artifact else rest
+        if not job_id or "/" in job_id:
+            return 404, wire.error_body("not_found", "no such job route"), None
+        try:
+            key = job_id_structure_key(job_id)
+        except ValueError as exc:
+            return 400, wire.error_body("bad_request", str(exc)), None
+        assert self.topology is not None and self.monitor is not None
+        last_error: BackendError | None = None
+        asked = 0
+        for backend_id in self.topology.rank(key):
+            client = self._fleet.clients[backend_id]
+            try:
+                response = await client.request("GET", f"/jobs/{job_id}")
+            except BackendBusy as exc:
+                return (
+                    503,
+                    wire.error_body("backend_saturated", str(exc)),
+                    {"Retry-After": str(max(1, round(self.config.pool_wait_timeout_s)))},
+                )
+            except BackendError as exc:
+                self.monitor.report_failure(backend_id, exc)
+                last_error = exc
+                continue
+            self.monitor.report_success(backend_id)
+            asked += 1
+            if response.status == 404:
+                continue
+            self.metrics.routed(backend_id)
+            if not want_artifact:
+                body = response.body
+                if response.status == 200:
+                    body = dict(body)
+                    body["served_by"] = backend_id
+                return response.status, body, None
+            if response.status != 200:
+                return response.status, response.body, None
+            if response.body.get("state") != "done":
+                return (
+                    409,
+                    wire.error_body(
+                        "job_not_done",
+                        f"job {job_id!r} is {response.body.get('state')}",
+                    ),
+                    {"Retry-After": "1"},
+                )
+            location = f"http://{backend_id}/jobs/{job_id}/artifact"
+            return 307, {"location": location}, {"Location": location}
+        if asked:
+            return (
+                404,
+                wire.error_body(
+                    "unknown_job",
+                    f"no live backend knows job {job_id!r}",
+                ),
+                None,
+            )
+        if last_error is None:
+            self.metrics.no_backend()
+            return (
+                503,
+                wire.error_body("no_backends", "no live backend for this job"),
+                {"Retry-After": str(max(1, round(self.config.health_interval_s * 2)))},
+            )
+        return (
+            502,
+            wire.error_body(
+                "backend_unreachable",
+                f"every backend for job {job_id!r} failed; last error: {last_error}",
+            ),
+            None,
+        )
+
     async def _handle_scenarios(self, request: dict):
         status, body, extra, _ = await self._forward_with_failover(
             "GET", "/scenarios", None, _STRUCTURELESS_KEY
@@ -729,6 +856,28 @@ class ClusterRouter(HttpServerBase):
             status_word = "degraded"
         else:
             status_word = "down"
+        # Whole-cluster job queue view from the probes' last /healthz
+        # bodies (no extra fan-out at query time): queue depth, leases and
+        # dead-letter size summed over the backends still reporting.
+        jobs_view = {
+            "queue_depth": 0,
+            "dead_letter": 0,
+            "leases_active": 0,
+            "oldest_lease_age_s": 0.0,
+            "backends_reporting": 0,
+        }
+        for health in self.monitor.snapshot().values():
+            jobs = (health.get("report") or {}).get("jobs") or {}
+            if not jobs:
+                continue
+            jobs_view["backends_reporting"] += 1
+            jobs_view["queue_depth"] += int(jobs.get("queue_depth", 0) or 0)
+            jobs_view["dead_letter"] += int(jobs.get("dead_letter", 0) or 0)
+            jobs_view["leases_active"] += int(jobs.get("leases_active", 0) or 0)
+            jobs_view["oldest_lease_age_s"] = max(
+                jobs_view["oldest_lease_age_s"],
+                float(jobs.get("oldest_lease_age_s", 0.0) or 0.0),
+            )
         return (
             200,
             {
@@ -740,6 +889,7 @@ class ClusterRouter(HttpServerBase):
                 "backends_live": len(live),
                 "live_backends": live,
                 "spawned": bool(self._fleet.spawned),
+                "jobs": jobs_view,
                 "backends": self.monitor.snapshot(),
             },
             None,
@@ -790,6 +940,18 @@ class ClusterRouter(HttpServerBase):
             sweeps = snapshot.get("sweeps") or {}
             aggregate["sweep_shards_total"] += int(sweeps.get("count", 0))
             aggregate["sweep_points_total"] += int(sweeps.get("points_total", 0))
+            jobs = snapshot.get("jobs") or {}
+            for counter, source in (
+                ("jobs_queue_depth", "queue_depth"),
+                ("jobs_dead_letter", "dead_letter"),
+                ("jobs_leases_active", "leases_active"),
+                ("jobs_retries_total", "retries_total"),
+                ("jobs_submitted_total", "submitted_total"),
+                ("jobs_completed_total", "completed_total"),
+                ("jobs_discarded_total", "discarded_total"),
+                ("artifact_dedup_total", "artifact_dedup_total"),
+            ):
+                aggregate[counter] += int(jobs.get(source, 0) or 0)
         return (
             200,
             {
@@ -805,6 +967,14 @@ class ClusterRouter(HttpServerBase):
                         "sim_cache_hits",
                         "sweep_shards_total",
                         "sweep_points_total",
+                        "jobs_queue_depth",
+                        "jobs_dead_letter",
+                        "jobs_leases_active",
+                        "jobs_retries_total",
+                        "jobs_submitted_total",
+                        "jobs_completed_total",
+                        "jobs_discarded_total",
+                        "artifact_dedup_total",
                     )},
                     "backends_reporting": reporting,
                     "backends_total": len(self._fleet.clients),

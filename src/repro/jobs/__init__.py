@@ -1,0 +1,38 @@
+"""The durable job tier: crash-safe proof/verify/sweep work as *jobs*.
+
+ROADMAP item 4 ("proofs as jobs, not requests") lands here.  Everything
+the synchronous serving tiers lose on a ``kill -9`` — admitted requests,
+in-flight batches, finished results — survives as rows in a sqlite-backed
+:class:`~repro.jobs.store.JobStore` (WAL mode, lease-based claiming,
+bounded retries with exponential backoff, a terminal dead-letter state)
+plus content-addressed proof bytes in an
+:class:`~repro.jobs.artifacts.ArtifactStore` (sha256-addressed files —
+proofs are deterministic, so identical jobs dedup to one blob for free).
+
+:class:`~repro.jobs.worker.JobRunner` is the pump: an asyncio loop inside
+each :class:`~repro.service.ProofService` that claims batches of
+same-structure jobs, executes them on the service's single engine thread
+through :meth:`~repro.api.ProverEngine.execute_job_batch`, renews leases
+while the batch runs, and commits results — guarded so a worker that lost
+its lease mid-batch cannot clobber the re-leased attempt's outcome.
+
+Failure semantics (also in the README's Jobs section): a crashed worker's
+``running`` jobs are re-leased after the lease deadline (or instantly via
+:meth:`~repro.jobs.store.JobStore.recover_abandoned` at restart, since one
+service process owns one store); a job that keeps crashing its worker
+dead-letters after ``max_attempts``; completed artifacts are immutable
+content-addressed files that survive anything short of disk loss.
+"""
+
+from repro.jobs.artifacts import ArtifactStore
+from repro.jobs.store import JOB_STATES, JobStore, job_id_structure_key, new_job_id
+from repro.jobs.worker import JobRunner
+
+__all__ = [
+    "ArtifactStore",
+    "JOB_STATES",
+    "JobRunner",
+    "JobStore",
+    "job_id_structure_key",
+    "new_job_id",
+]

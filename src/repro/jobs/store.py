@@ -1,0 +1,418 @@
+"""The persistent job queue: sqlite in WAL mode, leases, retries, dead-letter.
+
+Design
+------
+One service process owns one store (the queue file lives under that
+backend's ``--job-dir``), but nothing relies on that for safety: every
+state transition is a single guarded ``UPDATE ... WHERE`` inside one
+sqlite transaction, so a worker that lost its lease cannot complete or
+fail a job out from under the worker that re-claimed it.
+
+States move ``pending → running → done | failed`` — a ``failed`` job is
+retryable and re-claims itself once its backoff ``not_before`` passes —
+until attempts are exhausted, then ``dead`` (the dead-letter state — the
+job is kept, inspectable, never re-run).  ``running`` is always qualified
+by a lease: ``(lease_owner, lease_deadline)``.  A worker renews its lease
+while a batch runs; a crashed worker stops renewing and its jobs become
+claimable the moment the deadline passes.  At process start
+:meth:`JobStore.recover_abandoned` short-circuits the wait — a freshly
+opened store cannot have a live worker, so every ``running`` row is a
+crash leftover and is re-queued (or dead-lettered) immediately.
+
+WAL mode + ``synchronous=NORMAL`` makes every committed transaction
+survive a ``SIGKILL`` of the process (the OS page cache persists); that is
+the crash model the fault-injection tests enforce.  Timestamps are wall
+clock (``time.time()``) — monotonicity across restarts matters more here
+than resilience to clock steps, and lease windows are tens of seconds.
+"""
+
+from __future__ import annotations
+
+import json
+import random
+import secrets
+import sqlite3
+import threading
+import time
+
+from repro.testing.faults import fault_point
+
+JOB_STATES = ("pending", "running", "done", "failed", "dead")
+
+#: Job kinds the tier executes (mirrors ``ProverEngine.execute_job_batch``).
+JOB_KINDS = ("prove", "verify", "sweep")
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS jobs (
+    id              TEXT PRIMARY KEY,
+    kind            TEXT NOT NULL,
+    structure_key   TEXT NOT NULL,
+    payload         TEXT NOT NULL,
+    state           TEXT NOT NULL DEFAULT 'pending',
+    attempts        INTEGER NOT NULL DEFAULT 0,
+    max_attempts    INTEGER NOT NULL DEFAULT 3,
+    not_before      REAL NOT NULL DEFAULT 0,
+    lease_owner     TEXT,
+    leased_at       REAL,
+    lease_deadline  REAL,
+    created_at      REAL NOT NULL,
+    updated_at      REAL NOT NULL,
+    artifact_digest TEXT,
+    artifact_size   INTEGER,
+    result          TEXT,
+    error           TEXT
+);
+CREATE INDEX IF NOT EXISTS jobs_claim ON jobs (state, not_before, created_at);
+"""
+
+
+def new_job_id(structure_key: str) -> str:
+    """A fresh job id carrying its routing key: ``<structure_key>~<hex>``.
+
+    Embedding the key is what lets the *stateless* cluster router route
+    ``GET /jobs/<id>`` to the job's home backend by re-deriving the
+    rendezvous key from the id alone — no shared job table at the router.
+    """
+    return f"{structure_key}~{secrets.token_hex(12)}"
+
+
+def job_id_structure_key(job_id: str) -> str:
+    """The structure key embedded in a job id (raises ``ValueError``)."""
+    key, separator, suffix = job_id.rpartition("~")
+    if not separator or not key or not suffix:
+        raise ValueError(f"{job_id!r} is not a job id (structure_key~hex)")
+    return key
+
+
+def _row_to_dict(row: sqlite3.Row) -> dict:
+    job = dict(row)
+    job["payload"] = json.loads(job["payload"])
+    if job.get("result"):
+        job["result"] = json.loads(job["result"])
+    return job
+
+
+class JobStore:
+    """The sqlite-backed persistent queue (thread-safe, one connection).
+
+    ``backoff_base_s`` seeds the retry schedule: attempt ``n``'s retry
+    waits ``base * 2^(n-1)`` seconds (capped at ``backoff_cap_s``) plus up
+    to 25% jitter, so a fleet of failed jobs does not re-stampede the
+    engine in lockstep.
+    """
+
+    def __init__(
+        self,
+        path: str,
+        *,
+        backoff_base_s: float = 0.5,
+        backoff_cap_s: float = 60.0,
+    ):
+        self.path = str(path)
+        self.backoff_base_s = backoff_base_s
+        self.backoff_cap_s = backoff_cap_s
+        self._lock = threading.Lock()
+        self._connection = sqlite3.connect(
+            self.path, check_same_thread=False, timeout=30.0
+        )
+        self._connection.row_factory = sqlite3.Row
+        self._connection.execute("PRAGMA journal_mode=WAL")
+        self._connection.execute("PRAGMA synchronous=NORMAL")
+        with self._connection:
+            self._connection.executescript(_SCHEMA)
+
+    def close(self) -> None:
+        with self._lock:
+            self._connection.close()
+
+    # -- intake ---------------------------------------------------------------
+
+    def submit(
+        self,
+        kind: str,
+        structure_key: str,
+        payload: dict,
+        *,
+        max_attempts: int = 3,
+        job_id: str | None = None,
+    ) -> tuple[str, bool]:
+        """Enqueue one job; returns ``(job_id, created)``.
+
+        Passing an explicit ``job_id`` makes submission idempotent: a
+        retried submit (client or router re-sending after a transport
+        error) that raced a successful first attempt finds the existing
+        row and returns ``created=False`` instead of double-enqueueing.
+        """
+        if kind not in JOB_KINDS:
+            raise ValueError(f"unknown job kind {kind!r} (use {JOB_KINDS})")
+        if max_attempts < 1:
+            raise ValueError("max_attempts must be >= 1")
+        job_id = job_id if job_id is not None else new_job_id(structure_key)
+        now = time.time()
+        fault_point("store-write")
+        with self._lock, self._connection:
+            cursor = self._connection.execute(
+                """INSERT OR IGNORE INTO jobs
+                   (id, kind, structure_key, payload, state, max_attempts,
+                    created_at, updated_at)
+                   VALUES (?, ?, ?, ?, 'pending', ?, ?, ?)""",
+                (job_id, kind, structure_key, json.dumps(payload), max_attempts, now, now),
+            )
+            created = cursor.rowcount == 1
+        return job_id, created
+
+    # -- claiming -------------------------------------------------------------
+
+    _ELIGIBLE = """(state IN ('pending', 'failed') AND not_before <= :now)
+                   OR (state = 'running' AND lease_deadline < :now
+                       AND attempts < max_attempts)"""
+
+    def claim_batch(
+        self,
+        worker_id: str,
+        *,
+        limit: int = 1,
+        lease_s: float = 30.0,
+        now: float | None = None,
+    ) -> list[dict]:
+        """Atomically claim up to ``limit`` same-``(kind, structure)`` jobs.
+
+        Eligible jobs are pending / retryable-failed (past any retry
+        backoff) or running with an *expired* lease (their worker died
+        without renewing).  The batch
+        is homogeneous by construction — same kind, same structure key —
+        because it feeds one ``prove_many``-style engine call.  Claiming
+        increments ``attempts`` (attempts count *starts*, so a crash burns
+        the attempt that crashed).  Expired jobs that are already out of
+        attempts are dead-lettered here rather than re-claimed.
+        """
+        now = time.time() if now is None else now
+        deadline = now + lease_s
+        with self._lock, self._connection:
+            # Reap: an expired lease on a job with no attempts left means
+            # its last permitted attempt crashed — dead-letter, don't spin.
+            self._connection.execute(
+                f"""UPDATE jobs
+                    SET state = 'dead', updated_at = :now,
+                        error = COALESCE(error,
+                                'lease expired after final attempt'),
+                        lease_owner = NULL, lease_deadline = NULL
+                    WHERE state = 'running' AND lease_deadline < :now
+                      AND attempts >= max_attempts""",
+                {"now": now},
+            )
+            head = self._connection.execute(
+                f"""SELECT kind, structure_key FROM jobs
+                    WHERE {self._ELIGIBLE}
+                    ORDER BY created_at LIMIT 1""",
+                {"now": now},
+            ).fetchone()
+            if head is None:
+                return []
+            rows = self._connection.execute(
+                f"""SELECT id FROM jobs
+                    WHERE ({self._ELIGIBLE})
+                      AND kind = :kind AND structure_key = :key
+                    ORDER BY created_at LIMIT :limit""",
+                {
+                    "now": now,
+                    "kind": head["kind"],
+                    "key": head["structure_key"],
+                    "limit": max(1, limit),
+                },
+            ).fetchall()
+            claimed_ids = [row["id"] for row in rows]
+            for job_id in claimed_ids:
+                self._connection.execute(
+                    """UPDATE jobs
+                       SET state = 'running', attempts = attempts + 1,
+                           lease_owner = ?, leased_at = ?, lease_deadline = ?,
+                           updated_at = ?
+                       WHERE id = ?""",
+                    (worker_id, now, deadline, now, job_id),
+                )
+            placeholders = ",".join("?" for _ in claimed_ids)
+            claimed = self._connection.execute(
+                f"SELECT * FROM jobs WHERE id IN ({placeholders})", claimed_ids
+            ).fetchall()
+        by_id = {row["id"]: _row_to_dict(row) for row in claimed}
+        return [by_id[job_id] for job_id in claimed_ids]
+
+    def renew(
+        self,
+        job_ids: list[str],
+        worker_id: str,
+        lease_s: float,
+        *,
+        now: float | None = None,
+    ) -> int:
+        """Extend the lease on still-owned running jobs; returns how many.
+
+        A return below ``len(job_ids)`` tells the worker it lost (part of)
+        its batch — completion for those jobs will no-op at the guard.
+        """
+        fault_point("lease-renew")
+        now = time.time() if now is None else now
+        if not job_ids:
+            return 0
+        placeholders = ",".join("?" for _ in job_ids)
+        with self._lock, self._connection:
+            cursor = self._connection.execute(
+                f"""UPDATE jobs
+                    SET lease_deadline = ?, updated_at = ?
+                    WHERE id IN ({placeholders})
+                      AND state = 'running' AND lease_owner = ?""",
+                (now + lease_s, now, *job_ids, worker_id),
+            )
+            return cursor.rowcount
+
+    # -- outcomes -------------------------------------------------------------
+
+    def complete(
+        self,
+        job_id: str,
+        worker_id: str,
+        *,
+        artifact_digest: str | None = None,
+        artifact_size: int | None = None,
+        result: dict | None = None,
+    ) -> bool:
+        """Commit one finished job; ``False`` if the lease was lost.
+
+        The ``WHERE state='running' AND lease_owner=?`` guard is the whole
+        correctness story for concurrent re-leasing: at most one worker's
+        outcome lands, and a zombie worker (its lease expired, its jobs
+        re-claimed) discovers that here instead of corrupting the row.
+        """
+        now = time.time()
+        fault_point("store-write")
+        with self._lock, self._connection:
+            cursor = self._connection.execute(
+                """UPDATE jobs
+                   SET state = 'done', artifact_digest = ?, artifact_size = ?,
+                       result = ?, updated_at = ?,
+                       lease_owner = NULL, lease_deadline = NULL
+                   WHERE id = ? AND state = 'running' AND lease_owner = ?""",
+                (
+                    artifact_digest,
+                    artifact_size,
+                    json.dumps(result) if result is not None else None,
+                    now,
+                    job_id,
+                    worker_id,
+                ),
+            )
+            return cursor.rowcount == 1
+
+    def fail(self, job_id: str, worker_id: str, error: str) -> str:
+        """Record one failed attempt; returns the job's new state.
+
+        With attempts left the job re-queues behind an exponential-backoff
+        ``not_before``; out of attempts it dead-letters.  Returns ``lost``
+        when the lease guard fails (another worker owns the job now).
+        """
+        now = time.time()
+        fault_point("store-write")
+        with self._lock, self._connection:
+            row = self._connection.execute(
+                """SELECT attempts, max_attempts FROM jobs
+                   WHERE id = ? AND state = 'running' AND lease_owner = ?""",
+                (job_id, worker_id),
+            ).fetchone()
+            if row is None:
+                return "lost"
+            if row["attempts"] >= row["max_attempts"]:
+                state, not_before = "dead", 0.0
+            else:
+                state = "failed"
+                delay = min(
+                    self.backoff_cap_s,
+                    self.backoff_base_s * (2 ** (row["attempts"] - 1)),
+                )
+                not_before = now + delay * (1.0 + 0.25 * random.random())
+            self._connection.execute(
+                """UPDATE jobs
+                   SET state = ?, not_before = ?, error = ?, updated_at = ?,
+                       lease_owner = NULL, lease_deadline = NULL
+                   WHERE id = ?""",
+                (state, not_before, error, now, job_id),
+            )
+            return state
+
+    def recover_abandoned(self) -> int:
+        """Re-queue every ``running`` job immediately; returns the count.
+
+        Called once when a service (re)opens its store: one process owns
+        one store, so a just-opened store cannot have a live worker and
+        every running row is a crash leftover.  Jobs out of attempts go to
+        the dead-letter state instead of re-queueing.  Lease expiry remains
+        the belt-and-suspenders path for in-process worker loss.
+        """
+        now = time.time()
+        with self._lock, self._connection:
+            self._connection.execute(
+                """UPDATE jobs
+                   SET state = 'dead', updated_at = ?,
+                       error = COALESCE(error, 'worker crashed on final attempt'),
+                       lease_owner = NULL, lease_deadline = NULL
+                   WHERE state = 'running' AND attempts >= max_attempts""",
+                (now,),
+            )
+            cursor = self._connection.execute(
+                """UPDATE jobs
+                   SET state = 'pending', not_before = 0, updated_at = ?,
+                       lease_owner = NULL, lease_deadline = NULL
+                   WHERE state = 'running'""",
+                (now,),
+            )
+            return cursor.rowcount
+
+    # -- reads ----------------------------------------------------------------
+
+    def get(self, job_id: str) -> dict | None:
+        with self._lock:
+            row = self._connection.execute(
+                "SELECT * FROM jobs WHERE id = ?", (job_id,)
+            ).fetchone()
+        return _row_to_dict(row) if row is not None else None
+
+    def stats(self, now: float | None = None) -> dict:
+        """The queue-health block for ``/healthz`` and ``/metrics``.
+
+        Everything an operator needs to see a stuck tier from the outside:
+        depth (pending + running), per-state counts, dead-letter size, the
+        age of the oldest live lease (a wedged worker shows up here long
+        before its jobs dead-letter), how many jobs are waiting out a retry
+        backoff, and total retries burned.
+        """
+        now = time.time() if now is None else now
+        with self._lock:
+            states = {
+                row["state"]: row["n"]
+                for row in self._connection.execute(
+                    "SELECT state, COUNT(*) AS n FROM jobs GROUP BY state"
+                )
+            }
+            lease = self._connection.execute(
+                """SELECT MIN(leased_at) AS oldest, COUNT(*) AS n
+                   FROM jobs WHERE state = 'running'"""
+            ).fetchone()
+            backlog = self._connection.execute(
+                """SELECT COUNT(*) AS n FROM jobs
+                   WHERE state IN ('pending', 'failed') AND not_before > ?""",
+                (now,),
+            ).fetchone()
+            retries = self._connection.execute(
+                "SELECT COALESCE(SUM(attempts - 1), 0) AS n FROM jobs WHERE attempts > 1"
+            ).fetchone()
+        counts = {state: states.get(state, 0) for state in JOB_STATES}
+        oldest = lease["oldest"]
+        return {
+            "states": counts,
+            "queue_depth": counts["pending"] + counts["failed"] + counts["running"],
+            "dead_letter": counts["dead"],
+            "leases_active": lease["n"],
+            "oldest_lease_age_s": max(0.0, now - oldest) if oldest else 0.0,
+            "backoff_waiting": backlog["n"],
+            "retries_total": retries["n"],
+        }

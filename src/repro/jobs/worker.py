@@ -1,0 +1,220 @@
+"""The job pump: an asyncio worker loop between the store and the engine.
+
+One :class:`JobRunner` lives inside each :class:`~repro.service.ProofService`.
+Its loop:
+
+1. **claim** a batch of same-``(kind, structure)`` jobs from the
+   :class:`~repro.jobs.store.JobStore` (lease-with-deadline);
+2. **renew** the batch's leases on a side task every ``lease_s / 3`` while
+   the engine works — a live worker never loses a lease to slowness, only
+   to death;
+3. **execute** the whole batch in one call on the service's single engine
+   executor thread (``ProverEngine.execute_job_batch`` — prove batches go
+   through ``prove_many`` exactly like the synchronous tier's batcher);
+4. **commit** each outcome: artifact bytes into the content-addressed
+   store, then the guarded ``complete`` / ``fail`` transition.  A worker
+   that lost its lease mid-batch gets ``False`` back from the guard and
+   *discards* its result — the re-leased attempt owns the job now, and
+   since proofs are deterministic both attempts derived the same artifact
+   digest anyway.
+
+Crash windows, by construction: before ``complete`` commits, the job is
+re-run after lease expiry / restart recovery (at-least-once, idempotent —
+artifacts are content-addressed); after it, the job is durably ``done``.
+There is no window where an accepted job can be lost.
+
+``stop()`` is graceful: the loop stops claiming, finishes its in-flight
+batch, and leaves everything still queued for the next process — pending
+jobs surviving a drain (or a crash) is the tier's whole point.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import contextlib
+import logging
+import os
+import secrets
+
+from repro.testing.faults import InjectedFault, fault_point
+
+logger = logging.getLogger("repro.jobs")
+
+
+class JobRunner:
+    """Claims, executes, and commits durable jobs on an asyncio loop.
+
+    ``execute(kind, payloads)`` is the blocking engine seam: it runs on
+    ``executor`` (the service's one engine thread) and returns one
+    ``(artifact_bytes | None, result_dict)`` per payload, or raises to
+    fail the whole batch (payloads are validated at admission, so a raise
+    is systemic, not per-job).
+    """
+
+    def __init__(
+        self,
+        store,
+        artifacts,
+        execute,
+        *,
+        executor,
+        lease_s: float = 30.0,
+        poll_s: float = 0.25,
+        batch_size: int = 8,
+        worker_id: str | None = None,
+        metrics=None,
+    ):
+        self.store = store
+        self.artifacts = artifacts
+        self.execute = execute
+        self.executor = executor
+        self.lease_s = lease_s
+        self.poll_s = poll_s
+        self.batch_size = batch_size
+        self.worker_id = (
+            worker_id
+            if worker_id is not None
+            else f"worker-{os.getpid()}-{secrets.token_hex(4)}"
+        )
+        self.metrics = metrics
+        self._task: asyncio.Task | None = None
+        self._stopping = False
+        self._wake: asyncio.Event | None = None
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def start(self) -> None:
+        if self._task is not None:
+            raise RuntimeError("runner already started")
+        self._wake = asyncio.Event()
+        self._task = asyncio.get_running_loop().create_task(
+            self._run(), name="repro-job-runner"
+        )
+
+    def kick(self) -> None:
+        """Wake the claim loop now (called after a submit — skips the poll)."""
+        if self._wake is not None:
+            self._wake.set()
+
+    async def stop(self) -> None:
+        """Stop claiming, finish the in-flight batch, return."""
+        self._stopping = True
+        self.kick()
+        if self._task is not None:
+            await self._task
+            self._task = None
+
+    # -- the loop -------------------------------------------------------------
+
+    async def _run(self) -> None:
+        assert self._wake is not None
+        while not self._stopping:
+            try:
+                batch = self.store.claim_batch(
+                    self.worker_id, limit=self.batch_size, lease_s=self.lease_s
+                )
+            except Exception:
+                logger.exception("job claim failed; backing off one poll")
+                batch = []
+            if not batch:
+                self._wake.clear()
+                if self._stopping:
+                    break
+                try:
+                    await asyncio.wait_for(self._wake.wait(), timeout=self.poll_s)
+                except (asyncio.TimeoutError, TimeoutError):
+                    pass
+                continue
+            await self._run_batch(batch)
+
+    def _execute_guarded(self, kind: str, payloads: list[dict]):
+        """Engine-thread body: the ``batch-execute`` crash point lives here
+        — *after* the claim, *before* any result exists — because that is
+        the widest window a real worker death leaves open."""
+        fault_point("batch-execute")
+        return self.execute(kind, payloads)
+
+    async def _renew_loop(self, job_ids: list[str]) -> None:
+        interval = max(0.05, self.lease_s / 3.0)
+        while True:
+            await asyncio.sleep(interval)
+            try:
+                renewed = self.store.renew(job_ids, self.worker_id, self.lease_s)
+            except InjectedFault:
+                # A failed renewal is not fatal by itself: the lease just
+                # runs out its current window.  Stop renewing and let the
+                # completion guards decide who owns each job.
+                logger.warning("lease renewal failed for %s", self.worker_id)
+                return
+            if renewed < len(job_ids):
+                logger.warning(
+                    "%s lost %d lease(s) mid-batch",
+                    self.worker_id,
+                    len(job_ids) - renewed,
+                )
+
+    async def _run_batch(self, batch: list[dict]) -> None:
+        kind = batch[0]["kind"]
+        job_ids = [job["id"] for job in batch]
+        payloads = [job["payload"] for job in batch]
+        loop = asyncio.get_running_loop()
+        renewer = loop.create_task(self._renew_loop(job_ids))
+        outcomes: list | None = None
+        batch_error = ""
+        try:
+            outcomes = await loop.run_in_executor(
+                self.executor, self._execute_guarded, kind, payloads
+            )
+        except Exception as exc:
+            batch_error = f"{type(exc).__name__}: {exc}"
+        finally:
+            renewer.cancel()
+            with contextlib.suppress(asyncio.CancelledError):
+                await renewer
+        if outcomes is None:
+            for job in batch:
+                self._record_failure(job, batch_error)
+            return
+        for job, outcome in zip(batch, outcomes):
+            self._commit(job, outcome)
+
+    def _commit(self, job: dict, outcome) -> None:
+        artifact_bytes, result = outcome
+        try:
+            digest = size = None
+            deduped = False
+            if artifact_bytes is not None:
+                digest, size, deduped = self.artifacts.put(artifact_bytes)
+            committed = self.store.complete(
+                job["id"],
+                self.worker_id,
+                artifact_digest=digest,
+                artifact_size=size,
+                result=result,
+            )
+        except Exception as exc:
+            self._record_failure(job, f"{type(exc).__name__}: {exc}")
+            return
+        if committed:
+            if self.metrics is not None:
+                self.metrics.job_completed(deduped)
+        else:
+            # Lease lost: the re-leased attempt owns this job.  The result
+            # is discarded, not wrong — determinism means the winner
+            # committed the same digest.
+            logger.warning("discarding lease-lost result for job %s", job["id"])
+            if self.metrics is not None:
+                self.metrics.job_discarded()
+
+    def _record_failure(self, job: dict, error: str) -> None:
+        try:
+            state = self.store.fail(job["id"], self.worker_id, error)
+        except Exception:
+            logger.exception("recording failure for job %s failed", job["id"])
+            return
+        logger.warning("job %s attempt failed (%s): %s", job["id"], state, error)
+        if self.metrics is not None:
+            if state == "lost":
+                self.metrics.job_discarded()
+            else:
+                self.metrics.job_attempt_failed(state)

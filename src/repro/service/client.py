@@ -10,12 +10,27 @@ also what exercises the server's connection handling realistically.
 
 from __future__ import annotations
 
+import hashlib
 import http.client
 import json
+import random
 import socket
+import time
 from urllib.parse import urlsplit
 
 from repro.service import wire
+
+
+def backoff_delay(
+    attempt: int, *, base: float = 0.25, cap: float = 10.0, jitter=random.random
+) -> float:
+    """Jittered exponential backoff for retry loops (seconds).
+
+    ``attempt`` counts from 0.  Full jitter over the lower half of the
+    window — synchronized clients that all hit a 429/503 together spread
+    out instead of stampeding back in lockstep.
+    """
+    return min(cap, base * (2.0 ** attempt)) * (0.5 + 0.5 * jitter())
 
 
 class ServiceError(Exception):
@@ -31,36 +46,71 @@ class ServiceError(Exception):
 
 
 class ServiceUnavailable(ServiceError):
-    """A 503: backpressure or drain.  ``retry_after`` echoes the header."""
+    """A 503 (backpressure/drain) or 429 (durable-queue admission bound).
+
+    ``retry_after`` echoes the server's ``Retry-After`` header — the
+    server's own estimate of when capacity frees up, which retry loops
+    should prefer over their local backoff schedule.
+    """
 
     def __init__(self, status: int, payload: dict | None, retry_after: float):
         super().__init__(status, payload)
         self.retry_after = retry_after
 
 
+class TruncatedStream(ServiceError):
+    """A chunked response ended before its terminating zero-chunk.
+
+    The server died (or was killed) mid-stream: whatever arrived is
+    incomplete and must not be treated as a result.  Carries the events
+    seen so far in ``partial`` so callers can report honest progress.
+    """
+
+    def __init__(self, payload: dict | None = None, partial: int = 0):
+        super().__init__(502, payload)
+        self.partial = partial
+
+
 class ServiceClient:
-    """Blocking client over one keep-alive connection (reconnects on close)."""
+    """Blocking client over one keep-alive connection (reconnects on close).
+
+    ``connect_timeout`` bounds the TCP connect (fail fast on a dead host);
+    ``timeout`` bounds each subsequent socket read (a slow prove batch is
+    legitimate — a connect that hangs is not).
+    """
 
     def __init__(
         self,
         host: str = "127.0.0.1",
         port: int = 8000,
         timeout: float = 120.0,
+        connect_timeout: float | None = 10.0,
     ):
         self.host = host
         self.port = port
         self.timeout = timeout
+        self.connect_timeout = connect_timeout if connect_timeout else timeout
         self._connection: http.client.HTTPConnection | None = None
 
     @classmethod
-    def from_url(cls, url: str, timeout: float = 120.0) -> "ServiceClient":
+    def from_url(
+        cls,
+        url: str,
+        timeout: float = 120.0,
+        connect_timeout: float | None = 10.0,
+    ) -> "ServiceClient":
         """Build a client from ``http://host:port`` (the CLI's ``--url``)."""
         parts = urlsplit(url if "//" in url else f"//{url}")
         if parts.scheme not in ("", "http"):
             raise ValueError(f"only http:// URLs are supported, got {url!r}")
         if not parts.hostname:
             raise ValueError(f"no host in service URL {url!r}")
-        return cls(parts.hostname, parts.port or 8000, timeout=timeout)
+        return cls(
+            parts.hostname,
+            parts.port or 8000,
+            timeout=timeout,
+            connect_timeout=connect_timeout,
+        )
 
     # -- transport -----------------------------------------------------------
 
@@ -75,17 +125,28 @@ class ServiceClient:
     def __exit__(self, *exc_info) -> None:
         self.close()
 
-    def _request(self, method: str, path: str, body: dict | None = None) -> dict:
+    def _open_connection(self) -> http.client.HTTPConnection:
+        """Connect with the connect timeout, then switch the live socket to
+        the (typically much longer) read timeout."""
+        connection = http.client.HTTPConnection(
+            self.host, self.port, timeout=self.connect_timeout
+        )
+        connection.connect()
+        connection.sock.settimeout(self.timeout)
+        return connection
+
+    def _raw_request(self, method: str, path: str, body: dict | None = None):
+        """One request; returns ``(response, raw_body_bytes)``.
+
+        Retries once, transparently, on a dead keep-alive connection (the
+        server closes idle sockets on drain; a fresh connection
+        disambiguates "connection went away" from a real refusal).
+        """
         payload = json.dumps(body).encode("utf-8") if body is not None else None
         headers = {"Content-Type": "application/json"} if payload else {}
-        # One transparent retry on a dead keep-alive connection (the server
-        # closes idle sockets on drain; a fresh connection disambiguates
-        # "connection went away" from a real refusal).
         for attempt in (0, 1):
             if self._connection is None:
-                self._connection = http.client.HTTPConnection(
-                    self.host, self.port, timeout=self.timeout
-                )
+                self._connection = self._open_connection()
             try:
                 self._connection.request(method, path, body=payload, headers=headers)
                 response = self._connection.getresponse()
@@ -102,16 +163,25 @@ class ServiceClient:
                     raise
         if response.will_close:
             self.close()
+        return response, raw
+
+    @staticmethod
+    def _retry_after(response) -> float:
+        try:
+            return float(response.headers.get("Retry-After", "1"))
+        except ValueError:
+            return 1.0
+
+    def _request(self, method: str, path: str, body: dict | None = None) -> dict:
+        response, raw = self._raw_request(method, path, body)
         try:
             decoded = json.loads(raw.decode("utf-8")) if raw else {}
         except (json.JSONDecodeError, UnicodeDecodeError):
             decoded = {}
-        if response.status == 503:
-            try:
-                retry_after = float(response.headers.get("Retry-After", "1"))
-            except ValueError:
-                retry_after = 1.0
-            raise ServiceUnavailable(response.status, decoded, retry_after)
+        if response.status in (429, 503):
+            raise ServiceUnavailable(
+                response.status, decoded, self._retry_after(response)
+            )
         if response.status >= 400:
             raise ServiceError(response.status, decoded)
         return decoded
@@ -222,15 +292,29 @@ class ServiceClient:
             return self._request("POST", "/sweep", body)
         body["stream"] = True
         result = None
-        for line in self._stream_request("POST", "/sweep", body):
-            if on_event is not None:
-                on_event(line)
-            if line.get("event") == "result":
-                result = line
+        events_seen = 0
+        try:
+            for line in self._stream_request("POST", "/sweep", body):
+                events_seen += 1
+                if on_event is not None:
+                    on_event(line)
+                if line.get("event") == "result":
+                    result = line
+        except (http.client.IncompleteRead, http.client.HTTPException,
+                ConnectionError, OSError) as exc:
+            # The server (or its socket) died mid-stream; the chunked body
+            # has no terminator, so nothing received can be trusted as a
+            # complete frontier.
+            raise TruncatedStream(wire.error_body(
+                "truncated_stream",
+                f"sweep stream broke after {events_seen} event(s): {exc}",
+            ), partial=events_seen) from None
         if result is None:
-            raise ServiceError(502, wire.error_body(
-                "truncated_stream", "sweep stream ended without a result line"
-            ))
+            raise TruncatedStream(wire.error_body(
+                "truncated_stream",
+                f"sweep stream ended without a result line "
+                f"(after {events_seen} event(s))",
+            ), partial=events_seen)
         return result
 
     def _stream_request(self, method: str, path: str, body: dict):
@@ -244,9 +328,7 @@ class ServiceClient:
         payload = json.dumps(body).encode("utf-8")
         headers = {"Content-Type": "application/json"}
         if self._connection is None:
-            self._connection = http.client.HTTPConnection(
-                self.host, self.port, timeout=self.timeout
-            )
+            self._connection = self._open_connection()
         try:
             self._connection.request(method, path, body=payload, headers=headers)
             response = self._connection.getresponse()
@@ -275,6 +357,84 @@ class ServiceClient:
             raise
         if response.will_close:
             self.close()
+
+    # -- durable jobs ---------------------------------------------------------
+
+    def submit_job(self, body: dict) -> dict:
+        """``POST /jobs``: submit one durable job; returns the 202 ack.
+
+        ``body`` is the job request (``kind`` plus the matching synchronous
+        request's fields; optional ``id`` for idempotent resubmission).  A
+        429/503 raises :class:`ServiceUnavailable` with the server's
+        ``Retry-After``.
+        """
+        return self._request("POST", "/jobs", body)
+
+    def job(self, job_id: str) -> dict:
+        """``GET /jobs/<id>``: a job's current state."""
+        return self._request("GET", f"/jobs/{job_id}")
+
+    def wait_for_job(
+        self, job_id: str, timeout: float = 600.0, poll_s: float = 0.25
+    ) -> dict:
+        """Poll until the job reaches a terminal state (``done``/``dead``)."""
+        deadline = time.monotonic() + timeout
+        while True:
+            record = self.job(job_id)
+            if record["state"] in ("done", "dead"):
+                return record
+            if time.monotonic() >= deadline:
+                raise TimeoutError(
+                    f"job {job_id!r} still {record['state']} after {timeout}s"
+                )
+            time.sleep(min(poll_s, max(0.0, deadline - time.monotonic())))
+
+    def job_artifact(self, job_id: str, *, _redirected: bool = False) -> bytes:
+        """``GET /jobs/<id>/artifact``: the finished job's artifact bytes.
+
+        Follows at most one ``307`` (the router redirects artifact
+        downloads to the owning backend so blobs cross one hop, not two)
+        and verifies the body against the ``X-Artifact-Digest`` header —
+        a truncated or corrupted download raises instead of returning
+        short bytes.
+        """
+        try:
+            response, raw = self._raw_request("GET", f"/jobs/{job_id}/artifact")
+        except http.client.IncompleteRead as exc:
+            raise TruncatedStream(wire.error_body(
+                "truncated_stream", f"artifact download truncated: {exc}"
+            )) from None
+        if response.status == 307:
+            location = response.headers.get("Location", "")
+            parts = urlsplit(location)
+            if _redirected or not parts.hostname:
+                raise ServiceError(502, wire.error_body(
+                    "bad_redirect", f"unusable artifact redirect {location!r}"
+                ))
+            with ServiceClient(
+                parts.hostname,
+                parts.port or 8000,
+                timeout=self.timeout,
+                connect_timeout=self.connect_timeout,
+            ) as owner:
+                return owner.job_artifact(job_id, _redirected=True)
+        if response.status in (429, 503):
+            raise ServiceUnavailable(
+                response.status, {}, self._retry_after(response)
+            )
+        if response.status >= 400:
+            try:
+                decoded = json.loads(raw.decode("utf-8")) if raw else {}
+            except (json.JSONDecodeError, UnicodeDecodeError):
+                decoded = {}
+            raise ServiceError(response.status, decoded)
+        expected = response.headers.get("X-Artifact-Digest")
+        if expected and hashlib.sha256(raw).hexdigest() != expected:
+            raise ServiceError(502, wire.error_body(
+                "digest_mismatch",
+                f"artifact bytes do not hash to {expected}",
+            ))
+        return raw
 
     def scenarios(self) -> list[dict]:
         """``GET /scenarios``."""

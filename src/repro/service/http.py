@@ -13,12 +13,15 @@ graceful drain can wait for handlers to finish *writing*), and the
 Subclasses implement :meth:`HttpServerBase._dispatch` (route one parsed
 request, respond via :meth:`HttpServerBase._respond`) plus their own
 ``start`` / ``shutdown`` around :meth:`_start_http` / :meth:`_stop_http`.
-The class is deliberately not a framework: no middleware, and exactly one
-streaming shape — a handler may return an :class:`NdjsonStream` body,
-which is written as ``Transfer-Encoding: chunked`` newline-delimited JSON
-(one JSON object per chunk).  That is what an incremental sweep response
-needs and nothing more; every other response remains a single
-``Content-Length``-framed JSON object.
+The class is deliberately not a framework: no middleware, and exactly two
+streaming shapes — a handler may return an :class:`NdjsonStream` body,
+written as ``Transfer-Encoding: chunked`` newline-delimited JSON (one JSON
+object per chunk; what an incremental sweep response needs), or a
+:class:`ByteStream` body, written as chunked binary (what a job-artifact
+download needs).  Every other response remains a single
+``Content-Length``-framed JSON object.  Parameterized paths
+(``/jobs/<id>``) dispatch through the subclass's :meth:`prefix_routes`
+table rather than a path parser.
 """
 
 from __future__ import annotations
@@ -30,15 +33,21 @@ import logging
 import signal
 import time
 
+from repro.testing.faults import fault_point
+
 #: Cap on the request line + headers (JSON bodies are framed separately).
 MAX_HEADER_BYTES = 16384
 
 STATUS_REASONS = {
     200: "OK",
+    202: "Accepted",
+    307: "Temporary Redirect",
     400: "Bad Request",
     404: "Not Found",
     405: "Method Not Allowed",
+    409: "Conflict",
     413: "Payload Too Large",
+    429: "Too Many Requests",
     500: "Internal Server Error",
     502: "Bad Gateway",
     503: "Service Unavailable",
@@ -68,6 +77,21 @@ class NdjsonStream:
 
     def __init__(self, lines):
         self.lines = lines
+
+
+class ByteStream:
+    """A chunked binary response body: an iterator of ``bytes`` chunks.
+
+    The artifact-download shape: ``(200, ByteStream(chunks), headers)``
+    writes ``Transfer-Encoding: chunked`` with ``content_type`` (default
+    ``application/octet-stream``).  As with :class:`NdjsonStream`, a
+    mid-stream failure closes the connection without the zero-chunk — the
+    client sees a truncated body, never silently short bytes.
+    """
+
+    def __init__(self, chunks, content_type: str = "application/octet-stream"):
+        self.chunks = chunks
+        self.content_type = content_type
 
 
 async def read_http_request(
@@ -187,6 +211,17 @@ class HttpServerBase:
     def routes(self) -> dict:  # pragma: no cover - subclass contract
         """The ``(method, path) → async handler`` dispatch table."""
         raise NotImplementedError
+
+    def prefix_routes(self) -> dict:
+        """``(method, prefix) → async handler`` for parameterized paths.
+
+        Checked after the exact table misses; the longest matching prefix
+        wins and the handler reads the remainder from ``request["path"]``.
+        Metrics/latency are keyed by the *prefix* (one bounded label per
+        route family), never the raw path — same scanner-memory rule as
+        the exact table.
+        """
+        return {}
 
     def on_request(self, endpoint: str) -> None:
         """Hook: a request for a *known* endpoint was received."""
@@ -321,9 +356,27 @@ class HttpServerBase:
         started = time.perf_counter()
         routes = self.routes()
         handler = routes.get((method, path))
+        endpoint = path.lstrip("/")
+        if handler is None:
+            prefixes = self.prefix_routes()
+            match = max(
+                (
+                    (route_method, prefix)
+                    for route_method, prefix in prefixes
+                    if route_method == method and path.startswith(prefix)
+                ),
+                key=lambda item: len(item[1]),
+                default=None,
+            )
+            if match is not None:
+                handler = prefixes[match]
+                endpoint = match[1].strip("/")
         if handler is None:
             known_paths = {route_path for _, route_path in routes}
-            if path in known_paths:
+            prefix_paths = {prefix for _, prefix in self.prefix_routes()}
+            if path in known_paths or any(
+                path.startswith(prefix) for prefix in prefix_paths
+            ):
                 status, body, extra = 405, error_body(
                     "method_not_allowed", f"{method} not supported on {path}"
                 ), None
@@ -332,7 +385,7 @@ class HttpServerBase:
                     "not_found", f"no route for {path}"
                 ), None
         else:
-            self.on_request(path.lstrip("/"))
+            self.on_request(endpoint)
             try:
                 status, body, extra = await handler(request)
             except Exception:
@@ -341,9 +394,10 @@ class HttpServerBase:
                     "internal_error", f"unhandled error on {method} {path}"
                 ), None
             # Latency reservoirs are keyed by endpoint and only exist for
-            # known routes — recording arbitrary request paths would let a
-            # scanner grow a long-lived server's memory without bound.
-            self.on_latency(path.lstrip("/"), time.perf_counter() - started)
+            # known routes (prefix families count once) — recording
+            # arbitrary request paths would let a scanner grow a
+            # long-lived server's memory without bound.
+            self.on_latency(endpoint, time.perf_counter() - started)
         await self._respond(
             writer, status, body, keep_alive=keep_alive, extra_headers=extra
         )
@@ -362,11 +416,17 @@ class HttpServerBase:
                 writer, status, body, keep_alive=keep_alive, extra_headers=extra_headers
             )
             return
+        if isinstance(body, ByteStream):
+            await self._respond_bytes(
+                writer, status, body, keep_alive=keep_alive, extra_headers=extra_headers
+            )
+            return
         payload = json.dumps(body).encode("utf-8")
         # Count before the socket write: the moment bytes hit the wire a
         # client thread may act on them, and observers (tests, the load
         # generator) expect the counters to already reflect the response.
         self.on_response(status)
+        fault_point("socket-write")
         writer.write(
             format_http_response(
                 status, payload, keep_alive=keep_alive, extra_headers=extra_headers
@@ -400,9 +460,11 @@ class HttpServerBase:
         for name, value in (extra_headers or {}).items():
             headers.append(f"{name}: {value}")
         self.on_response(status)
+        fault_point("socket-write")
         writer.write("\r\n".join(headers).encode("latin-1") + b"\r\n\r\n")
         try:
             async for line in stream.lines:
+                fault_point("socket-write")
                 chunk = json.dumps(line).encode("utf-8") + b"\n"
                 writer.write(f"{len(chunk):X}\r\n".encode("latin-1"))
                 writer.write(chunk + b"\r\n")
@@ -415,4 +477,47 @@ class HttpServerBase:
             # The status line is long gone; the only honest signal left is
             # a truncated chunked body.  Close without the zero-chunk.
             self.logger.exception("error while streaming response")
+            writer.close()
+
+    async def _respond_bytes(
+        self,
+        writer: asyncio.StreamWriter,
+        status: int,
+        stream: ByteStream,
+        *,
+        keep_alive: bool = True,
+        extra_headers: dict | None = None,
+    ) -> None:
+        """Write one chunked binary response (the artifact download shape).
+
+        The source iterator is synchronous (a file read in bounded chunks);
+        the per-chunk ``drain`` keeps a slow client from buffering a large
+        artifact in process memory.
+        """
+        reason = STATUS_REASONS.get(status, "Unknown")
+        headers = [
+            f"HTTP/1.1 {status} {reason}",
+            f"Content-Type: {stream.content_type}",
+            "Transfer-Encoding: chunked",
+            f"Connection: {'keep-alive' if keep_alive else 'close'}",
+        ]
+        for name, value in (extra_headers or {}).items():
+            headers.append(f"{name}: {value}")
+        self.on_response(status)
+        fault_point("socket-write")
+        writer.write("\r\n".join(headers).encode("latin-1") + b"\r\n\r\n")
+        try:
+            for chunk in stream.chunks:
+                if not chunk:
+                    continue
+                fault_point("socket-write")
+                writer.write(f"{len(chunk):X}\r\n".encode("latin-1"))
+                writer.write(chunk + b"\r\n")
+                await writer.drain()
+            writer.write(b"0\r\n\r\n")
+            await writer.drain()
+        except (ConnectionResetError, BrokenPipeError):
+            pass
+        except Exception:
+            self.logger.exception("error while streaming artifact")
             writer.close()

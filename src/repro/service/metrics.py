@@ -67,6 +67,12 @@ class ServiceMetrics:
         #: thread (there is at most one: the executor is one thread wide).
         self._sweep_progress: dict | None = None
         self._latency: dict[str, deque] = {}
+        self.jobs_submitted_total = 0
+        self.jobs_completed_total = 0
+        self.jobs_failed_total = 0
+        self.jobs_dead_total = 0
+        self.jobs_discarded_total = 0
+        self.artifact_dedup_total = 0
 
     # -- recording (handlers / batcher) -------------------------------------
 
@@ -122,6 +128,30 @@ class ServiceMetrics:
             self.last_pareto_size = pareto_size
             self._sweep_progress = None
 
+    def job_submitted(self) -> None:
+        with self._lock:
+            self.jobs_submitted_total += 1
+
+    def job_completed(self, deduped: bool) -> None:
+        """One job committed ``done`` (``deduped`` = artifact already stored)."""
+        with self._lock:
+            self.jobs_completed_total += 1
+            if deduped:
+                self.artifact_dedup_total += 1
+
+    def job_attempt_failed(self, state: str) -> None:
+        """One failed attempt; ``state`` is where the job landed
+        (``failed`` = retryable, ``dead`` = out of attempts)."""
+        with self._lock:
+            self.jobs_failed_total += 1
+            if state == "dead":
+                self.jobs_dead_total += 1
+
+    def job_discarded(self) -> None:
+        """One lease-lost result thrown away (the re-leased attempt won)."""
+        with self._lock:
+            self.jobs_discarded_total += 1
+
     def latency(self, endpoint: str, seconds: float) -> None:
         with self._lock:
             reservoir = self._latency.get(endpoint)
@@ -138,8 +168,19 @@ class ServiceMetrics:
                 return 0.0
             return self.batch_seconds_total / self.prove_many_calls
 
-    def snapshot(self, state: str, queue_depth: int, queue_capacity: int) -> dict:
-        """The full ``GET /metrics`` body."""
+    def snapshot(
+        self,
+        state: str,
+        queue_depth: int,
+        queue_capacity: int,
+        jobs: dict | None = None,
+    ) -> dict:
+        """The full ``GET /metrics`` body.
+
+        ``jobs`` is the durable tier's live view (queue/lease/artifact
+        stats from :class:`~repro.jobs.store.JobStore`), merged here with
+        the counters this process accumulated.
+        """
         with self._lock:
             batches = sum(self.batch_sizes.values())
             coalesced = sum(size * n for size, n in self.batch_sizes.items())
@@ -176,4 +217,13 @@ class ServiceMetrics:
                     endpoint: latency_summary(list(samples))
                     for endpoint, samples in self._latency.items()
                 },
+                "jobs": dict(
+                    jobs or {},
+                    submitted_total=self.jobs_submitted_total,
+                    completed_total=self.jobs_completed_total,
+                    failed_attempts_total=self.jobs_failed_total,
+                    dead_total=self.jobs_dead_total,
+                    discarded_total=self.jobs_discarded_total,
+                    artifact_dedup_total=self.artifact_dedup_total,
+                ),
             }

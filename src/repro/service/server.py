@@ -19,6 +19,11 @@ Endpoints
                     ``cached`` flag)
 ``POST /sweep``     evaluate a design-space sweep plan (or one shard of
                     it); optionally streamed as NDJSON progress chunks
+``POST /jobs``      submit a durable prove/verify/sweep job (202 = the job
+                    is persisted and will survive a crash); 429 when the
+                    durable queue is at its admission bound
+``GET  /jobs/<id>`` a job's state; ``/jobs/<id>/artifact`` streams the
+                    finished job's content-addressed artifact bytes
 ``GET  /scenarios`` the scenario registry (names, sizes, descriptions,
                     per-scenario capability flags)
 ``GET  /healthz``   liveness, lifecycle state, queue depth, in-flight
@@ -43,6 +48,9 @@ from __future__ import annotations
 
 import asyncio
 import logging
+import os
+import shutil
+import tempfile
 import threading
 import time
 from concurrent.futures import ThreadPoolExecutor
@@ -50,12 +58,14 @@ from dataclasses import dataclass
 
 from repro.api import EngineConfig, ProverEngine
 from repro.api.scenarios import available_scenarios, resolve_scenario
+from repro.jobs import ArtifactStore, JobRunner, JobStore
 from repro.protocol.serialization import SerializationError, deserialize_proof
 from repro.protocol.verifier import VerificationError
 from repro.service import wire
 from repro.service.batcher import Draining, DynamicBatcher, QueueFull
-from repro.service.http import HttpServerBase, NdjsonStream
+from repro.service.http import ByteStream, HttpServerBase, NdjsonStream
 from repro.service.metrics import ServiceMetrics
+from repro.testing.faults import install_from_env
 
 logger = logging.getLogger("repro.service")
 
@@ -90,6 +100,21 @@ class ServiceConfig:
         batch never mixes circuit sizes — one slow 2^14 job stops inflating
         the p99 of 2^10 jobs that would otherwise share its batch.  Within
         a bucket, arrival order and proof bytes are unchanged.
+    job_dir:
+        Where the durable tier lives: the sqlite queue (``queue.sqlite3``)
+        and the content-addressed artifact store (``artifacts/``).  Point
+        it at persistent storage to make jobs survive process restarts —
+        ``None`` means an owned temporary directory, removed at shutdown
+        (jobs are then only as durable as the process; fine for tests).
+    job_lease_s / job_poll_s:
+        Worker lease length (a crashed worker's claimed jobs become
+        re-claimable after this) and the idle claim-poll interval.
+    job_max_attempts:
+        Default retry budget per job before it dead-letters (a submit may
+        override per job).
+    job_queue_limit:
+        Admission bound on not-yet-done jobs; beyond it ``POST /jobs``
+        answers 429 with a ``Retry-After`` hint.
     """
 
     host: str = "127.0.0.1"
@@ -98,6 +123,11 @@ class ServiceConfig:
     max_batch: int = 16
     max_queue: int = 64
     size_buckets: bool = True
+    job_dir: str | None = None
+    job_lease_s: float = 30.0
+    job_poll_s: float = 0.25
+    job_max_attempts: int = 3
+    job_queue_limit: int = 256
 
     def __post_init__(self) -> None:
         if self.batch_window_ms < 0:
@@ -106,6 +136,14 @@ class ServiceConfig:
             raise ValueError("max_batch must be >= 1")
         if self.max_queue < 1:
             raise ValueError("max_queue must be >= 1")
+        if self.job_lease_s <= 0:
+            raise ValueError("job_lease_s must be > 0")
+        if self.job_poll_s <= 0:
+            raise ValueError("job_poll_s must be > 0")
+        if self.job_max_attempts < 1:
+            raise ValueError("job_max_attempts must be >= 1")
+        if self.job_queue_limit < 1:
+            raise ValueError("job_queue_limit must be >= 1")
 
 
 class ProofService(HttpServerBase):
@@ -145,6 +183,10 @@ class ProofService(HttpServerBase):
             metrics=self.metrics,
             bucket_key=self._bucket_key if self.config.size_buckets else None,
         )
+        self.jobs: JobStore | None = None
+        self.artifacts: ArtifactStore | None = None
+        self.job_runner: JobRunner | None = None
+        self._owned_job_dir: str | None = None
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -152,26 +194,65 @@ class ProofService(HttpServerBase):
         """Bind the socket and start the batcher; returns once listening."""
         if self._state != "new":
             raise RuntimeError(f"cannot start a {self._state} service")
+        install_from_env()
         self.batcher.start()
+        self._open_job_tier()
+        self.job_runner.start()
         await self._start_http()
         self._state = "serving"
         logger.info("serving on %s:%d", self.config.host, self.port)
+
+    def _open_job_tier(self) -> None:
+        """Open (or re-open after a crash) the durable queue and artifacts.
+
+        Re-opening is the recovery path: every job this process previously
+        held a lease on is reset to ``pending`` (or dead-lettered if it was
+        already out of attempts) before the runner claims anything.
+        """
+        job_dir = self.config.job_dir
+        if job_dir is None:
+            self._owned_job_dir = tempfile.mkdtemp(prefix="repro-jobs-")
+            job_dir = self._owned_job_dir
+        os.makedirs(job_dir, exist_ok=True)
+        self.jobs = JobStore(os.path.join(job_dir, "queue.sqlite3"))
+        recovered = self.jobs.recover_abandoned()
+        if recovered:
+            logger.info("recovered %d abandoned job(s) from %s", recovered, job_dir)
+        self.artifacts = ArtifactStore(os.path.join(job_dir, "artifacts"))
+        self.job_runner = JobRunner(
+            self.jobs,
+            self.artifacts,
+            self._execute_job_batch,
+            executor=self._executor,
+            lease_s=self.config.job_lease_s,
+            poll_s=self.config.job_poll_s,
+            batch_size=self.config.max_batch,
+            metrics=self.metrics,
+        )
 
     async def shutdown(self) -> None:
         """Graceful drain: reject new work, answer everything admitted, stop.
 
         Idempotent.  Ordering matters: the batcher drains first (every
-        queued request is proved and its handler resumed), then the loop
-        waits for those handlers to finish *writing*, and only then do the
-        listening socket and lingering keep-alive connections close.
+        queued request is proved and its handler resumed), then the job
+        runner finishes its in-flight batch (queued jobs stay durably
+        pending — that is the tier's point), then the loop waits for
+        handlers to finish *writing*, and only then do the sockets close.
         """
         if self._state in ("draining", "stopped"):
             return
         self._state = "draining"
         await self.batcher.drain()
+        if self.job_runner is not None:
+            await self.job_runner.stop()
         await self._stop_http()
         self._state = "stopped"
         self._executor.shutdown(wait=True)
+        if self.jobs is not None:
+            self.jobs.close()
+        if self._owned_job_dir is not None:
+            shutil.rmtree(self._owned_job_dir, ignore_errors=True)
+            self._owned_job_dir = None
         if self._owns_engine:
             self.engine.close()
         logger.info("drained and stopped")
@@ -271,6 +352,15 @@ class ProofService(HttpServerBase):
         self.metrics.sweep_done(len(result.points), len(result.frontier))
         return result
 
+    def _execute_job_batch(self, kind: str, payloads: list[dict]):
+        """Blocking: one claimed job batch through the engine (worker seam).
+
+        Same single engine thread as the synchronous tier — durable jobs
+        and interactive requests interleave batch-by-batch rather than
+        racing the engine's process-wide configuration.
+        """
+        return self.engine.execute_job_batch(kind, payloads)
+
     # -- routing --------------------------------------------------------------
 
     def routes(self) -> dict:
@@ -279,10 +369,14 @@ class ProofService(HttpServerBase):
             ("POST", "/verify"): self._handle_verify,
             ("POST", "/simulate"): self._handle_simulate,
             ("POST", "/sweep"): self._handle_sweep,
+            ("POST", "/jobs"): self._handle_submit_job,
             ("GET", "/scenarios"): self._handle_scenarios,
             ("GET", "/healthz"): self._handle_healthz,
             ("GET", "/metrics"): self._handle_metrics,
         }
+
+    def prefix_routes(self) -> dict:
+        return {("GET", "/jobs/"): self._handle_get_job}
 
     def _retry_after_seconds(self) -> int:
         """A pessimistic-but-bounded hint for rejected callers.
@@ -439,6 +533,119 @@ class ProofService(HttpServerBase):
 
         return 200, NdjsonStream(lines()), None
 
+    async def _handle_submit_job(self, request: dict):
+        """``POST /jobs``: validate, admit against the durable queue bound,
+        persist, wake the runner, acknowledge with 202.
+
+        The 202 means "this job is now crash-safe": the row committed to
+        sqlite before the response bytes left the process.  A client that
+        never reads the response (or a router retrying a dead connection)
+        resubmits with the same id and gets the same job back.
+        """
+        try:
+            job_request = wire.parse_job_request(wire.parse_json_body(request["body"]))
+        except wire.WireError as exc:
+            return 400, wire.error_body("bad_request", str(exc)), None
+        if self._state != "serving" or self.jobs is None:
+            return (
+                503,
+                wire.error_body("draining", "service is shutting down"),
+                {"Retry-After": str(self._retry_after_seconds())},
+            )
+        if self.jobs.stats()["queue_depth"] >= self.config.job_queue_limit:
+            return (
+                429,
+                wire.error_body(
+                    "job_queue_full",
+                    f"job queue at its {self.config.job_queue_limit}-job limit",
+                ),
+                {"Retry-After": str(self._retry_after_seconds())},
+            )
+        max_attempts = job_request["max_attempts"]
+        job_id, created = self.jobs.submit(
+            job_request["kind"],
+            job_request["structure_key"],
+            job_request["payload"],
+            max_attempts=(
+                max_attempts if max_attempts is not None
+                else self.config.job_max_attempts
+            ),
+            job_id=job_request["job_id"],
+        )
+        if created:
+            self.metrics.job_submitted()
+        self.job_runner.kick()
+        body = wire.job_response(self.jobs.get(job_id))
+        body["created"] = created
+        return 202, body, None
+
+    async def _handle_get_job(self, request: dict):
+        """``GET /jobs/<id>`` (status) and ``GET /jobs/<id>/artifact``
+        (chunked download of the content-addressed blob)."""
+        rest = request["path"][len("/jobs/"):]
+        want_artifact = rest.endswith("/artifact")
+        job_id = rest[: -len("/artifact")] if want_artifact else rest
+        if not job_id or "/" in job_id or self.jobs is None:
+            return 404, wire.error_body("not_found", "no such job route"), None
+        record = self.jobs.get(job_id)
+        if record is None:
+            return (
+                404,
+                wire.error_body("unknown_job", f"no job {job_id!r} on this backend"),
+                None,
+            )
+        if not want_artifact:
+            return 200, wire.job_response(record), None
+        if record["state"] != "done":
+            # 409, not 404: the job exists, its artifact does not *yet* —
+            # a poller should keep waiting, not conclude the id is wrong.
+            extra = (
+                {"Retry-After": "1"}
+                if record["state"] in ("pending", "running", "failed")
+                else None
+            )
+            return (
+                409,
+                wire.error_body(
+                    "job_not_done", f"job {job_id!r} is {record['state']}"
+                ),
+                extra,
+            )
+        digest = record["artifact_digest"]
+        if not digest:
+            return (
+                404,
+                wire.error_body(
+                    "no_artifact", f"job {job_id!r} produced a result body only"
+                ),
+                None,
+            )
+        try:
+            chunks = self.artifacts.open_chunks(digest)
+        except KeyError:
+            return (
+                404,
+                wire.error_body("no_artifact", f"artifact {digest} missing"),
+                None,
+            )
+        return (
+            200,
+            ByteStream(chunks),
+            {
+                "X-Artifact-Digest": digest,
+                "X-Artifact-Size": str(record["artifact_size"]),
+            },
+        )
+
+    def _job_stats(self) -> dict | None:
+        """The durable tier's live view for ``/healthz`` and ``/metrics``."""
+        if self.jobs is None:
+            return None
+        stats = self.jobs.stats()
+        stats["queue_limit"] = self.config.job_queue_limit
+        stats["artifacts"] = self.artifacts.stats()
+        return stats
+
     async def _handle_scenarios(self, request: dict):
         scenarios = []
         for name in available_scenarios():
@@ -487,6 +694,7 @@ class ProofService(HttpServerBase):
                 "queue_capacity": self.config.max_queue,
                 "in_flight_batches": self.batcher.in_flight_batches,
                 "size_buckets": self.config.size_buckets,
+                "jobs": self._job_stats(),
                 "engine": engine_info,
             },
             None,
@@ -499,6 +707,7 @@ class ProofService(HttpServerBase):
                 state=self._state,
                 queue_depth=self.batcher.queue_depth,
                 queue_capacity=self.config.max_queue,
+                jobs=self._job_stats(),
             ),
             None,
         )

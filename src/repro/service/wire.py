@@ -34,6 +34,18 @@ Requests
      "stream": true,                          # optional: NDJSON chunks
      "include_points": false}                 # optional: all points in body
 
+``POST /jobs`` (the durable tier)::
+
+    {"kind": "prove",                        # or "verify" / "sweep"
+     "scenario": "zcash", "num_vars": 6, "seed": 3,
+     "id": "zcash:6~deadbeef...",             # optional idempotency key
+     "max_attempts": 3}                       # optional retry budget
+
+A job body is the matching synchronous request plus ``kind``; it is
+validated by the same parser at admission, acknowledged with 202, and
+queried back via ``GET /jobs/<id>`` / downloaded via
+``GET /jobs/<id>/artifact``.
+
 ``scenario`` is any name from ``GET /scenarios``; ``num_vars`` defaults to
 the scenario's laptop-scale size, ``seed`` to 0.  The verify request names
 the circuit *structure* (scenario + size) so the server can resolve the
@@ -63,6 +75,7 @@ from repro.core.config import (
     config_to_dict,
 )
 from repro.dse.plan import SweepPlan
+from repro.jobs.store import JOB_KINDS, job_id_structure_key
 from repro.service.http import error_body  # noqa: F401  (canonical error shape)
 from repro.circuits.builder import Circuit
 from repro.protocol.keys import WITNESS_POLY_NAMES
@@ -320,6 +333,125 @@ def parse_sweep_request(body) -> dict:
         "stream": bool(body.get("stream", False)),
         "include_points": bool(body.get("include_points", False)),
     }
+
+
+def job_structure_key(kind: str, payload: Mapping) -> str:
+    """The placement key of a durable job (matches the synchronous tier).
+
+    Prove/verify jobs key by ``"scenario:resolved_num_vars"`` — exactly
+    :func:`repro.cluster.topology.structure_key` — so a job lands on the
+    backend whose SRS/circuit caches already hold its structure.  Sweep
+    jobs key by ``"sweep:scenario:num_vars"``: a distinct namespace, since
+    a sweep warms the simulator cache, not the prover's.
+    """
+    if kind == "sweep":
+        plan = payload["plan"]
+        scenario = plan.get("scenario") or "synthetic"
+        num_vars = plan.get("num_vars")
+        if num_vars is None:
+            num_vars = resolved_sim_num_vars(plan["scenario"], None)
+        return f"sweep:{scenario}:{num_vars}"
+    return (
+        f"{payload['scenario']}:"
+        f"{resolved_num_vars(payload['scenario'], payload.get('num_vars'))}"
+    )
+
+
+def parse_job_request(body) -> dict:
+    """Validate a ``POST /jobs`` body into a submittable job.
+
+    Returns ``{"kind", "structure_key", "payload", "job_id", "max_attempts"}``
+    — ``job_id`` is the caller's idempotency key (``None`` means "mint
+    one"), checked here against the payload's structure key so a spoofed
+    id cannot make the router and the store disagree about placement.
+
+    Each kind reuses the corresponding synchronous parser, so a payload
+    that passes admission cannot fail later for wire-shape reasons: a
+    failed attempt means the engine itself raised, which is what retries
+    and the dead-letter state are for.
+    """
+    body = _require_mapping(body)
+    kind = body.get("kind")
+    if kind not in JOB_KINDS:
+        raise WireError(
+            f"kind must be one of {', '.join(JOB_KINDS)}, got {kind!r}"
+        )
+    if kind == "prove":
+        parsed = parse_prove_request(body)
+        payload = {
+            "scenario": parsed["scenario"],
+            "num_vars": parsed["num_vars"],
+            "seed": parsed["seed"],
+        }
+    elif kind == "verify":
+        parsed = parse_verify_request(body)  # validates the base64 proof
+        payload = {
+            "scenario": parsed["scenario"],
+            "num_vars": parsed["num_vars"],
+            "seed": parsed["seed"],
+            # Stored as the original base64 string: sqlite holds JSON, and
+            # the engine's job executor decodes at execution time.
+            "proof": body["proof"],
+        }
+    else:
+        parsed = parse_sweep_request(body)
+        if parsed["shard"] is not None or parsed["stream"]:
+            raise WireError(
+                "sweep jobs run whole plans; shard/stream are for POST /sweep"
+            )
+        payload = {
+            "plan": parsed["plan"].to_wire(),
+            "include_points": parsed["include_points"],
+        }
+    key = job_structure_key(kind, payload)
+    job_id = body.get("id")
+    if job_id is not None:
+        if not isinstance(job_id, str) or not (1 <= len(job_id) <= 256):
+            raise WireError("id must be a short string")
+        try:
+            id_key = job_id_structure_key(job_id)
+        except ValueError as exc:
+            raise WireError(str(exc)) from None
+        if id_key != key:
+            raise WireError(
+                f"id routes to {id_key!r} but the payload keys to {key!r}"
+            )
+    max_attempts = _int_field(
+        body, "max_attempts", None, minimum=1, maximum=10, allow_none=True
+    )
+    return {
+        "kind": kind,
+        "structure_key": key,
+        "payload": payload,
+        "job_id": job_id,
+        "max_attempts": max_attempts,
+    }
+
+
+def job_response(record: Mapping) -> dict:
+    """The ``GET /jobs/<id>`` body: a job's public state, lease internals
+    elided (``/metrics`` aggregates those; per-job they invite polling on
+    implementation detail)."""
+    body = {
+        "id": record["id"],
+        "kind": record["kind"],
+        "state": record["state"],
+        "structure_key": record["structure_key"],
+        "attempts": record["attempts"],
+        "max_attempts": record["max_attempts"],
+        "created_at": record["created_at"],
+        "updated_at": record["updated_at"],
+    }
+    if record.get("artifact_digest"):
+        body["artifact"] = {
+            "digest": record["artifact_digest"],
+            "size_bytes": record["artifact_size"],
+        }
+    if record.get("result") is not None:
+        body["result"] = record["result"]
+    if record.get("error"):
+        body["error"] = record["error"]
+    return body
 
 
 def simulate_response(

@@ -1,0 +1,30 @@
+"""Test-and-chaos support seams shipped with the package.
+
+The only module here today is :mod:`repro.testing.faults` — the named
+fault-injection points that make the durable job tier's recovery claims
+*testable* (kill a worker mid-batch, fail a store write, stall a lease
+renewal) from tests and from the ``repro chaos`` CLI mode.  It lives in
+the package rather than under ``tests/`` because spawned child processes
+must be able to import and arm it (via the ``REPRO_FAULTS`` environment
+variable) without the test tree on their path.
+"""
+
+from repro.testing.faults import (
+    InjectedFault,
+    active_faults,
+    arm,
+    disarm,
+    fault_point,
+    install_from_env,
+    parse_fault_spec,
+)
+
+__all__ = [
+    "InjectedFault",
+    "active_faults",
+    "arm",
+    "disarm",
+    "fault_point",
+    "install_from_env",
+    "parse_fault_spec",
+]

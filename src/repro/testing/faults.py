@@ -1,0 +1,209 @@
+"""Named fault-injection points for crash-safety testing.
+
+Production code calls :func:`fault_point` at the few places where a crash
+is interesting — today:
+
+- ``store-write``    before a job-store / artifact-store durable write
+- ``lease-renew``    before a worker's lease renewal hits the store
+- ``batch-execute``  on the engine thread, after a batch is claimed and
+                     before it executes
+- ``socket-write``   before a response body hits a client socket
+
+Unarmed (the default, and the only state production ever sees) a fault
+point is one dict lookup against an empty dict.  Tests arm points in
+process via :func:`arm`; subprocess tests and the ``repro chaos`` CLI arm
+them through the ``REPRO_FAULTS`` environment variable, which spawned
+``repro serve`` children inherit::
+
+    REPRO_FAULTS="batch-execute:kill:after=0:times=1;store-write:delay"
+
+Spec grammar: ``point:action[:key=value]...`` joined by ``;``.  Actions:
+
+``error``
+    raise :class:`InjectedFault` at the point (default action);
+``kill``
+    ``SIGKILL`` the *current process* — the honest simulation of a crashed
+    worker, no atexit handlers, no flushes;
+``delay``
+    sleep ``delay_s`` (default 0.05) and continue — for widening race
+    windows and exercising lease expiry.
+
+Modifiers: ``after=N`` skips the first N hits, ``times=M`` fires at most
+M times (default: unbounded), ``delay_s=X`` sets the delay duration.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import threading
+import time
+
+_ACTIONS = ("error", "kill", "delay")
+
+#: Environment variable that arms faults in spawned processes.
+FAULTS_ENV = "REPRO_FAULTS"
+
+
+class InjectedFault(RuntimeError):
+    """Raised by an armed ``error`` fault point."""
+
+
+class FaultRule:
+    """One armed fault: where, what, and how often."""
+
+    __slots__ = ("point", "action", "after", "times", "delay_s", "hits", "fired")
+
+    def __init__(
+        self,
+        point: str,
+        action: str = "error",
+        *,
+        after: int = 0,
+        times: int | None = None,
+        delay_s: float = 0.05,
+    ):
+        if action not in _ACTIONS:
+            raise ValueError(f"unknown fault action {action!r} (use {_ACTIONS})")
+        if after < 0:
+            raise ValueError("after must be >= 0")
+        if times is not None and times < 1:
+            raise ValueError("times must be >= 1 (or None for unbounded)")
+        self.point = point
+        self.action = action
+        self.after = after
+        self.times = times
+        self.delay_s = delay_s
+        self.hits = 0
+        self.fired = 0
+
+    def describe(self) -> dict:
+        return {
+            "point": self.point,
+            "action": self.action,
+            "after": self.after,
+            "times": self.times,
+            "delay_s": self.delay_s,
+            "hits": self.hits,
+            "fired": self.fired,
+        }
+
+
+_lock = threading.Lock()
+_rules: dict[str, FaultRule] = {}
+
+
+def arm(
+    point: str,
+    action: str = "error",
+    *,
+    after: int = 0,
+    times: int | None = None,
+    delay_s: float = 0.05,
+) -> FaultRule:
+    """Arm ``point`` with ``action``; replaces any rule already on it."""
+    rule = FaultRule(point, action, after=after, times=times, delay_s=delay_s)
+    with _lock:
+        _rules[point] = rule
+    return rule
+
+
+def disarm(point: str | None = None) -> None:
+    """Disarm one point, or every point when ``point`` is None."""
+    with _lock:
+        if point is None:
+            _rules.clear()
+        else:
+            _rules.pop(point, None)
+
+
+def active_faults() -> list[dict]:
+    """Descriptions of every armed rule (for healthz / chaos banners)."""
+    with _lock:
+        return [rule.describe() for rule in _rules.values()]
+
+
+def fault_point(name: str) -> None:
+    """Fire the rule armed on ``name``, if any.
+
+    The unarmed fast path is a single lookup on an (almost always empty)
+    dict without taking the lock — armed state is test-only, so the
+    production cost of a fault point must stay negligible.
+    """
+    if not _rules:
+        return
+    with _lock:
+        rule = _rules.get(name)
+        if rule is None:
+            return
+        rule.hits += 1
+        if rule.hits <= rule.after:
+            return
+        if rule.times is not None and rule.fired >= rule.times:
+            return
+        rule.fired += 1
+        action, delay_s = rule.action, rule.delay_s
+    if action == "delay":
+        time.sleep(delay_s)
+        return
+    if action == "kill":
+        # The honest crash: no Python-level cleanup, no flushes — exactly
+        # what the durable job tier claims to survive.
+        os.kill(os.getpid(), signal.SIGKILL)
+    raise InjectedFault(f"injected fault at {name!r}")
+
+
+def parse_fault_spec(spec: str) -> list[FaultRule]:
+    """Parse a ``point:action[:key=value]...`` list (``;``-separated).
+
+    Raises ``ValueError`` on malformed specs; does not arm anything.
+    """
+    rules: list[FaultRule] = []
+    for entry in spec.split(";"):
+        entry = entry.strip()
+        if not entry:
+            continue
+        parts = entry.split(":")
+        point = parts[0].strip()
+        if not point:
+            raise ValueError(f"fault spec {entry!r} names no point")
+        action = parts[1].strip() if len(parts) > 1 and parts[1].strip() else "error"
+        kwargs: dict = {}
+        for modifier in parts[2:]:
+            key, separator, value = modifier.partition("=")
+            key = key.strip()
+            if not separator:
+                raise ValueError(f"fault modifier {modifier!r} is not key=value")
+            try:
+                if key == "after":
+                    kwargs["after"] = int(value)
+                elif key == "times":
+                    kwargs["times"] = int(value)
+                elif key == "delay_s":
+                    kwargs["delay_s"] = float(value)
+                else:
+                    raise ValueError(f"unknown fault modifier {key!r}")
+            except ValueError as exc:
+                raise ValueError(f"bad fault modifier {modifier!r}: {exc}") from None
+        rules.append(FaultRule(point, action, **kwargs))
+    if not rules:
+        raise ValueError(f"no fault rules in spec {spec!r}")
+    return rules
+
+
+def install_from_env(environ: "os._Environ | dict | None" = None) -> list[FaultRule]:
+    """Arm every rule named in ``$REPRO_FAULTS`` (no-op when unset).
+
+    Called once at service start so spawned children inherit their faults
+    through the environment — the only channel a ``kill -9`` test has into
+    a subprocess.
+    """
+    environ = os.environ if environ is None else environ
+    spec = environ.get(FAULTS_ENV, "").strip()
+    if not spec:
+        return []
+    rules = parse_fault_spec(spec)
+    with _lock:
+        for rule in rules:
+            _rules[rule.point] = rule
+    return rules

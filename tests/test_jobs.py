@@ -1,0 +1,717 @@
+"""Tests for the durable job tier (``repro.jobs`` + its HTTP surface).
+
+The acceptance surface of ISSUE 8: crash-safe jobs.  The store tests pin
+the lease/retry/dead-letter state machine (including a simulated process
+restart: reopen the sqlite file and recover); the artifact tests pin
+content-addressed dedup and atomic publish; the service tests prove jobs
+served over HTTP are byte-identical to the direct engine and that the
+admission bound answers 429 with an honest ``Retry-After``; the
+fault-injection tests drive a real ``repro serve`` subprocess, SIGKILL it
+mid-batch, restart it on the same ``--job-dir``, and require every
+accepted job to reach ``done`` with byte-identical artifacts; the router
+tests pin structure-affine job placement, the 307 artifact redirect, and
+the fleet-wide jobs view in ``/metrics`` and ``/healthz``.
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import json
+import os
+import re
+import signal
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+from repro.api import EngineConfig, ProverEngine
+from repro.api.artifacts import ProofArtifact
+from repro.cluster import ClusterRouter, RouterConfig
+from repro.jobs import ArtifactStore, JobStore, job_id_structure_key, new_job_id
+from repro.service import (
+    BackgroundServer,
+    ProofService,
+    ServiceClient,
+    ServiceConfig,
+    ServiceError,
+    ServiceUnavailable,
+)
+from repro.testing import faults
+
+NUM_VARS = 4
+SRS_SEED = 7
+
+
+@pytest.fixture(autouse=True)
+def _disarm_faults():
+    """Fault rules are process-global; never leak one into the next test."""
+    yield
+    faults.disarm()
+
+
+# -- fault-injection seam -----------------------------------------------------
+
+
+class TestFaultPoints:
+    def test_unarmed_point_is_a_noop(self):
+        faults.fault_point("store-write")  # must not raise
+
+    def test_error_action_with_after_and_times(self):
+        faults.arm("store-write", "error", after=1, times=2)
+        faults.fault_point("store-write")  # skipped (after=1)
+        with pytest.raises(faults.InjectedFault):
+            faults.fault_point("store-write")
+        with pytest.raises(faults.InjectedFault):
+            faults.fault_point("store-write")
+        faults.fault_point("store-write")  # budget (times=2) exhausted
+        rule = faults.active_faults()[0]
+        assert rule["hits"] == 4 and rule["fired"] == 2
+
+    def test_delay_action_continues(self):
+        faults.arm("lease-renew", "delay", delay_s=0.01)
+        start = time.perf_counter()
+        faults.fault_point("lease-renew")
+        assert time.perf_counter() - start >= 0.01
+
+    def test_parse_spec(self):
+        rules = faults.parse_fault_spec(
+            "batch-execute:kill:after=2:times=1;store-write"
+        )
+        assert [r.point for r in rules] == ["batch-execute", "store-write"]
+        assert rules[0].action == "kill"
+        assert rules[0].after == 2 and rules[0].times == 1
+        assert rules[1].action == "error"  # the default
+        for bad in ("", ":kill", "p:jump", "p:error:after", "p:error:times=x"):
+            with pytest.raises(ValueError):
+                faults.parse_fault_spec(bad)
+
+    def test_install_from_env(self):
+        installed = faults.install_from_env({faults.FAULTS_ENV: "store-write:delay"})
+        assert len(installed) == 1
+        assert faults.active_faults()[0]["action"] == "delay"
+        assert faults.install_from_env({}) == []
+
+
+# -- the persistent queue -----------------------------------------------------
+
+
+@pytest.fixture()
+def store(tmp_path):
+    job_store = JobStore(tmp_path / "queue.sqlite3")
+    yield job_store
+    job_store.close()
+
+
+class TestJobStore:
+    def test_job_id_embeds_structure_key(self):
+        job_id = new_job_id("mock:4")
+        assert job_id_structure_key(job_id) == "mock:4"
+        for bad in ("nope", "~abc", "key~"):
+            with pytest.raises(ValueError):
+                job_id_structure_key(bad)
+
+    def test_submit_claim_complete_roundtrip(self, store):
+        job_id, created = store.submit("prove", "mock:4", {"seed": 1})
+        assert created is True
+        batch = store.claim_batch("w1", limit=4)
+        assert [job["id"] for job in batch] == [job_id]
+        assert batch[0]["state"] == "running" and batch[0]["attempts"] == 1
+        assert store.complete(
+            job_id, "w1", artifact_digest="ab" * 32, artifact_size=10,
+            result={"ok": True},
+        )
+        record = store.get(job_id)
+        assert record["state"] == "done"
+        assert record["artifact_digest"] == "ab" * 32
+        assert record["result"] == {"ok": True}
+        assert store.claim_batch("w1") == []
+
+    def test_submit_with_explicit_id_is_idempotent(self, store):
+        job_id = new_job_id("mock:4")
+        assert store.submit("prove", "mock:4", {}, job_id=job_id) == (job_id, True)
+        assert store.submit("prove", "mock:4", {}, job_id=job_id) == (job_id, False)
+        with pytest.raises(ValueError):
+            store.submit("transmute", "mock:4", {})
+
+    def test_claim_batches_by_kind_and_structure(self, store):
+        first, _ = store.submit("prove", "mock:4", {"seed": 1})
+        second, _ = store.submit("prove", "mock:4", {"seed": 2})
+        store.submit("prove", "zcash:6", {"seed": 3})
+        store.submit("sweep", "mock:4", {})
+        batch = store.claim_batch("w1", limit=8)
+        # FIFO head decides the (kind, structure); only its peers join.
+        assert [job["id"] for job in batch] == [first, second]
+        assert {job["structure_key"] for job in batch} == {"mock:4"}
+
+    def test_expired_lease_is_reclaimed_and_loser_cannot_commit(self, store):
+        job_id, _ = store.submit("prove", "mock:4", {})
+        store.claim_batch("w1", lease_s=30.0)
+        # Nothing to claim while the lease is live...
+        assert store.claim_batch("w2") == []
+        # ... but a dead worker's lease expires and w2 re-claims.
+        batch = store.claim_batch("w2", now=time.time() + 31.0)
+        assert [job["id"] for job in batch] == [job_id]
+        assert batch[0]["attempts"] == 2
+        # The zombie's commit hits the lease guard and lands nowhere.
+        assert store.complete(job_id, "w1", result={"stale": True}) is False
+        assert store.fail(job_id, "w1", "boom") == "lost"
+        assert store.complete(job_id, "w2", result={"fresh": True}) is True
+        assert store.get(job_id)["result"] == {"fresh": True}
+
+    def test_restart_recovers_leased_jobs(self, store, tmp_path):
+        """The crash model: reopen the sqlite file, running rows re-queue."""
+        job_id, _ = store.submit("prove", "mock:4", {}, max_attempts=3)
+        store.claim_batch("w1")
+        store.close()
+        reopened = JobStore(tmp_path / "queue.sqlite3")
+        try:
+            assert reopened.recover_abandoned() == 1
+            record = reopened.get(job_id)
+            assert record["state"] == "pending"
+            assert record["attempts"] == 1  # the crashed attempt stays burned
+            assert record["lease_owner"] is None
+            batch = reopened.claim_batch("w2")
+            assert batch[0]["id"] == job_id and batch[0]["attempts"] == 2
+        finally:
+            reopened.close()
+
+    def test_recovery_dead_letters_exhausted_jobs(self, store):
+        job_id, _ = store.submit("prove", "mock:4", {}, max_attempts=1)
+        store.claim_batch("w1")
+        assert store.recover_abandoned() == 0
+        assert store.get(job_id)["state"] == "dead"
+
+    def test_failure_backoff_then_dead_letter(self, store):
+        job_id, _ = store.submit("prove", "mock:4", {}, max_attempts=2)
+        store.claim_batch("w1")
+        assert store.fail(job_id, "w1", "transient") == "failed"
+        record = store.get(job_id)
+        assert record["not_before"] > time.time()  # backoff is real
+        assert store.claim_batch("w2") == []  # not eligible yet
+        batch = store.claim_batch("w2", now=record["not_before"] + 0.1)
+        assert batch[0]["attempts"] == 2
+        assert store.fail(job_id, "w2", "still broken") == "dead"
+        record = store.get(job_id)
+        assert record["state"] == "dead" and record["error"] == "still broken"
+        # Dead is terminal: never claimed again, even far in the future.
+        assert store.claim_batch("w3", now=time.time() + 3600) == []
+
+    def test_stats_surface(self, store):
+        store.submit("prove", "mock:4", {})
+        store.submit("prove", "mock:4", {})
+        store.claim_batch("w1", limit=1)
+        dead_id, _ = store.submit("prove", "zcash:6", {}, max_attempts=1)
+        stats = store.stats()
+        assert stats["states"]["pending"] == 2
+        assert stats["states"]["running"] == 1
+        assert stats["queue_depth"] == 3
+        assert stats["leases_active"] == 1
+        assert stats["oldest_lease_age_s"] >= 0.0
+        assert stats["dead_letter"] == 0
+
+
+# -- the content-addressed artifact store -------------------------------------
+
+
+class TestArtifactStore:
+    def test_roundtrip_and_dedup(self, tmp_path):
+        artifacts = ArtifactStore(tmp_path / "artifacts")
+        digest, size, deduped = artifacts.put(b"proof bytes")
+        assert (size, deduped) == (len(b"proof bytes"), False)
+        assert artifacts.get(digest) == b"proof bytes"
+        assert artifacts.size_of(digest) == size
+        # Identical bytes re-derive the identical digest: stored once.
+        again, _, deduped = artifacts.put(b"proof bytes")
+        assert again == digest and deduped is True
+        assert artifacts.stats() == {"count": 1, "bytes": size}
+
+    def test_chunked_reads(self, tmp_path):
+        artifacts = ArtifactStore(tmp_path / "artifacts")
+        blob = bytes(range(256)) * 600  # > 2 chunks at 64 KiB
+        digest, _, _ = artifacts.put(blob)
+        chunks = list(artifacts.open_chunks(digest))
+        assert len(chunks) > 2
+        assert b"".join(chunks) == blob
+
+    def test_unknown_digest_raises(self, tmp_path):
+        artifacts = ArtifactStore(tmp_path / "artifacts")
+        with pytest.raises(KeyError):
+            artifacts.get("ab" * 32)
+        with pytest.raises(KeyError):
+            next(artifacts.open_chunks("ab" * 32))
+        with pytest.raises(ValueError):
+            artifacts.path_for("../escape")
+
+    def test_concurrent_identical_puts_store_one_blob(self, tmp_path):
+        """ISSUE 8 satellite: identical jobs racing put() converge on one
+        blob — last writer republishes the same bytes, nobody corrupts."""
+        artifacts = ArtifactStore(tmp_path / "artifacts")
+        blob = b"deterministic proof" * 1000
+        with concurrent.futures.ThreadPoolExecutor(max_workers=8) as pool:
+            results = list(pool.map(lambda _: artifacts.put(blob), range(16)))
+        digests = {digest for digest, _, _ in results}
+        assert len(digests) == 1
+        assert artifacts.stats()["count"] == 1
+        assert artifacts.get(digests.pop()) == blob
+
+
+# -- jobs over HTTP (in-process service, real engine) -------------------------
+
+
+@pytest.fixture(scope="module")
+def job_server():
+    service = ProofService(
+        ServiceConfig(port=0, batch_window_ms=5.0, job_poll_s=0.02),
+        engine_config=EngineConfig(srs_seed=SRS_SEED),
+    )
+    with BackgroundServer(service) as background:
+        yield background
+
+
+@pytest.fixture(scope="module")
+def job_client(job_server):
+    with ServiceClient(port=job_server.port) as service_client:
+        yield service_client
+
+
+@pytest.fixture(scope="module")
+def direct_engine():
+    engine = ProverEngine(EngineConfig(srs_seed=SRS_SEED))
+    yield engine
+    engine.close()
+
+
+class TestJobsOverHTTP:
+    def test_prove_job_artifact_byte_identical_to_direct(
+        self, job_client, direct_engine
+    ):
+        ack = job_client.submit_job(
+            {"kind": "prove", "scenario": "mock", "num_vars": NUM_VARS, "seed": 41}
+        )
+        assert ack["state"] in ("pending", "running")
+        assert ack["created"] is True
+        record = job_client.wait_for_job(ack["id"], timeout=120.0)
+        assert record["state"] == "done"
+        assert record["attempts"] == 1
+        blob = job_client.job_artifact(ack["id"])
+        direct = direct_engine.prove("mock", num_vars=NUM_VARS, seed=41)
+        assert blob == direct.to_bytes()
+        assert record["artifact"]["size_bytes"] == len(blob)
+
+    def test_identical_jobs_dedup_to_one_artifact(self, job_client):
+        payload = {"kind": "prove", "scenario": "mock", "num_vars": NUM_VARS,
+                   "seed": 43}
+        first = job_client.submit_job(payload)
+        second = job_client.submit_job(payload)
+        assert first["id"] != second["id"]  # distinct jobs, same work
+        one = job_client.wait_for_job(first["id"], timeout=120.0)
+        two = job_client.wait_for_job(second["id"], timeout=120.0)
+        assert one["state"] == two["state"] == "done"
+        # Determinism → identical bytes → content addressing stores one.
+        assert one["artifact"]["digest"] == two["artifact"]["digest"]
+        metrics = job_client.metrics()
+        assert metrics["jobs"]["artifact_dedup_total"] >= 1
+
+    def test_submit_with_id_is_idempotent(self, job_client):
+        job_id = new_job_id(f"mock:{NUM_VARS}")
+        body = {"kind": "prove", "scenario": "mock", "num_vars": NUM_VARS,
+                "seed": 44, "id": job_id}
+        assert job_client.submit_job(body)["created"] is True
+        assert job_client.submit_job(body)["created"] is False
+        assert job_client.wait_for_job(job_id, timeout=120.0)["state"] == "done"
+
+    def test_verify_job(self, job_client, direct_engine):
+        artifact = direct_engine.prove("mock", num_vars=NUM_VARS, seed=45)
+        import base64
+
+        ack = job_client.submit_job(
+            {
+                "kind": "verify",
+                "scenario": "mock",
+                "num_vars": NUM_VARS,
+                "seed": 45,  # mock's gate structure (and key) follows the seed
+                "proof": base64.b64encode(artifact.to_bytes()).decode("ascii"),
+            }
+        )
+        record = job_client.wait_for_job(ack["id"], timeout=120.0)
+        assert record["state"] == "done"
+        assert record["result"]["valid"] is True
+
+    def test_sweep_job_artifact_is_canonical_result_json(self, job_client):
+        ack = job_client.submit_job(
+            {"kind": "sweep", "num_vars": 4, "max_points": 16}
+        )
+        assert ack["structure_key"].startswith("sweep:")
+        record = job_client.wait_for_job(ack["id"], timeout=120.0)
+        assert record["state"] == "done"
+        body = json.loads(job_client.job_artifact(ack["id"]))
+        assert body["total_points"] == 16
+        assert body["pareto"]
+        assert record["result"]["total_points"] == 16
+
+    def test_unknown_job_and_bad_request(self, job_client):
+        with pytest.raises(ServiceError) as excinfo:
+            job_client.job("mock:4~ffffffffffffffffffffffff")
+        assert excinfo.value.status == 404
+        with pytest.raises(ServiceError) as excinfo:
+            job_client.submit_job({"kind": "transmute"})
+        assert excinfo.value.status == 400
+        # A submitted id must carry the structure key it routes by.
+        with pytest.raises(ServiceError) as excinfo:
+            job_client.submit_job(
+                {"kind": "prove", "scenario": "mock", "num_vars": NUM_VARS,
+                 "seed": 1, "id": "zcash:6~aaaaaaaaaaaaaaaaaaaaaaaa"}
+            )
+        assert excinfo.value.status == 400
+
+    def test_healthz_and_metrics_expose_queue_state(self, job_client):
+        health = job_client.healthz()
+        jobs = health["jobs"]
+        for field in ("queue_depth", "dead_letter", "leases_active",
+                      "oldest_lease_age_s", "retries_total", "queue_limit",
+                      "artifacts"):
+            assert field in jobs
+        metrics = job_client.metrics()
+        assert metrics["jobs"]["submitted_total"] >= 1
+        assert metrics["jobs"]["completed_total"] >= 1
+
+
+# -- admission control + retry path (stub engine, deterministic states) -------
+
+
+class _StubJobEngine:
+    """Engine double whose job batches block on a gate."""
+
+    def __init__(self, gate: threading.Event, artifact: ProofArtifact):
+        self.config = EngineConfig()
+        self.gate = gate
+        self.artifact = artifact
+        self.batches: list[int] = []
+
+    def execute_job_batch(self, kind, payloads):
+        payloads = list(payloads)
+        self.batches.append(len(payloads))
+        if not self.gate.wait(timeout=60):
+            raise RuntimeError("stub gate never released")
+        return [
+            (self.artifact.to_bytes(), {"stub": True}) for _ in payloads
+        ]
+
+    def prove_many(self, requests):  # pragma: no cover - jobs-only tests
+        raise NotImplementedError
+
+    def resolve_circuit(self, *a, **k):  # pragma: no cover - unused
+        raise NotImplementedError
+
+    def verifying_key(self, *a, **k):  # pragma: no cover - unused
+        raise NotImplementedError
+
+    def close(self) -> None:
+        pass
+
+
+@pytest.fixture(scope="module")
+def canned_artifact():
+    engine = ProverEngine(EngineConfig(srs_seed=SRS_SEED))
+    artifact = engine.prove("mock", num_vars=3, seed=1)
+    engine.close()
+    return artifact
+
+
+class TestAdmissionAndRetries:
+    def _payload(self, seed: int) -> dict:
+        return {"kind": "prove", "scenario": "mock", "num_vars": 3, "seed": seed}
+
+    def test_queue_limit_answers_429_with_retry_after(self, canned_artifact):
+        gate = threading.Event()
+        service = ProofService(
+            ServiceConfig(port=0, job_queue_limit=2, job_poll_s=0.02),
+            engine=_StubJobEngine(gate, canned_artifact),
+        )
+        with BackgroundServer(service) as background:
+            with ServiceClient(port=background.port) as client:
+                first = client.submit_job(self._payload(1))
+                second = client.submit_job(self._payload(2))
+                with pytest.raises(ServiceUnavailable) as excinfo:
+                    client.submit_job(self._payload(3))
+                assert excinfo.value.status == 429
+                assert excinfo.value.retry_after >= 1.0
+                gate.set()
+                for ack in (first, second):
+                    record = client.wait_for_job(ack["id"], timeout=30.0)
+                    assert record["state"] == "done"
+                # With the queue drained, admission reopens.
+                third = client.submit_job(self._payload(3))
+                assert client.wait_for_job(third["id"], timeout=30.0)[
+                    "state"
+                ] == "done"
+
+    def test_artifact_before_done_is_409(self, canned_artifact):
+        gate = threading.Event()
+        service = ProofService(
+            ServiceConfig(port=0, job_poll_s=0.02),
+            engine=_StubJobEngine(gate, canned_artifact),
+        )
+        with BackgroundServer(service) as background:
+            with ServiceClient(port=background.port) as client:
+                ack = client.submit_job(self._payload(9))
+                with pytest.raises(ServiceError) as excinfo:
+                    client.job_artifact(ack["id"])
+                assert excinfo.value.status == 409
+                gate.set()
+                client.wait_for_job(ack["id"], timeout=30.0)
+                assert client.job_artifact(ack["id"]) == canned_artifact.to_bytes()
+
+    def test_injected_batch_failure_retries_then_completes(self, canned_artifact):
+        """An attempt that dies mid-batch burns a retry, then succeeds."""
+        gate = threading.Event()
+        gate.set()  # the engine itself never blocks here
+        service = ProofService(
+            ServiceConfig(port=0, job_poll_s=0.02),
+            engine=_StubJobEngine(gate, canned_artifact),
+        )
+        faults.arm("batch-execute", "error", times=1)
+        with BackgroundServer(service) as background:
+            with ServiceClient(port=background.port) as client:
+                ack = client.submit_job(self._payload(11))
+                record = client.wait_for_job(ack["id"], timeout=30.0)
+                assert record["state"] == "done"
+                assert record["attempts"] == 2  # one injected death + one win
+                metrics = client.metrics()
+                assert metrics["jobs"]["failed_attempts_total"] >= 1
+
+    def test_retry_exhaustion_dead_letters(self, canned_artifact):
+        gate = threading.Event()
+        gate.set()
+        service = ProofService(
+            ServiceConfig(port=0, job_poll_s=0.02),
+            engine=_StubJobEngine(gate, canned_artifact),
+        )
+        faults.arm("batch-execute", "error")  # every attempt fails
+        with BackgroundServer(service) as background:
+            with ServiceClient(port=background.port) as client:
+                ack = client.submit_job(
+                    dict(self._payload(12), max_attempts=2)
+                )
+                record = client.wait_for_job(ack["id"], timeout=30.0)
+                assert record["state"] == "dead"
+                assert record["attempts"] == 2
+                assert "injected fault" in record["error"]
+                health = client.healthz()
+                assert health["jobs"]["dead_letter"] == 1
+                metrics = client.metrics()
+                assert metrics["jobs"]["dead_total"] == 1
+
+
+# -- the headline acceptance: SIGKILL mid-batch, restart, zero loss -----------
+
+
+def _spawn_serve(tmp_path, env_extra=None, extra_args=()):
+    env = dict(os.environ)
+    env["PYTHONPATH"] = os.pathsep.join(
+        [os.path.join(os.path.dirname(__file__), "..", "src"),
+         env.get("PYTHONPATH", "")]
+    ).rstrip(os.pathsep)
+    env.update(env_extra or {})
+    process = subprocess.Popen(
+        [sys.executable, "-m", "repro", "serve", "--port", "0",
+         "--batch-window-ms", "5", "--job-dir", str(tmp_path / "jobs"),
+         *extra_args],
+        stdout=subprocess.PIPE, stderr=subprocess.STDOUT, text=True, env=env,
+    )
+    deadline = time.time() + 120
+    line = ""
+    while time.time() < deadline:
+        line = process.stdout.readline()
+        if "serving on http://" in line:
+            break
+    match = re.search(r"http://[\d.]+:(\d+)", line)
+    if match is None:
+        process.kill()
+        raise RuntimeError(f"backend never announced: {line!r}")
+    return process, int(match.group(1))
+
+
+class TestCrashRecovery:
+    def test_sigkill_mid_batch_loses_no_accepted_job(self, tmp_path):
+        """ISSUE 8 acceptance: SIGKILL a worker mid-batch, restart on the
+        same job dir, and every accepted job reaches ``done`` with
+        artifacts byte-identical to a clean serial run."""
+        seeds = [51, 52, 53]
+        # Arm the honest crash: the first job batch to reach the engine
+        # thread SIGKILLs the process (no flushes, no atexit).
+        process, port = _spawn_serve(
+            tmp_path, env_extra={faults.FAULTS_ENV: "batch-execute:kill"}
+        )
+        accepted: list[tuple[int, str]] = []
+        try:
+            # Keep the single engine thread busy with a synchronous prove so
+            # all three submissions land (and are durably acked) before the
+            # first job batch — and with it the SIGKILL — can execute.
+            def busy_prove():
+                try:
+                    with ServiceClient(port=port, timeout=120.0) as sync_client:
+                        sync_client.prove("mock", num_vars=NUM_VARS, seed=99)
+                except Exception:
+                    pass  # the process dies under us; that is the point
+
+            blocker = threading.Thread(target=busy_prove)
+            blocker.start()
+            time.sleep(0.3)  # let the sync prove reach the engine thread
+            with ServiceClient(port=port, timeout=30.0) as client:
+                for seed in seeds:
+                    ack = client.submit_job(
+                        {"kind": "prove", "scenario": "mock",
+                         "num_vars": NUM_VARS, "seed": seed}
+                    )
+                    accepted.append((seed, ack["id"]))
+            blocker.join(timeout=120)
+            assert process.wait(timeout=120) < 0  # died by signal, not exit()
+            assert len(accepted) == 3
+        finally:
+            if process.poll() is None:
+                process.kill()
+                process.wait(timeout=30)
+
+        # The queue file survived the SIGKILL; a clean restart on the same
+        # job dir recovers and finishes every accepted job.
+        process, port = _spawn_serve(tmp_path)
+        try:
+            # The spawned server runs the CLI's default engine config; the
+            # clean serial reference must match it exactly.
+            engine = ProverEngine(EngineConfig())
+            try:
+                with ServiceClient(port=port, timeout=120.0) as client:
+                    for seed, job_id in accepted:
+                        record = client.wait_for_job(job_id, timeout=120.0)
+                        assert record["state"] == "done", record
+                        blob = client.job_artifact(job_id)
+                        direct = engine.prove(
+                            "mock", num_vars=NUM_VARS, seed=seed
+                        )
+                        assert blob == direct.to_bytes()
+                    health = client.healthz()
+                    assert health["jobs"]["queue_depth"] == 0
+                    assert health["jobs"]["dead_letter"] == 0
+                    # At least the killed batch burned one extra attempt.
+                    records = [client.job(job_id) for _, job_id in accepted]
+                    assert max(r["attempts"] for r in records) >= 1
+            finally:
+                engine.close()
+        finally:
+            process.send_signal(signal.SIGINT)
+            process.wait(timeout=60)
+
+
+# -- jobs across the cluster tier ---------------------------------------------
+
+
+class _Backend:
+    def __init__(self):
+        self.engine = ProverEngine(EngineConfig(srs_seed=SRS_SEED))
+        self.service = ProofService(
+            ServiceConfig(port=0, batch_window_ms=5.0, job_poll_s=0.02),
+            engine=self.engine,
+        )
+        self.server = BackgroundServer(self.service)
+
+    @property
+    def backend_id(self) -> str:
+        return f"127.0.0.1:{self.server.port}"
+
+
+@pytest.fixture(scope="module")
+def job_cluster():
+    backends = [_Backend(), _Backend()]
+    for backend in backends:
+        backend.server.start()
+    router = ClusterRouter(
+        RouterConfig(port=0, health_interval_s=0.3, request_timeout_s=120.0),
+        backends=[backend.backend_id for backend in backends],
+    )
+    router_server = BackgroundServer(router)
+    router_server.start()
+    try:
+        yield {
+            "backends": {backend.backend_id: backend for backend in backends},
+            "router_server": router_server,
+        }
+    finally:
+        router_server.stop()
+        for backend in backends:
+            backend.server.stop()
+            backend.engine.close()
+
+
+@pytest.fixture(scope="module")
+def cluster_client(job_cluster):
+    with ServiceClient(port=job_cluster["router_server"].port) as client:
+        yield client
+
+
+class TestClusterJobs:
+    def test_routed_job_with_redirected_artifact(
+        self, cluster_client, direct_engine
+    ):
+        ack = cluster_client.submit_job(
+            {"kind": "prove", "scenario": "mock", "num_vars": NUM_VARS,
+             "seed": 61}
+        )
+        assert ack["served_by"]
+        record = cluster_client.wait_for_job(ack["id"], timeout=120.0)
+        assert record["state"] == "done"
+        # The router answers the artifact GET with a 307 to the owning
+        # backend; the client follows it and checks the digest end to end.
+        blob = cluster_client.job_artifact(ack["id"])
+        direct = direct_engine.prove("mock", num_vars=NUM_VARS, seed=61)
+        assert blob == direct.to_bytes()
+
+    def test_job_placement_is_structure_affine(self, cluster_client):
+        acks = [
+            cluster_client.submit_job(
+                {"kind": "prove", "scenario": "mock", "num_vars": NUM_VARS,
+                 "seed": seed}
+            )
+            for seed in (62, 63, 64)
+        ]
+        # Same structure key → same home backend for every job.
+        assert len({ack["served_by"] for ack in acks}) == 1
+        assert {job_id_structure_key(ack["id"]) for ack in acks} == {
+            f"mock:{NUM_VARS}"
+        }
+        for ack in acks:
+            assert cluster_client.wait_for_job(ack["id"], timeout=120.0)[
+                "state"
+            ] == "done"
+
+    def test_router_404_for_unknown_job(self, cluster_client):
+        with pytest.raises(ServiceError) as excinfo:
+            cluster_client.job("mock:4~eeeeeeeeeeeeeeeeeeeeeeee")
+        assert excinfo.value.status == 404
+
+    def test_fleet_jobs_view_in_metrics_and_healthz(
+        self, cluster_client, job_cluster
+    ):
+        ack = cluster_client.submit_job(
+            {"kind": "prove", "scenario": "mock", "num_vars": NUM_VARS,
+             "seed": 65}
+        )
+        cluster_client.wait_for_job(ack["id"], timeout=120.0)
+        metrics = cluster_client.metrics()
+        aggregate = metrics["aggregate"]
+        assert aggregate["jobs_submitted_total"] >= 1
+        assert aggregate["jobs_completed_total"] >= 1
+        # The healthz jobs view comes from cached health probes; wait for
+        # one probe cycle to pick up the post-completion stats.
+        deadline = time.time() + 10
+        while time.time() < deadline:
+            health = cluster_client.healthz()
+            view = health.get("jobs") or {}
+            if view.get("backends_reporting") == 2:
+                break
+            time.sleep(0.2)
+        assert view["backends_reporting"] == 2
+        assert view["queue_depth"] >= 0
