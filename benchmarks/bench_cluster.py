@@ -83,7 +83,7 @@ def _client_loop(
     port: int,
     jobs: list[tuple[str, int, int]],
     timeout: float,
-    latencies: list[float],
+    latencies: list[tuple[str, float]],
     served_by: dict,
     errors: list[str],
     barrier: threading.Barrier,
@@ -102,7 +102,7 @@ def _client_loop(
                 except Exception as exc:  # pragma: no cover - aborts the cell
                     errors.append(f"{scenario}:{num_vars} seed {seed}: {exc}")
                     break
-                latencies.append(time.perf_counter() - started)
+                latencies.append((scenario, time.perf_counter() - started))
                 served_by[(scenario, result["num_vars"])].add(
                     result.get("served_by", "direct")
                 )
@@ -113,29 +113,37 @@ def run_cell(
     host: str,
     port: int,
     *,
-    scenario: str,
+    scenarios: list[str],
     sizes: list[int],
     clients: int,
     requests_per_client: int,
     timeout: float,
 ) -> dict:
-    """``clients`` closed loops, each cycling through the size mix."""
+    """``clients`` closed loops, each cycling through the structure mix.
+
+    The workload is the ``scenarios × sizes`` product; with more than one
+    scenario the cell additionally reports per-scenario throughput, and
+    the structure-affinity evidence covers every scenario in the mix.
+    """
+    combos = [(scenario, size) for scenario in scenarios for size in sizes]
     with ServiceClient(host, port, timeout=timeout) as probe:
         # Warm every structure outside the measured window so cells report
         # steady-state serving (hot SRS/keys), not one-off setup.
-        for size in sizes:
+        for scenario, size in combos:
             warm = probe.prove(scenario, num_vars=size, seed=0)
             if not probe.verify(warm):
                 raise RuntimeError("served warm-up proof failed verification")
 
-    per_thread_latencies: list[list[float]] = [[] for _ in range(clients)]
+    per_thread_latencies: list[list[tuple[str, float]]] = [
+        [] for _ in range(clients)
+    ]
     served_by: dict = defaultdict(set)
     errors: list[str] = []
     barrier = threading.Barrier(clients + 1)
     threads = []
     for index in range(clients):
         jobs = [
-            (scenario, sizes[i % len(sizes)], 1 + index * requests_per_client + i)
+            (*combos[(index + i) % len(combos)], 1 + index * requests_per_client + i)
             for i in range(requests_per_client)
         ]
         thread = threading.Thread(
@@ -159,7 +167,8 @@ def run_cell(
         thread.join()
     wall = time.perf_counter() - started
 
-    latencies = [value for bucket in per_thread_latencies for value in bucket]
+    tagged = [entry for bucket in per_thread_latencies for entry in bucket]
+    latencies = [latency for _, latency in tagged]
     if errors:
         raise RuntimeError(f"{len(errors)} request(s) failed: {errors[:3]}")
 
@@ -167,7 +176,7 @@ def run_cell(
     owners = {f"{s}:{n}": sorted(backends) for (s, n), backends in served_by.items()}
     violations = {key: value for key, value in owners.items() if len(value) != 1}
     summary = latency_summary(latencies)
-    return {
+    cell = {
         "clients": clients,
         "requests": len(latencies),
         "wall_seconds": round(wall, 3),
@@ -179,6 +188,16 @@ def run_cell(
         "structure_owners": owners,
         "affinity_violations": violations,
     }
+    if len(scenarios) > 1:
+        cell["per_scenario"] = {
+            scenario: {
+                "requests": len(own),
+                "proofs_per_second": round(len(own) / wall, 3) if wall else 0.0,
+            }
+            for scenario in scenarios
+            for own in [[latency for name, latency in tagged if name == scenario]]
+        }
+    return cell
 
 
 class _HostedCluster:
@@ -239,6 +258,14 @@ def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.split("\n\n")[0])
     parser.add_argument("--scenario", default="mock")
     parser.add_argument(
+        "--mix",
+        default=None,
+        help="comma-separated scenario mix (e.g. "
+        "'mock,range_check,merkle_path'); the workload cycles the "
+        "scenarios × sizes product and cells report per-scenario "
+        "throughput (overrides --scenario)",
+    )
+    parser.add_argument(
         "--log-gates",
         default="5,6",
         help="comma-separated circuit size exponents mixed into the "
@@ -296,6 +323,11 @@ def main(argv: list[str] | None = None) -> int:
     sizes = [int(value) for value in args.log_gates.split(",") if value.strip()]
     client_levels = [int(c) for c in args.clients.split(",") if c.strip()]
     backend_counts = [int(b) for b in args.backend_counts.split(",") if b.strip()]
+    scenarios = (
+        [s.strip() for s in args.mix.split(",") if s.strip()]
+        if args.mix
+        else [args.scenario]
+    )
 
     # One SRS per size, shared by every hosted backend across the whole
     # sweep: the benchmark measures serving, not N copies of trusted setup.
@@ -328,15 +360,18 @@ def main(argv: list[str] | None = None) -> int:
             )
             host, port = "127.0.0.1", hosted.port
         try:
-            identity_ok = _assert_routed_byte_identity(
-                host, port, args.scenario, sizes[0], args.timeout
+            identity_ok = all(
+                _assert_routed_byte_identity(
+                    host, port, scenario, sizes[0], args.timeout
+                )
+                for scenario in scenarios
             )
             cells = []
             for clients in client_levels:
                 cell = run_cell(
                     host,
                     port,
-                    scenario=args.scenario,
+                    scenarios=scenarios,
                     sizes=sizes,
                     clients=clients,
                     requests_per_client=args.requests,
@@ -358,6 +393,12 @@ def main(argv: list[str] | None = None) -> int:
                     f"{len({o[0] for o in cell['structure_owners'].values()})} "
                     f"backend(s))"
                 )
+                if "per_scenario" in cell:
+                    for name, stats in cell["per_scenario"].items():
+                        print(
+                            f"    {name:>14}: {stats['proofs_per_second']:6.2f} "
+                            f"proofs/s over {stats['requests']} request(s)"
+                        )
         finally:
             if hosted is not None:
                 hosted.stop()
@@ -380,6 +421,7 @@ def main(argv: list[str] | None = None) -> int:
         "hostname": os.environ.get("REPRO_BENCH_HOST") or platform.node(),
         "cpu_count": os.cpu_count(),
         "scenario": args.scenario,
+        "scenario_mix": scenarios if len(scenarios) > 1 else None,
         "sizes": sizes,
         "requests_per_client": args.requests,
         "engine_workers": args.workers,

@@ -70,15 +70,14 @@ def _git_commit() -> str:
 def _client_loop(
     host: str,
     port: int,
-    scenario: str,
+    jobs: list[tuple[str, int]],
     num_vars: int,
-    seeds: list[int],
     timeout: float,
-    latencies: list[float],
+    latencies: list[tuple[str, float]],
     errors: list[str],
     barrier: threading.Barrier,
 ) -> None:
-    """One closed-loop client: prove each seed in turn, recording latency.
+    """One closed-loop client: prove each (scenario, seed) job in turn.
 
     A 503 (backpressure) is not an error for a closed-loop run — the client
     honors ``Retry-After`` and resubmits; the wait lands in the recorded
@@ -86,7 +85,7 @@ def _client_loop(
     """
     with ServiceClient(host, port, timeout=timeout) as client:
         barrier.wait()
-        for seed in seeds:
+        for scenario, seed in jobs:
             started = time.perf_counter()
             while True:
                 try:
@@ -95,48 +94,68 @@ def _client_loop(
                     time.sleep(min(exc.retry_after, 5.0))
                     continue
                 except Exception as exc:  # pragma: no cover - aborts the cell
-                    errors.append(f"seed {seed}: {exc}")
+                    errors.append(f"{scenario} seed {seed}: {exc}")
                     break
-                latencies.append(time.perf_counter() - started)
+                latencies.append((scenario, time.perf_counter() - started))
                 break
+
+
+def _round_floats(summary: dict) -> dict:
+    return {
+        key: round(value, 4) if isinstance(value, float) else value
+        for key, value in summary.items()
+    }
 
 
 def run_cell(
     host: str,
     port: int,
     *,
-    scenario: str,
+    scenarios: list[str],
     num_vars: int,
     clients: int,
     requests_per_client: int,
     timeout: float,
 ) -> dict:
-    """One sweep cell: ``clients`` closed loops of ``requests_per_client``."""
+    """One sweep cell: ``clients`` closed loops of ``requests_per_client``.
+
+    With more than one scenario the clients interleave them round-robin
+    (offset per client so the mix reaches the server in a shuffled order),
+    and the cell reports per-scenario throughput plus *batch purity* — the
+    fraction of coalesced batches that held exactly one circuit structure,
+    read off the server's structure-bucket metrics.
+    """
     with ServiceClient(host, port, timeout=timeout) as probe:
         # Warm the SRS/key caches outside the measured window so every cell
         # reports steady-state serving, not one-off setup; the warm-up proof
         # also closes the e2e loop (served bytes verify over POST /verify).
-        warm = probe.prove(scenario, num_vars=num_vars, seed=0)
-        if not probe.verify(warm):
-            raise RuntimeError("served warm-up proof failed verification")
+        for scenario in scenarios:
+            warm = probe.prove(scenario, num_vars=num_vars, seed=0)
+            if not probe.verify(warm):
+                raise RuntimeError("served warm-up proof failed verification")
         before = probe.metrics()
 
-    per_thread_latencies: list[list[float]] = [[] for _ in range(clients)]
+    per_thread_latencies: list[list[tuple[str, float]]] = [
+        [] for _ in range(clients)
+    ]
     errors: list[str] = []
     barrier = threading.Barrier(clients + 1)
     threads = []
     for index in range(clients):
-        seeds = [
-            1 + index * requests_per_client + i for i in range(requests_per_client)
+        jobs = [
+            (
+                scenarios[(index + i) % len(scenarios)],
+                1 + index * requests_per_client + i,
+            )
+            for i in range(requests_per_client)
         ]
         thread = threading.Thread(
             target=_client_loop,
             args=(
                 host,
                 port,
-                scenario,
+                jobs,
                 num_vars,
-                seeds,
                 timeout,
                 per_thread_latencies[index],
                 errors,
@@ -151,7 +170,8 @@ def run_cell(
         thread.join()
     wall = time.perf_counter() - started
 
-    latencies = [value for bucket in per_thread_latencies for value in bucket]
+    tagged = [entry for bucket in per_thread_latencies for entry in bucket]
+    latencies = [latency for _, latency in tagged]
     if errors:
         raise RuntimeError(f"{len(errors)} request(s) failed: {errors[:3]}")
 
@@ -159,25 +179,56 @@ def run_cell(
         after = probe.metrics()
     batches = after["prove_many_calls"] - before["prove_many_calls"]
     proofs = after["proofs_total"] - before["proofs_total"]
-    summary = latency_summary(latencies)
-    return {
+
+    # Batch purity: under structure-aware bucketing every bucketed batch
+    # holds exactly one ``scenario:num_vars`` structure, so purity is the
+    # bucketed share of all batches (1.0 unless size_buckets is off).
+    buckets_before = before.get("batches", {}).get("by_bucket", {})
+    buckets_after = after.get("batches", {}).get("by_bucket", {})
+    by_structure = {
+        key: buckets_after[key] - buckets_before.get(key, 0)
+        for key in buckets_after
+        if buckets_after[key] > buckets_before.get(key, 0)
+    }
+    pure_batches = sum(by_structure.values())
+    cell = {
         "clients": clients,
         "requests": len(latencies),
         "wall_seconds": round(wall, 3),
         "proofs_per_second": round(len(latencies) / wall, 3) if wall else 0.0,
-        "latency_seconds": {
-            key: round(value, 4) if isinstance(value, float) else value
-            for key, value in summary.items()
-        },
+        "latency_seconds": _round_floats(latency_summary(latencies)),
         "prove_many_calls": batches,
         "mean_batch_size": round(proofs / batches, 2) if batches else 0.0,
         "rejected_503": after["rejected_total"] - before["rejected_total"],
     }
+    if len(scenarios) > 1:
+        per_scenario = {}
+        for scenario in scenarios:
+            own = [latency for name, latency in tagged if name == scenario]
+            per_scenario[scenario] = {
+                "requests": len(own),
+                "proofs_per_second": round(len(own) / wall, 3) if wall else 0.0,
+                "latency_seconds": _round_floats(latency_summary(own)),
+            }
+        cell["per_scenario"] = per_scenario
+        cell["batches_by_structure"] = by_structure
+        cell["batch_purity"] = (
+            round(pure_batches / batches, 4) if batches else None
+        )
+    return cell
 
 
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.split("\n\n")[0])
     parser.add_argument("--scenario", default="mock")
+    parser.add_argument(
+        "--mix",
+        default=None,
+        help="comma-separated scenario mix (e.g. "
+        "'mock,range_check,stack_machine'); clients interleave the "
+        "scenarios and each cell reports per-scenario throughput and "
+        "batch purity (overrides --scenario)",
+    )
     parser.add_argument(
         "--log-gates",
         type=int,
@@ -234,6 +285,11 @@ def main(argv: list[str] | None = None) -> int:
 
     client_levels = [int(c) for c in args.clients.split(",") if c.strip()]
     windows = [float(w) for w in args.windows.split(",") if w.strip()]
+    scenarios = (
+        [s.strip() for s in args.mix.split(",") if s.strip()]
+        if args.mix
+        else [args.scenario]
+    )
 
     sweeps = []
     for window_ms in windows:
@@ -261,7 +317,7 @@ def main(argv: list[str] | None = None) -> int:
                 cell = run_cell(
                     host,
                     port,
-                    scenario=args.scenario,
+                    scenarios=scenarios,
                     num_vars=args.log_gates,
                     clients=clients,
                     requests_per_client=args.requests,
@@ -277,6 +333,13 @@ def main(argv: list[str] | None = None) -> int:
                     f"({cell['prove_many_calls']} batches, "
                     f"mean size {cell['mean_batch_size']})"
                 )
+                if "per_scenario" in cell:
+                    for name, stats in cell["per_scenario"].items():
+                        print(
+                            f"    {name:>14}: {stats['proofs_per_second']:6.2f} "
+                            f"proofs/s over {stats['requests']} request(s)"
+                        )
+                    print(f"    batch purity: {cell['batch_purity']}")
         finally:
             if hosted is not None:
                 hosted.stop()
@@ -296,6 +359,7 @@ def main(argv: list[str] | None = None) -> int:
         "hostname": os.environ.get("REPRO_BENCH_HOST") or platform.node(),
         "cpu_count": os.cpu_count(),
         "scenario": args.scenario,
+        "scenario_mix": scenarios if len(scenarios) > 1 else None,
         "num_vars": args.log_gates,
         "requests_per_client": args.requests,
         "engine_workers": args.workers,

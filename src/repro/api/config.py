@@ -78,6 +78,13 @@ class EngineConfig:
         free-function path byte for byte.
     srs_seed:
         Seed for the toxic-waste RNG of the universal setup.
+    srs_source:
+        Path to a powers-of-tau ceremony file, or ``None`` (default) for
+        the seeded synthetic setup.  When set, the engine derives its SRS
+        via :func:`repro.pcs.srs.setup_from_ptau`: the file is parsed and
+        group-checked, and its canonical bytes seed the multilinear
+        trapdoor (see the honest-scope note in :mod:`repro.pcs.srs`).
+        Ceremony-derived SRSs use ``srs_cache_dir`` keyed by file digest.
     keep_trapdoor:
         Retain the SRS trapdoor to enable the fast pairing-free
         verification path (tests / development).  Production would set
@@ -97,6 +104,7 @@ class EngineConfig:
     srs_cache_dir: str | None = None
     transcript_label: bytes = b"hyperplonk"
     srs_seed: int = 0
+    srs_source: str | None = None
     keep_trapdoor: bool = True
     collect_trace: bool = False
 
@@ -121,9 +129,9 @@ class EngineConfig:
     def from_env(cls, **overrides) -> "EngineConfig":
         """Build a config from ``REPRO_*`` environment variables.
 
-        Recognized: ``REPRO_FIELD_BACKEND``, ``REPRO_WORKERS`` and
-        ``REPRO_SRS_CACHE_DIR``.  Keyword overrides win over the
-        environment.
+        Recognized: ``REPRO_FIELD_BACKEND``, ``REPRO_WORKERS``,
+        ``REPRO_SRS_CACHE_DIR`` and ``REPRO_SRS_SOURCE``.  Keyword
+        overrides win over the environment.
         """
         env: dict = {}
         backend = os.environ.get("REPRO_FIELD_BACKEND")
@@ -137,6 +145,9 @@ class EngineConfig:
         cache_dir = os.environ.get("REPRO_SRS_CACHE_DIR")
         if cache_dir:
             env["srs_cache_dir"] = cache_dir
+        srs_source = os.environ.get("REPRO_SRS_SOURCE")
+        if srs_source:
+            env["srs_source"] = srs_source
         env.update(overrides)
         return cls(**env)
 

@@ -46,6 +46,7 @@ from repro.curves.msm import msm_shard_runner, set_msm_shard_runner
 from repro.mle.operations import mle_shard_runner, set_mle_shard_runner
 from repro.pcs.srs import UniversalSRS
 from repro.pcs.srs import setup_cached as _setup_srs
+from repro.pcs.srs import setup_from_ptau as _setup_srs_from_ptau
 from repro.sumcheck.prover import set_sumcheck_shard_runner, sumcheck_shard_runner
 from repro.protocol.keys import ProvingKey, VerifyingKey
 from repro.protocol.keys import preprocess as _preprocess
@@ -260,6 +261,10 @@ class ProverEngine:
         to (and on later runs loaded from) a disk cache keyed by
         ``(num_vars, srs_seed, keep_trapdoor)``, so restarted processes
         skip the multi-second trusted setup.
+
+        With ``EngineConfig.srs_source`` set, the SRS is instead derived
+        from that powers-of-tau ceremony file (parsed and group-checked on
+        first use; disk-cached by ceremony digest).
         """
         srs = self._srs_cache.get(num_vars)
         if srs is not None:
@@ -267,12 +272,20 @@ class ProverEngine:
             return srs
         self.cache_stats.srs_misses += 1
         with self.config.apply():
-            srs = _setup_srs(
-                num_vars,
-                seed=self.config.srs_seed,
-                keep_trapdoor=self.config.keep_trapdoor,
-                cache_dir=self.config.srs_cache_dir,
-            )
+            if self.config.srs_source is not None:
+                srs = _setup_srs_from_ptau(
+                    num_vars,
+                    self.config.srs_source,
+                    keep_trapdoor=self.config.keep_trapdoor,
+                    cache_dir=self.config.srs_cache_dir,
+                )
+            else:
+                srs = _setup_srs(
+                    num_vars,
+                    seed=self.config.srs_seed,
+                    keep_trapdoor=self.config.keep_trapdoor,
+                    cache_dir=self.config.srs_cache_dir,
+                )
         self._srs_cache[num_vars] = srs
         self._register_srs_tables(srs)
         return srs

@@ -15,6 +15,7 @@ from dataclasses import dataclass
 from typing import Callable
 
 from repro.circuits.builder import Circuit
+from repro.circuits.constraint_workloads import CONSTRAINT_WORKLOADS
 from repro.circuits.workloads import WORKLOADS, mock_circuit
 from repro.core.workload_model import WorkloadModel
 
@@ -114,5 +115,29 @@ for _key, _spec in WORKLOADS.items():
             paper_log_size=_spec.paper_log_size,
             default_log_size=6,
             builder=_spec.generator,
+        )
+    )
+
+# Constraint-system workloads: custom gates and lookup arguments.  The chip
+# model does not yet cost the lookup/custom-gate prover steps, so these are
+# prove-only -- a simulate request gets a capability 400 at the wire layer.
+_CONSTRAINT_TITLES = {
+    "range_check": ("Range checks", "Batched 2-bit range gates plus nibble lookups"),
+    "sha3_round": ("SHA3 chi rows", "Keccak chi steps via the degree-4 custom gate"),
+    "merkle_path": ("Merkle path", "Path traversal with looked-up direction bits"),
+    "stack_machine": ("Stack machine", "Toy VM with lookup-constrained opcodes"),
+}
+
+for _key, _builder in CONSTRAINT_WORKLOADS.items():
+    _title, _description = _CONSTRAINT_TITLES[_key]
+    register_scenario(
+        Scenario(
+            name=_key,
+            title=_title,
+            description=_description,
+            paper_log_size=20,
+            default_log_size=5,
+            builder=_builder,
+            capabilities=("prove",),
         )
     )

@@ -16,7 +16,17 @@ import hashlib
 from dataclasses import dataclass, field as dataclass_field
 from typing import Sequence
 
-from repro.circuits.gates import Gate, GateType
+from repro.circuits.gates import (
+    ConstraintSpec,
+    Gate,
+    GateType,
+    resolve_custom_gate,
+)
+from repro.circuits.lookups import (
+    LOOKUP_STRUCTURE_NAMES,
+    LookupTable,
+    build_lookup_columns,
+)
 from repro.circuits.permutation import build_permutation, identity_permutation
 from repro.fields.bls12_381 import Fr
 from repro.fields.field import FieldElement, PrimeField
@@ -45,10 +55,26 @@ class Circuit:
     num_real_gates: int
     num_variables: int
     name: str = "circuit"
+    #: Custom-gate selector MLEs, keyed by gate name (column q_<name>).
+    custom_selectors: dict[str, MultilinearPolynomial] = dataclass_field(
+        default_factory=dict
+    )
+    #: logUp structure columns (lk_table, lk_tid, q_lookup, lk_qtid), empty
+    #: when the circuit declares no lookup tables.
+    lookup_columns: dict[str, MultilinearPolynomial] = dataclass_field(
+        default_factory=dict
+    )
 
     @property
     def num_gates(self) -> int:
         return 1 << self.num_vars
+
+    def constraint_spec(self) -> ConstraintSpec:
+        """The constraint-system shape this circuit requires of the protocol."""
+        return ConstraintSpec(
+            custom_gates=tuple(sorted(self.custom_selectors)),
+            lookup=bool(self.lookup_columns),
+        )
 
     def selector_list(self) -> list[MultilinearPolynomial]:
         return [self.selectors[name] for name in SELECTOR_NAMES]
@@ -57,9 +83,18 @@ class Circuit:
         return [self.witnesses[name] for name in WITNESS_NAMES]
 
     def is_satisfied(self) -> bool:
-        """Check the gate identity on every row (direct, non-ZK check)."""
+        """Check every constraint row-by-row (direct, non-ZK check).
+
+        Covers the vanilla gate identity, each custom gate's monomial
+        constraint where its selector is set, and — value-level, not via
+        the fractional argument — that every lookup row's w1 appears in
+        its target table.
+        """
         q_l, q_r, q_m, q_o, q_c = self.selector_list()
         w1, w2, w3 = self.witness_list()
+        custom_defs = {
+            name: resolve_custom_gate(name) for name in self.custom_selectors
+        }
         for i in range(self.num_gates):
             value = (
                 q_l[i] * w1[i]
@@ -68,8 +103,25 @@ class Circuit:
                 - q_o[i] * w3[i]
                 + q_c[i]
             )
+            for name, defn in custom_defs.items():
+                selector = self.custom_selectors[name][i]
+                if not selector.is_zero():
+                    value = value + selector * defn.evaluate(w1[i], w2[i], w3[i])
             if not value.is_zero():
                 return False
+        if self.lookup_columns:
+            table_rows = set(
+                zip(
+                    self.lookup_columns["lk_table"].evaluations.to_int_list(),
+                    self.lookup_columns["lk_tid"].evaluations.to_int_list(),
+                )
+            )
+            q_lookup = self.lookup_columns["q_lookup"].evaluations.to_int_list()
+            lk_qtid = self.lookup_columns["lk_qtid"].evaluations.to_int_list()
+            w1_values = w1.evaluations.to_int_list()
+            for i, flag in enumerate(q_lookup):
+                if flag and (w1_values[i], lk_qtid[i]) not in table_rows:
+                    return False
         return True
 
     def witness_sparsity(self) -> dict[str, float]:
@@ -108,6 +160,23 @@ class Circuit:
         for sigma in self.sigmas:
             for value in sigma.evaluations.to_int_list():
                 hasher.update(value.to_bytes(32, "big"))
+        # Constraint-system extensions are hashed only when present, so
+        # vanilla circuits keep their historical digests (and their cached
+        # keys) while any extended table reaching the keys changes the
+        # engine/router cache coordinates.
+        spec = self.constraint_spec()
+        if not spec.is_vanilla:
+            hasher.update(b"circuit-structure-ext-v1")
+            hasher.update(spec.encode())
+            for name in spec.custom_gates:
+                hasher.update(name.encode("utf-8"))
+                for value in self.custom_selectors[name].evaluations.to_int_list():
+                    hasher.update(value.to_bytes(32, "big"))
+            for name in LOOKUP_STRUCTURE_NAMES:
+                if name in self.lookup_columns:
+                    hasher.update(name.encode("utf-8"))
+                    for value in self.lookup_columns[name].evaluations.to_int_list():
+                        hasher.update(value.to_bytes(32, "big"))
         digest = hasher.hexdigest()
         object.__setattr__(self, "_fingerprint_cache", digest)
         return digest
@@ -121,6 +190,8 @@ class CircuitBuilder:
         self.name = name
         self._values: list[FieldElement] = []
         self._gates: list[Gate] = []
+        self._lookup_tables: list[LookupTable] = []
+        self._table_index: dict[str, int] = {}
         # Variable 0 is the constant zero, pinned with a constant gate at
         # compile time so padding gates always reference a valid variable.
         self._zero = self.add_variable(field.zero())
@@ -185,6 +256,99 @@ class CircuitBuilder:
         """Constrain a == b via an addition gate a + 0 = b (plus copy wiring)."""
         self._gates.append(Gate.addition(a.index, self._zero.index, b.index))
 
+    # -- custom gates -------------------------------------------------------------
+
+    def add_custom_gate(
+        self, name: str, a: Variable, b: Variable | None = None,
+        c: Variable | None = None,
+    ) -> None:
+        """Append a row activating the registered custom gate ``name``.
+
+        The gate's constraint G(w1, w2, w3) = 0 is checked on the supplied
+        witness values immediately — an unsatisfiable row is a programming
+        error better caught here than as a failed ZeroCheck later.
+        """
+        b = b if b is not None else self._zero
+        c = c if c is not None else self._zero
+        defn = resolve_custom_gate(name)  # KeyError with guidance if unknown
+        value = defn.evaluate(
+            self.value_of(a), self.value_of(b), self.value_of(c)
+        )
+        if not value.is_zero():
+            raise ValueError(
+                f"custom gate {name!r} is not satisfied by the supplied "
+                f"witness values (G evaluates to {value.value})"
+            )
+        self.add_gate(Gate.custom_gate(name, a.index, b.index, c.index))
+
+    def assert_range4(self, a: Variable) -> None:
+        """Constrain a to {0, 1, 2, 3} via the range4 custom gate."""
+        self.add_custom_gate("range4", a)
+
+    def sha3_chi(self, x: Variable, yz: Variable) -> Variable:
+        """One Keccak chi lane: returns out = x XOR (NOT y AND z).
+
+        ``yz`` packs the neighbour pair as y + 2z.  Adds the booleanity /
+        range constraints the chi polynomial needs for soundness, then the
+        degree-4 custom row itself (three rows total).
+        """
+        self.assert_boolean(x)
+        self.assert_range4(yz)
+        x_value = self.value_of(x).value
+        yz_value = self.value_of(yz).value
+        if x_value > 1 or yz_value > 3:
+            raise ValueError("sha3_chi inputs must satisfy their range constraints")
+        y, z = yz_value & 1, yz_value >> 1
+        out = self.add_variable(x_value ^ ((1 - y) & z))
+        self.add_custom_gate("sha3_chi", x, yz, out)
+        return out
+
+    # -- lookups ------------------------------------------------------------------
+
+    def add_lookup_table(
+        self, name: str, values: Sequence[int | FieldElement]
+    ) -> None:
+        """Declare a lookup table ``name`` holding ``values``.
+
+        Tables are part of the circuit *structure* (committed during
+        preprocessing), so two circuits with different tables get
+        different fingerprints and keys.
+        """
+        if name in self._table_index:
+            raise ValueError(f"lookup table {name!r} is already declared")
+        if not values:
+            raise ValueError(f"lookup table {name!r} must not be empty")
+        residues = tuple(
+            (value.value if isinstance(value, FieldElement) else value)
+            % self.field.modulus
+            for value in values
+        )
+        self._table_index[name] = len(self._lookup_tables)
+        self._lookup_tables.append(
+            LookupTable(name=name, index=len(self._lookup_tables), values=residues)
+        )
+
+    def lookup(self, a: Variable, table: str) -> None:
+        """Constrain variable ``a``'s value to appear in ``table``.
+
+        Appends one lookup row (w1 carries the value through the copy
+        constraints; q_lookup and lk_qtid activate the logUp argument).
+        The membership is checked immediately on the concrete witness —
+        a value outside its table would otherwise only surface as an
+        unprovable multiset later.
+        """
+        if table not in self._table_index:
+            declared = ", ".join(sorted(self._table_index)) or "none declared"
+            raise ValueError(f"unknown lookup table {table!r}; declared: {declared}")
+        tid = self._table_index[table]
+        value = self.value_of(a).value
+        if value not in self._lookup_tables[tid].values:
+            raise ValueError(
+                f"value {value} of variable {a.index} is not in lookup "
+                f"table {table!r}"
+            )
+        self.add_gate(Gate.lookup(a.index, tid, self._zero.index))
+
     def linear_combination(
         self, terms: Sequence[tuple[FieldElement | int, Variable]]
     ) -> Variable:
@@ -202,14 +366,26 @@ class CircuitBuilder:
     # -- compilation -------------------------------------------------------------------
 
     def compile(self, min_num_vars: int = 2) -> Circuit:
-        """Pad to a power of two and produce the MLE tables."""
+        """Pad to a power of two and produce the MLE tables.
+
+        Compile-time validation (instead of a failed proof later): every
+        declared table must fit the row count, and every lookup row's
+        witness value must still be a member of its target table.
+        """
         field = self.field
         # Pin the zero variable so its value is constrained, then pad.
         gates = [Gate.constant(self._zero.index, field.zero(), self._zero.index)]
         gates.extend(self._gates)
         num_real_gates = len(gates)
 
-        num_vars = max(min_num_vars, max(1, (num_real_gates - 1).bit_length()))
+        # The row count must cover the gates AND the concatenated lookup
+        # tables (which live in their own columns over the same hypercube).
+        table_total = sum(len(t.values) for t in self._lookup_tables)
+        num_vars = max(
+            min_num_vars,
+            max(1, (num_real_gates - 1).bit_length()),
+            max(1, (table_total - 1).bit_length()) if table_total else 1,
+        )
         size = 1 << num_vars
         while len(gates) < size:
             gates.append(Gate.noop(self._zero.index))
@@ -219,7 +395,10 @@ class CircuitBuilder:
         selectors: dict[str, list[int]] = {name: [] for name in SELECTOR_NAMES}
         witness: dict[str, list[int]] = {name: [] for name in WITNESS_NAMES}
         wires: list[tuple[int, int, int]] = []
-        for gate in gates:
+        custom_names = sorted({g.custom for g in gates if g.custom is not None})
+        custom_columns: dict[str, list[int]] = {name: [] for name in custom_names}
+        lookup_rows: list[tuple[int, int]] = []
+        for row, gate in enumerate(gates):
             selectors["q_l"].append(gate.q_l.value)
             selectors["q_r"].append(gate.q_r.value)
             selectors["q_m"].append(gate.q_m.value)
@@ -230,6 +409,22 @@ class CircuitBuilder:
             witness["w2"].append(self._values[b].value)
             witness["w3"].append(self._values[c].value)
             wires.append(gate.wires)
+            for name in custom_names:
+                custom_columns[name].append(1 if gate.custom == name else 0)
+            if gate.lookup_tid is not None:
+                if not 0 <= gate.lookup_tid < len(self._lookup_tables):
+                    raise ValueError(
+                        f"row {row} references lookup table index "
+                        f"{gate.lookup_tid}, but only "
+                        f"{len(self._lookup_tables)} tables are declared"
+                    )
+                table = self._lookup_tables[gate.lookup_tid]
+                if self._values[a].value not in table.values:
+                    raise ValueError(
+                        f"row {row} looks up value {self._values[a].value}, "
+                        f"which is not in table {table.name!r}"
+                    )
+                lookup_rows.append((row, gate.lookup_tid))
 
         selector_mles = {
             name: MultilinearPolynomial.from_ints(num_vars, values, field)
@@ -239,6 +434,19 @@ class CircuitBuilder:
             name: MultilinearPolynomial.from_ints(num_vars, values, field)
             for name, values in witness.items()
         }
+        custom_mles = {
+            name: MultilinearPolynomial.from_ints(num_vars, values, field)
+            for name, values in custom_columns.items()
+        }
+        lookup_mles: dict[str, MultilinearPolynomial] = {}
+        if self._lookup_tables:
+            raw_columns = build_lookup_columns(
+                self._lookup_tables, lookup_rows, size, field
+            )
+            lookup_mles = {
+                name: MultilinearPolynomial.from_ints(num_vars, values, field)
+                for name, values in raw_columns.items()
+            }
         sigmas = build_permutation(wires, num_vars, field)
         identities = identity_permutation(num_vars, field)
         return Circuit(
@@ -250,4 +458,6 @@ class CircuitBuilder:
             num_real_gates=num_real_gates,
             num_variables=len(self._values),
             name=self.name,
+            custom_selectors=custom_mles,
+            lookup_columns=lookup_mles,
         )

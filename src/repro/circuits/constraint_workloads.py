@@ -1,0 +1,128 @@
+"""Constraint-system workloads: circuits exercising custom gates and lookups.
+
+The Table 3 workloads in :mod:`repro.circuits.workloads` use only the five
+vanilla selector columns.  The generators here produce satisfiable circuits
+whose structure leans on the extended constraint system instead -- range
+checks via the degree-4 ``range4`` gate and nibble lookup tables, Keccak
+chi rows via the ``sha3_chi`` gate, Merkle-path traversal with looked-up
+direction nibbles, and a toy stack machine whose opcodes are constrained
+by a lookup table.  All are budget-aware like the vanilla workloads: each
+generator fills toward ``2^num_vars`` gates and stays satisfiable at every
+supported size.
+"""
+
+from __future__ import annotations
+
+import random
+
+from repro.circuits.builder import Circuit, CircuitBuilder
+from repro.fields.bls12_381 import Fr
+
+
+def range_check_circuit(num_vars: int = 5, seed: int = 0) -> Circuit:
+    """Batched range checks: range4 custom gates plus a nibble lookup table.
+
+    Random witness values are decomposed into 2-bit limbs (each constrained
+    by one ``range4`` row) and their nibble recombinations constrained to a
+    16-entry lookup table -- the Plonkish idiom that replaces ~4 boolean
+    gates per value with one custom row and one lookup row.
+    """
+    rng = random.Random(seed)
+    builder = CircuitBuilder(name="range-check")
+    builder.add_lookup_table("nibbles", list(range(16)))
+    budget = (1 << num_vars) - 2
+    four = builder.add_constant_gate(4)
+    # Each iteration: value = lo + 4*hi with lo/hi range4-checked and the
+    # recombined nibble looked up (6 gates per iteration).
+    while builder.num_gates + 6 <= budget:
+        value = rng.randrange(16)
+        lo = builder.add_variable(value & 3)
+        hi = builder.add_variable(value >> 2)
+        builder.assert_range4(lo)
+        builder.assert_range4(hi)
+        nibble = builder.add(lo, builder.mul(four, hi))
+        builder.lookup(nibble, "nibbles")
+    return builder.compile(min_num_vars=num_vars)
+
+
+def sha3_round_circuit(num_vars: int = 5, seed: int = 0) -> Circuit:
+    """Keccak chi-step rows via the degree-4 ``sha3_chi`` custom gate.
+
+    Walks a bit-sliced state through chained chi applications, the op the
+    SHA3 unit in :mod:`repro.core.units.sha3_unit` models in hardware; each
+    chi lane costs three rows (booleanity, range4, the custom row).
+    """
+    rng = random.Random(seed)
+    builder = CircuitBuilder(name="sha3-round")
+    budget = (1 << num_vars) - 2
+    lane = builder.add_constant_gate(rng.randrange(2))
+    while builder.num_gates + 5 <= budget:
+        neighbours = builder.add_constant_gate(rng.randrange(4))
+        lane = builder.sha3_chi(lane, neighbours)
+    return builder.compile(min_num_vars=num_vars)
+
+
+def merkle_path_circuit(num_vars: int = 5, seed: int = 0) -> Circuit:
+    """Merkle-path traversal with looked-up direction bits.
+
+    Each level folds a sibling digest into the running node with a toy
+    squaring hash; the per-level direction value is constrained to the
+    {0, 1} lookup table (membership, not booleanity, to exercise a second
+    live table alongside the custom gates elsewhere in the family).
+    """
+    rng = random.Random(seed)
+    builder = CircuitBuilder(name="merkle-path")
+    builder.add_lookup_table("direction", [0, 1])
+    budget = (1 << num_vars) - 2
+    node = builder.add_constant_gate(Fr.random(rng))
+    while builder.num_gates + 7 <= budget:
+        direction = builder.add_variable(rng.randrange(2))
+        builder.lookup(direction, "direction")
+        sibling = builder.add_constant_gate(Fr.random(rng))
+        # node' = node^2 + sibling + direction (direction salts the order).
+        squared = builder.mul(node, node)
+        node = builder.add(builder.add(squared, sibling), direction)
+    return builder.compile(min_num_vars=num_vars)
+
+
+#: The toy stack machine's instruction set: opcode -> behaviour.
+STACK_MACHINE_OPCODES = {0: "push", 1: "add", 2: "mul", 3: "dup"}
+
+
+def stack_machine_circuit(num_vars: int = 5, seed: int = 0) -> Circuit:
+    """A toy stack machine: opcodes lookup-constrained, ops arithmetized.
+
+    A random program of push/add/mul/dup instructions executes over a
+    two-deep stack; every opcode value is constrained to the instruction
+    table via the lookup argument while the data path uses vanilla
+    addition/multiplication gates.
+    """
+    rng = random.Random(seed)
+    builder = CircuitBuilder(name="stack-machine")
+    builder.add_lookup_table("opcodes", sorted(STACK_MACHINE_OPCODES))
+    budget = (1 << num_vars) - 2
+    stack = [builder.add_constant_gate(rng.randrange(1, 16))]
+    while builder.num_gates + 5 <= budget:
+        opcode = rng.choice(sorted(STACK_MACHINE_OPCODES)) if len(stack) >= 2 else 0
+        opcode_var = builder.add_variable(opcode)
+        builder.lookup(opcode_var, "opcodes")
+        if opcode == 0:  # push a fresh small constant
+            stack.append(builder.add_constant_gate(rng.randrange(1, 16)))
+        elif opcode == 1:  # add top two
+            stack.append(builder.add(stack.pop(), stack.pop()))
+        elif opcode == 2:  # mul top two
+            stack.append(builder.mul(stack.pop(), stack.pop()))
+        else:  # dup: a + 0 = a copy of the top of stack
+            stack.append(builder.add(stack[-1], builder.zero))
+        if len(stack) > 8:
+            stack = stack[-8:]
+    return builder.compile(min_num_vars=num_vars)
+
+
+#: name -> generator, in registration order for the scenario registry.
+CONSTRAINT_WORKLOADS = {
+    "range_check": range_check_circuit,
+    "sha3_round": sha3_round_circuit,
+    "merkle_path": merkle_path_circuit,
+    "stack_machine": stack_machine_circuit,
+}

@@ -1,4 +1,4 @@
-"""Plonk gate definitions.
+"""Plonk gate definitions: the vanilla gate and the custom-gate registry.
 
 A gate is the 5-tuple of selector values plus the three wire slots it uses.
 The selector assignment determines what the gate computes; the constraint
@@ -6,6 +6,16 @@ The selector assignment determines what the gate computes; the constraint
     qL*w1 + qR*w2 + qM*w1*w2 - qO*w3 + qC = 0
 
 must hold for every gate of a satisfied circuit.
+
+Beyond the vanilla gate, a circuit may use *custom gates*: higher-degree
+constraints G(w1, w2, w3) = 0 activated per-row by a dedicated selector
+column q_<name>.  A :class:`CustomGateDef` describes G as a sum of
+monomials; the prover folds  q_<name>(x) * G(w1(x), w2(x), w3(x))  into the
+gate-identity ZeroCheck and the verifier re-evaluates the same monomials on
+the claimed wire openings, so both sides derive from one definition.  The
+:class:`ConstraintSpec` of a circuit names the custom gates it uses (plus
+whether it carries a lookup argument) and parameterizes the protocol's
+claim schedule, committed-polynomial set and wire format.
 """
 
 from __future__ import annotations
@@ -13,7 +23,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from enum import Enum
 
-from repro.fields.bls12_381 import Fr
+from repro.fields.bls12_381 import FR_MODULUS, Fr
 from repro.fields.field import FieldElement
 
 
@@ -39,6 +49,12 @@ class Gate:
     q_c: FieldElement
     wires: tuple[int, int, int]
     gate_type: GateType = GateType.CUSTOM
+    #: Name of the :class:`CustomGateDef` this row activates (its selector
+    #: column q_<custom> is 1 on this row), or None for a vanilla row.
+    custom: str | None = None
+    #: Lookup-table index this row's w1 is constrained to (q_lookup = 1 and
+    #: lk_qtid = lookup_tid on this row), or None for a non-lookup row.
+    lookup_tid: int | None = None
 
     @classmethod
     def addition(cls, a: int, b: int, c: int) -> "Gate":
@@ -74,6 +90,23 @@ class Gate:
             GateType.NOOP,
         )
 
+    @classmethod
+    def custom_gate(cls, name: str, a: int, b: int, c: int) -> "Gate":
+        """A custom-gate row: vanilla selectors zero, q_<name> = 1."""
+        resolve_custom_gate(name)  # fail fast on unregistered gates
+        return cls(
+            Fr(0), Fr(0), Fr(0), Fr(0), Fr(0), (a, b, c), GateType.CUSTOM,
+            custom=name,
+        )
+
+    @classmethod
+    def lookup(cls, variable: int, table_index: int, zero_var: int) -> "Gate":
+        """A lookup row: w1 carries the looked-up value, q_lookup = 1."""
+        return cls(
+            Fr(0), Fr(0), Fr(0), Fr(0), Fr(0), (variable, zero_var, zero_var),
+            GateType.CUSTOM, lookup_tid=table_index,
+        )
+
     def is_satisfied(
         self, w1: FieldElement, w2: FieldElement, w3: FieldElement
     ) -> bool:
@@ -85,4 +118,159 @@ class Gate:
             - self.q_o * w3
             + self.q_c
         )
+        if self.custom is not None:
+            value = value + resolve_custom_gate(self.custom).evaluate(w1, w2, w3)
         return value.is_zero()
+
+
+# -- custom gates --------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class CustomGateDef:
+    """A custom gate constraint G(w1, w2, w3) = 0 in monomial form.
+
+    ``monomials`` is a tuple of ``(coefficient, (e1, e2, e3))`` pairs with
+    the coefficient an Fr residue:  G = sum_k c_k * w1^e1 * w2^e2 * w3^e3.
+    The monomial form is the single source of truth for both sides of the
+    protocol: the prover turns each monomial into a product term of the
+    gate-identity ZeroCheck (selector * repeated wire MLEs) and the
+    verifier evaluates the same monomials on the claimed wire openings.
+    """
+
+    name: str
+    description: str
+    monomials: tuple[tuple[int, tuple[int, int, int]], ...]
+
+    @property
+    def selector_name(self) -> str:
+        """The dedicated selector column activating this gate per row."""
+        return f"q_{self.name}"
+
+    @property
+    def degree(self) -> int:
+        """Largest total wire degree among the monomials."""
+        return max(sum(exps) for _, exps in self.monomials)
+
+    def evaluate(
+        self, w1: FieldElement, w2: FieldElement, w3: FieldElement
+    ) -> FieldElement:
+        """G(w1, w2, w3) on concrete wire values."""
+        field = w1.field
+        total = field.zero()
+        for coefficient, (e1, e2, e3) in self.monomials:
+            term = field(coefficient)
+            for base, exponent in ((w1, e1), (w2, e2), (w3, e3)):
+                for _ in range(exponent):
+                    term = term * base
+            total = total + term
+        return total
+
+
+_CUSTOM_GATES: dict[str, CustomGateDef] = {}
+
+
+def register_custom_gate(gate: CustomGateDef) -> None:
+    """Register (or replace) a custom gate definition under ``gate.name``."""
+    _CUSTOM_GATES[gate.name] = gate
+
+
+def available_custom_gates() -> list[str]:
+    """Names of all registered custom gates."""
+    return sorted(_CUSTOM_GATES)
+
+
+def resolve_custom_gate(name: str) -> CustomGateDef:
+    """Look up a custom gate by name (raises ``KeyError`` with guidance)."""
+    try:
+        return _CUSTOM_GATES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown custom gate {name!r}; "
+            f"available: {', '.join(available_custom_gates())}"
+        ) from None
+
+
+_INV2 = pow(2, -1, FR_MODULUS)
+_NEG = lambda value: FR_MODULUS - (value % FR_MODULUS)  # noqa: E731
+
+#: Range check w1 in {0, 1, 2, 3}:  w1(w1-1)(w1-2)(w1-3) = 0.  Degree 4.
+RANGE4_GATE = CustomGateDef(
+    name="range4",
+    description="w1 in {0,1,2,3}: w1^4 - 6*w1^3 + 11*w1^2 - 6*w1 = 0",
+    monomials=(
+        (1, (4, 0, 0)),
+        (_NEG(6), (3, 0, 0)),
+        (11, (2, 0, 0)),
+        (_NEG(6), (1, 0, 0)),
+    ),
+)
+
+#: One lane of the Keccak chi step (the non-linear layer the SHA3 unit of
+#: :mod:`repro.core.units.sha3_unit` pipelines): with w1 = x a bit,
+#: w2 = y + 2z the packed neighbour pair, the output is
+#: w3 = x XOR ((NOT y) AND z).  Writing t = L2(w2) for the Lagrange
+#: indicator of w2 == 2 over {0..3} (the only packing with y=0, z=1),
+#: x XOR t = x + t - 2xt gives
+#:     G = w3 - w1 + (w2^3 - 4*w2^2 + 3*w2)/2 + w1*(-w2^3 + 4*w2^2 - 3*w2)
+#: Degree 4 (the w1*w2^3 monomial).  Sound only alongside w1 boolean and
+#: w2 in {0..3} constraints, which the builder helper adds.
+SHA3_CHI_GATE = CustomGateDef(
+    name="sha3_chi",
+    description="Keccak chi lane: w3 = w1 XOR (NOT y AND z) with w2 = y + 2z",
+    monomials=(
+        (1, (0, 0, 1)),
+        (_NEG(1), (1, 0, 0)),
+        (_INV2, (0, 3, 0)),
+        (_NEG(2), (0, 2, 0)),
+        ((3 * _INV2) % FR_MODULUS, (0, 1, 0)),
+        (_NEG(1), (1, 3, 0)),
+        (4, (1, 2, 0)),
+        (_NEG(3), (1, 1, 0)),
+    ),
+)
+
+register_custom_gate(RANGE4_GATE)
+register_custom_gate(SHA3_CHI_GATE)
+
+
+# -- constraint spec -----------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class ConstraintSpec:
+    """The constraint-system shape of a circuit beyond the vanilla gate.
+
+    Parameterizes everything the prover and verifier must agree on for an
+    extended circuit: which custom-gate selector columns exist (sorted by
+    gate name) and whether the circuit carries a lookup argument (the
+    logUp columns of :mod:`repro.circuits.lookups`).  The vanilla spec —
+    no custom gates, no lookup — leaves the protocol schedule, transcript
+    and wire format byte-identical to the pre-extension code.
+    """
+
+    custom_gates: tuple[str, ...] = ()
+    lookup: bool = False
+
+    def __post_init__(self) -> None:
+        ordered = tuple(sorted(self.custom_gates))
+        if ordered != self.custom_gates:
+            object.__setattr__(self, "custom_gates", ordered)
+
+    @property
+    def is_vanilla(self) -> bool:
+        return not self.custom_gates and not self.lookup
+
+    def selector_names(self) -> tuple[str, ...]:
+        """The extra selector column names, in canonical (sorted) order."""
+        return tuple(f"q_{name}" for name in self.custom_gates)
+
+    def encode(self) -> bytes:
+        """Canonical byte encoding (transcript / fingerprint material)."""
+        parts = [b"custom:" + ",".join(self.custom_gates).encode("utf-8")]
+        parts.append(b"lookup:1" if self.lookup else b"lookup:0")
+        return b";".join(parts)
+
+
+#: The spec of every pre-extension circuit.
+VANILLA_SPEC = ConstraintSpec()

@@ -1,0 +1,146 @@
+"""Lookup argument structures: logUp-style fractional lookups.
+
+A circuit may declare lookup tables and constrain witness values to lie in
+them.  We implement the logUp identity (Haböck's fractional sumcheck
+formulation): for a random challenge x the multiset inclusion
+``{looked-up values} ⊆ {table values}`` holds iff
+
+    sum_b  q_lookup(b) / (x + v(b))  -  m(b) / (x + u(b))  =  0
+
+where ``v(b) = w1(b) + λ·lk_qtid(b)`` folds the looked-up value with its
+target-table index, ``u(b) = lk_table(b) + λ·lk_tid(b)`` folds the table
+entries with their table index (λ a second challenge merging all declared
+tables into one argument), and ``m`` is the multiplicity of each table row
+among the lookups.  The prover materializes the fraction MLE
+
+    h(b) = q_lookup(b) / A(b) - m(b) / B(b),   A = x + v,  B = x + u
+
+through the same batched-inversion ``fraction_mle`` kernel as the wiring
+identity's φ — so served lookups inherit the MleShardRunner sharding and
+the compiled field backend — and proves (1) a ZeroCheck of the
+well-formedness constraint  h·A·B - q_lookup·B + m·A = 0  and (2) a plain
+SumCheck that h sums to zero over the hypercube.
+
+Four structure columns encode the argument (all witness-independent except
+``lk_m``, which the prover commits during proving):
+
+* ``lk_table`` -- every declared table's values, concatenated, zero-padded
+* ``lk_tid``   -- the declaring table's index per row; padding rows carry
+  the reserved index ``num_tables`` so no lookup can match padding
+* ``q_lookup`` -- 1 on rows whose w1 is constrained by a lookup
+* ``lk_qtid``  -- the target-table index per lookup row (0 elsewhere)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.fields.bls12_381 import Fr
+from repro.fields.field import FieldElement, PrimeField
+
+#: Canonical order of the preprocessed (structure) lookup columns.
+LOOKUP_STRUCTURE_NAMES = ("lk_table", "lk_tid", "q_lookup", "lk_qtid")
+
+#: Canonical order of the prover-committed lookup columns.
+LOOKUP_WITNESS_NAMES = ("lk_m", "lk_h")
+
+#: All lookup column names in committed order.
+LOOKUP_POLY_NAMES = LOOKUP_STRUCTURE_NAMES + LOOKUP_WITNESS_NAMES
+
+
+@dataclass(frozen=True)
+class LookupTable:
+    """A declared lookup table: a name and its (public) value list."""
+
+    name: str
+    index: int
+    values: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        if not self.values:
+            raise ValueError(f"lookup table {self.name!r} must not be empty")
+
+
+def build_lookup_columns(
+    tables: list[LookupTable],
+    lookup_rows: list[tuple[int, int]],
+    size: int,
+    field: PrimeField = Fr,
+) -> dict[str, list[int]]:
+    """The four structure columns as raw residue lists of length ``size``.
+
+    ``lookup_rows`` maps gate-row index -> target table index.  Padding
+    rows of ``lk_tid`` carry the reserved index ``len(tables)``, which no
+    ``lk_qtid`` entry ever equals, so padding can never satisfy a lookup.
+    """
+    total = sum(len(t.values) for t in tables)
+    if total > size:
+        raise ValueError(
+            f"declared lookup tables hold {total} entries but the circuit "
+            f"has only {size} rows; raise num_vars or shrink the tables"
+        )
+    modulus = field.modulus
+    lk_table = [0] * size
+    lk_tid = [len(tables)] * size
+    row = 0
+    for table in tables:
+        for value in table.values:
+            lk_table[row] = value % modulus
+            lk_tid[row] = table.index
+            row += 1
+    q_lookup = [0] * size
+    lk_qtid = [0] * size
+    for gate_row, tid in lookup_rows:
+        q_lookup[gate_row] = 1
+        lk_qtid[gate_row] = tid
+    return {
+        "lk_table": lk_table,
+        "lk_tid": lk_tid,
+        "q_lookup": q_lookup,
+        "lk_qtid": lk_qtid,
+    }
+
+
+def compute_multiplicities(
+    w1_values: list[int],
+    q_lookup: list[int],
+    lk_qtid: list[int],
+    lk_table: list[int],
+    lk_tid: list[int],
+) -> list[int]:
+    """The multiplicity column m: lookups matched per table row.
+
+    Every lookup row is matched to the *first* table row with the same
+    ``(value, table index)`` pair — a deterministic rule, so proofs stay
+    byte-identical across field backends and worker counts.  Raises
+    ``ValueError`` when a looked-up value is absent from its table (the
+    builder validates this earlier; here it guards hand-built circuits).
+    """
+    first_row: dict[tuple[int, int], int] = {}
+    for row, (value, tid) in enumerate(zip(lk_table, lk_tid)):
+        first_row.setdefault((value, tid), row)
+    m = [0] * len(lk_table)
+    for row, flag in enumerate(q_lookup):
+        if not flag:
+            continue
+        key = (w1_values[row], lk_qtid[row])
+        match = first_row.get(key)
+        # A padding row (reserved tid) can never match a lookup because
+        # lk_qtid always names a real table.
+        if match is None:
+            raise ValueError(
+                f"row {row} looks up value {w1_values[row]} in table "
+                f"{lk_qtid[row]}, but the table does not contain it"
+            )
+        m[match] += 1
+    return m
+
+
+def lookup_fold(
+    value: FieldElement,
+    tid: FieldElement,
+    challenge_x: FieldElement,
+    challenge_lambda: FieldElement,
+) -> FieldElement:
+    """The scalar fold  x + value + λ·tid  (A/B reconstruction, verifier side)."""
+    return challenge_x + value + challenge_lambda * tid

@@ -59,6 +59,7 @@ def _engine_from_args(args: argparse.Namespace, **extra) -> ProverEngine:
             field_backend=args.field_backend,
             workers=args.workers,
             srs_cache_dir=args.srs_cache_dir,
+            srs_source=args.srs_source,
             **extra,
         )
     )
@@ -347,6 +348,7 @@ def _cmd_serve(args: argparse.Namespace) -> int:
             field_backend=args.field_backend,
             workers=args.workers,
             srs_cache_dir=args.srs_cache_dir,
+            srs_source=args.srs_source,
         ),
     )
 
@@ -428,6 +430,8 @@ def _cmd_cluster(args: argparse.Namespace) -> int:
         ]
         if args.srs_cache_dir is not None:
             spawn_args += ["--srs-cache-dir", args.srs_cache_dir]
+        if args.srs_source is not None:
+            spawn_args += ["--srs-source", args.srs_source]
         per_backend_args = None
         if args.job_dir is not None:
             # One durable queue per child: sqlite leases assume one owning
@@ -667,6 +671,13 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="DIR",
         help="disk cache for the universal SRS, keyed by size and seed "
         "(default: no disk cache)",
+    )
+    engine_options.add_argument(
+        "--srs-source",
+        default=None,
+        metavar="PTAU",
+        help="powers-of-tau ceremony file to derive the SRS from "
+        "(parsed and subgroup-checked; default: seeded synthetic setup)",
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 

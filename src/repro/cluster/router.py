@@ -455,7 +455,7 @@ class ClusterRouter(HttpServerBase):
                 wire.parse_json_body(request["body"])
             )
         except wire.WireError as exc:
-            return 400, wire.error_body("bad_request", str(exc)), None
+            return 400, wire.wire_error_body(exc), None
         key = structure_key(prove_request["scenario"], prove_request["num_vars"])
         body = {
             "scenario": prove_request["scenario"],
@@ -483,7 +483,7 @@ class ClusterRouter(HttpServerBase):
                 wire.parse_json_body(request["body"])
             )
         except wire.WireError as exc:
-            return 400, wire.error_body("bad_request", str(exc)), None
+            return 400, wire.wire_error_body(exc), None
         key = structure_key(verify_request["scenario"], verify_request["num_vars"])
         body = {
             "scenario": verify_request["scenario"],
@@ -514,7 +514,7 @@ class ClusterRouter(HttpServerBase):
                 wire.parse_json_body(request["body"])
             )
         except wire.WireError as exc:
-            return 400, wire.error_body("bad_request", str(exc)), None
+            return 400, wire.wire_error_body(exc), None
         resolved = wire.resolved_sim_num_vars(
             sim_request["scenario"], sim_request["num_vars"]
         )
@@ -594,7 +594,7 @@ class ClusterRouter(HttpServerBase):
                 wire.parse_json_body(request["body"])
             )
         except wire.WireError as exc:
-            return 400, wire.error_body("bad_request", str(exc)), None
+            return 400, wire.wire_error_body(exc), None
         assert self.topology is not None
         plan = sweep_request["plan"]
         include_points = sweep_request["include_points"]
@@ -740,7 +740,7 @@ class ClusterRouter(HttpServerBase):
             raw_body = wire.parse_json_body(request["body"])
             job_request = wire.parse_job_request(raw_body)
         except wire.WireError as exc:
-            return 400, wire.error_body("bad_request", str(exc)), None
+            return 400, wire.wire_error_body(exc), None
         key = job_request["structure_key"]
         job_id = job_request["job_id"] or new_job_id(key)
         body = dict(raw_body)
@@ -771,7 +771,7 @@ class ClusterRouter(HttpServerBase):
         try:
             key = job_id_structure_key(job_id)
         except ValueError as exc:
-            return 400, wire.error_body("bad_request", str(exc)), None
+            return 400, wire.wire_error_body(exc), None
         assert self.topology is not None and self.monitor is not None
         last_error: BackendError | None = None
         asked = 0

@@ -19,6 +19,7 @@ the real pairing check is exercised by dedicated (slower) tests.
 
 from __future__ import annotations
 
+import hashlib
 import os
 import pickle
 import random
@@ -28,8 +29,9 @@ from pathlib import Path
 from typing import Sequence
 
 from repro.curves.bls12_381 import G2Point, g1_generator, g2_generator
-from repro.curves.curve import AffinePoint, batch_to_affine
-from repro.fields.bls12_381 import Fr
+from repro.curves.curve import AffinePoint, JacobianPoint, batch_to_affine
+from repro.fields.bls12_381 import FQ_MODULUS, FR_MODULUS, Fr
+from repro.fields.extensions import Fq2Element
 from repro.fields.field import FieldElement
 from repro.mle.mle import eq_mle
 
@@ -214,4 +216,226 @@ def setup_cached(
         return cached
     srs = setup(num_vars, seed=seed, keep_trapdoor=keep_trapdoor)
     save_srs(srs, path, seed=seed)
+    return srs
+
+
+# -- powers-of-tau ceremony files -----------------------------------------------------
+#
+# The ``powersOfTau28_hez_final``-style layout (as used by snarkjs/plonkathon,
+# here instantiated over BLS12-381): a small header whose byte 60 carries
+# log2 of the number of powers, the G1 section -- uncompressed 96-byte
+# ``x||y`` points ``[G, tau*G, tau^2*G, ...]`` -- starting at byte 80, and two
+# uncompressed 192-byte G2 points ``[H, tau*H]`` immediately after.
+#
+# Honest scope: a ceremony file carries *univariate* powers ``[tau^i]_1``,
+# while the multilinear KZG SRS needs the eq-basis tables over a vector
+# ``(tau_1, ..., tau_mu)`` -- which cannot be derived from univariate powers
+# without the discarded trapdoor.  :func:`setup_from_ptau` therefore verifies
+# the ceremony file cryptographically (curve membership, prime-subgroup
+# checks, pairwise structure) and then uses its canonical bytes as *seed
+# entropy* for the multilinear trapdoor, so the derived SRS is deterministic
+# in the ceremony contribution without claiming trapdoor-freeness.
+
+PTAU_MAGIC = b"ptau"
+PTAU_POWER_OFFSET = 60
+PTAU_G1_OFFSET = 80
+PTAU_FQ_BYTES = 48
+PTAU_G1_BYTES = 2 * PTAU_FQ_BYTES
+PTAU_G2_BYTES = 4 * PTAU_FQ_BYTES
+PTAU_NUM_G2 = 2
+
+
+class PtauFormatError(ValueError):
+    """Raised when a ceremony file is malformed or fails its group checks."""
+
+
+def _g1_in_prime_subgroup(point: AffinePoint) -> bool:
+    """r * P == identity, via a ladder that does NOT reduce the scalar mod r
+    (``JacobianPoint.scalar_mul`` would turn the check into ``0 * P``)."""
+    acc = JacobianPoint.identity()
+    addend = point.to_jacobian()
+    k = FR_MODULUS
+    while k:
+        if k & 1:
+            acc = acc + addend
+        addend = addend.double()
+        k >>= 1
+    return acc.z == 0
+
+
+def _g2_in_prime_subgroup(point: G2Point) -> bool:
+    acc = G2Point.identity()
+    addend = point
+    k = FR_MODULUS
+    while k:
+        if k & 1:
+            acc = acc + addend
+        addend = addend.double()
+        k >>= 1
+    return acc.is_identity()
+
+
+def _read_fq(data: bytes, offset: int) -> int:
+    value = int.from_bytes(data[offset : offset + PTAU_FQ_BYTES], "big")
+    if value >= FQ_MODULUS:
+        raise PtauFormatError(
+            f"coordinate at byte {offset} is not a valid Fq element"
+        )
+    return value
+
+
+@dataclass
+class PtauCeremony:
+    """A parsed and group-checked powers-of-tau ceremony file."""
+
+    power: int
+    g1_points: list[AffinePoint]
+    g2_points: list[G2Point]
+    digest: bytes
+    """SHA3-256 of the full canonical file bytes (cache / entropy key)."""
+
+
+def parse_ptau(path: str | os.PathLike) -> PtauCeremony:
+    """Parse a ceremony file, checking every point's curve and subgroup.
+
+    Raises :class:`PtauFormatError` on a truncated file, an out-of-field
+    coordinate, an off-curve point, or a point outside the prime-order
+    subgroup (small-subgroup contributions would poison the entropy).
+    """
+    data = Path(path).read_bytes()
+    if data[: len(PTAU_MAGIC)] != PTAU_MAGIC:
+        raise PtauFormatError("bad ptau magic bytes")
+    if len(data) <= PTAU_G1_OFFSET:
+        raise PtauFormatError("ptau file is truncated before the G1 section")
+    power = data[PTAU_POWER_OFFSET]
+    num_g1 = 1 << power
+    expected = (
+        PTAU_G1_OFFSET + num_g1 * PTAU_G1_BYTES + PTAU_NUM_G2 * PTAU_G2_BYTES
+    )
+    if len(data) != expected:
+        raise PtauFormatError(
+            f"ptau file holds {len(data)} bytes but 2^{power} powers "
+            f"require exactly {expected}"
+        )
+    g1_points: list[AffinePoint] = []
+    offset = PTAU_G1_OFFSET
+    for index in range(num_g1):
+        x = _read_fq(data, offset)
+        y = _read_fq(data, offset + PTAU_FQ_BYTES)
+        offset += PTAU_G1_BYTES
+        point = AffinePoint(x, y)
+        if not point.is_on_curve():
+            raise PtauFormatError(f"G1 point {index} is not on the curve")
+        if not _g1_in_prime_subgroup(point):
+            raise PtauFormatError(
+                f"G1 point {index} is not in the prime-order subgroup"
+            )
+        g1_points.append(point)
+    g2_points: list[G2Point] = []
+    for index in range(PTAU_NUM_G2):
+        x_c0 = _read_fq(data, offset)
+        x_c1 = _read_fq(data, offset + PTAU_FQ_BYTES)
+        y_c0 = _read_fq(data, offset + 2 * PTAU_FQ_BYTES)
+        y_c1 = _read_fq(data, offset + 3 * PTAU_FQ_BYTES)
+        offset += PTAU_G2_BYTES
+        point = G2Point(Fq2Element(x_c0, x_c1), Fq2Element(y_c0, y_c1))
+        if not point.is_on_curve():
+            raise PtauFormatError(f"G2 point {index} is not on the twist curve")
+        if not _g2_in_prime_subgroup(point):
+            raise PtauFormatError(
+                f"G2 point {index} is not in the prime-order subgroup"
+            )
+        g2_points.append(point)
+    return PtauCeremony(
+        power=power,
+        g1_points=g1_points,
+        g2_points=g2_points,
+        digest=hashlib.sha3_256(data).digest(),
+    )
+
+
+def write_synthetic_ptau(
+    path: str | os.PathLike, power: int, seed: int = 0
+) -> Path:
+    """Write a structurally-faithful synthetic ceremony file (test fixture).
+
+    Generates a fresh univariate tau and serializes ``[tau^i * G]_1`` for
+    ``i < 2^power`` plus ``[H, tau*H]_2`` in the layout :func:`parse_ptau`
+    expects.  Purely a fixture: the "ceremony" has one participant.
+    """
+    if not 0 <= power <= 16:
+        raise ValueError("synthetic ptau power must be in [0, 16]")
+    rng = random.Random(seed)
+    tau = rng.randrange(1, FR_MODULUS)
+    g1 = g1_generator()
+    g2 = g2_generator()
+    out = bytearray(PTAU_G1_OFFSET)
+    out[: len(PTAU_MAGIC)] = PTAU_MAGIC
+    out[PTAU_POWER_OFFSET] = power
+    scalar = 1
+    jacobians = []
+    for _ in range(1 << power):
+        jacobians.append(g1.scalar_mul(scalar))
+        scalar = (scalar * tau) % FR_MODULUS
+    for point in batch_to_affine(jacobians):
+        out += point.x.to_bytes(PTAU_FQ_BYTES, "big")
+        out += point.y.to_bytes(PTAU_FQ_BYTES, "big")
+    for g2_point in (g2, g2.scalar_mul(tau)):
+        out += g2_point.x.c0.to_bytes(PTAU_FQ_BYTES, "big")
+        out += g2_point.x.c1.to_bytes(PTAU_FQ_BYTES, "big")
+        out += g2_point.y.c0.to_bytes(PTAU_FQ_BYTES, "big")
+        out += g2_point.y.c1.to_bytes(PTAU_FQ_BYTES, "big")
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    path.write_bytes(bytes(out))
+    return path
+
+
+def ptau_srs_cache_path(
+    cache_dir: str | os.PathLike, num_vars: int, digest: bytes, keep_trapdoor: bool
+) -> Path:
+    """The cache file a ceremony-derived SRS maps to (keyed by file digest)."""
+    trapdoor_tag = "td" if keep_trapdoor else "notd"
+    return Path(cache_dir) / (
+        f"srs_ptau_v{SRS_CACHE_FORMAT}_n{num_vars}_"
+        f"{digest.hex()[:16]}_{trapdoor_tag}.pkl"
+    )
+
+
+def setup_from_ptau(
+    num_vars: int,
+    path: str | os.PathLike,
+    keep_trapdoor: bool = True,
+    cache_dir: str | os.PathLike | None = None,
+) -> UniversalSRS:
+    """Derive the multilinear SRS from a verified ceremony file.
+
+    The file is fully parsed and group-checked first; the multilinear
+    trapdoor coordinates are then derived as
+    ``tau_i = SHA3-256("repro/ptau-tau" || digest || i) mod r`` -- ceremony
+    bytes as seed entropy, per the honest-scope note in the section header
+    above.  With ``cache_dir`` set, the derived SRS is cached keyed by the
+    ceremony digest, so re-serving the same file skips the curve math.
+    """
+    ceremony = parse_ptau(path)
+    if cache_dir is not None:
+        cache_path = ptau_srs_cache_path(
+            cache_dir, num_vars, ceremony.digest, keep_trapdoor
+        )
+        cached = load_srs(cache_path, num_vars=num_vars)
+        if cached is not None:
+            return cached
+    tau = []
+    for index in range(num_vars):
+        material = b"repro/ptau-tau" + ceremony.digest + index.to_bytes(4, "big")
+        value = int.from_bytes(hashlib.sha3_256(material).digest(), "big") % FR_MODULUS
+        # A zero coordinate would degenerate the eq basis; re-hash (the
+        # probability is ~2^-256, but determinism demands a defined rule).
+        while value == 0:
+            material = hashlib.sha3_256(material).digest()
+            value = int.from_bytes(hashlib.sha3_256(material).digest(), "big") % FR_MODULUS
+        tau.append(Fr(value))
+    srs = setup(num_vars, tau=tau, keep_trapdoor=keep_trapdoor)
+    if cache_dir is not None:
+        save_srs(srs, cache_path)
     return srs

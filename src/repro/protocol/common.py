@@ -10,11 +10,28 @@ from __future__ import annotations
 
 from typing import Sequence
 
+from repro.circuits.gates import VANILLA_SPEC, ConstraintSpec
 from repro.fields.bls12_381 import Fr
 from repro.fields.field import FieldElement, PrimeField
 
 #: Names of the query points used by Batch Evaluation, in canonical order.
+#: Vanilla-circuit schedule; extended circuits use :func:`point_names_for`.
 POINT_NAMES = ("gate", "perm", "perm_even", "perm_odd", "product")
+
+#: The lookup claims appended to the schedule when a circuit carries a
+#: logUp argument: the well-formedness ZeroCheck point ("lookup") needs
+#: every column of  h*A*B - q_lookup*B + m*A  plus w1, and the plain
+#: SumCheck of h ("lookup_sum") needs h alone.
+LOOKUP_CLAIM_SCHEDULE: tuple[tuple[str, str], ...] = (
+    ("w1", "lookup"),
+    ("lk_qtid", "lookup"),
+    ("q_lookup", "lookup"),
+    ("lk_table", "lookup"),
+    ("lk_tid", "lookup"),
+    ("lk_m", "lookup"),
+    ("lk_h", "lookup"),
+    ("lk_h", "lookup_sum"),
+)
 
 #: The (polynomial, point) pairs claimed during Batch Evaluation, in the
 #: canonical order in which they are absorbed and weighted.  22 evaluations
@@ -51,11 +68,40 @@ CLAIM_SCHEDULE: tuple[tuple[str, str], ...] = (
 )
 
 
+def point_names_for(spec: ConstraintSpec = VANILLA_SPEC) -> tuple[str, ...]:
+    """The query-point names a circuit with this spec uses, in order."""
+    if spec.lookup:
+        return POINT_NAMES + ("lookup", "lookup_sum")
+    return POINT_NAMES
+
+
+def claim_schedule_for(
+    spec: ConstraintSpec = VANILLA_SPEC,
+) -> tuple[tuple[str, str], ...]:
+    """The (polynomial, point) claim schedule for a circuit with this spec.
+
+    Strictly additive over :data:`CLAIM_SCHEDULE`: the vanilla prefix is
+    unchanged (so vanilla proofs keep their exact transcripts and wire
+    bytes), followed by each custom-gate selector opened at the gate
+    point, followed by the lookup claims when a lookup is present.
+    """
+    schedule = CLAIM_SCHEDULE
+    if spec.custom_gates:
+        schedule = schedule + tuple(
+            (name, "gate") for name in spec.selector_names()
+        )
+    if spec.lookup:
+        schedule = schedule + LOOKUP_CLAIM_SCHEDULE
+    return schedule
+
+
 def query_points(
     num_vars: int,
     gate_point: Sequence[FieldElement],
     perm_point: Sequence[FieldElement],
     field: PrimeField = Fr,
+    lookup_point: Sequence[FieldElement] | None = None,
+    lookup_sum_point: Sequence[FieldElement] | None = None,
 ) -> dict[str, list[FieldElement]]:
     """Construct the Batch Evaluation query points from the ZeroCheck points.
 
@@ -64,18 +110,29 @@ def query_points(
     * ``perm_even`` -- (0, r_1, ..., r_{mu-1}): needed to reconstruct p1(r).
     * ``perm_odd``  -- (1, r_1, ..., r_{mu-1}): needed to reconstruct p2(r).
     * ``product``   -- (0, 1, 1, ..., 1): where pi holds the total product.
+
+    Lookup circuits add two more (present only when supplied):
+
+    * ``lookup``     -- the lookup well-formedness ZeroCheck point.
+    * ``lookup_sum`` -- the  sum(h) = 0  SumCheck point.
     """
     if len(gate_point) != num_vars or len(perm_point) != num_vars:
         raise ValueError("query points must have num_vars coordinates")
     zero = field.zero()
     one = field.one()
-    return {
+    points = {
         "gate": list(gate_point),
         "perm": list(perm_point),
         "perm_even": [zero] + list(perm_point[:-1]),
         "perm_odd": [one] + list(perm_point[:-1]),
         "product": [zero] + [one] * (num_vars - 1),
     }
+    if lookup_point is not None:
+        if len(lookup_point) != num_vars or len(lookup_sum_point or ()) != num_vars:
+            raise ValueError("lookup query points must have num_vars coordinates")
+        points["lookup"] = list(lookup_point)
+        points["lookup_sum"] = list(lookup_sum_point)
+    return points
 
 
 def challenge_powers(base: FieldElement, count: int) -> list[FieldElement]:

@@ -8,15 +8,18 @@ every circuit of a given maximum size.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field as dataclass_field
 
 from repro.circuits.builder import Circuit, SELECTOR_NAMES
+from repro.circuits.gates import VANILLA_SPEC, ConstraintSpec
+from repro.circuits.lookups import LOOKUP_STRUCTURE_NAMES, LOOKUP_WITNESS_NAMES
 from repro.mle.mle import MultilinearPolynomial
 from repro.pcs.multilinear_kzg import Commitment, commit
 from repro.pcs.srs import ProverKey as PcsProverKey
 from repro.pcs.srs import UniversalSRS, VerifierKey as PcsVerifierKey
 
-#: Canonical ordering of every committed polynomial in the protocol.
+#: Canonical ordering of every committed polynomial in the protocol (the
+#: vanilla set; extended circuits use :func:`committed_poly_names_for`).
 COMMITTED_POLY_NAMES = (
     "q_l",
     "q_r",
@@ -37,6 +40,28 @@ PREPROCESSED_POLY_NAMES = COMMITTED_POLY_NAMES[:8]
 WITNESS_POLY_NAMES = ("w1", "w2", "w3")
 
 
+def committed_poly_names_for(spec: ConstraintSpec = VANILLA_SPEC) -> tuple[str, ...]:
+    """Every committed polynomial name for a circuit with this spec.
+
+    Strictly additive over :data:`COMMITTED_POLY_NAMES`: custom-gate
+    selector columns follow the vanilla set, then the lookup columns
+    (four preprocessed structure columns plus the prover-committed
+    multiplicity and fraction MLEs).
+    """
+    names = COMMITTED_POLY_NAMES + spec.selector_names()
+    if spec.lookup:
+        names = names + LOOKUP_STRUCTURE_NAMES + LOOKUP_WITNESS_NAMES
+    return names
+
+
+def preprocessed_poly_names_for(spec: ConstraintSpec = VANILLA_SPEC) -> tuple[str, ...]:
+    """The witness-independent (preprocessed) subset for this spec."""
+    names = PREPROCESSED_POLY_NAMES + spec.selector_names()
+    if spec.lookup:
+        names = names + LOOKUP_STRUCTURE_NAMES
+    return names
+
+
 @dataclass
 class ProvingKey:
     """Everything the prover needs: circuit tables, SRS, preprocessed commitments."""
@@ -45,11 +70,18 @@ class ProvingKey:
     circuit: Circuit
     pcs: PcsProverKey
     preprocessed_commitments: dict[str, Commitment]
+    #: The constraint-system shape (custom gates / lookup) committed here.
+    spec: ConstraintSpec = dataclass_field(default=VANILLA_SPEC)
 
     def preprocessed_polynomials(self) -> dict[str, MultilinearPolynomial]:
         polys = {name: self.circuit.selectors[name] for name in SELECTOR_NAMES}
         for i, sigma in enumerate(self.circuit.sigmas, start=1):
             polys[f"sigma_{i}"] = sigma
+        for name, selector in self.circuit.custom_selectors.items():
+            polys[f"q_{name}"] = selector
+        for name in LOOKUP_STRUCTURE_NAMES:
+            if name in self.circuit.lookup_columns:
+                polys[name] = self.circuit.lookup_columns[name]
         return polys
 
 
@@ -60,30 +92,49 @@ class VerifyingKey:
     num_vars: int
     pcs: PcsVerifierKey
     preprocessed_commitments: dict[str, Commitment]
+    #: Gate-identity description: which custom gates and lookup columns the
+    #: circuit uses.  Committed in the sense that the preprocessed
+    #: commitments cover every extension column the spec names.
+    spec: ConstraintSpec = dataclass_field(default=VANILLA_SPEC)
 
 
 def preprocess(circuit: Circuit, srs: UniversalSRS) -> tuple[ProvingKey, VerifyingKey]:
-    """Commit to the circuit's selector and permutation polynomials."""
+    """Commit to the circuit's selector, permutation and extension polynomials."""
     if circuit.num_vars != srs.num_vars:
         raise ValueError(
             f"circuit has 2^{circuit.num_vars} gates but the SRS supports "
             f"2^{srs.num_vars}; generate an SRS of matching size"
         )
+    spec = circuit.constraint_spec()
     commitments: dict[str, Commitment] = {}
     for name in SELECTOR_NAMES:
         commitments[name] = commit(srs.prover_key, circuit.selectors[name], sparse=True)
     for i, sigma in enumerate(circuit.sigmas, start=1):
         commitments[f"sigma_{i}"] = commit(srs.prover_key, sigma)
+    # Extension columns: custom-gate selectors are 0/1 (ideal Sparse-MSM
+    # input) and the lookup structure columns are small-integer-dominated,
+    # so both take the sparse commit path like the vanilla selectors.
+    for name in spec.custom_gates:
+        commitments[f"q_{name}"] = commit(
+            srs.prover_key, circuit.custom_selectors[name], sparse=True
+        )
+    if spec.lookup:
+        for name in LOOKUP_STRUCTURE_NAMES:
+            commitments[name] = commit(
+                srs.prover_key, circuit.lookup_columns[name], sparse=True
+            )
 
     proving_key = ProvingKey(
         num_vars=circuit.num_vars,
         circuit=circuit,
         pcs=srs.prover_key,
         preprocessed_commitments=commitments,
+        spec=spec,
     )
     verifying_key = VerifyingKey(
         num_vars=circuit.num_vars,
         pcs=srs.verifier_key,
         preprocessed_commitments=dict(commitments),
+        spec=spec,
     )
     return proving_key, verifying_key

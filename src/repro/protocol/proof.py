@@ -12,6 +12,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Sequence
 
+from repro.circuits.gates import VANILLA_SPEC, ConstraintSpec
 from repro.curves.msm import MSMStatistics
 from repro.fields.field import FieldElement
 from repro.pcs.multilinear_kzg import Commitment, OpeningProof
@@ -44,21 +45,40 @@ class HyperPlonkProof:
     """Claimed evaluations of every committed polynomial at the OpenCheck point."""
     batch_opening: OpeningProof
     batch_opening_value: FieldElement
+    #: The constraint-system shape the proof was produced under; drives the
+    #: claim schedule, committed-polynomial set and wire format.
+    spec: ConstraintSpec = field(default=VANILLA_SPEC)
+    #: Lookup-argument commitments (lk_m, lk_h), present iff ``spec.lookup``.
+    lookup_commitments: dict[str, Commitment] | None = None
+    #: ZeroCheck of  h*A*B - q_lookup*B + m*A = 0  (present iff ``spec.lookup``).
+    lookup_zerocheck: ZerocheckProof | None = None
+    #: SumCheck of  sum(h) = 0  (present iff ``spec.lookup``).
+    lookup_sumcheck: SumcheckProof | None = None
 
     # -- size accounting ---------------------------------------------------------
 
     def num_commitments(self) -> int:
-        return 2 + len(self.witness_commitments) + len(self.batch_opening.quotients)
+        count = 2 + len(self.witness_commitments) + len(self.batch_opening.quotients)
+        if self.lookup_commitments is not None:
+            count += len(self.lookup_commitments)
+        return count
 
     def num_field_elements(self) -> int:
         count = len(self.evaluation_claims) + len(self.opening_evaluations) + 1
-        for zerocheck in (self.gate_zerocheck, self.perm_zerocheck):
+        zerochecks = [self.gate_zerocheck, self.perm_zerocheck]
+        if self.lookup_zerocheck is not None:
+            zerochecks.append(self.lookup_zerocheck)
+        for zerocheck in zerochecks:
             for round_msg in zerocheck.sumcheck.rounds:
                 count += len(round_msg.evaluations)
             count += 1  # claimed sum
-        for round_msg in self.opencheck.rounds:
-            count += len(round_msg.evaluations)
-        count += 1
+        sumchecks = [self.opencheck]
+        if self.lookup_sumcheck is not None:
+            sumchecks.append(self.lookup_sumcheck)
+        for sumcheck in sumchecks:
+            for round_msg in sumcheck.rounds:
+                count += len(round_msg.evaluations)
+            count += 1
         return count
 
     def size_bytes(self, g1_bytes: int = 48, field_bytes: int = 32) -> int:

@@ -30,6 +30,8 @@ from __future__ import annotations
 import time
 
 from repro.circuits.builder import Circuit
+from repro.circuits.gates import resolve_custom_gate
+from repro.circuits.lookups import compute_multiplicities
 from repro.curves.msm import MSMStatistics
 from repro.fields.field import FieldElement
 from repro.mle.mle import MultilinearPolynomial, eq_mle
@@ -44,7 +46,12 @@ from repro.mle.operations import (
 )
 from repro.mle.virtual_poly import VirtualPolynomial
 from repro.pcs.multilinear_kzg import commit, open_at_point
-from repro.protocol.common import CLAIM_SCHEDULE, POINT_NAMES, challenge_powers, query_points
+from repro.protocol.common import (
+    challenge_powers,
+    claim_schedule_for,
+    point_names_for,
+    query_points,
+)
 from repro.protocol.keys import ProvingKey, WITNESS_POLY_NAMES
 from repro.protocol.proof import EvaluationClaim, HyperPlonkProof, ProverTrace
 from repro.sumcheck.prover import prove_sumcheck
@@ -54,6 +61,11 @@ from repro.transcript.transcript import Transcript
 
 def _absorb_verifying_material(transcript: Transcript, pk: ProvingKey) -> None:
     transcript.absorb_int(b"num_vars", pk.num_vars)
+    # The gate-identity description is transcript material for extended
+    # circuits; vanilla circuits absorb nothing extra, keeping their
+    # historical transcripts (and proof bytes) intact.
+    if not pk.spec.is_vanilla:
+        transcript.absorb_bytes(b"constraint_spec", pk.spec.encode())
     for name, commitment in sorted(pk.preprocessed_commitments.items()):
         transcript.absorb_point(b"preprocessed/" + name.encode(), commitment.point)
 
@@ -62,8 +74,15 @@ def _gate_constraint_polynomial(
     selectors: dict[str, MultilinearPolynomial],
     witnesses: dict[str, MultilinearPolynomial],
     num_vars: int,
+    custom_selectors: dict[str, MultilinearPolynomial] | None = None,
 ) -> VirtualPolynomial:
-    """Equation (3) without the eq factor (ZeroCheck adds it)."""
+    """Equation (3) without the eq factor (ZeroCheck adds it).
+
+    Custom gates fold into the same ZeroCheck: each monomial of a gate's
+    constraint becomes one product term  q_<name> * w1^e1 * w2^e2 * w3^e3,
+    raising the round-polynomial degree (the barycentric interpolation in
+    the SumCheck verifier handles arbitrary degree).
+    """
     field = witnesses["w1"].field
     poly = VirtualPolynomial(num_vars, field)
     poly.add_product([selectors["q_l"], witnesses["w1"]])
@@ -71,6 +90,15 @@ def _gate_constraint_polynomial(
     poly.add_product([selectors["q_m"], witnesses["w1"], witnesses["w2"]])
     poly.add_product([selectors["q_o"], witnesses["w3"]], field(-1))
     poly.add_product([selectors["q_c"]])
+    wires = (witnesses["w1"], witnesses["w2"], witnesses["w3"])
+    for name in sorted(custom_selectors or {}):
+        defn = resolve_custom_gate(name)
+        selector = custom_selectors[name]
+        for coefficient, exponents in defn.monomials:
+            factors = [selector]
+            for wire, exponent in zip(wires, exponents):
+                factors.extend([wire] * exponent)
+            poly.add_product(factors, field(coefficient))
     return poly
 
 
@@ -126,6 +154,7 @@ def prove(
     transcript = transcript if transcript is not None else Transcript()
     field = circuit.witnesses["w1"].field
     num_vars = pk.num_vars
+    spec = pk.spec
     trace = ProverTrace(num_vars=num_vars)
 
     _absorb_verifying_material(transcript, pk)
@@ -154,7 +183,9 @@ def prove(
     # ---- Step 2: Gate Identity (ZeroCheck) -------------------------------------
     step = trace.step("gate_identity")
     start = time.perf_counter()
-    gate_poly = _gate_constraint_polynomial(selectors, witnesses, num_vars)
+    gate_poly = _gate_constraint_polynomial(
+        selectors, witnesses, num_vars, circuit.custom_selectors
+    )
     gate_output = prove_zerocheck(gate_poly, transcript, label=b"gate_identity")
     gate_point = gate_output.sumcheck_challenges
     step.sumcheck_rounds = num_vars
@@ -193,6 +224,77 @@ def prove(
     step.sumcheck_rounds = num_vars
     step.wall_time_seconds = time.perf_counter() - start
 
+    # ---- Step 3b: Lookup argument (logUp), extended circuits only ------------------
+    lookup_commitments: dict[str, "Commitment"] | None = None
+    lookup_zc_output = None
+    lookup_sc_output = None
+    lookup_point: list[FieldElement] | None = None
+    lookup_sum_point: list[FieldElement] | None = None
+    lookup_polys: dict[str, MultilinearPolynomial] = {}
+    if spec.lookup:
+        step = trace.step("lookup")
+        start = time.perf_counter()
+        cols = circuit.lookup_columns
+        m_values = compute_multiplicities(
+            witnesses["w1"].evaluations.to_int_list(),
+            cols["q_lookup"].evaluations.to_int_list(),
+            cols["lk_qtid"].evaluations.to_int_list(),
+            cols["lk_table"].evaluations.to_int_list(),
+            cols["lk_tid"].evaluations.to_int_list(),
+        )
+        lk_m = MultilinearPolynomial.from_ints(num_vars, m_values, field)
+        m_stats = MSMStatistics()
+        lk_m_commitment = commit(pk.pcs, lk_m, sparse=True, stats=m_stats)
+        step.msm_stats.append(m_stats)
+        transcript.absorb_point(b"lookup/m", lk_m_commitment.point)
+        lam = transcript.challenge_field(b"lookup/lambda")
+        x = transcript.challenge_field(b"lookup/x")
+        a_vec = (
+            witnesses["w1"].evaluations.axpy(lam, cols["lk_qtid"].evaluations)
+        ).add_scalar(x)
+        b_vec = (
+            cols["lk_table"].evaluations.axpy(lam, cols["lk_tid"].evaluations)
+        ).add_scalar(x)
+        a_mle = MultilinearPolynomial.from_vector(num_vars, a_vec, field)
+        b_mle = MultilinearPolynomial.from_vector(num_vars, b_vec, field)
+        # h = q_lookup/A - m/B = (q_lookup*B - m*A)/(A*B): one Fraction-MLE
+        # pass, i.e. a single Montgomery batch inversion over the hypercube,
+        # sharded exactly like the wiring identity's phi.
+        lk_h = fraction_mle(
+            MultilinearPolynomial.from_vector(
+                num_vars,
+                cols["q_lookup"].evaluations * b_vec - lk_m.evaluations * a_vec,
+                field,
+            ),
+            MultilinearPolynomial.from_vector(num_vars, a_vec * b_vec, field),
+        )
+        step.modular_inversions = 1 << num_vars
+        h_stats = MSMStatistics()
+        lk_h_commitment = commit(pk.pcs, lk_h, stats=h_stats)
+        step.msm_stats.append(h_stats)
+        transcript.absorb_point(b"lookup/h", lk_h_commitment.point)
+
+        # Well-formedness: h*A*B - q_lookup*B + m*A = 0 on the hypercube.
+        lookup_poly = VirtualPolynomial(num_vars, field)
+        lookup_poly.add_product([lk_h, a_mle, b_mle])
+        lookup_poly.add_product([cols["q_lookup"], b_mle], field(-1))
+        lookup_poly.add_product([lk_m, a_mle])
+        lookup_zc_output = prove_zerocheck(
+            lookup_poly, transcript, label=b"lookup_identity"
+        )
+        lookup_point = lookup_zc_output.sumcheck_challenges
+        # Multiset equality: sum of h over the hypercube is zero.
+        sum_poly = VirtualPolynomial(num_vars, field)
+        sum_poly.add_product([lk_h])
+        lookup_sc_output = prove_sumcheck(
+            sum_poly, transcript, claimed_sum=field.zero(), label=b"lookup_sum"
+        )
+        lookup_sum_point = lookup_sc_output.challenges
+        step.sumcheck_rounds = 2 * num_vars
+        lookup_commitments = {"lk_m": lk_m_commitment, "lk_h": lk_h_commitment}
+        lookup_polys = {**cols, "lk_m": lk_m, "lk_h": lk_h}
+        step.wall_time_seconds = time.perf_counter() - start
+
     # ---- Step 4: Batch Evaluations -------------------------------------------------
     step = trace.step("batch_evaluations")
     start = time.perf_counter()
@@ -202,14 +304,25 @@ def prove(
         **{name: witnesses[name] for name in WITNESS_POLY_NAMES},
         "phi": phi,
         "pi": pi,
+        **{f"q_{name}": circuit.custom_selectors[name] for name in spec.custom_gates},
+        **lookup_polys,
     }
-    points = query_points(num_vars, gate_point, perm_point, field)
+    claim_schedule = claim_schedule_for(spec)
+    point_names = point_names_for(spec)
+    points = query_points(
+        num_vars,
+        gate_point,
+        perm_point,
+        field,
+        lookup_point=lookup_point,
+        lookup_sum_point=lookup_sum_point,
+    )
     # One Build-MLE per query point; every claim at that point is then a
     # dot product against the shared eq table (the Batch Evaluations
     # dataflow).  The tables are reused verbatim by the OpenCheck below.
     eq_tables = {name: eq_mle(point, field) for name, point in points.items()}
     claims_by_point: dict[str, list[str]] = {}
-    for poly_name, point_name in CLAIM_SCHEDULE:
+    for poly_name, point_name in claim_schedule:
         claims_by_point.setdefault(point_name, []).append(poly_name)
     claim_values: dict[tuple[str, str], FieldElement] = {}
     for point_name, poly_names in claims_by_point.items():
@@ -221,7 +334,7 @@ def prove(
         for poly_name, value in zip(poly_names, values):
             claim_values[(poly_name, point_name)] = value
     evaluation_claims: list[EvaluationClaim] = []
-    for poly_name, point_name in CLAIM_SCHEDULE:
+    for poly_name, point_name in claim_schedule:
         value = claim_values[(poly_name, point_name)]
         evaluation_claims.append(EvaluationClaim(poly_name, point_name, value))
         transcript.absorb_field(
@@ -237,7 +350,7 @@ def prove(
 
     # MLE Combine: one linear-combination MLE per query point (the "6 LC MLEs").
     lc_mles: dict[str, MultilinearPolynomial] = {}
-    for point_name in POINT_NAMES:
+    for point_name in point_names:
         members = [
             (weight, committed_polys[claim.poly])
             for weight, claim in zip(weights, evaluation_claims)
@@ -252,7 +365,7 @@ def prove(
     for weight, claim in zip(weights, evaluation_claims):
         claimed_sum = claimed_sum + weight * claim.value
     open_poly = VirtualPolynomial(num_vars, field)
-    for point_name in POINT_NAMES:
+    for point_name in point_names:
         open_poly.add_product([lc_mles[point_name], eq_tables[point_name]])
     opencheck_output = prove_sumcheck(
         open_poly, transcript, claimed_sum=claimed_sum, label=b"opencheck"
@@ -273,9 +386,9 @@ def prove(
 
     # Final combined polynomial g' and its single multilinear-KZG opening.
     zeta = transcript.challenge_field(b"open/zeta")
-    zeta_powers = challenge_powers(zeta, len(POINT_NAMES))
+    zeta_powers = challenge_powers(zeta, len(point_names))
     g_prime = linear_combine(
-        [lc_mles[name] for name in POINT_NAMES], zeta_powers
+        [lc_mles[name] for name in point_names], zeta_powers
     )
     opening_stats = MSMStatistics()
     opening_value, batch_opening = open_at_point(
@@ -299,6 +412,10 @@ def prove(
         opening_evaluations=opening_evaluations,
         batch_opening=batch_opening,
         batch_opening_value=opening_value,
+        spec=spec,
+        lookup_commitments=lookup_commitments,
+        lookup_zerocheck=lookup_zc_output.proof if lookup_zc_output else None,
+        lookup_sumcheck=lookup_sc_output.proof if lookup_sc_output else None,
     )
     if collect_trace:
         return proof, trace

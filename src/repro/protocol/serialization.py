@@ -15,25 +15,36 @@ Format (big-endian):
 * evaluation claims and opening evaluations in canonical schedule order
   (values only -- the schedule itself is public)
 * the batch-opening value and quotient commitments
+
+Vanilla circuits serialize as version 1 -- byte-for-byte the historical
+format.  Circuits with custom gates or a lookup argument serialize as
+version 2, which adds after ``num_vars``: a flags byte (bit 0 = lookup),
+a custom-gate count and the length-prefixed UTF-8 gate names; the lookup
+commitments (lk_m, lk_h) follow pi, the lookup ZeroCheck/SumCheck follow
+the wiring ZeroCheck, and the claim / opening-evaluation sections use the
+spec's extended schedules.
 """
 
 from __future__ import annotations
 
 import struct
 
+from repro.circuits.gates import ConstraintSpec, resolve_custom_gate
 from repro.curves.curve import AffinePoint
 from repro.fields.bls12_381 import FQ_MODULUS, Fr
 from repro.pcs.multilinear_kzg import Commitment, OpeningProof
-from repro.protocol.common import CLAIM_SCHEDULE
-from repro.protocol.keys import COMMITTED_POLY_NAMES, WITNESS_POLY_NAMES
+from repro.protocol.common import claim_schedule_for
+from repro.protocol.keys import WITNESS_POLY_NAMES, committed_poly_names_for
 from repro.protocol.proof import EvaluationClaim, HyperPlonkProof
 from repro.sumcheck.prover import SumcheckProof, SumcheckRound
 from repro.sumcheck.zerocheck import ZerocheckProof
 
 MAGIC = b"HPLK"
 VERSION = 1
+EXTENDED_VERSION = 2
 FIELD_BYTES = 32
 G1_BYTES = 48
+_LOOKUP_FLAG = 0b0000_0001
 
 
 class SerializationError(ValueError):
@@ -131,22 +142,48 @@ def _read_sumcheck(data: bytes, offset: int) -> tuple[SumcheckProof, int]:
 
 
 def serialize_proof(proof: HyperPlonkProof) -> bytes:
-    """Serialize a proof to its compact binary wire format."""
+    """Serialize a proof to its compact binary wire format.
+
+    Vanilla proofs keep the exact version-1 byte layout; extended proofs
+    (custom gates / lookup) use version 2.
+    """
+    spec = proof.spec
     out = bytearray()
     out += MAGIC
-    out += struct.pack(">BB", VERSION, proof.num_vars)
+    if spec.is_vanilla:
+        out += struct.pack(">BB", VERSION, proof.num_vars)
+    else:
+        out += struct.pack(">BB", EXTENDED_VERSION, proof.num_vars)
+        flags = _LOOKUP_FLAG if spec.lookup else 0
+        out += struct.pack(">BB", flags, len(spec.custom_gates))
+        for name in spec.custom_gates:
+            encoded = name.encode("utf-8")
+            if len(encoded) > 255:
+                raise SerializationError(f"custom gate name too long: {name!r}")
+            out += struct.pack(">B", len(encoded)) + encoded
     for name in WITNESS_POLY_NAMES:
         out += compress_g1(proof.witness_commitments[name].point)
     out += compress_g1(proof.phi_commitment.point)
     out += compress_g1(proof.pi_commitment.point)
+    if spec.lookup:
+        if proof.lookup_commitments is None:
+            raise SerializationError("lookup proof is missing its lookup commitments")
+        for name in ("lk_m", "lk_h"):
+            out += compress_g1(proof.lookup_commitments[name].point)
     out += _write_sumcheck(proof.gate_zerocheck.sumcheck)
     out += _write_sumcheck(proof.perm_zerocheck.sumcheck)
-    if len(proof.evaluation_claims) != len(CLAIM_SCHEDULE):
+    if spec.lookup:
+        if proof.lookup_zerocheck is None or proof.lookup_sumcheck is None:
+            raise SerializationError("lookup proof is missing its lookup checks")
+        out += _write_sumcheck(proof.lookup_zerocheck.sumcheck)
+        out += _write_sumcheck(proof.lookup_sumcheck)
+    claim_schedule = claim_schedule_for(spec)
+    if len(proof.evaluation_claims) != len(claim_schedule):
         raise SerializationError("unexpected number of evaluation claims")
     for claim in proof.evaluation_claims:
         out += _write_field(claim.value)
     out += _write_sumcheck(proof.opencheck)
-    for name in COMMITTED_POLY_NAMES:
+    for name in committed_poly_names_for(spec):
         out += _write_field(proof.opening_evaluations[name])
     out += _write_field(proof.batch_opening_value)
     out += struct.pack(">B", len(proof.batch_opening.quotients))
@@ -156,13 +193,36 @@ def serialize_proof(proof: HyperPlonkProof) -> bytes:
 
 
 def deserialize_proof(data: bytes) -> HyperPlonkProof:
-    """Parse a proof from its binary wire format."""
+    """Parse a proof from its binary wire format (versions 1 and 2)."""
     if data[:4] != MAGIC:
         raise SerializationError("bad magic bytes")
     version, num_vars = struct.unpack_from(">BB", data, 4)
-    if version != VERSION:
+    if version not in (VERSION, EXTENDED_VERSION):
         raise SerializationError(f"unsupported proof version {version}")
     offset = 6
+
+    spec = ConstraintSpec()
+    if version == EXTENDED_VERSION:
+        flags, num_gates = struct.unpack_from(">BB", data, offset)
+        offset += 2
+        if flags & ~_LOOKUP_FLAG:
+            raise SerializationError(f"unknown proof flags 0x{flags:02x}")
+        gate_names = []
+        for _ in range(num_gates):
+            (length,) = struct.unpack_from(">B", data, offset)
+            offset += 1
+            name = data[offset : offset + length].decode("utf-8")
+            offset += length
+            try:
+                resolve_custom_gate(name)
+            except KeyError as exc:
+                raise SerializationError(str(exc)) from exc
+            gate_names.append(name)
+        spec = ConstraintSpec(
+            custom_gates=tuple(gate_names), lookup=bool(flags & _LOOKUP_FLAG)
+        )
+        if spec.is_vanilla:
+            raise SerializationError("version-2 proof carries a vanilla spec")
 
     def read_point(off: int) -> tuple[AffinePoint, int]:
         return decompress_g1(data[off : off + G1_BYTES]), off + G1_BYTES
@@ -174,18 +234,32 @@ def deserialize_proof(data: bytes) -> HyperPlonkProof:
     phi_point, offset = read_point(offset)
     pi_point, offset = read_point(offset)
 
+    lookup_commitments = None
+    if spec.lookup:
+        lookup_commitments = {}
+        for name in ("lk_m", "lk_h"):
+            point, offset = read_point(offset)
+            lookup_commitments[name] = Commitment(point)
+
     gate_sumcheck, offset = _read_sumcheck(data, offset)
     perm_sumcheck, offset = _read_sumcheck(data, offset)
 
+    lookup_zerocheck = None
+    lookup_sumcheck = None
+    if spec.lookup:
+        lookup_zc_sumcheck, offset = _read_sumcheck(data, offset)
+        lookup_zerocheck = ZerocheckProof(sumcheck=lookup_zc_sumcheck)
+        lookup_sumcheck, offset = _read_sumcheck(data, offset)
+
     claims = []
-    for poly_name, point_name in CLAIM_SCHEDULE:
+    for poly_name, point_name in claim_schedule_for(spec):
         value, offset = _read_field(data, offset)
         claims.append(EvaluationClaim(poly_name, point_name, value))
 
     opencheck, offset = _read_sumcheck(data, offset)
 
     opening_evaluations = {}
-    for name in COMMITTED_POLY_NAMES:
+    for name in committed_poly_names_for(spec):
         value, offset = _read_field(data, offset)
         opening_evaluations[name] = value
 
@@ -211,6 +285,10 @@ def deserialize_proof(data: bytes) -> HyperPlonkProof:
         opening_evaluations=opening_evaluations,
         batch_opening=OpeningProof(quotients=quotients),
         batch_opening_value=batch_opening_value,
+        spec=spec,
+        lookup_commitments=lookup_commitments,
+        lookup_zerocheck=lookup_zerocheck,
+        lookup_sumcheck=lookup_sumcheck,
     )
 
 

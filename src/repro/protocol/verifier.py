@@ -11,10 +11,21 @@ from __future__ import annotations
 
 from repro.fields.field import FieldElement
 from repro.mle.mle import eq_eval
+from repro.circuits.gates import resolve_custom_gate
+from repro.circuits.lookups import lookup_fold
 from repro.circuits.permutation import identity_permutation_eval
 from repro.pcs.multilinear_kzg import Commitment, combine_commitments, verify_opening
-from repro.protocol.common import CLAIM_SCHEDULE, POINT_NAMES, challenge_powers, query_points
-from repro.protocol.keys import COMMITTED_POLY_NAMES, VerifyingKey, WITNESS_POLY_NAMES
+from repro.protocol.common import (
+    challenge_powers,
+    claim_schedule_for,
+    point_names_for,
+    query_points,
+)
+from repro.protocol.keys import (
+    VerifyingKey,
+    WITNESS_POLY_NAMES,
+    committed_poly_names_for,
+)
 from repro.protocol.proof import HyperPlonkProof
 from repro.sumcheck.verifier import SumcheckVerificationError, verify_sumcheck
 from repro.sumcheck.zerocheck import verify_zerocheck
@@ -27,6 +38,8 @@ class VerificationError(Exception):
 
 def _absorb_verifying_material(transcript: Transcript, vk: VerifyingKey) -> None:
     transcript.absorb_int(b"num_vars", vk.num_vars)
+    if not vk.spec.is_vanilla:
+        transcript.absorb_bytes(b"constraint_spec", vk.spec.encode())
     for name, commitment in sorted(vk.preprocessed_commitments.items()):
         transcript.absorb_point(b"preprocessed/" + name.encode(), commitment.point)
 
@@ -46,6 +59,12 @@ def verify(
     num_vars = vk.num_vars
     if proof.num_vars != num_vars:
         raise VerificationError("proof and verifying key disagree on problem size")
+    spec = vk.spec
+    if proof.spec != spec:
+        raise VerificationError(
+            "proof and verifying key disagree on the constraint system "
+            f"(proof: {proof.spec.encode().decode()}, key: {spec.encode().decode()})"
+        )
     field = proof.batch_opening_value.field
 
     _absorb_verifying_material(transcript, vk)
@@ -81,12 +100,60 @@ def verify(
         raise VerificationError(f"wiring identity ZeroCheck failed: {exc}") from exc
     perm_point = perm_verdict.sumcheck_challenges
 
+    # ---- Step 3b: Lookup argument (logUp), extended circuits only ------------------
+    lookup_point = None
+    lookup_sum_point = None
+    lookup_verdict = None
+    lookup_sum_verdict = None
+    lam = x = None
+    if spec.lookup:
+        if (
+            proof.lookup_commitments is None
+            or proof.lookup_zerocheck is None
+            or proof.lookup_sumcheck is None
+        ):
+            raise VerificationError("lookup circuit proof is missing its lookup parts")
+        for name in ("lk_m", "lk_h"):
+            if name not in proof.lookup_commitments:
+                raise VerificationError(f"missing lookup commitment {name}")
+        transcript.absorb_point(b"lookup/m", proof.lookup_commitments["lk_m"].point)
+        lam = transcript.challenge_field(b"lookup/lambda")
+        x = transcript.challenge_field(b"lookup/x")
+        transcript.absorb_point(b"lookup/h", proof.lookup_commitments["lk_h"].point)
+        try:
+            lookup_verdict = verify_zerocheck(
+                proof.lookup_zerocheck, num_vars, transcript, label=b"lookup_identity"
+            )
+        except SumcheckVerificationError as exc:
+            raise VerificationError(f"lookup ZeroCheck failed: {exc}") from exc
+        lookup_point = lookup_verdict.sumcheck_challenges
+        # The multiset check: h must sum to exactly zero over the hypercube.
+        if not proof.lookup_sumcheck.claimed_sum.is_zero():
+            raise VerificationError("lookup fraction polynomial does not sum to zero")
+        try:
+            lookup_sum_verdict = verify_sumcheck(
+                proof.lookup_sumcheck, transcript, label=b"lookup_sum"
+            )
+        except SumcheckVerificationError as exc:
+            raise VerificationError(f"lookup SumCheck failed: {exc}") from exc
+        lookup_sum_point = lookup_sum_verdict.challenges
+
     # ---- Step 4: Batch Evaluation claims ----------------------------------------------
-    points = query_points(num_vars, gate_point, perm_point, field)
+    claim_schedule = claim_schedule_for(spec)
+    point_names = point_names_for(spec)
+    committed_names = committed_poly_names_for(spec)
+    points = query_points(
+        num_vars,
+        gate_point,
+        perm_point,
+        field,
+        lookup_point=lookup_point,
+        lookup_sum_point=lookup_sum_point,
+    )
     claims: dict[tuple[str, str], FieldElement] = {}
-    if len(proof.evaluation_claims) != len(CLAIM_SCHEDULE):
+    if len(proof.evaluation_claims) != len(claim_schedule):
         raise VerificationError("unexpected number of evaluation claims")
-    for claim, (poly_name, point_name) in zip(proof.evaluation_claims, CLAIM_SCHEDULE):
+    for claim, (poly_name, point_name) in zip(proof.evaluation_claims, claim_schedule):
         if (claim.poly, claim.point) != (poly_name, point_name):
             raise VerificationError("evaluation claims are out of schedule order")
         claims[(poly_name, point_name)] = claim.value
@@ -102,6 +169,14 @@ def verify(
         - claims[("q_o", "gate")] * claims[("w3", "gate")]
         + claims[("q_c", "gate")]
     )
+    # Custom gates fold into the same identity: q_<name>(r) * G_<name>(w(r)).
+    for gate_name in spec.custom_gates:
+        defn = resolve_custom_gate(gate_name)
+        gate_constraint = gate_constraint + claims[
+            (defn.selector_name, "gate")
+        ] * defn.evaluate(
+            claims[("w1", "gate")], claims[("w2", "gate")], claims[("w3", "gate")]
+        )
     if gate_verdict.final_claim != gate_verdict.eq_at_point * gate_constraint:
         raise VerificationError("gate identity constraint does not hold at the challenge point")
 
@@ -134,11 +209,33 @@ def verify(
     if not claims[("pi", "product")].is_one():
         raise VerificationError("grand product of the fraction polynomial is not one")
 
+    # Lookup well-formedness:  h*A*B - q_lookup*B + m*A  at the challenge point.
+    if spec.lookup:
+        a_at_r = lookup_fold(
+            claims[("w1", "lookup")], claims[("lk_qtid", "lookup")], x, lam
+        )
+        b_at_r = lookup_fold(
+            claims[("lk_table", "lookup")], claims[("lk_tid", "lookup")], x, lam
+        )
+        lookup_constraint = (
+            claims[("lk_h", "lookup")] * a_at_r * b_at_r
+            - claims[("q_lookup", "lookup")] * b_at_r
+            + claims[("lk_m", "lookup")] * a_at_r
+        )
+        if lookup_verdict.final_claim != lookup_verdict.eq_at_point * lookup_constraint:
+            raise VerificationError(
+                "lookup well-formedness constraint does not hold at the challenge point"
+            )
+        if lookup_sum_verdict.final_claim != claims[("lk_h", "lookup_sum")]:
+            raise VerificationError(
+                "lookup SumCheck final evaluation does not match the claimed opening"
+            )
+
     # ---- Step 5: OpenCheck and the batched opening --------------------------------------
     eta = transcript.challenge_field(b"open/eta")
-    weights = challenge_powers(eta, len(CLAIM_SCHEDULE))
+    weights = challenge_powers(eta, len(claim_schedule))
     expected_sum = field.zero()
-    for weight, (poly_name, point_name) in zip(weights, CLAIM_SCHEDULE):
+    for weight, (poly_name, point_name) in zip(weights, claim_schedule):
         expected_sum = expected_sum + weight * claims[(poly_name, point_name)]
     if proof.opencheck.claimed_sum != expected_sum:
         raise VerificationError("OpenCheck claimed sum does not match the batched claims")
@@ -149,7 +246,7 @@ def verify(
     open_point = open_verdict.challenges
 
     # Claimed evaluations at the OpenCheck point.
-    for name in COMMITTED_POLY_NAMES:
+    for name in committed_names:
         if name not in proof.opening_evaluations:
             raise VerificationError(f"missing opening evaluation for {name}")
     for name in sorted(proof.opening_evaluations):
@@ -158,13 +255,13 @@ def verify(
         )
 
     # Per-point linear-combination values y_j(r_open) from the claimed evaluations.
-    y_at_open: dict[str, FieldElement] = {name: field.zero() for name in POINT_NAMES}
-    for weight, (poly_name, point_name) in zip(weights, CLAIM_SCHEDULE):
+    y_at_open: dict[str, FieldElement] = {name: field.zero() for name in point_names}
+    for weight, (poly_name, point_name) in zip(weights, claim_schedule):
         y_at_open[point_name] = (
             y_at_open[point_name] + weight * proof.opening_evaluations[poly_name]
         )
     expected_final = field.zero()
-    for point_name in POINT_NAMES:
+    for point_name in point_names:
         expected_final = expected_final + y_at_open[point_name] * eq_eval(
             points[point_name], open_point, field
         )
@@ -173,12 +270,12 @@ def verify(
 
     # The combined polynomial g' = sum_j zeta^j y_j: commitment and value.
     zeta = transcript.challenge_field(b"open/zeta")
-    zeta_powers = challenge_powers(zeta, len(POINT_NAMES))
+    zeta_powers = challenge_powers(zeta, len(point_names))
     poly_coefficients: dict[str, FieldElement] = {
-        name: field.zero() for name in COMMITTED_POLY_NAMES
+        name: field.zero() for name in committed_names
     }
-    for weight, (poly_name, point_name) in zip(weights, CLAIM_SCHEDULE):
-        point_index = POINT_NAMES.index(point_name)
+    for weight, (poly_name, point_name) in zip(weights, claim_schedule):
+        point_index = point_names.index(point_name)
         poly_coefficients[poly_name] = (
             poly_coefficients[poly_name] + zeta_powers[point_index] * weight
         )
@@ -188,8 +285,9 @@ def verify(
         **proof.witness_commitments,
         "phi": proof.phi_commitment,
         "pi": proof.pi_commitment,
+        **(proof.lookup_commitments or {}),
     }
-    names = list(COMMITTED_POLY_NAMES)
+    names = list(committed_names)
     g_prime_commitment = combine_commitments(
         [all_commitments[name] for name in names],
         [poly_coefficients[name] for name in names],

@@ -59,9 +59,17 @@ class BadRequest(Exception):
     """Malformed HTTP framing; answer 400 and close the connection."""
 
 
-def error_body(code: str, message: str) -> dict:
-    """The uniform error payload (the HTTP status carries the semantics)."""
-    return {"error": {"code": code, "message": message}}
+def error_body(code: str, message: str, details: dict | None = None) -> dict:
+    """The uniform error payload (the HTTP status carries the semantics).
+
+    ``details`` carries machine-readable context alongside the prose --
+    e.g. scenario validation failures list ``available_scenarios`` so a
+    client can self-correct without parsing the message.
+    """
+    error: dict = {"code": code, "message": message}
+    if details:
+        error.update(details)
+    return {"error": error}
 
 
 class NdjsonStream:

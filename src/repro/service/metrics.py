@@ -89,8 +89,9 @@ class ServiceMetrics:
     def batch_done(self, size: int, seconds: float, bucket: object = None) -> None:
         """One ``prove_many`` dispatch of ``size`` coalesced requests.
 
-        ``bucket`` is the batch's size-bucket key (the resolved ``num_vars``
-        under size-aware batching, ``None`` in single-bucket mode).
+        ``bucket`` is the batch's structure-bucket key
+        (``scenario:num_vars`` under structure-aware batching, ``None`` in
+        single-bucket mode).
         """
         with self._lock:
             self.prove_many_calls += 1

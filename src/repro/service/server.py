@@ -96,10 +96,12 @@ class ServiceConfig:
         Bound on admitted-but-undispatched prove requests; beyond it the
         service answers ``503`` with a ``Retry-After`` hint.
     size_buckets:
-        Bucket queued prove requests by their (resolved) ``num_vars`` so a
-        batch never mixes circuit sizes — one slow 2^14 job stops inflating
-        the p99 of 2^10 jobs that would otherwise share its batch.  Within
-        a bucket, arrival order and proof bytes are unchanged.
+        Bucket queued prove requests by structure (scenario + resolved
+        ``num_vars``) so a batch never mixes circuit sizes or scenarios —
+        one slow 2^14 job stops inflating the p99 of 2^10 jobs that would
+        otherwise share its batch, and every batch hits one
+        preprocessing-key family.  Within a bucket, arrival order and
+        proof bytes are unchanged.
     job_dir:
         Where the durable tier lives: the sqlite queue (``queue.sqlite3``)
         and the content-addressed artifact store (``artifacts/``).  Point
@@ -269,9 +271,17 @@ class ProofService(HttpServerBase):
     # -- engine-thread work ---------------------------------------------------
 
     @staticmethod
-    def _bucket_key(request: dict) -> int:
-        """The size bucket of a parsed prove request (resolved ``num_vars``)."""
-        return wire.resolved_num_vars(request["scenario"], request["num_vars"])
+    def _bucket_key(request: dict) -> str:
+        """The structure bucket of a parsed prove request.
+
+        Keyed by ``scenario:resolved_num_vars`` so a coalesced batch never
+        mixes circuit structures: every request in a batch shares one SRS
+        size and one preprocessing-key family, and under mixed-scenario
+        load the batches stay scenario-pure (``bench_service.py --mix``
+        reads the purity off ``/metrics``).
+        """
+        scenario = request["scenario"]
+        return f"{scenario}:{wire.resolved_num_vars(scenario, request['num_vars'])}"
 
     def _prove_batch(self, requests: list[dict]) -> list[dict]:
         """Blocking: one coalesced batch through ``engine.prove_many``.
@@ -401,7 +411,7 @@ class ProofService(HttpServerBase):
                 wire.parse_json_body(request["body"])
             )
         except wire.WireError as exc:
-            return 400, wire.error_body("bad_request", str(exc)), None
+            return 400, wire.wire_error_body(exc), None
         try:
             result = await self.batcher.submit(prove_request)
         except QueueFull as exc:
@@ -424,7 +434,7 @@ class ProofService(HttpServerBase):
                 wire.parse_json_body(request["body"])
             )
         except wire.WireError as exc:
-            return 400, wire.error_body("bad_request", str(exc)), None
+            return 400, wire.wire_error_body(exc), None
         if self._state != "serving":
             return (
                 503,
@@ -446,7 +456,7 @@ class ProofService(HttpServerBase):
                 wire.parse_json_body(request["body"])
             )
         except wire.WireError as exc:
-            return 400, wire.error_body("bad_request", str(exc)), None
+            return 400, wire.wire_error_body(exc), None
         if self._state != "serving":
             return (
                 503,
@@ -465,7 +475,7 @@ class ProofService(HttpServerBase):
                 wire.parse_json_body(request["body"])
             )
         except wire.WireError as exc:
-            return 400, wire.error_body("bad_request", str(exc)), None
+            return 400, wire.wire_error_body(exc), None
         if self._state != "serving":
             return (
                 503,
@@ -545,7 +555,7 @@ class ProofService(HttpServerBase):
         try:
             job_request = wire.parse_job_request(wire.parse_json_body(request["body"]))
         except wire.WireError as exc:
-            return 400, wire.error_body("bad_request", str(exc)), None
+            return 400, wire.wire_error_body(exc), None
         if self._state != "serving" or self.jobs is None:
             return (
                 503,

@@ -115,7 +115,21 @@ MAX_SWEEP_SHARDS = 1024
 
 
 class WireError(ValueError):
-    """A request that cannot be decoded into a valid engine call."""
+    """A request that cannot be decoded into a valid engine call.
+
+    ``details`` (optional) is a JSON-safe dict merged into the 400 error
+    body by :func:`wire_error_body`, so structured context -- like the
+    available-scenario list -- reaches clients on every tier.
+    """
+
+    def __init__(self, message: str, details: dict | None = None):
+        super().__init__(message)
+        self.details = details
+
+
+def wire_error_body(exc: WireError, code: str = "bad_request") -> dict:
+    """The uniform 400 payload for a :class:`WireError`, details included."""
+    return error_body(code, str(exc), getattr(exc, "details", None))
 
 
 def encode_bytes(data: bytes) -> str:
@@ -169,12 +183,22 @@ def _scenario_field(body: Mapping, capability: str = "prove") -> str:
     except KeyError:
         raise WireError(
             f"unknown scenario {scenario!r}; "
-            f"available: {', '.join(available_scenarios())}"
+            f"available: {', '.join(available_scenarios())}",
+            details={"available_scenarios": available_scenarios()},
         ) from None
     if capability not in resolved.capabilities:
         raise WireError(
             f"scenario {scenario!r} does not support {capability!r} "
-            f"(capabilities: {', '.join(resolved.capabilities)})"
+            f"(capabilities: {', '.join(resolved.capabilities)})",
+            details={
+                "scenario": scenario,
+                "capabilities": list(resolved.capabilities),
+                "available_scenarios": [
+                    name
+                    for name in available_scenarios()
+                    if capability in resolve_scenario(name).capabilities
+                ],
+            },
         )
     return scenario
 

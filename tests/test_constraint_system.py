@@ -1,0 +1,541 @@
+"""Tests for the constraint-system subsystem: custom gates, lookups, ptau.
+
+The acceptance surface of the constraint-system ISSUE: the four new
+registry scenarios (range_check, sha3_round, merkle_path, stack_machine)
+prove and verify end to end through the engine, the HTTP service, a
+2-backend cluster and the jobs tier; proof bytes are identical across
+field backends and worker counts; tampering with the lookup multiset or
+a custom-selector claim fails verification; the extended V2 wire format
+round-trips while vanilla proofs keep the V1 layout; and powers-of-tau
+ceremony files drive the engine's SRS behind ``EngineConfig.srs_source``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import itertools
+
+import pytest
+
+from repro.api import EngineConfig, ProverEngine
+from repro.circuits.builder import CircuitBuilder
+from repro.circuits.constraint_workloads import CONSTRAINT_WORKLOADS
+from repro.circuits.gates import VANILLA_SPEC, resolve_custom_gate
+from repro.circuits.lookups import compute_multiplicities
+from repro.fields.backends import available_backends
+from repro.pcs.srs import (
+    PtauFormatError,
+    parse_ptau,
+    ptau_srs_cache_path,
+    setup_from_ptau,
+    write_synthetic_ptau,
+)
+from repro.protocol import VerificationError
+from repro.protocol.serialization import (
+    EXTENDED_VERSION,
+    VERSION,
+    deserialize_proof,
+    serialize_proof,
+)
+from repro.service import (
+    BackgroundServer,
+    ProofService,
+    ServiceClient,
+    ServiceConfig,
+    ServiceError,
+)
+from repro.cluster import ClusterRouter, RouterConfig
+
+NUM_VARS = 4
+SRS_SEED = 7
+NEW_SCENARIOS = sorted(CONSTRAINT_WORKLOADS)
+
+
+# -- builder hardening ---------------------------------------------------------
+
+
+class TestBuilderHardening:
+    def test_unsatisfied_custom_gate_rejected_at_build_time(self):
+        builder = CircuitBuilder()
+        seven = builder.add_constant_gate(7)
+        with pytest.raises(ValueError, match="not satisfied"):
+            builder.add_custom_gate("range4", seven)
+
+    def test_unknown_custom_gate_names_the_registry(self):
+        builder = CircuitBuilder()
+        v = builder.add_constant_gate(1)
+        with pytest.raises(KeyError, match="range4"):
+            builder.add_custom_gate("no-such-gate", v)
+
+    def test_out_of_range_wire_rejected(self):
+        from repro.circuits.builder import Gate
+
+        builder = CircuitBuilder()
+        builder.add_constant_gate(1)
+        with pytest.raises(ValueError, match="unknown variable"):
+            builder.add_gate(Gate.addition(0, 1, 999))
+
+    def test_lookup_value_absent_from_table(self):
+        builder = CircuitBuilder()
+        builder.add_lookup_table("nibbles", range(16))
+        v = builder.add_constant_gate(99)
+        with pytest.raises(ValueError, match="not in lookup"):
+            builder.lookup(v, "nibbles")
+
+    def test_lookup_against_undeclared_table(self):
+        builder = CircuitBuilder()
+        v = builder.add_constant_gate(1)
+        with pytest.raises(ValueError, match="unknown lookup table"):
+            builder.lookup(v, "nope")
+
+    def test_duplicate_and_empty_tables_rejected(self):
+        builder = CircuitBuilder()
+        builder.add_lookup_table("t", [1, 2])
+        with pytest.raises(ValueError, match="already declared"):
+            builder.add_lookup_table("t", [3])
+        with pytest.raises(ValueError, match="must not be empty"):
+            builder.add_lookup_table("empty", [])
+
+    def test_compile_revalidates_lookup_membership(self):
+        """A witness value mutated after the ``lookup`` call (bypassing the
+        immediate check) must still be caught when the circuit compiles."""
+        builder = CircuitBuilder()
+        builder.add_lookup_table("bits", [0, 1])
+        v = builder.add_constant_gate(1)
+        builder.lookup(v, "bits")
+        builder._values[v.index] = builder.field(5)
+        with pytest.raises(ValueError, match="not in table"):
+            builder.compile()
+
+    def test_sha3_chi_inputs_must_be_ranged(self):
+        builder = CircuitBuilder()
+        x = builder.add_constant_gate(1)
+        bad = builder.add_constant_gate(9)
+        with pytest.raises(ValueError):
+            builder.sha3_chi(x, bad)
+
+
+class TestSpecAndFingerprint:
+    def test_table_values_change_the_fingerprint(self):
+        def circuit(values):
+            builder = CircuitBuilder()
+            builder.add_lookup_table("t", values)
+            v = builder.add_constant_gate(1)
+            builder.lookup(v, "t")
+            return builder.compile()
+
+        assert circuit([0, 1, 2]).fingerprint() != circuit([0, 1, 3]).fingerprint()
+
+    def test_custom_gate_changes_spec_and_fingerprint(self):
+        def circuit(with_gate):
+            builder = CircuitBuilder()
+            v = builder.add_constant_gate(2)
+            if with_gate:
+                builder.assert_range4(v)
+            return builder.compile()
+
+        plain, gated = circuit(False), circuit(True)
+        assert plain.constraint_spec() == VANILLA_SPEC
+        assert gated.constraint_spec().custom_gates == ("range4",)
+        assert plain.fingerprint() != gated.fingerprint()
+
+    def test_multiplicities_first_occurrence_rule(self):
+        # Table rows [5, 5, 7]: both lookups of 5 land on the FIRST row.
+        m = compute_multiplicities(
+            w1_values=[5, 5, 0],
+            q_lookup=[1, 1, 0],
+            lk_qtid=[0, 0, 0],
+            lk_table=[5, 5, 7],
+            lk_tid=[0, 0, 0],
+        )
+        assert m == [2, 0, 0]
+
+    def test_multiplicities_reject_unmatched_lookup(self):
+        with pytest.raises(ValueError, match="does not contain"):
+            compute_multiplicities(
+                w1_values=[9], q_lookup=[1], lk_qtid=[0], lk_table=[5], lk_tid=[0]
+            )
+
+    def test_custom_gate_registry_definitions(self):
+        range4 = resolve_custom_gate("range4")
+        field = CircuitBuilder().field
+        for value in range(4):
+            assert range4.evaluate(field(value), field(0), field(0)).is_zero()
+        assert not range4.evaluate(field(4), field(0), field(0)).is_zero()
+
+
+# -- protocol e2e over the engine ----------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def engine():
+    instance = ProverEngine(EngineConfig(srs_seed=SRS_SEED))
+    yield instance
+    instance.close()
+
+
+@pytest.fixture(scope="module")
+def artifacts(engine):
+    """One proved artifact per new scenario, shared by the read-only tests."""
+    return {
+        name: engine.prove(name, num_vars=NUM_VARS, seed=3)
+        for name in NEW_SCENARIOS
+    }
+
+
+class TestScenarioRoundTrip:
+    @pytest.mark.parametrize("scenario", NEW_SCENARIOS)
+    def test_prove_then_verify(self, engine, artifacts, scenario):
+        artifact = artifacts[scenario]
+        assert artifact.scenario == scenario
+        assert not artifact.proof.spec.is_vanilla
+        assert engine.verify(artifact) is True
+
+    def test_expected_constraint_shapes(self, artifacts):
+        shapes = {
+            name: (
+                artifacts[name].proof.spec.custom_gates,
+                artifacts[name].proof.spec.lookup,
+            )
+            for name in NEW_SCENARIOS
+        }
+        assert shapes["range_check"] == (("range4",), True)
+        assert shapes["sha3_round"] == (("range4", "sha3_chi"), False)
+        assert shapes["merkle_path"] == ((), True)
+        assert shapes["stack_machine"] == ((), True)
+
+    def test_vanilla_proofs_keep_the_v1_layout(self, engine):
+        artifact = engine.prove("mock", num_vars=NUM_VARS, seed=3)
+        blob = serialize_proof(artifact.proof)
+        assert blob[4] == VERSION
+        assert artifact.proof.spec.is_vanilla
+
+    @pytest.mark.parametrize("scenario", NEW_SCENARIOS)
+    def test_extended_serialization_round_trips(self, engine, artifacts, scenario):
+        proof = artifacts[scenario].proof
+        blob = serialize_proof(proof)
+        assert blob[4] == EXTENDED_VERSION
+        restored = deserialize_proof(blob)
+        assert restored.spec == proof.spec
+        assert serialize_proof(restored) == blob
+        assert engine.verify(restored, artifacts[scenario].verifying_key) is True
+
+
+class TestTamper:
+    def _mutated_claim(self, proof, poly, point):
+        """A copy of ``proof`` with one evaluation claim bumped by one."""
+        claims = []
+        hit = False
+        for claim in proof.evaluation_claims:
+            if claim.poly == poly and claim.point == point and not hit:
+                claims.append(
+                    dataclasses.replace(claim, value=claim.value + claim.value.field.one())
+                )
+                hit = True
+            else:
+                claims.append(claim)
+        assert hit, f"no claim for ({poly}, {point})"
+        return dataclasses.replace(proof, evaluation_claims=claims)
+
+    def test_corrupted_lookup_multiset_fails(self, engine, artifacts):
+        artifact = artifacts["range_check"]
+        tampered = self._mutated_claim(artifact.proof, "lk_m", "lookup")
+        with pytest.raises(VerificationError):
+            engine.verify(tampered, artifact.verifying_key)
+
+    def test_swapped_lookup_commitments_fail(self, engine, artifacts):
+        artifact = artifacts["merkle_path"]
+        commitments = dict(artifact.proof.lookup_commitments)
+        commitments["lk_m"], commitments["lk_h"] = (
+            commitments["lk_h"],
+            commitments["lk_m"],
+        )
+        tampered = dataclasses.replace(
+            artifact.proof, lookup_commitments=commitments
+        )
+        with pytest.raises(VerificationError):
+            engine.verify(tampered, artifact.verifying_key)
+
+    def test_wrong_custom_selector_claim_fails(self, engine, artifacts):
+        artifact = artifacts["range_check"]
+        tampered = self._mutated_claim(artifact.proof, "q_range4", "gate")
+        with pytest.raises(VerificationError):
+            engine.verify(tampered, artifact.verifying_key)
+
+    def test_spec_mismatch_is_rejected_up_front(self, engine, artifacts):
+        """A proof claiming a different constraint system than the key's
+        must fail before any claim arithmetic."""
+        artifact = artifacts["sha3_round"]
+        stripped = dataclasses.replace(artifact.proof, spec=VANILLA_SPEC)
+        with pytest.raises(VerificationError, match="constraint system"):
+            engine.verify(stripped, artifact.verifying_key)
+
+
+# -- determinism across backends and worker counts -----------------------------
+
+
+class TestDeterminism:
+    BACKENDS = [b for b in ("python", "numpy", "native") if b in available_backends()]
+
+    @pytest.fixture(scope="class")
+    def srs_dir(self, tmp_path_factory):
+        return str(tmp_path_factory.mktemp("srs-cache"))
+
+    @pytest.fixture(scope="class")
+    def reference_bytes(self, srs_dir):
+        engine = ProverEngine(
+            EngineConfig(srs_seed=SRS_SEED, field_backend="python", srs_cache_dir=srs_dir)
+        )
+        try:
+            return {
+                name: engine.prove(name, num_vars=NUM_VARS, seed=5).to_bytes()
+                for name in ("range_check", "stack_machine")
+            }
+        finally:
+            engine.close()
+
+    @pytest.mark.parametrize(
+        "backend,workers", list(itertools.product(BACKENDS, (1, 2)))
+    )
+    def test_proof_bytes_identical(self, backend, workers, srs_dir, reference_bytes):
+        engine = ProverEngine(
+            EngineConfig(
+                srs_seed=SRS_SEED,
+                field_backend=backend,
+                workers=workers,
+                srs_cache_dir=srs_dir,
+            )
+        )
+        try:
+            for name, expected in reference_bytes.items():
+                produced = engine.prove(name, num_vars=NUM_VARS, seed=5).to_bytes()
+                assert produced == expected, (
+                    f"{name} proof bytes diverge under backend={backend} "
+                    f"workers={workers}"
+                )
+        finally:
+            engine.close()
+
+
+# -- powers-of-tau ceremony files ----------------------------------------------
+
+
+class TestPtau:
+    POWER = 3
+
+    @pytest.fixture(scope="class")
+    def ptau_file(self, tmp_path_factory):
+        path = tmp_path_factory.mktemp("ptau") / "ceremony.ptau"
+        write_synthetic_ptau(path, self.POWER, seed=11)
+        return path
+
+    def test_fixture_round_trips(self, ptau_file):
+        ceremony = parse_ptau(ptau_file)
+        assert ceremony.power == self.POWER
+        assert len(ceremony.g1_points) == 1 << self.POWER
+        assert len(ceremony.g2_points) == 2
+        assert len(ceremony.digest) == 32
+
+    def test_corrupted_g1_point_rejected(self, ptau_file, tmp_path):
+        blob = bytearray(ptau_file.read_bytes())
+        blob[90] ^= 0x01  # inside the first G1 x-coordinate
+        bad = tmp_path / "corrupt.ptau"
+        bad.write_bytes(bytes(blob))
+        with pytest.raises(PtauFormatError, match="curve"):
+            parse_ptau(bad)
+
+    def test_truncated_file_rejected(self, ptau_file, tmp_path):
+        bad = tmp_path / "short.ptau"
+        bad.write_bytes(ptau_file.read_bytes()[:100])
+        with pytest.raises(PtauFormatError):
+            parse_ptau(bad)
+
+    def test_wrong_magic_rejected(self, ptau_file, tmp_path):
+        blob = bytearray(ptau_file.read_bytes())
+        blob[:4] = b"nope"
+        bad = tmp_path / "magic.ptau"
+        bad.write_bytes(bytes(blob))
+        with pytest.raises(PtauFormatError, match="magic"):
+            parse_ptau(bad)
+
+    def test_setup_is_deterministic_and_cached(self, ptau_file, tmp_path):
+        cache = tmp_path / "cache"
+        cache.mkdir()
+        first = setup_from_ptau(self.POWER, ptau_file, cache_dir=cache)
+        digest = parse_ptau(ptau_file).digest
+        expected = ptau_srs_cache_path(cache, self.POWER, digest, True)
+        assert expected.exists()
+        second = setup_from_ptau(self.POWER, ptau_file, cache_dir=cache)
+        assert first.verifier_key.trapdoor == second.verifier_key.trapdoor
+        assert (
+            first.prover_key.lagrange_tables[0]
+            == second.prover_key.lagrange_tables[0]
+        )
+
+    def test_engine_proves_under_a_ceremony_srs(self, ptau_file, tmp_path):
+        config = EngineConfig(
+            srs_source=str(ptau_file), srs_cache_dir=str(tmp_path / "cache")
+        )
+        engine = ProverEngine(config)
+        try:
+            artifact = engine.prove("range_check", num_vars=self.POWER, seed=1)
+            assert engine.verify(artifact) is True
+        finally:
+            engine.close()
+        # A second engine over the same file reproduces the bytes exactly.
+        other = ProverEngine(config)
+        try:
+            again = other.prove("range_check", num_vars=self.POWER, seed=1)
+            assert again.to_bytes() == artifact.to_bytes()
+        finally:
+            other.close()
+
+    def test_srs_source_comes_from_the_environment(self, ptau_file, monkeypatch):
+        monkeypatch.setenv("REPRO_SRS_SOURCE", str(ptau_file))
+        assert EngineConfig.from_env().srs_source == str(ptau_file)
+
+
+# -- serving tier --------------------------------------------------------------
+
+
+@pytest.fixture(scope="module")
+def server():
+    service = ProofService(
+        ServiceConfig(port=0, batch_window_ms=5.0, max_batch=8, max_queue=32),
+        engine_config=EngineConfig(srs_seed=SRS_SEED),
+    )
+    with BackgroundServer(service) as background:
+        yield background
+
+
+@pytest.fixture(scope="module")
+def client(server):
+    with ServiceClient(port=server.port) as service_client:
+        yield service_client
+
+
+class TestServiceScenarios:
+    def test_scenarios_advertise_new_workloads_with_capabilities(self, client):
+        entries = {entry["name"]: entry for entry in client.scenarios()}
+        assert set(NEW_SCENARIOS) <= set(entries)
+        for name in NEW_SCENARIOS:
+            assert entries[name]["capabilities"] == ["prove"]
+        assert "simulate" in entries["mock"]["capabilities"]
+
+    @pytest.mark.parametrize("scenario", NEW_SCENARIOS)
+    def test_new_scenarios_prove_over_http(self, client, engine, scenario):
+        result = client.prove(scenario, num_vars=NUM_VARS, seed=3)
+        assert client.verify(result) is True
+        direct = engine.prove(scenario, num_vars=NUM_VARS, seed=3)
+        assert result["proof_bytes"] == direct.to_bytes()
+
+    def test_unknown_scenario_rejected_with_available_list(self, client):
+        with pytest.raises(ServiceError) as excinfo:
+            client.prove("no-such-scenario", num_vars=NUM_VARS)
+        assert excinfo.value.status == 400
+        listed = excinfo.value.payload["error"]["available_scenarios"]
+        assert set(NEW_SCENARIOS) <= set(listed)
+
+    def test_capability_mismatch_rejected_before_queueing(self, client):
+        with pytest.raises(ServiceError) as excinfo:
+            client.simulate("range_check")
+        assert excinfo.value.status == 400
+        error = excinfo.value.payload["error"]
+        assert error["scenario"] == "range_check"
+        assert error["capabilities"] == ["prove"]
+        assert "mock" in error["available_scenarios"]
+        assert "range_check" not in error["available_scenarios"]
+
+
+# -- cluster tier --------------------------------------------------------------
+
+
+class _Backend:
+    def __init__(self):
+        self.engine = ProverEngine(EngineConfig(srs_seed=SRS_SEED))
+        self.service = ProofService(
+            ServiceConfig(port=0, batch_window_ms=5.0, job_poll_s=0.02),
+            engine=self.engine,
+        )
+        self.server = BackgroundServer(self.service)
+
+    @property
+    def backend_id(self) -> str:
+        return f"127.0.0.1:{self.server.port}"
+
+
+@pytest.fixture(scope="module")
+def cluster():
+    backends = [_Backend(), _Backend()]
+    for backend in backends:
+        backend.server.start()
+    router = ClusterRouter(
+        RouterConfig(port=0, health_interval_s=0.5, request_timeout_s=120.0),
+        backends=[backend.backend_id for backend in backends],
+    )
+    router_server = BackgroundServer(router)
+    router_server.start()
+    try:
+        yield {
+            "backends": {backend.backend_id: backend for backend in backends},
+            "router_server": router_server,
+        }
+    finally:
+        router_server.stop()
+        for backend in backends:
+            backend.server.stop()
+            backend.engine.close()
+
+
+@pytest.fixture(scope="module")
+def router_client(cluster):
+    with ServiceClient(port=cluster["router_server"].port) as service_client:
+        yield service_client
+
+
+class TestClusterScenarios:
+    @pytest.mark.parametrize("scenario", ["range_check", "stack_machine"])
+    def test_routed_proofs_byte_identical(self, router_client, engine, scenario):
+        result = router_client.prove(scenario, num_vars=NUM_VARS, seed=9)
+        assert result["served_by"]
+        direct = engine.prove(scenario, num_vars=NUM_VARS, seed=9)
+        assert result["proof_bytes"] == direct.to_bytes()
+        assert router_client.verify(result) is True
+
+    def test_router_scenarios_include_new_workloads(self, router_client):
+        entries = {entry["name"]: entry for entry in router_client.scenarios()}
+        assert set(NEW_SCENARIOS) <= set(entries)
+        assert entries["merkle_path"]["capabilities"] == ["prove"]
+
+    def test_router_validates_capability_at_the_edge(self, cluster, router_client):
+        """The 400 must come from the router itself — no backend sees it."""
+        before = {
+            backend_id: backend.service.metrics.requests_total.get("simulate", 0)
+            for backend_id, backend in cluster["backends"].items()
+        }
+        with pytest.raises(ServiceError) as excinfo:
+            router_client.simulate("sha3_round")
+        assert excinfo.value.status == 400
+        error = excinfo.value.payload["error"]
+        assert error["capabilities"] == ["prove"]
+        assert "sha3_round" not in error["available_scenarios"]
+        for backend_id, backend in cluster["backends"].items():
+            assert (
+                backend.service.metrics.requests_total.get("simulate", 0)
+                == before[backend_id]
+            )
+
+    def test_jobs_tier_proves_new_scenarios(self, router_client, engine):
+        ack = router_client.submit_job(
+            {
+                "kind": "prove",
+                "scenario": "merkle_path",
+                "num_vars": NUM_VARS,
+                "seed": 13,
+            }
+        )
+        record = router_client.wait_for_job(ack["id"], timeout=120.0)
+        assert record["state"] == "done"
+        blob = router_client.job_artifact(ack["id"])
+        direct = engine.prove("merkle_path", num_vars=NUM_VARS, seed=13)
+        assert blob == direct.to_bytes()

@@ -480,7 +480,7 @@ class TestSizeBuckets:
             )
             assert result["proof_bytes"] == direct.to_bytes()
         by_bucket = client.metrics()["batches"]["by_bucket"]
-        assert {"3", "4"} <= set(by_bucket)
+        assert {"mock:3", "mock:4"} <= set(by_bucket)
 
 
 class TestExtendedHealthz:
